@@ -1,0 +1,90 @@
+//! Crypto building blocks of §3.8: encryption, blinded distance rounds,
+//! centroid aggregation, and discrete logs, across group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_crypto::dlog::DlogTable;
+use sheriff_crypto::elgamal::SecretKey;
+use sheriff_crypto::ipfe::{client_vector, server_vector};
+use sheriff_crypto::protocol::{aggregate_cluster, coordinator_evaluate, BlindedQuery};
+use sheriff_crypto::GroupParams;
+
+use sheriff_bench::synthetic_points;
+
+fn bench_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elgamal_encrypt_m50");
+    for bits in [64usize, 128, 256] {
+        let params = GroupParams::baked(bits);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&params, 52, &mut rng);
+        let pk = sk.public_key();
+        let point: Vec<u64> = synthetic_points(1, 50, 8, 2)[0].clone();
+        let cvec = client_vector(&point);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| pk.encrypt(std::hint::black_box(&cvec), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blinded_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blinded_distance_round_m50");
+    group.sample_size(20);
+    for bits in [64usize, 128] {
+        let params = GroupParams::baked(bits);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<u64> = synthetic_points(1, 50, 8, 4)[0].clone();
+        let bpt: Vec<u64> = synthetic_points(1, 50, 8, 5)[0].clone();
+        let sk = SecretKey::generate(&params, a.len() + 2, &mut rng);
+        let ct = sk.public_key().encrypt(&client_vector(&a), &mut rng);
+        let s = server_vector(&bpt);
+        let table = DlogTable::build(&params, 50 * 64 + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let q = BlindedQuery::blind(&params, &ct, &mut rng);
+                let resp = coordinator_evaluate(&sk, &q.blinded, &s);
+                q.unblind(&params, &resp, &table)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_centroid_aggregation(c: &mut Criterion) {
+    let params = GroupParams::test_64();
+    let mut rng = StdRng::seed_from_u64(7);
+    let sk = SecretKey::generate(&params, 52, &mut rng);
+    let pk = sk.public_key();
+    let cts: Vec<_> = synthetic_points(20, 50, 8, 8)
+        .iter()
+        .map(|p| pk.encrypt(&client_vector(p), &mut rng))
+        .collect();
+    let refs: Vec<_> = cts.iter().collect();
+    c.bench_function("aggregate_cluster_20x50", |b| {
+        b.iter(|| aggregate_cluster(&params, std::hint::black_box(&refs)))
+    });
+}
+
+fn bench_dlog(c: &mut Criterion) {
+    let params = GroupParams::test_64();
+    let mut group = c.benchmark_group("bsgs_dlog");
+    for bound in [1_000u64, 100_000, 1_000_000] {
+        let table = DlogTable::build(&params, bound);
+        let target = params.g_pow(&sheriff_bigint::Big::from_u64(bound - 7));
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, _| {
+            b.iter(|| table.solve(std::hint::black_box(&target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encrypt,
+    bench_blinded_distance,
+    bench_centroid_aggregation,
+    bench_dlog
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Fig. 8c as a Criterion bench: one private k-means iteration across
+//! (k, m) and thread counts. Small sizes keep the bench runnable in CI;
+//! the `fig8c_private_kmeans_timing` binary sweeps paper sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_bench::synthetic_points;
+use sheriff_crypto::GroupParams;
+use sheriff_kmeans::{run_private_with_init, PrivateConfig};
+
+fn bench_private_iteration(c: &mut Criterion) {
+    let params = GroupParams::test_64();
+    let mut group = c.benchmark_group("private_kmeans_iteration");
+    group.sample_size(10);
+    for (n, k, m) in [(20usize, 4usize, 20usize), (20, 8, 20), (40, 4, 20)] {
+        let points = synthetic_points(n, m, 8, 11);
+        let init = synthetic_points(k, m, 8, 13);
+        for threads in [1usize, 4] {
+            let label = format!("n{n}_k{k}_m{m}_t{threads}");
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(17);
+                    let cfg = PrivateConfig {
+                        k,
+                        max_iters: 1,
+                        halt_changed_fraction: 0.0,
+                        scale: 8,
+                        threads,
+                    };
+                    run_private_with_init(
+                        &params,
+                        std::hint::black_box(&points),
+                        &cfg,
+                        Some(init.clone()),
+                        &mut rng,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_plain_kmeans_baseline(c: &mut Criterion) {
+    // The cleartext baseline the private protocol is compared against.
+    use sheriff_kmeans::{kmeans, to_unit_f64, KmeansConfig};
+    let points: Vec<Vec<f64>> = synthetic_points(200, 50, 16, 19)
+        .iter()
+        .map(|p| to_unit_f64(p, 16))
+        .collect();
+    c.bench_function("plain_kmeans_n200_k8_m50", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(23);
+            kmeans(
+                std::hint::black_box(&points),
+                &KmeansConfig {
+                    k: 8,
+                    max_iters: 20,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_private_iteration, bench_plain_kmeans_baseline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmark harness for the Price $heriff reproduction.
+//!
+//! Five benches, one per performance-bearing piece of the paper:
+//!
+//! * `crypto_primitives` — ElGamal encryption, blinded dot-product rounds,
+//!   BSGS discrete logs across group sizes (the §3.8 building blocks);
+//! * `private_kmeans` — one protocol iteration across (k, m, threads), the
+//!   Fig. 8c sweep;
+//! * `extraction` — Tags-Path construction + extraction and DiffStorage on
+//!   realistic product pages (the Measurement-server hot path, §3.3/§10.5);
+//! * `currency` — the §3.5 detection/conversion algorithm across formats;
+//! * `system_throughput` — end-to-end simulated price checks in the v1 and
+//!   v2 architectures (Table 1's contrast, in events per wall-second).
+//!
+//! Shared helpers live here so every bench builds its fixtures the same
+//! way.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic quantized profile points for clustering benches.
+pub fn synthetic_points(n: usize, m: usize, scale: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(0..=scale)).collect())
+        .collect()
+}
+
+/// A realistic product page with `extra_blocks` of layout noise.
+pub fn synthetic_page(price_text: &str, extra_blocks: usize) -> String {
+    let mut html = String::from("<!DOCTYPE html><html><head><title>p</title></head><body>");
+    for i in 0..extra_blocks {
+        html.push_str(&format!(
+            "<div class=\"block b{i}\"><span class=\"label\">item {i}</span>\
+             <span class=\"meta\">meta {i}</span></div>"
+        ));
+    }
+    html.push_str(&format!(
+        "<div class=\"product\"><h1>product</h1>\
+         <span class=\"price\">{price_text}</span></div>"
+    ));
+    html.push_str("</body></html>");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(synthetic_points(3, 4, 8, 1), synthetic_points(3, 4, 8, 1));
+        let page = synthetic_page("EUR9.99", 5);
+        assert!(page.contains("EUR9.99"));
+        assert!(page.matches("class=\"block").count() == 5);
+    }
+}

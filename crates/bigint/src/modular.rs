@@ -1,0 +1,215 @@
+//! Modular arithmetic helpers over [`Big`] values.
+//!
+//! All functions take the modulus last and assume (but where cheap, assert)
+//! that inputs are already reduced. The exponentiation uses a 4-bit window
+//! which cuts multiplication counts roughly 25% versus plain
+//! square-and-multiply — a worthwhile constant factor because the
+//! privacy-preserving *k*-means protocol performs `O(n·k·m)` exponentiations
+//! per iteration (paper Fig. 8c).
+
+use crate::big::Big;
+
+/// `(a + b) mod m` for reduced `a`, `b`.
+pub fn mod_add(a: &Big, b: &Big, m: &Big) -> Big {
+    let s = a.add(b);
+    if s >= *m {
+        s.sub(m)
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m` for reduced `a`, `b`.
+pub fn mod_sub(a: &Big, b: &Big, m: &Big) -> Big {
+    if a >= b {
+        a.sub(b)
+    } else {
+        a.add(m).sub(b)
+    }
+}
+
+/// `(a * b) mod m`.
+pub fn mod_mul(a: &Big, b: &Big, m: &Big) -> Big {
+    a.mul(b).rem(m)
+}
+
+/// `base^exp mod m` using a fixed 4-bit window.
+///
+/// Returns 1 for `exp == 0` (including `base == 0`, matching the usual
+/// convention), and panics on a zero modulus.
+pub fn mod_pow(base: &Big, exp: &Big, m: &Big) -> Big {
+    assert!(!m.is_zero(), "mod_pow: zero modulus");
+    if m.is_one() {
+        return Big::zero();
+    }
+    if exp.is_zero() {
+        return Big::one();
+    }
+    let base = base.rem(m);
+    if base.is_zero() {
+        return Big::zero();
+    }
+
+    // Precompute base^0..base^15.
+    let mut table = Vec::with_capacity(16);
+    table.push(Big::one());
+    for i in 1..16 {
+        let prev: &Big = &table[i - 1];
+        table.push(mod_mul(prev, &base, m));
+    }
+
+    let bits = exp.bit_len();
+    let mut acc = Big::one();
+    // Process the exponent in 4-bit nibbles, most significant first.
+    let nibbles = bits.div_ceil(4);
+    for i in (0..nibbles).rev() {
+        for _ in 0..4 {
+            acc = mod_mul(&acc, &acc, m);
+        }
+        let mut nib = 0usize;
+        for b in 0..4 {
+            if exp.bit(i * 4 + (3 - b)) {
+                nib |= 1 << (3 - b);
+            }
+        }
+        if nib != 0 {
+            acc = mod_mul(&acc, &table[nib], m);
+        }
+    }
+    acc
+}
+
+/// Modular inverse of `a` mod `m` via the extended Euclidean algorithm.
+///
+/// Returns `None` when `gcd(a, m) != 1`.
+pub fn mod_inv(a: &Big, m: &Big) -> Option<Big> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    // Extended Euclid with coefficients tracked as (value, negative?) pairs
+    // to avoid a signed big-integer type.
+    let mut r0 = m.clone();
+    let mut r1 = a.rem(m);
+    if r1.is_zero() {
+        return None;
+    }
+    // t0 = 0, t1 = 1; signs tracked separately.
+    let mut t0 = Big::zero();
+    let mut t0_neg = false;
+    let mut t1 = Big::one();
+    let mut t1_neg = false;
+
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // t2 = t0 - q * t1 (signed arithmetic on magnitudes).
+        let qt1 = q.mul(&t1);
+        let (t2, t2_neg) = signed_sub(&t0, t0_neg, &qt1, t1_neg);
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t0_neg = t1_neg;
+        t1 = t2;
+        t1_neg = t2_neg;
+    }
+    if !r0.is_one() {
+        return None; // not coprime
+    }
+    let inv = if t0_neg { m.sub(&t0.rem(m)) } else { t0.rem(m) };
+    Some(inv.rem(m))
+}
+
+/// Signed subtraction `x - q` where `x = (xv, x_neg)` and the subtrahend's
+/// sign is `q_neg` (i.e. computes `x - (±q)`); returns magnitude and sign.
+fn signed_sub(xv: &Big, x_neg: bool, qv: &Big, q_neg: bool) -> (Big, bool) {
+    // x - q*sign: the subtrahend is qv with sign q_neg; we subtract it, so its
+    // effective sign flips.
+    let sub_neg = !q_neg;
+    if x_neg == sub_neg {
+        // Same sign: magnitudes add.
+        (xv.add(qv), x_neg)
+    } else if xv >= qv {
+        (xv.sub(qv), x_neg)
+    } else {
+        (qv.sub(xv), sub_neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64) -> Big {
+        Big::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_wraparound() {
+        let m = b(97);
+        assert_eq!(mod_add(&b(96), &b(5), &m), b(4));
+        assert_eq!(mod_sub(&b(3), &b(5), &m), b(95));
+        assert_eq!(mod_sub(&b(5), &b(3), &m), b(2));
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let m = b(1_000_000_007);
+        assert_eq!(mod_pow(&b(2), &b(10), &m), b(1024));
+        assert_eq!(mod_pow(&b(2), &b(0), &m), b(1));
+        assert_eq!(mod_pow(&b(0), &b(5), &m), b(0));
+        assert_eq!(mod_pow(&b(0), &b(0), &m), b(1));
+        assert_eq!(mod_pow(&b(7), &b(1), &m), b(7));
+    }
+
+    #[test]
+    fn pow_fermat_little() {
+        // a^(p-1) = 1 mod p for prime p
+        let p = b(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(mod_pow(&b(a), &p.sub(&Big::one()), &p), Big::one());
+        }
+    }
+
+    #[test]
+    fn pow_large_modulus() {
+        // 2^255 mod (2^255 - 19)-ish prime check against known value via
+        // structure: choose p = 2^127 - 1 (Mersenne prime), then
+        // 2^127 mod p = 1 + ... actually 2^127 ≡ 1 (mod 2^127 - 1).
+        let p = Big::from_hex("7fffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(mod_pow(&b(2), &b(127), &p), Big::one());
+    }
+
+    #[test]
+    fn pow_modulus_one() {
+        assert_eq!(mod_pow(&b(5), &b(3), &Big::one()), Big::zero());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = b(1_000_000_007);
+        for a in [1u64, 2, 3, 97, 123_456_789] {
+            let inv = mod_inv(&b(a), &m).unwrap();
+            assert_eq!(mod_mul(&b(a), &inv, &m), Big::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn inverse_not_coprime() {
+        assert!(mod_inv(&b(6), &b(9)).is_none());
+        assert!(mod_inv(&b(0), &b(7)).is_none());
+        assert!(mod_inv(&b(5), &Big::one()).is_none());
+    }
+
+    #[test]
+    fn inverse_large() {
+        let p = Big::from_hex(
+            "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74",
+        )
+        .unwrap();
+        // p odd (not necessarily prime, but coprime with small a is likely);
+        // verify the defining property when Some.
+        let a = Big::from_hex("123456789abcdef").unwrap();
+        if let Some(inv) = mod_inv(&a, &p) {
+            assert_eq!(mod_mul(&a, &inv, &p), Big::one());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Primality testing and prime generation.
+//!
+//! Used to construct DDH group parameters for the privacy-preserving
+//! *k*-means protocol when a generated (rather than standardized) safe prime
+//! is requested. Miller–Rabin with 32 random rounds gives an error bound of
+//! at most 4⁻³² for random candidates, far below any concern for this
+//! system's threat model (honest-but-curious Coordinator/Aggregator, §3.8).
+
+use rand::Rng;
+
+use crate::big::Big;
+use crate::modular::mod_pow;
+
+/// Small primes used for quick trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin primality test.
+///
+/// Deterministic for the fixed witness set on inputs below 3.3·10²⁴ (per
+/// Sorenson–Webster), plus `extra_rounds` random witnesses drawn from `rng`
+/// for larger candidates.
+pub fn is_prime_with<R: Rng + ?Sized>(n: &Big, rng: &mut R, extra_rounds: usize) -> bool {
+    if let Some(v) = n.to_u64() {
+        return is_prime_u64(v);
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n.rem(&Big::from_u64(p)).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s
+    let n_minus_1 = n.sub(&Big::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let fixed: Vec<Big> = SMALL_PRIMES[..13].iter().map(|&w| Big::from_u64(w)).collect();
+    for w in fixed.iter() {
+        if !miller_rabin_round(n, &n_minus_1, &d, s, w) {
+            return false;
+        }
+    }
+    let two = Big::from_u64(2);
+    let bound = n.sub(&Big::from_u64(3));
+    for _ in 0..extra_rounds {
+        let w = Big::random_below(rng, &bound).add(&two); // in [2, n-1)
+        if !miller_rabin_round(n, &n_minus_1, &d, s, &w) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience wrapper over [`is_prime_with`] using a thread-local RNG and
+/// 16 random rounds.
+pub fn is_prime(n: &Big) -> bool {
+    is_prime_with(n, &mut rand::thread_rng(), 16)
+}
+
+fn miller_rabin_round(n: &Big, n_minus_1: &Big, d: &Big, s: usize, witness: &Big) -> bool {
+    let mut x = mod_pow(witness, d, n);
+    if x.is_one() || x == *n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = x.mul(&x).rem(n);
+        if x == *n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Deterministic Miller–Rabin for `u64` (witness set {2,3,5,7,11,13,17,19,
+/// 23,29,31,37} is exact below 3.3·10²⁴ ⊇ u64 range).
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        base = mul_mod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Generates a random prime of exactly `bits` bits.
+pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Big {
+    assert!(bits >= 2, "gen_prime: need at least 2 bits");
+    loop {
+        let mut cand = Big::random_bits(rng, bits);
+        if cand.is_even() {
+            cand = cand.add(&Big::one());
+            if cand.bit_len() != bits {
+                continue;
+            }
+        }
+        if is_prime_with(&cand, rng, 8) {
+            return cand;
+        }
+    }
+}
+
+/// Generates a safe prime `p = 2q + 1` (with `q` also prime) of exactly
+/// `bits` bits. Safe primes give a large prime-order subgroup for ElGamal.
+///
+/// Beware: expected time grows quickly with `bits`; experiments default to
+/// pre-baked standardized groups and only use this for small test groups.
+pub fn gen_safe_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Big {
+    assert!(bits >= 4, "gen_safe_prime: need at least 4 bits");
+    loop {
+        let q = gen_prime(rng, bits - 1);
+        let p = q.shl(1).add(&Big::one());
+        if p.bit_len() == bits && is_prime_with(&p, rng, 8) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_recognized() {
+        for p in [2u64, 3, 5, 7, 97, 101, 65537, 1_000_000_007] {
+            assert!(is_prime_u64(p), "{p}");
+            assert!(is_prime(&Big::from_u64(p)), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        for c in [0u64, 1, 4, 9, 15, 561, 41041, 825_265, 1_000_000_008] {
+            assert!(!is_prime_u64(c), "{c}");
+            assert!(!is_prime(&Big::from_u64(c)), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that Miller–Rabin must catch.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_prime_u64(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let p = Big::from_hex("7fffffffffffffffffffffffffffffff").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(is_prime_with(&p, &mut rng, 8));
+        // 2^128 - 1 factors (divisible by 3).
+        let c = Big::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert!(!is_prime_with(&c, &mut rng, 8));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for bits in [16usize, 32, 64, 96] {
+            let p = gen_prime(&mut rng, bits);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime_with(&p, &mut rng, 8));
+        }
+    }
+
+    #[test]
+    fn generated_safe_prime_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let p = gen_safe_prime(&mut rng, 48);
+        assert_eq!(p.bit_len(), 48);
+        let q = p.sub(&Big::one()).shr(1);
+        assert!(is_prime_with(&p, &mut rng, 8));
+        assert!(is_prime_with(&q, &mut rng, 8));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the big-integer substrate.
+//!
+//! These pin the algebraic laws the crypto layer depends on: ring axioms,
+//! the division identity, shift/multiply equivalence, and the group laws of
+//! modular exponentiation.
+
+use proptest::prelude::*;
+use sheriff_bigint::{mod_inv, mod_mul, mod_pow, Big};
+
+fn big_from_bytes(bytes: &[u8]) -> Big {
+    // Interpret arbitrary bytes as a hex-ish number by mapping each byte to a
+    // limb fragment; simpler: accumulate base-256.
+    let mut acc = Big::zero();
+    let b256 = Big::from_u64(256);
+    for &byte in bytes {
+        acc = acc.mul(&b256).add(&Big::from_u64(u64::from(byte)));
+    }
+    acc
+}
+
+fn arb_big() -> impl Strategy<Value = Big> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|v| big_from_bytes(&v))
+}
+
+fn arb_big_nonzero() -> impl Strategy<Value = Big> {
+    arb_big().prop_map(|b| if b.is_zero() { Big::one() } else { b })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in arb_big(), b in arb_big()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_big(), b in arb_big(), c in arb_big()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_big(), b in arb_big()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_big(), b in arb_big(), c in arb_big()) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_big(), b in arb_big()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn division_identity(a in arb_big(), d in arb_big_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+        prop_assert!(r < d);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in arb_big(), s in 0usize..100) {
+        let pow2 = Big::one().shl(s);
+        prop_assert_eq!(a.shl(s), a.mul(&pow2));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in arb_big(), s in 0usize..100) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_big()) {
+        prop_assert_eq!(Big::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_big()) {
+        prop_assert_eq!(Big::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..64, m in 2u64..100_000) {
+        let naive = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * u128::from(base) % u128::from(m);
+            }
+            acc as u64
+        };
+        let got = mod_pow(&Big::from_u64(base), &Big::from_u64(exp), &Big::from_u64(m));
+        prop_assert_eq!(got, Big::from_u64(naive));
+    }
+
+    #[test]
+    fn modpow_adds_exponents(a in arb_big_nonzero(), e1 in 0u64..500, e2 in 0u64..500) {
+        // Fixed odd modulus large enough to be interesting.
+        let m = Big::from_hex("ffffffffffffffffffffffc5").unwrap();
+        let lhs = mod_pow(&a, &Big::from_u64(e1 + e2), &m);
+        let rhs = mod_mul(
+            &mod_pow(&a, &Big::from_u64(e1), &m),
+            &mod_pow(&a, &Big::from_u64(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_property(a in 1u64..1_000_000) {
+        // p prime => every nonzero a has an inverse.
+        let p = Big::from_u64(1_000_000_007);
+        let a = Big::from_u64(a);
+        let inv = mod_inv(&a, &p).unwrap();
+        prop_assert_eq!(mod_mul(&a, &inv, &p), Big::one());
+    }
+}

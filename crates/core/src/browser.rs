@@ -1,0 +1,208 @@
+//! The add-on's browser model: history, cookies, and the sandbox
+//! (paper §3.1.2, §3.6.1).
+//!
+//! The sandbox is the mechanism that lets a peer fetch product pages on
+//! behalf of strangers without keeping any local trace: cookies set during
+//! the fetch are intercepted and deleted (whether set via HTTP headers or
+//! JavaScript — in this model, whatever the retailer's response carries),
+//! and the history/cache records of the fetched URL are removed. §3.6.1
+//! validated exactly this with beta testers and clean VMs; the
+//! [`SandboxReport`] type is this build's equivalent of that validation.
+
+use sheriff_kmeans::RawHistory;
+use sheriff_market::{Cookie, CookieJar};
+
+/// One user's browser state as the add-on sees it.
+#[derive(Clone, Debug, Default)]
+pub struct BrowserProfile {
+    /// Domain-level history (full URLs are never stored — §2.2 req. 3).
+    pub history: RawHistory,
+    /// Cookie jar (first- and third-party).
+    pub cookies: CookieJar,
+    /// Ordered log of visited URLs for cache-trace modelling; cleared per
+    /// sandboxed fetch.
+    url_trace: Vec<String>,
+}
+
+impl BrowserProfile {
+    /// Fresh profile (a clean VM).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a real user visit: history + trace.
+    pub fn visit(&mut self, domain: &str, url: &str) {
+        self.history.record(domain, 1);
+        self.url_trace.push(url.to_string());
+    }
+
+    /// The URL trace (models browser cache + history entries).
+    pub fn url_trace(&self) -> &[String] {
+        &self.url_trace
+    }
+
+    /// Applies response cookies from a normal (non-sandboxed) fetch.
+    pub fn apply_cookies(&mut self, set_cookies: &[(String, Cookie)]) {
+        for (domain, cookie) in set_cookies {
+            self.cookies.set(domain, cookie.clone());
+        }
+    }
+
+    /// Runs `fetch` inside a sandbox: the closure receives the jar to send
+    /// (the real one — PDI-PD detection requires exposing real state,
+    /// §3.6) and returns the response's set-cookies plus the fetched URL.
+    /// After the closure, every trace of the fetch is removed and a
+    /// [`SandboxReport`] proves it.
+    pub fn sandboxed_fetch<F>(&mut self, fetch: F) -> SandboxReport
+    where
+        F: FnOnce(&CookieJar) -> (Vec<(String, Cookie)>, String),
+    {
+        let jar_before = self.cookies.snapshot();
+        let trace_before = self.url_trace.len();
+        let history_total_before = self.history.total_visits();
+
+        let (set_cookies, fetched_url) = fetch(&self.cookies);
+
+        // Apply what the browser would have stored…
+        for (domain, cookie) in &set_cookies {
+            self.cookies.set(domain, cookie.clone());
+        }
+        self.url_trace.push(fetched_url.clone());
+
+        // …then clean it all (cookie interception + history/cache service).
+        let added = self.cookies.added_since(&jar_before);
+        self.cookies = jar_before.clone();
+        let trace_added = self.url_trace.len() > trace_before
+            && self.url_trace[trace_before..].contains(&fetched_url);
+        self.url_trace.truncate(trace_before);
+
+        SandboxReport {
+            cookies_intercepted: added.len(),
+            cookies_clean: self.cookies == jar_before,
+            history_clean: self.history.total_visits() == history_total_before,
+            // The fetch's trace entry must be gone; entries from the user's
+            // own earlier visits to the same URL legitimately remain.
+            trace_clean: self.url_trace.len() == trace_before && trace_added,
+        }
+    }
+}
+
+/// Post-fetch validation: the §3.6.1 beta-test checks as a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SandboxReport {
+    /// Cookies the fetch tried to install (all intercepted).
+    pub cookies_intercepted: usize,
+    /// Jar identical to the pre-fetch snapshot.
+    pub cookies_clean: bool,
+    /// History untouched.
+    pub history_clean: bool,
+    /// No URL trace (cache/history record) left behind.
+    pub trace_clean: bool,
+}
+
+impl SandboxReport {
+    /// True when no trace of the remote fetch remains.
+    pub fn is_clean(&self) -> bool {
+        self.cookies_clean && self.history_clean && self.trace_clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cookie(name: &str) -> Cookie {
+        Cookie {
+            name: name.into(),
+            value: "v".into(),
+            third_party: false,
+        }
+    }
+
+    #[test]
+    fn normal_visits_accumulate() {
+        let mut b = BrowserProfile::new();
+        b.visit("shop.com", "shop.com/p/1");
+        b.visit("shop.com", "shop.com/p/2");
+        b.visit("news.com", "news.com/");
+        assert_eq!(b.history.count("shop.com"), 2);
+        assert_eq!(b.url_trace().len(), 3);
+    }
+
+    #[test]
+    fn sandbox_removes_cookies_and_trace() {
+        let mut b = BrowserProfile::new();
+        b.visit("other.com", "other.com/");
+        b.apply_cookies(&[("other.com".into(), cookie("mine"))]);
+
+        let report = b.sandboxed_fetch(|_jar| {
+            (
+                vec![
+                    ("shop.com".into(), cookie("session")),
+                    ("tracker.example".into(), Cookie {
+                        name: "uid".into(),
+                        value: "1".into(),
+                        third_party: true,
+                    }),
+                ],
+                "shop.com/product/9".to_string(),
+            )
+        });
+
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.cookies_intercepted, 2);
+        assert!(b.cookies.get("shop.com").is_empty());
+        assert!(b.cookies.get("tracker.example").is_empty());
+        assert_eq!(b.cookies.value("other.com", "mine"), Some("v"));
+        assert!(!b.url_trace().iter().any(|u| u.contains("shop.com")));
+        assert_eq!(b.history.count("shop.com"), 0);
+    }
+
+    #[test]
+    fn sandbox_sends_real_state() {
+        let mut b = BrowserProfile::new();
+        b.apply_cookies(&[("shop.com".into(), cookie("loyal_customer"))]);
+        let mut sent = None;
+        let _ = b.sandboxed_fetch(|jar| {
+            sent = Some(jar.value("shop.com", "loyal_customer").map(str::to_string));
+            (vec![], "shop.com/p/1".to_string())
+        });
+        assert_eq!(sent.unwrap().as_deref(), Some("v"), "real state exposed to fetch");
+    }
+
+    #[test]
+    fn sandbox_preserves_preexisting_cookie_values() {
+        // The retailer overwrites an existing cookie during the fetch; the
+        // sandbox must restore the original value.
+        let mut b = BrowserProfile::new();
+        b.apply_cookies(&[("shop.com".into(), cookie("session"))]);
+        let report = b.sandboxed_fetch(|_| {
+            (
+                vec![("shop.com".into(), Cookie {
+                    name: "session".into(),
+                    value: "POLLUTED".into(),
+                    third_party: false,
+                })],
+                "shop.com/p/2".to_string(),
+            )
+        });
+        assert!(report.is_clean());
+        assert_eq!(b.cookies.value("shop.com", "session"), Some("v"));
+    }
+
+    #[test]
+    fn repeated_sandboxed_fetches_stay_clean() {
+        let mut b = BrowserProfile::new();
+        for i in 0..50 {
+            let report = b.sandboxed_fetch(|_| {
+                (
+                    vec![("shop.com".into(), cookie(&format!("c{i}")))],
+                    format!("shop.com/p/{i}"),
+                )
+            });
+            assert!(report.is_clean(), "iteration {i}");
+        }
+        assert!(b.cookies.is_empty());
+        assert!(b.url_trace().is_empty());
+    }
+}

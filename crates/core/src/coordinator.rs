@@ -1,0 +1,389 @@
+//! The Coordinator (paper §3.1.1, §3.4, Fig. 6/7).
+//!
+//! Pure state-machine logic, independent of transport: job-ID issuance,
+//! whitelist filtering, the least-pending-jobs request-distribution
+//! protocol over the Measurement-server list (an online heuristic for a
+//! job-shop variant, §3.4), heartbeat liveness, and the peer registry
+//! grouped by geolocation. The `system` module drives this over the
+//! discrete-event network; unit tests drive it directly.
+
+use std::collections::HashMap;
+
+use sheriff_geo::{IpV4, Location};
+
+use crate::whitelist::{Whitelist, WhitelistRejection};
+
+/// Globally unique price-check job identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Peer (PPC / browser add-on instance) identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u64);
+
+/// One row of the Measurement-server list (Fig. 6 bottom / Fig. 7 panel).
+#[derive(Clone, Debug)]
+pub struct ServerEntry {
+    /// Server address (URL or IP).
+    pub addr: String,
+    /// Port.
+    pub port: u16,
+    /// Marked online (heartbeats fresh)?
+    pub online: bool,
+    /// Pending jobs currently assigned.
+    pub pending_jobs: u32,
+    /// Last heartbeat timestamp (virtual ms).
+    pub last_heartbeat: u64,
+}
+
+/// A registered peer.
+#[derive(Clone, Debug)]
+pub struct PeerEntry {
+    /// Current IP.
+    pub ip: IpV4,
+    /// Geolocated position.
+    pub location: Location,
+    /// Still connected?
+    pub online: bool,
+}
+
+/// Why a price-check request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// Whitelist refused the URL.
+    Rejected(WhitelistRejection),
+    /// No Measurement server is online.
+    NoServerAvailable,
+}
+
+/// The Coordinator's state.
+#[derive(Debug)]
+pub struct Coordinator {
+    whitelist: Whitelist,
+    servers: Vec<ServerEntry>,
+    peers: HashMap<PeerId, PeerEntry>,
+    job_server: HashMap<JobId, usize>,
+    next_job: u64,
+    /// Heartbeat staleness threshold (ms) before a server goes offline.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Coordinator {
+    /// New Coordinator over a whitelist.
+    pub fn new(whitelist: Whitelist) -> Self {
+        Coordinator {
+            whitelist,
+            servers: Vec::new(),
+            peers: HashMap::new(),
+            job_server: HashMap::new(),
+            next_job: 1,
+            heartbeat_timeout_ms: 30_000,
+        }
+    }
+
+    /// Mutable whitelist access (manual curation).
+    pub fn whitelist_mut(&mut self) -> &mut Whitelist {
+        &mut self.whitelist
+    }
+
+    // ----- Measurement-server management (§3.4, §10.2.1) -----
+
+    /// Registers a Measurement server (the admin web-interface flow).
+    /// Returns its index in the server list.
+    pub fn register_server(&mut self, addr: &str, port: u16, now: u64) -> usize {
+        self.servers.push(ServerEntry {
+            addr: addr.to_string(),
+            port,
+            online: true,
+            pending_jobs: 0,
+            last_heartbeat: now,
+        });
+        self.servers.len() - 1
+    }
+
+    /// Detaches a server. Only allowed once it has no pending jobs
+    /// (§10.2.1); returns false otherwise.
+    pub fn remove_server(&mut self, index: usize) -> bool {
+        match self.servers.get_mut(index) {
+            Some(s) if s.pending_jobs == 0 => {
+                s.online = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a heartbeat from server `index`.
+    pub fn heartbeat(&mut self, index: usize, now: u64) {
+        if let Some(s) = self.servers.get_mut(index) {
+            s.last_heartbeat = now;
+            s.online = true;
+        }
+    }
+
+    /// Marks servers with stale heartbeats offline (§10.3).
+    pub fn expire_heartbeats(&mut self, now: u64) {
+        for s in &mut self.servers {
+            if s.online && now.saturating_sub(s.last_heartbeat) > self.heartbeat_timeout_ms {
+                s.online = false;
+            }
+        }
+    }
+
+    /// The server list (monitoring panel data, Fig. 7).
+    pub fn servers(&self) -> &[ServerEntry] {
+        &self.servers
+    }
+
+    /// Step 1–2 of the request-distribution protocol: whitelist the URL,
+    /// mint a job ID, pick the online server with the fewest pending jobs,
+    /// and charge it.
+    pub fn new_request(&mut self, url: &str, now: u64) -> Result<(JobId, usize), RequestError> {
+        self.expire_heartbeats(now);
+        let _domain = self
+            .whitelist
+            .check(url)
+            .map_err(RequestError::Rejected)?;
+        let chosen = self
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.online)
+            .min_by_key(|(_, s)| s.pending_jobs)
+            .map(|(i, _)| i)
+            .ok_or(RequestError::NoServerAvailable)?;
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        self.servers[chosen].pending_jobs += 1;
+        self.job_server.insert(job, chosen);
+        Ok((job, chosen))
+    }
+
+    /// Step 4: a Measurement server reports job completion; its counter
+    /// decreases. Unknown/duplicate job IDs are ignored (the network-issue
+    /// corrective case of §10.3 re-sends completions).
+    pub fn job_complete(&mut self, job: JobId) {
+        if let Some(server) = self.job_server.remove(&job) {
+            if let Some(s) = self.servers.get_mut(server) {
+                s.pending_jobs = s.pending_jobs.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Pending jobs on a server.
+    pub fn pending_jobs(&self, index: usize) -> u32 {
+        self.servers.get(index).map_or(0, |s| s.pending_jobs)
+    }
+
+    // ----- Peer registry (§3.2) -----
+
+    /// A browser with the add-on came online.
+    pub fn peer_online(&mut self, peer: PeerId, ip: IpV4, location: Location) {
+        self.peers.insert(
+            peer,
+            PeerEntry {
+                ip,
+                location,
+                online: true,
+            },
+        );
+    }
+
+    /// Peer disconnected.
+    pub fn peer_offline(&mut self, peer: PeerId) {
+        if let Some(p) = self.peers.get_mut(&peer) {
+            p.online = false;
+        }
+    }
+
+    /// Online peers in the same area as `location`, excluding the
+    /// initiator, capped at `max` (the ~3 PPCs per request of §6.1).
+    pub fn peers_near(&self, location: &Location, exclude: PeerId, max: usize) -> Vec<PeerId> {
+        let mut out: Vec<PeerId> = self
+            .peers
+            .iter()
+            .filter(|(&id, p)| id != exclude && p.online && p.location.same_area(location))
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable(); // determinism
+        out.truncate(max);
+        out
+    }
+
+    /// Number of online peers.
+    pub fn online_peers(&self) -> usize {
+        self.peers.values().filter(|p| p.online).count()
+    }
+
+    /// Registered peer info.
+    pub fn peer(&self, id: PeerId) -> Option<&PeerEntry> {
+        self.peers.get(&id)
+    }
+
+    /// Renders the Fig. 7 monitoring panel as text.
+    pub fn monitoring_panel(&self) -> String {
+        let mut out = String::from("Worker            Port  Status   Jobs\n");
+        for s in &self.servers {
+            out.push_str(&format!(
+                "{:<17} {:<5} {:<8} {}\n",
+                s.addr,
+                s.port,
+                if s.online { "online" } else { "offline" },
+                s.pending_jobs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
+
+    fn coordinator() -> Coordinator {
+        Coordinator::new(Whitelist::with_domains(["shop.com", "other.com"]))
+    }
+
+    fn loc(country: Country, city_idx: usize) -> (IpV4, Location) {
+        let mut alloc = IpAllocator::new();
+        let ip = alloc.allocate(country, city_idx);
+        let l = GeoLocator::new(Granularity::City).locate(ip).unwrap();
+        (ip, l)
+    }
+
+    #[test]
+    fn requests_balance_to_least_loaded() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        c.register_server("s1", 80, 0);
+        let (_, a) = c.new_request("shop.com/p/1", 1).unwrap();
+        let (_, b) = c.new_request("shop.com/p/2", 2).unwrap();
+        assert_ne!(a, b, "second request goes to the idle server");
+        // Load: 1 and 1; complete one job, the freed server gets the next.
+        let (job3, s3) = c.new_request("shop.com/p/3", 3).unwrap();
+        assert_eq!(c.pending_jobs(s3), 2);
+        c.job_complete(job3);
+        let (_, s4) = c.new_request("shop.com/p/4", 4).unwrap();
+        assert_eq!(s4, s3, "completion freed capacity");
+    }
+
+    #[test]
+    fn slow_server_accumulates_fewer_jobs() {
+        // "the response time of the system improves as 'slower' servers are
+        // assigned fewer requests" — completions free the fast server.
+        let mut c = coordinator();
+        let slow = c.register_server("slow", 80, 0);
+        let fast = c.register_server("fast", 80, 0);
+        let mut fast_jobs = 0;
+        for i in 0..20 {
+            let (job, s) = c.new_request("shop.com/p", i).unwrap();
+            if s == fast {
+                fast_jobs += 1;
+                c.job_complete(job); // fast server finishes immediately
+            }
+        }
+        assert!(fast_jobs >= 15, "fast server got only {fast_jobs}/20");
+        assert!(c.pending_jobs(slow) > 0);
+    }
+
+    #[test]
+    fn rejected_urls_do_not_mint_jobs() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        let err = c.new_request("evil.example/x", 0).unwrap_err();
+        assert!(matches!(err, RequestError::Rejected(_)));
+        let err = c.new_request("shop.com/account/me", 0).unwrap_err();
+        assert!(matches!(
+            err,
+            RequestError::Rejected(WhitelistRejection::PiiUrl)
+        ));
+        assert_eq!(c.pending_jobs(0), 0);
+    }
+
+    #[test]
+    fn no_online_server_is_an_error() {
+        let mut c = coordinator();
+        assert_eq!(
+            c.new_request("shop.com/p", 0).unwrap_err(),
+            RequestError::NoServerAvailable
+        );
+    }
+
+    #[test]
+    fn heartbeat_expiry_takes_servers_offline() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        c.register_server("s1", 80, 0);
+        c.heartbeat(1, 50_000);
+        // s0's last heartbeat is 0; at t=40k it is stale (>30s timeout).
+        let (_, s) = c.new_request("shop.com/p", 40_000).unwrap();
+        assert_eq!(s, 1, "stale server skipped");
+        assert!(!c.servers()[0].online);
+        // Heartbeat revives it.
+        c.heartbeat(0, 41_000);
+        assert!(c.servers()[0].online);
+    }
+
+    #[test]
+    fn server_removal_requires_drained_queue() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        let (job, _) = c.new_request("shop.com/p", 0).unwrap();
+        assert!(!c.remove_server(0), "pending job blocks removal");
+        c.job_complete(job);
+        assert!(c.remove_server(0));
+        assert!(!c.servers()[0].online);
+    }
+
+    #[test]
+    fn job_ids_unique_and_completion_idempotent() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        let (a, _) = c.new_request("shop.com/p", 0).unwrap();
+        let (b, _) = c.new_request("shop.com/p", 1).unwrap();
+        assert_ne!(a, b);
+        c.job_complete(a);
+        c.job_complete(a); // duplicate completion ignored
+        assert_eq!(c.pending_jobs(0), 1);
+    }
+
+    #[test]
+    fn peer_registry_matches_by_area() {
+        let mut c = coordinator();
+        let (ip1, l1) = loc(Country::ES, 0);
+        let (ip2, l2) = loc(Country::ES, 0);
+        let (ip3, l3) = loc(Country::ES, 1);
+        let (ip4, l4) = loc(Country::FR, 0);
+        c.peer_online(PeerId(1), ip1, l1.clone());
+        c.peer_online(PeerId(2), ip2, l2);
+        c.peer_online(PeerId(3), ip3, l3);
+        c.peer_online(PeerId(4), ip4, l4);
+        let near = c.peers_near(&l1, PeerId(1), 10);
+        assert_eq!(near, vec![PeerId(2)], "same city only, initiator excluded");
+        assert_eq!(c.online_peers(), 4);
+        c.peer_offline(PeerId(2));
+        assert!(c.peers_near(&l1, PeerId(1), 10).is_empty());
+    }
+
+    #[test]
+    fn peers_near_caps_at_max() {
+        let mut c = coordinator();
+        let (_, l) = loc(Country::ES, 0);
+        for i in 0..10 {
+            let (ip, pl) = loc(Country::ES, 0);
+            let _ = ip;
+            c.peer_online(PeerId(i), IpV4(i as u32), pl);
+        }
+        assert_eq!(c.peers_near(&l, PeerId(99), 3).len(), 3);
+    }
+
+    #[test]
+    fn monitoring_panel_renders() {
+        let mut c = coordinator();
+        c.register_server("192.168.1.11", 80, 0);
+        let panel = c.monitoring_panel();
+        assert!(panel.contains("192.168.1.11"));
+        assert!(panel.contains("online"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Database server (paper §3.1.1, §10.2.1) and its cost model.
+//!
+//! The v1 $heriff ran an RDBMS *inside* each Measurement server — the
+//! bottleneck Table 1 quantifies; v2 moved to a single dedicated server
+//! with tuned connection-thread pools and stored procedures. The storage
+//! itself here is an in-memory table; the [`DbCostModel`] prices each
+//! check's writes under concurrency so the `system` module can reproduce
+//! the old-vs-new response-time contrast.
+
+use crate::records::PriceCheck;
+
+/// Where the RDBMS runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbDeployment {
+    /// v1: integrated into the Measurement server — untuned, effectively
+    /// one connection, competing with the server's own CPU.
+    Integrated,
+    /// v2: dedicated host, tuned (connection threads kept in memory,
+    /// stored procedures, OS tweaks).
+    Dedicated,
+}
+
+/// Pricing of database work.
+#[derive(Clone, Copy, Debug)]
+pub struct DbCostModel {
+    /// Deployment flavor.
+    pub deployment: DbDeployment,
+    /// Base service time per row write, ms.
+    pub write_ms: f64,
+    /// Connection threads available.
+    pub connection_threads: u32,
+    /// Extra per-connection setup cost (v1 re-creates connections; v2
+    /// keeps them in memory), ms.
+    pub connection_setup_ms: f64,
+}
+
+impl DbCostModel {
+    /// The v1 integrated configuration.
+    pub fn integrated() -> Self {
+        DbCostModel {
+            deployment: DbDeployment::Integrated,
+            write_ms: 110.0,
+            connection_threads: 1,
+            connection_setup_ms: 220.0,
+        }
+    }
+
+    /// The v2 dedicated/tuned configuration.
+    pub fn dedicated() -> Self {
+        DbCostModel {
+            deployment: DbDeployment::Dedicated,
+            write_ms: 18.0,
+            connection_threads: 8,
+            connection_setup_ms: 0.0,
+        }
+    }
+
+    /// Milliseconds to persist a check of `rows` rows while `concurrent`
+    /// other connections are active: writes serialize once concurrency
+    /// exceeds the thread pool.
+    pub fn store_cost_ms(&self, rows: usize, concurrent: u32) -> u64 {
+        let queueing = f64::from(concurrent.max(1)).div_euclid(f64::from(self.connection_threads)).max(1.0);
+        let cost = self.connection_setup_ms + rows as f64 * self.write_ms * queueing;
+        cost.round() as u64
+    }
+}
+
+/// The in-memory database: every stored price check, queryable the way the
+/// analyses need.
+#[derive(Debug, Default)]
+pub struct Database {
+    checks: Vec<PriceCheck>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a completed check (the Fig. 1 step-4 write).
+    pub fn store(&mut self, check: PriceCheck) {
+        self.checks.push(check);
+    }
+
+    /// All checks.
+    pub fn checks(&self) -> &[PriceCheck] {
+        &self.checks
+    }
+
+    /// Checks against one domain.
+    pub fn checks_for_domain(&self, domain: &str) -> Vec<&PriceCheck> {
+        self.checks.iter().filter(|c| c.domain == domain).collect()
+    }
+
+    /// Distinct domains seen.
+    pub fn distinct_domains(&self) -> usize {
+        let mut domains: Vec<&str> = self.checks.iter().map(|c| c.domain.as_str()).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        domains.len()
+    }
+
+    /// Distinct (domain, url) products seen.
+    pub fn distinct_products(&self) -> usize {
+        let mut products: Vec<(&str, &str)> = self
+            .checks
+            .iter()
+            .map(|c| (c.domain.as_str(), c.url.as_str()))
+            .collect();
+        products.sort_unstable();
+        products.dedup();
+        products.len()
+    }
+
+    /// Total observation rows stored (the paper's "responses").
+    pub fn total_observations(&self) -> usize {
+        self.checks.iter().map(|c| c.observations.len()).sum()
+    }
+
+    /// Number of stored checks.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{PriceObservation, VantageKind};
+    use sheriff_geo::{Country, IpV4};
+
+    fn check(domain: &str, url: &str, n_obs: usize) -> PriceCheck {
+        PriceCheck {
+            job_id: 1,
+            domain: domain.into(),
+            url: url.into(),
+            day: 0,
+            observations: (0..n_obs)
+                .map(|i| PriceObservation {
+                    vantage: VantageKind::Ipc,
+                    vantage_id: i as u64,
+                    country: Country::ES,
+                    city: None,
+                    ip: IpV4(i as u32),
+                    raw_text: "EUR1".into(),
+                    currency: "EUR".into(),
+                    amount: 1.0,
+                    amount_eur: 1.0,
+                    low_confidence: false,
+                    failed: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn storage_and_queries() {
+        let mut db = Database::new();
+        db.store(check("a.com", "/p/1", 3));
+        db.store(check("a.com", "/p/2", 2));
+        db.store(check("b.com", "/p/1", 1));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.distinct_domains(), 2);
+        assert_eq!(db.distinct_products(), 3);
+        assert_eq!(db.total_observations(), 6);
+        assert_eq!(db.checks_for_domain("a.com").len(), 2);
+    }
+
+    #[test]
+    fn dedicated_is_much_cheaper_than_integrated() {
+        let v1 = DbCostModel::integrated();
+        let v2 = DbCostModel::dedicated();
+        let rows = 33;
+        assert!(
+            v1.store_cost_ms(rows, 1) > 3 * v2.store_cost_ms(rows, 1),
+            "v1={} v2={}",
+            v1.store_cost_ms(rows, 1),
+            v2.store_cost_ms(rows, 1)
+        );
+    }
+
+    #[test]
+    fn integrated_degrades_with_concurrency() {
+        let v1 = DbCostModel::integrated();
+        let at1 = v1.store_cost_ms(33, 1);
+        let at10 = v1.store_cost_ms(33, 10);
+        assert!(at10 >= 5 * at1 / 2, "at1={at1} at10={at10}");
+    }
+
+    #[test]
+    fn dedicated_absorbs_moderate_concurrency() {
+        let v2 = DbCostModel::dedicated();
+        let at1 = v2.store_cost_ms(33, 1);
+        let at8 = v2.store_cost_ms(33, 8);
+        assert_eq!(at1, at8, "within the thread pool no queueing occurs");
+    }
+}

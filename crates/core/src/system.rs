@@ -1,0 +1,1637 @@
+//! The whole Price $heriff as a distributed system over the discrete-event
+//! simulator (paper Fig. 1 / Fig. 3 / Fig. 6).
+//!
+//! Node roster: one Coordinator, one Aggregator, N Measurement servers, an
+//! optional dedicated Database server (v2) — v1 integrates the DB into the
+//! Measurement server, the bottleneck Table 1 quantifies — plus 30 IPCs and
+//! any number of PPC/add-on nodes. The synthetic web ([`World`]) sits
+//! behind an `Arc<Mutex<_>>`: fetch *timing* is simulated explicitly (the
+//! heavy-tailed proxy delays of §5), only content generation is immediate.
+//!
+//! The full §3.2 price-check protocol is implemented message-for-message:
+//!
+//! 1. the user highlights a price (StartCheck): the add-on fetches its own
+//!    page, builds the Tags Path (Fig. 4), and asks the Coordinator;
+//! 2. the Coordinator whitelists, mints a job ID, picks the least-loaded
+//!    Measurement server, and sends it the same-location PPC list
+//!    (step 1.1);
+//! 3. the add-on submits the job; the server fans out FetchOrders to all
+//!    IPCs and the listed PPCs (steps 2–3.2);
+//! 4. a PPC past its pollution budget asks the Aggregator for its
+//!    doppelganger token and redeems it (bearer-token) at the Coordinator
+//!    (steps 3.3–3.4);
+//! 5. the server extracts + converts every response, persists via the
+//!    Database, reports completion to the Coordinator, and streams the
+//!    result page back to the initiator (steps 4–5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use sheriff_currency::FixedRates;
+use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
+use sheriff_html::tagspath::TagsPath;
+use sheriff_market::{CookieJar, ProductId, UserAgent, World};
+use sheriff_netsim::{latency::sample_standard_normal, Ctx, Node, NodeId, SimTime, Simulator};
+
+use crate::latency::{GeoLatency, GeoLatencyConfig};
+
+use crate::browser::BrowserProfile;
+use crate::coordinator::{Coordinator, JobId, PeerId};
+use crate::db::{Database, DbCostModel};
+use crate::doppelganger::{AggregatorDirectory, DoppelgangerId, DoppelgangerStore};
+use crate::measurement::{process_response, JobPageStore, VantageMeta};
+use crate::pollution::{FetchMode, PollutionLedger};
+use crate::proxy::{IpcEngine, PpcEngine};
+use crate::records::{PriceCheck, PriceObservation, VantageKind};
+use crate::whitelist::Whitelist;
+
+/// Which architecture generation runs (Table 1's "Old" vs "New").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemVersion {
+    /// $heriff v1: single Measurement server with an integrated RDBMS.
+    V1,
+    /// Price $heriff: Coordinator load balancing, slim Measurement servers,
+    /// one dedicated Database server.
+    V2,
+}
+
+/// All system knobs. Timing defaults are calibrated so the Table 1 shape
+/// reproduces (see `sheriff-experiments`, `table1_performance`).
+#[derive(Clone, Debug)]
+pub struct SheriffConfig {
+    /// Architecture generation.
+    pub version: SystemVersion,
+    /// Measurement servers (v1 forces 1).
+    pub n_measurement_servers: usize,
+    /// IPC vantage points as (country, city index). The paper ran 30.
+    pub ipc_locations: Vec<(Country, usize)>,
+    /// PPCs asked per request (§6.1: "approximately 3").
+    pub ppc_per_request: usize,
+    /// Currency of the result page.
+    pub target_currency: String,
+    /// RNG seed for the simulation.
+    pub seed: u64,
+    /// Median IPC page-fetch time, ms (PlanetLab vantage).
+    pub ipc_fetch_median_ms: u64,
+    /// Lognormal sigma of fetch times.
+    pub fetch_sigma: f64,
+    /// Probability an IPC fetch lands on an overloaded node (§5).
+    pub ipc_overload_prob: f64,
+    /// Overloaded-node fetch time, ms.
+    pub ipc_overload_ms: u64,
+    /// The production kill bound per proxy request (2 minutes, §5).
+    pub fetch_kill_ms: u64,
+    /// Median PPC page-fetch time, ms (residential browser).
+    pub ppc_fetch_median_ms: u64,
+    /// Measurement-server CPU per response processed, ms.
+    pub proc_per_reply_ms: f64,
+    /// Context-switch degradation per concurrent job.
+    pub context_switch_alpha: f64,
+    /// Give-up deadline for a job's outstanding fetches, ms.
+    pub job_deadline_ms: u64,
+    /// Database cost model.
+    pub db_cost: DbCostModel,
+    /// Serve doppelganger state to over-budget PPCs.
+    pub enable_doppelgangers: bool,
+}
+
+impl SheriffConfig {
+    /// The v1 $heriff configuration (Table 1 "Old Version").
+    pub fn v1(seed: u64) -> Self {
+        SheriffConfig {
+            version: SystemVersion::V1,
+            n_measurement_servers: 1,
+            ipc_locations: default_ipc_locations(),
+            ppc_per_request: 3,
+            target_currency: "EUR".into(),
+            seed,
+            ipc_fetch_median_ms: 18_000,
+            fetch_sigma: 0.45,
+            ipc_overload_prob: 0.005,
+            ipc_overload_ms: 300_000,
+            fetch_kill_ms: 120_000,
+            ppc_fetch_median_ms: 2_500,
+            proc_per_reply_ms: 380.0,
+            context_switch_alpha: 0.15,
+            job_deadline_ms: 130_000,
+            db_cost: DbCostModel::integrated(),
+            enable_doppelgangers: false,
+        }
+    }
+
+    /// The v2 Price $heriff configuration (Table 1 "New Version").
+    pub fn v2(seed: u64, n_servers: usize) -> Self {
+        SheriffConfig {
+            version: SystemVersion::V2,
+            n_measurement_servers: n_servers.max(1),
+            ipc_locations: default_ipc_locations(),
+            ppc_per_request: 3,
+            target_currency: "EUR".into(),
+            seed,
+            ipc_fetch_median_ms: 18_000,
+            fetch_sigma: 0.45,
+            ipc_overload_prob: 0.005,
+            ipc_overload_ms: 300_000,
+            fetch_kill_ms: 120_000,
+            ppc_fetch_median_ms: 2_500,
+            proc_per_reply_ms: 60.0,
+            context_switch_alpha: 0.05,
+            job_deadline_ms: 130_000,
+            db_cost: DbCostModel::dedicated(),
+            enable_doppelgangers: true,
+        }
+    }
+
+    /// Fast-fetch variant for functional tests (timings shrunk 100×).
+    pub fn fast(seed: u64) -> Self {
+        let mut cfg = SheriffConfig::v2(seed, 2);
+        cfg.ipc_fetch_median_ms = 220;
+        cfg.ipc_overload_ms = 3_000;
+        cfg.fetch_kill_ms = 1_200;
+        cfg.ppc_fetch_median_ms = 25;
+        cfg.job_deadline_ms = 2_000;
+        cfg
+    }
+}
+
+/// The paper's 30 IPC deployment, spread over its measurement countries.
+pub fn default_ipc_locations() -> Vec<(Country, usize)> {
+    let mut out = vec![
+        (Country::ES, 0),
+        (Country::ES, 1),
+        (Country::ES, 2),
+        (Country::FR, 0),
+        (Country::DE, 0),
+        (Country::GB, 0),
+        (Country::US, 0),
+        (Country::US, 1),
+        (Country::US, 2),
+        (Country::CA, 0),
+        (Country::CA, 1),
+        (Country::JP, 0),
+        (Country::JP, 1),
+        (Country::KR, 0),
+        (Country::CZ, 0),
+        (Country::SE, 0),
+        (Country::IL, 0),
+        (Country::NZ, 0),
+        (Country::BR, 0),
+        (Country::AU, 0),
+        (Country::NL, 0),
+        (Country::BE, 0),
+        (Country::CH, 0),
+        (Country::IT, 0),
+        (Country::PT, 0),
+        (Country::IE, 0),
+        (Country::HK, 0),
+        (Country::SG, 0),
+        (Country::TH, 0),
+        (Country::PL, 0),
+    ];
+    debug_assert_eq!(out.len(), 30);
+    out.shrink_to_fit();
+    out
+}
+
+/// Simulation messages — the §3.2 protocol.
+#[derive(Debug)]
+pub enum Msg {
+    /// User highlighted a price (injected).
+    StartCheck {
+        /// Retailer domain.
+        domain: String,
+        /// Product to check.
+        product: ProductId,
+        /// Initiator-local request tag.
+        local_tag: u64,
+    },
+    /// Add-on → Coordinator (step 1).
+    CoordRequest {
+        /// Full product URL.
+        url: String,
+        /// Requesting peer.
+        peer: PeerId,
+        /// Echoed tag.
+        local_tag: u64,
+    },
+    /// Coordinator → add-on (step 2).
+    CoordAssign {
+        /// Minted job.
+        job: JobId,
+        /// Chosen Measurement server node.
+        server: NodeId,
+        /// Echoed tag.
+        local_tag: u64,
+    },
+    /// Coordinator → add-on: request refused.
+    CoordReject {
+        /// Echoed tag.
+        local_tag: u64,
+    },
+    /// Coordinator → Measurement server (step 1.1).
+    PpcList {
+        /// Job the list belongs to.
+        job: JobId,
+        /// Same-location peer nodes.
+        ppcs: Vec<NodeId>,
+    },
+    /// Add-on → Measurement server (step 3).
+    JobSubmit {
+        /// Job id.
+        job: JobId,
+        /// Retailer domain.
+        domain: String,
+        /// Product.
+        product: ProductId,
+        /// The Tags Path built at selection time.
+        tags_path: TagsPath,
+        /// The initiator's own page (DiffStorage base).
+        initiator_html: String,
+        /// The initiator's own observation.
+        initiator_obs: Box<PriceObservation>,
+    },
+    /// Measurement server → proxy (steps 3.1/3.2).
+    FetchOrder {
+        /// Job id.
+        job: JobId,
+        /// Retailer domain.
+        domain: String,
+        /// Product.
+        product: ProductId,
+        /// Per-vantage request sequence (drives per-request A/B arms).
+        seq: u64,
+    },
+    /// Proxy → Measurement server.
+    FetchReply {
+        /// Job id.
+        job: JobId,
+        /// Vantage metadata.
+        meta: VantageMeta,
+        /// Fetched HTML.
+        html: String,
+    },
+    /// PPC → Aggregator (step 3.3).
+    DoppIdRequest {
+        /// Job the fetch belongs to.
+        job: JobId,
+        /// Requesting peer.
+        peer: u64,
+    },
+    /// Aggregator → PPC.
+    DoppIdReply {
+        /// Job echo.
+        job: JobId,
+        /// The bearer token, if the peer is clustered.
+        token: Option<DoppelgangerId>,
+    },
+    /// PPC → Coordinator (step 3.4, anonymized in deployment).
+    DoppStateRequest {
+        /// Job echo.
+        job: JobId,
+        /// Bearer token.
+        token: DoppelgangerId,
+        /// Domain the fetch targets (budget accounting).
+        domain: String,
+    },
+    /// Coordinator → PPC.
+    DoppStateReply {
+        /// Job echo.
+        job: JobId,
+        /// Client-side state, if the token was valid.
+        state: Option<CookieJar>,
+    },
+    /// Coordinator → Aggregator: a token rotated after regeneration.
+    TokenRotated {
+        /// Old token.
+        old: DoppelgangerId,
+        /// New token.
+        new: DoppelgangerId,
+    },
+    /// Measurement server → Database server (step 4, v2 only).
+    StoreCheck {
+        /// Job id.
+        job: JobId,
+        /// The assembled check.
+        check: Box<PriceCheck>,
+    },
+    /// Database server → Measurement server.
+    DbAck {
+        /// Job id.
+        job: JobId,
+    },
+    /// Measurement server → Coordinator (Fig. 6 step 4).
+    JobComplete {
+        /// Finished job.
+        job: JobId,
+    },
+    /// Measurement server → add-on (step 5).
+    Results {
+        /// Job id.
+        job: JobId,
+        /// The full result set (the Fig. 2 page's data).
+        check: Box<PriceCheck>,
+    },
+    /// Measurement server → Coordinator liveness.
+    Heartbeat {
+        /// Index in the Coordinator's server list.
+        server_index: usize,
+    },
+}
+
+const TIMER_DEADLINE: u64 = 0;
+const TIMER_PROC_DONE: u64 = 1;
+const TIMER_DB_DONE: u64 = 2;
+const TIMER_HEARTBEAT: u64 = 3;
+
+fn job_timer(job: JobId, kind: u64) -> u64 {
+    job.0 * 8 + kind
+}
+
+fn timer_kind(token: u64) -> (JobId, u64) {
+    (JobId(token / 8), token % 8)
+}
+
+fn day_of(now: SimTime) -> u32 {
+    (now.as_millis() / 86_400_000) as u32
+}
+
+fn quarter_of(now: SimTime) -> u8 {
+    ((now.as_millis() % 86_400_000) / 21_600_000) as u8
+}
+
+/// Lognormal sample around `median_ms`, clipped at `kill_ms`.
+fn fetch_delay<R: Rng + ?Sized>(
+    rng: &mut R,
+    median_ms: u64,
+    sigma: f64,
+    overload_prob: f64,
+    overload_ms: u64,
+    kill_ms: u64,
+) -> SimTime {
+    let raw = if rng.gen::<f64>() < overload_prob {
+        overload_ms
+    } else {
+        let mut srng = rand::rngs::StdRng::seed_from_u64(rng.gen());
+        let z = sample_standard_normal(&mut srng);
+        (median_ms as f64 * (sigma * z).exp()).round() as u64
+    };
+    SimTime::from_millis(raw.min(kill_ms))
+}
+
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Coordinator node
+// ---------------------------------------------------------------------
+
+struct CoordinatorNode {
+    coordinator: Coordinator,
+    dopp_store: DoppelgangerStore,
+    universe: Vec<String>,
+    /// Coordinator server-list index → Measurement node.
+    server_nodes: Vec<NodeId>,
+    /// Peer id → add-on node (transport directory).
+    peer_nodes: HashMap<u64, NodeId>,
+    /// Peer id registry data for the PPC list.
+    aggregator: NodeId,
+    ppc_per_request: usize,
+}
+
+impl Node<Msg> for CoordinatorNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::CoordRequest {
+                url,
+                peer,
+                local_tag,
+            } => match self.coordinator.new_request(&url, ctx.now.as_millis()) {
+                Ok((job, server_idx)) => {
+                    let server = self.server_nodes[server_idx];
+                    // Step 1.1: PPC list for the initiator's location. The
+                    // deployment got whichever same-location peers happened
+                    // to be online — sample rather than always picking the
+                    // same three.
+                    let ppcs: Vec<NodeId> = match self.coordinator.peer(peer) {
+                        Some(entry) => {
+                            let loc = entry.location.clone();
+                            let mut candidates: Vec<NodeId> = self
+                                .coordinator
+                                .peers_near(&loc, peer, usize::MAX)
+                                .into_iter()
+                                .filter_map(|p| self.peer_nodes.get(&p.0).copied())
+                                .collect();
+                            // Partial Fisher-Yates for the first k slots.
+                            let k = self.ppc_per_request.min(candidates.len());
+                            for i in 0..k {
+                                let j = ctx.rng().gen_range(i..candidates.len());
+                                candidates.swap(i, j);
+                            }
+                            candidates.truncate(k);
+                            candidates
+                        }
+                        None => Vec::new(),
+                    };
+                    ctx.send(server, Msg::PpcList { job, ppcs });
+                    ctx.send(
+                        from,
+                        Msg::CoordAssign {
+                            job,
+                            server,
+                            local_tag,
+                        },
+                    );
+                }
+                Err(_) => ctx.send(from, Msg::CoordReject { local_tag }),
+            },
+            Msg::JobComplete { job } => self.coordinator.job_complete(job),
+            Msg::Heartbeat { server_index } => {
+                self.coordinator.heartbeat(server_index, ctx.now.as_millis());
+            }
+            Msg::DoppStateRequest { job, token, domain } => {
+                let rng_seed: u64 = ctx.rng().gen();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+                let state = self
+                    .dopp_store
+                    .serve(&token, &domain, &self.universe, &mut rng)
+                    .and_then(|(new_token, _mode)| {
+                        if new_token != token {
+                            ctx.send(
+                                self.aggregator,
+                                Msg::TokenRotated {
+                                    old: token,
+                                    new: new_token,
+                                },
+                            );
+                        }
+                        self.dopp_store.client_state(&new_token).cloned()
+                    });
+                ctx.send(from, Msg::DoppStateReply { job, state });
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregator node
+// ---------------------------------------------------------------------
+
+struct AggregatorNode {
+    directory: AggregatorDirectory,
+    tokens: Vec<DoppelgangerId>,
+}
+
+impl Node<Msg> for AggregatorNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::DoppIdRequest { job, peer } => {
+                let token = self.directory.token_for(peer);
+                ctx.send(from, Msg::DoppIdReply { job, token });
+            }
+            Msg::TokenRotated { old, new } => {
+                if let Some(pos) = self.tokens.iter().position(|t| *t == old) {
+                    self.tokens[pos] = new;
+                    self.directory.update_token(pos, new);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement server node
+// ---------------------------------------------------------------------
+
+struct JobState {
+    domain: String,
+    product: ProductId,
+    tags_path: TagsPath,
+    page_store: JobPageStore,
+    observations: Vec<PriceObservation>,
+    initiator: NodeId,
+    expected: usize,
+    received: usize,
+    day: u32,
+    fanned_out: bool,
+    ppcs: Option<Vec<NodeId>>,
+    submit: Option<Box<SubmitData>>,
+    assembled: bool,
+}
+
+struct SubmitData {
+    tags_path: TagsPath,
+    initiator_html: String,
+    initiator_obs: PriceObservation,
+    domain: String,
+    product: ProductId,
+    initiator: NodeId,
+}
+
+struct MeasurementNode {
+    index: usize,
+    coordinator: NodeId,
+    db: Option<NodeId>,
+    ipcs: Vec<NodeId>,
+    jobs: HashMap<JobId, JobState>,
+    rates: FixedRates,
+    target_currency: String,
+    proc_per_reply_ms: f64,
+    context_switch_alpha: f64,
+    job_deadline_ms: u64,
+    db_cost: DbCostModel,
+    integrated_db: bool,
+    database: Database, // v1 integrated storage (v2 keeps it on DbNode)
+    cpu_free_at: SimTime,
+    heartbeat_every: SimTime,
+}
+
+impl MeasurementNode {
+    fn active_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| !j.assembled).count()
+    }
+
+    fn try_fan_out(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if state.fanned_out || state.submit.is_none() || state.ppcs.is_none() {
+            return;
+        }
+        let submit = state.submit.take().expect("checked");
+        let ppcs = state.ppcs.clone().expect("checked");
+
+        state.domain = submit.domain.clone();
+        state.product = submit.product;
+        state.tags_path = submit.tags_path.clone();
+        state.page_store = JobPageStore::new(&submit.initiator_html);
+        state.observations.push(submit.initiator_obs);
+        state.initiator = submit.initiator;
+        state.fanned_out = true;
+        state.expected = self.ipcs.len() + ppcs.len();
+
+        let mut seq = job.0 * 100;
+        for &ipc in &self.ipcs {
+            seq += 1;
+            ctx.send(
+                ipc,
+                Msg::FetchOrder {
+                    job,
+                    domain: submit.domain.clone(),
+                    product: submit.product,
+                    seq,
+                },
+            );
+        }
+        for &ppc in &ppcs {
+            seq += 1;
+            ctx.send(
+                ppc,
+                Msg::FetchOrder {
+                    job,
+                    domain: submit.domain.clone(),
+                    product: submit.product,
+                    seq,
+                },
+            );
+        }
+        ctx.set_timer(
+            SimTime::from_millis(self.job_deadline_ms),
+            job_timer(job, TIMER_DEADLINE),
+        );
+    }
+
+    /// All replies in (or deadline): charge CPU for extraction and schedule
+    /// the proc-done timer on the shared-CPU queue.
+    fn begin_assembly(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
+        let active = self.active_jobs();
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if state.assembled {
+            return;
+        }
+        state.assembled = true;
+        let cs_factor = 1.0 + self.context_switch_alpha * (active.saturating_sub(1)) as f64;
+        let mut proc_ms =
+            self.proc_per_reply_ms * (state.received + 1) as f64 * cs_factor;
+        if self.integrated_db {
+            // v1: the RDBMS shares the CPU — its cost rides the same queue.
+            proc_ms += self.db_cost.store_cost_ms(
+                state.observations.len().max(state.received + 1),
+                active as u32,
+            ) as f64;
+        }
+        let start = self.cpu_free_at.max(ctx.now);
+        let done = start.plus(SimTime::from_millis(proc_ms.round() as u64));
+        self.cpu_free_at = done;
+        ctx.set_timer(done.since(ctx.now), job_timer(job, TIMER_PROC_DONE));
+    }
+
+    fn finish_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
+        let Some(state) = self.jobs.remove(&job) else {
+            return;
+        };
+        let check = PriceCheck {
+            job_id: job.0,
+            domain: state.domain.clone(),
+            url: format!("{}/product/{}", state.domain, state.product.0),
+            day: state.day,
+            observations: state.observations,
+        };
+        if self.integrated_db {
+            self.database.store(check.clone());
+        }
+        ctx.send(self.coordinator, Msg::JobComplete { job });
+        ctx.send(
+            state.initiator,
+            Msg::Results {
+                job,
+                check: Box::new(check),
+            },
+        );
+    }
+}
+
+impl Node<Msg> for MeasurementNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::PpcList { job, ppcs } => {
+                let state = self.jobs.entry(job).or_insert_with(|| JobState {
+                    domain: String::new(),
+                    product: ProductId(0),
+                    tags_path: TagsPath { steps: vec![] },
+                    page_store: JobPageStore::new(""),
+                    observations: Vec::new(),
+                    initiator: from,
+                    expected: usize::MAX,
+                    received: 0,
+                    day: day_of(ctx.now),
+                    fanned_out: false,
+                    ppcs: None,
+                    submit: None,
+                    assembled: false,
+                });
+                state.ppcs = Some(ppcs);
+                self.try_fan_out(ctx, job);
+            }
+            Msg::JobSubmit {
+                job,
+                domain,
+                product,
+                tags_path,
+                initiator_html,
+                initiator_obs,
+            } => {
+                let state = self.jobs.entry(job).or_insert_with(|| JobState {
+                    domain: String::new(),
+                    product: ProductId(0),
+                    tags_path: TagsPath { steps: vec![] },
+                    page_store: JobPageStore::new(""),
+                    observations: Vec::new(),
+                    initiator: from,
+                    expected: usize::MAX,
+                    received: 0,
+                    day: day_of(ctx.now),
+                    fanned_out: false,
+                    ppcs: None,
+                    submit: None,
+                    assembled: false,
+                });
+                state.submit = Some(Box::new(SubmitData {
+                    tags_path,
+                    initiator_html,
+                    initiator_obs: *initiator_obs,
+                    domain,
+                    product,
+                    initiator: from,
+                }));
+                self.try_fan_out(ctx, job);
+            }
+            Msg::FetchReply { job, meta, html } => {
+                let target = self.target_currency.clone();
+                let rates = self.rates.clone();
+                let Some(state) = self.jobs.get_mut(&job) else {
+                    return; // late reply after deadline assembly
+                };
+                if state.assembled {
+                    return;
+                }
+                let obs = process_response(&html, &state.tags_path, &meta, &target, &rates);
+                state.page_store.store_response(&html);
+                state.observations.push(obs);
+                state.received += 1;
+                if state.received >= state.expected {
+                    self.begin_assembly(ctx, job);
+                }
+            }
+            Msg::DbAck { job } => self.finish_job(ctx, job),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if token == TIMER_HEARTBEAT {
+            ctx.send(
+                self.coordinator,
+                Msg::Heartbeat {
+                    server_index: self.index,
+                },
+            );
+            ctx.set_timer(self.heartbeat_every, TIMER_HEARTBEAT);
+            return;
+        }
+        let (job, kind) = timer_kind(token);
+        match kind {
+            TIMER_DEADLINE
+                // Assemble with whatever arrived (§10.3's corrective path).
+                if self.jobs.get(&job).is_some_and(|s| !s.assembled) => {
+                    self.begin_assembly(ctx, job);
+                }
+            TIMER_PROC_DONE => {
+                if self.integrated_db {
+                    // DB cost already charged on the CPU queue.
+                    self.finish_job(ctx, job);
+                } else if let Some(db) = self.db {
+                    if let Some(state) = self.jobs.get(&job) {
+                        let check = PriceCheck {
+                            job_id: job.0,
+                            domain: state.domain.clone(),
+                            url: format!("{}/product/{}", state.domain, state.product.0),
+                            day: state.day,
+                            observations: state.observations.clone(),
+                        };
+                        ctx.send(
+                            db,
+                            Msg::StoreCheck {
+                                job,
+                                check: Box::new(check),
+                            },
+                        );
+                    }
+                }
+            }
+            TIMER_DB_DONE => self.finish_job(ctx, job),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Database server node (v2)
+// ---------------------------------------------------------------------
+
+struct DbNode {
+    database: Database,
+    cost: DbCostModel,
+    active: u32,
+    pending: HashMap<JobId, NodeId>,
+}
+
+impl Node<Msg> for DbNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::StoreCheck { job, check } = msg {
+            self.active += 1;
+            let cost = self.cost.store_cost_ms(check.observations.len(), self.active);
+            self.database.store(*check);
+            self.pending.insert(job, from);
+            ctx.set_timer(SimTime::from_millis(cost), job.0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let job = JobId(token);
+        self.active = self.active.saturating_sub(1);
+        if let Some(requester) = self.pending.remove(&job) {
+            ctx.send(requester, Msg::DbAck { job });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// IPC node
+// ---------------------------------------------------------------------
+
+struct IpcNode {
+    engine: IpcEngine,
+    world: Arc<Mutex<World>>,
+    fetch_median_ms: u64,
+    fetch_sigma: f64,
+    overload_prob: f64,
+    overload_ms: u64,
+    kill_ms: u64,
+    city: Option<String>,
+}
+
+impl Node<Msg> for IpcNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::FetchOrder {
+            job,
+            domain,
+            product,
+            seq,
+        } = msg
+        {
+            let day = day_of(ctx.now);
+            let quarter = quarter_of(ctx.now);
+            let fetched = {
+                let mut world = self.world.lock();
+                self.engine.fetch(
+                    &mut world,
+                    &domain,
+                    product,
+                    day,
+                    quarter,
+                    ctx.now.as_millis(),
+                    seq,
+                )
+            };
+            let Some(fetch) = fetched else {
+                return;
+            };
+            let meta = VantageMeta {
+                kind: VantageKind::Ipc,
+                id: self.engine.id,
+                country: self.engine.country,
+                city: self.city.clone(),
+                ip: self.engine.ip,
+            };
+            let delay = fetch_delay(
+                ctx.rng(),
+                self.fetch_median_ms,
+                self.fetch_sigma,
+                self.overload_prob,
+                self.overload_ms,
+                self.kill_ms,
+            );
+            ctx.send_after(
+                delay,
+                from,
+                Msg::FetchReply {
+                    job,
+                    meta,
+                    html: fetch.html,
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PPC / add-on node
+// ---------------------------------------------------------------------
+
+/// A completed price check as recorded by the initiating add-on.
+#[derive(Clone, Debug)]
+pub struct CompletedCheck {
+    /// The result set.
+    pub check: PriceCheck,
+    /// When the user clicked.
+    pub submitted: SimTime,
+    /// When the result page finished.
+    pub completed: SimTime,
+}
+
+struct PendingFetch {
+    reply_to: NodeId,
+    domain: String,
+    product: ProductId,
+    seq: u64,
+}
+
+struct AddonNode {
+    engine: PpcEngine,
+    world: Arc<Mutex<World>>,
+    coordinator: NodeId,
+    aggregator: NodeId,
+    city: Option<String>,
+    target_currency: String,
+    fetch_median_ms: u64,
+    fetch_sigma: f64,
+    kill_ms: u64,
+    doppelgangers_enabled: bool,
+    /// Own requests in flight: local_tag → (domain, product, submitted).
+    own_pending: HashMap<u64, (String, ProductId, SimTime)>,
+    /// Jobs assigned: job → local_tag (to find submit data).
+    job_tags: HashMap<JobId, u64>,
+    /// Remote fetches waiting on doppelganger state.
+    dopp_pending: HashMap<JobId, PendingFetch>,
+    /// Completed own checks.
+    completed: Vec<CompletedCheck>,
+    /// Sandbox failures observed while serving (must stay 0).
+    sandbox_violations: usize,
+}
+
+impl AddonNode {
+    #[allow(clippy::too_many_arguments)] // mirrors the FetchOrder message
+    fn serve_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        job: JobId,
+        reply_to: NodeId,
+        domain: &str,
+        product: ProductId,
+        seq: u64,
+        dopp_state: Option<&CookieJar>,
+    ) {
+        let day = day_of(ctx.now);
+        let quarter = quarter_of(ctx.now);
+        let fetched = {
+            let mut world = self.world.lock();
+            self.engine.remote_fetch(
+                &mut world,
+                domain,
+                product,
+                day,
+                quarter,
+                ctx.now.as_millis(),
+                seq,
+                dopp_state,
+            )
+        };
+        let Some(fetch) = fetched else {
+            return;
+        };
+        if fetch.sandbox.is_some_and(|r| !r.is_clean()) {
+            self.sandbox_violations += 1;
+        }
+        let meta = VantageMeta {
+            kind: VantageKind::Ppc,
+            id: self.engine.peer_id,
+            country: self.engine.country,
+            city: self.city.clone(),
+            ip: self.engine.ip,
+        };
+        let delay = fetch_delay(
+            ctx.rng(),
+            self.fetch_median_ms,
+            self.fetch_sigma,
+            0.0,
+            0,
+            self.kill_ms,
+        );
+        ctx.send_after(
+            delay,
+            reply_to,
+            Msg::FetchReply {
+                job,
+                meta,
+                html: fetch.html,
+            },
+        );
+    }
+}
+
+impl Node<Msg> for AddonNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::StartCheck {
+                domain,
+                product,
+                local_tag,
+            } => {
+                self.own_pending
+                    .insert(local_tag, (domain.clone(), product, ctx.now));
+                let url = format!("{domain}/product/{}", product.0);
+                ctx.send(
+                    self.coordinator,
+                    Msg::CoordRequest {
+                        url,
+                        peer: PeerId(self.engine.peer_id),
+                        local_tag,
+                    },
+                );
+            }
+            Msg::CoordAssign {
+                job,
+                server,
+                local_tag,
+            } => {
+                // Any failure to produce a selection (CAPTCHA on the
+                // initiator's own fetch, vanished product page) must
+                // release the job at the Coordinator, or its pending
+                // counter would leak (§10.3's corrective concern).
+                let abort = |ctx: &mut Ctx<'_, Msg>, me: &mut Self| {
+                    me.own_pending.remove(&local_tag);
+                    me.job_tags.remove(&job);
+                    ctx.send(me.coordinator, Msg::JobComplete { job });
+                };
+                let Some((domain, product, _)) = self.own_pending.get(&local_tag).cloned() else {
+                    ctx.send(self.coordinator, Msg::JobComplete { job });
+                    return;
+                };
+                self.job_tags.insert(job, local_tag);
+                // The user is on the page: fetch it as a real visit, select
+                // the price, build the Tags Path (Fig. 4).
+                let day = day_of(ctx.now);
+                let quarter = quarter_of(ctx.now);
+                let (html, selection_el) = {
+                    let mut world = self.world.lock();
+                    let Some(html) = self.engine.initiator_fetch(
+                        &mut world,
+                        &domain,
+                        product,
+                        day,
+                        quarter,
+                        ctx.now.as_millis(),
+                        job.0 * 100,
+                    ) else {
+                        drop(world);
+                        abort(ctx, self);
+                        return;
+                    };
+                    let template = world
+                        .retailer(&domain)
+                        .map(|r| r.template)
+                        .unwrap_or(0);
+                    (html, sheriff_market::page::price_markup(template))
+                };
+                let doc = sheriff_html::Document::parse(&html);
+                let Some(el) = doc.find_by_class(selection_el.0, selection_el.1) else {
+                    abort(ctx, self);
+                    return;
+                };
+                let Some(tags_path) = TagsPath::from_node(&doc, el) else {
+                    abort(ctx, self);
+                    return;
+                };
+                let meta = VantageMeta {
+                    kind: VantageKind::Initiator,
+                    id: self.engine.peer_id,
+                    country: self.engine.country,
+                    city: self.city.clone(),
+                    ip: self.engine.ip,
+                };
+                let rates = self.world.lock().rates.clone();
+                let obs =
+                    process_response(&html, &tags_path, &meta, &self.target_currency, &rates);
+                ctx.send(
+                    server,
+                    Msg::JobSubmit {
+                        job,
+                        domain,
+                        product,
+                        tags_path,
+                        initiator_html: html,
+                        initiator_obs: Box::new(obs),
+                    },
+                );
+            }
+            Msg::CoordReject { local_tag } => {
+                self.own_pending.remove(&local_tag);
+            }
+            Msg::FetchOrder {
+                job,
+                domain,
+                product,
+                seq,
+            } => {
+                let needs_dopp = self.doppelgangers_enabled
+                    && self.engine.peek_mode(&domain) == FetchMode::Doppelganger;
+                if needs_dopp {
+                    self.dopp_pending.insert(
+                        job,
+                        PendingFetch {
+                            reply_to: from,
+                            domain: domain.clone(),
+                            product,
+                            seq,
+                        },
+                    );
+                    ctx.send(
+                        self.aggregator,
+                        Msg::DoppIdRequest {
+                            job,
+                            peer: self.engine.peer_id,
+                        },
+                    );
+                } else {
+                    self.serve_fetch(ctx, job, from, &domain, product, seq, None);
+                }
+            }
+            Msg::DoppIdReply { job, token } => match (token, self.dopp_pending.get(&job)) {
+                (Some(token), Some(p)) => {
+                    let domain = p.domain.clone();
+                    ctx.send(
+                        self.coordinator,
+                        Msg::DoppStateRequest { job, token, domain },
+                    );
+                }
+                (None, Some(_)) => {
+                    // Unclustered peer: fall back to a clean sandboxed fetch.
+                    if let Some(p) = self.dopp_pending.remove(&job) {
+                        self.serve_fetch(
+                            ctx, job, p.reply_to, &p.domain.clone(), p.product, p.seq, None,
+                        );
+                    }
+                }
+                _ => {}
+            },
+            Msg::DoppStateReply { job, state } => {
+                if let Some(p) = self.dopp_pending.remove(&job) {
+                    self.serve_fetch(
+                        ctx,
+                        job,
+                        p.reply_to,
+                        &p.domain.clone(),
+                        p.product,
+                        p.seq,
+                        state.as_ref(),
+                    );
+                }
+            }
+            Msg::Results { job, check } => {
+                if let Some(tag) = self.job_tags.remove(&job) {
+                    if let Some((_, _, submitted)) = self.own_pending.remove(&tag) {
+                        self.completed.push(CompletedCheck {
+                            check: *check,
+                            submitted,
+                            completed: ctx.now,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------
+
+/// Specification of one peer joining the system.
+#[derive(Clone, Debug)]
+pub struct PpcSpec {
+    /// Stable peer id.
+    pub peer_id: u64,
+    /// Country of residence.
+    pub country: Country,
+    /// City index within the country.
+    pub city_idx: usize,
+    /// Browser platform.
+    pub user_agent: UserAgent,
+    /// Affluence score ∈ \[0,1\] (drives tracker profiles).
+    pub affluence: f64,
+    /// Domains where the user stays signed in.
+    pub logged_in_domains: Vec<String>,
+}
+
+/// The assembled system.
+///
+/// ```
+/// use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+/// use sheriff_geo::Country;
+/// use sheriff_market::pricing::{Browser, Os};
+/// use sheriff_market::world::WorldConfig;
+/// use sheriff_market::{ProductId, UserAgent, World};
+/// use sheriff_netsim::SimTime;
+///
+/// let world = World::build(&WorldConfig::small(), 1);
+/// let peers = vec![PpcSpec {
+///     peer_id: 100,
+///     country: Country::ES,
+///     city_idx: 0,
+///     user_agent: UserAgent { os: Os::Linux, browser: Browser::Firefox },
+///     affluence: 0.2,
+///     logged_in_domains: vec![],
+/// }];
+/// let mut sheriff = PriceSheriff::new(SheriffConfig::fast(1), world, &peers);
+/// sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(0));
+/// sheriff.run_until(SimTime::from_mins(2));
+///
+/// let done = sheriff.completed();
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].check.has_difference(0.05), "steam discriminates by country");
+/// assert_eq!(sheriff.sandbox_violations(), 0);
+/// ```
+pub struct PriceSheriff {
+    /// The underlying simulator (exposed for custom drivers).
+    pub sim: Simulator<Msg>,
+    coordinator: NodeId,
+    aggregator: NodeId,
+    ppc_nodes: HashMap<u64, NodeId>,
+    world: Arc<Mutex<World>>,
+    next_tag: u64,
+    cfg: SheriffConfig,
+}
+
+impl PriceSheriff {
+    /// Builds the full system over `world` with the given peers. Every
+    /// world domain is whitelisted (the deployment's manual curation).
+    pub fn new(cfg: SheriffConfig, world: World, ppcs: &[PpcSpec]) -> Self {
+        let whitelist = Whitelist::with_domains(world.domains().map(str::to_string));
+        let world = Arc::new(Mutex::new(world));
+        let rates = world.lock().rates.clone();
+        let mut alloc = IpAllocator::new();
+        let locator = GeoLocator::new(Granularity::City);
+
+        // Reserve node 0 and 1 for coordinator and aggregator by adding
+        // them first with placeholder wiring filled in afterwards — instead
+        // we add them after computing all IDs. NodeIds are sequential, so
+        // precompute the layout: [coordinator, aggregator, db?, servers…,
+        // ipcs…, ppcs…].
+        let n_servers = if cfg.version == SystemVersion::V1 {
+            1
+        } else {
+            cfg.n_measurement_servers
+        };
+        let has_db = cfg.version == SystemVersion::V2;
+        let coordinator_id = NodeId(0);
+        let aggregator_id = NodeId(1);
+        let db_id = if has_db { Some(NodeId(2)) } else { None };
+        let first_server = 2 + usize::from(has_db);
+        let server_ids: Vec<NodeId> = (0..n_servers).map(|i| NodeId(first_server + i)).collect();
+        let first_ipc = first_server + n_servers;
+        let ipc_ids: Vec<NodeId> = (0..cfg.ipc_locations.len())
+            .map(|i| NodeId(first_ipc + i))
+            .collect();
+        let first_ppc = first_ipc + cfg.ipc_locations.len();
+
+        // Geography-aware message latency: infrastructure (coordinator,
+        // aggregator, DB, measurement servers) is "in the cloud"; IPCs and
+        // PPCs sit in their countries.
+        let mut node_countries: Vec<Option<Country>> = vec![None; first_ipc];
+        node_countries.extend(cfg.ipc_locations.iter().map(|&(c, _)| Some(c)));
+        node_countries.extend(ppcs.iter().map(|s| Some(s.country)));
+        let latency = GeoLatency::new(GeoLatencyConfig::default(), node_countries);
+        let mut sim: Simulator<Msg> = Simulator::new(Box::new(latency), cfg.seed);
+
+        // Coordinator state.
+        let mut coordinator = Coordinator::new(whitelist);
+        for (i, &sid) in server_ids.iter().enumerate() {
+            let _ = sid;
+            coordinator.register_server(&format!("ms-{i}"), 80, 0);
+        }
+        let mut peer_nodes = HashMap::new();
+        let mut ppc_specs_with_ip = Vec::new();
+        for (i, spec) in ppcs.iter().enumerate() {
+            let ip = alloc.allocate(spec.country, spec.city_idx);
+            let node = NodeId(first_ppc + i);
+            peer_nodes.insert(spec.peer_id, node);
+            let location = locator
+                .locate(ip)
+                .expect("allocated IPs always geolocate");
+            coordinator.peer_online(PeerId(spec.peer_id), ip, location.clone());
+            ppc_specs_with_ip.push((spec.clone(), ip, location));
+        }
+
+        let coord_node = CoordinatorNode {
+            coordinator,
+            dopp_store: DoppelgangerStore::new(),
+            universe: Vec::new(),
+            server_nodes: server_ids.clone(),
+            peer_nodes: peer_nodes.clone(),
+            aggregator: aggregator_id,
+            ppc_per_request: cfg.ppc_per_request,
+        };
+        assert_eq!(sim.add_node(Box::new(coord_node)), coordinator_id);
+
+        let agg_node = AggregatorNode {
+            directory: AggregatorDirectory::new(&[], Vec::new()),
+            tokens: Vec::new(),
+        };
+        assert_eq!(sim.add_node(Box::new(agg_node)), aggregator_id);
+
+        if has_db {
+            let db_node = DbNode {
+                database: Database::new(),
+                cost: cfg.db_cost,
+                active: 0,
+                pending: HashMap::new(),
+            };
+            assert_eq!(sim.add_node(Box::new(db_node)), db_id.expect("has_db"));
+        }
+
+        for (i, &sid) in server_ids.iter().enumerate() {
+            let node = MeasurementNode {
+                index: i,
+                coordinator: coordinator_id,
+                db: db_id,
+                ipcs: ipc_ids.clone(),
+                jobs: HashMap::new(),
+                rates: rates.clone(),
+                target_currency: cfg.target_currency.clone(),
+                proc_per_reply_ms: cfg.proc_per_reply_ms,
+                context_switch_alpha: cfg.context_switch_alpha,
+                job_deadline_ms: cfg.job_deadline_ms,
+                db_cost: cfg.db_cost,
+                integrated_db: cfg.version == SystemVersion::V1,
+                database: Database::new(),
+                cpu_free_at: SimTime::ZERO,
+                heartbeat_every: SimTime::from_secs(10),
+            };
+            assert_eq!(sim.add_node(Box::new(node)), sid);
+            sim.inject_timer(SimTime::from_millis(100), sid, TIMER_HEARTBEAT);
+        }
+
+        for (i, &(country, city_idx)) in cfg.ipc_locations.iter().enumerate() {
+            let ip = alloc.allocate(country, city_idx);
+            let city = locator.locate(ip).and_then(|l| l.city);
+            let node = IpcNode {
+                engine: IpcEngine {
+                    id: i as u64,
+                    country,
+                    city_idx,
+                    ip,
+                    user_agent: UserAgent {
+                        os: sheriff_market::pricing::Os::Linux,
+                        browser: sheriff_market::pricing::Browser::Firefox,
+                    },
+                },
+                world: Arc::clone(&world),
+                fetch_median_ms: cfg.ipc_fetch_median_ms,
+                fetch_sigma: cfg.fetch_sigma,
+                overload_prob: cfg.ipc_overload_prob,
+                overload_ms: cfg.ipc_overload_ms,
+                kill_ms: cfg.fetch_kill_ms,
+                city,
+            };
+            assert_eq!(sim.add_node(Box::new(node)), ipc_ids[i]);
+        }
+
+        for (i, (spec, ip, location)) in ppc_specs_with_ip.into_iter().enumerate() {
+            let node = AddonNode {
+                engine: PpcEngine {
+                    peer_id: spec.peer_id,
+                    browser: BrowserProfile::new(),
+                    ledger: PollutionLedger::new(),
+                    ip,
+                    country: spec.country,
+                    city_idx: spec.city_idx,
+                    user_agent: spec.user_agent,
+                    affluence: spec.affluence,
+                    logged_in_domains: spec.logged_in_domains.clone(),
+                },
+                world: Arc::clone(&world),
+                coordinator: coordinator_id,
+                aggregator: aggregator_id,
+                city: location.city,
+                target_currency: cfg.target_currency.clone(),
+                fetch_median_ms: cfg.ppc_fetch_median_ms,
+                fetch_sigma: cfg.fetch_sigma,
+                kill_ms: cfg.fetch_kill_ms,
+                doppelgangers_enabled: cfg.enable_doppelgangers,
+                own_pending: HashMap::new(),
+                job_tags: HashMap::new(),
+                dopp_pending: HashMap::new(),
+                completed: Vec::new(),
+                sandbox_violations: 0,
+            };
+            assert_eq!(sim.add_node(Box::new(node)), NodeId(first_ppc + i));
+        }
+
+        PriceSheriff {
+            sim,
+            coordinator: coordinator_id,
+            aggregator: aggregator_id,
+            ppc_nodes: peer_nodes,
+            world,
+            next_tag: 1,
+            cfg,
+        }
+    }
+
+    /// The shared world handle.
+    pub fn world(&self) -> Arc<Mutex<World>> {
+        Arc::clone(&self.world)
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &SheriffConfig {
+        &self.cfg
+    }
+
+    /// Submits a price check from `peer` at virtual time `at`.
+    pub fn submit_check(&mut self, at: SimTime, peer: u64, domain: &str, product: ProductId) {
+        let node = *self
+            .ppc_nodes
+            .get(&peer)
+            .unwrap_or_else(|| panic!("unknown peer {peer}"));
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.sim.inject(
+            at,
+            node,
+            node,
+            Msg::StartCheck {
+                domain: domain.to_string(),
+                product,
+                local_tag: tag,
+            },
+        );
+    }
+
+    /// Lets a peer browse a product page for themselves (builds pollution
+    /// budget and realistic state).
+    pub fn prime_visit(&mut self, peer: u64, domain: &str, product: ProductId, n: u64) {
+        let node = *self.ppc_nodes.get(&peer).expect("unknown peer");
+        let world = Arc::clone(&self.world);
+        let addon = self
+            .sim
+            .node_mut::<AddonNode>(node)
+            .expect("ppc node type");
+        let mut w = world.lock();
+        for i in 0..n {
+            addon
+                .engine
+                .user_visit(&mut w, domain, product, 0, i * 1000, i);
+        }
+    }
+
+    /// Installs doppelgangers: trains one per centroid at the Coordinator
+    /// and hands the Aggregator the peer→cluster mapping.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_doppelgangers(
+        &mut self,
+        centroids: &[Vec<u64>],
+        universe: &[String],
+        assignments: &[(u64, usize)],
+        seed: u64,
+    ) {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tokens = {
+            let coord = self
+                .sim
+                .node_mut::<CoordinatorNode>(self.coordinator)
+                .expect("coordinator node");
+            coord.universe = universe.to_vec();
+            coord.dopp_store.train_all(centroids, universe, &mut rng)
+        };
+        let agg = self
+            .sim
+            .node_mut::<AggregatorNode>(self.aggregator)
+            .expect("aggregator node");
+        agg.directory = AggregatorDirectory::new(assignments, tokens.clone());
+        agg.tokens = tokens;
+    }
+
+    /// Runs the simulation until idle (bounded by `max_events`). Note the
+    /// heartbeat protocol keeps the event queue alive indefinitely, so this
+    /// always consumes the full budget — prefer [`PriceSheriff::run_until`]
+    /// when a virtual deadline is known.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        self.sim.run_until_idle(max_events)
+    }
+
+    /// Runs the simulation until virtual time `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Harvests every completed check across all peers.
+    pub fn completed(&self) -> Vec<CompletedCheck> {
+        let mut out = Vec::new();
+        for &node in self.ppc_nodes.values() {
+            if let Some(addon) = self.sim.node_ref::<AddonNode>(node) {
+                out.extend(addon.completed.iter().cloned());
+            }
+        }
+        out.sort_by_key(|c| c.check.job_id);
+        out
+    }
+
+    /// Total sandbox violations observed across peers (must be 0 — the
+    /// §3.6.1 validation).
+    pub fn sandbox_violations(&self) -> usize {
+        self.ppc_nodes
+            .values()
+            .filter_map(|&n| self.sim.node_ref::<AddonNode>(n))
+            .map(|a| a.sandbox_violations)
+            .sum()
+    }
+
+    /// The Coordinator's Fig. 7 monitoring panel.
+    pub fn monitoring_panel(&self) -> String {
+        self.sim
+            .node_ref::<CoordinatorNode>(self.coordinator)
+            .map(|c| c.coordinator.monitoring_panel())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sheriff_market::pricing::{Browser, Os};
+    use sheriff_market::world::WorldConfig;
+
+    fn specs(country: Country, n: u64) -> Vec<PpcSpec> {
+        (0..n)
+            .map(|i| PpcSpec {
+                peer_id: 100 + i,
+                country,
+                city_idx: 0,
+                user_agent: UserAgent {
+                    os: Os::Windows,
+                    browser: Browser::Chrome,
+                },
+                affluence: 0.3 + 0.1 * (i as f64 % 5.0),
+                logged_in_domains: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_price_check_completes() {
+        let world = World::build(&WorldConfig::small(), 11);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(11), world, &specs(Country::ES, 4));
+        sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(0));
+        sheriff.run(100_000);
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 1, "check must complete");
+        let check = &done[0].check;
+        // Initiator + 30 IPCs + up to 3 PPCs.
+        assert!(check.observations.len() >= 31, "got {}", check.observations.len());
+        assert!(check.observations.len() <= 34);
+        let valid = check.valid().count();
+        assert!(valid >= 31, "valid={valid}");
+        // Steam discriminates by country: differences must be visible.
+        assert!(check.has_difference(0.01), "spread={:?}", check.relative_spread());
+        assert_eq!(sheriff.sandbox_violations(), 0);
+    }
+
+    #[test]
+    fn uniform_store_shows_no_difference() {
+        let world = World::build(&WorldConfig::small(), 13);
+        let domain = world
+            .domains()
+            .find(|d| d.starts_with("store-"))
+            .unwrap()
+            .to_string();
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(13), world, &specs(Country::ES, 4));
+        sheriff.submit_check(SimTime::ZERO, 100, &domain, ProductId(0));
+        sheriff.run(100_000);
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 1);
+        // Allow sub-0.5% conversion rounding noise, nothing more.
+        assert!(!done[0].check.has_difference(0.005));
+    }
+
+    #[test]
+    fn concurrent_checks_all_complete() {
+        let world = World::build(&WorldConfig::small(), 17);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(17), world, &specs(Country::FR, 6));
+        for (i, peer) in (100..106).enumerate() {
+            sheriff.submit_check(
+                SimTime::from_millis(i as u64 * 10),
+                peer,
+                "jcpenney.com",
+                ProductId(i as u32 % 8),
+            );
+        }
+        sheriff.run(1_000_000);
+        assert_eq!(sheriff.completed().len(), 6);
+    }
+
+    #[test]
+    fn non_whitelisted_domain_rejected() {
+        let world = World::build(&WorldConfig::small(), 19);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(19), world, &specs(Country::ES, 2));
+        sheriff.submit_check(SimTime::ZERO, 100, "not-in-world.example", ProductId(0));
+        sheriff.run(100_000);
+        assert!(sheriff.completed().is_empty());
+    }
+
+    #[test]
+    fn v1_system_also_completes() {
+        let world = World::build(&WorldConfig::small(), 23);
+        let mut cfg = SheriffConfig::v1(23);
+        // Shrink timings for the test.
+        cfg.ipc_fetch_median_ms = 200;
+        cfg.ipc_overload_ms = 2_000;
+        cfg.fetch_kill_ms = 1_000;
+        cfg.ppc_fetch_median_ms = 30;
+        cfg.job_deadline_ms = 1_500;
+        let mut sheriff = PriceSheriff::new(cfg, world, &specs(Country::ES, 3));
+        sheriff.submit_check(SimTime::ZERO, 100, "amazon.com", ProductId(1));
+        sheriff.run(100_000);
+        assert_eq!(sheriff.completed().len(), 1);
+    }
+
+    #[test]
+    fn results_arrive_within_deadline_budget() {
+        let world = World::build(&WorldConfig::small(), 29);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(29), world, &specs(Country::ES, 3));
+        sheriff.submit_check(SimTime::ZERO, 100, "chegg.com", ProductId(2));
+        sheriff.run(100_000);
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 1);
+        let elapsed = done[0].completed.since(done[0].submitted);
+        // deadline + processing + db + slack
+        assert!(elapsed.as_millis() < 10_000, "elapsed={elapsed:?}");
+    }
+
+    #[test]
+    fn monitoring_panel_lists_servers() {
+        let world = World::build(&WorldConfig::small(), 31);
+        let sheriff = PriceSheriff::new(SheriffConfig::fast(31), world, &specs(Country::ES, 1));
+        let panel = sheriff.monitoring_panel();
+        assert!(panel.contains("ms-0"));
+        assert!(panel.contains("ms-1"));
+    }
+}

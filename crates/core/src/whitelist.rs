@@ -1,0 +1,176 @@
+//! Domain whitelisting and PII URL blacklisting (paper §2.3, §3.2).
+//!
+//! Every price check is filtered against a manually curated whitelist of
+//! e-commerce domains "to make sure that we only allow requests towards
+//! sanctioned e-commerce websites"; rejected requests are logged for manual
+//! inspection. Additionally, account/profile-management URLs are
+//! blacklisted because they are likely to contain PII — even a whitelisted
+//! domain's `/account` page must never be fetched.
+
+use std::collections::BTreeSet;
+
+/// The Coordinator's request filter.
+#[derive(Clone, Debug, Default)]
+pub struct Whitelist {
+    domains: BTreeSet<String>,
+    /// URL path fragments that indicate PII-bearing pages.
+    pii_fragments: Vec<String>,
+    /// Rejected (domain, url) pairs kept for manual inspection.
+    rejected_log: Vec<(String, String)>,
+}
+
+impl Whitelist {
+    /// Empty whitelist with the default PII fragment list.
+    pub fn new() -> Self {
+        Whitelist {
+            domains: BTreeSet::new(),
+            pii_fragments: [
+                "/account",
+                "/profile",
+                "/settings",
+                "/login",
+                "/signin",
+                "/checkout",
+                "/order-history",
+                "/wishlist",
+                "/address",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            rejected_log: Vec::new(),
+        }
+    }
+
+    /// Builds from an initial domain set.
+    pub fn with_domains<I: IntoIterator<Item = S>, S: Into<String>>(domains: I) -> Self {
+        let mut w = Self::new();
+        for d in domains {
+            w.allow(&d.into());
+        }
+        w
+    }
+
+    /// Adds a sanctioned domain (the manual curation step).
+    pub fn allow(&mut self, domain: &str) {
+        self.domains.insert(domain.to_ascii_lowercase());
+    }
+
+    /// Number of sanctioned domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when no domain is sanctioned.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Checks a price-check request URL. `Ok(domain)` when permitted;
+    /// rejected requests are recorded for later whitelist curation.
+    pub fn check(&mut self, url: &str) -> Result<String, WhitelistRejection> {
+        let (domain, path) = split_url(url);
+        let domain = domain.to_ascii_lowercase();
+        if !self.domains.contains(&domain) {
+            self.rejected_log.push((domain.clone(), url.to_string()));
+            return Err(WhitelistRejection::UnknownDomain);
+        }
+        let path_lc = path.to_ascii_lowercase();
+        if self.pii_fragments.iter().any(|f| path_lc.contains(f)) {
+            self.rejected_log.push((domain, url.to_string()));
+            return Err(WhitelistRejection::PiiUrl);
+        }
+        Ok(domain)
+    }
+
+    /// The rejected-request log (manual inspection queue).
+    pub fn rejected(&self) -> &[(String, String)] {
+        &self.rejected_log
+    }
+}
+
+/// Why a request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WhitelistRejection {
+    /// Domain not in the sanctioned set.
+    UnknownDomain,
+    /// URL looks like a PII-bearing page (account, checkout, …).
+    PiiUrl,
+}
+
+impl std::fmt::Display for WhitelistRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhitelistRejection::UnknownDomain => write!(f, "domain is not whitelisted"),
+            WhitelistRejection::PiiUrl => write!(f, "URL is blacklisted as PII-bearing"),
+        }
+    }
+}
+
+impl std::error::Error for WhitelistRejection {}
+
+/// Splits `"shop.com/product/1"` or `"https://shop.com/product/1"` into
+/// (domain, path).
+pub fn split_url(url: &str) -> (&str, &str) {
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_whitelisted_product_pages() {
+        let mut w = Whitelist::with_domains(["shop.com"]);
+        assert_eq!(w.check("https://shop.com/product/1").unwrap(), "shop.com");
+        assert_eq!(w.check("shop.com/product/2").unwrap(), "shop.com");
+        assert!(w.rejected().is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_domains_and_logs() {
+        let mut w = Whitelist::with_domains(["shop.com"]);
+        assert_eq!(
+            w.check("https://evil.example/x").unwrap_err(),
+            WhitelistRejection::UnknownDomain
+        );
+        assert_eq!(w.rejected().len(), 1);
+        assert_eq!(w.rejected()[0].0, "evil.example");
+    }
+
+    #[test]
+    fn rejects_pii_pages_on_whitelisted_domains() {
+        let mut w = Whitelist::with_domains(["shop.com"]);
+        for url in [
+            "shop.com/account/details",
+            "shop.com/user/PROFILE",
+            "https://shop.com/checkout/step1",
+        ] {
+            assert_eq!(
+                w.check(url).unwrap_err(),
+                WhitelistRejection::PiiUrl,
+                "{url}"
+            );
+        }
+        assert_eq!(w.rejected().len(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_domains() {
+        let mut w = Whitelist::with_domains(["Shop.COM"]);
+        assert!(w.check("SHOP.com/p/1").is_ok());
+    }
+
+    #[test]
+    fn bare_domain_gets_root_path() {
+        assert_eq!(split_url("shop.com"), ("shop.com", "/"));
+        assert_eq!(split_url("https://a.b/c/d"), ("a.b", "/c/d"));
+    }
+}

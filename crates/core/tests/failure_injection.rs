@@ -1,0 +1,165 @@
+//! Failure injection: the system must degrade gracefully when the world
+//! misbehaves — CAPTCHAs, straggler proxies cut by the deadline, unknown
+//! products, and rejected domains under load.
+
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::bot::BotDetector;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+fn specs(n: u64) -> Vec<PpcSpec> {
+    (0..n)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            affluence: 0.2,
+            logged_in_domains: vec![],
+        })
+        .collect()
+}
+
+#[test]
+fn captcha_blocked_ipcs_yield_failed_observations_not_hangs() {
+    // Arm an aggressive bot detector on the target: the 30 IPC fetches of
+    // each check hammer it from fixed IPs, so repeat checks trip CAPTCHAs.
+    let mut world = World::build(&WorldConfig::small(), 61);
+    world
+        .retailer_mut("steampowered.com")
+        .expect("domain")
+        .bot = Some(BotDetector::new(600_000, 2));
+
+    // Six distinct initiators and no PPC fan-out: every residential IP is
+    // hit once, while the 30 fixed-IP IPCs are hit once per check and blow
+    // through the threshold from the third check on (§3.2: "The IPCs are
+    // more prone to detection").
+    let mut cfg = SheriffConfig::fast(61);
+    cfg.ppc_per_request = 0;
+    let mut sheriff = PriceSheriff::new(cfg, world, &specs(6));
+    for i in 0..6u64 {
+        sheriff.submit_check(
+            SimTime::from_millis(i * 500),
+            100 + i,
+            "steampowered.com",
+            ProductId(0),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 6, "all checks complete (initiators never trip)");
+    // Proxy-side CAPTCHAs surface as failed observations, never as prices.
+    let failed_total: usize = done
+        .iter()
+        .map(|c| c.check.observations.iter().filter(|o| o.failed).count())
+        .sum();
+    assert!(failed_total > 0, "bot detector never fired on proxies");
+    for c in &done {
+        for o in c.check.observations.iter().filter(|o| o.failed) {
+            assert_eq!(o.amount_eur, 0.0);
+        }
+    }
+    // And — crucially — aborted checks release their jobs: nothing leaks
+    // in the Coordinator's pending counters.
+    let panel = sheriff.monitoring_panel();
+    for line in panel.lines().skip(1) {
+        let pending: u32 = line
+            .split_whitespace()
+            .last()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(0);
+        assert_eq!(pending, 0, "leaked job: {line}");
+    }
+}
+
+#[test]
+fn straggler_proxies_are_cut_by_the_deadline() {
+    let world = World::build(&WorldConfig::small(), 67);
+    let mut cfg = SheriffConfig::fast(67);
+    // Overloads dominate and exceed the job deadline → the job must
+    // assemble with whatever arrived (§10.3's corrective path).
+    cfg.ipc_overload_prob = 0.7;
+    cfg.ipc_overload_ms = 60_000;
+    cfg.fetch_kill_ms = 60_000;
+    cfg.job_deadline_ms = 800;
+    let mut sheriff = PriceSheriff::new(cfg, world, &specs(3));
+    sheriff.submit_check(SimTime::ZERO, 100, "amazon.com", ProductId(0));
+    sheriff.run_until(SimTime::from_mins(3));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 1, "deadline assembly failed");
+    let obs = done[0].check.observations.len();
+    assert!(obs >= 2, "even a degraded check has initiator + fast peers");
+    assert!(
+        obs < 31,
+        "with 70% overload some of the 30 IPCs must miss the deadline (got {obs})"
+    );
+}
+
+#[test]
+fn unknown_product_checks_do_not_wedge_the_system() {
+    let world = World::build(&WorldConfig::small(), 71);
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(71), world, &specs(2));
+    // Product 999 does not exist; the check can never complete, but the
+    // system must keep serving subsequent valid checks.
+    sheriff.submit_check(SimTime::ZERO, 100, "amazon.com", ProductId(999));
+    sheriff.submit_check(SimTime::from_secs(1), 101, "amazon.com", ProductId(1));
+    sheriff.run_until(SimTime::from_mins(5));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 1, "valid check must complete despite the poison one");
+    assert!(done[0].check.url.ends_with("/1"));
+}
+
+#[test]
+fn rejected_domains_under_load_never_leak_jobs() {
+    let world = World::build(&WorldConfig::small(), 73);
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(73), world, &specs(2));
+    for i in 0..10u64 {
+        sheriff.submit_check(
+            SimTime::from_millis(i * 100),
+            100,
+            "definitely-not-whitelisted.example",
+            ProductId(0),
+        );
+    }
+    sheriff.submit_check(SimTime::from_secs(2), 101, "chegg.com", ProductId(0));
+    sheriff.run_until(SimTime::from_mins(3));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].check.domain, "chegg.com");
+    // The monitoring panel shows no stuck jobs.
+    let panel = sheriff.monitoring_panel();
+    for line in panel.lines().skip(1) {
+        let pending: u32 = line
+            .split_whitespace()
+            .last()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        assert_eq!(pending, 0, "stuck job in panel: {line}");
+    }
+}
+
+#[test]
+fn zero_peer_system_still_answers_with_ipcs_only() {
+    // A brand-new deployment with one lonely user and no other peers in
+    // their location must still produce the 30-IPC comparison.
+    let world = World::build(&WorldConfig::small(), 79);
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(79), world, &specs(1));
+    sheriff.submit_check(SimTime::ZERO, 100, "abercrombie.com", ProductId(0));
+    sheriff.run_until(SimTime::from_mins(3));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 1);
+    let ppc_obs = done[0]
+        .check
+        .observations
+        .iter()
+        .filter(|o| o.vantage == sheriff_core::records::VantageKind::Ppc)
+        .count();
+    assert_eq!(ppc_obs, 0, "no peers exist to ask");
+    assert!(done[0].check.observations.len() >= 31, "initiator + 30 IPCs");
+}

@@ -1,0 +1,126 @@
+//! Serialization round-trips: the records the Database server stores (and
+//! the experiment binaries dump as JSON) must survive serde exactly — the
+//! deployed system persisted everything in MySQL and shipped results to the
+//! add-on as JSON.
+
+use sheriff_core::records::{PriceCheck, PriceObservation, VantageKind};
+use sheriff_geo::{Country, IpV4};
+use sheriff_html::tagspath::{PathStep, TagsPath};
+
+fn sample_check() -> PriceCheck {
+    PriceCheck {
+        job_id: 42,
+        domain: "steampowered.com".into(),
+        url: "steampowered.com/product/3".into(),
+        day: 7,
+        observations: vec![
+            PriceObservation {
+                vantage: VantageKind::Initiator,
+                vantage_id: 100,
+                country: Country::ES,
+                city: Some("Madrid".into()),
+                ip: IpV4(0x0a00_0001),
+                raw_text: "€18,59".into(),
+                currency: "EUR".into(),
+                amount: 18.59,
+                amount_eur: 18.59,
+                low_confidence: false,
+                failed: false,
+            },
+            PriceObservation {
+                vantage: VantageKind::Ipc,
+                vantage_id: 6,
+                country: Country::US,
+                city: Some("Tennessee".into()),
+                ip: IpV4(0x0c00_0009),
+                raw_text: "$11.99".into(),
+                currency: "USD".into(),
+                amount: 11.99,
+                amount_eur: 10.59,
+                low_confidence: true,
+                failed: false,
+            },
+            PriceObservation {
+                vantage: VantageKind::Ppc,
+                vantage_id: 101,
+                country: Country::ES,
+                city: None,
+                ip: IpV4(0x0a00_0002),
+                raw_text: String::new(),
+                currency: String::new(),
+                amount: 0.0,
+                amount_eur: 0.0,
+                low_confidence: false,
+                failed: true,
+            },
+        ],
+    }
+}
+
+#[test]
+fn price_check_json_roundtrip_preserves_analysis_results() {
+    let check = sample_check();
+    let json = serde_json::to_string_pretty(&check).expect("serializes");
+    let back: PriceCheck = serde_json::from_str(&json).expect("deserializes");
+
+    assert_eq!(back.job_id, check.job_id);
+    assert_eq!(back.domain, check.domain);
+    assert_eq!(back.observations.len(), 3);
+    // The analysis helpers produce identical answers on the round-tripped
+    // record.
+    assert_eq!(back.min_eur(), check.min_eur());
+    assert_eq!(back.max_eur(), check.max_eur());
+    assert_eq!(back.relative_spread(), check.relative_spread());
+    assert_eq!(back.cheapest_country(), check.cheapest_country());
+    assert_eq!(
+        back.within_country_spread(Country::ES),
+        check.within_country_spread(Country::ES)
+    );
+    // Confidence filtering survives: the low-confidence USD row is still
+    // excluded from spreads.
+    assert_eq!(back.confident().count(), 1);
+    assert_eq!(back.valid().count(), 2);
+}
+
+#[test]
+fn tags_path_json_roundtrip() {
+    let path = TagsPath {
+        steps: vec![
+            PathStep {
+                name: "html".into(),
+                class: None,
+                id_attr: None,
+                nth_of_name: 0,
+            },
+            PathStep {
+                name: "body".into(),
+                class: None,
+                id_attr: None,
+                nth_of_name: 0,
+            },
+            PathStep {
+                name: "span".into(),
+                class: Some("price".into()),
+                id_attr: Some("main-price".into()),
+                nth_of_name: 2,
+            },
+        ],
+    };
+    let json = serde_json::to_string(&path).expect("serializes");
+    let back: TagsPath = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, path);
+    assert_eq!(back.depth(), 3);
+}
+
+#[test]
+fn country_and_ip_serialize_compactly() {
+    // These appear in every observation row; encoding must be stable.
+    let json = serde_json::to_string(&Country::ES).expect("country");
+    let back: Country = serde_json::from_str(&json).expect("country back");
+    assert_eq!(back, Country::ES);
+
+    let ip = IpV4(0x0a01_0203);
+    let json = serde_json::to_string(&ip).expect("ip");
+    let back: IpV4 = serde_json::from_str(&json).expect("ip back");
+    assert_eq!(back, ip);
+}

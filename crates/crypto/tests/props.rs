@@ -1,0 +1,70 @@
+//! Property tests for the crypto layer: the encrypted protocol must agree
+//! with plain arithmetic on random inputs, and blinding must be lossless.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_crypto::dlog::DlogTable;
+use sheriff_crypto::elgamal::SecretKey;
+use sheriff_crypto::ipfe::{client_vector, server_vector, squared_distance};
+use sheriff_crypto::protocol::{
+    aggregate_cluster, coordinator_evaluate, decrypt_centroid, BlindedQuery,
+};
+use sheriff_crypto::GroupParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blinded_distance_matches_plain(
+        a in proptest::collection::vec(0u64..16, 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let b: Vec<u64> = a.iter().map(|&x| (x + seed) % 16).collect();
+        let gp = GroupParams::test_64();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = client_vector(&a);
+        let sk = SecretKey::generate(&gp, c.len(), &mut rng);
+        let ct = sk.public_key().encrypt(&c, &mut rng);
+
+        let query = BlindedQuery::blind(&gp, &ct, &mut rng);
+        let s = server_vector(&b);
+        let resp = coordinator_evaluate(&sk, &query.blinded, &s);
+        let table = DlogTable::build(&gp, 8192);
+        prop_assert_eq!(
+            query.unblind(&gp, &resp, &table),
+            Some(squared_distance(&a, &b))
+        );
+    }
+
+    #[test]
+    fn aggregated_centroid_is_rounded_mean(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 3),
+            1..6,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let gp = GroupParams::test_64();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&gp, 5, &mut rng);
+        let pk = sk.public_key();
+        let cts: Vec<_> = pts
+            .iter()
+            .map(|p| pk.encrypt(&client_vector(p), &mut rng))
+            .collect();
+        let refs: Vec<_> = cts.iter().collect();
+        let agg = aggregate_cluster(&gp, &refs).unwrap();
+        let n = pts.len() as u64;
+        let table = DlogTable::build(&gp, 20 * 6 + 1);
+        let got = decrypt_centroid(&sk, &agg, n, 2, &table).unwrap();
+        let want: Vec<u64> = (0..3)
+            .map(|d| {
+                let sum: u64 = pts.iter().map(|p| p[d]).sum();
+                (sum + n / 2) / n
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

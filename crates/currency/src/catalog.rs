@@ -1,0 +1,168 @@
+//! The currency catalogue: ISO codes, symbols, custom retailer notations.
+//!
+//! Retailers "often deviate from standardized currency codes" (§2.1 req. 4),
+//! so every entry carries the empirically-built list of custom notations the
+//! paper describes (`US$`, `C$`, `Kč`, …) plus its display symbol. Symbols
+//! shared by several currencies (`$`, `kr`, `¥`) are *ambiguous*: detection
+//! through them succeeds but is flagged low-confidence.
+
+/// One catalogue currency.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Currency {
+    /// ISO-4217 code.
+    pub iso: &'static str,
+    /// English name.
+    pub name: &'static str,
+    /// Display symbol.
+    pub symbol: &'static str,
+    /// Retailer-specific notations observed in the wild (priority 2 in the
+    /// detection order).
+    pub custom_notations: &'static [&'static str],
+    /// Decimal digits customarily shown (JPY and KRW show none).
+    pub decimals: u8,
+}
+
+/// The static catalogue.
+pub struct CurrencyCatalog;
+
+const CURRENCIES: &[Currency] = &[
+    Currency { iso: "EUR", name: "Euro", symbol: "€", custom_notations: &["EURO"], decimals: 2 },
+    Currency { iso: "USD", name: "US Dollar", symbol: "$", custom_notations: &["US$", "U$S"], decimals: 2 },
+    Currency { iso: "GBP", name: "Pound Sterling", symbol: "£", custom_notations: &["UK£"], decimals: 2 },
+    Currency { iso: "CAD", name: "Canadian Dollar", symbol: "$", custom_notations: &["C$", "CA$", "CDN$"], decimals: 2 },
+    Currency { iso: "AUD", name: "Australian Dollar", symbol: "$", custom_notations: &["A$", "AU$"], decimals: 2 },
+    Currency { iso: "NZD", name: "New Zealand Dollar", symbol: "$", custom_notations: &["NZ$"], decimals: 2 },
+    Currency { iso: "SGD", name: "Singapore Dollar", symbol: "$", custom_notations: &["S$"], decimals: 2 },
+    Currency { iso: "HKD", name: "Hong Kong Dollar", symbol: "$", custom_notations: &["HK$"], decimals: 2 },
+    Currency { iso: "MXN", name: "Mexican Peso", symbol: "$", custom_notations: &["MEX$", "MX$"], decimals: 2 },
+    Currency { iso: "BRL", name: "Brazilian Real", symbol: "R$", custom_notations: &["R$"], decimals: 2 },
+    Currency { iso: "JPY", name: "Japanese Yen", symbol: "¥", custom_notations: &["JP¥"], decimals: 0 },
+    Currency { iso: "CNY", name: "Chinese Yuan", symbol: "¥", custom_notations: &["RMB", "CN¥"], decimals: 2 },
+    Currency { iso: "KRW", name: "South Korean Won", symbol: "₩", custom_notations: &[], decimals: 0 },
+    Currency { iso: "ILS", name: "Israeli New Shekel", symbol: "₪", custom_notations: &["NIS"], decimals: 2 },
+    Currency { iso: "CHF", name: "Swiss Franc", symbol: "Fr.", custom_notations: &["SFr.", "SFR"], decimals: 2 },
+    Currency { iso: "SEK", name: "Swedish Krona", symbol: "kr", custom_notations: &[], decimals: 2 },
+    Currency { iso: "NOK", name: "Norwegian Krone", symbol: "kr", custom_notations: &[], decimals: 2 },
+    Currency { iso: "DKK", name: "Danish Krone", symbol: "kr", custom_notations: &[], decimals: 2 },
+    Currency { iso: "CZK", name: "Czech Koruna", symbol: "Kč", custom_notations: &["Kc"], decimals: 2 },
+    Currency { iso: "PLN", name: "Polish Zloty", symbol: "zł", custom_notations: &["zl"], decimals: 2 },
+    Currency { iso: "HUF", name: "Hungarian Forint", symbol: "Ft", custom_notations: &[], decimals: 0 },
+    Currency { iso: "RON", name: "Romanian Leu", symbol: "lei", custom_notations: &[], decimals: 2 },
+    Currency { iso: "BGN", name: "Bulgarian Lev", symbol: "лв", custom_notations: &["lv"], decimals: 2 },
+    Currency { iso: "RUB", name: "Russian Ruble", symbol: "₽", custom_notations: &["руб"], decimals: 2 },
+    Currency { iso: "TRY", name: "Turkish Lira", symbol: "₺", custom_notations: &["TL"], decimals: 2 },
+    Currency { iso: "INR", name: "Indian Rupee", symbol: "₹", custom_notations: &["Rs", "Rs."], decimals: 2 },
+    Currency { iso: "THB", name: "Thai Baht", symbol: "฿", custom_notations: &[], decimals: 2 },
+    Currency { iso: "MYR", name: "Malaysian Ringgit", symbol: "RM", custom_notations: &["RM"], decimals: 2 },
+    Currency { iso: "IDR", name: "Indonesian Rupiah", symbol: "Rp", custom_notations: &["Rp"], decimals: 0 },
+    Currency { iso: "PHP", name: "Philippine Peso", symbol: "₱", custom_notations: &[], decimals: 2 },
+    Currency { iso: "VND", name: "Vietnamese Dong", symbol: "₫", custom_notations: &[], decimals: 0 },
+    Currency { iso: "TWD", name: "New Taiwan Dollar", symbol: "$", custom_notations: &["NT$"], decimals: 2 },
+    Currency { iso: "ZAR", name: "South African Rand", symbol: "R", custom_notations: &[], decimals: 2 },
+    Currency { iso: "EGP", name: "Egyptian Pound", symbol: "E£", custom_notations: &["LE"], decimals: 2 },
+    Currency { iso: "AED", name: "UAE Dirham", symbol: "AED", custom_notations: &["Dhs", "DH"], decimals: 2 },
+    Currency { iso: "ARS", name: "Argentine Peso", symbol: "$", custom_notations: &["AR$"], decimals: 2 },
+    Currency { iso: "CLP", name: "Chilean Peso", symbol: "$", custom_notations: &["CLP$"], decimals: 0 },
+    Currency { iso: "COP", name: "Colombian Peso", symbol: "$", custom_notations: &["COL$"], decimals: 0 },
+];
+
+impl CurrencyCatalog {
+    /// All catalogue currencies.
+    pub fn all() -> &'static [Currency] {
+        CURRENCIES
+    }
+
+    /// Looks up by ISO code, case-insensitive.
+    pub fn by_iso(code: &str) -> Option<&'static Currency> {
+        CURRENCIES.iter().find(|c| c.iso.eq_ignore_ascii_case(code))
+    }
+
+    /// Looks up by custom notation — exact match, case-sensitive first then
+    /// case-insensitive (retailers are inconsistent). Longest notations are
+    /// preferred by the detector; this function just answers membership.
+    pub fn by_custom_notation(word: &str) -> Option<&'static Currency> {
+        CURRENCIES
+            .iter()
+            .find(|c| c.custom_notations.contains(&word))
+            .or_else(|| {
+                CURRENCIES.iter().find(|c| {
+                    c.custom_notations
+                        .iter()
+                        .any(|&n| n.eq_ignore_ascii_case(word))
+                })
+            })
+    }
+
+    /// All currencies sharing `symbol`. One hit ⇒ unambiguous; several ⇒
+    /// low-confidence detection (`$` famously maps to many dollars).
+    pub fn by_symbol(symbol: &str) -> Vec<&'static Currency> {
+        CURRENCIES.iter().filter(|c| c.symbol == symbol).collect()
+    }
+
+    /// The set of known symbols ordered longest-first so that composite
+    /// symbols (`R$`, `E£`) win over their prefixes during scanning.
+    pub fn symbols_longest_first() -> Vec<&'static str> {
+        let mut syms: Vec<&'static str> = CURRENCIES.iter().map(|c| c.symbol).collect();
+        syms.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        syms.dedup();
+        syms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_lookup_is_case_insensitive() {
+        assert_eq!(CurrencyCatalog::by_iso("eur").unwrap().iso, "EUR");
+        assert_eq!(CurrencyCatalog::by_iso("JPY").unwrap().decimals, 0);
+        assert!(CurrencyCatalog::by_iso("XTS").is_none());
+    }
+
+    #[test]
+    fn iso_codes_unique() {
+        let mut codes: Vec<&str> = CURRENCIES.iter().map(|c| c.iso).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), CURRENCIES.len());
+    }
+
+    #[test]
+    fn custom_notation_resolves() {
+        assert_eq!(CurrencyCatalog::by_custom_notation("US$").unwrap().iso, "USD");
+        assert_eq!(CurrencyCatalog::by_custom_notation("NT$").unwrap().iso, "TWD");
+        assert_eq!(CurrencyCatalog::by_custom_notation("Kc").unwrap().iso, "CZK");
+        assert!(CurrencyCatalog::by_custom_notation("???").is_none());
+    }
+
+    #[test]
+    fn dollar_symbol_is_ambiguous() {
+        let hits = CurrencyCatalog::by_symbol("$");
+        assert!(hits.len() >= 5, "only {} hits", hits.len());
+        assert!(hits.iter().any(|c| c.iso == "USD"));
+        assert!(hits.iter().any(|c| c.iso == "CAD"));
+    }
+
+    #[test]
+    fn kr_symbol_is_ambiguous() {
+        let hits = CurrencyCatalog::by_symbol("kr");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn euro_symbol_is_unambiguous() {
+        let hits = CurrencyCatalog::by_symbol("€");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].iso, "EUR");
+    }
+
+    #[test]
+    fn symbols_ordered_longest_first() {
+        let syms = CurrencyCatalog::symbols_longest_first();
+        for w in syms.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+        assert!(syms.contains(&"R$"));
+    }
+}

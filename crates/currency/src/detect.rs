@@ -1,0 +1,430 @@
+//! The three-part currency detection and price extraction algorithm (§3.5).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::catalog::{Currency, CurrencyCatalog};
+
+/// Detection confidence, rendered on the Fig. 2 result page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Confidence {
+    /// Ambiguous symbol (`$`, `kr`, `¥`): the chosen currency is a guess —
+    /// the result page shows a red asterisk and a manual converter.
+    Low,
+    /// Custom retailer notation from the empirical list.
+    Medium,
+    /// Explicit 3-letter ISO code.
+    High,
+}
+
+/// A successful detection.
+#[derive(Debug)]
+pub struct DetectedPrice {
+    /// The selection after part-1 cleanup.
+    pub original: String,
+    /// Detected currency (for ambiguous symbols: the catalogue's first
+    /// match, by convention USD for `$`).
+    pub currency: &'static Currency,
+    /// Parsed amount in the detected currency.
+    pub amount: f64,
+    /// How the currency was recognized.
+    pub confidence: Confidence,
+}
+
+/// Why detection failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectError {
+    /// Selection longer than the 25-character limit (anti-injection check).
+    TooLong,
+    /// Selection contains no digit.
+    NoDigit,
+    /// No currency code, notation, or symbol recognized.
+    UnknownCurrency,
+    /// A currency was found but no parsable numeric value.
+    NoNumber,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::TooLong => write!(f, "selection exceeds 25 characters"),
+            DetectError::NoDigit => write!(f, "selection contains no digit"),
+            DetectError::UnknownCurrency => write!(f, "no known currency notation found"),
+            DetectError::NoNumber => write!(f, "no parsable price value found"),
+        }
+    }
+}
+
+impl Error for DetectError {}
+
+/// Part 0: the paper's sanity constraints — "less than 25 characters and at
+/// least one digit" — plus control-character sanitization.
+pub fn validate_selection(selection: &str) -> Result<String, DetectError> {
+    let cleaned = cleanup(selection);
+    if cleaned.chars().count() >= 25 {
+        return Err(DetectError::TooLong);
+    }
+    if !cleaned.chars().any(|c| c.is_ascii_digit()) {
+        return Err(DetectError::NoDigit);
+    }
+    Ok(cleaned)
+}
+
+/// Part 1: remove newline characters and collapse runs of whitespace.
+fn cleanup(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        if ch.is_control() {
+            continue;
+        }
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+            }
+            last_space = true;
+        } else {
+            out.push(ch);
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Runs the full §3.5 pipeline on a selected price string.
+pub fn detect_price(selection: &str) -> Result<DetectedPrice, DetectError> {
+    detect_price_inner(selection, None)
+}
+
+/// Like [`detect_price`], with a *geo hint*: when the currency symbol is
+/// ambiguous (`$`, `kr`, `¥`), prefer `hint_iso` if it is among the symbol's
+/// candidates — and, crucially, parse the amount with that currency's
+/// decimal convention (a Chinese vantage's `¥67.60` is CNY 67.60, not
+/// JPY 6760). The measurement server hints with the vantage country's
+/// currency; the detection stays flagged low-confidence either way.
+pub fn detect_price_with_hint(
+    selection: &str,
+    hint_iso: &str,
+) -> Result<DetectedPrice, DetectError> {
+    detect_price_inner(selection, Some(hint_iso))
+}
+
+fn detect_price_inner(
+    selection: &str,
+    hint_iso: Option<&str>,
+) -> Result<DetectedPrice, DetectError> {
+    let cleaned = validate_selection(selection)?;
+
+    // Split into words; a "word" mixing letters and digits (e.g. `EUR654`)
+    // is re-split into letter-runs and digit-runs — the paper's part 3
+    // fallback for concatenated tokens.
+    let words = tokenize(&cleaned);
+
+    // Part 2: detect the currency, in the prescribed priority order.
+    let (currency, confidence) =
+        detect_currency(&words, hint_iso).ok_or(DetectError::UnknownCurrency)?;
+
+    // Part 3: extract the numeric value.
+    let amount = extract_number(&words, currency).ok_or(DetectError::NoNumber)?;
+
+    Ok(DetectedPrice {
+        original: cleaned,
+        currency,
+        amount,
+        confidence,
+    })
+}
+
+/// A token: either a letter/symbol run or a numeric run (digits with
+/// embedded separators).
+#[derive(Debug, PartialEq)]
+enum Token {
+    Word(String),
+    Number(String),
+}
+
+fn tokenize(s: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut cur_is_num = false;
+
+    let flush = |tokens: &mut Vec<Token>, cur: &mut String, is_num: bool| {
+        if cur.is_empty() {
+            return;
+        }
+        let t = std::mem::take(cur);
+        tokens.push(if is_num { Token::Number(t) } else { Token::Word(t) });
+    };
+
+    let chars: Vec<char> = s.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        let is_num_char = ch.is_ascii_digit()
+            || (matches!(ch, '.' | ',' | '\u{a0}' | '\'')
+                && cur_is_num
+                && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()));
+        if ch == ' ' {
+            flush(&mut tokens, &mut cur, cur_is_num);
+            continue;
+        }
+        if is_num_char {
+            if !cur_is_num {
+                flush(&mut tokens, &mut cur, cur_is_num);
+                cur_is_num = true;
+            }
+            cur.push(ch);
+        } else {
+            if cur_is_num {
+                flush(&mut tokens, &mut cur, cur_is_num);
+                cur_is_num = false;
+            }
+            cur.push(ch);
+        }
+    }
+    flush(&mut tokens, &mut cur, cur_is_num);
+    tokens
+}
+
+/// Part 2 of the paper's algorithm. Priority: (a) ISO code, (b) custom
+/// notation, (c) symbol — where `hint_iso` breaks symbol ambiguity.
+fn detect_currency(
+    tokens: &[Token],
+    hint_iso: Option<&str>,
+) -> Option<(&'static Currency, Confidence)> {
+    let words: Vec<&str> = tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Word(w) => Some(w.as_str()),
+            Token::Number(_) => None,
+        })
+        .collect();
+
+    // (a) 3-letter ISO code as its own word.
+    for w in &words {
+        if w.len() == 3 {
+            if let Some(c) = CurrencyCatalog::by_iso(w) {
+                return Some((c, Confidence::High));
+            }
+        }
+    }
+    // (b) custom notation.
+    for w in &words {
+        if let Some(c) = CurrencyCatalog::by_custom_notation(w) {
+            return Some((c, Confidence::Medium));
+        }
+    }
+    // (c) symbol: scan words for a known symbol, longest symbols first so
+    // `R$` beats `$`. Purely alphabetic symbols (`kr`, `R`, `Rp`) must match
+    // a whole word — substring matching would fire inside arbitrary text —
+    // while punctuation symbols (`$`, `€`, `£`) may be embedded.
+    for sym in CurrencyCatalog::symbols_longest_first() {
+        let alphabetic = sym.chars().all(char::is_alphabetic);
+        for w in &words {
+            let hit = if alphabetic {
+                *w == sym
+            } else {
+                *w == sym || w.contains(sym)
+            };
+            if hit {
+                let hits = CurrencyCatalog::by_symbol(sym);
+                let hinted = hint_iso.and_then(|iso| {
+                    hits.iter().find(|c| c.iso.eq_ignore_ascii_case(iso)).copied()
+                });
+                if let Some(chosen) = hinted.or_else(|| hits.first().copied()) {
+                    let conf = if hits.len() == 1 {
+                        Confidence::Medium
+                    } else {
+                        Confidence::Low
+                    };
+                    return Some((chosen, conf));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Part 3: parse the first numeric token, with locale-aware separator
+/// disambiguation.
+fn extract_number(tokens: &[Token], currency: &Currency) -> Option<f64> {
+    tokens.iter().find_map(|t| match t {
+        Token::Number(n) => parse_locale_number(n, currency.decimals),
+        Token::Word(_) => None,
+    })
+}
+
+/// Parses `1,234.56`, `1.234,56`, `1 234,56`, `88,204`, `6'283.50`, …
+///
+/// Disambiguation rules, in order:
+/// 1. both `.` and `,` present → the *last* separator is the decimal mark;
+/// 2. a single separator followed by exactly 3 digits at the end is a
+///    thousands separator when the integer part groups correctly or the
+///    currency has no decimals; otherwise, `,`/`.` with 1–2 trailing digits
+///    is a decimal mark.
+pub fn parse_locale_number(s: &str, currency_decimals: u8) -> Option<f64> {
+    let seps: Vec<(usize, char)> = s
+        .char_indices()
+        .filter(|(_, c)| matches!(c, '.' | ',' | '\u{a0}' | '\''))
+        .collect();
+    let digits_only = |t: &str| -> String { t.chars().filter(char::is_ascii_digit).collect() };
+
+    if seps.is_empty() {
+        return s.parse::<f64>().ok();
+    }
+
+    let (last_idx, last_sep) = *seps.last().unwrap();
+    let tail = &s[last_idx + last_sep.len_utf8()..];
+    let distinct: std::collections::HashSet<char> = seps.iter().map(|&(_, c)| c).collect();
+
+    let last_is_decimal = if distinct.len() > 1 {
+        // Mixed separators: the last one is decimal ("1.234,56").
+        true
+    } else if seps.len() > 1 {
+        // Same separator repeated: grouping ("1,234,567").
+        false
+    } else if currency_decimals == 0 {
+        // Currencies that never print decimals (JPY, KRW): any separator
+        // is grouping.
+        false
+    } else {
+        // Single separator: a 3-digit tail is a thousands separator
+        // ("88,204"); 1–2 trailing digits mark decimals ("10.99").
+        tail.len() != 3
+    };
+
+    let value = if last_is_decimal {
+        let head = digits_only(&s[..last_idx]);
+        let frac = digits_only(tail);
+        format!("{head}.{frac}").parse::<f64>().ok()?
+    } else {
+        digits_only(s).parse::<f64>().ok()?
+    };
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amount(s: &str) -> f64 {
+        detect_price(s).unwrap().amount
+    }
+
+    fn iso(s: &str) -> &'static str {
+        detect_price(s).unwrap().currency.iso
+    }
+
+    #[test]
+    fn iso_code_concatenated() {
+        assert_eq!(iso("EUR654"), "EUR");
+        assert_eq!(amount("EUR654"), 654.0);
+    }
+
+    #[test]
+    fn iso_code_spaced() {
+        assert_eq!(iso("654 EUR"), "EUR");
+        assert_eq!(amount("654 EUR"), 654.0);
+        assert_eq!(iso("usd 12.99"), "USD");
+    }
+
+    #[test]
+    fn custom_notation() {
+        let d = detect_price("US$ 699").unwrap();
+        assert_eq!(d.currency.iso, "USD");
+        assert_eq!(d.confidence, Confidence::Medium);
+        assert_eq!(d.amount, 699.0);
+    }
+
+    #[test]
+    fn ambiguous_symbol_low_confidence() {
+        let d = detect_price("$699").unwrap();
+        assert_eq!(d.currency.iso, "USD");
+        assert_eq!(d.confidence, Confidence::Low);
+    }
+
+    #[test]
+    fn unambiguous_symbol_medium_confidence() {
+        let d = detect_price("€ 1.234,56").unwrap();
+        assert_eq!(d.currency.iso, "EUR");
+        assert_eq!(d.confidence, Confidence::Medium);
+        assert!((d.amount - 1234.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_notations_parse() {
+        assert_eq!(amount("ILS2,963"), 2963.0);
+        assert_eq!(amount("JPY88,204"), 88204.0);
+        assert_eq!(amount("KRW829,075"), 829075.0);
+        assert_eq!(amount("SEK6,283"), 6283.0);
+        assert_eq!(amount("CZK18,215"), 18215.0);
+    }
+
+    #[test]
+    fn decimal_point_styles() {
+        assert!((amount("$1,234.56") - 1234.56).abs() < 1e-9);
+        assert!((amount("EUR 1.234,56") - 1234.56).abs() < 1e-9);
+        assert!((amount("$10.00") - 10.0).abs() < 1e-9);
+        assert!((amount("EUR 0,99") - 0.99).abs() < 1e-9);
+        assert!((amount("CHF 1'299.00") - 1299.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_grouping_separators() {
+        assert!((amount("JPY 1,234,567") - 1_234_567.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let long = "this selection is way too long 123456";
+        assert_eq!(detect_price(long).unwrap_err(), DetectError::TooLong);
+    }
+
+    #[test]
+    fn no_digit_rejected() {
+        assert_eq!(detect_price("EUR").unwrap_err(), DetectError::NoDigit);
+    }
+
+    #[test]
+    fn unknown_notation_rejected() {
+        assert_eq!(
+            detect_price("999 credits").unwrap_err(),
+            DetectError::UnknownCurrency
+        );
+    }
+
+    #[test]
+    fn injection_is_neutralized() {
+        // Control characters are stripped; no panic, graceful error.
+        let res = detect_price("<script>1</script>\u{0}EUR");
+        assert!(res.is_err());
+        let ok = detect_price("EUR 12\n.50");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn whitespace_cleanup() {
+        assert_eq!(validate_selection("  EUR\n\n 654  ").unwrap(), "EUR 654");
+    }
+
+    #[test]
+    fn czech_koruna_symbol() {
+        let d = detect_price("18215 Kč").unwrap();
+        assert_eq!(d.currency.iso, "CZK");
+    }
+
+    #[test]
+    fn brl_composite_symbol_beats_dollar() {
+        let d = detect_price("R$ 99").unwrap();
+        assert_eq!(d.currency.iso, "BRL");
+    }
+
+    #[test]
+    fn kr_symbol_ambiguous() {
+        let d = detect_price("6283 kr").unwrap();
+        assert_eq!(d.confidence, Confidence::Low);
+        // Catalogue order makes SEK the first match.
+        assert_eq!(d.currency.iso, "SEK");
+    }
+}

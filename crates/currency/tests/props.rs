@@ -1,0 +1,58 @@
+//! Property tests: the parser must survive arbitrary selections without
+//! panicking, and round-trip well-formed prices.
+
+use proptest::prelude::*;
+use sheriff_currency::detect::parse_locale_number;
+use sheriff_currency::{detect_price, validate_selection, FixedRates, RateProvider};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn detection_never_panics(s in "\\PC{0,40}") {
+        let _ = detect_price(&s);
+        let _ = validate_selection(&s);
+    }
+
+    #[test]
+    fn integer_prices_roundtrip(v in 0u64..10_000_000) {
+        let got = detect_price(&format!("EUR {v}")).unwrap().amount;
+        prop_assert_eq!(got, v as f64);
+    }
+
+    #[test]
+    fn us_style_decimals_roundtrip(int in 0u64..100_000, cents in 0u64..100) {
+        let got = detect_price(&format!("USD {int}.{cents:02}")).unwrap().amount;
+        let want = int as f64 + cents as f64 / 100.0;
+        prop_assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eu_style_decimals_roundtrip(int in 0u64..100_000, cents in 0u64..100) {
+        let got = detect_price(&format!("EUR {int},{cents:02}")).unwrap().amount;
+        let want = int as f64 + cents as f64 / 100.0;
+        prop_assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_thousands_roundtrip(thousands in 1u64..1000, tail in 0u64..1000) {
+        let text = format!("JPY {thousands},{tail:03}");
+        let got = detect_price(&text).unwrap().amount;
+        prop_assert_eq!(got, (thousands * 1000 + tail) as f64);
+    }
+
+    #[test]
+    fn parse_locale_number_never_panics(s in "[0-9.,' ]{0,20}") {
+        let _ = parse_locale_number(&s, 2);
+        let _ = parse_locale_number(&s, 0);
+    }
+
+    #[test]
+    fn conversion_is_monotone(a in 1.0f64..1e6, b in 1.0f64..1e6) {
+        let r = FixedRates::paper_era();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let clo = r.convert(lo, "USD", "EUR").unwrap();
+        let chi = r.convert(hi, "USD", "EUR").unwrap();
+        prop_assert!(clo <= chi);
+    }
+}

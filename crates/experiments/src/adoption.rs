@@ -1,0 +1,161 @@
+//! The Fig. 5 adoption model: add-on downloads and active users over time.
+//!
+//! §3.4: "After the initial release of the browser add-on and a number of
+//! articles and blog posts … three major spikes appeared". Downloads are a
+//! small organic baseline plus exponentially-decaying press spikes; active
+//! users integrate downloads with churn. The model regenerates the series
+//! the Firefox add-on service plotted.
+
+/// A press event: an article or documentary airs on `day` with `magnitude`
+/// extra downloads that decay with time constant `decay_days`.
+#[derive(Clone, Copy, Debug)]
+pub struct PressEvent {
+    /// Day of publication.
+    pub day: u32,
+    /// Peak extra downloads on the day itself.
+    pub magnitude: f64,
+    /// Exponential decay constant (days).
+    pub decay_days: f64,
+}
+
+/// The paper's timeline: three major spikes over ~14 months.
+pub fn paper_press_events() -> Vec<PressEvent> {
+    vec![
+        // Initial release coverage.
+        PressEvent {
+            day: 30,
+            magnitude: 95.0,
+            decay_days: 4.0,
+        },
+        // businessinsider.com / businessoffashion.com wave.
+        PressEvent {
+            day: 150,
+            magnitude: 160.0,
+            decay_days: 5.0,
+        },
+        // Swiss national TV documentary (RTS Un).
+        PressEvent {
+            day: 300,
+            magnitude: 220.0,
+            decay_days: 6.0,
+        },
+    ]
+}
+
+/// One day of the Fig. 5 series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdoptionDay {
+    /// Day index.
+    pub day: u32,
+    /// Downloads that day.
+    pub downloads: f64,
+    /// Active users that day.
+    pub active_users: f64,
+}
+
+/// Simulates `days` of adoption.
+///
+/// * `baseline` — organic downloads/day;
+/// * `activation` — fraction of downloads that become active users;
+/// * `churn` — daily fraction of active users who uninstall/idle out.
+pub fn simulate(
+    days: u32,
+    baseline: f64,
+    activation: f64,
+    churn: f64,
+    events: &[PressEvent],
+) -> Vec<AdoptionDay> {
+    let mut active = 0.0f64;
+    (0..days)
+        .map(|day| {
+            let press: f64 = events
+                .iter()
+                .filter(|e| day >= e.day)
+                .map(|e| e.magnitude * (-(f64::from(day - e.day)) / e.decay_days).exp())
+                .sum();
+            let downloads = baseline + press;
+            active = active * (1.0 - churn) + downloads * activation;
+            AdoptionDay {
+                day,
+                downloads,
+                active_users: active,
+            }
+        })
+        .collect()
+}
+
+/// The paper-shaped series: ~430 days, ending above 1000 cumulative
+/// recruited users (§6: "we managed to recruit more than 1000 new users").
+pub fn paper_series() -> Vec<AdoptionDay> {
+    simulate(430, 2.2, 0.62, 0.012, &paper_press_events())
+}
+
+/// Cumulative downloads of a series.
+pub fn total_downloads(series: &[AdoptionDay]) -> f64 {
+    series.iter().map(|d| d.downloads).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_spikes_visible() {
+        let series = paper_series();
+        // A spike day has far more downloads than the organic baseline.
+        let spike_days: Vec<u32> = series
+            .iter()
+            .filter(|d| d.downloads > 50.0)
+            .map(|d| d.day)
+            .collect();
+        for e in paper_press_events() {
+            assert!(
+                spike_days.contains(&e.day),
+                "spike at day {} missing",
+                e.day
+            );
+        }
+        // Between spikes, downloads return near baseline.
+        let day_100 = &series[100];
+        assert!(day_100.downloads < 10.0, "{day_100:?}");
+    }
+
+    #[test]
+    fn recruits_over_1000_users() {
+        let series = paper_series();
+        assert!(
+            total_downloads(&series) > 1000.0,
+            "total={}",
+            total_downloads(&series)
+        );
+    }
+
+    #[test]
+    fn active_users_lag_and_decay() {
+        let series = paper_series();
+        let e = paper_press_events()[1];
+        // Active users keep rising a few days after the spike day…
+        let at_spike = series[e.day as usize].active_users;
+        let after = series[(e.day + 2) as usize].active_users;
+        assert!(after > at_spike);
+        // …then decay once downloads subside.
+        let later = series[(e.day + 60) as usize].active_users;
+        let peak = series
+            .iter()
+            .skip(e.day as usize)
+            .take(30)
+            .map(|d| d.active_users)
+            .fold(0.0f64, f64::max);
+        assert!(later < peak, "later={later} peak={peak}");
+    }
+
+    #[test]
+    fn no_events_means_flat_organic_growth() {
+        let series = simulate(100, 5.0, 0.5, 0.0, &[]);
+        assert!(series.iter().all(|d| (d.downloads - 5.0).abs() < 1e-9));
+        // Monotone active users without churn.
+        for w in series.windows(2) {
+            assert!(w[1].active_users >= w[0].active_users);
+        }
+    }
+}

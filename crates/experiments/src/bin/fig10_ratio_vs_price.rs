@@ -1,0 +1,77 @@
+//! Fig. 10: ratio of the maximum over the minimum observed price of a
+//! product (y) against the product's minimum price (x) — the paper's
+//! signature shape: ratios up to ×2.5 below €1k, ×1.7 for €1k–10k, and only
+//! ~30% above €10k.
+//!
+//! `cargo run --release -p sheriff-experiments --bin fig10_ratio_vs_price [--full]`
+
+use sheriff_experiments::liveworld::run_live_study;
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::{seed_from_args, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = seed_from_args();
+    let ds = run_live_study(scale, seed);
+
+    // One point per (domain, product): min price and max/min ratio.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for check in &ds.checks {
+        let key = (check.domain.clone(), check.url.clone());
+        if seen.contains(&key) {
+            continue;
+        }
+        let (Some(min), Some(max)) = (check.min_eur(), check.max_eur()) else {
+            continue;
+        };
+        if min <= 0.0 {
+            continue;
+        }
+        seen.push(key);
+        points.push((min, max / min));
+    }
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+
+    println!("Fig. 10 — max/min price ratio vs minimum product price\n");
+    let bands = [
+        ("€0 – €1k", 0.0, 1_000.0),
+        ("€1k – €10k", 1_000.0, 10_000.0),
+        ("€10k – €100k", 10_000.0, 100_000.0),
+    ];
+    let mut table = Table::new(["Price band", "# products", "max ratio", "paper max"]);
+    let paper = ["~2.5x", "~1.7x", "~1.3x"];
+    let mut band_max = Vec::new();
+    for (i, (label, lo, hi)) in bands.iter().enumerate() {
+        let in_band: Vec<f64> = points
+            .iter()
+            .filter(|(min, _)| min >= lo && min < hi)
+            .map(|&(_, r)| r)
+            .collect();
+        let max_ratio = in_band.iter().fold(1.0f64, |a, &b| a.max(b));
+        table.row([
+            label.to_string(),
+            in_band.len().to_string(),
+            format!("{max_ratio:.2}x"),
+            paper[i].to_string(),
+        ]);
+        band_max.push(max_ratio);
+    }
+    println!("{}", table.render());
+
+    // The decreasing-envelope shape: the cheap band's extreme beats the
+    // expensive band's.
+    if band_max[0] > 1.0 && band_max[2] > 1.0 {
+        println!(
+            "envelope decreasing: {} (cheap {band0:.2}x ≥ expensive {band2:.2}x)",
+            band_max[0] >= band_max[2],
+            band0 = band_max[0],
+            band2 = band_max[2]
+        );
+    }
+    println!("\nScatter sample (min price → ratio):");
+    for (min, ratio) in points.iter().step_by((points.len() / 20).max(1)) {
+        println!("  €{min:>9.2} → {ratio:.2}x");
+    }
+    write_json("fig10_ratio_vs_price", &points);
+}

@@ -1,0 +1,84 @@
+//! Fig. 12: per-country scatter of within-country differences — for each
+//! product, the minimum observed price (x) against the maximum relative
+//! difference between any two same-country measurement points (y).
+//!
+//! `cargo run --release -p sheriff-experiments --bin fig12_case_studies [--full]`
+
+use std::collections::BTreeMap;
+
+use sheriff_experiments::casestudy::{run_all, CASE_DOMAINS};
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::{seed_from_args, Scale};
+use sheriff_geo::vat_rate;
+use sheriff_geo::ProductCategory;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = seed_from_args();
+    let studies = run_all(scale, seed);
+
+    let mut json = Vec::new();
+    for study in &studies {
+        println!(
+            "Fig. 12 — {} (PPC pool: {})\n",
+            study.country.name(),
+            study.country.code()
+        );
+        for domain in CASE_DOMAINS {
+            // Per product: (min price, max within-country relative diff).
+            let mut per_product: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+            for check in study.checks.iter().filter(|c| c.domain == domain) {
+                let Some(spread) = check.within_country_spread(study.country) else {
+                    continue;
+                };
+                let Some(min) = check.min_eur() else { continue };
+                let entry = per_product.entry(check.url.as_str()).or_insert((min, 0.0));
+                entry.0 = entry.0.min(min);
+                entry.1 = entry.1.max(spread);
+            }
+            let varying: Vec<(&&str, &(f64, f64))> =
+                per_product.iter().filter(|(_, v)| v.1 > 0.004).collect();
+            let max_diff = varying.iter().map(|(_, v)| v.1).fold(0.0f64, f64::max);
+            println!(
+                "  {domain:<14} {} products with within-country difference, max {:.1}%",
+                varying.len(),
+                max_diff * 100.0
+            );
+            let mut table = Table::new(["    product", "min price (EUR)", "max rel diff"]);
+            for (url, (min, diff)) in varying.iter().take(6) {
+                table.row([
+                    format!("    {url}"),
+                    format!("{min:.2}"),
+                    format!("{:.1}%", diff * 100.0),
+                ]);
+            }
+            if !varying.is_empty() {
+                println!("{}", table.render());
+            }
+            for (url, (min, diff)) in &per_product {
+                json.push((
+                    study.country.code(),
+                    domain,
+                    url.to_string(),
+                    *min,
+                    *diff,
+                ));
+            }
+        }
+        println!();
+    }
+
+    println!("paper Fig. 12 shapes:");
+    println!("  chegg.com:    3–7% spreads on €10–€100 textbooks (ES/UK/DE; none in FR)");
+    println!("  jcpenney.com: <2% on the continent, exactly 7% in the UK");
+    println!("  amazon.com:   diffs concentrate on VAT-discrete values per country, e.g.");
+    for c in [sheriff_geo::Country::ES, sheriff_geo::Country::FR, sheriff_geo::Country::GB, sheriff_geo::Country::DE] {
+        println!(
+            "     {}: standard {:.0}%, books {:.0}%",
+            c.code(),
+            vat_rate(c, ProductCategory::Electronics) * 100.0,
+            vat_rate(c, ProductCategory::Books) * 100.0
+        );
+    }
+    write_json("fig12_case_studies", &json);
+}

@@ -1,0 +1,83 @@
+//! Fig. 14/15 + §7.5's temporal findings: 20-day price series for
+//! jcpenney.com (small successive drops with rare large jumps, daily
+//! fluctuation ≈3.7%) and chegg.com (slow drift, fluctuation ≈8.3%), the
+//! per-product regression lines, and the revenue-delta estimate.
+//!
+//! `cargo run --release -p sheriff-experiments --bin fig14_15_temporal [--full]`
+
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::temporal::{
+    daily_maxima, mean_daily_fluctuation, run_temporal_study, TemporalSizing, TEMPORAL_DOMAINS,
+};
+use sheriff_experiments::{seed_from_args, Scale};
+use sheriff_stats::{linear_fit, BoxStats};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = seed_from_args();
+    let sizing = TemporalSizing::for_scale(scale);
+    let ds = run_temporal_study(scale, seed);
+    println!(
+        "Fig. 14/15 — {} requests over {} days, OS×browser grid, clean profiles\n",
+        ds.requests_issued, sizing.days
+    );
+
+    let mut json = Vec::new();
+    for (fig, domain) in [("Fig. 14", TEMPORAL_DOMAINS[0]), ("Fig. 15", TEMPORAL_DOMAINS[1])] {
+        println!("{fig} — {domain}\n");
+        let mut fluctuations = Vec::new();
+        let mut revenue_delta = 0.0;
+        let mut slopes_down = 0;
+        let mut products = 0;
+
+        for p in 0..sizing.products as u32 {
+            let series = ds.daily_series(domain, p, sizing.days);
+            let maxima = daily_maxima(&series);
+            if maxima.len() < sizing.days as usize / 2 {
+                continue;
+            }
+            products += 1;
+            let xs: Vec<f64> = maxima.iter().map(|m| m.0).collect();
+            let ys: Vec<f64> = maxima.iter().map(|m| m.1).collect();
+            let fit = linear_fit(&xs, &ys);
+            if fit.slope < 0.0 {
+                slopes_down += 1;
+            }
+            revenue_delta += fit.predict(*xs.last().expect("non-empty"))
+                - fit.predict(xs[0]);
+            fluctuations.push(mean_daily_fluctuation(&series));
+
+            // Print the five representative products like the figures.
+            if p < 5 {
+                let mut table = Table::new(["day", "min", "median", "max"]);
+                for (d, day_prices) in series.iter().enumerate().step_by(4) {
+                    let Some(stats) = BoxStats::compute(day_prices) else {
+                        continue;
+                    };
+                    table.row([
+                        d.to_string(),
+                        format!("{:.2}", stats.min),
+                        format!("{:.2}", stats.median),
+                        format!("{:.2}", stats.max),
+                    ]);
+                }
+                println!(
+                    "  product {p}: regression slope {:+.3} EUR/day, R²={:.2}",
+                    fit.slope, fit.r2
+                );
+                println!("{}", table.render());
+            }
+            json.push((domain, p, fit.slope, fit.r2));
+        }
+
+        let fluct = sheriff_stats::mean(&fluctuations);
+        println!("  {domain}: {slopes_down}/{products} products trend downward");
+        println!("  mean daily fluctuation: {:.1}%", fluct * 100.0);
+        println!("  revenue delta over the window (all products sold once): €{revenue_delta:+.0}");
+        match domain {
+            "jcpenney.com" => println!("  paper: fluctuation ≈3.7%, drops + rare large jumps, ≈€452 increase\n"),
+            _ => println!("  paper: fluctuation ≈8.3% (4.6% above jcpenney), slow drift, ≈€225 increase\n"),
+        }
+    }
+    write_json("fig14_15_temporal", &json);
+}

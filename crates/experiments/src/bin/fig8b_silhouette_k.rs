@@ -1,0 +1,73 @@
+//! Fig. 8b: silhouette score as a function of the number of clusters k
+//! (the knee around k ∈ [40, 60] at ≈0.6 set the doppelganger budget).
+//!
+//! `cargo run --release -p sheriff-experiments --bin fig8b_silhouette_k`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_experiments::report::{ascii_box, write_json, Table};
+use sheriff_experiments::{population, seed_from_args};
+use sheriff_kmeans::{
+    build_universe, kmeans, mean_silhouette, profile_vector, to_unit_f64, KmeansConfig,
+    UniverseStrategy,
+};
+use sheriff_stats::BoxStats;
+
+fn main() {
+    let seed = seed_from_args();
+    println!("Fig. 8b — silhouette vs number of clusters k (m = 100, Alexa top)\n");
+
+    let pop = population::generate(0, seed);
+    let donors: Vec<_> = pop
+        .users
+        .iter()
+        .filter(|u| u.donates_history)
+        .take(500)
+        .collect();
+    let histories: Vec<sheriff_kmeans::RawHistory> =
+        donors.iter().map(|u| u.history.clone()).collect();
+    let universe = build_universe(&histories, &pop.alexa_ranking, UniverseStrategy::AlexaTop, 100);
+    let points: Vec<Vec<f64>> = histories
+        .iter()
+        .map(|h| to_unit_f64(&profile_vector(h, &universe, 16), 16))
+        .collect();
+
+    let mut table = Table::new(["k", "silhouette", ""]);
+    let mut json_rows = Vec::new();
+    let mut best_in_band = f64::NEG_INFINITY;
+    for k in (10..=100).step_by(10) {
+        // Average over restarts (k-means is init-sensitive).
+        let runs: Vec<f64> = (0..3)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (k as u64) << 8 ^ r);
+                let res = kmeans(
+                    &points,
+                    &KmeansConfig {
+                        k,
+                        max_iters: 40,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                );
+                mean_silhouette(&points, &res.assignments, k)
+            })
+            .collect();
+        let s = runs.iter().sum::<f64>() / runs.len() as f64;
+        if (40..=60).contains(&k) {
+            best_in_band = best_in_band.max(s);
+        }
+        let stats = BoxStats::compute(&runs).expect("non-empty");
+        table.row([
+            k.to_string(),
+            format!("{s:.3}"),
+            ascii_box(&stats, 0.0, 1.0, 40),
+        ]);
+        json_rows.push((k, s));
+    }
+    println!("{}", table.render());
+    println!("best silhouette for k in [40, 60]: {best_in_band:.3}");
+    println!("paper: 'the silhouette score curve reaches up to around 0.6 with as little as");
+    println!("       40 clusters'; the deployment capped k at 10% of the user count.");
+    write_json("fig8b_silhouette_k", &json_rows);
+}

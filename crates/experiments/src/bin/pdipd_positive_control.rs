@@ -1,0 +1,68 @@
+//! PDI-PD positive control — validates the watchdog on the behaviour the
+//! paper searched for but never found in the wild. A synthetic retailer
+//! prices off a tracker's `profile_score` cookie; the normal pipeline plus
+//! the §7.4/§7.5 battery must flag it (where the same battery clears
+//! jcpenney/chegg as A/B testing).
+//!
+//! `cargo run --release -p sheriff-experiments --bin pdipd_positive_control`
+
+use sheriff_experiments::pdipd::{run_positive_control, PDIPD_DOMAIN};
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::seed_from_args;
+
+fn main() {
+    let seed = seed_from_args();
+    println!("PDI-PD positive control — injected discriminator: {PDIPD_DOMAIN}");
+    println!("(prices carry a +15% markup scaled by the tracker's profile_score)\n");
+    let study = run_positive_control(seed, 8, 8);
+
+    println!("completed checks: {}\n", study.checks.len());
+    let mut table = Table::new(["Peer", "affluence (truth)", "median price diff"]);
+    for (peer, med) in &study.peer_medians {
+        let aff = study
+            .affluence
+            .iter()
+            .find(|(p, _)| p == peer)
+            .map(|(_, a)| format!("{a:.2}"))
+            .unwrap_or_else(|| "-".into());
+        table.row([
+            format!("peer-{peer}"),
+            aff,
+            format!("{:.1}%", med * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "pairwise K-S: max D = {:.2}, min p = {:.4} → {}",
+        study.ks.max_d,
+        study.ks.min_p,
+        if study.ks.same_distribution {
+            "same distribution (NOT flagged — unexpected!)"
+        } else {
+            "distributions differ → peers are targeted individually"
+        }
+    );
+    println!(
+        "median-diff ~ affluence regression: slope {:+.3}, R² = {:.2}",
+        study.bias_vs_affluence.slope, study.bias_vs_affluence.r2
+    );
+    let detected = !study.ks.same_distribution && study.bias_vs_affluence.r2 > 0.5;
+    println!(
+        "\nverdict: {}",
+        if detected {
+            "PERSONAL-DATA-INDUCED PRICE DISCRIMINATION DETECTED \
+             (price differences reproduce the tracker's wealth profile)"
+        } else {
+            "not detected"
+        }
+    );
+    println!("\ncontrast: the identical battery run on jcpenney.com/chegg.com");
+    println!("(sec75_ab_testing_stats) finds same-distribution + flat features →");
+    println!("A/B testing. The instruments separate the two causes, which is the");
+    println!("paper's §9 'watchdog value' claim made executable.");
+    write_json(
+        "pdipd_positive_control",
+        &(study.peer_medians, study.bias_vs_affluence.slope, study.bias_vs_affluence.r2),
+    );
+}

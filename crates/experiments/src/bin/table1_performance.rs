@@ -1,0 +1,173 @@
+//! Table 1: system performance analysis — response time per task and max
+//! daily requests for the old ($heriff v1) and new (Price $heriff v2)
+//! architectures under increasing parallel workloads.
+//!
+//! The stress test mirrors §5: Selenium-like "client browsers" keep a
+//! target number of tasks in flight (closed loop); response time is
+//! averaged once the workload is at level.
+//!
+//! `cargo run --release -p sheriff-experiments --bin table1_performance`
+
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::{seed_from_args, Scale};
+use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+struct Scenario {
+    label: &'static str,
+    cfg_of: fn(u64, usize) -> SheriffConfig,
+    clients: usize,
+    servers: usize,
+    parallel_tasks: usize,
+}
+
+fn v1(seed: u64, _servers: usize) -> SheriffConfig {
+    SheriffConfig::v1(seed)
+}
+
+fn v2(seed: u64, servers: usize) -> SheriffConfig {
+    SheriffConfig::v2(seed, servers)
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let scale = Scale::from_args();
+    let tasks_per_row = match scale {
+        Scale::Paper => 60,
+        Scale::Demo => 24,
+    };
+
+    let scenarios = [
+        Scenario { label: "Old", cfg_of: v1, clients: 1, servers: 1, parallel_tasks: 5 },
+        Scenario { label: "Old", cfg_of: v1, clients: 2, servers: 1, parallel_tasks: 10 },
+        Scenario { label: "New", cfg_of: v2, clients: 1, servers: 1, parallel_tasks: 5 },
+        Scenario { label: "New", cfg_of: v2, clients: 2, servers: 1, parallel_tasks: 10 },
+        Scenario { label: "New", cfg_of: v2, clients: 3, servers: 4, parallel_tasks: 10 },
+    ];
+
+    println!("Table 1 — system performance analysis ({tasks_per_row} tasks per row)\n");
+    let mut table = Table::new([
+        "Version", "# Clients", "# Servers", "# Tasks", "Resp/task (min)", "Max daily requests",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for sc in &scenarios {
+        let rt_min = run_scenario(sc, seed, tasks_per_row);
+        // §5's accounting: K parallel tasks, each taking rt minutes →
+        // K · (minutes per day) / rt requests per day.
+        // With multiple servers the safe threshold is per server.
+        let effective_parallel = sc.parallel_tasks * sc.servers.max(1);
+        let max_daily = (effective_parallel as f64 * 1440.0 / rt_min).round();
+        table.row([
+            sc.label.to_string(),
+            sc.clients.to_string(),
+            sc.servers.to_string(),
+            format!("~{}", sc.parallel_tasks),
+            format!("{rt_min:.1}"),
+            format!("{max_daily:.0}"),
+        ]);
+        json_rows.push((sc.label, sc.clients, sc.servers, sc.parallel_tasks, rt_min, max_daily));
+    }
+    println!("{}", table.render());
+    println!("paper:   Old 1/1/~5 → ~2 min (3600/day);   Old 2/1/~10 → ~5 min (2880/day)");
+    println!("         New 1/1/~5 → ~1 min (7200/day);   New 2/1/~10 → ~1.5 min (9600/day)");
+    println!("         New 3/4/~10 → ~1.5 min (38400/day)");
+    write_json("table1_performance", &json_rows);
+}
+
+/// Closed-loop load: keep `parallel_tasks` in flight until `total` tasks
+/// complete; return the mean response time (minutes) over the steady half.
+fn run_scenario(sc: &Scenario, seed: u64, total: usize) -> f64 {
+    let world = World::build(
+        &WorldConfig {
+            n_generic_discriminating: 2,
+            n_plain: 6,
+            n_alexa: 0,
+            products_per_retailer: 12,
+        },
+        seed,
+    );
+    let domains: Vec<String> = world.domains().map(str::to_string).collect();
+
+    // One PPC per "client browser" issuing requests, plus a few serving
+    // peers in the same location.
+    let mut specs = Vec::new();
+    for i in 0..(sc.clients as u64 + 3) {
+        specs.push(PpcSpec {
+            peer_id: 500 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            affluence: 0.1,
+            logged_in_domains: vec![],
+        });
+    }
+
+    let cfg = (sc.cfg_of)(seed, sc.servers);
+    let mut sheriff = PriceSheriff::new(cfg, world, &specs);
+
+    let mut submitted = 0usize;
+    let mut domain_cursor = 0usize;
+    // Ramp up: the initial batch.
+    let mut next_submit_time = SimTime::from_secs(1);
+    while submitted < sc.parallel_tasks * sc.servers.max(1) && submitted < total {
+        let peer = 500 + (submitted % sc.clients) as u64;
+        let domain = &domains[domain_cursor % domains.len()];
+        domain_cursor += 1;
+        sheriff.submit_check(
+            next_submit_time,
+            peer,
+            domain,
+            ProductId((submitted % 8) as u32),
+        );
+        next_submit_time = next_submit_time.plus(SimTime::from_secs(3));
+        submitted += 1;
+    }
+
+    // Closed loop: whenever a task finishes, feed another.
+    let mut done_seen = 0usize;
+    let mut guard = 0u64;
+    loop {
+        guard += 1;
+        if guard > 50_000_000 {
+            break;
+        }
+        if !sheriff.sim.step() {
+            break;
+        }
+        let done = sheriff.completed().len();
+        if done > done_seen {
+            for _ in 0..(done - done_seen) {
+                if submitted < total {
+                    let peer = 500 + (submitted % sc.clients) as u64;
+                    let domain = &domains[domain_cursor % domains.len()];
+                    domain_cursor += 1;
+                    let at = sheriff.sim.now().plus(SimTime::from_secs(2));
+                    sheriff.submit_check(at, peer, domain, ProductId((submitted % 8) as u32));
+                    submitted += 1;
+                }
+            }
+            done_seen = done;
+        }
+        if done >= total {
+            break;
+        }
+    }
+
+    let completed = sheriff.completed();
+    // Steady state: skip the warm-up third.
+    let steady = &completed[completed.len() / 3..];
+    let mean_ms: f64 = steady
+        .iter()
+        .map(|c| c.completed.since(c.submitted).as_millis() as f64)
+        .sum::<f64>()
+        / steady.len().max(1) as f64;
+    mean_ms / 60_000.0
+}

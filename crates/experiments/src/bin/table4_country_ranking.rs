@@ -1,0 +1,59 @@
+//! Table 4: countries ranked by how often they host the most expensive /
+//! cheapest observation of a differing price check.
+//!
+//! `cargo run --release -p sheriff-experiments --bin table4_country_ranking [--full]`
+
+use std::collections::BTreeMap;
+
+use sheriff_experiments::liveworld::run_live_study;
+use sheriff_experiments::report::{write_json, Table};
+use sheriff_experiments::{seed_from_args, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = seed_from_args();
+    let ds = run_live_study(scale, seed);
+
+    let mut expensive: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut cheapest: BTreeMap<&str, u64> = BTreeMap::new();
+    for check in &ds.checks {
+        if !check.has_difference(0.005) {
+            continue;
+        }
+        if let Some(c) = check.most_expensive_country() {
+            *expensive.entry(c.name()).or_insert(0) += 1;
+        }
+        if let Some(c) = check.cheapest_country() {
+            *cheapest.entry(c.name()).or_insert(0) += 1;
+        }
+    }
+
+    let rank = |m: &BTreeMap<&str, u64>| -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = m.iter().map(|(k, &n)| (k.to_string(), n)).collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.1));
+        v
+    };
+    let exp = rank(&expensive);
+    let cheap = rank(&cheapest);
+
+    println!("Table 4 — most expensive and cheapest countries (by product count)\n");
+    let mut table = Table::new(["Rank", "Expensive", "# products", "Cheapest", "# products"]);
+    for i in 0..10 {
+        table.row([
+            (i + 1).to_string(),
+            exp.get(i).map(|e| e.0.clone()).unwrap_or_default(),
+            exp.get(i).map(|e| e.1.to_string()).unwrap_or_default(),
+            cheap.get(i).map(|e| e.0.clone()).unwrap_or_default(),
+            cheap.get(i).map(|e| e.1.to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper Table 4 (expensive): Spain, USA, New Zealand, Portugal, Ireland, Japan,");
+    println!("                           Czech Republic, Korea, Hong Kong, Canada");
+    println!("paper Table 4 (cheapest):  USA, Spain, Canada, Brazil, Japan, Czech Republic,");
+    println!("                           New Zealand, Australia, Singapore, Thailand");
+    println!("\nNote: a country can appear in both lists — expensive for some products,");
+    println!("cheapest for others (the paper makes the same observation).");
+
+    write_json("table4_country_ranking", &(exp, cheap));
+}

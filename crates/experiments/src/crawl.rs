@@ -1,0 +1,198 @@
+//! The systematic crawl (paper §7.1/§7.2, Fig. 11): artificial requests
+//! generated against the domains the live study flagged, tunneled through
+//! IPCs and the Spain PPC pool from a parallel back-end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sheriff_core::records::PriceCheck;
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+use crate::Scale;
+
+/// Crawl sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct CrawlSizing {
+    /// Domains crawled (paper: 24).
+    pub n_domains: usize,
+    /// Products per domain (paper: 30).
+    pub products_per_domain: usize,
+    /// Repetitions per product (paper: 15).
+    pub repetitions: usize,
+}
+
+impl CrawlSizing {
+    /// Sizing for a scale.
+    pub fn for_scale(scale: Scale) -> CrawlSizing {
+        match scale {
+            Scale::Paper => CrawlSizing {
+                n_domains: 24,
+                products_per_domain: 30,
+                repetitions: 15,
+            },
+            Scale::Demo => CrawlSizing {
+                n_domains: 10,
+                products_per_domain: 6,
+                repetitions: 4,
+            },
+        }
+    }
+}
+
+/// Crawl output.
+pub struct CrawlDataset {
+    /// Completed checks.
+    pub checks: Vec<PriceCheck>,
+    /// The crawled domains.
+    pub domains: Vec<String>,
+    /// Requests issued.
+    pub requests_issued: usize,
+}
+
+/// The §7.1 crawl target list: the named domains the live study flagged,
+/// padded with the strongest generic discriminators.
+pub fn crawl_domains(world: &World, n: usize) -> Vec<String> {
+    let mut named: Vec<String> = [
+        "anntaylor.com",
+        "steampowered.com",
+        "abercrombie.com",
+        "jcpenney.com",
+        "chegg.com",
+        "amazon.com",
+        "luisaviaroma.com",
+        "digitalrev.com",
+        "overstock.com",
+        "suitsupply.com",
+        "aeropostale.com",
+        "raffaello-network.com",
+        "bookdepository.com",
+        "tuscanyleather.it",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .filter(|d| world.retailer(d).is_some())
+    .collect();
+    let mut i = 0;
+    while named.len() < n {
+        let candidate = format!("geo-store-{i}.example");
+        if world.retailer(&candidate).is_none() {
+            break;
+        }
+        named.push(candidate);
+        i += 1;
+    }
+    named.truncate(n);
+    named
+}
+
+/// Runs the crawl with the PPC pool in `country` (the paper used Spain for
+/// Fig. 11).
+pub fn run_crawl(scale: Scale, seed: u64, country: Country) -> CrawlDataset {
+    let sizing = CrawlSizing::for_scale(scale);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a1);
+    let world_cfg = match scale {
+        Scale::Paper => WorldConfig::paper_scale(),
+        Scale::Demo => WorldConfig {
+            n_generic_discriminating: 62,
+            n_plain: 30,
+            n_alexa: 10,
+            products_per_retailer: sizing.products_per_domain.max(8),
+        },
+    };
+    let world = World::build(&world_cfg, seed);
+    let domains = crawl_domains(&world, sizing.n_domains);
+
+    // The crawler (clean Firefox + iMacros driver, §7.1) plus the shared
+    // PPC pool of the target country.
+    let mut specs = vec![PpcSpec {
+        peer_id: 1,
+        country,
+        city_idx: 0,
+        user_agent: UserAgent {
+            os: Os::Linux,
+            browser: Browser::Firefox,
+        },
+        affluence: 0.0,
+        logged_in_domains: vec![],
+    }];
+    for i in 0..6u64 {
+        specs.push(PpcSpec {
+            peer_id: 10 + i,
+            country,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Windows,
+                browser: Browser::Chrome,
+            },
+            affluence: 0.2 + 0.1 * i as f64,
+            // §7.3: several PPC users were already logged in to amazon.
+            logged_in_domains: if i % 3 == 0 {
+                vec!["amazon.com".to_string()]
+            } else {
+                vec![]
+            },
+        });
+    }
+
+    let cfg = SheriffConfig::v2(seed, 4);
+    let mut sheriff = PriceSheriff::new(cfg, world, &specs);
+
+    let mut issued = 0usize;
+    let mut t = SimTime::from_secs(5);
+    for domain in &domains {
+        let n_products = {
+            let w = sheriff.world();
+            let guard = w.lock();
+            guard
+                .retailer(domain)
+                .map_or(0, |r| r.products.len())
+                .min(sizing.products_per_domain)
+        };
+        for p in 0..n_products {
+            for _rep in 0..sizing.repetitions {
+                sheriff.submit_check(t, 1, domain, ProductId(p as u32));
+                // Random think-time between requests (the Python driver
+                // "injected random delays … to mimic a normal human").
+                t = t.plus(SimTime::from_millis(5_000 + rng.gen_range(0..10_000)));
+                issued += 1;
+            }
+        }
+    }
+
+    sheriff.run_until(t.plus(SimTime::from_mins(10)));
+    let checks = sheriff.completed().into_iter().map(|c| c.check).collect();
+    CrawlDataset {
+        checks,
+        domains,
+        requests_issued: issued,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_crawl_covers_domains_and_finds_spreads() {
+        let ds = run_crawl(Scale::Demo, 5, Country::ES);
+        assert_eq!(ds.domains.len(), 10);
+        assert!(ds.checks.len() * 10 >= ds.requests_issued * 9);
+        // anntaylor's ×4 factor must be visible (Fig. 11).
+        let ann: Vec<_> = ds
+            .checks
+            .iter()
+            .filter(|c| c.domain == "anntaylor.com")
+            .collect();
+        assert!(!ann.is_empty());
+        let max_spread = ann
+            .iter()
+            .filter_map(|c| c.relative_spread())
+            .fold(0.0f64, f64::max);
+        assert!(max_spread > 1.0, "anntaylor max spread {max_spread}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Experiment harness: dataset builders and reporting helpers behind the
+//! per-table/figure reproduction binaries (see `src/bin/`).
+//!
+//! Each module mirrors one of the paper's measurement campaigns:
+//!
+//! * [`population`] — the user base of §6.1: 1265 users from 55 countries
+//!   with Table 2's request mix, browsing personas, and donation opt-ins;
+//! * [`adoption`] — the Fig. 5 press-spike adoption model;
+//! * [`liveworld`] — the 12-month live deployment (Fig. 9/10, Tables 2–4);
+//! * [`crawl`] — the systematic Spain crawl of §7.1/§7.2 (Fig. 11);
+//! * [`casestudy`] — the four-country amazon/jcpenney/chegg studies
+//!   (Fig. 12/13, Table 5);
+//! * [`temporal`] — the 20-day clean-profile grid (§7.5, Fig. 14/15);
+//! * [`pdipd`] — the PDI-PD positive control: inject a personal-data
+//!   discriminator and prove the battery catches it (watchdog validation);
+//! * [`report`] — ASCII tables, box-plot rendering, JSON output.
+//!
+//! Every builder takes a [`Scale`]: `Demo` sizes finish in seconds for CI;
+//! `Paper` sizes match the publication (minutes).
+
+pub mod adoption;
+pub mod casestudy;
+pub mod crawl;
+pub mod liveworld;
+pub mod pdipd;
+pub mod population;
+pub mod report;
+pub mod temporal;
+
+/// Experiment sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes (seconds): same shapes, smaller counts.
+    Demo,
+    /// Publication sizes (§6.1/§7.1 counts).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--full` style CLI args: any of `full`, `paper` selects
+    /// paper scale.
+    pub fn from_args() -> Scale {
+        let full = std::env::args().any(|a| a == "--full" || a == "--paper");
+        if full {
+            Scale::Paper
+        } else {
+            Scale::Demo
+        }
+    }
+}
+
+/// Parses `--seed N` from the CLI (default 1742 — every experiment binary
+/// is bit-reproducible under a fixed seed).
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1742)
+}

@@ -1,0 +1,285 @@
+//! The live user base (paper §6.1, Table 2).
+//!
+//! 1265 unique users across 55 countries, with request activity matching
+//! Table 2's top-10 (Spain dominates with 2554 requests, then France, the
+//! US, …). Each user carries a browsing persona: a Zipf-weighted sample of
+//! an Alexa-style domain ranking plus persona-specific interest domains —
+//! the raw material for profile vectors, doppelgangers, and affluence
+//! scores. 459 of the 1265 donated cleartext history (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sheriff_geo::Country;
+use sheriff_kmeans::RawHistory;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::UserAgent;
+
+/// Table 2's request counts per country (top 10); remaining countries
+/// share a small tail.
+pub const TABLE2_REQUESTS: [(&str, u64); 10] = [
+    ("ES", 2554),
+    ("FR", 917),
+    ("US", 581),
+    ("CH", 387),
+    ("DE", 217),
+    ("BE", 161),
+    ("GB", 126),
+    ("NL", 96),
+    ("CY", 95),
+    ("CA", 92),
+];
+
+/// One simulated add-on user.
+#[derive(Clone, Debug)]
+pub struct User {
+    /// Stable peer id.
+    pub peer_id: u64,
+    /// Country of residence.
+    pub country: Country,
+    /// City index.
+    pub city_idx: usize,
+    /// Browser platform.
+    pub user_agent: UserAgent,
+    /// Affluence ∈ \[0,1\] (drives tracker profiles).
+    pub affluence: f64,
+    /// Relative price-check activity (requests ∝ this weight).
+    pub activity: f64,
+    /// Domain-level browsing history.
+    pub history: RawHistory,
+    /// Donated cleartext history for the doppelganger experiments?
+    pub donates_history: bool,
+    /// Domains with standing logins.
+    pub logged_in_domains: Vec<String>,
+}
+
+/// The generated population plus the domain ranking used for personas.
+#[derive(Debug)]
+pub struct Population {
+    /// All users.
+    pub users: Vec<User>,
+    /// The Alexa-style popularity ranking (most popular first).
+    pub alexa_ranking: Vec<String>,
+}
+
+/// Builds an Alexa-style ranking of `n` browsing domains (not retailers:
+/// these are the news/social/search sites whose visits define profiles).
+pub fn alexa_style_ranking(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("site-{i:04}.example")).collect()
+}
+
+/// Persona archetypes: each carries a characteristic set of interest
+/// domains inside the popular head of the ranking, which is what gives
+/// k-means real cluster structure (§4's experiments found silhouette ≈ 0.6
+/// at k ∈ [40, 60]).
+const PERSONA_COUNT: usize = 44;
+
+/// Interest domains per persona, drawn from ranking positions 5..45 so
+/// they are present in every universe size the Fig. 8a sweep uses.
+const INTERESTS_PER_PERSONA: usize = 8;
+
+/// Deterministic interest ranks of a persona.
+fn interest_ranks(persona: usize) -> Vec<usize> {
+    (0..INTERESTS_PER_PERSONA)
+        .map(|i| {
+            let h = sheriff_market::hash_mix(&[persona as u64, i as u64, 0x1f7e]);
+            5 + (h % 40) as usize
+        })
+        .collect()
+}
+
+/// Generates the population.
+///
+/// `n_users` defaults to the paper's 1265 when 0 is given.
+pub fn generate(n_users: usize, seed: u64) -> Population {
+    let n_users = if n_users == 0 { 1265 } else { n_users };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alexa_ranking = alexa_style_ranking(400);
+
+    // Country weights: Table 2 top-10 by requests, then a tail over the
+    // remaining catalogue so 55 countries appear.
+    let mut weights: Vec<(Country, f64)> = TABLE2_REQUESTS
+        .iter()
+        .map(|(code, reqs)| {
+            (
+                Country::from_code(code).expect("table2 country in catalogue"),
+                *reqs as f64,
+            )
+        })
+        .collect();
+    for c in Country::all() {
+        if !weights.iter().any(|(w, _)| *w == c) {
+            weights.push((c, 12.0));
+        }
+    }
+    let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
+
+    let users = (0..n_users)
+        .map(|i| {
+            let mut target = rng.gen::<f64>() * total_weight;
+            let mut country = Country::ES;
+            for &(c, w) in &weights {
+                if target < w {
+                    country = c;
+                    break;
+                }
+                target -= w;
+            }
+            let persona = rng.gen_range(0..PERSONA_COUNT);
+            let history = persona_history(&alexa_ranking, persona, i, &mut rng);
+            let affluence = persona_affluence(persona, &mut rng);
+            let logged_in_domains = if rng.gen::<f64>() < 0.35 {
+                vec!["amazon.com".to_string()]
+            } else {
+                vec![]
+            };
+            User {
+                peer_id: 1000 + i as u64,
+                country,
+                city_idx: rng.gen_range(0..3),
+                user_agent: random_agent(&mut rng),
+                affluence,
+                activity: rng.gen::<f64>().powi(2) + 0.05,
+                history,
+                donates_history: rng.gen::<f64>() < (459.0 / 1265.0),
+                logged_in_domains,
+            }
+        })
+        .collect();
+
+    Population {
+        users,
+        alexa_ranking,
+    }
+}
+
+/// A user's browsing history: a shared Zipf head, the persona's interest
+/// domains (the clustering signal), a couple of idiosyncratic interests
+/// (cluster noise), and personal long-tail niche sites. The niche sites are
+/// what degrade the "Users top Domains" option: some users hammer their own
+/// blog/forum hard enough that it enters the aggregate top-m, adding
+/// sparse, user-specific dimensions (§4's explanation).
+fn persona_history(
+    ranking: &[String],
+    persona: usize,
+    user_idx: usize,
+    rng: &mut StdRng,
+) -> RawHistory {
+    let mut h = RawHistory::new();
+    // Shared Zipf head.
+    for (rank, domain) in ranking.iter().take(150).enumerate() {
+        let base = 26.0 / (rank as f64 + 2.0);
+        let visits = (base * (0.85 + 0.3 * rng.gen::<f64>())).round() as u64;
+        if visits > 0 {
+            h.record(domain, visits);
+        }
+    }
+    // Persona interests: the k-means signal. The tight visit range keeps
+    // the normalization denominator stable within a cluster.
+    for &rank in &interest_ranks(persona) {
+        let visits = 46 + rng.gen_range(0..6);
+        h.record(&ranking[rank], visits);
+    }
+    // One idiosyncratic interest (keeps clusters from being trivially
+    // separable; silhouette lands near the paper's ≈0.6, not at 1.0).
+    {
+        let rank = 5 + rng.gen_range(0..40);
+        h.record(&ranking[rank], 14 + rng.gen_range(0..8));
+    }
+    // Personal niche sites outside any public ranking. A minority of users
+    // hammer their own blog/forum hard enough that it outranks mid-head
+    // sites in the *aggregate* visit counts — those single-user domains are
+    // what pollute the "Users top Domains" universe at every m.
+    for i in 0..2 {
+        let heavy = rng.gen::<f64>() < 0.10;
+        let visits = if heavy {
+            900 + rng.gen_range(0..900)
+        } else {
+            20 + rng.gen_range(0..40)
+        };
+        h.record(&format!("niche-u{user_idx:04}-{i}.example"), visits);
+    }
+    h
+}
+
+fn persona_affluence(persona: usize, rng: &mut StdRng) -> f64 {
+    // Personas have characteristic affluence bands with individual jitter.
+    let band = (persona % 5) as f64 / 5.0;
+    (band + rng.gen::<f64>() * 0.2).clamp(0.0, 1.0)
+}
+
+fn random_agent(rng: &mut StdRng) -> UserAgent {
+    let os = match rng.gen_range(0..3) {
+        0 => Os::Windows,
+        1 => Os::MacOs,
+        _ => Os::Linux,
+    };
+    let browser = match rng.gen_range(0..3) {
+        0 => Browser::Chrome,
+        1 => Browser::Firefox,
+        _ => Browser::Safari,
+    };
+    UserAgent { os, browser }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_population_shape() {
+        let p = generate(0, 7);
+        assert_eq!(p.users.len(), 1265);
+        // 55 countries reachable; at least 40 should actually appear.
+        let mut countries: Vec<Country> = p.users.iter().map(|u| u.country).collect();
+        countries.sort_unstable();
+        countries.dedup();
+        assert!(countries.len() >= 40, "only {} countries", countries.len());
+        // Spain dominates (Table 2).
+        let es = p.users.iter().filter(|u| u.country == Country::ES).count();
+        let fr = p.users.iter().filter(|u| u.country == Country::FR).count();
+        assert!(es > fr, "es={es} fr={fr}");
+    }
+
+    #[test]
+    fn donation_rate_matches_paper() {
+        let p = generate(0, 8);
+        let donors = p.users.iter().filter(|u| u.donates_history).count();
+        // 459/1265 ≈ 36%; allow sampling noise.
+        assert!((300..600).contains(&donors), "donors={donors}");
+    }
+
+    #[test]
+    fn histories_are_nonempty_and_personal() {
+        let p = generate(100, 9);
+        for u in &p.users {
+            assert!(u.history.distinct_domains() > 40, "user {}", u.peer_id);
+        }
+        // Personas differ: two random users' top domains shouldn't be all
+        // identical.
+        let h0: Vec<u64> = p.alexa_ranking[..50]
+            .iter()
+            .map(|d| p.users[0].history.count(d))
+            .collect();
+        let h1: Vec<u64> = p.alexa_ranking[..50]
+            .iter()
+            .map(|d| p.users[1].history.count(d))
+            .collect();
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(50, 42);
+        let b = generate(50, 42);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.country, y.country);
+            assert_eq!(x.affluence, y.affluence);
+        }
+    }
+
+    #[test]
+    fn custom_size_respected() {
+        assert_eq!(generate(17, 1).users.len(), 17);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reporting helpers: ASCII tables, box-plot strips, JSON dumps.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use sheriff_stats::BoxStats;
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a header row.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (padded/truncated to the header width).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII box plot of `stats` scaled into `[lo, hi]`
+/// over `width` characters: `|--[==M==]--|`.
+pub fn ascii_box(stats: &BoxStats, lo: f64, hi: f64, width: usize) -> String {
+    let width = width.max(10);
+    if hi <= lo {
+        return " ".repeat(width);
+    }
+    let pos = |v: f64| -> usize {
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((width - 1) as f64 * frac).round() as usize
+    };
+    let mut chars = vec![' '; width];
+    let (wl, q1, med, q3, wh) = (
+        pos(stats.whisker_lo),
+        pos(stats.q1),
+        pos(stats.median),
+        pos(stats.q3),
+        pos(stats.whisker_hi),
+    );
+    for c in chars.iter_mut().take(wh + 1).skip(wl) {
+        *c = '-';
+    }
+    for c in chars.iter_mut().take(q3 + 1).skip(q1) {
+        *c = '=';
+    }
+    chars[wl] = '|';
+    chars[wh] = '|';
+    chars[q1] = '[';
+    chars[q3] = ']';
+    chars[med] = 'M';
+    chars.into_iter().collect()
+}
+
+/// Output directory for machine-readable experiment results.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a serde-serializable value as JSON next to the printed report.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Domain", "Requests", "Median"]);
+        t.row(["steampowered.com", "120", "0.25"]);
+        t.row(["x.com", "7", "0.01"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Domain"));
+        assert!(lines[2].starts_with("steampowered.com"));
+        // Columns align: "120" and "7" start at the same offset.
+        let col = lines[2].find("120").unwrap();
+        assert_eq!(lines[3].as_bytes()[col] as char, '7');
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn ascii_box_markers_ordered() {
+        let stats = BoxStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        let s = ascii_box(&stats, 0.0, 8.0, 40);
+        let find = |c: char| s.find(c).unwrap();
+        assert!(find('[') <= find('M'));
+        assert!(find('M') <= find(']'));
+        assert_eq!(s.chars().count(), 40);
+    }
+
+    #[test]
+    fn degenerate_range_is_blank() {
+        let stats = BoxStats::compute(&[1.0]).unwrap();
+        let s = ascii_box(&stats, 5.0, 5.0, 20);
+        assert_eq!(s.trim(), "");
+    }
+}

@@ -1,0 +1,201 @@
+//! The 20-day temporal study (paper §7.5, Fig. 14/15): clean-profile PPCs
+//! covering the 3×3 OS/browser grid check the same products twice a day —
+//! the dataset behind the A/B-testing conclusion, the per-product trend
+//! lines, the K-S tests, and the regression/random-forest feature hunts.
+
+use sheriff_core::records::PriceCheck;
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+use crate::Scale;
+
+/// Temporal-study sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalSizing {
+    /// Days observed (paper: 20 reported of 30 run).
+    pub days: u32,
+    /// Checks per product per day (paper: 2).
+    pub checks_per_day: u32,
+    /// Products per domain (paper: 30).
+    pub products: usize,
+}
+
+impl TemporalSizing {
+    /// Sizing for a scale.
+    pub fn for_scale(scale: Scale) -> TemporalSizing {
+        match scale {
+            Scale::Paper => TemporalSizing {
+                days: 20,
+                checks_per_day: 2,
+                products: 30,
+            },
+            Scale::Demo => TemporalSizing {
+                days: 20,
+                checks_per_day: 2,
+                products: 6,
+            },
+        }
+    }
+}
+
+/// The studied domains (Fig. 14 = jcpenney, Fig. 15 = chegg).
+pub const TEMPORAL_DOMAINS: [&str; 2] = ["jcpenney.com", "chegg.com"];
+
+/// The harvested temporal dataset.
+pub struct TemporalDataset {
+    /// All completed checks, day-stamped.
+    pub checks: Vec<PriceCheck>,
+    /// Requests issued.
+    pub requests_issued: usize,
+}
+
+impl TemporalDataset {
+    /// Daily price series for one product: `series[day]` = all EUR prices
+    /// observed that day across measurement points.
+    pub fn daily_series(&self, domain: &str, product_url_suffix: u32, days: u32) -> Vec<Vec<f64>> {
+        let mut out = vec![Vec::new(); days as usize];
+        let needle = format!("/product/{product_url_suffix}");
+        for check in &self.checks {
+            if check.domain != domain || !check.url.ends_with(&needle) {
+                continue;
+            }
+            if (check.day as usize) < out.len() {
+                out[check.day as usize].extend(check.valid().map(|o| o.amount_eur));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the study. The nine PPCs mimic "all possible combinations of
+/// popular operating systems and browsers" with empty profiles in Spain
+/// (§7.5's phantomJS grid).
+pub fn run_temporal_study(scale: Scale, seed: u64) -> TemporalDataset {
+    let sizing = TemporalSizing::for_scale(scale);
+    let world_cfg = WorldConfig {
+        n_generic_discriminating: 2,
+        n_plain: 5,
+        n_alexa: 2,
+        products_per_retailer: sizing.products.max(10),
+    };
+    let world = World::build(&world_cfg, seed);
+
+    let specs: Vec<PpcSpec> = UserAgent::grid()
+        .into_iter()
+        .enumerate()
+        .map(|(i, user_agent)| PpcSpec {
+            peer_id: 200 + i as u64,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent,
+            affluence: 0.0, // clean profiles
+            logged_in_domains: vec![],
+        })
+        .collect();
+
+    // No IPC fan-out: §7.5 compares the grid PPCs against each other.
+    let mut cfg = SheriffConfig::v2(seed, 2);
+    cfg.ipc_locations = vec![(Country::ES, 0)]; // one reference vantage
+    cfg.ppc_per_request = specs.len();
+    let mut sheriff = PriceSheriff::new(cfg, world, &specs);
+
+    let mut issued = 0;
+    for day in 0..sizing.days {
+        for slot in 0..sizing.checks_per_day {
+            // Morning and evening checks.
+            let base = SimTime::from_millis(
+                u64::from(day) * 86_400_000 + u64::from(slot) * 36_000_000 + 3_600_000,
+            );
+            let mut t = base;
+            for domain in TEMPORAL_DOMAINS {
+                for p in 0..sizing.products {
+                    let initiator = 200 + ((p + slot as usize) % 9) as u64;
+                    sheriff.submit_check(t, initiator, domain, ProductId(p as u32));
+                    t = t.plus(SimTime::from_secs(45));
+                    issued += 1;
+                }
+            }
+        }
+    }
+
+    sheriff.run_until(SimTime::from_millis(
+        u64::from(sizing.days + 1) * 86_400_000,
+    ));
+    TemporalDataset {
+        checks: sheriff.completed().into_iter().map(|c| c.check).collect(),
+        requests_issued: issued,
+    }
+}
+
+/// Daily maxima of a series (the paper's regression input: "the regression
+/// line based on the highest price we observe each day").
+pub fn daily_maxima(series: &[Vec<f64>]) -> Vec<(f64, f64)> {
+    series
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(d, v)| (d as f64, v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))))
+        .collect()
+}
+
+/// Mean daily fluctuation of a series: `(max−min)/min` averaged over days
+/// (jcpenney ≈ 3.7%, chegg ≈ 8.3%, §7.5).
+pub fn mean_daily_fluctuation(series: &[Vec<f64>]) -> f64 {
+    let per_day: Vec<f64> = series
+        .iter()
+        .filter(|v| v.len() >= 2)
+        .map(|v| {
+            let min = v.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let max = v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            if min > 0.0 {
+                (max - min) / min
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    sheriff_stats::mean(&per_day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sheriff_stats::linear_fit;
+
+    #[test]
+    fn temporal_study_shows_drift_and_fluctuation() {
+        let ds = run_temporal_study(Scale::Demo, 13);
+        assert!(ds.checks.len() * 10 >= ds.requests_issued * 8, "{} of {}", ds.checks.len(), ds.requests_issued);
+
+        // jcpenney: overall downward drift for most products, with
+        // fluctuation smaller than chegg's (3.7% vs 8.3%).
+        let mut jcp_fluct = Vec::new();
+        let mut chegg_fluct = Vec::new();
+        let mut downward = 0;
+        let mut products_seen = 0;
+        for p in 0..6u32 {
+            let series = ds.daily_series("jcpenney.com", p, 20);
+            let maxima = daily_maxima(&series);
+            if maxima.len() >= 10 {
+                products_seen += 1;
+                let xs: Vec<f64> = maxima.iter().map(|m| m.0).collect();
+                let ys: Vec<f64> = maxima.iter().map(|m| m.1).collect();
+                if linear_fit(&xs, &ys).slope < 0.0 {
+                    downward += 1;
+                }
+            }
+            jcp_fluct.push(mean_daily_fluctuation(&series));
+            let cs = ds.daily_series("chegg.com", p, 20);
+            chegg_fluct.push(mean_daily_fluctuation(&cs));
+        }
+        assert!(products_seen >= 4, "series too sparse");
+        // Drift is -0.4%/day with rare upward jumps: most slopes negative.
+        assert!(downward * 2 >= products_seen, "only {downward}/{products_seen} downward");
+        let jcp = sheriff_stats::mean(&jcp_fluct);
+        let chegg = sheriff_stats::mean(&chegg_fluct);
+        assert!(chegg > jcp, "chegg fluct {chegg} ≤ jcpenney {jcp}");
+    }
+}

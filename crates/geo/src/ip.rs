@@ -1,0 +1,155 @@
+//! Synthetic IPv4 allocation.
+//!
+//! Each country owns a disjoint block of the synthetic address space so
+//! geolocation is a pure function of the address. PPC addresses *churn*:
+//! the paper notes that peer IPs "typically change over time by their
+//! internet service providers" (§3.2), which is what makes peers hard for
+//! retailers to detect and block — the churn model lets experiments exercise
+//! exactly that.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::country::Country;
+
+/// A synthetic IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IpV4(pub u32);
+
+impl IpV4 {
+    /// Dotted-quad rendering.
+    pub fn to_string_quad(self) -> String {
+        let v = self.0;
+        format!(
+            "{}.{}.{}.{}",
+            (v >> 24) & 0xff,
+            (v >> 16) & 0xff,
+            (v >> 8) & 0xff,
+            v & 0xff
+        )
+    }
+}
+
+impl std::fmt::Debug for IpV4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_string_quad())
+    }
+}
+
+impl std::fmt::Display for IpV4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_string_quad())
+    }
+}
+
+/// Per-country /8-style block: country with catalogue index `i` owns
+/// `(10 + i).x.y.z`. City subdivision uses the second octet.
+const BASE_OCTET: u32 = 10;
+
+/// Allocates synthetic addresses and implements ISP churn.
+#[derive(Clone, Debug, Default)]
+pub struct IpAllocator {
+    next_host: u32,
+}
+
+impl IpAllocator {
+    /// New allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh address in `country`, in the city with index
+    /// `city_idx` (mod the country's city count).
+    pub fn allocate(&mut self, country: Country, city_idx: usize) -> IpV4 {
+        let c = (BASE_OCTET + country.index() as u32) & 0xff;
+        let city = (city_idx % country.cities().len()) as u32;
+        let host = self.next_host;
+        self.next_host = self.next_host.wrapping_add(1);
+        IpV4((c << 24) | (city << 16) | (host & 0xffff))
+    }
+
+    /// ISP churn: returns a *different* address in the same country and
+    /// city (the host part is re-randomized). Models DHCP lease renewal.
+    pub fn churn<R: Rng + ?Sized>(&mut self, ip: IpV4, rng: &mut R) -> IpV4 {
+        loop {
+            let host: u32 = rng.gen::<u32>() & 0xffff;
+            let fresh = IpV4((ip.0 & 0xffff_0000) | host);
+            if fresh != ip {
+                return fresh;
+            }
+        }
+    }
+}
+
+/// Recovers the owning country of a synthetic address, if any.
+pub fn country_of(ip: IpV4) -> Option<Country> {
+    let octet = ip.0 >> 24;
+    if octet < BASE_OCTET {
+        return None;
+    }
+    let idx = (octet - BASE_OCTET) as usize;
+    if idx >= Country::count() {
+        return None;
+    }
+    Country::all().nth(idx)
+}
+
+/// Recovers the city index inside the owning country.
+pub fn city_index_of(ip: IpV4) -> usize {
+    ((ip.0 >> 16) & 0xff) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn allocation_embeds_country() {
+        let mut alloc = IpAllocator::new();
+        for c in Country::all() {
+            let ip = alloc.allocate(c, 0);
+            assert_eq!(country_of(ip), Some(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_embeds_city() {
+        let mut alloc = IpAllocator::new();
+        let ip = alloc.allocate(Country::ES, 1);
+        assert_eq!(city_index_of(ip), 1);
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let mut alloc = IpAllocator::new();
+        let a = alloc.allocate(Country::ES, 0);
+        let b = alloc.allocate(Country::ES, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn churn_keeps_location_changes_host() {
+        let mut alloc = IpAllocator::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ip = alloc.allocate(Country::FR, 1);
+        for _ in 0..10 {
+            let fresh = alloc.churn(ip, &mut rng);
+            assert_ne!(fresh, ip);
+            assert_eq!(country_of(fresh), Some(Country::FR));
+            assert_eq!(city_index_of(fresh), 1);
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_has_no_country() {
+        assert_eq!(country_of(IpV4(0x01_00_00_00)), None);
+        assert_eq!(country_of(IpV4(0xff_00_00_00)), None);
+    }
+
+    #[test]
+    fn dotted_quad_format() {
+        assert_eq!(IpV4(0x0a_01_00_2a).to_string_quad(), "10.1.0.42");
+    }
+}

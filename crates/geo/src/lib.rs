@@ -1,0 +1,26 @@
+//! Synthetic geography for the Price $heriff world.
+//!
+//! The deployed system geolocates peers through their IP address at
+//! zip-code, city, or country granularity (paper §3.2), and the measurement
+//! study repeatedly needs country metadata: currencies (Fig. 2), VAT scales
+//! (§7.3's amazon.com case), and a roster of 55 user countries (§6.1). This
+//! crate provides all of that as a deterministic substrate:
+//!
+//! * [`country`] — the country catalogue: ISO code, name, region, currency,
+//!   VAT rates;
+//! * [`vat`] — product categories and per-country/category VAT resolution;
+//! * [`ip`] — synthetic IPv4 allocation with per-country prefixes and the
+//!   ISP churn model that makes PPCs hard for retailers to block (§3.2);
+//! * [`locate`] — the geolocation service with granularity fallback.
+
+#![warn(missing_docs)]
+
+pub mod country;
+pub mod ip;
+pub mod locate;
+pub mod vat;
+
+pub use country::Country;
+pub use ip::{IpAllocator, IpV4};
+pub use locate::{GeoLocator, Granularity, Location};
+pub use vat::{vat_rate, ProductCategory};

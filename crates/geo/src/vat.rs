@@ -1,0 +1,117 @@
+//! Product categories and VAT resolution.
+//!
+//! §7.3's amazon.com case study found within-country price differences that
+//! "match almost perfectly the VAT scales" — logged-in users saw prices with
+//! their national, category-dependent VAT applied while guests saw base
+//! prices. Reproducing that experiment needs a per-country, per-category
+//! VAT function, which lives here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::country::Country;
+
+/// Product categories used across retailers (jcpenney's "clothing,
+/// cosmetics, jewelry and household", chegg's textbooks, digitalrev's
+/// cameras, steam's games — §6.2, §7.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum ProductCategory {
+    Clothing,
+    Electronics,
+    Books,
+    Games,
+    Cosmetics,
+    Jewelry,
+    Household,
+    Furniture,
+    Travel,
+    Accessories,
+}
+
+impl ProductCategory {
+    /// All categories, in stable order.
+    pub const ALL: [ProductCategory; 10] = [
+        ProductCategory::Clothing,
+        ProductCategory::Electronics,
+        ProductCategory::Books,
+        ProductCategory::Games,
+        ProductCategory::Cosmetics,
+        ProductCategory::Jewelry,
+        ProductCategory::Household,
+        ProductCategory::Furniture,
+        ProductCategory::Travel,
+        ProductCategory::Accessories,
+    ];
+
+    /// True for categories that commonly enjoy reduced VAT rates in the EU
+    /// (printed books are the canonical example).
+    pub fn reduced_rated(self) -> bool {
+        matches!(self, ProductCategory::Books)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProductCategory::Clothing => "clothing",
+            ProductCategory::Electronics => "electronics",
+            ProductCategory::Books => "books",
+            ProductCategory::Games => "games",
+            ProductCategory::Cosmetics => "cosmetics",
+            ProductCategory::Jewelry => "jewelry",
+            ProductCategory::Household => "household",
+            ProductCategory::Furniture => "furniture",
+            ProductCategory::Travel => "travel",
+            ProductCategory::Accessories => "accessories",
+        }
+    }
+}
+
+/// The VAT rate a retailer must apply for `category` sold to a customer in
+/// `country`, as a fraction of the net price.
+pub fn vat_rate(country: Country, category: ProductCategory) -> f64 {
+    if category.reduced_rated() {
+        country.vat_reduced()
+    } else {
+        country.vat_standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn books_get_reduced_rate() {
+        assert!((vat_rate(Country::DE, ProductCategory::Books) - 0.07).abs() < 1e-9);
+        assert!((vat_rate(Country::GB, ProductCategory::Books) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_rate_for_everything_else() {
+        assert!((vat_rate(Country::ES, ProductCategory::Electronics) - 0.21).abs() < 1e-9);
+        assert!((vat_rate(Country::FR, ProductCategory::Clothing) - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_discrete_per_country() {
+        // The VAT-discrete signature of §7.3: the set of possible rates in
+        // a country is small (here at most 2).
+        for c in [Country::ES, Country::FR, Country::GB, Country::DE] {
+            let mut rates: Vec<u64> = ProductCategory::ALL
+                .iter()
+                .map(|&cat| (vat_rate(c, cat) * 1000.0).round() as u64)
+                .collect();
+            rates.sort_unstable();
+            rates.dedup();
+            assert!(rates.len() <= 2, "{c:?} has {} distinct rates", rates.len());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = ProductCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ProductCategory::ALL.len());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: IP allocation/geolocation must be a consistent bijection
+//! and churn must preserve location, for any inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_geo::ip::{city_index_of, country_of};
+use sheriff_geo::{vat_rate, Country, GeoLocator, Granularity, IpAllocator, IpV4, ProductCategory};
+
+fn arb_country() -> impl Strategy<Value = Country> {
+    (0..Country::count()).prop_map(|i| Country::all().nth(i).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn allocation_roundtrips_country(country in arb_country(), city in 0usize..16) {
+        let mut alloc = IpAllocator::new();
+        let ip = alloc.allocate(country, city);
+        prop_assert_eq!(country_of(ip), Some(country));
+        prop_assert_eq!(city_index_of(ip), city % country.cities().len());
+    }
+
+    #[test]
+    fn churn_never_changes_location(country in arb_country(), city in 0usize..8, seed in 0u64..1000) {
+        let mut alloc = IpAllocator::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = alloc.allocate(country, city);
+        let mut cur = ip;
+        for _ in 0..5 {
+            cur = alloc.churn(cur, &mut rng);
+            prop_assert_ne!(cur, ip);
+            prop_assert_eq!(country_of(cur), Some(country));
+        }
+    }
+
+    #[test]
+    fn geolocation_is_total_over_allocated_space(country in arb_country(), city in 0usize..8) {
+        let mut alloc = IpAllocator::new();
+        let ip = alloc.allocate(country, city);
+        for granularity in [Granularity::Country, Granularity::City, Granularity::Zip] {
+            let loc = GeoLocator::new(granularity).locate(ip).expect("allocated IPs geolocate");
+            prop_assert_eq!(loc.country, country);
+            if granularity >= Granularity::City {
+                let city_name = loc.city.expect("city granularity");
+                prop_assert!(country.cities().contains(&city_name.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_never_panics_on_arbitrary_ips(raw in any::<u32>()) {
+        let _ = GeoLocator::new(Granularity::Zip).locate(IpV4(raw));
+        let _ = country_of(IpV4(raw));
+    }
+
+    #[test]
+    fn same_area_is_reflexive_and_symmetric(
+        c1 in arb_country(), city1 in 0usize..4,
+        c2 in arb_country(), city2 in 0usize..4,
+    ) {
+        let mut alloc = IpAllocator::new();
+        let locator = GeoLocator::new(Granularity::City);
+        let l1 = locator.locate(alloc.allocate(c1, city1)).expect("locates");
+        let l2 = locator.locate(alloc.allocate(c2, city2)).expect("locates");
+        prop_assert!(l1.same_area(&l1));
+        prop_assert_eq!(l1.same_area(&l2), l2.same_area(&l1));
+    }
+
+    #[test]
+    fn vat_rates_bounded_for_all_pairs(country in arb_country(), cat_idx in 0usize..10) {
+        let cat = ProductCategory::ALL[cat_idx];
+        let rate = vat_rate(country, cat);
+        prop_assert!((0.0..0.35).contains(&rate));
+        // Reduced-rated categories never exceed the standard rate.
+        prop_assert!(rate <= country.vat_standard() + 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! Arena-based DOM with a forgiving tree builder and serializer.
+
+use std::collections::BTreeMap;
+
+use crate::tokenizer::{tokenize, Token};
+
+/// Handle to a node in a [`Document`] arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Node payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// The document root (not a real element).
+    Document,
+    /// An element with its attributes.
+    Element {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes.
+        attrs: BTreeMap<String, String>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A parsed HTML document.
+#[derive(Clone, Debug)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+/// Elements that never have children.
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "img" | "br" | "hr" | "input" | "meta" | "link" | "area" | "base" | "col" | "embed"
+            | "source" | "track" | "wbr"
+    )
+}
+
+impl Document {
+    /// Parses HTML into a tree. Unclosed tags are closed implicitly;
+    /// unmatched end tags are ignored — retailer markup demands tolerance.
+    pub fn parse(html: &str) -> Document {
+        let mut doc = Document {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+        };
+        let root = NodeId(0);
+        let mut stack = vec![root];
+
+        for tok in tokenize(html) {
+            match tok {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    let leaf = self_closing || is_void(&name);
+                    let id = doc.push(
+                        NodeKind::Element { name, attrs },
+                        *stack.last().expect("stack never empty"),
+                    );
+                    if !leaf {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name } => {
+                    // Pop to the nearest matching open element, if any.
+                    if let Some(pos) = stack.iter().rposition(|&id| {
+                        matches!(&doc.nodes[id.0].kind, NodeKind::Element { name: n, .. } if *n == name)
+                    }) {
+                        if pos > 0 {
+                            stack.truncate(pos);
+                        }
+                    }
+                }
+                Token::Text(t) => {
+                    doc.push(NodeKind::Text(t), *stack.last().expect("stack never empty"));
+                }
+                Token::Comment | Token::Doctype => {}
+            }
+        }
+        doc
+    }
+
+    fn push(&mut self, kind: NodeKind, parent: NodeId) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// The document root.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Node payload.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0].kind
+    }
+
+    /// Parent, `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent
+    }
+
+    /// Children in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Total node count (including root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no parsed content.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Element name, if `id` is an element.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.0].kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute value, if `id` is an element carrying it.
+    pub fn attr(&self, id: NodeId, key: &str) -> Option<&str> {
+        match &self.nodes[id.0].kind {
+            NodeKind::Element { attrs, .. } => attrs.get(key).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// Concatenated text of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id.0].kind {
+            NodeKind::Text(t) => out.push_str(t),
+            _ => {
+                for &c in &self.nodes[id.0].children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Depth-first iterator over all node ids (document order).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All elements with the given tag name, in document order.
+    pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
+        self.descendants(self.root())
+            .into_iter()
+            .filter(|&id| self.name(id) == Some(name))
+            .collect()
+    }
+
+    /// First element matching `name` and carrying class `class`.
+    pub fn find_by_class(&self, name: &str, class: &str) -> Option<NodeId> {
+        self.descendants(self.root()).into_iter().find(|&id| {
+            self.name(id) == Some(name)
+                && self
+                    .attr(id, "class")
+                    .is_some_and(|c| c.split_whitespace().any(|t| t == class))
+        })
+    }
+
+    /// Serializes the subtree at `id` back to HTML.
+    pub fn serialize(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.serialize_into(id, &mut out);
+        out
+    }
+
+    fn serialize_into(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id.0].kind {
+            NodeKind::Document => {
+                for &c in &self.nodes[id.0].children {
+                    self.serialize_into(c, out);
+                }
+            }
+            NodeKind::Text(t) => {
+                // Re-escape the characters that would change parsing.
+                for ch in t.chars() {
+                    match ch {
+                        '&' => out.push_str("&amp;"),
+                        '<' => out.push_str("&lt;"),
+                        '>' => out.push_str("&gt;"),
+                        c => out.push(c),
+                    }
+                }
+            }
+            NodeKind::Element { name, attrs } => {
+                out.push('<');
+                out.push_str(name);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    for ch in v.chars() {
+                        match ch {
+                            '&' => out.push_str("&amp;"),
+                            '"' => out.push_str("&quot;"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                out.push('>');
+                if !is_void(name) {
+                    for &c in &self.nodes[id.0].children {
+                        self.serialize_into(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<!DOCTYPE html>
+<html><head><title>Hi there</title></head>
+<body>This is a simple web page
+<div class="product">Here is the product image
+<img src="product.jpg" alt="Product View">
+<span class="price">$10.00</span>
+</div>
+</body></html>"#;
+
+    #[test]
+    fn parse_builds_expected_structure() {
+        let doc = Document::parse(PAGE);
+        let html = doc.children(doc.root())[0];
+        assert_eq!(doc.name(html), Some("html"));
+        let span = doc.find_by_class("span", "price").unwrap();
+        assert_eq!(doc.text_content(span), "$10.00");
+    }
+
+    #[test]
+    fn find_by_class_handles_multiple_classes() {
+        let doc = Document::parse(r#"<p class="a big price">x</p>"#);
+        assert!(doc.find_by_class("p", "price").is_some());
+        assert!(doc.find_by_class("p", "pric").is_none());
+    }
+
+    #[test]
+    fn unclosed_tags_close_implicitly() {
+        let doc = Document::parse("<div><p>one<p>two</div>after");
+        // Both <p>s end up under the div; "after" under root.
+        let ps = doc.elements_named("p");
+        assert_eq!(ps.len(), 2);
+        assert!(doc.text_content(doc.root()).contains("after"));
+    }
+
+    #[test]
+    fn unmatched_end_tag_ignored() {
+        let doc = Document::parse("</div><p>ok</p>");
+        assert_eq!(doc.elements_named("p").len(), 1);
+        assert_eq!(doc.text_content(doc.root()), "ok");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = Document::parse("<img src='a'><span>x</span>");
+        let img = doc.elements_named("img")[0];
+        assert!(doc.children(img).is_empty());
+        // span is a sibling, not a child of img.
+        assert_eq!(doc.parent(doc.elements_named("span")[0]), Some(doc.root()));
+    }
+
+    #[test]
+    fn serialize_roundtrips_structure() {
+        let doc = Document::parse(PAGE);
+        let html = doc.serialize(doc.root());
+        let doc2 = Document::parse(&html);
+        let span = doc2.find_by_class("span", "price").unwrap();
+        assert_eq!(doc2.text_content(span), "$10.00");
+        assert_eq!(doc.len(), doc2.len());
+    }
+
+    #[test]
+    fn text_content_concatenates_subtree() {
+        let doc = Document::parse("<div>a<span>b</span>c</div>");
+        let div = doc.elements_named("div")[0];
+        assert_eq!(doc.text_content(div), "abc");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let doc = Document::parse("<a><b></b><c></c></a>");
+        let names: Vec<&str> = doc
+            .descendants(doc.root())
+            .into_iter()
+            .filter_map(|id| doc.name(id))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs() {
+        assert!(Document::parse("").is_empty());
+        let doc = Document::parse("<<<<");
+        assert!(!doc.is_empty());
+    }
+}

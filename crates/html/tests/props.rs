@@ -1,0 +1,87 @@
+//! Property tests for the HTML substrate: parser totality, serializer
+//! round-trip, Tags Path self-extraction, and diff exactness.
+
+use proptest::prelude::*;
+use sheriff_html::diff::LineDiff;
+use sheriff_html::tagspath::{extract_text_by_path, TagsPath};
+use sheriff_html::Document;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let doc = Document::parse(&s);
+        let _ = doc.serialize(doc.root());
+        let _ = doc.text_content(doc.root());
+    }
+
+    #[test]
+    fn serialize_parse_is_stable(
+        depth in 1usize..5,
+        price in 0u64..100_000,
+    ) {
+        // Build a nested page with the price at the bottom.
+        let mut open = String::new();
+        let mut close = String::new();
+        for d in 0..depth {
+            open.push_str(&format!("<div class=\"level{d}\">"));
+            close.insert_str(0, "</div>");
+        }
+        let page = format!(
+            "<html><body>{open}<span class=\"price\">${price}.00</span>{close}</body></html>"
+        );
+        let doc = Document::parse(&page);
+        let again = Document::parse(&doc.serialize(doc.root()));
+        prop_assert_eq!(doc.len(), again.len());
+        let span = again.find_by_class("span", "price").unwrap();
+        prop_assert_eq!(again.text_content(span), format!("${price}.00"));
+    }
+
+    #[test]
+    fn tags_path_self_extraction(
+        pre in 0usize..4,
+        post in 0usize..4,
+        price in 1u64..10_000,
+    ) {
+        // Surround the product block with varying sibling noise.
+        let noise = |n: usize, tag: &str| -> String {
+            (0..n).map(|i| format!("<{tag} class=\"noise{i}\">x{i}</{tag}>")).collect()
+        };
+        let page = format!(
+            "<html><body>{}<div class=\"product\"><span class=\"price\">EUR {price}</span></div>{}</body></html>",
+            noise(pre, "div"),
+            noise(post, "p"),
+        );
+        let doc = Document::parse(&page);
+        let span = doc.find_by_class("span", "price").unwrap();
+        let path = TagsPath::from_node(&doc, span).unwrap();
+        let (text, _) = extract_text_by_path(&doc, &path).unwrap();
+        prop_assert_eq!(text, format!("EUR {price}"));
+    }
+
+    #[test]
+    fn diff_roundtrip_exact(
+        base_lines in proptest::collection::vec("[a-z<>/ ]{0,30}", 0..40),
+        variant_lines in proptest::collection::vec("[a-z<>/ ]{0,30}", 0..40),
+    ) {
+        let base = base_lines.join("\n");
+        let variant = variant_lines.join("\n");
+        let d = LineDiff::compute(&base, &variant);
+        prop_assert_eq!(d.apply(&base).unwrap(), variant);
+    }
+
+    #[test]
+    fn diff_of_edited_page_roundtrips(
+        edit_at in 0usize..40,
+        n_lines in 1usize..40,
+    ) {
+        let base: Vec<String> = (0..n_lines.max(1)).map(|i| format!("line {i}")).collect();
+        let mut variant = base.clone();
+        let idx = edit_at % variant.len();
+        variant[idx] = "EDITED".to_string();
+        let (b, v) = (base.join("\n"), variant.join("\n"));
+        let d = LineDiff::compute(&b, &v);
+        prop_assert_eq!(d.apply(&b).unwrap(), v);
+    }
+}

@@ -1,0 +1,28 @@
+//! Clustering for doppelganger creation (paper §3.7, §3.8, §4).
+//!
+//! The $heriff clusters users by *browsing profile vectors* — normalized
+//! visit frequencies over a fixed universe of `m` domains — and trains one
+//! doppelganger per cluster centroid. This crate provides:
+//!
+//! * [`profile`] — raw histories, domain-universe selection ("Users top
+//!   Domains" vs "Alexa top Domains", Fig. 8a), and quantized profile
+//!   vectors;
+//! * [`plain`] — classic Lloyd's k-means with k-means++ seeding (used for
+//!   the silhouette experiments of Fig. 8a/8b);
+//! * [`silhouette`] — the clustering-quality score of Rousseeuw used
+//!   throughout §4;
+//! * [`private`] — the privacy-preserving k-means of §3.8: Coordinator and
+//!   Aggregator roles over the encrypted protocol in `sheriff-crypto`, with
+//!   optional multi-threaded distance evaluation (Fig. 8c).
+
+#![warn(missing_docs)]
+
+pub mod plain;
+pub mod private;
+pub mod profile;
+pub mod silhouette;
+
+pub use plain::{kmeans, KmeansConfig, KmeansResult};
+pub use private::{run_private, run_private_with_init, PrivateConfig, PrivateResult};
+pub use profile::{build_universe, density, profile_vector, to_unit_f64, RawHistory, UniverseStrategy};
+pub use silhouette::{mean_silhouette, silhouette_samples};

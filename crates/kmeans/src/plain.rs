@@ -1,0 +1,296 @@
+//! Classic Lloyd's k-means with k-means++ seeding.
+//!
+//! This is the cleartext reference the paper's experiments in §4 use to pick
+//! the domain universe (Fig. 8a) and the number of doppelgangers (Fig. 8b).
+//! The private protocol in [`crate::private`] must produce clusterings of
+//! comparable quality; integration tests compare both through silhouette
+//! scores.
+
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tol: f64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 8,
+            max_iters: 100,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KmeansResult {
+    /// Final cluster centroids, `k` rows of dimension `m`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Sum of squared distances from each point to its centroid.
+    pub inertia: f64,
+}
+
+/// Squared Euclidean distance between two points.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs Lloyd's algorithm with k-means++ seeding.
+///
+/// # Panics
+/// If `points` is empty, dimensions are inconsistent, or `k == 0`.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    cfg: &KmeansConfig,
+    rng: &mut R,
+) -> KmeansResult {
+    assert!(!points.is_empty(), "kmeans: no points");
+    assert!(cfg.k > 0, "kmeans: k must be positive");
+    let m = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == m),
+        "kmeans: inconsistent dimensions"
+    );
+    let k = cfg.k.min(points.len());
+
+    let mut centroids = kmeanspp_init(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; m]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed at the point farthest from its
+                // centroid, the standard fix that keeps k clusters alive.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, a), (j, b)| {
+                        let da = sq_dist(a, &centroids[assignments[*i]]);
+                        let db = sq_dist(b, &centroids[assignments[*j]]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                movement += sq_dist(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += sq_dist(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+    // Final assignment pass so assignments match final centroids.
+    for (i, p) in points.iter().enumerate() {
+        assignments[i] = nearest(p, &centroids).0;
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KmeansResult {
+        centroids,
+        assignments,
+        iterations,
+        inertia,
+    }
+}
+
+/// Index and squared distance of the nearest centroid.
+pub fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+fn kmeanspp_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= f64::EPSILON {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+        let latest = centroids.last().unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, latest);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Three well-separated Gaussian-ish blobs on a line.
+        use rand::Rng as _;
+        let centers = [0.0f64, 10.0, 20.0];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, &c) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                let jitter: f64 = rng.gen::<f64>() - 0.5;
+                pts.push(vec![c + jitter, c - jitter]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pts, labels) = blobs(&mut rng);
+        let res = kmeans(
+            &pts,
+            &KmeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // Every ground-truth blob maps to exactly one cluster.
+        for blob in 0..3 {
+            let cluster_ids: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(&res.assignments)
+                .filter(|(&l, _)| l == blob)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(cluster_ids.len(), 1, "blob {blob} split across clusters");
+        }
+        assert!(res.inertia < 90.0 * 1.0, "inertia too high: {}", res.inertia);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0], vec![4.0, 2.0]];
+        let res = kmeans(
+            &pts,
+            &KmeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((res.centroids[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = kmeans(
+            &pts,
+            &KmeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(res.centroids.len() <= 2);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn identical_points_zero_inertia() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = vec![vec![5.0, 5.0]; 10];
+        let res = kmeans(
+            &pts,
+            &KmeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pts, _) = blobs(&mut rng);
+        let res = kmeans(
+            &pts,
+            &KmeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for (p, &a) in pts.iter().zip(&res.assignments) {
+            assert_eq!(nearest(p, &res.centroids).0, a);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = kmeans(&[], &KmeansConfig::default(), &mut rng);
+    }
+}

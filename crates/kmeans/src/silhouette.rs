@@ -1,0 +1,137 @@
+//! Silhouette scores (Rousseeuw 1987), the clustering-quality measure the
+//! paper uses to tune `m` (Fig. 8a) and `k` (Fig. 8b).
+//!
+//! For a point `i` in cluster `A`: `a(i)` is its mean distance to the other
+//! members of `A`, `b(i)` the smallest mean distance to any other cluster,
+//! and `s(i) = (b - a) / max(a, b) ∈ [-1, 1]`. Singleton clusters score 0 by
+//! convention.
+
+use crate::plain::sq_dist;
+
+/// Per-point silhouette coefficients.
+///
+/// `assignments[i]` is the cluster of `points[i]`; `k` is the number of
+/// clusters. O(n²) pairwise distances — fine at the paper's scale (≈500
+/// donated profiles).
+///
+/// # Panics
+/// If lengths disagree or an assignment is `>= k`.
+pub fn silhouette_samples(points: &[Vec<f64>], assignments: &[usize], k: usize) -> Vec<f64> {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    assert!(
+        assignments.iter().all(|&a| a < k),
+        "assignment out of range"
+    );
+    let n = points.len();
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+
+    let mut scores = vec![0.0f64; n];
+    for i in 0..n {
+        let own = assignments[i];
+        if cluster_sizes[own] <= 1 {
+            scores[i] = 0.0;
+            continue;
+        }
+        // Mean distance to each cluster.
+        let mut dist_sum = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sum[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
+        }
+        let a = dist_sum[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| dist_sum[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            scores[i] = 0.0; // only one non-empty cluster
+            continue;
+        }
+        let denom = a.max(b);
+        scores[i] = if denom <= f64::EPSILON {
+            0.0
+        } else {
+            (b - a) / denom
+        };
+    }
+    scores
+}
+
+/// Mean silhouette over all points — the scalar plotted in Fig. 8a/8b.
+pub fn mean_silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    let s = silhouette_samples(points, assignments, k);
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.iter().sum::<f64>() / s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_scores_near_one() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![100.0, 100.0],
+            vec![100.1, 100.0],
+            vec![100.0, 100.1],
+        ];
+        let asg = vec![0, 0, 0, 1, 1, 1];
+        let s = mean_silhouette(&pts, &asg, 2);
+        assert!(s > 0.99, "got {s}");
+    }
+
+    #[test]
+    fn bad_clustering_scores_negative() {
+        // Swap labels so each point sits in the wrong cluster.
+        let pts = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![100.0],
+            vec![100.1],
+        ];
+        let asg = vec![0, 1, 1, 0];
+        let s = mean_silhouette(&pts, &asg, 2);
+        assert!(s < 0.0, "got {s}");
+    }
+
+    #[test]
+    fn singletons_score_zero() {
+        let pts = vec![vec![0.0], vec![50.0], vec![100.0]];
+        let asg = vec![0, 1, 2];
+        let s = silhouette_samples(&pts, &asg, 3);
+        assert_eq!(s, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let asg = vec![0, 0, 0];
+        let s = mean_silhouette(&pts, &asg, 1);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let asg: Vec<usize> = (0..20).map(|i| i % 4).collect();
+        for s in silhouette_samples(&pts, &asg, 4) {
+            assert!((-1.0..=1.0).contains(&s), "out of bounds: {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_assignment_panics() {
+        let _ = silhouette_samples(&[vec![0.0]], &[3], 2);
+    }
+}

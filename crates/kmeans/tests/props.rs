@@ -1,0 +1,112 @@
+//! Property tests for clustering: invariants of k-means results, silhouette
+//! bounds, profile-vector normalization, and exact private/cleartext
+//! agreement on random grids.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_crypto::GroupParams;
+use sheriff_kmeans::private::{reference_integer_kmeans, run_private_with_init, PrivateConfig};
+use sheriff_kmeans::{
+    kmeans, mean_silhouette, profile_vector, silhouette_samples, KmeansConfig, RawHistory,
+};
+
+fn arb_points(max_n: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f64..10.0, dims),
+        1..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmeans_invariants(points in arb_points(30, 3), k in 1usize..6, seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&points, &KmeansConfig { k, max_iters: 30, tol: 1e-9 }, &mut rng);
+        prop_assert_eq!(res.assignments.len(), points.len());
+        let k_eff = res.centroids.len();
+        prop_assert!(k_eff <= k.min(points.len()).max(1));
+        prop_assert!(res.assignments.iter().all(|&a| a < k_eff));
+        prop_assert!(res.inertia >= 0.0);
+        // Assignments are optimal w.r.t. the final centroids.
+        for (p, &a) in points.iter().zip(&res.assignments) {
+            let my = sheriff_kmeans::plain::sq_dist(p, &res.centroids[a]);
+            for c in &res.centroids {
+                prop_assert!(my <= sheriff_kmeans::plain::sq_dist(p, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_never_increases_with_k(points in arb_points(25, 2), seed in 0u64..200) {
+        // More clusters can only lower (best-case) inertia; with fixed
+        // seeds and restarts the min over restarts is monotone enough to
+        // assert a weak version: k = n gives (near) zero inertia.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(
+            &points,
+            &KmeansConfig { k: points.len(), max_iters: 50, tol: 1e-12 },
+            &mut rng,
+        );
+        prop_assert!(res.inertia < 1e-6, "inertia {} with k=n", res.inertia);
+    }
+
+    #[test]
+    fn silhouette_always_bounded(points in arb_points(20, 2), k in 1usize..5, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&points, &KmeansConfig { k, max_iters: 20, tol: 1e-9 }, &mut rng);
+        let k_eff = res.centroids.len().max(1);
+        let scores = silhouette_samples(&points, &res.assignments, k_eff);
+        for s in &scores {
+            prop_assert!((-1.0..=1.0).contains(s));
+        }
+        let m = mean_silhouette(&points, &res.assignments, k_eff);
+        prop_assert!((-1.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn profile_vectors_normalized(counts in proptest::collection::vec(0u64..500, 5)) {
+        let universe: Vec<String> = (0..5).map(|i| format!("d{i}.example")).collect();
+        let mut h = RawHistory::new();
+        for (d, &c) in universe.iter().zip(&counts) {
+            if c > 0 {
+                h.record(d, c);
+            }
+        }
+        let v = profile_vector(&h, &universe, 16);
+        prop_assert_eq!(v.len(), 5);
+        prop_assert!(v.iter().all(|&x| x <= 16));
+        if counts.iter().any(|&c| c > 0) {
+            prop_assert!(v.contains(&16), "max coordinate must hit the scale");
+        } else {
+            prop_assert!(v.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn private_equals_reference_on_random_grids(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u64..9, 3),
+            2..10,
+        ),
+        seed in 0u64..200,
+    ) {
+        let params = GroupParams::test_64();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = vec![vec![0u64, 0, 0], vec![8, 8, 8]];
+        let cfg = PrivateConfig {
+            k: 2,
+            max_iters: 5,
+            halt_changed_fraction: 0.0,
+            scale: 8,
+            threads: 1,
+        };
+        let private = run_private_with_init(&params, &points, &cfg, Some(init.clone()), &mut rng);
+        let reference = reference_integer_kmeans(&points, init, 5, 0.0);
+        prop_assert_eq!(private.centroids, reference.centroids);
+        prop_assert_eq!(private.assignments, reference.assignments);
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-IP bot detection.
+//!
+//! §3.2's discussion: "A retailer can detect any abnormal activity of the
+//! IPC by counting the frequency of the visits from the same IP. If the
+//! number of page requests is above some internal frequency threshold then
+//! the retailer may block the IPC request or introduce a CAPTCHA." PPCs
+//! evade this because their addresses are diverse and churn.
+
+use std::collections::HashMap;
+
+use sheriff_geo::IpV4;
+
+/// Sliding-window request-frequency detector.
+#[derive(Clone, Debug)]
+pub struct BotDetector {
+    /// Window length in virtual milliseconds.
+    pub window_ms: u64,
+    /// Requests per window tolerated before a CAPTCHA.
+    pub threshold: usize,
+    history: HashMap<IpV4, Vec<u64>>,
+}
+
+impl BotDetector {
+    /// New detector.
+    pub fn new(window_ms: u64, threshold: usize) -> Self {
+        BotDetector {
+            window_ms,
+            threshold,
+            history: HashMap::new(),
+        }
+    }
+
+    /// Records a request from `ip` at `now_ms` and decides whether to serve
+    /// a CAPTCHA instead of the page.
+    pub fn check(&mut self, ip: IpV4, now_ms: u64) -> bool {
+        let window_ms = self.window_ms;
+        let hits = self.history.entry(ip).or_default();
+        hits.retain(|&t| now_ms.saturating_sub(t) < window_ms);
+        hits.push(now_ms);
+        hits.len() > self.threshold
+    }
+
+    /// Distinct IPs currently tracked.
+    pub fn tracked_ips(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(v: u32) -> IpV4 {
+        IpV4(v)
+    }
+
+    #[test]
+    fn below_threshold_passes() {
+        let mut d = BotDetector::new(60_000, 5);
+        for i in 0..5 {
+            assert!(!d.check(ip(1), i * 1000), "request {i} blocked early");
+        }
+    }
+
+    #[test]
+    fn above_threshold_captchas() {
+        let mut d = BotDetector::new(60_000, 5);
+        for i in 0..5 {
+            let _ = d.check(ip(1), i * 1000);
+        }
+        assert!(d.check(ip(1), 5_500));
+    }
+
+    #[test]
+    fn window_expiry_resets() {
+        let mut d = BotDetector::new(10_000, 2);
+        let _ = d.check(ip(1), 0);
+        let _ = d.check(ip(1), 1_000);
+        assert!(d.check(ip(1), 2_000), "third hit in window blocked");
+        // Far in the future: old hits expired.
+        assert!(!d.check(ip(1), 100_000));
+    }
+
+    #[test]
+    fn ips_are_independent() {
+        let mut d = BotDetector::new(60_000, 1);
+        let _ = d.check(ip(1), 0);
+        assert!(d.check(ip(1), 10), "same IP trips");
+        assert!(!d.check(ip(2), 20), "different IP unaffected");
+        assert_eq!(d.tracked_ips(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cookies and cookie jars — the *client-side state* of §3.6.
+//!
+//! The paper's pollution machinery revolves around which cookies a PPC
+//! sends with a fetch and which cookies a fetch leaves behind. The jar is
+//! deliberately simple: name/value pairs scoped by domain, with first- vs
+//! third-party provenance tracked so the add-on can report tracker presence.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One cookie.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+    /// True when set by a third-party (tracker) domain.
+    pub third_party: bool,
+}
+
+/// Per-domain cookie storage.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieJar {
+    /// domain → cookies (BTreeMap for deterministic iteration).
+    store: BTreeMap<String, Vec<Cookie>>,
+}
+
+impl CookieJar {
+    /// Empty jar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a cookie for `domain`.
+    pub fn set(&mut self, domain: &str, cookie: Cookie) {
+        let cookies = self.store.entry(domain.to_string()).or_default();
+        if let Some(existing) = cookies.iter_mut().find(|c| c.name == cookie.name) {
+            *existing = cookie;
+        } else {
+            cookies.push(cookie);
+        }
+    }
+
+    /// Cookies stored for `domain`.
+    pub fn get(&self, domain: &str) -> &[Cookie] {
+        self.store.get(domain).map_or(&[], Vec::as_slice)
+    }
+
+    /// Value of a specific cookie.
+    pub fn value(&self, domain: &str, name: &str) -> Option<&str> {
+        self.get(domain)
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value.as_str())
+    }
+
+    /// Removes every cookie of `domain`. Returns how many were removed.
+    pub fn clear_domain(&mut self, domain: &str) -> usize {
+        self.store.remove(domain).map_or(0, |v| v.len())
+    }
+
+    /// All domains that have at least one cookie.
+    pub fn domains(&self) -> impl Iterator<Item = &str> {
+        self.store.keys().map(String::as_str)
+    }
+
+    /// Total cookie count.
+    pub fn len(&self) -> usize {
+        self.store.values().map(Vec::len).sum()
+    }
+
+    /// True when the jar holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Domains of third-party (tracker) cookies — what a donating user
+    /// shares for tracker-correlation analysis (§2.2 req. 2).
+    pub fn third_party_domains(&self) -> Vec<&str> {
+        self.store
+            .iter()
+            .filter(|(_, cs)| cs.iter().any(|c| c.third_party))
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Snapshot for sandboxing: the restore target.
+    pub fn snapshot(&self) -> CookieJar {
+        self.clone()
+    }
+
+    /// Difference: cookies present here but not in `before`. This is what
+    /// the sandbox must delete after a remote fetch (§3.6.1).
+    pub fn added_since(&self, before: &CookieJar) -> Vec<(String, Cookie)> {
+        let mut out = Vec::new();
+        for (domain, cookies) in &self.store {
+            for c in cookies {
+                let pre_existing = before
+                    .get(domain)
+                    .iter()
+                    .any(|b| b.name == c.name && b.value == c.value);
+                if !pre_existing {
+                    out.push((domain.clone(), c.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str, value: &str) -> Cookie {
+        Cookie {
+            name: name.into(),
+            value: value.into(),
+            third_party: false,
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut jar = CookieJar::new();
+        jar.set("shop.com", c("session", "abc"));
+        assert_eq!(jar.value("shop.com", "session"), Some("abc"));
+        assert_eq!(jar.value("shop.com", "other"), None);
+        assert_eq!(jar.value("other.com", "session"), None);
+    }
+
+    #[test]
+    fn set_replaces_same_name() {
+        let mut jar = CookieJar::new();
+        jar.set("shop.com", c("session", "abc"));
+        jar.set("shop.com", c("session", "def"));
+        assert_eq!(jar.len(), 1);
+        assert_eq!(jar.value("shop.com", "session"), Some("def"));
+    }
+
+    #[test]
+    fn clear_domain_removes_all() {
+        let mut jar = CookieJar::new();
+        jar.set("shop.com", c("a", "1"));
+        jar.set("shop.com", c("b", "2"));
+        jar.set("keep.com", c("c", "3"));
+        assert_eq!(jar.clear_domain("shop.com"), 2);
+        assert!(jar.get("shop.com").is_empty());
+        assert_eq!(jar.len(), 1);
+    }
+
+    #[test]
+    fn third_party_domains_reported() {
+        let mut jar = CookieJar::new();
+        jar.set("shop.com", c("session", "x"));
+        jar.set(
+            "tracker.example",
+            Cookie {
+                name: "uid".into(),
+                value: "42".into(),
+                third_party: true,
+            },
+        );
+        assert_eq!(jar.third_party_domains(), vec!["tracker.example"]);
+    }
+
+    #[test]
+    fn added_since_detects_new_cookies() {
+        let mut jar = CookieJar::new();
+        jar.set("shop.com", c("session", "x"));
+        let before = jar.snapshot();
+        jar.set("shop.com", c("viewed", "p1"));
+        jar.set("tracker.example", c("uid", "9"));
+        let added = jar.added_since(&before);
+        assert_eq!(added.len(), 2);
+        assert!(added.iter().any(|(d, ck)| d == "shop.com" && ck.name == "viewed"));
+        // Value change counts as added (must be cleaned too).
+        jar.set("shop.com", c("session", "polluted"));
+        assert!(jar
+            .added_since(&before)
+            .iter()
+            .any(|(_, ck)| ck.name == "session" && ck.value == "polluted"));
+    }
+
+    #[test]
+    fn deterministic_domain_order() {
+        let mut jar = CookieJar::new();
+        jar.set("z.com", c("a", "1"));
+        jar.set("a.com", c("a", "1"));
+        let domains: Vec<&str> = jar.domains().collect();
+        assert_eq!(domains, vec!["a.com", "z.com"]);
+    }
+}

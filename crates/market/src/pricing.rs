@@ -1,0 +1,522 @@
+//! Pricing strategies — the behaviours the watchdog exists to detect.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use sheriff_geo::{vat_rate, Country, IpV4};
+
+use crate::cookies::CookieJar;
+use crate::hash_mix;
+use crate::product::Product;
+
+/// Desktop platform of the fetching browser (§7.5 controls for these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserAgent {
+    /// Operating system family.
+    pub os: Os,
+    /// Browser family.
+    pub browser: Browser,
+}
+
+/// Operating systems in the §7.5 grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum Os {
+    Windows,
+    MacOs,
+    Linux,
+}
+
+/// Browsers in the §7.5 grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum Browser {
+    Chrome,
+    Firefox,
+    Safari,
+}
+
+impl UserAgent {
+    /// All nine OS × browser combinations of the §7.5 experiment.
+    pub fn grid() -> Vec<UserAgent> {
+        let mut out = Vec::new();
+        for os in [Os::Windows, Os::MacOs, Os::Linux] {
+            for browser in [Browser::Chrome, Browser::Firefox, Browser::Safari] {
+                out.push(UserAgent { os, browser });
+            }
+        }
+        out
+    }
+
+    /// Stable small hash of the platform (feeds page-noise seeding and
+    /// §7.5 regression features).
+    pub fn hash(&self) -> u64 {
+        let os = match self.os {
+            Os::Windows => 1,
+            Os::MacOs => 2,
+            Os::Linux => 3,
+        };
+        let b = match self.browser {
+            Browser::Chrome => 10,
+            Browser::Firefox => 20,
+            Browser::Safari => 30,
+        };
+        os + b
+    }
+}
+
+/// Everything a retailer can observe about one page fetch.
+#[derive(Clone, Debug)]
+pub struct FetchContext<'a> {
+    /// Source address (geolocated by the retailer for localization).
+    pub ip: IpV4,
+    /// Country the retailer resolves the IP to.
+    pub country: Country,
+    /// Client-side state sent with the request.
+    pub cookies: &'a CookieJar,
+    /// Browser platform.
+    pub user_agent: UserAgent,
+    /// True when the customer is signed in (retailer knows the delivery
+    /// country and applies VAT — §7.3's amazon explanation).
+    pub logged_in: bool,
+    /// Day index since epoch of the simulated study.
+    pub day: u32,
+    /// Quarter of the day (0–3), a §7.5 regression feature.
+    pub time_quarter: u8,
+    /// Global request sequence number (drives per-request A/B arms).
+    pub request_seq: u64,
+    /// Stable identity of the browser profile towards this retailer
+    /// (first-party cookie id); drives *sticky* A/B arms.
+    pub client_id: u64,
+}
+
+/// One pricing behaviour. A retailer stacks several; they apply in order to
+/// the running price.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum PricingStrategy {
+    /// Location-based PD: multiply by a per-country factor (default 1.0).
+    /// The paper reverse-engineered exactly this shape in its predecessor
+    /// work ("prices appear to be adjusted using simple multiplicative
+    /// factors depending on the country", §1).
+    CountryMultiplier {
+        /// country code → factor.
+        factors: BTreeMap<String, f64>,
+        /// Dampen the factor on expensive products (retailers shave the
+        /// markup percentage as absolute prices grow — the empirical
+        /// envelope of the paper's Fig. 10: ×2.5 below €1k, ×1.7 to €10k,
+        /// ~×1.3 above).
+        dampen_expensive: bool,
+    },
+    /// Apply the customer country's category VAT when the retailer has
+    /// identified the customer (logged in); guests see net prices.
+    VatWhenIdentified,
+    /// A/B testing: arms spread `±amplitude` around the base.
+    ///
+    /// `sticky == false`: the arm is re-drawn per request (§7.4 France —
+    /// "low and high prices in an almost uniform fashion").
+    /// `sticky == true`: the arm is keyed by the client id, so individual
+    /// peers see consistently low or high prices (§7.4 UK).
+    ///
+    /// `country_amplitude` overrides the amplitude per country code (0
+    /// disables the test there) — jcpenney's UK-vs-continent contrast.
+    /// `product_fraction` enrols only a hash-selected share of products per
+    /// country, which is what makes Table 5's "% of requests with price
+    /// difference" land between 0 and 100.
+    AbTest {
+        /// Half-width of the price spread, as a fraction (0.07 = ±7%/2).
+        amplitude: f64,
+        /// Number of arms (≥2).
+        arms: u8,
+        /// Keyed by client id instead of request sequence.
+        sticky: bool,
+        /// Per-country amplitude overrides (country code → amplitude).
+        country_amplitude: BTreeMap<String, f64>,
+        /// Fraction of (product, country) pairs enrolled; 1.0 = all.
+        product_fraction: f64,
+        /// Per-country enrollment overrides (country code → fraction).
+        country_fraction: BTreeMap<String, f64>,
+    },
+    /// Personal-data-induced PD: mark up by `markup · score` where `score ∈
+    /// \[0,1\]` is the wealth/interest score read from a tracker cookie.
+    /// The positive control the paper's analyses must be able to flag.
+    PdiPd {
+        /// Tracker domain whose cookie carries the profile score.
+        tracker_domain: String,
+        /// Maximum markup fraction at score 1.
+        markup: f64,
+    },
+    /// Fig. 14/15 temporal strategy: small daily drift (usually downward)
+    /// with rare large jumps on hash-selected days.
+    TemporalDrift {
+        /// Per-day multiplicative drift (e.g. -0.005 = −0.5 %/day).
+        daily_drift: f64,
+        /// Probability a product jumps on a given day.
+        jump_prob: f64,
+        /// Jump magnitude as a fraction (applied upward).
+        jump_size: f64,
+    },
+    /// Algorithmic repricing: the price oscillates within the day
+    /// ("hundreds of changes per day", §2's citation of Amazon
+    /// marketplace pricing).
+    IntradayRepricing {
+        /// Oscillation amplitude as a fraction.
+        amplitude: f64,
+    },
+}
+
+impl PricingStrategy {
+    /// Applies this strategy to `price` (EUR, net so far).
+    pub fn apply(
+        &self,
+        price: f64,
+        product: &Product,
+        ctx: &FetchContext<'_>,
+        domain_salt: u64,
+    ) -> f64 {
+        match self {
+            PricingStrategy::CountryMultiplier {
+                factors,
+                dampen_expensive,
+            } => {
+                let f = factors.get(ctx.country.code()).copied().unwrap_or(1.0);
+                let damp = if !dampen_expensive || product.base_price_eur < 1_000.0 {
+                    1.0
+                } else if product.base_price_eur < 10_000.0 {
+                    0.55
+                } else {
+                    0.18
+                };
+                price * (1.0 + (f - 1.0) * damp)
+            }
+            PricingStrategy::VatWhenIdentified => {
+                if ctx.logged_in {
+                    price * (1.0 + vat_rate(ctx.country, product.category))
+                } else {
+                    price
+                }
+            }
+            PricingStrategy::AbTest {
+                amplitude,
+                arms,
+                sticky,
+                country_amplitude,
+                product_fraction,
+                country_fraction,
+            } => {
+                let amp = country_amplitude
+                    .get(ctx.country.code())
+                    .copied()
+                    .unwrap_or(*amplitude);
+                if amp <= 0.0 {
+                    return price;
+                }
+                // Per-(product, country) enrollment.
+                let fraction = country_fraction
+                    .get(ctx.country.code())
+                    .copied()
+                    .unwrap_or(*product_fraction);
+                let country_h = crate::hash_str(ctx.country.code());
+                let enrol = hash_mix(&[domain_salt, u64::from(product.id.0), country_h, 0xe1]);
+                if (enrol as f64 / u64::MAX as f64) >= fraction {
+                    return price;
+                }
+                let arms = (*arms).max(2) as u64;
+                // Sticky buckets are per *client* across the whole
+                // catalogue — that is what makes §7.4's UK peers receive
+                // "consistently low … or high prices". Per-request arms
+                // are re-drawn per (product, request).
+                let h = if *sticky {
+                    hash_mix(&[domain_salt, ctx.client_id, 0x51c])
+                } else {
+                    hash_mix(&[domain_salt, u64::from(product.id.0), ctx.request_seq])
+                };
+                let arm = (h % arms) as f64;
+                // Arms spread uniformly in [-amplitude, +amplitude].
+                let offset = -amp + 2.0 * amp * arm / (arms - 1) as f64;
+                price * (1.0 + offset)
+            }
+            PricingStrategy::PdiPd {
+                tracker_domain,
+                markup,
+            } => {
+                let score = ctx
+                    .cookies
+                    .value(tracker_domain, "profile_score")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(0.0)
+                    .clamp(0.0, 1.0);
+                price * (1.0 + markup * score)
+            }
+            PricingStrategy::TemporalDrift {
+                daily_drift,
+                jump_prob,
+                jump_size,
+            } => {
+                let mut p = price;
+                for day in 0..ctx.day {
+                    p *= 1.0 + daily_drift;
+                    let h = hash_mix(&[domain_salt, u64::from(product.id.0), u64::from(day), 0xda]);
+                    if (h as f64 / u64::MAX as f64) < *jump_prob {
+                        p *= 1.0 + jump_size;
+                    }
+                }
+                p
+            }
+            PricingStrategy::IntradayRepricing { amplitude } => {
+                let h = hash_mix(&[
+                    domain_salt,
+                    u64::from(product.id.0),
+                    u64::from(ctx.day),
+                    u64::from(ctx.time_quarter),
+                    0xa1,
+                ]);
+                let unit = h as f64 / u64::MAX as f64; // [0, 1)
+                price * (1.0 + amplitude * (2.0 * unit - 1.0))
+            }
+        }
+    }
+
+    /// True when this strategy can produce different prices for users *in
+    /// the same country at the same time* — the paper's suspicious class.
+    pub fn within_country_varying(&self) -> bool {
+        matches!(
+            self,
+            PricingStrategy::AbTest { .. }
+                | PricingStrategy::PdiPd { .. }
+                | PricingStrategy::VatWhenIdentified
+        )
+    }
+
+    /// True when this strategy uses personal data (the PDI-PD class).
+    pub fn personal_data_driven(&self) -> bool {
+        matches!(self, PricingStrategy::PdiPd { .. })
+    }
+}
+
+/// Applies a strategy stack and rounds to cents.
+pub fn compute_price_eur(
+    base: f64,
+    strategies: &[PricingStrategy],
+    product: &Product,
+    ctx: &FetchContext<'_>,
+    domain_salt: u64,
+) -> f64 {
+    let raw = strategies
+        .iter()
+        .fold(base, |p, s| s.apply(p, product, ctx, domain_salt));
+    (raw * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sheriff_geo::{IpAllocator, ProductCategory};
+
+    fn product() -> Product {
+        Product {
+            id: crate::product::ProductId(1),
+            name: "test".into(),
+            category: ProductCategory::Electronics,
+            base_price_eur: 100.0,
+            popularity: 0.5,
+        }
+    }
+
+    fn ctx<'a>(jar: &'a CookieJar, country: Country, seq: u64, client: u64) -> FetchContext<'a> {
+        let mut alloc = IpAllocator::new();
+        FetchContext {
+            ip: alloc.allocate(country, 0),
+            country,
+            cookies: jar,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            logged_in: false,
+            day: 0,
+            time_quarter: 0,
+            request_seq: seq,
+            client_id: client,
+        }
+    }
+
+    #[test]
+    fn country_multiplier_applies() {
+        let jar = CookieJar::new();
+        let mut factors = BTreeMap::new();
+        factors.insert("US".to_string(), 1.5);
+        let s = PricingStrategy::CountryMultiplier {
+            factors,
+            dampen_expensive: false,
+        };
+        let p = product();
+        assert_eq!(s.apply(100.0, &p, &ctx(&jar, Country::US, 0, 0), 7), 150.0);
+        assert_eq!(s.apply(100.0, &p, &ctx(&jar, Country::ES, 0, 0), 7), 100.0);
+    }
+
+    #[test]
+    fn vat_only_when_logged_in() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::VatWhenIdentified;
+        let p = product();
+        let mut c = ctx(&jar, Country::ES, 0, 0);
+        assert_eq!(s.apply(100.0, &p, &c, 7), 100.0);
+        c.logged_in = true;
+        assert!((s.apply(100.0, &p, &c, 7) - 121.0).abs() < 1e-9, "ES standard VAT 21%");
+    }
+
+    #[test]
+    fn nonsticky_ab_varies_by_request() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::AbTest {
+            amplitude: 0.05,
+            arms: 2,
+            sticky: false,
+            country_amplitude: BTreeMap::new(),
+            product_fraction: 1.0,
+            country_fraction: BTreeMap::new(),
+        };
+        let p = product();
+        let prices: std::collections::HashSet<u64> = (0..50)
+            .map(|seq| (s.apply(100.0, &p, &ctx(&jar, Country::FR, seq, 1), 7) * 100.0) as u64)
+            .collect();
+        assert_eq!(prices.len(), 2, "two arms expected: {prices:?}");
+    }
+
+    #[test]
+    fn sticky_ab_constant_per_client() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::AbTest {
+            amplitude: 0.035,
+            arms: 2,
+            sticky: true,
+            country_amplitude: BTreeMap::new(),
+            product_fraction: 1.0,
+            country_fraction: BTreeMap::new(),
+        };
+        let p = product();
+        for client in 0..10u64 {
+            let first = s.apply(100.0, &p, &ctx(&jar, Country::GB, 0, client), 7);
+            for seq in 1..20 {
+                let again = s.apply(100.0, &p, &ctx(&jar, Country::GB, seq, client), 7);
+                assert_eq!(first, again, "client {client} saw a different arm");
+            }
+        }
+    }
+
+    #[test]
+    fn pdipd_reads_tracker_score() {
+        let mut jar = CookieJar::new();
+        jar.set(
+            "tracker.example",
+            crate::cookies::Cookie {
+                name: "profile_score".into(),
+                value: "0.8".into(),
+                third_party: true,
+            },
+        );
+        let s = PricingStrategy::PdiPd {
+            tracker_domain: "tracker.example".into(),
+            markup: 0.10,
+        };
+        let p = product();
+        let priced = s.apply(100.0, &p, &ctx(&jar, Country::ES, 0, 0), 7);
+        assert!((priced - 108.0).abs() < 1e-9);
+        // Clean profile: no markup.
+        let clean = CookieJar::new();
+        assert_eq!(s.apply(100.0, &p, &ctx(&clean, Country::ES, 0, 0), 7), 100.0);
+    }
+
+    #[test]
+    fn temporal_drift_decreases_over_days() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::TemporalDrift {
+            daily_drift: -0.01,
+            jump_prob: 0.0,
+            jump_size: 0.0,
+        };
+        let p = product();
+        let mut c = ctx(&jar, Country::ES, 0, 0);
+        let day0 = s.apply(100.0, &p, &c, 7);
+        c.day = 20;
+        let day20 = s.apply(100.0, &p, &c, 7);
+        assert_eq!(day0, 100.0);
+        assert!((day20 - 100.0 * 0.99f64.powi(20)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temporal_jumps_fire_deterministically() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::TemporalDrift {
+            daily_drift: 0.0,
+            jump_prob: 0.25,
+            jump_size: 0.5,
+        };
+        let p = product();
+        let mut c = ctx(&jar, Country::ES, 0, 0);
+        c.day = 40;
+        let a = s.apply(100.0, &p, &c, 7);
+        let b = s.apply(100.0, &p, &c, 7);
+        assert_eq!(a, b, "jumps must be deterministic");
+        assert!(a > 100.0, "with p=0.25 over 40 days some jump must fire");
+    }
+
+    #[test]
+    fn intraday_repricing_changes_within_day() {
+        let jar = CookieJar::new();
+        let s = PricingStrategy::IntradayRepricing { amplitude: 0.05 };
+        let p = product();
+        let mut c = ctx(&jar, Country::ES, 0, 0);
+        let quarters: Vec<f64> = (0..4)
+            .map(|q| {
+                c.time_quarter = q;
+                s.apply(100.0, &p, &c, 7)
+            })
+            .collect();
+        let distinct: std::collections::HashSet<u64> =
+            quarters.iter().map(|&p| (p * 1000.0) as u64).collect();
+        assert!(distinct.len() > 1, "expected intra-day variation");
+        for &q in &quarters {
+            assert!((95.0..=105.0).contains(&q));
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(PricingStrategy::AbTest {
+            amplitude: 0.1,
+            arms: 2,
+            sticky: false,
+            country_amplitude: BTreeMap::new(),
+            product_fraction: 1.0,
+            country_fraction: BTreeMap::new(),
+        }
+        .within_country_varying());
+        assert!(!PricingStrategy::CountryMultiplier {
+            factors: BTreeMap::new(),
+            dampen_expensive: true,
+        }
+        .within_country_varying());
+        assert!(PricingStrategy::PdiPd {
+            tracker_domain: "t".into(),
+            markup: 0.1
+        }
+        .personal_data_driven());
+        assert!(!PricingStrategy::VatWhenIdentified.personal_data_driven());
+    }
+
+    #[test]
+    fn stack_composes_and_rounds() {
+        let jar = CookieJar::new();
+        let mut factors = BTreeMap::new();
+        factors.insert("US".to_string(), 1.333333);
+        let stack = vec![PricingStrategy::CountryMultiplier {
+            factors,
+            dampen_expensive: false,
+        }];
+        let p = product();
+        let priced = compute_price_eur(100.0, &stack, &p, &ctx(&jar, Country::US, 0, 0), 7);
+        assert_eq!(priced, 133.33);
+    }
+}

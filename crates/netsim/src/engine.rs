@@ -1,0 +1,492 @@
+//! The simulation engine: virtual clock, event queue, node arena.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::latency::LatencyModel;
+
+/// Virtual time in milliseconds since simulation start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Builds from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Builds from minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Milliseconds value.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating addition.
+    pub fn plus(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// Handle to a node in the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A simulated network endpoint: a pure event-driven state machine.
+///
+/// Implementations must not block, sleep, or read wall-clock time — all
+/// temporal behaviour goes through [`Ctx::set_timer`].
+pub trait Node<M: 'static>: Any {
+    /// A message arrived from `from`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+}
+
+/// What a node may do during a callback.
+enum Action<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        extra_delay: SimTime,
+    },
+    Timer {
+        delay: SimTime,
+        token: u64,
+    },
+}
+
+/// Callback context handed to nodes.
+pub struct Ctx<'a, M> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The node being invoked.
+    pub self_id: NodeId,
+    actions: &'a mut Vec<Action<M>>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Sends `msg` to `to`; arrival is `now + latency(self, to)`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            extra_delay: SimTime::ZERO,
+        });
+    }
+
+    /// Sends after an additional local delay (e.g. processing time) on top
+    /// of network latency.
+    pub fn send_after(&mut self, delay: SimTime, to: NodeId, msg: M) {
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            extra_delay: delay,
+        });
+    }
+
+    /// Arms a timer on the current node.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+enum Event<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: node arena + event queue + clock.
+///
+/// ```
+/// use sheriff_netsim::{ConstantLatency, Ctx, Node, NodeId, SimTime, Simulator};
+///
+/// struct Echo;
+/// impl Node<u32> for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+///         if msg > 0 {
+///             ctx.send(from, msg - 1);
+///         }
+///     }
+/// }
+///
+/// let mut sim: Simulator<u32> =
+///     Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(10))), 1);
+/// let a = sim.add_node(Box::new(Echo));
+/// let b = sim.add_node(Box::new(Echo));
+/// sim.inject(SimTime::ZERO, a, b, 5);
+/// sim.run_until_idle(100);
+/// assert_eq!(sim.delivered(), 6);            // 5,4,3,2,1,0
+/// assert_eq!(sim.now(), SimTime::from_millis(50)); // 10 ms per hop
+/// ```
+pub struct Simulator<M: 'static> {
+    nodes: Vec<Box<dyn Node<M>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    latency: Box<dyn LatencyModel>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    delivered: u64,
+}
+
+impl<M: 'static> Simulator<M> {
+    /// Creates a simulator with the given latency model and RNG seed.
+    pub fn new(latency: Box<dyn LatencyModel>, seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            latency,
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+        }
+    }
+
+    /// Registers a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Typed access to a node's state (for test assertions and result
+    /// harvesting; deployment code communicates only via messages).
+    pub fn node_ref<T: Node<M>>(&self, id: NodeId) -> Option<&T> {
+        let node: &dyn Any = self.nodes.get(id.0)?.as_ref();
+        node.downcast_ref::<T>()
+    }
+
+    /// Mutable typed access to a node's state.
+    pub fn node_mut<T: Node<M>>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node: &mut dyn Any = self.nodes.get_mut(id.0)?.as_mut();
+        node.downcast_mut::<T>()
+    }
+
+    /// Injects a message from "outside" the simulation (e.g. a user click),
+    /// delivered to `to` at `at`.
+    pub fn inject(&mut self, at: SimTime, to: NodeId, from: NodeId, msg: M) {
+        let seq = self.bump_seq();
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            event: Event::Deliver { to, from, msg },
+        }));
+    }
+
+    /// Arms a timer on `node` from outside the simulation.
+    pub fn inject_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        let seq = self.bump_seq();
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            event: Event::Timer { node, token },
+        }));
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Runs until the queue drains or `max_events` fire. Returns the number
+    /// of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events {
+            if !self.step() {
+                break;
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until virtual time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Processes a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sched)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(sched.at);
+        let mut actions: Vec<Action<M>> = Vec::new();
+
+        type Invoke<'a, M> = Box<dyn FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>) + 'a>;
+        let (node_id, invoke): (NodeId, Invoke<'_, M>) =
+            match sched.event {
+                Event::Deliver { to, from, msg } => {
+                    self.delivered += 1;
+                    (
+                        to,
+                        Box::new(move |node, ctx| node.on_message(ctx, from, msg)),
+                    )
+                }
+                Event::Timer { node, token } => (
+                    node,
+                    Box::new(move |node_ref, ctx| node_ref.on_timer(ctx, token)),
+                ),
+            };
+
+        if let Some(node) = self.nodes.get_mut(node_id.0) {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: node_id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            invoke(node.as_mut(), &mut ctx);
+        }
+
+        for action in actions {
+            match action {
+                Action::Send {
+                    to,
+                    msg,
+                    extra_delay,
+                } => {
+                    let lat = self.latency.latency(node_id, to, &mut self.rng);
+                    let at = self.now.plus(extra_delay).plus(lat);
+                    let seq = self.bump_seq();
+                    self.queue.push(Reverse(Scheduled {
+                        at,
+                        seq,
+                        event: Event::Deliver {
+                            to,
+                            from: node_id,
+                            msg,
+                        },
+                    }));
+                }
+                Action::Timer { delay, token } => {
+                    let at = self.now.plus(delay);
+                    let seq = self.bump_seq();
+                    self.queue.push(Reverse(Scheduled {
+                        at,
+                        seq,
+                        event: Event::Timer {
+                            node: node_id,
+                            token,
+                        },
+                    }));
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+
+    #[derive(Default)]
+    struct Echo {
+        received: Vec<(NodeId, u32)>,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.received.push((from, msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn sim() -> Simulator<u32> {
+        Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(10))), 1)
+    }
+
+    #[test]
+    fn ping_pong_terminates() {
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.inject(SimTime::ZERO, a, b, 5);
+        let events = s.run_until_idle(1000);
+        assert_eq!(events, 6, "5..0 inclusive");
+        // Total messages: a gets 5,3,1; b gets 4,2,0.
+        assert_eq!(s.node_ref::<Echo>(a).unwrap().received.len(), 3);
+        assert_eq!(s.node_ref::<Echo>(b).unwrap().received.len(), 3);
+        // Each hop costs 10ms; last delivery at t=50.
+        assert_eq!(s.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut s = sim();
+            let a = s.add_node(Box::<Echo>::default());
+            let b = s.add_node(Box::<Echo>::default());
+            s.inject(SimTime::ZERO, a, b, 20);
+            s.run_until_idle(10_000);
+            (s.now(), s.delivered())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[derive(Default)]
+    struct TimerNode {
+        fired: Vec<(u64, SimTime)>,
+    }
+
+    impl Node<u32> for TimerNode {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, _msg: u32) {
+            ctx.set_timer(SimTime::from_millis(100), 7);
+            ctx.set_timer(SimTime::from_millis(50), 8);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, token: u64) {
+            self.fired.push((token, ctx.now));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut s = sim();
+        let n = s.add_node(Box::<TimerNode>::default());
+        s.inject(SimTime::ZERO, n, n, 0);
+        s.run_until_idle(100);
+        let fired = &s.node_ref::<TimerNode>(n).unwrap().fired;
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0], (8, SimTime::from_millis(50)));
+        assert_eq!(fired[1], (7, SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s = sim();
+        let n = s.add_node(Box::<TimerNode>::default());
+        s.inject(SimTime::ZERO, n, n, 0);
+        s.run_until(SimTime::from_millis(60));
+        let fired_count = s.node_ref::<TimerNode>(n).unwrap().fired.len();
+        assert_eq!(fired_count, 1, "only the 50ms timer fires by t=60");
+        assert_eq!(s.now(), SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        // Two messages injected at the same instant arrive in injection
+        // order (stable by sequence number).
+        #[derive(Default)]
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        impl Node<u32> for Recorder {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+                self.seen.push(msg);
+            }
+        }
+        let mut s: Simulator<u32> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::ZERO)), 3);
+        let r = s.add_node(Box::<Recorder>::default());
+        for v in 0..10 {
+            s.inject(SimTime::from_millis(5), r, r, v);
+        }
+        s.run_until_idle(100);
+        assert_eq!(s.node_ref::<Recorder>(r).unwrap().seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrong_downcast_is_none() {
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        assert!(s.node_ref::<TimerNode>(a).is_none());
+        assert!(s.node_ref::<Echo>(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_mins(1), SimTime::from_secs(60));
+        assert_eq!(
+            SimTime::from_millis(30).plus(SimTime::from_millis(12)),
+            SimTime::from_millis(42)
+        );
+        assert_eq!(
+            SimTime::from_millis(30).since(SimTime::from_millis(40)),
+            SimTime::ZERO
+        );
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

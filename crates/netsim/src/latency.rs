@@ -1,0 +1,173 @@
+//! Latency models.
+//!
+//! §5 notes that "some PlanetLab servers are sometimes overloaded, imposing
+//! delay on our proxy servers response time" — a heavy tail the production
+//! system bounded with a 2-minute per-request kill. The models here let the
+//! performance experiments reproduce those shapes deterministically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engine::{NodeId, SimTime};
+
+/// Prices the network delay of one message on the (from, to) edge.
+pub trait LatencyModel {
+    /// Latency for a single message; may consult `rng` for jitter.
+    fn latency(&mut self, from: NodeId, to: NodeId, rng: &mut StdRng) -> SimTime;
+}
+
+/// Fixed latency on every edge.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantLatency(pub SimTime);
+
+impl LatencyModel for ConstantLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, _rng: &mut StdRng) -> SimTime {
+        self.0
+    }
+}
+
+/// Lognormal jitter around a base latency: `base · exp(σ·Z)` with standard
+/// normal `Z` — the classic shape of wide-area RTTs.
+#[derive(Clone, Copy, Debug)]
+pub struct LognormalLatency {
+    /// Median latency.
+    pub base: SimTime,
+    /// Log-space standard deviation (0.3–0.6 is realistic).
+    pub sigma: f64,
+}
+
+impl LognormalLatency {
+    fn sample(&self, rng: &mut StdRng) -> SimTime {
+        let z = sample_standard_normal(rng);
+        let factor = (self.sigma * z).exp();
+        SimTime::from_millis((self.base.as_millis() as f64 * factor).round() as u64)
+    }
+}
+
+impl LatencyModel for LognormalLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, rng: &mut StdRng) -> SimTime {
+        self.sample(rng)
+    }
+}
+
+/// Lognormal body with an overload tail: with probability `p_overload` the
+/// message instead takes `overload_latency` (an overloaded PlanetLab node),
+/// optionally clipped by the production system's kill bound.
+#[derive(Clone, Copy, Debug)]
+pub struct HeavyTailLatency {
+    /// The well-behaved body.
+    pub body: LognormalLatency,
+    /// Probability of hitting an overloaded node.
+    pub p_overload: f64,
+    /// Latency in the overloaded case.
+    pub overload_latency: SimTime,
+    /// Upper clip (the 2-minute kill bound); `None` = unbounded.
+    pub kill_bound: Option<SimTime>,
+}
+
+impl LatencyModel for HeavyTailLatency {
+    fn latency(&mut self, _from: NodeId, _to: NodeId, rng: &mut StdRng) -> SimTime {
+        let raw = if rng.gen::<f64>() < self.p_overload {
+            self.overload_latency
+        } else {
+            self.body.sample(rng)
+        };
+        match self.kill_bound {
+            Some(bound) if raw > bound => bound,
+            _ => raw,
+        }
+    }
+}
+
+/// Box–Muller standard normal sample.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut m = ConstantLatency(SimTime::from_millis(25));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.latency(NodeId(0), NodeId(1), &mut r), SimTime::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn lognormal_centers_on_base() {
+        let mut m = LognormalLatency {
+            base: SimTime::from_millis(100),
+            sigma: 0.4,
+        };
+        let mut r = rng();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| m.latency(NodeId(0), NodeId(1), &mut r).as_millis() as f64)
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 100.0).abs() < 10.0, "median={median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn heavy_tail_produces_overloads() {
+        let mut m = HeavyTailLatency {
+            body: LognormalLatency {
+                base: SimTime::from_millis(100),
+                sigma: 0.3,
+            },
+            p_overload: 0.1,
+            overload_latency: SimTime::from_secs(300),
+            kill_bound: None,
+        };
+        let mut r = rng();
+        let overloads = (0..2000)
+            .filter(|_| {
+                m.latency(NodeId(0), NodeId(1), &mut r) == SimTime::from_secs(300)
+            })
+            .count();
+        let frac = overloads as f64 / 2000.0;
+        assert!((frac - 0.1).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn kill_bound_clips_tail() {
+        let mut m = HeavyTailLatency {
+            body: LognormalLatency {
+                base: SimTime::from_millis(100),
+                sigma: 0.3,
+            },
+            p_overload: 1.0,
+            overload_latency: SimTime::from_secs(600),
+            kill_bound: Some(SimTime::from_mins(2)),
+        };
+        let mut r = rng();
+        assert_eq!(
+            m.latency(NodeId(0), NodeId(1), &mut r),
+            SimTime::from_mins(2)
+        );
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

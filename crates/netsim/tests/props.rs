@@ -1,0 +1,112 @@
+//! Property tests for the simulation engine: causality (no event fires
+//! before its cause), determinism under a seed, and conservation of
+//! messages.
+
+use proptest::prelude::*;
+
+use sheriff_netsim::{ConstantLatency, Ctx, LognormalLatency, Node, NodeId, SimTime, Simulator};
+
+/// Records every delivery with its timestamp.
+#[derive(Default)]
+struct Recorder {
+    log: Vec<(u64, u32)>, // (time, payload)
+    forward_to: Option<NodeId>,
+}
+
+impl Node<u32> for Recorder {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        self.log.push((ctx.now.as_millis(), msg));
+        if let Some(next) = self.forward_to {
+            if msg > 0 {
+                ctx.send(next, msg - 1);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_is_monotone_at_every_node(
+        latency_ms in 1u64..500,
+        hops in 1u32..40,
+    ) {
+        let mut sim: Simulator<u32> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(latency_ms))), 1);
+        let a = sim.add_node(Box::new(Recorder::default()));
+        let b = sim.add_node(Box::new(Recorder::default()));
+        sim.node_mut::<Recorder>(a).expect("a").forward_to = Some(b);
+        sim.node_mut::<Recorder>(b).expect("b").forward_to = Some(a);
+        sim.inject(SimTime::ZERO, a, b, hops);
+        sim.run_until_idle(10_000);
+        for node in [a, b] {
+            let log = &sim.node_ref::<Recorder>(node).expect("node").log;
+            for w in log.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0, "time went backwards");
+            }
+        }
+    }
+
+    #[test]
+    fn message_conservation(hops in 1u32..60, latency_ms in 1u64..100) {
+        let mut sim: Simulator<u32> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(latency_ms))), 2);
+        let a = sim.add_node(Box::new(Recorder::default()));
+        let b = sim.add_node(Box::new(Recorder::default()));
+        sim.node_mut::<Recorder>(a).expect("a").forward_to = Some(b);
+        sim.node_mut::<Recorder>(b).expect("b").forward_to = Some(a);
+        sim.inject(SimTime::ZERO, a, b, hops);
+        sim.run_until_idle(100_000);
+        let total: usize = [a, b]
+            .iter()
+            .map(|&n| sim.node_ref::<Recorder>(n).expect("node").log.len())
+            .sum();
+        // The chain counts down hops..0 inclusive: exactly hops+1 deliveries.
+        prop_assert_eq!(total, hops as usize + 1);
+        prop_assert_eq!(sim.delivered(), u64::from(hops) + 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed_with_jitter(seed in 0u64..10_000, hops in 1u32..30) {
+        let run = |seed: u64| {
+            let mut sim: Simulator<u32> = Simulator::new(
+                Box::new(LognormalLatency {
+                    base: SimTime::from_millis(50),
+                    sigma: 0.5,
+                }),
+                seed,
+            );
+            let a = sim.add_node(Box::new(Recorder::default()));
+            let b = sim.add_node(Box::new(Recorder::default()));
+            sim.node_mut::<Recorder>(a).expect("a").forward_to = Some(b);
+            sim.node_mut::<Recorder>(b).expect("b").forward_to = Some(a);
+            sim.inject(SimTime::ZERO, a, b, hops);
+            sim.run_until_idle(100_000);
+            (
+                sim.now(),
+                sim.node_ref::<Recorder>(a).expect("a").log.clone(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn run_until_never_overshoots_queue(deadline_ms in 0u64..5_000) {
+        let mut sim: Simulator<u32> =
+            Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(100))), 3);
+        let a = sim.add_node(Box::new(Recorder::default()));
+        let b = sim.add_node(Box::new(Recorder::default()));
+        sim.node_mut::<Recorder>(a).expect("a").forward_to = Some(b);
+        sim.node_mut::<Recorder>(b).expect("b").forward_to = Some(a);
+        sim.inject(SimTime::ZERO, a, b, 100);
+        sim.run_until(SimTime::from_millis(deadline_ms));
+        // Every delivered event fired at or before the deadline.
+        for node in [a, b] {
+            for &(t, _) in &sim.node_ref::<Recorder>(node).expect("node").log {
+                prop_assert!(t <= deadline_ms);
+            }
+        }
+        prop_assert_eq!(sim.now(), SimTime::from_millis(deadline_ms));
+    }
+}

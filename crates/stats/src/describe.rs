@@ -1,0 +1,203 @@
+//! Descriptive statistics and box-plot summaries.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n−1 denominator); 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Quantile with linear interpolation between order statistics
+/// (the "R-7" rule used by most plotting stacks). `q ∈ [0, 1]`.
+///
+/// # Panics
+/// On an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The five-number summary plus Tukey whiskers driving the paper's
+/// box plots (Fig. 9, 11, 13, 14, 15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Sample minimum.
+    pub min: f64,
+    /// Lower whisker (smallest point ≥ Q1 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest point ≤ Q3 + 1.5·IQR).
+    pub whisker_hi: f64,
+    /// Sample maximum.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary. Returns `None` for empty input.
+    pub fn compute(xs: &[f64]) -> Option<BoxStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let q1 = quantile(xs, 0.25);
+        let q3 = quantile(xs, 0.75);
+        let iqr = q3 - q1;
+        let (fence_lo, fence_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut whisker_lo = f64::INFINITY;
+        let mut whisker_hi = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            if x >= fence_lo {
+                whisker_lo = whisker_lo.min(x);
+            }
+            if x <= fence_hi {
+                whisker_hi = whisker_hi.max(x);
+            }
+        }
+        Some(BoxStats {
+            min,
+            whisker_lo,
+            q1,
+            median: median(xs),
+            q3,
+            whisker_hi,
+            max,
+            n: xs.len(),
+        })
+    }
+
+    /// Renders an ASCII one-liner for experiment reports, e.g.
+    /// `n=120 [0.00 |0.05 ▒0.10▒ 0.18| 0.40]`.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} [{:.2} |{:.2} \u{2592}{:.2}\u{2592} {:.2}| {:.2}]",
+            self.n, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Pearson correlation coefficient. 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn box_stats_basic() {
+        let xs: Vec<f64> = (1..=11).map(|i| i as f64).collect();
+        let b = BoxStats::compute(&xs).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 11.0);
+        assert_eq!(b.n, 11);
+        assert!(b.q1 < b.median && b.median < b.q3);
+    }
+
+    #[test]
+    fn box_stats_whiskers_exclude_outliers() {
+        let mut xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        xs.push(1000.0);
+        let b = BoxStats::compute(&xs).unwrap();
+        assert_eq!(b.max, 1000.0);
+        assert!(b.whisker_hi < 100.0, "whisker absorbed the outlier");
+    }
+
+    #[test]
+    fn box_stats_empty_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &inv) + 1.0).abs() < 1e-12);
+        let constant = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&xs, &constant), 0.0);
+    }
+}

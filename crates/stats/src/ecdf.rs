@@ -1,0 +1,167 @@
+//! Empirical CDFs and the two-sample Kolmogorov–Smirnov test.
+//!
+//! §7.5: "We run a pairwise comparison between all CDFs using the
+//! Kolmogorov-Smirnov test (K-S test) to examine if the results seen by all
+//! of our measurement points (IPCs and PPCs) are drawn from the same
+//! distribution." High p-values across all pairs is the paper's evidence
+//! for A/B testing rather than personal-data-driven discrimination.
+
+/// An empirical cumulative distribution function.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from samples (NaNs rejected).
+    ///
+    /// # Panics
+    /// On empty input or NaNs.
+    pub fn new(samples: &[f64]) -> Ecdf {
+        assert!(!samples.is_empty(), "Ecdf of empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted }
+    }
+
+    /// `F(x)` — the fraction of samples ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        // Index of the first element > x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Never true (construction rejects empty samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Result of a two-sample K-S test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsResult {
+    /// The K-S statistic: the supremum distance between the two ECDFs.
+    pub d: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Uses the asymptotic Kolmogorov distribution with the Stephens small-
+/// sample correction `λ = (√nₑ + 0.12 + 0.11/√nₑ)·D`, the standard recipe.
+///
+/// # Panics
+/// If either sample is empty.
+pub fn ks_test(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "ks_test: empty sample");
+    let ea = Ecdf::new(a);
+    let eb = Ecdf::new(b);
+
+    // The supremum is attained at sample points; walk both sorted arrays.
+    let mut d: f64 = 0.0;
+    for &x in ea.samples().iter().chain(eb.samples()) {
+        d = d.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    let ne = n1 * n2 / (n1 + n2);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsResult {
+        d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// The Kolmogorov survival function `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    // Below λ ≈ 0.3 the alternating series converges too slowly to be
+    // usable, but the true value is 1 to within 10⁻⁶ (the Kolmogorov CDF
+    // at 0.3 is ≈ 9·10⁻⁷), so short-circuit.
+    if lambda <= 0.3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_d() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = ks_test(&xs, &xs);
+        assert_eq!(r.d, 0.0);
+        assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_test(&a, &b);
+        assert!(r.p_value > 0.05, "p={} d={}", r.p_value, r.d);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.gen::<f64>() + 0.5).collect();
+        let r = ks_test(&a, &b);
+        assert!(r.p_value < 0.001, "p={} d={}", r.p_value, r.d);
+        assert!(r.d > 0.3);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        assert!(kolmogorov_q(0.0) >= kolmogorov_q(0.5));
+        assert!(kolmogorov_q(0.5) >= kolmogorov_q(1.0));
+        assert!(kolmogorov_q(1.0) >= kolmogorov_q(2.0));
+        assert!(kolmogorov_q(5.0) < 1e-9);
+    }
+
+    #[test]
+    fn d_is_supremum_distance() {
+        // a entirely below b: D = 1.
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        let r = ks_test(&a, &b);
+        assert_eq!(r.d, 1.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Random-forest regression with impurity-based feature importance.
+//!
+//! §7.5: "we perform Random Forests to confirm our conclusions. It turns
+//! out that the value of the feature importance factor and the ROC is low
+//! with no statistical significance for all the features we tried." The
+//! forest here is a standard bagged CART ensemble: bootstrap samples,
+//! variance-reduction splits, per-split feature subsampling, and feature
+//! importance accumulated from impurity decrease.
+
+use rand::Rng;
+
+/// Forest hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Features tried per split (`0` = √m heuristic).
+    pub max_features: usize,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 50,
+            max_depth: 8,
+            min_samples_split: 4,
+            max_features: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TreeNode {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<TreeNode>,
+        right: Box<TreeNode>,
+    },
+}
+
+/// A trained forest.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<TreeNode>,
+    importance: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Trains on feature `rows` and targets `ys`.
+    ///
+    /// # Panics
+    /// On empty or ragged input.
+    pub fn train<R: Rng + ?Sized>(
+        rows: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &RandomForestConfig,
+        rng: &mut R,
+    ) -> RandomForest {
+        assert!(!rows.is_empty(), "RandomForest: no rows");
+        assert_eq!(rows.len(), ys.len(), "RandomForest: length mismatch");
+        let m = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == m), "ragged rows");
+        let max_features = if cfg.max_features == 0 {
+            ((m as f64).sqrt().ceil() as usize).max(1)
+        } else {
+            cfg.max_features.min(m)
+        };
+
+        let mut importance = vec![0.0f64; m];
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> =
+                    (0..rows.len()).map(|_| rng.gen_range(0..rows.len())).collect();
+                build_tree(
+                    rows,
+                    ys,
+                    &idx,
+                    cfg,
+                    max_features,
+                    0,
+                    &mut importance,
+                    rng,
+                )
+            })
+            .collect();
+        // Normalize importance to sum 1 (when any split happened).
+        let total: f64 = importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut importance {
+                *v /= total;
+            }
+        }
+        RandomForest { trees, importance }
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| predict_tree(t, row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Normalized impurity-decrease feature importance (sums to 1 when the
+    /// forest made any split; all zeros otherwise).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tree<R: Rng + ?Sized>(
+    rows: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    cfg: &RandomForestConfig,
+    max_features: usize,
+    depth: usize,
+    importance: &mut [f64],
+    rng: &mut R,
+) -> TreeNode {
+    let node_mean = mean_of(ys, idx);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return TreeNode::Leaf(node_mean);
+    }
+    let node_sse = sse_of(ys, idx, node_mean);
+    if node_sse <= 1e-12 {
+        return TreeNode::Leaf(node_mean);
+    }
+
+    let m = rows[0].len();
+    // Feature subsample without replacement.
+    let mut features: Vec<usize> = (0..m).collect();
+    for i in 0..max_features.min(m) {
+        let j = rng.gen_range(i..m);
+        features.swap(i, j);
+    }
+    features.truncate(max_features);
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &f in &features {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| rows[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        // Candidate thresholds: midpoints (capped for speed).
+        let step = (vals.len() / 16).max(1);
+        for w in vals.windows(2).step_by(step) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| rows[i][f] <= thr);
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let sse = sse_of(ys, &left, mean_of(ys, &left))
+                + sse_of(ys, &right, mean_of(ys, &right));
+            if best.is_none_or(|(_, _, b)| sse < b) {
+                best = Some((f, thr, sse));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, sse)) if sse < node_sse => {
+            importance[feature] += node_sse - sse;
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| rows[i][feature] <= threshold);
+            let left = build_tree(
+                rows, ys, &left_idx, cfg, max_features, depth + 1, importance, rng,
+            );
+            let right = build_tree(
+                rows, ys, &right_idx, cfg, max_features, depth + 1, importance, rng,
+            );
+            TreeNode::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        _ => TreeNode::Leaf(node_mean),
+    }
+}
+
+fn predict_tree(node: &TreeNode, row: &[f64]) -> f64 {
+    match node {
+        TreeNode::Leaf(v) => *v,
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if row[*feature] <= *threshold {
+                predict_tree(left, row)
+            } else {
+                predict_tree(right, row)
+            }
+        }
+    }
+}
+
+fn mean_of(ys: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(ys: &[f64], idx: &[usize], mean: f64) -> f64 {
+    idx.iter().map(|&i| (ys[i] - mean) * (ys[i] - mean)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_step_function() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let f = RandomForest::train(&rows, &ys, &RandomForestConfig::default(), &mut rng);
+        assert!((f.predict(&[0.2]) - 1.0).abs() < 0.5);
+        assert!((f.predict(&[0.8]) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn importance_identifies_signal_feature() {
+        let mut rng = StdRng::seed_from_u64(21);
+        use rand::Rng as _;
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        // Only feature 1 matters.
+        let ys: Vec<f64> = rows.iter().map(|r| 10.0 * r[1]).collect();
+        let f = RandomForest::train(&rows, &ys, &RandomForestConfig::default(), &mut rng);
+        let imp = f.feature_importance();
+        assert!(imp[1] > 0.7, "importance {imp:?}");
+        assert!(imp[0] < 0.2 && imp[2] < 0.2, "importance {imp:?}");
+    }
+
+    #[test]
+    fn noise_target_has_flat_importance() {
+        // §7.5's situation: no feature predicts the price differences.
+        let mut rng = StdRng::seed_from_u64(22);
+        use rand::Rng as _;
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let f = RandomForest::train(&rows, &ys, &RandomForestConfig::default(), &mut rng);
+        let imp = f.feature_importance();
+        for (i, &v) in imp.iter().enumerate() {
+            assert!(v < 0.6, "feature {i} spuriously dominant: {imp:?}");
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_leaf_forest() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 50];
+        let f = RandomForest::train(&rows, &ys, &RandomForestConfig::default(), &mut rng);
+        assert!((f.predict(&[25.0]) - 7.0).abs() < 1e-9);
+        assert!(f.feature_importance().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn respects_depth_limit() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cfg = RandomForestConfig {
+            n_trees: 5,
+            max_depth: 1,
+            ..Default::default()
+        };
+        let f = RandomForest::train(&rows, &ys, &cfg, &mut rng);
+        // Depth-1 trees can only produce 2 distinct values each; the
+        // ensemble cannot fit a 100-point line exactly.
+        let pred_err = (f.predict(&[10.0]) - 10.0).abs();
+        assert!(pred_err > 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Statistics toolkit for the measurement study (paper §6–§7).
+//!
+//! Every statistical instrument the paper applies to its price datasets is
+//! implemented here from first principles:
+//!
+//! * [`describe`] — means, quantiles, and the box-plot five-number summaries
+//!   behind Fig. 9/11/13;
+//! * [`ecdf`] — empirical CDFs and the two-sample Kolmogorov–Smirnov test
+//!   used in §7.5 to show all measurement points draw prices from the same
+//!   distribution (A/B testing, not PDI-PD);
+//! * [`regression`] — OLS simple and multi-linear regression with R² and
+//!   coefficient p-values (§7.5's "R-Square value equal to 0.431 with all
+//!   features having p-values greater than 0.05"), plus the per-product
+//!   trend lines of Fig. 14/15;
+//! * [`forest`] — random-forest regression with impurity-based feature
+//!   importance, the paper's confirmation step;
+//! * [`roc`] — ROC/AUC for the classification view of the same check.
+
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod ecdf;
+pub mod forest;
+pub mod regression;
+pub mod roc;
+
+pub use describe::{mean, quantile, std_dev, BoxStats};
+pub use ecdf::{ks_test, Ecdf, KsResult};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use regression::{linear_fit, multi_linear_fit, LinearFit, MultiLinearFit};
+pub use roc::auc;

@@ -1,0 +1,433 @@
+//! Ordinary least squares: simple and multi-linear regression.
+//!
+//! Fig. 14/15 annotate each product's temporal price series with "the
+//! regression line based on the highest price we observe each day"; §7.5
+//! fits multi-linear models over OS/browser/time-of-day/day-of-week
+//! features, reporting R² and coefficient p-values. Both uses are covered
+//! here, with p-values computed through the regularized incomplete beta
+//! function (Student-t CDF).
+//!
+//! The linear-algebra kernels below use explicit index loops — the direct
+//! transcription of the normal-equations and Gauss-Jordan formulas.
+#![allow(clippy::needless_range_loop)]
+
+/// Result of a simple (one-feature) linear fit `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by least squares.
+///
+/// # Panics
+/// If fewer than two points or lengths mismatch.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    assert!(xs.len() >= 2, "linear_fit: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    let slope = if sxx <= f64::EPSILON { 0.0 } else { sxy / sxx };
+    let intercept = my - slope * mx;
+    let r2 = if syy <= f64::EPSILON || sxx <= f64::EPSILON {
+        0.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Result of a multi-linear fit `y = β₀ + Σ βᵢ·xᵢ`.
+#[derive(Clone, Debug)]
+pub struct MultiLinearFit {
+    /// Coefficients; index 0 is the intercept.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Adjusted R².
+    pub adj_r2: f64,
+    /// Two-sided p-values per coefficient (same indexing as `coeffs`).
+    /// `NaN` when the design matrix is rank-deficient for that column.
+    pub p_values: Vec<f64>,
+}
+
+impl MultiLinearFit {
+    /// Predicted value for a feature row (without intercept column).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.coeffs[0]
+            + row
+                .iter()
+                .zip(&self.coeffs[1..])
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
+    }
+}
+
+/// Fits a multi-linear model by normal equations.
+///
+/// `rows` are feature vectors (without the intercept column); returns
+/// `None` when the system is singular (e.g. constant feature duplicated).
+pub fn multi_linear_fit(rows: &[Vec<f64>], ys: &[f64]) -> Option<MultiLinearFit> {
+    assert_eq!(rows.len(), ys.len(), "multi_linear_fit: length mismatch");
+    let n = rows.len();
+    if n == 0 {
+        return None;
+    }
+    let m = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == m),
+        "multi_linear_fit: ragged rows"
+    );
+    let p = m + 1; // with intercept
+    if n <= p {
+        return None; // not enough degrees of freedom
+    }
+
+    // X'X and X'y.
+    let x_row = |i: usize, j: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            rows[i][j - 1]
+        }
+    };
+    let mut xtx = vec![vec![0.0f64; p]; p];
+    let mut xty = vec![0.0f64; p];
+    for i in 0..n {
+        for a in 0..p {
+            xty[a] += x_row(i, a) * ys[i];
+            for b in 0..p {
+                xtx[a][b] += x_row(i, a) * x_row(i, b);
+            }
+        }
+    }
+    let inv = invert(&xtx)?;
+    let coeffs: Vec<f64> = (0..p)
+        .map(|a| (0..p).map(|b| inv[a][b] * xty[b]).sum())
+        .collect();
+
+    // Residuals and R².
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let pred: f64 = (0..p).map(|a| coeffs[a] * x_row(i, a)).sum();
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - my) * (ys[i] - my);
+    }
+    let r2 = if ss_tot <= f64::EPSILON {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    let df = (n - p) as f64;
+    let adj_r2 = 1.0 - (1.0 - r2) * (n as f64 - 1.0) / df;
+
+    // Coefficient p-values via t statistics.
+    let sigma2 = ss_res / df;
+    let p_values = (0..p)
+        .map(|a| {
+            let se2 = sigma2 * inv[a][a];
+            if se2 <= 0.0 {
+                return f64::NAN;
+            }
+            let t = coeffs[a] / se2.sqrt();
+            student_t_two_sided_p(t.abs(), df)
+        })
+        .collect();
+
+    Some(MultiLinearFit {
+        coeffs,
+        r2,
+        adj_r2,
+        p_values,
+    })
+}
+
+/// Gauss-Jordan inversion with partial pivoting; `None` if singular.
+fn invert(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut aug: Vec<Vec<f64>> = a
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            aug[i][col]
+                .abs()
+                .partial_cmp(&aug[j][col].abs())
+                .expect("NaN in matrix")
+        })?;
+        if aug[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot);
+        let pv = aug[col][col];
+        for v in aug[col].iter_mut() {
+            *v /= pv;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = aug[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in 0..2 * n {
+                aug[row][k] -= factor * aug[col][k];
+            }
+        }
+    }
+    Some(aug.into_iter().map(|r| r[n..].to_vec()).collect())
+}
+
+/// Two-sided p-value of a Student-t statistic with `df` degrees of freedom:
+/// `P(|T| ≥ t) = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn student_t_two_sided_p(t_abs: f64, df: f64) -> f64 {
+    if df <= 0.0 {
+        return f64::NAN;
+    }
+    reg_inc_beta(df / 2.0, 0.5, df / (df + t_abs * t_abs)).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by continued fraction
+/// (Numerical Recipes `betai`/`betacf`).
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_IT: usize = 200;
+    const EPS: f64 = 3e-12;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_IT {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos log-gamma.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 43.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 0.5 * x + rng.gen::<f64>() * 10.0)
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 0.5).abs() < 0.1);
+        assert!(f.r2 > 0.5 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn constant_x_zero_slope() {
+        let f = linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 0.0);
+    }
+
+    #[test]
+    fn multi_linear_recovers_coefficients() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| 1.5 + 2.0 * r[0] - 3.0 * r[1] + 0.0 * r[2])
+            .collect();
+        let f = multi_linear_fit(&rows, &ys).unwrap();
+        assert!((f.coeffs[0] - 1.5).abs() < 1e-9);
+        assert!((f.coeffs[1] - 2.0).abs() < 1e-9);
+        assert!((f.coeffs[2] + 3.0).abs() < 1e-9);
+        assert!(f.coeffs[3].abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_features_have_high_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // y is pure noise, features are random: p-values should mostly be
+        // non-significant (this is §7.5's situation).
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        let f = multi_linear_fit(&rows, &ys).unwrap();
+        assert!(f.r2 < 0.05);
+        assert!(f.p_values[1] > 0.01, "p={}", f.p_values[1]);
+        assert!(f.p_values[2] > 0.01, "p={}", f.p_values[2]);
+    }
+
+    #[test]
+    fn relevant_feature_has_low_p() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| 5.0 * r[0] + rng.gen::<f64>() * 0.1)
+            .collect();
+        let f = multi_linear_fit(&rows, &ys).unwrap();
+        assert!(f.p_values[1] < 1e-6, "p={}", f.p_values[1]);
+    }
+
+    #[test]
+    fn singular_design_is_none() {
+        // Duplicated feature column: X'X singular.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, i as f64])
+            .collect();
+        let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(multi_linear_fit(&rows, &ys).is_none());
+    }
+
+    #[test]
+    fn too_few_rows_is_none() {
+        assert!(multi_linear_fit(&[vec![1.0, 2.0]], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn incomplete_beta_sanity() {
+        // I_x(1,1) = x
+        for x in [0.1, 0.5, 0.9] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-9, "x={x}");
+        }
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn t_distribution_known_values() {
+        // For df=10, t=2.228 is the 97.5th percentile: two-sided p ≈ 0.05.
+        let p = student_t_two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.002, "p={p}");
+        // t=0 ⇒ p=1.
+        assert!((student_t_two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+}

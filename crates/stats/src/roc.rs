@@ -1,0 +1,132 @@
+//! ROC / AUC.
+//!
+//! §7.5 reports "the ROC is low with no statistical significance for all
+//! the features we tried" when trying to predict high-vs-low price from
+//! user features. AUC here is computed by the rank (Mann–Whitney)
+//! formulation, which handles ties exactly.
+
+/// Area under the ROC curve for binary `labels` (true = positive) scored by
+/// `scores` (higher = more positive).
+///
+/// Returns 0.5 when either class is absent (the no-information value).
+///
+/// # Panics
+/// On length mismatch.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    // Rank scores (average ranks for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// One point of a ROC curve: (false-positive rate, true-positive rate).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len(), "roc_curve: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count() as f64;
+    let n_neg = labels.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < order.len() {
+        let thr = scores[order[i]];
+        while i < order.len() && scores[order[i]] == thr {
+            if labels[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        curve.push((fp / n_neg, tp / n_pos));
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_auc_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_half() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(30);
+        let scores: Vec<f64> = (0..2000).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = (0..2000).map(|_| rng.gen()).collect();
+        let a = auc(&scores, &labels);
+        assert!((a - 0.5).abs() < 0.05, "auc={a}");
+    }
+
+    #[test]
+    fn ties_handled() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [false, true, false, true];
+        let c = roc_curve(&scores, &labels);
+        assert_eq!(*c.first().unwrap(), (0.0, 0.0));
+        assert_eq!(*c.last().unwrap(), (1.0, 1.0));
+        // Monotone non-decreasing in both coordinates.
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+}

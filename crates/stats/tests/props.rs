@@ -1,0 +1,143 @@
+//! Property tests for the statistics toolkit: estimator invariants that
+//! must hold on arbitrary data.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_stats::describe::{median, pearson, variance};
+use sheriff_stats::ecdf::kolmogorov_q;
+use sheriff_stats::roc::auc;
+use sheriff_stats::{ks_test, linear_fit, mean, multi_linear_fit, quantile, BoxStats, Ecdf};
+
+fn arb_data() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(xs in arb_data()) {
+        let q0 = quantile(&xs, 0.0);
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.5);
+        let q75 = quantile(&xs, 0.75);
+        let q100 = quantile(&xs, 1.0);
+        prop_assert!(q0 <= q25 && q25 <= q50 && q50 <= q75 && q75 <= q100);
+        let min = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert_eq!(q0, min);
+        prop_assert_eq!(q100, max);
+    }
+
+    #[test]
+    fn mean_within_minmax_and_variance_nonnegative(xs in arb_data()) {
+        let m = mean(&xs);
+        let min = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+        prop_assert!(variance(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn box_stats_ordering(xs in arb_data()) {
+        let b = BoxStats::compute(&xs).expect("non-empty");
+        // Quartiles are ordered; whiskers are real samples inside
+        // [min, max]. (For tiny samples an interpolated quartile can land
+        // beyond a whisker, so whiskers are only compared to the extremes.)
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.min <= b.whisker_lo && b.whisker_lo <= b.max);
+        prop_assert!(b.min <= b.whisker_hi && b.whisker_hi <= b.max);
+        prop_assert!(b.whisker_lo <= b.whisker_hi);
+        prop_assert_eq!(b.n, xs.len());
+    }
+
+    #[test]
+    fn ecdf_is_a_cdf(xs in arb_data(), probe in -1e6f64..1e6) {
+        let e = Ecdf::new(&xs);
+        let v = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Monotone: F(x) <= F(x + delta).
+        prop_assert!(v <= e.eval(probe + 1.0) + 1e-12);
+        prop_assert_eq!(e.eval(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn ks_test_identical_sample_d_zero(xs in arb_data()) {
+        let r = ks_test(&xs, &xs);
+        prop_assert_eq!(r.d, 0.0);
+        prop_assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn ks_d_in_unit_interval(a in arb_data(), b in arb_data()) {
+        let r = ks_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.d));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone_decreasing(x in 0.0f64..3.0, dx in 0.01f64..1.0) {
+        prop_assert!(kolmogorov_q(x) + 1e-9 >= kolmogorov_q(x + dx));
+    }
+
+    #[test]
+    fn linear_fit_residuals_orthogonal(
+        pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let f = linear_fit(&xs, &ys);
+        // OLS: residuals sum to ~0 (scaled tolerance for large magnitudes).
+        let resid_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - f.predict(x)).sum();
+        let scale: f64 = ys.iter().map(|y| y.abs()).sum::<f64>().max(1.0);
+        prop_assert!(resid_sum.abs() / scale < 1e-6, "sum {resid_sum}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r2));
+    }
+
+    #[test]
+    fn multi_linear_perfect_fit_recovered(
+        coefs in proptest::collection::vec(-5.0f64..5.0, 3),
+        seed in 0u64..500,
+    ) {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| coefs[0] + coefs[1] * r[0] + coefs[2] * r[1])
+            .collect();
+        if let Some(f) = multi_linear_fit(&rows, &ys) {
+            for (got, want) in f.coeffs.iter().zip(&coefs) {
+                prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn pearson_bounded(a in arb_data(), shift in -10.0f64..10.0) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let r = pearson(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn auc_flips_with_labels(scores in proptest::collection::vec(0.0f64..1.0, 4..50), seed in 0u64..100) {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<bool> = scores.iter().map(|_| rng.gen()).collect();
+        let a = auc(&scores, &labels);
+        let inverted: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let b = auc(&scores, &inverted);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "a={a} b={b}");
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn median_is_50th_percentile(xs in arb_data()) {
+        prop_assert_eq!(median(&xs), quantile(&xs, 0.5));
+    }
+}

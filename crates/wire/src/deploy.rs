@@ -1,0 +1,445 @@
+//! A real localhost deployment: Coordinator, Measurement server, and peer
+//! listeners on ephemeral TCP ports, speaking the [`crate::proto`] protocol
+//! over [`crate::frame`] frames.
+//!
+//! This is the "does it actually run on sockets" proof. The synthetic web
+//! sits behind a shared mutex (each peer fetches pages locally, as the real
+//! add-on's browser would); everything else — job assignment, fan-out,
+//! Tags-Path extraction, currency conversion, result streaming — happens
+//! over real connections between real threads.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use sheriff_core::measurement::{process_response, VantageMeta};
+use sheriff_core::records::VantageKind;
+use sheriff_core::whitelist::split_url;
+use sheriff_currency::FixedRates;
+use sheriff_geo::{Country, IpAllocator, IpV4};
+use sheriff_html::tagspath::TagsPath;
+use sheriff_html::Document;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::{CookieJar, FetchContext, FetchResult, ProductId, UserAgent, World};
+
+use crate::proto::{ResultRow, WireMsg};
+
+/// The running deployment.
+pub struct MiniDeployment {
+    coordinator_addr: SocketAddr,
+    server_addr: SocketAddr,
+    peer_addrs: Vec<SocketAddr>,
+    handles: Vec<JoinHandle<()>>,
+    world: Arc<Mutex<World>>,
+}
+
+impl MiniDeployment {
+    /// Starts coordinator + one Measurement server + one listener per peer
+    /// on ephemeral localhost ports.
+    pub fn start(world: World, peers: &[(u64, Country)]) -> io::Result<MiniDeployment> {
+        let world = Arc::new(Mutex::new(world));
+        let rates = world.lock().rates.clone();
+        let mut handles = Vec::new();
+        let mut alloc = IpAllocator::new();
+
+        // Peers.
+        let mut peer_addrs = Vec::new();
+        for &(peer_id, country) in peers {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            peer_addrs.push(listener.local_addr()?);
+            let ip = alloc.allocate(country, 0);
+            let world = Arc::clone(&world);
+            let rates = rates.clone();
+            handles.push(std::thread::spawn(move || {
+                peer_loop(listener, peer_id, country, ip, world, rates);
+            }));
+        }
+
+        // Measurement server.
+        let server_listener = TcpListener::bind("127.0.0.1:0")?;
+        let server_addr = server_listener.local_addr()?;
+        {
+            let world = Arc::clone(&world);
+            let rates = rates.clone();
+            let peer_addrs = peer_addrs.clone();
+            handles.push(std::thread::spawn(move || {
+                measurement_loop(server_listener, world, rates, peer_addrs);
+            }));
+        }
+
+        // Coordinator.
+        let coord_listener = TcpListener::bind("127.0.0.1:0")?;
+        let coordinator_addr = coord_listener.local_addr()?;
+        {
+            let world = Arc::clone(&world);
+            handles.push(std::thread::spawn(move || {
+                coordinator_loop(coord_listener, world, server_addr);
+            }));
+        }
+
+        Ok(MiniDeployment {
+            coordinator_addr,
+            server_addr,
+            peer_addrs,
+            handles,
+            world,
+        })
+    }
+
+    /// Coordinator address for add-on clients.
+    pub fn coordinator_addr(&self) -> SocketAddr {
+        self.coordinator_addr
+    }
+
+    /// The shared world (tests inspect ground truth through it).
+    pub fn world(&self) -> Arc<Mutex<World>> {
+        Arc::clone(&self.world)
+    }
+
+    /// Acts as the browser add-on: runs the full §3.2 protocol for one
+    /// price check and returns the Fig. 2 result rows.
+    pub fn run_price_check(
+        &self,
+        domain: &str,
+        product: ProductId,
+    ) -> Result<Vec<ResultRow>, String> {
+        // Step 1: ask the Coordinator.
+        let mut coord = TcpStream::connect(self.coordinator_addr).map_err(|e| e.to_string())?;
+        WireMsg::CoordRequest {
+            url: format!("{domain}/product/{}", product.0),
+            peer: 1,
+        }
+        .send(&mut coord)
+        .map_err(|e| e.to_string())?;
+        let assign = WireMsg::recv(&mut coord)
+            .map_err(|e| e.to_string())?
+            .ok_or("coordinator hung up")?;
+        let server_addr = match assign {
+            WireMsg::CoordAssign { server_addr, .. } => server_addr,
+            WireMsg::CoordReject { reason } => return Err(format!("rejected: {reason}")),
+            other => return Err(format!("unexpected reply: {other:?}")),
+        };
+
+        // The "user" fetches their own page and selects the price.
+        let (html, tags_path) = {
+            let mut world = self.world.lock();
+            let rates = world.rates.clone();
+            let jar = CookieJar::new();
+            let ctx = clean_ctx(IpV4(0x0a00_0001), Country::ES, &jar, 1);
+            let template = world
+                .retailer(domain)
+                .map(|r| r.template)
+                .ok_or("unknown domain")?;
+            let retailer = world.retailer_mut(domain).ok_or("unknown domain")?;
+            let result = retailer
+                .fetch(product, &ctx, 0, &rates, 0.0, 1)
+                .ok_or("unknown product")?;
+            let FetchResult::Page { html, .. } = result else {
+                return Err("captcha on initiator fetch".into());
+            };
+            let doc = Document::parse(&html);
+            let (tag, class) = sheriff_market::page::price_markup(template);
+            let el = doc
+                .find_by_class(tag, class)
+                .ok_or("price element missing")?;
+            let path = TagsPath::from_node(&doc, el).ok_or("no tags path")?;
+            (html, path)
+        };
+
+        // Step 3: submit to the Measurement server.
+        let mut server = TcpStream::connect(&server_addr).map_err(|e| e.to_string())?;
+        WireMsg::JobSubmit {
+            job: 1,
+            domain: domain.to_string(),
+            product: product.0,
+            tags_path_json: serde_json::to_string(&tags_path).map_err(|e| e.to_string())?,
+            initiator_html: html,
+        }
+        .send(&mut server)
+        .map_err(|e| e.to_string())?;
+
+        // Step 5: results.
+        match WireMsg::recv(&mut server).map_err(|e| e.to_string())? {
+            Some(WireMsg::Results { rows, .. }) => Ok(rows),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// Orderly shutdown: every component receives a Shutdown frame.
+    pub fn shutdown(self) {
+        for addr in std::iter::once(self.coordinator_addr)
+            .chain(std::iter::once(self.server_addr))
+            .chain(self.peer_addrs.iter().copied())
+        {
+            if let Ok(mut s) = TcpStream::connect(addr) {
+                let _ = WireMsg::Shutdown.send(&mut s);
+            }
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn clean_ctx<'a>(
+    ip: IpV4,
+    country: Country,
+    jar: &'a CookieJar,
+    seq: u64,
+) -> FetchContext<'a> {
+    FetchContext {
+        ip,
+        country,
+        cookies: jar,
+        user_agent: UserAgent {
+            os: Os::Linux,
+            browser: Browser::Firefox,
+        },
+        logged_in: false,
+        day: 0,
+        time_quarter: 0,
+        request_seq: seq,
+        client_id: seq,
+    }
+}
+
+fn coordinator_loop(listener: TcpListener, world: Arc<Mutex<World>>, server_addr: SocketAddr) {
+    let jobs = AtomicU64::new(1);
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        match WireMsg::recv(&mut stream) {
+            Ok(Some(WireMsg::CoordRequest { url, .. })) => {
+                let (domain, _path) = split_url(&url);
+                let known = world.lock().retailer(domain).is_some();
+                let reply = if known {
+                    WireMsg::CoordAssign {
+                        job: jobs.fetch_add(1, Ordering::Relaxed),
+                        server_addr: server_addr.to_string(),
+                    }
+                } else {
+                    WireMsg::CoordReject {
+                        reason: format!("{domain} is not whitelisted"),
+                    }
+                };
+                let _ = reply.send(&mut stream);
+            }
+            Ok(Some(WireMsg::Shutdown)) => break,
+            _ => {}
+        }
+    }
+}
+
+fn measurement_loop(
+    listener: TcpListener,
+    world: Arc<Mutex<World>>,
+    rates: FixedRates,
+    peer_addrs: Vec<SocketAddr>,
+) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        match WireMsg::recv(&mut stream) {
+            Ok(Some(WireMsg::JobSubmit {
+                job,
+                domain,
+                product,
+                tags_path_json,
+                initiator_html,
+            })) => {
+                let Ok(path) = serde_json::from_str::<TagsPath>(&tags_path_json) else {
+                    continue;
+                };
+                let mut rows = Vec::new();
+
+                // The initiator's own page.
+                let meta = VantageMeta {
+                    kind: VantageKind::Initiator,
+                    id: 0,
+                    country: Country::ES,
+                    city: None,
+                    ip: IpV4(0),
+                };
+                let obs = process_response(&initiator_html, &path, &meta, "EUR", &rates);
+                rows.push(ResultRow {
+                    label: "You".to_string(),
+                    original: obs.raw_text.clone(),
+                    converted: obs.amount_eur,
+                    low_confidence: obs.low_confidence,
+                });
+
+                // Fan out to every peer over TCP.
+                for (i, addr) in peer_addrs.iter().enumerate() {
+                    let Ok(mut peer) = TcpStream::connect(addr) else {
+                        continue;
+                    };
+                    let order = WireMsg::FetchOrder {
+                        job,
+                        domain: domain.clone(),
+                        product,
+                        seq: job * 100 + i as u64,
+                    };
+                    if order.send(&mut peer).is_err() {
+                        continue;
+                    }
+                    let Ok(Some(WireMsg::FetchReply {
+                        peer: peer_id,
+                        country,
+                        html,
+                        ..
+                    })) = WireMsg::recv(&mut peer)
+                    else {
+                        continue;
+                    };
+                    let c = Country::from_code(&country).unwrap_or(Country::ES);
+                    let meta = VantageMeta {
+                        kind: VantageKind::Ppc,
+                        id: peer_id,
+                        country: c,
+                        city: None,
+                        ip: IpV4(0),
+                    };
+                    let obs = process_response(&html, &path, &meta, "EUR", &rates);
+                    rows.push(ResultRow {
+                        label: format!("peer {} ({})", peer_id, c.name()),
+                        original: obs.raw_text.clone(),
+                        converted: obs.amount_eur,
+                        low_confidence: obs.low_confidence,
+                    });
+                }
+                let _ = WireMsg::Results { job, rows }.send(&mut stream);
+                let _ = &world; // world is only touched by peers in this deployment
+            }
+            Ok(Some(WireMsg::Shutdown)) => break,
+            _ => {}
+        }
+    }
+}
+
+fn peer_loop(
+    listener: TcpListener,
+    peer_id: u64,
+    country: Country,
+    ip: IpV4,
+    world: Arc<Mutex<World>>,
+    rates: FixedRates,
+) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        match WireMsg::recv(&mut stream) {
+            Ok(Some(WireMsg::FetchOrder {
+                job,
+                domain,
+                product,
+                seq,
+            })) => {
+                let html = {
+                    let mut w = world.lock();
+                    let jar = CookieJar::new();
+                    let ctx = clean_ctx(ip, country, &jar, seq);
+                    w.retailer_mut(&domain)
+                        .and_then(|r| r.fetch(ProductId(product), &ctx, 0, &rates, 0.0, peer_id))
+                        .map(|res| match res {
+                            FetchResult::Page { html, .. } => html,
+                            FetchResult::Captcha { html } => html,
+                        })
+                };
+                if let Some(html) = html {
+                    let _ = WireMsg::FetchReply {
+                        job,
+                        peer: peer_id,
+                        country: country.code().to_string(),
+                        html,
+                    }
+                    .send(&mut stream);
+                }
+            }
+            Ok(Some(WireMsg::Shutdown)) => break,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sheriff_market::world::WorldConfig;
+
+    fn deployment() -> MiniDeployment {
+        let world = World::build(&WorldConfig::small(), 77);
+        MiniDeployment::start(
+            world,
+            &[
+                (10, Country::ES),
+                (11, Country::US),
+                (12, Country::JP),
+            ],
+        )
+        .expect("deployment starts")
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let d = deployment();
+        let rows = d
+            .run_price_check("steampowered.com", ProductId(0))
+            .expect("check succeeds");
+        // Initiator + 3 peers.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.converted > 0.0));
+        // Steam discriminates by country: some row differs from the rest.
+        let min = rows.iter().map(|r| r.converted).fold(f64::INFINITY, f64::min);
+        let max = rows
+            .iter()
+            .map(|r| r.converted)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max / min > 1.05, "spread {min}..{max}");
+        d.shutdown();
+    }
+
+    #[test]
+    fn unknown_domain_rejected_over_tcp() {
+        let d = deployment();
+        let err = d
+            .run_price_check("evil.example", ProductId(0))
+            .unwrap_err();
+        assert!(err.contains("rejected"), "{err}");
+        d.shutdown();
+    }
+
+    #[test]
+    fn uniform_store_agrees_across_peers() {
+        let d = deployment();
+        let w = d.world();
+        let domain = w
+            .lock()
+            .domains()
+            .find(|x| x.starts_with("store-"))
+            .unwrap()
+            .to_string();
+        let rows = d.run_price_check(&domain, ProductId(0)).expect("check");
+        let confident: Vec<f64> = rows
+            .iter()
+            .filter(|r| !r.low_confidence)
+            .map(|r| r.converted)
+            .collect();
+        if confident.len() >= 2 {
+            let min = confident.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let max = confident.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            assert!(max / min < 1.01, "uniform store spread {min}..{max}");
+        }
+        d.shutdown();
+    }
+
+    #[test]
+    fn sequential_checks_reuse_deployment() {
+        let d = deployment();
+        for p in 0..3 {
+            let rows = d.run_price_check("amazon.com", ProductId(p)).expect("check");
+            assert!(rows.len() >= 3);
+        }
+        d.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Each frame is `[len: u32 big-endian][payload: len bytes]`. The length is
+//! bounded by [`MAX_FRAME_LEN`] so a corrupt or malicious peer cannot make
+//! the reader allocate unbounded memory — the standard defensive rule for
+//! length-prefixed protocols.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::{BufMut, BytesMut};
+
+/// Upper bound on a frame payload (product pages are a few KiB; 8 MiB is
+/// generous headroom).
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Framing failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// Peer announced a frame larger than [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// Stream ended mid-frame.
+    UnexpectedEof,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::UnexpectedEof => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::UnexpectedEof
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from mid-frame EOF.
+    if r.read(&mut len_buf[..1])? == 0 { return Ok(None) }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello world");
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn roundtrip_many_frames() {
+        let mut buf = Vec::new();
+        for i in 0..100 {
+            write_frame(&mut buf, format!("frame-{i}").as_bytes()).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for i in 0..100 {
+            assert_eq!(
+                read_frame(&mut cur).unwrap().unwrap(),
+                format!("frame-{i}").as_bytes()
+            );
+        }
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &huge),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full frame").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn truncated_length_is_unexpected_eof() {
+        let mut cur = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+}

@@ -1,0 +1,27 @@
+//! Real networking for the Price $heriff: a length-prefixed JSON frame
+//! codec over TCP and a runnable localhost mini-deployment.
+//!
+//! The discrete-event simulation in `sheriff-core` answers the paper's
+//! performance questions; this crate answers "does the protocol actually
+//! run over sockets?". It implements:
+//!
+//! * [`frame`] — a 4-byte big-endian length prefix followed by a JSON
+//!   payload (the classic framing exercise; JSON because the deployed
+//!   back-end spoke PHP/JS, §10.5);
+//! * [`proto`] — the wire messages of the §3.2 protocol;
+//! * [`deploy`] — a Coordinator + Measurement-server + peers deployment on
+//!   ephemeral localhost ports, driven by real threads and real sockets.
+//!
+//! Everything is blocking `std::net` with bounded reads: no async runtime
+//! is needed for a handful of connections, and determinism of the *content*
+//! is preserved because the synthetic web behind it is deterministic.
+
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod frame;
+pub mod proto;
+
+pub use deploy::MiniDeployment;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use proto::WireMsg;

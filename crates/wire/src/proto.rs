@@ -1,0 +1,189 @@
+//! Wire messages for the TCP mini-deployment — the §3.2 protocol in JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+
+/// One protocol message. JSON-encoded inside a length-prefixed frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum WireMsg {
+    /// Add-on → Coordinator: request a price check (step 1).
+    CoordRequest {
+        /// Product URL.
+        url: String,
+        /// Requesting peer id.
+        peer: u64,
+    },
+    /// Coordinator → add-on: job minted, server chosen (step 2).
+    CoordAssign {
+        /// Job id.
+        job: u64,
+        /// Measurement-server address, e.g. `127.0.0.1:45123`.
+        server_addr: String,
+    },
+    /// Coordinator → add-on: request refused.
+    CoordReject {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Add-on → Measurement server: submit the job (step 3).
+    JobSubmit {
+        /// Job id.
+        job: u64,
+        /// Retailer domain.
+        domain: String,
+        /// Product id within the retailer.
+        product: u32,
+        /// Serialized Tags Path (paper Fig. 4 notation).
+        tags_path_json: String,
+        /// The initiator's own page HTML.
+        initiator_html: String,
+    },
+    /// Measurement server → peer: fetch the page (step 3.2).
+    FetchOrder {
+        /// Job id.
+        job: u64,
+        /// Retailer domain.
+        domain: String,
+        /// Product id.
+        product: u32,
+        /// Per-vantage request sequence.
+        seq: u64,
+    },
+    /// Peer → Measurement server: the fetched page.
+    FetchReply {
+        /// Job id.
+        job: u64,
+        /// Peer id.
+        peer: u64,
+        /// Country code of the peer.
+        country: String,
+        /// Fetched HTML.
+        html: String,
+    },
+    /// Measurement server → add-on: the result rows (step 5, the Fig. 2
+    /// page's data).
+    Results {
+        /// Job id.
+        job: u64,
+        /// One row per vantage: (label, raw text, converted EUR, low-conf).
+        rows: Vec<ResultRow>,
+    },
+    /// Orderly shutdown for a component.
+    Shutdown,
+}
+
+/// One Fig. 2 result row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Vantage label, e.g. `"IPC US/Tennessee"` or `"peer 12"`.
+    pub label: String,
+    /// The raw extracted price text.
+    pub original: String,
+    /// Converted value in the requested currency.
+    pub converted: f64,
+    /// Currency-detection confidence was low (red asterisk).
+    pub low_confidence: bool,
+}
+
+impl WireMsg {
+    /// Writes self as one frame.
+    pub fn send<W: std::io::Write>(&self, w: &mut W) -> Result<(), FrameError> {
+        let payload = serde_json::to_vec(self).expect("WireMsg serializes");
+        write_frame(w, &payload)
+    }
+
+    /// Reads one message; `Ok(None)` on clean EOF.
+    pub fn recv<R: std::io::Read>(r: &mut R) -> Result<Option<WireMsg>, FrameError> {
+        let Some(payload) = read_frame(r)? else {
+            return Ok(None);
+        };
+        serde_json::from_slice(&payload).map(Some).map_err(|e| {
+            FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad message: {e}"),
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn json_roundtrip_all_variants() {
+        let msgs = vec![
+            WireMsg::CoordRequest {
+                url: "shop.com/p/1".into(),
+                peer: 7,
+            },
+            WireMsg::CoordAssign {
+                job: 1,
+                server_addr: "127.0.0.1:9".into(),
+            },
+            WireMsg::CoordReject {
+                reason: "not whitelisted".into(),
+            },
+            WireMsg::JobSubmit {
+                job: 1,
+                domain: "shop.com".into(),
+                product: 3,
+                tags_path_json: "{}".into(),
+                initiator_html: "<html></html>".into(),
+            },
+            WireMsg::FetchOrder {
+                job: 1,
+                domain: "shop.com".into(),
+                product: 3,
+                seq: 42,
+            },
+            WireMsg::FetchReply {
+                job: 1,
+                peer: 7,
+                country: "ES".into(),
+                html: "<html></html>".into(),
+            },
+            WireMsg::Results {
+                job: 1,
+                rows: vec![ResultRow {
+                    label: "IPC US".into(),
+                    original: "$699".into(),
+                    converted: 617.65,
+                    low_confidence: true,
+                }],
+            },
+            WireMsg::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            m.send(&mut buf).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for expect in &msgs {
+            let got = WireMsg::recv(&mut cur).unwrap().unwrap();
+            assert_eq!(&got, expect);
+        }
+        assert!(WireMsg::recv(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_payload_is_an_error() {
+        let mut buf = Vec::new();
+        crate::frame::write_frame(&mut buf, b"not json").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(WireMsg::recv(&mut cur).is_err());
+    }
+
+    #[test]
+    fn json_is_tagged_snake_case() {
+        let m = WireMsg::CoordRequest {
+            url: "a".into(),
+            peer: 1,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"type\":\"coord_request\""), "{json}");
+    }
+}

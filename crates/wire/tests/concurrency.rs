@@ -1,0 +1,76 @@
+//! Concurrency tests for the TCP deployment: simultaneous add-on clients
+//! must all be served correctly (each on its own connection), and the
+//! deployment must survive rude or malformed clients.
+
+use std::sync::Arc;
+
+use sheriff_geo::Country;
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, World};
+use sheriff_wire::MiniDeployment;
+
+#[test]
+fn concurrent_price_checks_from_many_clients() {
+    let world = World::build(&WorldConfig::small(), 91);
+    let deployment = Arc::new(
+        MiniDeployment::start(
+            world,
+            &[(20, Country::ES), (21, Country::US), (22, Country::JP)],
+        )
+        .expect("deployment starts"),
+    );
+
+    let mut handles = Vec::new();
+    for t in 0..6u32 {
+        let d = Arc::clone(&deployment);
+        handles.push(std::thread::spawn(move || {
+            let domain = if t % 2 == 0 {
+                "steampowered.com"
+            } else {
+                "amazon.com"
+            };
+            let rows = d
+                .run_price_check(domain, ProductId(t % 5))
+                .unwrap_or_else(|e| panic!("client {t}: {e}"));
+            assert_eq!(rows.len(), 4, "client {t}: initiator + 3 peers");
+            assert!(rows.iter().all(|r| r.converted > 0.0), "client {t}");
+            rows
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.push(h.join().expect("client thread"));
+    }
+    assert_eq!(all.len(), 6);
+
+    match Arc::try_unwrap(deployment) {
+        Ok(d) => d.shutdown(),
+        Err(_) => panic!("deployment still shared"),
+    }
+}
+
+#[test]
+fn deployment_survives_client_that_disconnects_mid_protocol() {
+    let world = World::build(&WorldConfig::small(), 93);
+    let deployment = MiniDeployment::start(world, &[(30, Country::ES)]).expect("starts");
+
+    // A rude client: connect to the coordinator and hang up immediately.
+    for _ in 0..5 {
+        let s = std::net::TcpStream::connect(deployment.coordinator_addr()).expect("connect");
+        drop(s);
+    }
+    // A malformed client: send garbage bytes.
+    {
+        use std::io::Write as _;
+        let mut s =
+            std::net::TcpStream::connect(deployment.coordinator_addr()).expect("connect");
+        let _ = s.write_all(&[0, 0, 0, 4, b'j', b'u', b'n', b'k']);
+    }
+
+    // The deployment still serves a well-behaved client afterwards.
+    let rows = deployment
+        .run_price_check("amazon.com", ProductId(0))
+        .expect("served after rude clients");
+    assert!(!rows.is_empty());
+    deployment.shutdown();
+}

@@ -1,0 +1,48 @@
+//! A systematic crawl scenario (paper §7.1): artificial price checks
+//! against flagged domains, tunneled through the Spain PPC pool, followed
+//! by the location-vs-within-country classification.
+//!
+//! ```text
+//! cargo run --release -p sheriff-experiments --example crawl_study
+//! ```
+
+use sheriff_core::analysis::{analyze_domains, classify, DomainVerdict};
+use sheriff_experiments::crawl::run_crawl;
+use sheriff_experiments::Scale;
+use sheriff_geo::Country;
+
+fn main() {
+    println!("Running a demo-scale systematic crawl (Spain PPC pool)…\n");
+    let ds = run_crawl(Scale::Demo, 1742, Country::ES);
+    println!(
+        "issued {} requests over {} domains; {} completed\n",
+        ds.requests_issued,
+        ds.domains.len(),
+        ds.checks.len()
+    );
+
+    let analyses = analyze_domains(&ds.checks, 0.005);
+    println!(
+        "{:<24} {:>6} {:>7} {:>8}  verdict",
+        "domain", "reqs", "w/diff", "median"
+    );
+    println!("{}", "-".repeat(64));
+    for a in &analyses {
+        let verdict = match classify(a, 3) {
+            DomainVerdict::Uniform => "uniform",
+            DomainVerdict::LocationBased => "location-based PD",
+            DomainVerdict::WithinCountry => "VARIES WITHIN COUNTRY",
+        };
+        println!(
+            "{:<24} {:>6} {:>7} {:>7.0}%  {verdict}",
+            a.domain,
+            a.requests,
+            a.requests_with_difference,
+            a.median_spread().unwrap_or(0.0) * 100.0,
+        );
+    }
+
+    println!();
+    println!("The within-country domains are the candidates for the §7.3–§7.5");
+    println!("follow-up (A/B testing vs personal-data-induced discrimination).");
+}

@@ -1,0 +1,89 @@
+//! Quickstart: one price check through the full Price $heriff, printed as
+//! the paper's Fig. 2 result page.
+//!
+//! ```text
+//! cargo run --release -p sheriff-experiments --example quickstart
+//! ```
+
+use sheriff_core::records::VantageKind;
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+fn main() {
+    // 1. A synthetic e-commerce world: case-study retailers + generic
+    //    stores, with known ground-truth pricing behaviour.
+    let world = World::build(&WorldConfig::small(), 1742);
+
+    // 2. A handful of peers running the add-on in Spain.
+    let peers: Vec<PpcSpec> = (0..4)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            affluence: 0.3,
+            logged_in_domains: vec![],
+        })
+        .collect();
+
+    // 3. The full system: Coordinator, 2 Measurement servers, Database
+    //    server, 30 IPCs, the peers — over the discrete-event network.
+    let mut sheriff = PriceSheriff::new(SheriffConfig::v2(1742, 2), world, &peers);
+
+    // 4. Peer 100 highlights a price on steampowered.com.
+    sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(3));
+    sheriff.run_until(SimTime::from_mins(10));
+
+    // 5. The result page (paper Fig. 2).
+    let completed = sheriff.completed();
+    let check = &completed.first().expect("check completed").check;
+    println!("Price check #{} — {}", check.job_id, check.url);
+    println!("(elapsed: {:.1}s of virtual time)\n", completed[0]
+        .completed
+        .since(completed[0].submitted)
+        .as_secs_f64());
+    println!(
+        "{:<34} {:>12}  Original Text",
+        "Variant", "EUR"
+    );
+    println!("{}", "-".repeat(62));
+    for obs in &check.observations {
+        let label = match obs.vantage {
+            VantageKind::Initiator => "You".to_string(),
+            VantageKind::Ipc => format!(
+                "{}, {}",
+                obs.country.name(),
+                obs.city.as_deref().unwrap_or("-")
+            ),
+            VantageKind::Ppc => format!("peer {} ({})", obs.vantage_id, obs.country.name()),
+        };
+        if obs.failed {
+            println!("{label:<34} {:>12}  (no price)", "-");
+            continue;
+        }
+        let mark = if obs.low_confidence { "*" } else { " " };
+        println!(
+            "{label:<34} {:>11.2}{mark}  {}",
+            obs.amount_eur, obs.raw_text
+        );
+    }
+    println!("\n* currency detection confidence is low — double-check the result");
+    if let Some(spread) = check.relative_spread() {
+        println!(
+            "\nmax/min spread: {:.1}% — {}",
+            spread * 100.0,
+            if spread > 0.01 {
+                "this retailer returns different prices to different locations!"
+            } else {
+                "prices agree across vantage points."
+            }
+        );
+    }
+}

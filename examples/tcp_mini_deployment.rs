@@ -1,0 +1,60 @@
+//! The real-sockets deployment (sheriff-wire): Coordinator, Measurement
+//! server, and peers on localhost TCP ports, running the §3.2 protocol in
+//! length-prefixed JSON frames.
+//!
+//! ```text
+//! cargo run --release -p sheriff-experiments --example tcp_mini_deployment
+//! ```
+
+use sheriff_geo::Country;
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, World};
+use sheriff_wire::MiniDeployment;
+
+fn main() {
+    let world = World::build(&WorldConfig::small(), 1742);
+    let deployment = MiniDeployment::start(
+        world,
+        &[
+            (10, Country::ES),
+            (11, Country::US),
+            (12, Country::JP),
+            (13, Country::GB),
+        ],
+    )
+    .expect("deployment starts");
+    println!(
+        "mini-deployment up — coordinator at {}\n",
+        deployment.coordinator_addr()
+    );
+
+    for (domain, product) in [
+        ("steampowered.com", ProductId(0)),
+        ("abercrombie.com", ProductId(2)),
+        ("amazon.com", ProductId(1)),
+    ] {
+        match deployment.run_price_check(domain, product) {
+            Ok(rows) => {
+                println!("{domain} product {}:", product.0);
+                for r in &rows {
+                    let mark = if r.low_confidence { "*" } else { " " };
+                    println!(
+                        "  {:<24} {:>10.2} EUR{mark}  {}",
+                        r.label, r.converted, r.original
+                    );
+                }
+                println!();
+            }
+            Err(e) => println!("{domain}: {e}\n"),
+        }
+    }
+
+    // The whitelist works over TCP too.
+    match deployment.run_price_check("not-a-shop.example", ProductId(0)) {
+        Err(e) => println!("non-whitelisted domain correctly refused: {e}"),
+        Ok(_) => println!("unexpected: non-whitelisted domain served"),
+    }
+
+    deployment.shutdown();
+    println!("deployment shut down cleanly.");
+}

@@ -1,0 +1,154 @@
+//! Whole-system integration over the discrete-event simulator: the §3.2
+//! protocol, doppelganger round-trips, load balancing, and the v1/v2
+//! architecture contrast, all in one place.
+
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig, SystemVersion};
+use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::SimTime;
+
+fn specs(country: Country, n: u64) -> Vec<PpcSpec> {
+    (0..n)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            affluence: 0.1 * (i % 10) as f64,
+            logged_in_domains: vec![],
+        })
+        .collect()
+}
+
+#[test]
+fn burst_of_checks_completes_with_load_balancing() {
+    let world = World::build(&WorldConfig::small(), 7);
+    let domains: Vec<String> = world.domains().take(6).map(str::to_string).collect();
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(7), world, &specs(Country::ES, 8));
+    for (i, d) in domains.iter().cycle().take(24).enumerate() {
+        sheriff.submit_check(
+            SimTime::from_millis(i as u64 * 200),
+            100 + (i % 8) as u64,
+            d,
+            ProductId((i % 5) as u32),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 24, "all checks complete");
+    assert_eq!(sheriff.sandbox_violations(), 0);
+    // Every check carries the full vantage set.
+    for c in &done {
+        assert!(c.check.observations.len() >= 31, "short check: {}", c.check.observations.len());
+    }
+}
+
+#[test]
+fn doppelganger_roundtrip_happens_under_load() {
+    // Prime peers so their budget exhausts, install doppelgangers, then
+    // drive enough checks that the Aggregator/Coordinator round-trip runs.
+    let world = World::build(&WorldConfig::small(), 9);
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(9), world, &specs(Country::ES, 4));
+    for peer in 100..104 {
+        sheriff.prime_visit(peer, "jcpenney.com", ProductId(0), 4);
+    }
+    let universe = vec!["jcpenney.com".to_string(), "chegg.com".to_string()];
+    let centroids = vec![vec![4u64, 0], vec![0, 4]];
+    let assignments: Vec<(u64, usize)> = (100..104).map(|p| (p, (p % 2) as usize)).collect();
+    sheriff.install_doppelgangers(&centroids, &universe, &assignments, 9);
+
+    for i in 0..12u64 {
+        sheriff.submit_check(
+            SimTime::from_millis(i * 400),
+            100 + (i % 4),
+            "jcpenney.com",
+            ProductId((i % 6) as u32),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 12);
+    assert_eq!(sheriff.sandbox_violations(), 0);
+}
+
+#[test]
+fn v1_and_v2_both_functionally_correct() {
+    // Table 1 is about performance; functionally both versions must return
+    // the same kind of result for the same request.
+    for version in [SystemVersion::V1, SystemVersion::V2] {
+        let world = World::build(&WorldConfig::small(), 11);
+        let mut cfg = match version {
+            SystemVersion::V1 => SheriffConfig::v1(11),
+            SystemVersion::V2 => SheriffConfig::v2(11, 2),
+        };
+        cfg.ipc_fetch_median_ms = 150;
+        cfg.ipc_overload_ms = 1_500;
+        cfg.fetch_kill_ms = 900;
+        cfg.ppc_fetch_median_ms = 20;
+        cfg.job_deadline_ms = 1_200;
+        let mut sheriff = PriceSheriff::new(cfg, world, &specs(Country::ES, 3));
+        sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(0));
+        sheriff.run_until(SimTime::from_mins(3));
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 1, "{version:?} failed to complete");
+        assert!(
+            done[0].check.has_difference(0.05),
+            "{version:?} lost the price spread"
+        );
+    }
+}
+
+#[test]
+fn peers_in_other_countries_are_not_asked() {
+    // The Coordinator only hands out same-location PPCs (§3.2).
+    let world = World::build(&WorldConfig::small(), 13);
+    let mut all_specs = specs(Country::ES, 3);
+    all_specs.extend((0..3).map(|i| PpcSpec {
+        peer_id: 200 + i,
+        country: Country::JP,
+        city_idx: 0,
+        user_agent: UserAgent {
+            os: Os::MacOs,
+            browser: Browser::Safari,
+        },
+        affluence: 0.5,
+        logged_in_domains: vec![],
+    }));
+    let mut sheriff = PriceSheriff::new(SheriffConfig::fast(13), world, &all_specs);
+    sheriff.submit_check(SimTime::ZERO, 100, "amazon.com", ProductId(0));
+    sheriff.run_until(SimTime::from_mins(3));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), 1);
+    for obs in done[0].check.observations.iter() {
+        if obs.vantage == sheriff_core::records::VantageKind::Ppc {
+            assert_eq!(obs.country, Country::ES, "foreign PPC was used");
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end_under_seed() {
+    let run = |seed| {
+        let world = World::build(&WorldConfig::small(), seed);
+        let mut sheriff =
+            PriceSheriff::new(SheriffConfig::fast(seed), world, &specs(Country::FR, 4));
+        sheriff.submit_check(SimTime::ZERO, 100, "chegg.com", ProductId(2));
+        sheriff.run_until(SimTime::from_mins(3));
+        let done = sheriff.completed();
+        done.iter()
+            .map(|c| {
+                c.check
+                    .observations
+                    .iter()
+                    .map(|o| (o.amount_eur * 100.0) as i64)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(21), run(21), "same seed must reproduce bit-for-bit");
+}

@@ -1,0 +1,171 @@
+//! End-to-end validation of the §3.8 privacy-preserving k-means: the
+//! encrypted protocol must agree exactly with its cleartext reference, and
+//! the privacy split must hold at every step.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sheriff_crypto::dlog::DlogTable;
+use sheriff_crypto::elgamal::SecretKey;
+use sheriff_crypto::ipfe::client_vector;
+use sheriff_crypto::protocol::BlindedQuery;
+use sheriff_crypto::GroupParams;
+use sheriff_kmeans::private::{reference_integer_kmeans, run_private_with_init, PrivateConfig};
+
+fn clustered_points(n_per: usize, rng: &mut StdRng) -> Vec<Vec<u64>> {
+    // Three planted clusters in 6 dimensions on a 0..=16 grid.
+    let centers = [
+        [16u64, 14, 0, 0, 2, 1],
+        [0, 1, 16, 15, 0, 2],
+        [2, 0, 1, 2, 16, 14],
+    ];
+    let mut out = Vec::new();
+    for c in &centers {
+        for _ in 0..n_per {
+            out.push(
+                c.iter()
+                    .map(|&v| {
+                        let jitter = rng.gen_range(0..3);
+                        (v + jitter).min(16)
+                    })
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn encrypted_protocol_matches_cleartext_reference_over_multiple_iterations() {
+    let params = GroupParams::test_64();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let points = clustered_points(8, &mut rng);
+    let init = vec![
+        vec![8u64, 8, 8, 8, 8, 8],
+        vec![0, 0, 16, 16, 0, 0],
+        vec![4, 4, 4, 4, 12, 12],
+    ];
+    let cfg = PrivateConfig {
+        k: 3,
+        max_iters: 12,
+        halt_changed_fraction: 0.0,
+        scale: 16,
+        threads: 1,
+    };
+    let private = run_private_with_init(&params, &points, &cfg, Some(init.clone()), &mut rng);
+    let reference = reference_integer_kmeans(&points, init, 12, 0.0);
+    assert_eq!(private.centroids, reference.centroids, "centroids diverged");
+    assert_eq!(private.assignments, reference.assignments, "mapping diverged");
+
+    // Planted clusters recovered: each block of 8 points lands together.
+    for block in 0..3 {
+        let first = private.assignments[block * 8];
+        for i in 0..8 {
+            assert_eq!(
+                private.assignments[block * 8 + i],
+                first,
+                "cluster {block} split"
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_works_in_demo_strength_group_too() {
+    // Same protocol, 256-bit group (demo strength rather than toy).
+    let params = GroupParams::bits_256();
+    let mut rng = StdRng::seed_from_u64(2025);
+    let points = clustered_points(3, &mut rng);
+    let init = vec![vec![14u64, 14, 1, 1, 1, 1], vec![1, 1, 14, 14, 1, 1], vec![1, 1, 1, 1, 14, 14]];
+    let cfg = PrivateConfig {
+        k: 3,
+        max_iters: 4,
+        halt_changed_fraction: 0.0,
+        scale: 16,
+        threads: 1,
+    };
+    let private = run_private_with_init(&params, &points, &cfg, Some(init.clone()), &mut rng);
+    let reference = reference_integer_kmeans(&points, init, 4, 0.0);
+    assert_eq!(private.centroids, reference.centroids);
+}
+
+#[test]
+fn coordinator_view_is_undecryptable_blinded_junk() {
+    // The privacy core: what the Coordinator decrypts from a blinded
+    // ciphertext must be outside any feasible plaintext range for every
+    // nonzero coordinate. (Multiplicative blinding preserves zeros — the
+    // Coordinator can learn a profile's *support*, but never a magnitude;
+    // see the module docs of sheriff_crypto::protocol.)
+    let params = GroupParams::test_64();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let profile = [5u64, 0, 16, 3, 9, 1];
+    let c = client_vector(&profile);
+    let sk = SecretKey::generate(&params, c.len(), &mut rng);
+    let ct = sk.public_key().encrypt(&c, &mut rng);
+    let query = BlindedQuery::blind(&params, &ct, &mut rng);
+
+    let table = DlogTable::build(&params, 1 << 16);
+    for (dim, &plain) in c.iter().enumerate() {
+        let gamma = sk.decrypt_component(&query.blinded, dim);
+        if plain == 0 {
+            assert_eq!(table.solve(&gamma), Some(0), "zero dim {dim} must stay zero");
+        } else {
+            assert_eq!(
+                table.solve(&gamma),
+                None,
+                "dimension {dim} of the blinded profile leaked to the Coordinator"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregator_learns_only_distances_not_points() {
+    // The Aggregator's entire view per round is d² per centroid; verify two
+    // different profiles with the same distances are indistinguishable
+    // through that view.
+    let params = GroupParams::test_64();
+    let mut rng = StdRng::seed_from_u64(2027);
+    let centroid = [4u64, 4];
+    // Two distinct profiles equidistant from the centroid.
+    let p1 = [4u64, 6];
+    let p2 = [6u64, 4];
+    let sk = SecretKey::generate(&params, 4, &mut rng);
+    let pk = sk.public_key();
+    let table = DlogTable::build(&params, 4096);
+
+    let view = |profile: &[u64], rng: &mut StdRng| {
+        let ct = pk.encrypt(&client_vector(profile), rng);
+        let q = BlindedQuery::blind(&params, &ct, rng);
+        let s = sheriff_crypto::ipfe::server_vector(&centroid);
+        let resp = sheriff_crypto::protocol::coordinator_evaluate(&sk, &q.blinded, &s);
+        q.unblind(&params, &resp, &table)
+    };
+    assert_eq!(view(&p1, &mut rng), view(&p2, &mut rng), "views differ");
+    assert_eq!(view(&p1, &mut rng), Some(4), "d² = 2² = 4");
+}
+
+#[test]
+fn halting_condition_stops_on_stable_mapping() {
+    let params = GroupParams::test_64();
+    let mut rng = StdRng::seed_from_u64(2028);
+    let points = clustered_points(6, &mut rng);
+    let cfg = PrivateConfig {
+        k: 3,
+        max_iters: 30,
+        halt_changed_fraction: 0.01,
+        scale: 16,
+        threads: 1,
+    };
+    let init = vec![
+        vec![15u64, 15, 1, 1, 1, 1],
+        vec![1, 1, 15, 15, 1, 1],
+        vec![1, 1, 1, 1, 15, 15],
+    ];
+    let res = run_private_with_init(&params, &points, &cfg, Some(init), &mut rng);
+    assert!(
+        res.iterations <= 4,
+        "well-separated clusters must converge fast, took {}",
+        res.iterations
+    );
+}
