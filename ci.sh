@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints on the telemetry crate, and the tier-1
+# build + test sweep. Each stage is skipped (not failed) if its toolchain
+# component is missing, so the script degrades gracefully on minimal
+# containers.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+stage() { printf '\n==> %s\n' "$*"; }
+
+# The seed tree (and the vendored stubs) predate rustfmt enforcement, so
+# the gate covers the telemetry crate; widen as crates are brought clean.
+stage "cargo fmt -p sheriff-telemetry --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt -p sheriff-telemetry -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+stage "cargo clippy -p sheriff-telemetry -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy -p sheriff-telemetry --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+stage "tier-1 build"
+cargo build --workspace --all-targets
+
+stage "tier-1 tests"
+cargo test --workspace --quiet
+
+stage "CI green"

@@ -8,8 +8,10 @@
 //! discrete-event network; unit tests drive it directly.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sheriff_geo::{IpV4, Location};
+use sheriff_telemetry::{panel, Counter, FieldValue, Gauge, Registry};
 
 use crate::whitelist::{Whitelist, WhitelistRejection};
 
@@ -56,6 +58,13 @@ pub enum RequestError {
     NoServerAvailable,
 }
 
+/// Per-server panel gauges, parallel to the `servers` list.
+#[derive(Debug)]
+struct ServerGauges {
+    online: Arc<Gauge>,
+    pending: Arc<Gauge>,
+}
+
 /// The Coordinator's state.
 #[derive(Debug)]
 pub struct Coordinator {
@@ -66,11 +75,23 @@ pub struct Coordinator {
     next_job: u64,
     /// Heartbeat staleness threshold (ms) before a server goes offline.
     pub heartbeat_timeout_ms: u64,
+    telemetry: Arc<Registry>,
+    server_gauges: Vec<ServerGauges>,
+    requests_total: Arc<Counter>,
+    requests_rejected: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    heartbeats_expired: Arc<Counter>,
+    peers_online: Arc<Gauge>,
 }
 
 impl Coordinator {
-    /// New Coordinator over a whitelist.
+    /// New Coordinator over a whitelist, with a private telemetry registry.
     pub fn new(whitelist: Whitelist) -> Self {
+        Self::with_telemetry(whitelist, Arc::new(Registry::new()))
+    }
+
+    /// New Coordinator publishing its metrics into a shared registry.
+    pub fn with_telemetry(whitelist: Whitelist, telemetry: Arc<Registry>) -> Self {
         Coordinator {
             whitelist,
             servers: Vec::new(),
@@ -78,7 +99,19 @@ impl Coordinator {
             job_server: HashMap::new(),
             next_job: 1,
             heartbeat_timeout_ms: 30_000,
+            requests_total: telemetry.counter("coordinator.requests_total"),
+            requests_rejected: telemetry.counter("coordinator.requests_rejected"),
+            jobs_completed: telemetry.counter("coordinator.jobs_completed"),
+            heartbeats_expired: telemetry.counter("coordinator.heartbeats_expired"),
+            peers_online: telemetry.gauge("coordinator.peers_online"),
+            server_gauges: Vec::new(),
+            telemetry,
         }
+    }
+
+    /// The registry this coordinator publishes into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Mutable whitelist access (manual curation).
@@ -98,7 +131,25 @@ impl Coordinator {
             pending_jobs: 0,
             last_heartbeat: now,
         });
-        self.servers.len() - 1
+        let index = self.servers.len() - 1;
+        let online = self
+            .telemetry
+            .gauge(&panel::server_metric(index, addr, port, "online"));
+        let pending = self
+            .telemetry
+            .gauge(&panel::server_metric(index, addr, port, "pending_jobs"));
+        online.set(1);
+        pending.set(0);
+        self.server_gauges.push(ServerGauges { online, pending });
+        self.telemetry.event(
+            now,
+            "coordinator.server_registered",
+            vec![
+                ("index", FieldValue::U64(index as u64)),
+                ("addr", FieldValue::from(addr)),
+            ],
+        );
+        index
     }
 
     /// Detaches a server. Only allowed once it has no pending jobs
@@ -107,6 +158,7 @@ impl Coordinator {
         match self.servers.get_mut(index) {
             Some(s) if s.pending_jobs == 0 => {
                 s.online = false;
+                self.server_gauges[index].online.set(0);
                 true
             }
             _ => false,
@@ -118,14 +170,28 @@ impl Coordinator {
         if let Some(s) = self.servers.get_mut(index) {
             s.last_heartbeat = now;
             s.online = true;
+            self.server_gauges[index].online.set(1);
         }
     }
 
     /// Marks servers with stale heartbeats offline (§10.3).
     pub fn expire_heartbeats(&mut self, now: u64) {
-        for s in &mut self.servers {
+        for (index, s) in self.servers.iter_mut().enumerate() {
             if s.online && now.saturating_sub(s.last_heartbeat) > self.heartbeat_timeout_ms {
                 s.online = false;
+                self.server_gauges[index].online.set(0);
+                self.heartbeats_expired.inc();
+                self.telemetry.event(
+                    now,
+                    "coordinator.heartbeat_expired",
+                    vec![
+                        ("index", FieldValue::U64(index as u64)),
+                        (
+                            "stale_ms",
+                            FieldValue::U64(now.saturating_sub(s.last_heartbeat)),
+                        ),
+                    ],
+                );
             }
         }
     }
@@ -140,22 +206,43 @@ impl Coordinator {
     /// and charge it.
     pub fn new_request(&mut self, url: &str, now: u64) -> Result<(JobId, usize), RequestError> {
         self.expire_heartbeats(now);
-        let _domain = self
-            .whitelist
-            .check(url)
-            .map_err(RequestError::Rejected)?;
-        let chosen = self
-            .servers
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.online)
-            .min_by_key(|(_, s)| s.pending_jobs)
-            .map(|(i, _)| i)
-            .ok_or(RequestError::NoServerAvailable)?;
+        self.requests_total.inc();
+        let checked = self.whitelist.check(url).map_err(RequestError::Rejected);
+        let chosen = checked.and_then(|_domain| {
+            self.servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.online)
+                .min_by_key(|(_, s)| s.pending_jobs)
+                .map(|(i, _)| i)
+                .ok_or(RequestError::NoServerAvailable)
+        });
+        let chosen = match chosen {
+            Ok(i) => i,
+            Err(e) => {
+                self.requests_rejected.inc();
+                return Err(e);
+            }
+        };
         let job = JobId(self.next_job);
         self.next_job += 1;
         self.servers[chosen].pending_jobs += 1;
         self.job_server.insert(job, chosen);
+        self.server_gauges[chosen]
+            .pending
+            .set(self.servers[chosen].pending_jobs as i64);
+        self.telemetry.event(
+            now,
+            "coordinator.job_assigned",
+            vec![
+                ("job", FieldValue::U64(job.0)),
+                ("server", FieldValue::U64(chosen as u64)),
+                (
+                    "pending",
+                    FieldValue::U64(self.servers[chosen].pending_jobs as u64),
+                ),
+            ],
+        );
         Ok((job, chosen))
     }
 
@@ -166,6 +253,8 @@ impl Coordinator {
         if let Some(server) = self.job_server.remove(&job) {
             if let Some(s) = self.servers.get_mut(server) {
                 s.pending_jobs = s.pending_jobs.saturating_sub(1);
+                self.jobs_completed.inc();
+                self.server_gauges[server].pending.set(s.pending_jobs as i64);
             }
         }
     }
@@ -187,6 +276,7 @@ impl Coordinator {
                 online: true,
             },
         );
+        self.peers_online.set(self.online_peers() as i64);
     }
 
     /// Peer disconnected.
@@ -194,6 +284,7 @@ impl Coordinator {
         if let Some(p) = self.peers.get_mut(&peer) {
             p.online = false;
         }
+        self.peers_online.set(self.online_peers() as i64);
     }
 
     /// Online peers in the same area as `location`, excluding the
@@ -220,19 +311,11 @@ impl Coordinator {
         self.peers.get(&id)
     }
 
-    /// Renders the Fig. 7 monitoring panel as text.
+    /// Renders the Fig. 7 monitoring panel as text. Rendering reads only
+    /// the telemetry registry — the panel is a view over the same snapshot
+    /// the run reports export, with no hand-maintained counters.
     pub fn monitoring_panel(&self) -> String {
-        let mut out = String::from("Worker            Port  Status   Jobs\n");
-        for s in &self.servers {
-            out.push_str(&format!(
-                "{:<17} {:<5} {:<8} {}\n",
-                s.addr,
-                s.port,
-                if s.online { "online" } else { "offline" },
-                s.pending_jobs
-            ));
-        }
-        out
+        panel::coordinator_panel(&self.telemetry.snapshot())
     }
 }
 
@@ -385,5 +468,66 @@ mod tests {
         let panel = c.monitoring_panel();
         assert!(panel.contains("192.168.1.11"));
         assert!(panel.contains("online"));
+    }
+
+    #[test]
+    fn monitoring_panel_golden() {
+        // Fixed state -> exact panel text, rendered purely from the
+        // telemetry registry.
+        let mut c = coordinator();
+        c.register_server("192.168.1.11", 80, 0);
+        c.register_server("ms.example.org", 9000, 0);
+        let (ip, l) = loc(Country::ES, 0);
+        c.peer_online(PeerId(1), ip, l);
+        let (_job, s) = c.new_request("shop.com/p/1", 1).unwrap();
+        assert_eq!(s, 0);
+        let (job2, _) = c.new_request("shop.com/p/2", 2).unwrap();
+        c.job_complete(job2);
+        assert!(c.new_request("evil.example/x", 3).is_err());
+        assert_eq!(
+            c.monitoring_panel(),
+            "Worker            Port  Status   Jobs\n\
+             192.168.1.11      80    online   1\n\
+             ms.example.org    9000  online   0\n\
+             \nRequests: 3 total, 1 rejected   Jobs completed: 1   Peers online: 1\n"
+        );
+    }
+
+    #[test]
+    fn telemetry_tracks_request_lifecycle() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        let (job, _) = c.new_request("shop.com/p", 0).unwrap();
+        c.job_complete(job);
+        let _ = c.new_request("evil.example/x", 1);
+        let snap = c.telemetry().snapshot();
+        assert_eq!(snap.counters["coordinator.requests_total"], 2);
+        assert_eq!(snap.counters["coordinator.requests_rejected"], 1);
+        assert_eq!(snap.counters["coordinator.jobs_completed"], 1);
+        let assigned: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "coordinator.job_assigned")
+            .collect();
+        assert_eq!(assigned.len(), 1);
+        assert_eq!(
+            assigned[0].field("job"),
+            Some(&sheriff_telemetry::FieldValue::U64(job.0))
+        );
+    }
+
+    #[test]
+    fn heartbeat_expiry_is_counted() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        c.register_server("s1", 80, 0);
+        c.heartbeat(1, 50_000);
+        let _ = c.new_request("shop.com/p", 40_000);
+        let snap = c.telemetry().snapshot();
+        assert_eq!(snap.counters["coordinator.heartbeats_expired"], 1);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.name == "coordinator.heartbeat_expired"));
     }
 }

@@ -35,6 +35,7 @@ use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_html::tagspath::TagsPath;
 use sheriff_market::{CookieJar, ProductId, UserAgent, World};
 use sheriff_netsim::{latency::sample_standard_normal, Ctx, Node, NodeId, SimTime, Simulator};
+use sheriff_telemetry::{Counter, FieldValue, Gauge, Histogram, Registry};
 
 use crate::latency::{GeoLatency, GeoLatencyConfig};
 
@@ -506,6 +507,54 @@ impl Node<Msg> for AggregatorNode {
 // Measurement server node
 // ---------------------------------------------------------------------
 
+/// Fan-out latency buckets (virtual ms): proxy fetches are heavy-tailed
+/// (§5), so the grid spans two decades up to the job-deadline scale.
+const FANOUT_LATENCY_EDGES: &[f64] = &[
+    100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0,
+];
+
+/// Modeled CPU cost buckets (ms) for extraction/assembly and DB stores.
+const CPU_COST_EDGES: &[f64] = &[
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 5_000.0,
+];
+
+/// Cached handles for the Measurement-server hot path. Histograms are
+/// shared across servers (same metric name); the active-jobs gauge is
+/// per server.
+struct MeasurementTelemetry {
+    registry: Arc<Registry>,
+    fanout_latency: Arc<Histogram>,
+    assembly_cpu: Arc<Histogram>,
+    replies: Arc<Counter>,
+    late_replies: Arc<Counter>,
+    bytes_stored: Arc<Counter>,
+    bytes_full: Arc<Counter>,
+    jobs_finished: Arc<Counter>,
+    active_jobs: Arc<Gauge>,
+    /// v1 integrated-RDBMS cost, published under the same names as the
+    /// dedicated Database server so v1/v2 run reports line up.
+    db_query_cost: Arc<Histogram>,
+    db_queries: Arc<Counter>,
+}
+
+impl MeasurementTelemetry {
+    fn new(registry: &Arc<Registry>, index: usize) -> Self {
+        MeasurementTelemetry {
+            db_query_cost: registry.histogram("db.query_cost_ms", CPU_COST_EDGES),
+            db_queries: registry.counter("db.queries_total"),
+            fanout_latency: registry.histogram("measurement.fanout_latency_ms", FANOUT_LATENCY_EDGES),
+            assembly_cpu: registry.histogram("measurement.assembly_cpu_ms", CPU_COST_EDGES),
+            replies: registry.counter("measurement.replies_total"),
+            late_replies: registry.counter("measurement.late_replies"),
+            bytes_stored: registry.counter("measurement.diff_bytes_stored"),
+            bytes_full: registry.counter("measurement.diff_bytes_full"),
+            jobs_finished: registry.counter("measurement.jobs_finished"),
+            active_jobs: registry.gauge(&format!("measurement.{index:03}.active_jobs")),
+            registry: Arc::clone(registry),
+        }
+    }
+}
+
 struct JobState {
     domain: String,
     product: ProductId,
@@ -517,6 +566,8 @@ struct JobState {
     received: usize,
     day: u32,
     fanned_out: bool,
+    /// Virtual time the FetchOrders went out (span start).
+    fanout_at: SimTime,
     ppcs: Option<Vec<NodeId>>,
     submit: Option<Box<SubmitData>>,
     assembled: bool,
@@ -547,6 +598,7 @@ struct MeasurementNode {
     database: Database, // v1 integrated storage (v2 keeps it on DbNode)
     cpu_free_at: SimTime,
     heartbeat_every: SimTime,
+    telemetry: MeasurementTelemetry,
 }
 
 impl MeasurementNode {
@@ -571,6 +623,7 @@ impl MeasurementNode {
         state.observations.push(submit.initiator_obs);
         state.initiator = submit.initiator;
         state.fanned_out = true;
+        state.fanout_at = ctx.now;
         state.expected = self.ipcs.len() + ppcs.len();
 
         let mut seq = job.0 * 100;
@@ -620,14 +673,19 @@ impl MeasurementNode {
             self.proc_per_reply_ms * (state.received + 1) as f64 * cs_factor;
         if self.integrated_db {
             // v1: the RDBMS shares the CPU — its cost rides the same queue.
-            proc_ms += self.db_cost.store_cost_ms(
+            let db_ms = self.db_cost.store_cost_ms(
                 state.observations.len().max(state.received + 1),
                 active as u32,
             ) as f64;
+            self.telemetry.db_queries.inc();
+            self.telemetry.db_query_cost.observe(db_ms);
+            proc_ms += db_ms;
         }
         let start = self.cpu_free_at.max(ctx.now);
         let done = start.plus(SimTime::from_millis(proc_ms.round() as u64));
         self.cpu_free_at = done;
+        self.telemetry.assembly_cpu.observe(proc_ms);
+        self.telemetry.active_jobs.set(self.active_jobs() as i64);
         ctx.set_timer(done.since(ctx.now), job_timer(job, TIMER_PROC_DONE));
     }
 
@@ -635,6 +693,21 @@ impl MeasurementNode {
         let Some(state) = self.jobs.remove(&job) else {
             return;
         };
+        let (stored, full) = state.page_store.accounting();
+        self.telemetry.bytes_stored.add(stored as u64);
+        self.telemetry.bytes_full.add(full as u64);
+        self.telemetry.jobs_finished.inc();
+        self.telemetry.active_jobs.set(self.active_jobs() as i64);
+        self.telemetry.registry.span(
+            state.fanout_at.as_millis(),
+            ctx.now.as_millis(),
+            "measurement.job",
+            vec![
+                ("job", FieldValue::U64(job.0)),
+                ("server", FieldValue::U64(self.index as u64)),
+                ("replies", FieldValue::U64(state.received as u64)),
+            ],
+        );
         let check = PriceCheck {
             job_id: job.0,
             domain: state.domain.clone(),
@@ -671,6 +744,7 @@ impl Node<Msg> for MeasurementNode {
                     received: 0,
                     day: day_of(ctx.now),
                     fanned_out: false,
+                    fanout_at: SimTime::ZERO,
                     ppcs: None,
                     submit: None,
                     assembled: false,
@@ -697,6 +771,7 @@ impl Node<Msg> for MeasurementNode {
                     received: 0,
                     day: day_of(ctx.now),
                     fanned_out: false,
+                    fanout_at: SimTime::ZERO,
                     ppcs: None,
                     submit: None,
                     assembled: false,
@@ -715,11 +790,17 @@ impl Node<Msg> for MeasurementNode {
                 let target = self.target_currency.clone();
                 let rates = self.rates.clone();
                 let Some(state) = self.jobs.get_mut(&job) else {
+                    self.telemetry.late_replies.inc();
                     return; // late reply after deadline assembly
                 };
                 if state.assembled {
+                    self.telemetry.late_replies.inc();
                     return;
                 }
+                self.telemetry.replies.inc();
+                self.telemetry
+                    .fanout_latency
+                    .observe(ctx.now.since(state.fanout_at).as_millis() as f64);
                 let obs = process_response(&html, &state.tags_path, &meta, &target, &rates);
                 state.page_store.store_response(&html);
                 state.observations.push(obs);
@@ -784,11 +865,31 @@ impl Node<Msg> for MeasurementNode {
 // Database server node (v2)
 // ---------------------------------------------------------------------
 
+/// Cached handles for the Database-server hot path.
+struct DbTelemetry {
+    query_cost: Arc<Histogram>,
+    queries: Arc<Counter>,
+    active: Arc<Gauge>,
+    max_active: Arc<Gauge>,
+}
+
+impl DbTelemetry {
+    fn new(registry: &Arc<Registry>) -> Self {
+        DbTelemetry {
+            query_cost: registry.histogram("db.query_cost_ms", CPU_COST_EDGES),
+            queries: registry.counter("db.queries_total"),
+            active: registry.gauge("db.active_queries"),
+            max_active: registry.gauge("db.active_queries_max"),
+        }
+    }
+}
+
 struct DbNode {
     database: Database,
     cost: DbCostModel,
     active: u32,
     pending: HashMap<JobId, NodeId>,
+    telemetry: DbTelemetry,
 }
 
 impl Node<Msg> for DbNode {
@@ -798,6 +899,12 @@ impl Node<Msg> for DbNode {
             let cost = self.cost.store_cost_ms(check.observations.len(), self.active);
             self.database.store(*check);
             self.pending.insert(job, from);
+            self.telemetry.queries.inc();
+            self.telemetry.query_cost.observe(cost as f64);
+            self.telemetry.active.set(self.active as i64);
+            if (self.active as i64) > self.telemetry.max_active.get() {
+                self.telemetry.max_active.set(self.active as i64);
+            }
             ctx.set_timer(SimTime::from_millis(cost), job.0);
         }
     }
@@ -805,6 +912,7 @@ impl Node<Msg> for DbNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
         let job = JobId(token);
         self.active = self.active.saturating_sub(1);
+        self.telemetry.active.set(self.active as i64);
         if let Some(requester) = self.pending.remove(&job) {
             ctx.send(requester, Msg::DbAck { job });
         }
@@ -1217,6 +1325,7 @@ pub struct PriceSheriff {
     world: Arc<Mutex<World>>,
     next_tag: u64,
     cfg: SheriffConfig,
+    telemetry: Arc<Registry>,
 }
 
 impl PriceSheriff {
@@ -1260,8 +1369,14 @@ impl PriceSheriff {
         let latency = GeoLatency::new(GeoLatencyConfig::default(), node_countries);
         let mut sim: Simulator<Msg> = Simulator::new(Box::new(latency), cfg.seed);
 
+        // One shared registry for the whole system: coordinator, servers,
+        // DB, and the simulation engine all publish into it, and the run
+        // report / monitoring panel read from it.
+        let telemetry = Arc::new(Registry::new());
+        sim.set_telemetry(Arc::clone(&telemetry));
+
         // Coordinator state.
-        let mut coordinator = Coordinator::new(whitelist);
+        let mut coordinator = Coordinator::with_telemetry(whitelist, Arc::clone(&telemetry));
         for (i, &sid) in server_ids.iter().enumerate() {
             let _ = sid;
             coordinator.register_server(&format!("ms-{i}"), 80, 0);
@@ -1302,6 +1417,7 @@ impl PriceSheriff {
                 cost: cfg.db_cost,
                 active: 0,
                 pending: HashMap::new(),
+                telemetry: DbTelemetry::new(&telemetry),
             };
             assert_eq!(sim.add_node(Box::new(db_node)), db_id.expect("has_db"));
         }
@@ -1323,6 +1439,7 @@ impl PriceSheriff {
                 database: Database::new(),
                 cpu_free_at: SimTime::ZERO,
                 heartbeat_every: SimTime::from_secs(10),
+                telemetry: MeasurementTelemetry::new(&telemetry, i),
             };
             assert_eq!(sim.add_node(Box::new(node)), sid);
             sim.inject_timer(SimTime::from_millis(100), sid, TIMER_HEARTBEAT);
@@ -1392,7 +1509,13 @@ impl PriceSheriff {
             world,
             next_tag: 1,
             cfg,
+            telemetry,
         }
+    }
+
+    /// The shared telemetry registry (snapshot it for run reports).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// The shared world handle.

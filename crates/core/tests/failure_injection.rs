@@ -68,7 +68,8 @@ fn captcha_blocked_ipcs_yield_failed_observations_not_hangs() {
     // And — crucially — aborted checks release their jobs: nothing leaks
     // in the Coordinator's pending counters.
     let panel = sheriff.monitoring_panel();
-    for line in panel.lines().skip(1) {
+    // Server rows end at the blank line before the totals footer.
+    for line in panel.lines().skip(1).take_while(|l| !l.is_empty()) {
         let pending: u32 = line
             .split_whitespace()
             .last()
@@ -134,7 +135,8 @@ fn rejected_domains_under_load_never_leak_jobs() {
     assert_eq!(done[0].check.domain, "chegg.com");
     // The monitoring panel shows no stuck jobs.
     let panel = sheriff.monitoring_panel();
-    for line in panel.lines().skip(1) {
+    // Server rows end at the blank line before the totals footer.
+    for line in panel.lines().skip(1).take_while(|l| !l.is_empty()) {
         let pending: u32 = line
             .split_whitespace()
             .last()

@@ -6,7 +6,7 @@
 
 use sheriff_core::coordinator::{Coordinator, JobId};
 use sheriff_core::whitelist::Whitelist;
-use sheriff_experiments::report::Table;
+use sheriff_experiments::report::{write_json, Table};
 use sheriff_experiments::seed_from_args;
 
 use rand::rngs::StdRng;
@@ -65,6 +65,23 @@ fn main() {
     println!("{}", table.render());
     println!("Monitoring panel (Fig. 7):\n{}", coordinator.monitoring_panel());
     println!("paper: 'the response time of the system improves as slower servers are assigned fewer requests.'");
+
+    let json_rows: Vec<(String, u64, usize, u32)> = service_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &ms)| {
+            (
+                format!("192.168.1.{}", 11 + i),
+                ms / 1000,
+                assigned[i],
+                coordinator.pending_jobs(i),
+            )
+        })
+        .collect();
+    write_json("fig6_distribution", &json_rows);
+    // The panel above is rendered from this same registry; the snapshot is
+    // the machine-readable twin of the Fig. 7 panel.
+    write_json("fig6_distribution_telemetry", &coordinator.telemetry().snapshot());
 
     assert!(
         assigned[0] > assigned[3],

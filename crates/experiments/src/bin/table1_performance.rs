@@ -16,6 +16,7 @@ use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::world::WorldConfig;
 use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_netsim::SimTime;
+use sheriff_telemetry::Snapshot;
 
 struct Scenario {
     label: &'static str,
@@ -54,9 +55,10 @@ fn main() {
         "Version", "# Clients", "# Servers", "# Tasks", "Resp/task (min)", "Max daily requests",
     ]);
     let mut json_rows = Vec::new();
+    let mut telemetry_runs = Vec::new();
 
     for sc in &scenarios {
-        let rt_min = run_scenario(sc, seed, tasks_per_row);
+        let (rt_min, telemetry) = run_scenario(sc, seed, tasks_per_row);
         // §5's accounting: K parallel tasks, each taking rt minutes →
         // K · (minutes per day) / rt requests per day.
         // With multiple servers the safe threshold is per server.
@@ -71,17 +73,25 @@ fn main() {
             format!("{max_daily:.0}"),
         ]);
         json_rows.push((sc.label, sc.clients, sc.servers, sc.parallel_tasks, rt_min, max_daily));
+        telemetry_runs.push((
+            format!("{} {}c/{}s", sc.label, sc.clients, sc.servers),
+            telemetry,
+        ));
     }
     println!("{}", table.render());
     println!("paper:   Old 1/1/~5 → ~2 min (3600/day);   Old 2/1/~10 → ~5 min (2880/day)");
     println!("         New 1/1/~5 → ~1 min (7200/day);   New 2/1/~10 → ~1.5 min (9600/day)");
     println!("         New 3/4/~10 → ~1.5 min (38400/day)");
     write_json("table1_performance", &json_rows);
+    // One full telemetry snapshot per scenario: deterministic under a fixed
+    // --seed (virtual-ms timestamps only), so reruns are byte-identical.
+    write_json("table1_performance_telemetry", &telemetry_runs);
 }
 
 /// Closed-loop load: keep `parallel_tasks` in flight until `total` tasks
-/// complete; return the mean response time (minutes) over the steady half.
-fn run_scenario(sc: &Scenario, seed: u64, total: usize) -> f64 {
+/// complete; return the mean response time (minutes) over the steady half
+/// and the run's telemetry snapshot.
+fn run_scenario(sc: &Scenario, seed: u64, total: usize) -> (f64, Snapshot) {
     let world = World::build(
         &WorldConfig {
             n_generic_discriminating: 2,
@@ -169,5 +179,5 @@ fn run_scenario(sc: &Scenario, seed: u64, total: usize) -> f64 {
         .map(|c| c.completed.since(c.submitted).as_millis() as f64)
         .sum::<f64>()
         / steady.len().max(1) as f64;
-    mean_ms / 60_000.0
+    (mean_ms / 60_000.0, sheriff.telemetry().snapshot())
 }

@@ -3,9 +3,11 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sheriff_telemetry::{Counter, Gauge, Registry};
 
 use crate::latency::LatencyModel;
 
@@ -182,6 +184,64 @@ pub struct Simulator<M: 'static> {
     seq: u64,
     rng: StdRng,
     delivered: u64,
+    telemetry: Option<SimTelemetry>,
+}
+
+/// Cached metric handles: the per-event hot path touches only atomics,
+/// never the registry's name maps.
+struct SimTelemetry {
+    registry: Arc<Registry>,
+    delivered: Arc<Counter>,
+    timers_fired: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_depth_max: Arc<Gauge>,
+    node_backlog: Vec<Arc<Gauge>>,
+}
+
+impl SimTelemetry {
+    fn new(registry: Arc<Registry>) -> Self {
+        SimTelemetry {
+            delivered: registry.counter("netsim.messages_delivered"),
+            timers_fired: registry.counter("netsim.timers_fired"),
+            queue_depth: registry.gauge("netsim.queue_depth"),
+            queue_depth_max: registry.gauge("netsim.queue_depth_max"),
+            node_backlog: Vec::new(),
+            registry,
+        }
+    }
+
+    fn backlog(&mut self, node: NodeId) -> &Arc<Gauge> {
+        while self.node_backlog.len() <= node.0 {
+            let idx = self.node_backlog.len();
+            self.node_backlog
+                .push(self.registry.gauge(&format!("netsim.node.{idx:03}.backlog")));
+        }
+        &self.node_backlog[node.0]
+    }
+
+    /// An event entered the queue (`deliver_to` set for message events).
+    fn pushed(&mut self, deliver_to: Option<NodeId>) {
+        self.queue_depth.add(1);
+        let depth = self.queue_depth.get();
+        if depth > self.queue_depth_max.get() {
+            self.queue_depth_max.set(depth);
+        }
+        if let Some(to) = deliver_to {
+            self.backlog(to).add(1);
+        }
+    }
+
+    /// An event left the queue and fired.
+    fn popped(&mut self, deliver_to: Option<NodeId>) {
+        self.queue_depth.add(-1);
+        match deliver_to {
+            Some(to) => {
+                self.delivered.inc();
+                self.backlog(to).add(-1);
+            }
+            None => self.timers_fired.inc(),
+        }
+    }
 }
 
 impl<M: 'static> Simulator<M> {
@@ -195,7 +255,29 @@ impl<M: 'static> Simulator<M> {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             delivered: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry registry; the engine publishes event-queue
+    /// depth, delivered-message and timer counters, and per-node backlog
+    /// gauges into it. Gauges are seeded from events already queued, so
+    /// attaching mid-run stays consistent. Without a registry attached the
+    /// engine's behaviour (and cost) is unchanged.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        let mut tel = SimTelemetry::new(registry);
+        for Reverse(sched) in self.queue.iter() {
+            match sched.event {
+                Event::Deliver { to, .. } => tel.pushed(Some(to)),
+                Event::Timer { .. } => tel.pushed(None),
+            }
+        }
+        self.telemetry = Some(tel);
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref().map(|t| &t.registry)
     }
 
     /// Registers a node, returning its id.
@@ -241,6 +323,9 @@ impl<M: 'static> Simulator<M> {
             seq,
             event: Event::Deliver { to, from, msg },
         }));
+        if let Some(t) = &mut self.telemetry {
+            t.pushed(Some(to));
+        }
     }
 
     /// Arms a timer on `node` from outside the simulation.
@@ -251,6 +336,9 @@ impl<M: 'static> Simulator<M> {
             seq,
             event: Event::Timer { node, token },
         }));
+        if let Some(t) = &mut self.telemetry {
+            t.pushed(None);
+        }
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -296,15 +384,23 @@ impl<M: 'static> Simulator<M> {
             match sched.event {
                 Event::Deliver { to, from, msg } => {
                     self.delivered += 1;
+                    if let Some(t) = &mut self.telemetry {
+                        t.popped(Some(to));
+                    }
                     (
                         to,
                         Box::new(move |node, ctx| node.on_message(ctx, from, msg)),
                     )
                 }
-                Event::Timer { node, token } => (
-                    node,
-                    Box::new(move |node_ref, ctx| node_ref.on_timer(ctx, token)),
-                ),
+                Event::Timer { node, token } => {
+                    if let Some(t) = &mut self.telemetry {
+                        t.popped(None);
+                    }
+                    (
+                        node,
+                        Box::new(move |node_ref, ctx| node_ref.on_timer(ctx, token)),
+                    )
+                }
             };
 
         if let Some(node) = self.nodes.get_mut(node_id.0) {
@@ -336,6 +432,9 @@ impl<M: 'static> Simulator<M> {
                             msg,
                         },
                     }));
+                    if let Some(t) = &mut self.telemetry {
+                        t.pushed(Some(to));
+                    }
                 }
                 Action::Timer { delay, token } => {
                     let at = self.now.plus(delay);
@@ -348,6 +447,9 @@ impl<M: 'static> Simulator<M> {
                             token,
                         },
                     }));
+                    if let Some(t) = &mut self.telemetry {
+                        t.pushed(None);
+                    }
                 }
             }
         }
@@ -376,6 +478,39 @@ mod tests {
 
     fn sim() -> Simulator<u32> {
         Simulator::new(Box::new(ConstantLatency(SimTime::from_millis(10))), 1)
+    }
+
+    #[test]
+    fn telemetry_tracks_queue_and_deliveries() {
+        let registry = Arc::new(Registry::new());
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.set_telemetry(Arc::clone(&registry));
+        s.inject(SimTime::ZERO, a, b, 5);
+        s.inject_timer(SimTime::from_millis(5), a, 1);
+        s.run_until_idle(1000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["netsim.messages_delivered"], s.delivered());
+        assert_eq!(snap.counters["netsim.timers_fired"], 1);
+        assert_eq!(snap.gauges["netsim.queue_depth"], 0, "queue drained");
+        assert!(snap.gauges["netsim.queue_depth_max"] >= 1);
+        assert_eq!(snap.gauges["netsim.node.000.backlog"], 0);
+        assert_eq!(snap.gauges["netsim.node.001.backlog"], 0);
+    }
+
+    #[test]
+    fn telemetry_attached_mid_run_seeds_queue_gauges() {
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.inject(SimTime::ZERO, a, b, 5);
+        s.inject(SimTime::from_millis(1), b, a, 2);
+        let registry = Arc::new(Registry::new());
+        s.set_telemetry(Arc::clone(&registry));
+        assert_eq!(registry.snapshot().gauges["netsim.queue_depth"], 2);
+        s.run_until_idle(1000);
+        assert_eq!(registry.snapshot().gauges["netsim.queue_depth"], 0);
     }
 
     #[test]

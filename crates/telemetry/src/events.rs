@@ -1,0 +1,133 @@
+//! Structured event log entries.
+
+use serde::{DeError, Deserialize, Number, Serialize, Value};
+
+/// One field value on a structured event. Serialises as the bare JSON
+/// value (no enum tagging) so event logs stay human-readable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Serialize for FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(Number::PosInt(*v)),
+            FieldValue::I64(v) => {
+                if *v >= 0 {
+                    Value::Number(Number::PosInt(*v as u64))
+                } else {
+                    Value::Number(Number::NegInt(*v))
+                }
+            }
+            FieldValue::F64(v) => Value::Number(Number::Float(*v)),
+            FieldValue::Str(s) => Value::String(s.clone()),
+            FieldValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl Deserialize for FieldValue {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(FieldValue::Bool(*b)),
+            Value::Number(Number::PosInt(n)) => Ok(FieldValue::U64(*n)),
+            Value::Number(Number::NegInt(n)) => Ok(FieldValue::I64(*n)),
+            Value::Number(Number::Float(f)) => Ok(FieldValue::F64(*f)),
+            Value::String(s) => Ok(FieldValue::Str(s.clone())),
+            _ => Err(DeError::new("FieldValue: expected scalar")),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One entry in the event log, timestamped in virtual milliseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time the event was recorded (for spans: the end time).
+    pub at_ms: u64,
+    /// Event name, dotted-path style (`"coordinator.job_assigned"`).
+    pub name: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Field lookup by key (first match).
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_values_roundtrip_as_bare_json() {
+        for fv in [
+            FieldValue::U64(42),
+            FieldValue::I64(-7),
+            FieldValue::F64(1.5),
+            FieldValue::Str("es".into()),
+            FieldValue::Bool(true),
+        ] {
+            let v = fv.to_value();
+            assert_eq!(FieldValue::from_value(&v).unwrap(), fv);
+        }
+        // Bare value, not an enum-tagged object.
+        assert!(matches!(FieldValue::U64(1).to_value(), Value::Number(_)));
+    }
+
+    #[test]
+    fn event_roundtrips_through_json() {
+        let e = Event {
+            at_ms: 99,
+            name: "db.store".into(),
+            fields: vec![("bytes".into(), FieldValue::U64(1024))],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.field("bytes"), Some(&FieldValue::U64(1024)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the fixed-bucket histogram (ISSUE: quantiles stay
+//! on the bucket grid; merge is associative and commutative; counts are
+//! conserved under merge).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sheriff_telemetry::{Histogram, HistogramSnapshot};
+
+const EDGES: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+fn hist_of(values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(&EDGES);
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b).expect("same grid");
+    out
+}
+
+/// Bit-exact equality on the deterministic parts of a snapshot. `sum` is
+/// compared approximately: float addition is not associative, which is
+/// exactly why quantiles and counts — not sums — are the merge contract.
+fn assert_equivalent(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.edges, b.edges);
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.count, b.count);
+    let scale = a.sum.abs().max(1.0);
+    assert!((a.sum - b.sum).abs() <= 1e-9 * scale, "sums diverged");
+}
+
+proptest! {
+    #[test]
+    fn quantile_estimates_stay_on_the_bucket_grid(
+        values in vec(0.0f64..20_000.0, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let s = hist_of(&values);
+        let est = s.quantile(q);
+        prop_assert!(EDGES.contains(&est), "quantile {est} is not a bucket edge");
+        prop_assert!(est >= EDGES[0] && est <= EDGES[EDGES.len() - 1]);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in vec(0.0f64..20_000.0, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let s = hist_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.quantile(lo) <= s.quantile(hi));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        xs in vec(0.0f64..20_000.0, 0..100),
+        ys in vec(0.0f64..20_000.0, 0..100),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        assert_equivalent(&merged(&a, &b), &merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in vec(0.0f64..20_000.0, 0..80),
+        ys in vec(0.0f64..20_000.0, 0..80),
+        zs in vec(0.0f64..20_000.0, 0..80),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        assert_equivalent(&left, &right);
+        prop_assert_eq!(left.quantile(0.5), right.quantile(0.5));
+        prop_assert_eq!(left.quantile(0.99), right.quantile(0.99));
+    }
+
+    #[test]
+    fn counts_are_conserved_under_merge(
+        xs in vec(0.0f64..20_000.0, 0..100),
+        ys in vec(0.0f64..20_000.0, 0..100),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let m = merged(&a, &b);
+        prop_assert_eq!(m.count, xs.len() as u64 + ys.len() as u64);
+        prop_assert_eq!(m.counts.iter().sum::<u64>(), m.count);
+        for i in 0..m.counts.len() {
+            prop_assert_eq!(m.counts[i], a.counts[i] + b.counts[i]);
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity(
+        xs in vec(0.0f64..20_000.0, 0..100),
+    ) {
+        let a = hist_of(&xs);
+        let m = merged(&a, &hist_of(&[]));
+        prop_assert_eq!(&m, &a);
+    }
+}

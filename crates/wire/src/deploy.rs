@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+use sheriff_telemetry::Registry;
 
 use sheriff_core::measurement::{process_response, VantageMeta};
 use sheriff_core::records::VantageKind;
@@ -27,6 +28,7 @@ use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::{CookieJar, FetchContext, FetchResult, ProductId, UserAgent, World};
 
 use crate::proto::{ResultRow, WireMsg};
+use crate::telemetry::WireTelemetry;
 
 /// The running deployment.
 pub struct MiniDeployment {
@@ -35,6 +37,8 @@ pub struct MiniDeployment {
     peer_addrs: Vec<SocketAddr>,
     handles: Vec<JoinHandle<()>>,
     world: Arc<Mutex<World>>,
+    telemetry: Arc<Registry>,
+    wire: Arc<WireTelemetry>,
 }
 
 impl MiniDeployment {
@@ -45,6 +49,8 @@ impl MiniDeployment {
         let rates = world.lock().rates.clone();
         let mut handles = Vec::new();
         let mut alloc = IpAllocator::new();
+        let telemetry = Arc::new(Registry::new());
+        let wire = Arc::new(WireTelemetry::new(&telemetry));
 
         // Peers.
         let mut peer_addrs = Vec::new();
@@ -54,8 +60,9 @@ impl MiniDeployment {
             let ip = alloc.allocate(country, 0);
             let world = Arc::clone(&world);
             let rates = rates.clone();
+            let wire = Arc::clone(&wire);
             handles.push(std::thread::spawn(move || {
-                peer_loop(listener, peer_id, country, ip, world, rates);
+                peer_loop(listener, peer_id, country, ip, world, rates, wire);
             }));
         }
 
@@ -66,8 +73,9 @@ impl MiniDeployment {
             let world = Arc::clone(&world);
             let rates = rates.clone();
             let peer_addrs = peer_addrs.clone();
+            let wire = Arc::clone(&wire);
             handles.push(std::thread::spawn(move || {
-                measurement_loop(server_listener, world, rates, peer_addrs);
+                measurement_loop(server_listener, world, rates, peer_addrs, wire);
             }));
         }
 
@@ -76,8 +84,9 @@ impl MiniDeployment {
         let coordinator_addr = coord_listener.local_addr()?;
         {
             let world = Arc::clone(&world);
+            let wire = Arc::clone(&wire);
             handles.push(std::thread::spawn(move || {
-                coordinator_loop(coord_listener, world, server_addr);
+                coordinator_loop(coord_listener, world, server_addr, wire);
             }));
         }
 
@@ -87,7 +96,15 @@ impl MiniDeployment {
             peer_addrs,
             handles,
             world,
+            telemetry,
+            wire,
         })
+    }
+
+    /// The deployment's telemetry registry (wire.* counters). Clone the
+    /// `Arc` before [`MiniDeployment::shutdown`] to inspect final counts.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Coordinator address for add-on clients.
@@ -113,9 +130,9 @@ impl MiniDeployment {
             url: format!("{domain}/product/{}", product.0),
             peer: 1,
         }
-        .send(&mut coord)
+        .send_counted(&mut coord, &self.wire)
         .map_err(|e| e.to_string())?;
-        let assign = WireMsg::recv(&mut coord)
+        let assign = WireMsg::recv_counted(&mut coord, &self.wire)
             .map_err(|e| e.to_string())?
             .ok_or("coordinator hung up")?;
         let server_addr = match assign {
@@ -159,11 +176,11 @@ impl MiniDeployment {
             tags_path_json: serde_json::to_string(&tags_path).map_err(|e| e.to_string())?,
             initiator_html: html,
         }
-        .send(&mut server)
+        .send_counted(&mut server, &self.wire)
         .map_err(|e| e.to_string())?;
 
         // Step 5: results.
-        match WireMsg::recv(&mut server).map_err(|e| e.to_string())? {
+        match WireMsg::recv_counted(&mut server, &self.wire).map_err(|e| e.to_string())? {
             Some(WireMsg::Results { rows, .. }) => Ok(rows),
             other => Err(format!("unexpected reply: {other:?}")),
         }
@@ -176,7 +193,7 @@ impl MiniDeployment {
             .chain(self.peer_addrs.iter().copied())
         {
             if let Ok(mut s) = TcpStream::connect(addr) {
-                let _ = WireMsg::Shutdown.send(&mut s);
+                let _ = WireMsg::Shutdown.send_counted(&mut s, &self.wire);
             }
         }
         for h in self.handles {
@@ -207,11 +224,16 @@ fn clean_ctx<'a>(
     }
 }
 
-fn coordinator_loop(listener: TcpListener, world: Arc<Mutex<World>>, server_addr: SocketAddr) {
+fn coordinator_loop(
+    listener: TcpListener,
+    world: Arc<Mutex<World>>,
+    server_addr: SocketAddr,
+    wire: Arc<WireTelemetry>,
+) {
     let jobs = AtomicU64::new(1);
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv(&mut stream) {
+        match WireMsg::recv_counted(&mut stream, &wire) {
             Ok(Some(WireMsg::CoordRequest { url, .. })) => {
                 let (domain, _path) = split_url(&url);
                 let known = world.lock().retailer(domain).is_some();
@@ -225,7 +247,7 @@ fn coordinator_loop(listener: TcpListener, world: Arc<Mutex<World>>, server_addr
                         reason: format!("{domain} is not whitelisted"),
                     }
                 };
-                let _ = reply.send(&mut stream);
+                let _ = reply.send_counted(&mut stream, &wire);
             }
             Ok(Some(WireMsg::Shutdown)) => break,
             _ => {}
@@ -238,10 +260,11 @@ fn measurement_loop(
     world: Arc<Mutex<World>>,
     rates: FixedRates,
     peer_addrs: Vec<SocketAddr>,
+    wire: Arc<WireTelemetry>,
 ) {
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv(&mut stream) {
+        match WireMsg::recv_counted(&mut stream, &wire) {
             Ok(Some(WireMsg::JobSubmit {
                 job,
                 domain,
@@ -281,7 +304,7 @@ fn measurement_loop(
                         product,
                         seq: job * 100 + i as u64,
                     };
-                    if order.send(&mut peer).is_err() {
+                    if order.send_counted(&mut peer, &wire).is_err() {
                         continue;
                     }
                     let Ok(Some(WireMsg::FetchReply {
@@ -289,7 +312,7 @@ fn measurement_loop(
                         country,
                         html,
                         ..
-                    })) = WireMsg::recv(&mut peer)
+                    })) = WireMsg::recv_counted(&mut peer, &wire)
                     else {
                         continue;
                     };
@@ -309,7 +332,7 @@ fn measurement_loop(
                         low_confidence: obs.low_confidence,
                     });
                 }
-                let _ = WireMsg::Results { job, rows }.send(&mut stream);
+                let _ = WireMsg::Results { job, rows }.send_counted(&mut stream, &wire);
                 let _ = &world; // world is only touched by peers in this deployment
             }
             Ok(Some(WireMsg::Shutdown)) => break,
@@ -325,10 +348,11 @@ fn peer_loop(
     ip: IpV4,
     world: Arc<Mutex<World>>,
     rates: FixedRates,
+    wire: Arc<WireTelemetry>,
 ) {
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv(&mut stream) {
+        match WireMsg::recv_counted(&mut stream, &wire) {
             Ok(Some(WireMsg::FetchOrder {
                 job,
                 domain,
@@ -353,7 +377,7 @@ fn peer_loop(
                         country: country.code().to_string(),
                         html,
                     }
-                    .send(&mut stream);
+                    .send_counted(&mut stream, &wire);
                 }
             }
             Ok(Some(WireMsg::Shutdown)) => break,

@@ -10,7 +10,9 @@
 //!   back-end spoke PHP/JS, §10.5);
 //! * [`proto`] — the wire messages of the §3.2 protocol;
 //! * [`deploy`] — a Coordinator + Measurement-server + peers deployment on
-//!   ephemeral localhost ports, driven by real threads and real sockets.
+//!   ephemeral localhost ports, driven by real threads and real sockets;
+//! * [`telemetry`] — frame/byte counters shared by every framed send and
+//!   receive in the deployment, so loopback traffic balances exactly.
 //!
 //! Everything is blocking `std::net` with bounded reads: no async runtime
 //! is needed for a handful of connections, and determinism of the *content*
@@ -21,7 +23,9 @@
 pub mod deploy;
 pub mod frame;
 pub mod proto;
+pub mod telemetry;
 
 pub use deploy::MiniDeployment;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use proto::WireMsg;
+pub use telemetry::WireTelemetry;

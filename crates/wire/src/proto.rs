@@ -94,12 +94,42 @@ impl WireMsg {
         write_frame(w, &payload)
     }
 
+    /// Writes self as one frame, recording it in the wire counters.
+    pub fn send_counted<W: std::io::Write>(
+        &self,
+        w: &mut W,
+        telemetry: &crate::telemetry::WireTelemetry,
+    ) -> Result<(), FrameError> {
+        let payload = serde_json::to_vec(self).expect("WireMsg serializes");
+        write_frame(w, &payload)?;
+        telemetry.sent(payload.len());
+        Ok(())
+    }
+
     /// Reads one message; `Ok(None)` on clean EOF.
     pub fn recv<R: std::io::Read>(r: &mut R) -> Result<Option<WireMsg>, FrameError> {
         let Some(payload) = read_frame(r)? else {
             return Ok(None);
         };
-        serde_json::from_slice(&payload).map(Some).map_err(|e| {
+        Self::parse(&payload).map(Some)
+    }
+
+    /// Reads one message, recording any received frame in the wire
+    /// counters (even frames whose payload then fails to parse — the
+    /// bytes did arrive).
+    pub fn recv_counted<R: std::io::Read>(
+        r: &mut R,
+        telemetry: &crate::telemetry::WireTelemetry,
+    ) -> Result<Option<WireMsg>, FrameError> {
+        let Some(payload) = read_frame(r)? else {
+            return Ok(None);
+        };
+        telemetry.received(payload.len());
+        Self::parse(&payload).map(Some)
+    }
+
+    fn parse(payload: &[u8]) -> Result<WireMsg, FrameError> {
+        serde_json::from_slice(payload).map_err(|e| {
             FrameError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("bad message: {e}"),

@@ -49,6 +49,58 @@ fn concurrent_price_checks_from_many_clients() {
     }
 }
 
+/// Every framed send and receive in the deployment goes through the shared
+/// wire counters, so after the threads drain the books must balance exactly:
+/// no increment may be lost even with six clients hammering in parallel.
+#[test]
+fn frame_counters_balance_under_concurrent_clients() {
+    const CLIENTS: u64 = 6;
+    let world = World::build(&WorldConfig::small(), 95);
+    let deployment = Arc::new(
+        MiniDeployment::start(
+            world,
+            &[(40, Country::ES), (41, Country::US), (42, Country::JP)],
+        )
+        .expect("deployment starts"),
+    );
+    let telemetry = Arc::clone(deployment.telemetry());
+
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS as u32 {
+        let d = Arc::clone(&deployment);
+        handles.push(std::thread::spawn(move || {
+            d.run_price_check("amazon.com", ProductId(t % 5))
+                .unwrap_or_else(|e| panic!("client {t}: {e}"))
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().expect("client thread").len(), 4);
+    }
+    match Arc::try_unwrap(deployment) {
+        Ok(d) => d.shutdown(),
+        Err(_) => panic!("deployment still shared"),
+    }
+
+    // shutdown() joined every loop thread, so all counting is done.
+    let snap = telemetry.snapshot();
+    let frames_out = snap.counters["wire.frames_out"];
+    let frames_in = snap.counters["wire.frames_in"];
+    let bytes_out = snap.counters["wire.bytes_out"];
+    let bytes_in = snap.counters["wire.bytes_in"];
+
+    // Loopback: everything sent is received, bit for bit.
+    assert_eq!(frames_out, frames_in);
+    assert_eq!(bytes_out, bytes_in);
+
+    // One successful check is exactly 10 frames (request/assign, submit,
+    // 3 fetch orders + 3 replies, results); shutdown adds one frame each
+    // for the coordinator, the server, and the 3 peers.
+    assert_eq!(frames_out, 10 * CLIENTS + 5);
+
+    // Each frame carries a 4-byte length prefix plus a nonempty payload.
+    assert!(bytes_out > frames_out * 4, "{bytes_out} vs {frames_out}");
+}
+
 #[test]
 fn deployment_survives_client_that_disconnects_mid_protocol() {
     let world = World::build(&WorldConfig::small(), 93);

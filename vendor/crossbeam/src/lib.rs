@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`: `crossbeam::scope` implemented over
+//! `std::thread::scope` (stable since 1.63). Only the scoped-thread API the
+//! workspace uses is provided; the closure passed to `spawn` receives a
+//! `&Scope` argument for crossbeam signature compatibility.
+
+use std::any::Any;
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Scoped-thread handle wrapper; `join` mirrors `std::thread::Result`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Spawn scope mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, scoped threads can be spawned.
+///
+/// Unlike real crossbeam this propagates child panics through
+/// `std::thread::scope` (which panics on unjoined panicked children); the
+/// `Result` wrapper exists for signature compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut out = vec![0u64; 4];
+        super::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in out.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                    i
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

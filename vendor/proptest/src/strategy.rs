@@ -1,0 +1,225 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Self::Value` from a deterministic RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategies from a regex-like pattern (upstream proptest's
+/// `&str: Strategy`). Supported subset: literal chars, `[...]` classes
+/// with ranges, `\PC` (any printable char), and `{m,n}` / `{n}` repeats.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Clone)]
+    struct Atom {
+        // Inclusive char ranges to draw from.
+        ranges: Vec<(u32, u32)>,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pat: &str, rng: &mut StdRng) -> String {
+        let atoms = parse(pat);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            let total: u32 = atom.ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+            for _ in 0..n {
+                let mut idx = rng.gen_range(0..total);
+                for &(lo, hi) in &atom.ranges {
+                    let span = hi - lo + 1;
+                    if idx < span {
+                        out.push(char::from_u32(lo + idx).unwrap_or('?'));
+                        break;
+                    }
+                    idx -= span;
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    i += 3;
+                    // Printable: ASCII graphic + space, plus a slice of
+                    // Latin-1 and BMP letters to exercise UTF-8 paths.
+                    vec![(0x20, 0x7e), (0xa1, 0xff), (0x391, 0x3a9), (0x4e00, 0x4e2f)]
+                }
+                '\\' => {
+                    let c = chars.get(i + 1).copied().unwrap_or('\\');
+                    i += 2;
+                    vec![(c as u32, c as u32)]
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            ranges.push((lo as u32, chars[i + 2] as u32));
+                            i += 3;
+                        } else {
+                            ranges.push((lo as u32, lo as u32));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ]
+                    ranges
+                }
+                c => {
+                    i += 1;
+                    vec![(c as u32, c as u32)]
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or(chars.len());
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { ranges, min, max });
+        }
+        atoms
+    }
+}
+
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

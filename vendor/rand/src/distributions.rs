@@ -1,0 +1,153 @@
+//! The `Standard` distribution and range sampling used by `Rng::gen` /
+//! `Rng::gen_range`.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform over the full domain (integers), `[0, 1)` (floats), or
+/// `{true, false}` (bool).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by `Rng::gen_range`. The generic-over-`T` impl shape
+/// mirrors upstream so type inference can flow the element type from the
+/// surrounding expression into untyped range literals like `0..10_000`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Primitive types uniformly sampleable from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                } else {
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                } else {
+                    (lo as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                if v as $t >= hi {
+                    lo
+                } else {
+                    v as $t
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);

@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this subset
+//! routes everything through an owned [`Value`] tree (the same data model
+//! `serde_json` exposes). `Serialize` renders a value into the tree;
+//! `Deserialize` rebuilds a value from it. The derive macros in
+//! `serde_derive` generate impls against these two traits, covering the
+//! shapes this workspace uses: named/tuple/unit structs, unit enums,
+//! data-carrying enums (externally tagged), and internally-tagged enums
+//! (`#[serde(tag = "...", rename_all = "snake_case")]`).
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Derive-macro helper: fetch and convert an object field, treating a
+/// missing key as `Null` (so `Option` fields may be omitted).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &Map, key: &str, ty: &str) -> Result<T, DeError> {
+    match obj.get(key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("{ty}.{key}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::new(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+/// Derive-macro helper: fetch and convert a positional array element.
+#[doc(hidden)]
+pub fn __elem<T: Deserialize>(arr: &[Value], idx: usize, ty: &str) -> Result<T, DeError> {
+    match arr.get(idx) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("{ty}[{idx}]: {e}"))),
+        None => Err(DeError::new(format!("{ty}: missing element {idx}"))),
+    }
+}

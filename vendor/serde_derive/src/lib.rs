@@ -1,0 +1,617 @@
+//! Offline subset of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! generating impls of the Value-tree traits in the offline `serde` crate.
+//!
+//! Implemented without `syn`/`quote`: the type definition is parsed from the
+//! raw `TokenStream` and the impl is emitted as source text. Supported
+//! shapes (everything this workspace derives):
+//!
+//! - named-field structs, tuple/newtype structs, unit structs
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, serde's default)
+//! - `#[serde(tag = "...")]` internally-tagged enums with unit/struct
+//!   variants, plus `#[serde(rename_all = "snake_case")]`
+//!
+//! Generics and other serde attributes are intentionally unsupported and
+//! produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+struct Input {
+    name: String,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&parsed),
+        Which::Deserialize => gen_deserialize(&parsed),
+    };
+    match code {
+        Ok(src) => src.parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde_derive produced invalid code: {e}"))
+        }),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// --------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Outer attributes (doc comments, #[allow], #[serde(...)], ...).
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_serde_attr(g.stream(), &mut tag, &mut rename_all)?;
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+
+    // Visibility.
+    if is_ident(&tokens.get(i), "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde_derive: expected struct or enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        return Err(format!(
+            "serde_derive (offline subset): generics on `{name}` are not supported"
+        ));
+    }
+
+    let data = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Data::UnitStruct,
+            other => return Err(format!("serde_derive: unexpected struct body {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde_derive: unexpected enum body {other:?}")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        tag,
+        rename_all,
+        data,
+    })
+}
+
+/// Reads one `[...]` attribute body; records `serde(tag/rename_all)` pairs.
+fn parse_serde_attr(
+    stream: TokenStream,
+    tag: &mut Option<String>,
+    rename_all: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if !is_ident(&tokens.first(), "serde") {
+        return Ok(()); // some other attribute; ignore
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = match &args[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde attribute: expected key, got {other}")),
+        };
+        if !matches!(args.get(j + 1), Some(t) if is_punct(t, '=')) {
+            return Err(format!(
+                "serde_derive (offline subset): unsupported serde attribute `{key}`"
+            ));
+        }
+        let value = match args.get(j + 2) {
+            Some(TokenTree::Literal(lit)) => strip_quotes(&lit.to_string()),
+            other => return Err(format!("serde attribute `{key}`: expected string, got {other:?}")),
+        };
+        match key.as_str() {
+            "tag" => *tag = Some(value),
+            "rename_all" => *rename_all = Some(value),
+            other => {
+                return Err(format!(
+                    "serde_derive (offline subset): unsupported serde attribute `{other}`"
+                ))
+            }
+        }
+        j += 3;
+        if matches!(args.get(j), Some(t) if is_punct(t, ',')) {
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes.
+        while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if is_ident(&tokens.get(i), "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(t) if is_punct(t, ':')) {
+            return Err(format!("serde_derive: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts fields in a tuple-struct/-variant body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        match t {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') => depth -= 1,
+            t if is_punct(t, ',') && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(t) if is_punct(t, '=')) {
+            return Err(format!(
+                "serde_derive (offline subset): discriminants on `{name}` are not supported"
+            ));
+        }
+        if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn rename(name: &str, rule: &Option<String>) -> String {
+    match rule.as_deref() {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => name.to_string(),
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => gen_enum_serialize(input, variants)?,
+    };
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    ))
+}
+
+fn gen_enum_serialize(input: &Input, variants: &[Variant]) -> Result<String, String> {
+    let name = &input.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, &input.rename_all);
+        let arm = match (&input.tag, &v.kind) {
+            // Internally tagged.
+            (Some(tag), VariantKind::Unit) => format!(
+                "{name}::{vname} => {{\n\
+                 let mut __m = ::serde::Map::new();\n\
+                 __m.insert(::std::string::String::from({tag:?}), \
+                 ::serde::Value::String(::std::string::String::from({key:?})));\n\
+                 ::serde::Value::Object(__m)\n}}"
+            ),
+            (Some(tag), VariantKind::Named(fields)) => {
+                let pat = fields.join(", ");
+                let mut s = format!(
+                    "{name}::{vname} {{ {pat} }} => {{\n\
+                     let mut __m = ::serde::Map::new();\n\
+                     __m.insert(::std::string::String::from({tag:?}), \
+                     ::serde::Value::String(::std::string::String::from({key:?})));\n"
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__m.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)\n}");
+                s
+            }
+            (Some(_), VariantKind::Tuple(_)) => {
+                return Err(format!(
+                    "serde_derive: tuple variant `{vname}` not supported with tag attribute"
+                ))
+            }
+            // Externally tagged (default).
+            (None, VariantKind::Unit) => format!(
+                "{name}::{vname} => \
+                 ::serde::Value::String(::std::string::String::from({key:?}))"
+            ),
+            (None, VariantKind::Tuple(1)) => format!(
+                "{name}::{vname}(__f0) => {{\n\
+                 let mut __m = ::serde::Map::new();\n\
+                 __m.insert(::std::string::String::from({key:?}), \
+                 ::serde::Serialize::to_value(__f0));\n\
+                 ::serde::Value::Object(__m)\n}}"
+            ),
+            (None, VariantKind::Tuple(n)) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let mut __m = ::serde::Map::new();\n\
+                     __m.insert(::std::string::String::from({key:?}), \
+                     ::serde::Value::Array(::std::vec![{}]));\n\
+                     ::serde::Value::Object(__m)\n}}",
+                    binds.join(", "),
+                    elems.join(", ")
+                )
+            }
+            (None, VariantKind::Named(fields)) => {
+                let pat = fields.join(", ");
+                let mut s = format!(
+                    "{name}::{vname} {{ {pat} }} => {{\n\
+                     let mut __inner = ::serde::Map::new();\n"
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__inner.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                s.push_str(&format!(
+                    "let mut __m = ::serde::Map::new();\n\
+                     __m.insert(::std::string::String::from({key:?}), \
+                     ::serde::Value::Object(__inner));\n\
+                     ::serde::Value::Object(__m)\n}}"
+                ));
+                s
+            }
+        };
+        arms.push_str(&arm);
+        arms.push_str(",\n");
+    }
+    Ok(format!("match self {{\n{arms}}}"))
+}
+
+fn gen_deserialize(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::__field(__obj, {f:?}, {name:?})?,\n"));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::new(concat!({name:?}, \": expected object\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__elem(__arr, {i}, {name:?})?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(concat!({name:?}, \": expected array\")))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => gen_enum_deserialize(input, variants)?,
+    };
+    Ok(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    ))
+}
+
+fn gen_enum_deserialize(input: &Input, variants: &[Variant]) -> Result<String, String> {
+    let name = &input.name;
+
+    if let Some(tag) = &input.tag {
+        // Internally tagged.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let key = rename(vname, &input.rename_all);
+            match &v.kind {
+                VariantKind::Unit => {
+                    arms.push_str(&format!(
+                        "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantKind::Named(fields) => {
+                    let mut inits = String::new();
+                    for f in fields {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::__field(__obj, {f:?}, {name:?})?,\n"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{key:?} => ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n"
+                    ));
+                }
+                VariantKind::Tuple(_) => {
+                    return Err(format!(
+                        "serde_derive: tuple variant `{vname}` not supported with tag attribute"
+                    ))
+                }
+            }
+        }
+        return Ok(format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::DeError::new(concat!({name:?}, \": expected object\")))?;\n\
+             let __tag = __obj.get({tag:?}).and_then(|t| t.as_str()).ok_or_else(|| \
+             ::serde::DeError::new(concat!({name:?}, \": missing tag\")))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::new(\
+             format!(concat!({name:?}, \": unknown tag `{{}}`\"), __other)))\n}}"
+        ));
+    }
+
+    // Externally tagged (default).
+    let mut string_arms = String::new();
+    let mut object_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, &input.rename_all);
+        match &v.kind {
+            VariantKind::Unit => {
+                string_arms.push_str(&format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                object_arms.push_str(&format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::__elem(__arr, {i}, {name:?})?"))
+                    .collect();
+                object_arms.push_str(&format!(
+                    "{key:?} => {{\n\
+                     let __arr = __inner.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(concat!({name:?}, \": expected array\")))?;\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                    elems.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::__field(__obj, {f:?}, {name:?})?,\n"
+                    ));
+                }
+                object_arms.push_str(&format!(
+                    "{key:?} => {{\n\
+                     let __obj = __inner.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(concat!({name:?}, \": expected object\")))?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n"
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         format!(concat!({name:?}, \": unknown variant `{{}}`\"), __other)))\n}},\n\
+         ::serde::Value::Object(__m) => {{\n\
+         let (__k, __inner) = __m.iter().next().ok_or_else(|| \
+         ::serde::DeError::new(concat!({name:?}, \": empty object\")))?;\n\
+         let _ = &__inner;\n\
+         match __k.as_str() {{\n{object_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         format!(concat!({name:?}, \": unknown variant `{{}}`\"), __other)))\n}}\n}},\n\
+         _ => ::std::result::Result::Err(::serde::DeError::new(\
+         concat!({name:?}, \": expected string or object\")))\n}}"
+    ))
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for `serde_json` over the offline `serde` Value tree.
+//!
+//! Provides `to_string` / `to_string_pretty` / `to_vec` / `from_str` /
+//! `from_slice` with deterministic output: object keys are ordered
+//! (`serde::Map` is a BTreeMap) and floats print via Rust's shortest
+//! roundtrip `Display`.
+
+mod parse;
+mod print;
+
+pub use serde::{Map, Number, Value};
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Compact rendering.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Pretty rendering (2-space indent, like upstream serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parse into the loosely-typed `Value` tree.
+pub fn from_str_value(s: &str) -> Result<Value> {
+    parse::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&18.59f64).unwrap(), "18.59");
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+        let v: f64 = from_str("18.59").unwrap();
+        assert!((v - 18.59).abs() < 1e-12);
+        let n: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(n, u64::MAX);
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let x: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let s = to_string(&x).unwrap();
+        assert_eq!(s, r#"[["a",1],["b",2]]"#);
+        let back: Vec<(String, u64)> = from_str(&s).unwrap();
+        assert_eq!(back, x);
+
+        let opt: Option<u32> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let s: String = from_str(r#""café \n\t\\""#).unwrap();
+        assert_eq!(s, "café \n\t\\");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("nul").is_err());
+    }
+}
