@@ -9,17 +9,23 @@ cd "$(dirname "$0")"
 stage() { printf '\n==> %s\n' "$*"; }
 
 # The seed tree (and the vendored stubs) predate rustfmt enforcement, so
-# the gate covers the telemetry crate; widen as crates are brought clean.
-stage "cargo fmt -p sheriff-telemetry --check"
+# the gate covers the crates brought clean so far; widen as more follow.
+CLEAN_CRATES=(sheriff-telemetry sheriff-core sheriff-wire)
+
+stage "cargo fmt --check (${CLEAN_CRATES[*]})"
 if cargo fmt --version >/dev/null 2>&1; then
-    cargo fmt -p sheriff-telemetry -- --check
+    for c in "${CLEAN_CRATES[@]}"; do
+        cargo fmt -p "$c" -- --check
+    done
 else
     echo "rustfmt not installed; skipping"
 fi
 
-stage "cargo clippy -p sheriff-telemetry -D warnings"
+stage "cargo clippy -D warnings (${CLEAN_CRATES[*]})"
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy -p sheriff-telemetry --all-targets -- -D warnings
+    for c in "${CLEAN_CRATES[@]}"; do
+        cargo clippy -p "$c" --all-targets -- -D warnings
+    done
 else
     echo "clippy not installed; skipping"
 fi
@@ -29,5 +35,11 @@ cargo build --workspace --all-targets
 
 stage "tier-1 tests"
 cargo test --workspace --quiet
+
+# The protocol refactor's contract: the DES and TCP backends run the same
+# sans-IO machines, so same seed + same world must yield identical
+# observations. Kept as a named stage so a parity break is unmissable.
+stage "cross-backend parity"
+cargo test -p sheriff-wire --test backend_parity --quiet
 
 stage "CI green"

@@ -181,7 +181,10 @@ pub struct AbVerdict {
 
 /// Runs the pairwise K-S analysis over peers with enough samples.
 pub fn ab_test_analysis(bias: &[PeerBias], min_samples: usize) -> AbVerdict {
-    let eligible: Vec<&PeerBias> = bias.iter().filter(|b| b.diffs.len() >= min_samples).collect();
+    let eligible: Vec<&PeerBias> = bias
+        .iter()
+        .filter(|b| b.diffs.len() >= min_samples)
+        .collect();
     let mut max_d: f64 = 0.0;
     let mut min_p: f64 = 1.0;
     let mut pairs = 0;
@@ -354,7 +357,9 @@ mod tests {
         let mut bias: Vec<PeerBias> = (0..4)
             .map(|peer| PeerBias {
                 peer,
-                diffs: (0..60).map(|i| if i % 2 == 0 { 0.0 } else { 0.05 }).collect(),
+                diffs: (0..60)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { 0.05 })
+                    .collect(),
             })
             .collect();
         bias.push(PeerBias {

@@ -139,11 +139,14 @@ mod tests {
             (
                 vec![
                     ("shop.com".into(), cookie("session")),
-                    ("tracker.example".into(), Cookie {
-                        name: "uid".into(),
-                        value: "1".into(),
-                        third_party: true,
-                    }),
+                    (
+                        "tracker.example".into(),
+                        Cookie {
+                            name: "uid".into(),
+                            value: "1".into(),
+                            third_party: true,
+                        },
+                    ),
                 ],
                 "shop.com/product/9".to_string(),
             )
@@ -167,7 +170,11 @@ mod tests {
             sent = Some(jar.value("shop.com", "loyal_customer").map(str::to_string));
             (vec![], "shop.com/p/1".to_string())
         });
-        assert_eq!(sent.unwrap().as_deref(), Some("v"), "real state exposed to fetch");
+        assert_eq!(
+            sent.unwrap().as_deref(),
+            Some("v"),
+            "real state exposed to fetch"
+        );
     }
 
     #[test]
@@ -178,11 +185,14 @@ mod tests {
         b.apply_cookies(&[("shop.com".into(), cookie("session"))]);
         let report = b.sandboxed_fetch(|_| {
             (
-                vec![("shop.com".into(), Cookie {
-                    name: "session".into(),
-                    value: "POLLUTED".into(),
-                    third_party: false,
-                })],
+                vec![(
+                    "shop.com".into(),
+                    Cookie {
+                        name: "session".into(),
+                        value: "POLLUTED".into(),
+                        third_party: false,
+                    },
+                )],
                 "shop.com/p/2".to_string(),
             )
         });

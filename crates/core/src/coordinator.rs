@@ -10,17 +10,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
 use sheriff_geo::{IpV4, Location};
 use sheriff_telemetry::{panel, Counter, FieldValue, Gauge, Registry};
 
 use crate::whitelist::{Whitelist, WhitelistRejection};
 
 /// Globally unique price-check job identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// Peer (PPC / browser add-on instance) identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PeerId(pub u64);
 
 /// One row of the Measurement-server list (Fig. 6 bottom / Fig. 7 panel).
@@ -135,9 +136,9 @@ impl Coordinator {
         let online = self
             .telemetry
             .gauge(&panel::server_metric(index, addr, port, "online"));
-        let pending = self
-            .telemetry
-            .gauge(&panel::server_metric(index, addr, port, "pending_jobs"));
+        let pending =
+            self.telemetry
+                .gauge(&panel::server_metric(index, addr, port, "pending_jobs"));
         online.set(1);
         pending.set(0);
         self.server_gauges.push(ServerGauges { online, pending });
@@ -254,7 +255,9 @@ impl Coordinator {
             if let Some(s) = self.servers.get_mut(server) {
                 s.pending_jobs = s.pending_jobs.saturating_sub(1);
                 self.jobs_completed.inc();
-                self.server_gauges[server].pending.set(s.pending_jobs as i64);
+                self.server_gauges[server]
+                    .pending
+                    .set(s.pending_jobs as i64);
             }
         }
     }

@@ -59,7 +59,9 @@ impl DbCostModel {
     /// other connections are active: writes serialize once concurrency
     /// exceeds the thread pool.
     pub fn store_cost_ms(&self, rows: usize, concurrent: u32) -> u64 {
-        let queueing = f64::from(concurrent.max(1)).div_euclid(f64::from(self.connection_threads)).max(1.0);
+        let queueing = f64::from(concurrent.max(1))
+            .div_euclid(f64::from(self.connection_threads))
+            .max(1.0);
         let cost = self.connection_setup_ms + rows as f64 * self.write_ms * queueing;
         cost.round() as u64
     }

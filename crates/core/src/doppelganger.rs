@@ -45,6 +45,31 @@ impl std::fmt::Debug for DoppelgangerId {
     }
 }
 
+// Bearer tokens travel inside protocol messages as 64-char hex strings
+// (the vendored serde has no `Deserialize for [u8; 32]`).
+impl serde::Serialize for DoppelgangerId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_hex())
+    }
+}
+
+impl serde::Deserialize for DoppelgangerId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::String(s) = v else {
+            return Err(serde::DeError::new("DoppelgangerId: expected hex string"));
+        };
+        if s.len() != 64 {
+            return Err(serde::DeError::new("DoppelgangerId: expected 64 hex chars"));
+        }
+        let mut id = [0u8; 32];
+        for (i, byte) in id.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|_| serde::DeError::new("DoppelgangerId: bad hex"))?;
+        }
+        Ok(DoppelgangerId(id))
+    }
+}
+
 /// One trained doppelganger.
 #[derive(Clone, Debug)]
 pub struct Doppelganger {
@@ -249,7 +274,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let d = Doppelganger::train(&[2, 0, 5], &universe(), &mut rng);
         assert!(!d.client_state.get("a.com").is_empty());
-        assert!(d.client_state.get("b.com").is_empty(), "zero-weight domain untouched");
+        assert!(
+            d.client_state.get("b.com").is_empty(),
+            "zero-weight domain untouched"
+        );
         assert_eq!(d.client_state.value("c.com", "visit_count"), Some("20"));
     }
 
@@ -260,7 +288,11 @@ mod tests {
         // 8 training visits → budget 2.
         assert_eq!(d.serve("a.com"), FetchMode::RealOwnState);
         assert_eq!(d.serve("a.com"), FetchMode::RealOwnState);
-        assert_eq!(d.serve("a.com"), FetchMode::Doppelganger, "budget exhausted");
+        assert_eq!(
+            d.serve("a.com"),
+            FetchMode::Doppelganger,
+            "budget exhausted"
+        );
     }
 
     #[test]
@@ -296,7 +328,9 @@ mod tests {
         store.train_all(&[vec![1, 1, 1]], &universe(), &mut rng);
         let forged = DoppelgangerId::random(&mut rng);
         assert!(store.client_state(&forged).is_none());
-        assert!(store.serve(&forged, "a.com", &universe(), &mut rng).is_none());
+        assert!(store
+            .serve(&forged, "a.com", &universe(), &mut rng)
+            .is_none());
     }
 
     #[test]

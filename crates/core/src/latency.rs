@@ -115,8 +115,14 @@ mod tests {
         let same_country = median_ms(&mut m, 0, 1);
         let same_region = median_ms(&mut m, 0, 2);
         let cross_region = median_ms(&mut m, 0, 3);
-        assert!(same_country < same_region, "{same_country} vs {same_region}");
-        assert!(same_region < cross_region, "{same_region} vs {cross_region}");
+        assert!(
+            same_country < same_region,
+            "{same_country} vs {same_region}"
+        );
+        assert!(
+            same_region < cross_region,
+            "{same_region} vs {cross_region}"
+        );
     }
 
     #[test]
@@ -125,7 +131,10 @@ mod tests {
         let cloud = median_ms(&mut m, 0, 4);
         let regional = median_ms(&mut m, 0, 2);
         // Within jitter of each other.
-        assert!((cloud as i64 - regional as i64).abs() < 15, "{cloud} vs {regional}");
+        assert!(
+            (cloud as i64 - regional as i64).abs() < 15,
+            "{cloud} vs {regional}"
+        );
     }
 
     #[test]

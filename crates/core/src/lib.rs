@@ -42,6 +42,7 @@ pub mod doppelganger;
 pub mod latency;
 pub mod measurement;
 pub mod pollution;
+pub mod protocol;
 pub mod proxy;
 pub mod records;
 pub mod system;
@@ -49,6 +50,6 @@ pub mod whitelist;
 
 pub use browser::{BrowserProfile, SandboxReport};
 pub use coordinator::{Coordinator, JobId, PeerId};
-pub use records::{PriceObservation, PriceCheck, VantageKind};
+pub use records::{PriceCheck, PriceObservation, VantageKind};
 pub use system::{PriceSheriff, SheriffConfig, SystemVersion};
 pub use whitelist::Whitelist;

@@ -2,6 +2,7 @@
 //! Tags-Path price extraction, currency detection/conversion, and
 //! DiffStorage, as pure functions the `system` nodes drive.
 
+use serde::{Deserialize, Serialize};
 use sheriff_currency::{detect_price_with_hint, Confidence, FixedRates, RateProvider};
 use sheriff_geo::{Country, IpV4};
 use sheriff_html::tagspath::{extract_text_by_path, TagsPath};
@@ -10,7 +11,7 @@ use sheriff_html::{DiffStorage, Document};
 use crate::records::{PriceObservation, VantageKind};
 
 /// Metadata of the vantage point that produced an HTML response.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct VantageMeta {
     /// Vantage kind.
     pub kind: VantageKind,

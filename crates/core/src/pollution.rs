@@ -82,11 +82,7 @@ impl PollutionLedger {
     /// Fraction of visited domains whose budget is exhausted — the
     /// saturation measure that triggers doppelganger regeneration at 50%.
     pub fn saturation(&self) -> f64 {
-        let visited: Vec<_> = self
-            .counts
-            .iter()
-            .filter(|(_, (v, _))| *v > 0)
-            .collect();
+        let visited: Vec<_> = self.counts.iter().filter(|(_, (v, _))| *v > 0).collect();
         if visited.is_empty() {
             return 0.0;
         }
@@ -123,7 +119,11 @@ mod tests {
         assert_eq!(l.decide_and_charge("shop.com"), FetchMode::RealOwnState);
         assert_eq!(l.decide_and_charge("shop.com"), FetchMode::RealOwnState);
         assert_eq!(l.decide_and_charge("shop.com"), FetchMode::Doppelganger);
-        assert_eq!(l.remote_fetches("shop.com"), 2, "doppelganger fetches not charged");
+        assert_eq!(
+            l.remote_fetches("shop.com"),
+            2,
+            "doppelganger fetches not charged"
+        );
     }
 
     #[test]

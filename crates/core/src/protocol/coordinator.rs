@@ -1,0 +1,131 @@
+//! Coordinator role: request admission, server choice, PPC lists,
+//! doppelganger redemption, heartbeats, administration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::coordinator::{Coordinator, PeerId};
+use crate::doppelganger::DoppelgangerStore;
+use crate::protocol::{Address, Output, ProtoMsg};
+
+/// The Coordinator as a sans-IO state machine over the pure
+/// [`Coordinator`] bookkeeping core.
+pub struct CoordinatorProto {
+    /// Whitelist, job issuance, server list, peer registry.
+    pub coordinator: Coordinator,
+    /// Trained doppelgangers served against bearer tokens.
+    pub dopp_store: DoppelgangerStore,
+    /// Domain universe doppelgangers are regenerated over.
+    pub universe: Vec<String>,
+    /// PPCs asked per request (§6.1: "approximately 3").
+    pub ppc_per_request: usize,
+}
+
+impl CoordinatorProto {
+    /// Wraps a configured [`Coordinator`].
+    pub fn new(coordinator: Coordinator, ppc_per_request: usize) -> Self {
+        CoordinatorProto {
+            coordinator,
+            dopp_store: DoppelgangerStore::new(),
+            universe: Vec::new(),
+            ppc_per_request,
+        }
+    }
+
+    /// Feeds one delivered message; commands come back through `out`.
+    pub fn on_message(
+        &mut self,
+        now_ms: u64,
+        from: Address,
+        msg: ProtoMsg,
+        rng: &mut StdRng,
+        out: &mut Vec<Output>,
+    ) {
+        match msg {
+            ProtoMsg::CoordRequest {
+                url,
+                peer,
+                local_tag,
+            } => match self.coordinator.new_request(&url, now_ms) {
+                Ok((job, server_idx)) => {
+                    let server = Address::Server { index: server_idx };
+                    // Step 1.1: PPC list for the initiator's location. The
+                    // deployment got whichever same-location peers happened
+                    // to be online — sample when there is actual choice.
+                    // With at most `ppc_per_request` candidates the sorted
+                    // registry order is used as-is, which keeps the list
+                    // (and hence per-PPC request sequencing) identical
+                    // across backends.
+                    let ppcs: Vec<Address> = match self.coordinator.peer(peer) {
+                        Some(entry) => {
+                            let loc = entry.location.clone();
+                            let mut candidates: Vec<PeerId> =
+                                self.coordinator.peers_near(&loc, peer, usize::MAX);
+                            let k = self.ppc_per_request.min(candidates.len());
+                            if candidates.len() > k {
+                                // Partial Fisher-Yates for the first k slots.
+                                for i in 0..k {
+                                    let j = rng.gen_range(i..candidates.len());
+                                    candidates.swap(i, j);
+                                }
+                            }
+                            candidates.truncate(k);
+                            candidates
+                                .into_iter()
+                                .map(|p| Address::Peer { id: p.0 })
+                                .collect()
+                        }
+                        None => Vec::new(),
+                    };
+                    out.push(Output::send(server, ProtoMsg::PpcList { job, ppcs }));
+                    out.push(Output::send(
+                        from,
+                        ProtoMsg::CoordAssign {
+                            job,
+                            server,
+                            local_tag,
+                        },
+                    ));
+                }
+                Err(e) => out.push(Output::send(
+                    from,
+                    ProtoMsg::CoordReject {
+                        local_tag,
+                        reason: format!("{e:?}"),
+                    },
+                )),
+            },
+            ProtoMsg::JobComplete { job } => self.coordinator.job_complete(job),
+            ProtoMsg::Heartbeat { server_index } => {
+                self.coordinator.heartbeat(server_index, now_ms);
+            }
+            ProtoMsg::DoppStateRequest { job, token, domain } => {
+                let state = self
+                    .dopp_store
+                    .serve(&token, &domain, &self.universe, rng)
+                    .and_then(|(new_token, _mode)| {
+                        if new_token != token {
+                            out.push(Output::send(
+                                Address::Aggregator,
+                                ProtoMsg::TokenRotated {
+                                    old: token,
+                                    new: new_token,
+                                },
+                            ));
+                        }
+                        self.dopp_store.client_state(&new_token).cloned()
+                    });
+                out.push(Output::send(from, ProtoMsg::DoppStateReply { job, state }));
+            }
+            ProtoMsg::RemoveServer { index } => {
+                self.coordinator.expire_heartbeats(now_ms);
+                let removed = self.coordinator.remove_server(index);
+                out.push(Output::send(
+                    from,
+                    ProtoMsg::ServerRemoved { index, removed },
+                ));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Database-server role (v2): store assembled checks under a modeled
+//! concurrency-sensitive cost, then ack.
+
+use std::collections::HashMap;
+
+use crate::coordinator::JobId;
+use crate::db::{Database, DbCostModel};
+use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
+
+/// Observable outcomes for the driver's telemetry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DbEvent {
+    /// A store query was accepted and scheduled.
+    QueryScheduled {
+        /// Modeled cost of this store, ms.
+        cost_ms: u64,
+        /// Queries in flight (including this one).
+        active: u32,
+    },
+    /// A store query finished.
+    QueryDone {
+        /// Queries still in flight.
+        active: u32,
+    },
+}
+
+/// The dedicated Database server as a sans-IO state machine.
+pub struct DbProto {
+    /// The in-memory store itself.
+    pub database: Database,
+    cost: DbCostModel,
+    active: u32,
+    pending: HashMap<JobId, Address>,
+}
+
+impl DbProto {
+    /// A fresh empty database under `cost`.
+    pub fn new(cost: DbCostModel) -> Self {
+        DbProto {
+            database: Database::new(),
+            cost,
+            active: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Feeds one delivered message.
+    pub fn on_message(
+        &mut self,
+        from: Address,
+        msg: ProtoMsg,
+        out: &mut Vec<Output>,
+        events: &mut Vec<DbEvent>,
+    ) {
+        if let ProtoMsg::StoreCheck { job, check } = msg {
+            self.active += 1;
+            let cost = self
+                .cost
+                .store_cost_ms(check.observations.len(), self.active);
+            self.database.store(*check);
+            self.pending.insert(job, from);
+            events.push(DbEvent::QueryScheduled {
+                cost_ms: cost,
+                active: self.active,
+            });
+            out.push(Output::Timer {
+                delay_ms: cost,
+                kind: TimerKind::DbDone(job),
+            });
+        }
+    }
+
+    /// Feeds one fired timer.
+    pub fn on_timer(&mut self, kind: TimerKind, out: &mut Vec<Output>, events: &mut Vec<DbEvent>) {
+        let TimerKind::DbDone(job) = kind else {
+            return;
+        };
+        self.active = self.active.saturating_sub(1);
+        events.push(DbEvent::QueryDone {
+            active: self.active,
+        });
+        if let Some(requester) = self.pending.remove(&job) {
+            out.push(Output::send(requester, ProtoMsg::DbAck { job }));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! IPC role: clean-browser fetches from a fixed vantage point.
+
+use sheriff_market::World;
+
+use crate::measurement::VantageMeta;
+use crate::protocol::{day_of_ms, quarter_of_ms, Address, Output, ProtoMsg};
+use crate::proxy::IpcEngine;
+use crate::records::VantageKind;
+
+/// An Infrastructure Proxy Client as a sans-IO state machine. The world
+/// is passed per call: content generation is immediate, only fetch
+/// *timing* belongs to the transport (the [`Output::SendFetched`] hint).
+pub struct IpcProto {
+    /// The fetch engine (identity, location, user agent).
+    pub engine: IpcEngine,
+    /// City label for observations, when known.
+    pub city: Option<String>,
+}
+
+impl IpcProto {
+    /// Feeds one delivered message.
+    pub fn on_message(
+        &mut self,
+        now_ms: u64,
+        from: Address,
+        msg: ProtoMsg,
+        world: &mut World,
+        out: &mut Vec<Output>,
+    ) {
+        let ProtoMsg::FetchOrder {
+            job,
+            domain,
+            product,
+            seq,
+        } = msg
+        else {
+            return;
+        };
+        let day = day_of_ms(now_ms);
+        let quarter = quarter_of_ms(now_ms);
+        let Some(fetch) = self
+            .engine
+            .fetch(world, &domain, product, day, quarter, now_ms, seq)
+        else {
+            return;
+        };
+        let meta = VantageMeta {
+            kind: VantageKind::Ipc,
+            id: self.engine.id,
+            country: self.engine.country,
+            city: self.city.clone(),
+            ip: self.engine.ip,
+        };
+        out.push(Output::SendFetched {
+            to: from,
+            msg: ProtoMsg::FetchReply {
+                job,
+                meta,
+                html: fetch.html,
+            },
+        });
+    }
+}

@@ -1,0 +1,424 @@
+//! Measurement-server role: fan-out, reply collection, extraction and
+//! assembly on a modeled shared CPU, persistence, result streaming.
+
+use std::collections::HashMap;
+
+use sheriff_currency::FixedRates;
+use sheriff_html::tagspath::TagsPath;
+use sheriff_market::ProductId;
+
+use crate::coordinator::JobId;
+use crate::db::{Database, DbCostModel};
+use crate::measurement::{process_response, JobPageStore};
+use crate::protocol::{day_of_ms, Address, Output, ProtoMsg, TimerKind};
+use crate::records::{PriceCheck, PriceObservation};
+
+/// Observable outcomes the driver may turn into telemetry. The state
+/// machine stays instrumentation-free; the DES adapter maps these onto
+/// its counters/histograms/spans, the TCP adapter ignores most of them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MeasEvent {
+    /// A proxy reply arrived in time and was folded into the job.
+    ReplyAccepted {
+        /// Virtual/real ms since the job's fan-out.
+        since_fanout_ms: u64,
+    },
+    /// A reply arrived after assembly (or for an unknown job).
+    ReplyLate,
+    /// Extraction/assembly was scheduled on the shared CPU.
+    AssemblyScheduled {
+        /// Total modeled CPU charge, ms (includes `db_ms` when integrated).
+        proc_ms: f64,
+        /// v1 integrated-RDBMS share of the charge.
+        db_ms: Option<f64>,
+        /// Jobs still unassembled after this one left the pool.
+        active_jobs: usize,
+    },
+    /// A job finished: results streamed, completion reported.
+    JobFinished {
+        /// The finished job.
+        job: JobId,
+        /// DiffStorage bytes actually stored.
+        stored: usize,
+        /// Bytes the full pages would have taken.
+        full: usize,
+        /// Proxy replies received.
+        received: usize,
+        /// When the fan-out happened (span start).
+        fanout_at_ms: u64,
+        /// Jobs still unassembled.
+        active_jobs: usize,
+    },
+}
+
+struct JobState {
+    domain: String,
+    product: ProductId,
+    tags_path: TagsPath,
+    page_store: JobPageStore,
+    observations: Vec<PriceObservation>,
+    initiator: Address,
+    expected: usize,
+    received: usize,
+    day: u32,
+    fanned_out: bool,
+    /// Millisecond time the FetchOrders went out (span start).
+    fanout_at_ms: u64,
+    ppcs: Option<Vec<Address>>,
+    submit: Option<Box<SubmitData>>,
+    assembled: bool,
+}
+
+struct SubmitData {
+    tags_path: TagsPath,
+    initiator_html: String,
+    initiator_obs: PriceObservation,
+    domain: String,
+    product: ProductId,
+    initiator: Address,
+}
+
+/// Construction parameters for [`MeasurementProto`].
+pub struct MeasurementParams {
+    /// Index in the Coordinator's server list.
+    pub index: usize,
+    /// Every IPC to fan out to.
+    pub ipcs: Vec<Address>,
+    /// Conversion rates for extraction.
+    pub rates: FixedRates,
+    /// Currency of the result page.
+    pub target_currency: String,
+    /// Modeled CPU per response processed, ms.
+    pub proc_per_reply_ms: f64,
+    /// Context-switch degradation per concurrent job.
+    pub context_switch_alpha: f64,
+    /// Give-up deadline for outstanding fetches, ms.
+    pub job_deadline_ms: u64,
+    /// Database cost model.
+    pub db_cost: DbCostModel,
+    /// v1: the RDBMS shares this server's CPU.
+    pub integrated_db: bool,
+    /// Liveness beacon period, ms.
+    pub heartbeat_every_ms: u64,
+}
+
+/// The Measurement server as a sans-IO state machine.
+pub struct MeasurementProto {
+    index: usize,
+    ipcs: Vec<Address>,
+    jobs: HashMap<JobId, JobState>,
+    rates: FixedRates,
+    target_currency: String,
+    proc_per_reply_ms: f64,
+    context_switch_alpha: f64,
+    job_deadline_ms: u64,
+    db_cost: DbCostModel,
+    integrated_db: bool,
+    /// v1 integrated storage (v2 keeps it on the Database server).
+    pub database: Database,
+    cpu_free_at_ms: u64,
+    heartbeat_every_ms: u64,
+}
+
+impl MeasurementProto {
+    /// Builds the machine from its parameters.
+    pub fn new(params: MeasurementParams) -> Self {
+        MeasurementProto {
+            index: params.index,
+            ipcs: params.ipcs,
+            jobs: HashMap::new(),
+            rates: params.rates,
+            target_currency: params.target_currency,
+            proc_per_reply_ms: params.proc_per_reply_ms,
+            context_switch_alpha: params.context_switch_alpha,
+            job_deadline_ms: params.job_deadline_ms,
+            db_cost: params.db_cost,
+            integrated_db: params.integrated_db,
+            database: Database::new(),
+            cpu_free_at_ms: 0,
+            heartbeat_every_ms: params.heartbeat_every_ms,
+        }
+    }
+
+    fn active_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| !j.assembled).count()
+    }
+
+    fn blank_job(from: Address, now_ms: u64) -> JobState {
+        JobState {
+            domain: String::new(),
+            product: ProductId(0),
+            tags_path: TagsPath { steps: vec![] },
+            page_store: JobPageStore::new(""),
+            observations: Vec::new(),
+            initiator: from,
+            expected: usize::MAX,
+            received: 0,
+            day: day_of_ms(now_ms),
+            fanned_out: false,
+            fanout_at_ms: 0,
+            ppcs: None,
+            submit: None,
+            assembled: false,
+        }
+    }
+
+    fn try_fan_out(&mut self, now_ms: u64, job: JobId, out: &mut Vec<Output>) {
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if state.fanned_out || state.submit.is_none() || state.ppcs.is_none() {
+            return;
+        }
+        let submit = state.submit.take().expect("checked");
+        let ppcs = state.ppcs.clone().expect("checked");
+
+        state.domain = submit.domain.clone();
+        state.product = submit.product;
+        state.tags_path = submit.tags_path.clone();
+        state.page_store = JobPageStore::new(&submit.initiator_html);
+        state.observations.push(submit.initiator_obs);
+        state.initiator = submit.initiator;
+        state.fanned_out = true;
+        state.fanout_at_ms = now_ms;
+        state.expected = self.ipcs.len() + ppcs.len();
+
+        let mut seq = job.0 * 100;
+        for &ipc in &self.ipcs {
+            seq += 1;
+            out.push(Output::send(
+                ipc,
+                ProtoMsg::FetchOrder {
+                    job,
+                    domain: submit.domain.clone(),
+                    product: submit.product,
+                    seq,
+                },
+            ));
+        }
+        for &ppc in &ppcs {
+            seq += 1;
+            out.push(Output::send(
+                ppc,
+                ProtoMsg::FetchOrder {
+                    job,
+                    domain: submit.domain.clone(),
+                    product: submit.product,
+                    seq,
+                },
+            ));
+        }
+        out.push(Output::Timer {
+            delay_ms: self.job_deadline_ms,
+            kind: TimerKind::JobDeadline(job),
+        });
+    }
+
+    /// All replies in (or deadline): charge CPU for extraction and schedule
+    /// the proc-done timer on the shared-CPU queue.
+    fn begin_assembly(
+        &mut self,
+        now_ms: u64,
+        job: JobId,
+        out: &mut Vec<Output>,
+        events: &mut Vec<MeasEvent>,
+    ) {
+        let active = self.active_jobs();
+        let Some(state) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if state.assembled {
+            return;
+        }
+        state.assembled = true;
+        let cs_factor = 1.0 + self.context_switch_alpha * (active.saturating_sub(1)) as f64;
+        let mut proc_ms = self.proc_per_reply_ms * (state.received + 1) as f64 * cs_factor;
+        let mut db_ms = None;
+        if self.integrated_db {
+            // v1: the RDBMS shares the CPU — its cost rides the same queue.
+            let cost = self.db_cost.store_cost_ms(
+                state.observations.len().max(state.received + 1),
+                active as u32,
+            ) as f64;
+            db_ms = Some(cost);
+            proc_ms += cost;
+        }
+        let start = self.cpu_free_at_ms.max(now_ms);
+        let done = start + proc_ms.round() as u64;
+        self.cpu_free_at_ms = done;
+        events.push(MeasEvent::AssemblyScheduled {
+            proc_ms,
+            db_ms,
+            active_jobs: self.active_jobs(),
+        });
+        out.push(Output::Timer {
+            delay_ms: done - now_ms,
+            kind: TimerKind::ProcDone(job),
+        });
+    }
+
+    fn finish_job(
+        &mut self,
+        _now_ms: u64,
+        job: JobId,
+        out: &mut Vec<Output>,
+        events: &mut Vec<MeasEvent>,
+    ) {
+        let Some(state) = self.jobs.remove(&job) else {
+            return;
+        };
+        let (stored, full) = state.page_store.accounting();
+        events.push(MeasEvent::JobFinished {
+            job,
+            stored,
+            full,
+            received: state.received,
+            fanout_at_ms: state.fanout_at_ms,
+            active_jobs: self.active_jobs(),
+        });
+        let check = PriceCheck {
+            job_id: job.0,
+            domain: state.domain.clone(),
+            url: format!("{}/product/{}", state.domain, state.product.0),
+            day: state.day,
+            observations: state.observations,
+        };
+        if self.integrated_db {
+            self.database.store(check.clone());
+        }
+        out.push(Output::send(
+            Address::Coordinator,
+            ProtoMsg::JobComplete { job },
+        ));
+        out.push(Output::send(
+            state.initiator,
+            ProtoMsg::Results {
+                job,
+                check: Box::new(check),
+            },
+        ));
+    }
+
+    /// Feeds one delivered message; commands through `out`, observable
+    /// outcomes through `events`.
+    pub fn on_message(
+        &mut self,
+        now_ms: u64,
+        from: Address,
+        msg: ProtoMsg,
+        out: &mut Vec<Output>,
+        events: &mut Vec<MeasEvent>,
+    ) {
+        match msg {
+            ProtoMsg::PpcList { job, ppcs } => {
+                let state = self
+                    .jobs
+                    .entry(job)
+                    .or_insert_with(|| Self::blank_job(from, now_ms));
+                state.ppcs = Some(ppcs);
+                self.try_fan_out(now_ms, job, out);
+            }
+            ProtoMsg::JobSubmit {
+                job,
+                domain,
+                product,
+                tags_path,
+                initiator_html,
+                initiator_obs,
+            } => {
+                let state = self
+                    .jobs
+                    .entry(job)
+                    .or_insert_with(|| Self::blank_job(from, now_ms));
+                state.submit = Some(Box::new(SubmitData {
+                    tags_path,
+                    initiator_html,
+                    initiator_obs: *initiator_obs,
+                    domain,
+                    product,
+                    initiator: from,
+                }));
+                self.try_fan_out(now_ms, job, out);
+            }
+            ProtoMsg::FetchReply { job, meta, html } => {
+                let Some(state) = self.jobs.get_mut(&job) else {
+                    events.push(MeasEvent::ReplyLate); // after deadline assembly
+                    return;
+                };
+                if state.assembled {
+                    events.push(MeasEvent::ReplyLate);
+                    return;
+                }
+                events.push(MeasEvent::ReplyAccepted {
+                    since_fanout_ms: now_ms.saturating_sub(state.fanout_at_ms),
+                });
+                let obs = process_response(
+                    &html,
+                    &state.tags_path,
+                    &meta,
+                    &self.target_currency,
+                    &self.rates,
+                );
+                state.page_store.store_response(&html);
+                state.observations.push(obs);
+                state.received += 1;
+                if state.received >= state.expected {
+                    self.begin_assembly(now_ms, job, out, events);
+                }
+            }
+            ProtoMsg::DbAck { job } => self.finish_job(now_ms, job, out, events),
+            _ => {}
+        }
+    }
+
+    /// Feeds one fired timer.
+    pub fn on_timer(
+        &mut self,
+        now_ms: u64,
+        kind: TimerKind,
+        out: &mut Vec<Output>,
+        events: &mut Vec<MeasEvent>,
+    ) {
+        match kind {
+            TimerKind::Heartbeat => {
+                out.push(Output::send(
+                    Address::Coordinator,
+                    ProtoMsg::Heartbeat {
+                        server_index: self.index,
+                    },
+                ));
+                out.push(Output::Timer {
+                    delay_ms: self.heartbeat_every_ms,
+                    kind: TimerKind::Heartbeat,
+                });
+            }
+            // Assemble with whatever arrived (§10.3's corrective path).
+            TimerKind::JobDeadline(job) if self.jobs.get(&job).is_some_and(|s| !s.assembled) => {
+                self.begin_assembly(now_ms, job, out, events);
+            }
+            TimerKind::JobDeadline(_) => {}
+            TimerKind::ProcDone(job) => {
+                if self.integrated_db {
+                    // DB cost already charged on the CPU queue.
+                    self.finish_job(now_ms, job, out, events);
+                } else if let Some(state) = self.jobs.get(&job) {
+                    let check = PriceCheck {
+                        job_id: job.0,
+                        domain: state.domain.clone(),
+                        url: format!("{}/product/{}", state.domain, state.product.0),
+                        day: state.day,
+                        observations: state.observations.clone(),
+                    };
+                    out.push(Output::send(
+                        Address::Database,
+                        ProtoMsg::StoreCheck {
+                            job,
+                            check: Box::new(check),
+                        },
+                    ));
+                }
+            }
+            TimerKind::DbDone(job) => self.finish_job(now_ms, job, out, events),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The unified §3.2 protocol message set.
+//!
+//! One enum serves both backends: the discrete-event simulator carries
+//! [`ProtoMsg`] values in memory, the TCP deployment serializes them as
+//! internally-tagged JSON (`{"type": "coord_request", ...}`) inside
+//! length-prefixed frames. This replaces the old parallel pair of
+//! `system::Msg` (sim-only) and `wire::proto::WireMsg` (TCP-only),
+//! which had already drifted apart.
+
+use serde::{Deserialize, Serialize};
+
+use sheriff_html::tagspath::TagsPath;
+use sheriff_market::{CookieJar, ProductId};
+
+use crate::coordinator::{JobId, PeerId};
+use crate::doppelganger::DoppelgangerId;
+use crate::measurement::VantageMeta;
+use crate::protocol::Address;
+use crate::records::{PriceCheck, PriceObservation};
+
+/// Every message of the §3.2 price-check protocol, plus the deployment
+/// control plane (shutdown, server administration).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ProtoMsg {
+    /// User highlighted a price (injected at the initiating add-on).
+    StartCheck {
+        /// Retailer domain.
+        domain: String,
+        /// Product to check.
+        product: ProductId,
+        /// Initiator-local request tag.
+        local_tag: u64,
+    },
+    /// Add-on → Coordinator (step 1).
+    CoordRequest {
+        /// Full product URL.
+        url: String,
+        /// Requesting peer.
+        peer: PeerId,
+        /// Echoed tag.
+        local_tag: u64,
+    },
+    /// Coordinator → add-on (step 2).
+    CoordAssign {
+        /// Minted job.
+        job: JobId,
+        /// Chosen Measurement server.
+        server: Address,
+        /// Echoed tag.
+        local_tag: u64,
+    },
+    /// Coordinator → add-on: request refused.
+    CoordReject {
+        /// Echoed tag.
+        local_tag: u64,
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Coordinator → Measurement server (step 1.1).
+    PpcList {
+        /// Job the list belongs to.
+        job: JobId,
+        /// Same-location peers to ask.
+        ppcs: Vec<Address>,
+    },
+    /// Add-on → Measurement server (step 3).
+    JobSubmit {
+        /// Job id.
+        job: JobId,
+        /// Retailer domain.
+        domain: String,
+        /// Product.
+        product: ProductId,
+        /// The Tags Path built at selection time.
+        tags_path: TagsPath,
+        /// The initiator's own page (DiffStorage base).
+        initiator_html: String,
+        /// The initiator's own observation.
+        initiator_obs: Box<PriceObservation>,
+    },
+    /// Measurement server → proxy (steps 3.1/3.2).
+    FetchOrder {
+        /// Job id.
+        job: JobId,
+        /// Retailer domain.
+        domain: String,
+        /// Product.
+        product: ProductId,
+        /// Per-vantage request sequence (drives per-request A/B arms).
+        seq: u64,
+    },
+    /// Proxy → Measurement server.
+    FetchReply {
+        /// Job id.
+        job: JobId,
+        /// Vantage metadata.
+        meta: VantageMeta,
+        /// Fetched HTML.
+        html: String,
+    },
+    /// PPC → Aggregator (step 3.3).
+    DoppIdRequest {
+        /// Job the fetch belongs to.
+        job: JobId,
+        /// Requesting peer.
+        peer: u64,
+    },
+    /// Aggregator → PPC.
+    DoppIdReply {
+        /// Job echo.
+        job: JobId,
+        /// The bearer token, if the peer is clustered.
+        token: Option<DoppelgangerId>,
+    },
+    /// PPC → Coordinator (step 3.4, anonymized in deployment).
+    DoppStateRequest {
+        /// Job echo.
+        job: JobId,
+        /// Bearer token.
+        token: DoppelgangerId,
+        /// Domain the fetch targets (budget accounting).
+        domain: String,
+    },
+    /// Coordinator → PPC.
+    DoppStateReply {
+        /// Job echo.
+        job: JobId,
+        /// Client-side state, if the token was valid.
+        state: Option<CookieJar>,
+    },
+    /// Coordinator → Aggregator: a token rotated after regeneration.
+    TokenRotated {
+        /// Old token.
+        old: DoppelgangerId,
+        /// New token.
+        new: DoppelgangerId,
+    },
+    /// Measurement server → Database server (step 4, v2 only).
+    StoreCheck {
+        /// Job id.
+        job: JobId,
+        /// The assembled check.
+        check: Box<PriceCheck>,
+    },
+    /// Database server → Measurement server.
+    DbAck {
+        /// Job id.
+        job: JobId,
+    },
+    /// Measurement server → Coordinator (Fig. 6 step 4).
+    JobComplete {
+        /// Finished job.
+        job: JobId,
+    },
+    /// Measurement server → add-on (step 5).
+    Results {
+        /// Job id.
+        job: JobId,
+        /// The full result set (the Fig. 2 page's data).
+        check: Box<PriceCheck>,
+    },
+    /// Measurement server → Coordinator liveness.
+    Heartbeat {
+        /// Index in the Coordinator's server list.
+        server_index: usize,
+    },
+    /// Admin → Coordinator: decommission a Measurement server. The
+    /// Coordinator refuses while the server's job queue is non-empty.
+    RemoveServer {
+        /// Index in the Coordinator's server list.
+        index: usize,
+    },
+    /// Coordinator → admin: outcome of a [`ProtoMsg::RemoveServer`].
+    ServerRemoved {
+        /// Echoed index.
+        index: usize,
+        /// Whether the server was actually taken offline.
+        removed: bool,
+    },
+    /// Deployment control: stop the receiving node's event loop.
+    Shutdown,
+}

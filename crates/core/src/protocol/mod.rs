@@ -1,0 +1,195 @@
+//! The §3.2 price-check protocol as transport-agnostic (sans-IO) state
+//! machines.
+//!
+//! Every system role — Coordinator, Aggregator, Measurement server,
+//! Database server, IPC, PPC/add-on — is a plain struct that consumes
+//! typed input events (`on_message` / `on_timer`) and emits
+//! [`Output`] commands: `(destination, message)` pairs plus timer
+//! requests. The machines know nothing about the netsim simulator or
+//! TCP sockets; `core::system` drives them over the discrete-event
+//! simulator and `sheriff_wire::deploy` drives the *same* machines over
+//! framed TCP, so protocol semantics (job assignment, fan-out,
+//! pollution budgets, doppelganger redemption) cannot drift between
+//! backends.
+//!
+//! Destinations are logical [`Address`]es; each backend owns the
+//! mapping to its transport endpoints (netsim `NodeId`s, socket
+//! addresses). Time enters as plain milliseconds: virtual [`SimTime`]
+//! on the DES, elapsed wall-clock on TCP. Randomness enters as an
+//! explicit `&mut StdRng` owned by the driver, which keeps DES runs
+//! seed-deterministic.
+//!
+//! [`SimTime`]: sheriff_netsim::SimTime
+
+use serde::{Deserialize, Serialize};
+
+use crate::coordinator::JobId;
+
+mod aggregator;
+mod coordinator;
+mod database;
+mod ipc;
+mod measurement;
+pub mod messages;
+mod peer;
+
+pub use aggregator::AggregatorProto;
+pub use coordinator::CoordinatorProto;
+pub use database::{DbEvent, DbProto};
+pub use ipc::IpcProto;
+pub use measurement::{MeasEvent, MeasurementParams, MeasurementProto};
+pub use messages::ProtoMsg;
+pub use peer::{CompletedProtoCheck, PeerProto};
+
+/// Logical destination of a protocol message, independent of transport.
+///
+/// Struct variants throughout: the vendored serde derive supports only
+/// unit and struct variants inside internally-tagged enums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(tag = "role", rename_all = "snake_case")]
+pub enum Address {
+    /// The Coordinator (one per deployment).
+    Coordinator,
+    /// The Aggregator (one per deployment).
+    Aggregator,
+    /// The dedicated Database server (v2 only).
+    Database,
+    /// Measurement server `index` (the Coordinator's server-list index).
+    Server {
+        /// Index in the Coordinator's server list.
+        index: usize,
+    },
+    /// Infrastructure Proxy Client `index`.
+    Ipc {
+        /// Index into the configured IPC locations.
+        index: usize,
+    },
+    /// PPC / browser add-on of peer `id`.
+    Peer {
+        /// Stable peer id.
+        id: u64,
+    },
+}
+
+/// A timer a state machine asked its driver to arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Give-up deadline for a job's outstanding fetches.
+    JobDeadline(JobId),
+    /// Modeled extraction/assembly CPU time elapsed.
+    ProcDone(JobId),
+    /// Modeled database store time elapsed.
+    DbDone(JobId),
+    /// Periodic Measurement-server liveness beacon.
+    Heartbeat,
+}
+
+const TIMER_DEADLINE: u64 = 0;
+const TIMER_PROC_DONE: u64 = 1;
+const TIMER_DB_DONE: u64 = 2;
+const TIMER_HEARTBEAT: u64 = 3;
+
+impl TimerKind {
+    /// Packs the timer into the u64 token space drivers carry
+    /// (`job * 8 + kind`; the bare token 3 is the heartbeat).
+    pub fn token(self) -> u64 {
+        match self {
+            TimerKind::JobDeadline(job) => job.0 * 8 + TIMER_DEADLINE,
+            TimerKind::ProcDone(job) => job.0 * 8 + TIMER_PROC_DONE,
+            TimerKind::DbDone(job) => job.0 * 8 + TIMER_DB_DONE,
+            TimerKind::Heartbeat => TIMER_HEARTBEAT,
+        }
+    }
+
+    /// Inverse of [`TimerKind::token`]. Unknown kinds map to `None`.
+    pub fn from_token(token: u64) -> Option<TimerKind> {
+        if token == TIMER_HEARTBEAT {
+            return Some(TimerKind::Heartbeat);
+        }
+        let job = JobId(token / 8);
+        match token % 8 {
+            TIMER_DEADLINE => Some(TimerKind::JobDeadline(job)),
+            TIMER_PROC_DONE => Some(TimerKind::ProcDone(job)),
+            TIMER_DB_DONE => Some(TimerKind::DbDone(job)),
+            _ => None,
+        }
+    }
+}
+
+/// One command a state machine hands back to its driver.
+#[derive(Debug)]
+pub enum Output {
+    /// Deliver `msg` to `to` over the transport.
+    Send {
+        /// Logical destination.
+        to: Address,
+        /// Payload.
+        msg: ProtoMsg,
+    },
+    /// Deliver the result of a page fetch: the transport incurs (DES:
+    /// samples; TCP: actually spends) the proxy fetch latency first.
+    SendFetched {
+        /// Logical destination.
+        to: Address,
+        /// Payload (always a `FetchReply`).
+        msg: ProtoMsg,
+    },
+    /// Arm a timer that fires back into `on_timer` after `delay_ms`.
+    Timer {
+        /// Delay in (virtual or real) milliseconds.
+        delay_ms: u64,
+        /// Which timer.
+        kind: TimerKind,
+    },
+}
+
+impl Output {
+    /// Shorthand for [`Output::Send`].
+    pub fn send(to: Address, msg: ProtoMsg) -> Output {
+        Output::Send { to, msg }
+    }
+}
+
+/// Day index derived from a millisecond clock (§6's study calendar).
+pub fn day_of_ms(now_ms: u64) -> u32 {
+    (now_ms / 86_400_000) as u32
+}
+
+/// Quarter-of-day index derived from a millisecond clock.
+pub fn quarter_of_ms(now_ms: u64) -> u8 {
+    ((now_ms % 86_400_000) / 21_600_000) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tokens_round_trip() {
+        let kinds = [
+            TimerKind::JobDeadline(JobId(1)),
+            TimerKind::ProcDone(JobId(7)),
+            TimerKind::DbDone(JobId(123)),
+            TimerKind::Heartbeat,
+        ];
+        for k in kinds {
+            assert_eq!(TimerKind::from_token(k.token()), Some(k));
+        }
+        assert_eq!(TimerKind::from_token(5), None);
+    }
+
+    #[test]
+    fn address_serde_round_trips() {
+        for a in [
+            Address::Coordinator,
+            Address::Aggregator,
+            Address::Database,
+            Address::Server { index: 3 },
+            Address::Ipc { index: 17 },
+            Address::Peer { id: 42 },
+        ] {
+            let v = serde::Serialize::to_value(&a);
+            assert_eq!(<Address as serde::Deserialize>::from_value(&v), Ok(a));
+        }
+    }
+}

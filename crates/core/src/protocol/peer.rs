@@ -1,0 +1,332 @@
+//! PPC / browser-add-on role: initiating price checks, serving remote
+//! fetches under the pollution budget, doppelganger redemption.
+
+use std::collections::HashMap;
+
+use sheriff_html::tagspath::TagsPath;
+use sheriff_html::Document;
+use sheriff_market::{CookieJar, ProductId, World};
+
+use crate::coordinator::{JobId, PeerId};
+use crate::measurement::{process_response, VantageMeta};
+use crate::pollution::FetchMode;
+use crate::protocol::{day_of_ms, quarter_of_ms, Address, Output, ProtoMsg};
+use crate::proxy::PpcEngine;
+use crate::records::{PriceCheck, VantageKind};
+
+/// A completed price check as recorded by the initiating add-on.
+#[derive(Clone, Debug)]
+pub struct CompletedProtoCheck {
+    /// The result set.
+    pub check: PriceCheck,
+    /// Initiator-local request tag.
+    pub local_tag: u64,
+    /// Millisecond time the user clicked.
+    pub submitted_ms: u64,
+    /// Millisecond time the result page finished.
+    pub completed_ms: u64,
+}
+
+struct PendingFetch {
+    reply_to: Address,
+    domain: String,
+    product: ProductId,
+    seq: u64,
+}
+
+/// The PPC / browser add-on as a sans-IO state machine.
+pub struct PeerProto {
+    /// Browser state, pollution ledger, identity.
+    pub engine: PpcEngine,
+    /// City label for observations, when known.
+    pub city: Option<String>,
+    /// Currency of the result page.
+    pub target_currency: String,
+    /// Ask for doppelganger state when over budget.
+    pub doppelgangers_enabled: bool,
+    /// Own requests in flight: local_tag → (domain, product, submitted_ms).
+    own_pending: HashMap<u64, (String, ProductId, u64)>,
+    /// Jobs assigned: job → local_tag (to find submit data).
+    job_tags: HashMap<JobId, u64>,
+    /// Remote fetches waiting on doppelganger state.
+    dopp_pending: HashMap<JobId, PendingFetch>,
+    /// Completed own checks, in completion order.
+    pub completed: Vec<CompletedProtoCheck>,
+    /// Rejected own checks: (local_tag, reason).
+    pub rejected: Vec<(u64, String)>,
+    /// `ServerRemoved` acks observed (when this peer plays admin).
+    pub server_removals: Vec<(usize, bool)>,
+    /// Sandbox failures observed while serving (must stay 0).
+    pub sandbox_violations: usize,
+    /// Remote fetches served per mode: [clean, real-state, doppelganger].
+    pub fetches_by_mode: [u64; 3],
+}
+
+impl PeerProto {
+    /// Wraps a configured engine.
+    pub fn new(
+        engine: PpcEngine,
+        city: Option<String>,
+        target_currency: String,
+        doppelgangers_enabled: bool,
+    ) -> Self {
+        PeerProto {
+            engine,
+            city,
+            target_currency,
+            doppelgangers_enabled,
+            own_pending: HashMap::new(),
+            job_tags: HashMap::new(),
+            dopp_pending: HashMap::new(),
+            completed: Vec::new(),
+            rejected: Vec::new(),
+            server_removals: Vec::new(),
+            sandbox_violations: 0,
+            fetches_by_mode: [0; 3],
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the FetchOrder fields
+    fn serve_fetch(
+        &mut self,
+        now_ms: u64,
+        job: JobId,
+        reply_to: Address,
+        domain: &str,
+        product: ProductId,
+        seq: u64,
+        dopp_state: Option<&CookieJar>,
+        world: &mut World,
+        out: &mut Vec<Output>,
+    ) {
+        let day = day_of_ms(now_ms);
+        let quarter = quarter_of_ms(now_ms);
+        let Some(fetch) = self.engine.remote_fetch(
+            world, domain, product, day, quarter, now_ms, seq, dopp_state,
+        ) else {
+            return;
+        };
+        if fetch.sandbox.is_some_and(|r| !r.is_clean()) {
+            self.sandbox_violations += 1;
+        }
+        self.fetches_by_mode[match fetch.mode {
+            FetchMode::CleanOwnState => 0,
+            FetchMode::RealOwnState => 1,
+            FetchMode::Doppelganger => 2,
+        }] += 1;
+        let meta = VantageMeta {
+            kind: VantageKind::Ppc,
+            id: self.engine.peer_id,
+            country: self.engine.country,
+            city: self.city.clone(),
+            ip: self.engine.ip,
+        };
+        out.push(Output::SendFetched {
+            to: reply_to,
+            msg: ProtoMsg::FetchReply {
+                job,
+                meta,
+                html: fetch.html,
+            },
+        });
+    }
+
+    /// Feeds one delivered message.
+    #[allow(clippy::too_many_lines)] // one arm per protocol step
+    pub fn on_message(
+        &mut self,
+        now_ms: u64,
+        from: Address,
+        msg: ProtoMsg,
+        world: &mut World,
+        out: &mut Vec<Output>,
+    ) {
+        match msg {
+            ProtoMsg::StartCheck {
+                domain,
+                product,
+                local_tag,
+            } => {
+                self.own_pending
+                    .insert(local_tag, (domain.clone(), product, now_ms));
+                let url = format!("{domain}/product/{}", product.0);
+                out.push(Output::send(
+                    Address::Coordinator,
+                    ProtoMsg::CoordRequest {
+                        url,
+                        peer: PeerId(self.engine.peer_id),
+                        local_tag,
+                    },
+                ));
+            }
+            ProtoMsg::CoordAssign {
+                job,
+                server,
+                local_tag,
+            } => {
+                // Any failure to produce a selection (CAPTCHA on the
+                // initiator's own fetch, vanished product page) must
+                // release the job at the Coordinator, or its pending
+                // counter would leak (§10.3's corrective concern).
+                let abort = |me: &mut Self, out: &mut Vec<Output>| {
+                    me.own_pending.remove(&local_tag);
+                    me.job_tags.remove(&job);
+                    out.push(Output::send(
+                        Address::Coordinator,
+                        ProtoMsg::JobComplete { job },
+                    ));
+                };
+                let Some((domain, product, _)) = self.own_pending.get(&local_tag).cloned() else {
+                    out.push(Output::send(
+                        Address::Coordinator,
+                        ProtoMsg::JobComplete { job },
+                    ));
+                    return;
+                };
+                self.job_tags.insert(job, local_tag);
+                // The user is on the page: fetch it as a real visit, select
+                // the price, build the Tags Path (Fig. 4).
+                let day = day_of_ms(now_ms);
+                let quarter = quarter_of_ms(now_ms);
+                let Some(html) = self.engine.initiator_fetch(
+                    world,
+                    &domain,
+                    product,
+                    day,
+                    quarter,
+                    now_ms,
+                    job.0 * 100,
+                ) else {
+                    abort(self, out);
+                    return;
+                };
+                let template = world.retailer(&domain).map(|r| r.template).unwrap_or(0);
+                let selection_el = sheriff_market::page::price_markup(template);
+                let doc = Document::parse(&html);
+                let Some(el) = doc.find_by_class(selection_el.0, selection_el.1) else {
+                    abort(self, out);
+                    return;
+                };
+                let Some(tags_path) = TagsPath::from_node(&doc, el) else {
+                    abort(self, out);
+                    return;
+                };
+                let meta = VantageMeta {
+                    kind: VantageKind::Initiator,
+                    id: self.engine.peer_id,
+                    country: self.engine.country,
+                    city: self.city.clone(),
+                    ip: self.engine.ip,
+                };
+                let obs = process_response(
+                    &html,
+                    &tags_path,
+                    &meta,
+                    &self.target_currency,
+                    &world.rates.clone(),
+                );
+                out.push(Output::send(
+                    server,
+                    ProtoMsg::JobSubmit {
+                        job,
+                        domain,
+                        product,
+                        tags_path,
+                        initiator_html: html,
+                        initiator_obs: Box::new(obs),
+                    },
+                ));
+            }
+            ProtoMsg::CoordReject { local_tag, reason } => {
+                self.own_pending.remove(&local_tag);
+                self.rejected.push((local_tag, reason));
+            }
+            ProtoMsg::FetchOrder {
+                job,
+                domain,
+                product,
+                seq,
+            } => {
+                let needs_dopp = self.doppelgangers_enabled
+                    && self.engine.peek_mode(&domain) == FetchMode::Doppelganger;
+                if needs_dopp {
+                    self.dopp_pending.insert(
+                        job,
+                        PendingFetch {
+                            reply_to: from,
+                            domain: domain.clone(),
+                            product,
+                            seq,
+                        },
+                    );
+                    out.push(Output::send(
+                        Address::Aggregator,
+                        ProtoMsg::DoppIdRequest {
+                            job,
+                            peer: self.engine.peer_id,
+                        },
+                    ));
+                } else {
+                    self.serve_fetch(now_ms, job, from, &domain, product, seq, None, world, out);
+                }
+            }
+            ProtoMsg::DoppIdReply { job, token } => match (token, self.dopp_pending.get(&job)) {
+                (Some(token), Some(p)) => {
+                    let domain = p.domain.clone();
+                    out.push(Output::send(
+                        Address::Coordinator,
+                        ProtoMsg::DoppStateRequest { job, token, domain },
+                    ));
+                }
+                (None, Some(_)) => {
+                    // Unclustered peer: fall back to a clean sandboxed fetch.
+                    if let Some(p) = self.dopp_pending.remove(&job) {
+                        self.serve_fetch(
+                            now_ms,
+                            job,
+                            p.reply_to,
+                            &p.domain.clone(),
+                            p.product,
+                            p.seq,
+                            None,
+                            world,
+                            out,
+                        );
+                    }
+                }
+                _ => {}
+            },
+            ProtoMsg::DoppStateReply { job, state } => {
+                if let Some(p) = self.dopp_pending.remove(&job) {
+                    self.serve_fetch(
+                        now_ms,
+                        job,
+                        p.reply_to,
+                        &p.domain.clone(),
+                        p.product,
+                        p.seq,
+                        state.as_ref(),
+                        world,
+                        out,
+                    );
+                }
+            }
+            ProtoMsg::Results { job, check } => {
+                if let Some(tag) = self.job_tags.remove(&job) {
+                    if let Some((_, _, submitted_ms)) = self.own_pending.remove(&tag) {
+                        self.completed.push(CompletedProtoCheck {
+                            check: *check,
+                            local_tag: tag,
+                            submitted_ms,
+                            completed_ms: now_ms,
+                        });
+                    }
+                }
+            }
+            ProtoMsg::ServerRemoved { index, removed } => {
+                self.server_removals.push((index, removed));
+            }
+            _ => {}
+        }
+    }
+}

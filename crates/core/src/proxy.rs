@@ -144,7 +144,8 @@ impl PpcEngine {
         let Some(retailer) = world.retailer_mut(domain) else {
             return;
         };
-        let Some(result) = retailer.fetch(product, &ctx, now_ms, &rates, self.affluence, self.peer_id)
+        let Some(result) =
+            retailer.fetch(product, &ctx, now_ms, &rates, self.affluence, self.peer_id)
         else {
             return;
         };
@@ -294,9 +295,7 @@ impl PpcEngine {
         // Sandbox the local state: replay the cookie installs through the
         // sandbox so they are intercepted and the URL trace removed.
         let url = format!("{domain}/product/{}", product.0);
-        let report = self
-            .browser
-            .sandboxed_fetch(move |_| (set_cookies, url));
+        let report = self.browser.sandboxed_fetch(move |_| (set_cookies, url));
 
         Some(ProxyFetch {
             html,
@@ -429,7 +428,11 @@ mod tests {
         assert_eq!(f.mode, FetchMode::Doppelganger);
         assert!(f.sandbox.unwrap().is_clean());
         // The user's own jar must be untouched by the doppelganger fetch.
-        assert!(p.browser.cookies.value("jcpenney.com", "session_id").is_some());
+        assert!(p
+            .browser
+            .cookies
+            .value("jcpenney.com", "session_id")
+            .is_some());
     }
 
     #[test]
@@ -438,7 +441,16 @@ mod tests {
         let mut p = ppc(Country::FR);
         for i in 0..30 {
             let f = p
-                .remote_fetch(&mut w, "chegg.com", ProductId(i % 8), 0, 0, i as u64, i as u64, None)
+                .remote_fetch(
+                    &mut w,
+                    "chegg.com",
+                    ProductId(i % 8),
+                    0,
+                    0,
+                    i as u64,
+                    i as u64,
+                    None,
+                )
                 .unwrap();
             assert!(f.sandbox.unwrap().is_clean(), "fetch {i}");
         }

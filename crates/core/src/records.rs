@@ -17,7 +17,7 @@ pub enum VantageKind {
 }
 
 /// One price observation from one vantage point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PriceObservation {
     /// Vantage kind.
     pub vantage: VantageKind,
@@ -45,7 +45,7 @@ pub struct PriceObservation {
 
 /// One complete price check request: the initiator's selection plus every
 /// proxy response (paper Fig. 1 / Fig. 2).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PriceCheck {
     /// Globally unique job id assigned by the Coordinator.
     pub job_id: u64,

@@ -8,45 +8,39 @@
 //! behind an `Arc<Mutex<_>>`: fetch *timing* is simulated explicitly (the
 //! heavy-tailed proxy delays of §5), only content generation is immediate.
 //!
-//! The full §3.2 price-check protocol is implemented message-for-message:
-//!
-//! 1. the user highlights a price (StartCheck): the add-on fetches its own
-//!    page, builds the Tags Path (Fig. 4), and asks the Coordinator;
-//! 2. the Coordinator whitelists, mints a job ID, picks the least-loaded
-//!    Measurement server, and sends it the same-location PPC list
-//!    (step 1.1);
-//! 3. the add-on submits the job; the server fans out FetchOrders to all
-//!    IPCs and the listed PPCs (steps 2–3.2);
-//! 4. a PPC past its pollution budget asks the Aggregator for its
-//!    doppelganger token and redeems it (bearer-token) at the Coordinator
-//!    (steps 3.3–3.4);
-//! 5. the server extracts + converts every response, persists via the
-//!    Database, reports completion to the Coordinator, and streams the
-//!    result page back to the initiator (steps 4–5).
+//! The §3.2 protocol itself lives in [`crate::protocol`] as sans-IO state
+//! machines; this module is the *discrete-event adapter*. Each netsim node
+//! wraps one role machine, translates deliveries into protocol events,
+//! maps the emitted `(Address, ProtoMsg)` commands back onto `NodeId`s,
+//! samples fetch latency for `SendFetched` outputs, and turns the
+//! machines' observable outcomes into telemetry. The TCP deployment in
+//! `sheriff-wire` drives the *same* machines, so both backends execute
+//! one protocol implementation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::Rng;
+use rand::SeedableRng;
 
-use sheriff_currency::FixedRates;
 use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
-use sheriff_html::tagspath::TagsPath;
-use sheriff_market::{CookieJar, ProductId, UserAgent, World};
+use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_netsim::{latency::sample_standard_normal, Ctx, Node, NodeId, SimTime, Simulator};
 use sheriff_telemetry::{Counter, FieldValue, Gauge, Histogram, Registry};
 
 use crate::latency::{GeoLatency, GeoLatencyConfig};
 
 use crate::browser::BrowserProfile;
-use crate::coordinator::{Coordinator, JobId, PeerId};
-use crate::db::{Database, DbCostModel};
-use crate::doppelganger::{AggregatorDirectory, DoppelgangerId, DoppelgangerStore};
-use crate::measurement::{process_response, JobPageStore, VantageMeta};
-use crate::pollution::{FetchMode, PollutionLedger};
+use crate::coordinator::{Coordinator, PeerId};
+use crate::db::DbCostModel;
+use crate::pollution::PollutionLedger;
+use crate::protocol::{
+    Address, AggregatorProto, CoordinatorProto, DbEvent, DbProto, IpcProto, MeasEvent,
+    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, TimerKind,
+};
 use crate::proxy::{IpcEngine, PpcEngine};
-use crate::records::{PriceCheck, PriceObservation, VantageKind};
+use crate::records::PriceCheck;
 use crate::whitelist::Whitelist;
 
 /// Which architecture generation runs (Table 1's "Old" vs "New").
@@ -97,6 +91,10 @@ pub struct SheriffConfig {
     pub db_cost: DbCostModel,
     /// Serve doppelganger state to over-budget PPCs.
     pub enable_doppelgangers: bool,
+    /// Measurement-server liveness beacon period, ms.
+    pub heartbeat_every_ms: u64,
+    /// Coordinator: take a server offline after this long without a beacon.
+    pub heartbeat_timeout_ms: u64,
 }
 
 impl SheriffConfig {
@@ -120,6 +118,8 @@ impl SheriffConfig {
             job_deadline_ms: 130_000,
             db_cost: DbCostModel::integrated(),
             enable_doppelgangers: false,
+            heartbeat_every_ms: 10_000,
+            heartbeat_timeout_ms: 30_000,
         }
     }
 
@@ -143,6 +143,8 @@ impl SheriffConfig {
             job_deadline_ms: 130_000,
             db_cost: DbCostModel::dedicated(),
             enable_doppelgangers: true,
+            heartbeat_every_ms: 10_000,
+            heartbeat_timeout_ms: 30_000,
         }
     }
 
@@ -197,172 +199,6 @@ pub fn default_ipc_locations() -> Vec<(Country, usize)> {
     out
 }
 
-/// Simulation messages — the §3.2 protocol.
-#[derive(Debug)]
-pub enum Msg {
-    /// User highlighted a price (injected).
-    StartCheck {
-        /// Retailer domain.
-        domain: String,
-        /// Product to check.
-        product: ProductId,
-        /// Initiator-local request tag.
-        local_tag: u64,
-    },
-    /// Add-on → Coordinator (step 1).
-    CoordRequest {
-        /// Full product URL.
-        url: String,
-        /// Requesting peer.
-        peer: PeerId,
-        /// Echoed tag.
-        local_tag: u64,
-    },
-    /// Coordinator → add-on (step 2).
-    CoordAssign {
-        /// Minted job.
-        job: JobId,
-        /// Chosen Measurement server node.
-        server: NodeId,
-        /// Echoed tag.
-        local_tag: u64,
-    },
-    /// Coordinator → add-on: request refused.
-    CoordReject {
-        /// Echoed tag.
-        local_tag: u64,
-    },
-    /// Coordinator → Measurement server (step 1.1).
-    PpcList {
-        /// Job the list belongs to.
-        job: JobId,
-        /// Same-location peer nodes.
-        ppcs: Vec<NodeId>,
-    },
-    /// Add-on → Measurement server (step 3).
-    JobSubmit {
-        /// Job id.
-        job: JobId,
-        /// Retailer domain.
-        domain: String,
-        /// Product.
-        product: ProductId,
-        /// The Tags Path built at selection time.
-        tags_path: TagsPath,
-        /// The initiator's own page (DiffStorage base).
-        initiator_html: String,
-        /// The initiator's own observation.
-        initiator_obs: Box<PriceObservation>,
-    },
-    /// Measurement server → proxy (steps 3.1/3.2).
-    FetchOrder {
-        /// Job id.
-        job: JobId,
-        /// Retailer domain.
-        domain: String,
-        /// Product.
-        product: ProductId,
-        /// Per-vantage request sequence (drives per-request A/B arms).
-        seq: u64,
-    },
-    /// Proxy → Measurement server.
-    FetchReply {
-        /// Job id.
-        job: JobId,
-        /// Vantage metadata.
-        meta: VantageMeta,
-        /// Fetched HTML.
-        html: String,
-    },
-    /// PPC → Aggregator (step 3.3).
-    DoppIdRequest {
-        /// Job the fetch belongs to.
-        job: JobId,
-        /// Requesting peer.
-        peer: u64,
-    },
-    /// Aggregator → PPC.
-    DoppIdReply {
-        /// Job echo.
-        job: JobId,
-        /// The bearer token, if the peer is clustered.
-        token: Option<DoppelgangerId>,
-    },
-    /// PPC → Coordinator (step 3.4, anonymized in deployment).
-    DoppStateRequest {
-        /// Job echo.
-        job: JobId,
-        /// Bearer token.
-        token: DoppelgangerId,
-        /// Domain the fetch targets (budget accounting).
-        domain: String,
-    },
-    /// Coordinator → PPC.
-    DoppStateReply {
-        /// Job echo.
-        job: JobId,
-        /// Client-side state, if the token was valid.
-        state: Option<CookieJar>,
-    },
-    /// Coordinator → Aggregator: a token rotated after regeneration.
-    TokenRotated {
-        /// Old token.
-        old: DoppelgangerId,
-        /// New token.
-        new: DoppelgangerId,
-    },
-    /// Measurement server → Database server (step 4, v2 only).
-    StoreCheck {
-        /// Job id.
-        job: JobId,
-        /// The assembled check.
-        check: Box<PriceCheck>,
-    },
-    /// Database server → Measurement server.
-    DbAck {
-        /// Job id.
-        job: JobId,
-    },
-    /// Measurement server → Coordinator (Fig. 6 step 4).
-    JobComplete {
-        /// Finished job.
-        job: JobId,
-    },
-    /// Measurement server → add-on (step 5).
-    Results {
-        /// Job id.
-        job: JobId,
-        /// The full result set (the Fig. 2 page's data).
-        check: Box<PriceCheck>,
-    },
-    /// Measurement server → Coordinator liveness.
-    Heartbeat {
-        /// Index in the Coordinator's server list.
-        server_index: usize,
-    },
-}
-
-const TIMER_DEADLINE: u64 = 0;
-const TIMER_PROC_DONE: u64 = 1;
-const TIMER_DB_DONE: u64 = 2;
-const TIMER_HEARTBEAT: u64 = 3;
-
-fn job_timer(job: JobId, kind: u64) -> u64 {
-    job.0 * 8 + kind
-}
-
-fn timer_kind(token: u64) -> (JobId, u64) {
-    (JobId(token / 8), token % 8)
-}
-
-fn day_of(now: SimTime) -> u32 {
-    (now.as_millis() / 86_400_000) as u32
-}
-
-fn quarter_of(now: SimTime) -> u8 {
-    ((now.as_millis() % 86_400_000) / 21_600_000) as u8
-}
-
 /// Lognormal sample around `median_ms`, clipped at `kill_ms`.
 fn fetch_delay<R: Rng + ?Sized>(
     rng: &mut R,
@@ -382,124 +218,115 @@ fn fetch_delay<R: Rng + ?Sized>(
     SimTime::from_millis(raw.min(kill_ms))
 }
 
-use rand::SeedableRng;
-
 // ---------------------------------------------------------------------
-// Coordinator node
+// Address ↔ NodeId directory
 // ---------------------------------------------------------------------
 
-struct CoordinatorNode {
-    coordinator: Coordinator,
-    dopp_store: DoppelgangerStore,
-    universe: Vec<String>,
-    /// Coordinator server-list index → Measurement node.
-    server_nodes: Vec<NodeId>,
-    /// Peer id → add-on node (transport directory).
+/// Immutable logical-address ↔ `NodeId` directory, shared by every
+/// adapter node. NodeIds are sequential: `[coordinator, aggregator, db?,
+/// servers…, ipcs…, ppcs…]`.
+struct AddrMap {
+    db: Option<NodeId>,
+    first_server: usize,
+    first_ipc: usize,
     peer_nodes: HashMap<u64, NodeId>,
-    /// Peer id registry data for the PPC list.
-    aggregator: NodeId,
-    ppc_per_request: usize,
+    addr_of: Vec<Address>,
 }
 
-impl Node<Msg> for CoordinatorNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::CoordRequest {
-                url,
-                peer,
-                local_tag,
-            } => match self.coordinator.new_request(&url, ctx.now.as_millis()) {
-                Ok((job, server_idx)) => {
-                    let server = self.server_nodes[server_idx];
-                    // Step 1.1: PPC list for the initiator's location. The
-                    // deployment got whichever same-location peers happened
-                    // to be online — sample rather than always picking the
-                    // same three.
-                    let ppcs: Vec<NodeId> = match self.coordinator.peer(peer) {
-                        Some(entry) => {
-                            let loc = entry.location.clone();
-                            let mut candidates: Vec<NodeId> = self
-                                .coordinator
-                                .peers_near(&loc, peer, usize::MAX)
-                                .into_iter()
-                                .filter_map(|p| self.peer_nodes.get(&p.0).copied())
-                                .collect();
-                            // Partial Fisher-Yates for the first k slots.
-                            let k = self.ppc_per_request.min(candidates.len());
-                            for i in 0..k {
-                                let j = ctx.rng().gen_range(i..candidates.len());
-                                candidates.swap(i, j);
-                            }
-                            candidates.truncate(k);
-                            candidates
-                        }
-                        None => Vec::new(),
-                    };
-                    ctx.send(server, Msg::PpcList { job, ppcs });
-                    ctx.send(
-                        from,
-                        Msg::CoordAssign {
-                            job,
-                            server,
-                            local_tag,
-                        },
-                    );
+impl AddrMap {
+    fn node(&self, addr: Address) -> Option<NodeId> {
+        match addr {
+            Address::Coordinator => Some(NodeId(0)),
+            Address::Aggregator => Some(NodeId(1)),
+            Address::Database => self.db,
+            Address::Server { index } => Some(NodeId(self.first_server + index)),
+            Address::Ipc { index } => Some(NodeId(self.first_ipc + index)),
+            Address::Peer { id } => self.peer_nodes.get(&id).copied(),
+        }
+    }
+
+    fn addr(&self, node: NodeId) -> Address {
+        self.addr_of[node.0]
+    }
+}
+
+/// Per-role proxy fetch timing, applied to `SendFetched` outputs.
+#[derive(Clone, Copy)]
+struct FetchTiming {
+    median_ms: u64,
+    sigma: f64,
+    overload_prob: f64,
+    overload_ms: u64,
+    kill_ms: u64,
+}
+
+/// Maps protocol outputs onto the simulator: sends become deliveries,
+/// `SendFetched` samples the proxy delay first, timers pack their kind
+/// into the u64 token space.
+fn dispatch(
+    map: &AddrMap,
+    ctx: &mut Ctx<'_, ProtoMsg>,
+    out: Vec<Output>,
+    fetch: Option<FetchTiming>,
+) {
+    for o in out {
+        match o {
+            Output::Send { to, msg } => {
+                if let Some(node) = map.node(to) {
+                    ctx.send(node, msg);
                 }
-                Err(_) => ctx.send(from, Msg::CoordReject { local_tag }),
-            },
-            Msg::JobComplete { job } => self.coordinator.job_complete(job),
-            Msg::Heartbeat { server_index } => {
-                self.coordinator.heartbeat(server_index, ctx.now.as_millis());
             }
-            Msg::DoppStateRequest { job, token, domain } => {
-                let rng_seed: u64 = ctx.rng().gen();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
-                let state = self
-                    .dopp_store
-                    .serve(&token, &domain, &self.universe, &mut rng)
-                    .and_then(|(new_token, _mode)| {
-                        if new_token != token {
-                            ctx.send(
-                                self.aggregator,
-                                Msg::TokenRotated {
-                                    old: token,
-                                    new: new_token,
-                                },
-                            );
-                        }
-                        self.dopp_store.client_state(&new_token).cloned()
-                    });
-                ctx.send(from, Msg::DoppStateReply { job, state });
+            Output::SendFetched { to, msg } => {
+                let t = fetch.expect("role without fetch timing emitted SendFetched");
+                let delay = fetch_delay(
+                    ctx.rng(),
+                    t.median_ms,
+                    t.sigma,
+                    t.overload_prob,
+                    t.overload_ms,
+                    t.kill_ms,
+                );
+                if let Some(node) = map.node(to) {
+                    ctx.send_after(delay, node, msg);
+                }
             }
-            _ => {}
+            Output::Timer { delay_ms, kind } => {
+                ctx.set_timer(SimTime::from_millis(delay_ms), kind.token());
+            }
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Aggregator node
+// Adapter nodes
 // ---------------------------------------------------------------------
 
-struct AggregatorNode {
-    directory: AggregatorDirectory,
-    tokens: Vec<DoppelgangerId>,
+struct CoordinatorNode {
+    proto: CoordinatorProto,
+    map: Arc<AddrMap>,
 }
 
-impl Node<Msg> for AggregatorNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::DoppIdRequest { job, peer } => {
-                let token = self.directory.token_for(peer);
-                ctx.send(from, Msg::DoppIdReply { job, token });
-            }
-            Msg::TokenRotated { old, new } => {
-                if let Some(pos) = self.tokens.iter().position(|t| *t == old) {
-                    self.tokens[pos] = new;
-                    self.directory.update_token(pos, new);
-                }
-            }
-            _ => {}
-        }
+impl Node<ProtoMsg> for CoordinatorNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let mut out = Vec::new();
+        self.proto
+            .on_message(ctx.now.as_millis(), from, msg, ctx.rng(), &mut out);
+        dispatch(&self.map, ctx, out, None);
+    }
+}
+
+struct AggregatorNode {
+    proto: AggregatorProto,
+    map: Arc<AddrMap>,
+}
+
+impl Node<ProtoMsg> for AggregatorNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let mut out = Vec::new();
+        self.proto.on_message(from, msg, &mut out);
+        dispatch(&self.map, ctx, out, None);
     }
 }
 
@@ -542,7 +369,8 @@ impl MeasurementTelemetry {
         MeasurementTelemetry {
             db_query_cost: registry.histogram("db.query_cost_ms", CPU_COST_EDGES),
             db_queries: registry.counter("db.queries_total"),
-            fanout_latency: registry.histogram("measurement.fanout_latency_ms", FANOUT_LATENCY_EDGES),
+            fanout_latency: registry
+                .histogram("measurement.fanout_latency_ms", FANOUT_LATENCY_EDGES),
             assembly_cpu: registry.histogram("measurement.assembly_cpu_ms", CPU_COST_EDGES),
             replies: registry.counter("measurement.replies_total"),
             late_replies: registry.counter("measurement.late_replies"),
@@ -553,311 +381,82 @@ impl MeasurementTelemetry {
             registry: Arc::clone(registry),
         }
     }
-}
 
-struct JobState {
-    domain: String,
-    product: ProductId,
-    tags_path: TagsPath,
-    page_store: JobPageStore,
-    observations: Vec<PriceObservation>,
-    initiator: NodeId,
-    expected: usize,
-    received: usize,
-    day: u32,
-    fanned_out: bool,
-    /// Virtual time the FetchOrders went out (span start).
-    fanout_at: SimTime,
-    ppcs: Option<Vec<NodeId>>,
-    submit: Option<Box<SubmitData>>,
-    assembled: bool,
-}
-
-struct SubmitData {
-    tags_path: TagsPath,
-    initiator_html: String,
-    initiator_obs: PriceObservation,
-    domain: String,
-    product: ProductId,
-    initiator: NodeId,
+    /// Folds the machine's observable outcomes into the registry.
+    fn apply(&self, index: usize, now_ms: u64, events: Vec<MeasEvent>) {
+        for e in events {
+            match e {
+                MeasEvent::ReplyAccepted { since_fanout_ms } => {
+                    self.replies.inc();
+                    self.fanout_latency.observe(since_fanout_ms as f64);
+                }
+                MeasEvent::ReplyLate => self.late_replies.inc(),
+                MeasEvent::AssemblyScheduled {
+                    proc_ms,
+                    db_ms,
+                    active_jobs,
+                } => {
+                    if let Some(db_ms) = db_ms {
+                        self.db_queries.inc();
+                        self.db_query_cost.observe(db_ms);
+                    }
+                    self.assembly_cpu.observe(proc_ms);
+                    self.active_jobs.set(active_jobs as i64);
+                }
+                MeasEvent::JobFinished {
+                    job,
+                    stored,
+                    full,
+                    received,
+                    fanout_at_ms,
+                    active_jobs,
+                } => {
+                    self.bytes_stored.add(stored as u64);
+                    self.bytes_full.add(full as u64);
+                    self.jobs_finished.inc();
+                    self.active_jobs.set(active_jobs as i64);
+                    self.registry.span(
+                        fanout_at_ms,
+                        now_ms,
+                        "measurement.job",
+                        vec![
+                            ("job", FieldValue::U64(job.0)),
+                            ("server", FieldValue::U64(index as u64)),
+                            ("replies", FieldValue::U64(received as u64)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
 }
 
 struct MeasurementNode {
     index: usize,
-    coordinator: NodeId,
-    db: Option<NodeId>,
-    ipcs: Vec<NodeId>,
-    jobs: HashMap<JobId, JobState>,
-    rates: FixedRates,
-    target_currency: String,
-    proc_per_reply_ms: f64,
-    context_switch_alpha: f64,
-    job_deadline_ms: u64,
-    db_cost: DbCostModel,
-    integrated_db: bool,
-    database: Database, // v1 integrated storage (v2 keeps it on DbNode)
-    cpu_free_at: SimTime,
-    heartbeat_every: SimTime,
+    proto: MeasurementProto,
+    map: Arc<AddrMap>,
     telemetry: MeasurementTelemetry,
 }
 
-impl MeasurementNode {
-    fn active_jobs(&self) -> usize {
-        self.jobs.values().filter(|j| !j.assembled).count()
+impl Node<ProtoMsg> for MeasurementNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let now = ctx.now.as_millis();
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        self.proto.on_message(now, from, msg, &mut out, &mut events);
+        self.telemetry.apply(self.index, now, events);
+        dispatch(&self.map, ctx, out, None);
     }
 
-    fn try_fan_out(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
-        let Some(state) = self.jobs.get_mut(&job) else {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
+        let Some(kind) = TimerKind::from_token(token) else {
             return;
         };
-        if state.fanned_out || state.submit.is_none() || state.ppcs.is_none() {
-            return;
-        }
-        let submit = state.submit.take().expect("checked");
-        let ppcs = state.ppcs.clone().expect("checked");
-
-        state.domain = submit.domain.clone();
-        state.product = submit.product;
-        state.tags_path = submit.tags_path.clone();
-        state.page_store = JobPageStore::new(&submit.initiator_html);
-        state.observations.push(submit.initiator_obs);
-        state.initiator = submit.initiator;
-        state.fanned_out = true;
-        state.fanout_at = ctx.now;
-        state.expected = self.ipcs.len() + ppcs.len();
-
-        let mut seq = job.0 * 100;
-        for &ipc in &self.ipcs {
-            seq += 1;
-            ctx.send(
-                ipc,
-                Msg::FetchOrder {
-                    job,
-                    domain: submit.domain.clone(),
-                    product: submit.product,
-                    seq,
-                },
-            );
-        }
-        for &ppc in &ppcs {
-            seq += 1;
-            ctx.send(
-                ppc,
-                Msg::FetchOrder {
-                    job,
-                    domain: submit.domain.clone(),
-                    product: submit.product,
-                    seq,
-                },
-            );
-        }
-        ctx.set_timer(
-            SimTime::from_millis(self.job_deadline_ms),
-            job_timer(job, TIMER_DEADLINE),
-        );
-    }
-
-    /// All replies in (or deadline): charge CPU for extraction and schedule
-    /// the proc-done timer on the shared-CPU queue.
-    fn begin_assembly(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
-        let active = self.active_jobs();
-        let Some(state) = self.jobs.get_mut(&job) else {
-            return;
-        };
-        if state.assembled {
-            return;
-        }
-        state.assembled = true;
-        let cs_factor = 1.0 + self.context_switch_alpha * (active.saturating_sub(1)) as f64;
-        let mut proc_ms =
-            self.proc_per_reply_ms * (state.received + 1) as f64 * cs_factor;
-        if self.integrated_db {
-            // v1: the RDBMS shares the CPU — its cost rides the same queue.
-            let db_ms = self.db_cost.store_cost_ms(
-                state.observations.len().max(state.received + 1),
-                active as u32,
-            ) as f64;
-            self.telemetry.db_queries.inc();
-            self.telemetry.db_query_cost.observe(db_ms);
-            proc_ms += db_ms;
-        }
-        let start = self.cpu_free_at.max(ctx.now);
-        let done = start.plus(SimTime::from_millis(proc_ms.round() as u64));
-        self.cpu_free_at = done;
-        self.telemetry.assembly_cpu.observe(proc_ms);
-        self.telemetry.active_jobs.set(self.active_jobs() as i64);
-        ctx.set_timer(done.since(ctx.now), job_timer(job, TIMER_PROC_DONE));
-    }
-
-    fn finish_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
-        let Some(state) = self.jobs.remove(&job) else {
-            return;
-        };
-        let (stored, full) = state.page_store.accounting();
-        self.telemetry.bytes_stored.add(stored as u64);
-        self.telemetry.bytes_full.add(full as u64);
-        self.telemetry.jobs_finished.inc();
-        self.telemetry.active_jobs.set(self.active_jobs() as i64);
-        self.telemetry.registry.span(
-            state.fanout_at.as_millis(),
-            ctx.now.as_millis(),
-            "measurement.job",
-            vec![
-                ("job", FieldValue::U64(job.0)),
-                ("server", FieldValue::U64(self.index as u64)),
-                ("replies", FieldValue::U64(state.received as u64)),
-            ],
-        );
-        let check = PriceCheck {
-            job_id: job.0,
-            domain: state.domain.clone(),
-            url: format!("{}/product/{}", state.domain, state.product.0),
-            day: state.day,
-            observations: state.observations,
-        };
-        if self.integrated_db {
-            self.database.store(check.clone());
-        }
-        ctx.send(self.coordinator, Msg::JobComplete { job });
-        ctx.send(
-            state.initiator,
-            Msg::Results {
-                job,
-                check: Box::new(check),
-            },
-        );
-    }
-}
-
-impl Node<Msg> for MeasurementNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::PpcList { job, ppcs } => {
-                let state = self.jobs.entry(job).or_insert_with(|| JobState {
-                    domain: String::new(),
-                    product: ProductId(0),
-                    tags_path: TagsPath { steps: vec![] },
-                    page_store: JobPageStore::new(""),
-                    observations: Vec::new(),
-                    initiator: from,
-                    expected: usize::MAX,
-                    received: 0,
-                    day: day_of(ctx.now),
-                    fanned_out: false,
-                    fanout_at: SimTime::ZERO,
-                    ppcs: None,
-                    submit: None,
-                    assembled: false,
-                });
-                state.ppcs = Some(ppcs);
-                self.try_fan_out(ctx, job);
-            }
-            Msg::JobSubmit {
-                job,
-                domain,
-                product,
-                tags_path,
-                initiator_html,
-                initiator_obs,
-            } => {
-                let state = self.jobs.entry(job).or_insert_with(|| JobState {
-                    domain: String::new(),
-                    product: ProductId(0),
-                    tags_path: TagsPath { steps: vec![] },
-                    page_store: JobPageStore::new(""),
-                    observations: Vec::new(),
-                    initiator: from,
-                    expected: usize::MAX,
-                    received: 0,
-                    day: day_of(ctx.now),
-                    fanned_out: false,
-                    fanout_at: SimTime::ZERO,
-                    ppcs: None,
-                    submit: None,
-                    assembled: false,
-                });
-                state.submit = Some(Box::new(SubmitData {
-                    tags_path,
-                    initiator_html,
-                    initiator_obs: *initiator_obs,
-                    domain,
-                    product,
-                    initiator: from,
-                }));
-                self.try_fan_out(ctx, job);
-            }
-            Msg::FetchReply { job, meta, html } => {
-                let target = self.target_currency.clone();
-                let rates = self.rates.clone();
-                let Some(state) = self.jobs.get_mut(&job) else {
-                    self.telemetry.late_replies.inc();
-                    return; // late reply after deadline assembly
-                };
-                if state.assembled {
-                    self.telemetry.late_replies.inc();
-                    return;
-                }
-                self.telemetry.replies.inc();
-                self.telemetry
-                    .fanout_latency
-                    .observe(ctx.now.since(state.fanout_at).as_millis() as f64);
-                let obs = process_response(&html, &state.tags_path, &meta, &target, &rates);
-                state.page_store.store_response(&html);
-                state.observations.push(obs);
-                state.received += 1;
-                if state.received >= state.expected {
-                    self.begin_assembly(ctx, job);
-                }
-            }
-            Msg::DbAck { job } => self.finish_job(ctx, job),
-            _ => {}
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
-        if token == TIMER_HEARTBEAT {
-            ctx.send(
-                self.coordinator,
-                Msg::Heartbeat {
-                    server_index: self.index,
-                },
-            );
-            ctx.set_timer(self.heartbeat_every, TIMER_HEARTBEAT);
-            return;
-        }
-        let (job, kind) = timer_kind(token);
-        match kind {
-            TIMER_DEADLINE
-                // Assemble with whatever arrived (§10.3's corrective path).
-                if self.jobs.get(&job).is_some_and(|s| !s.assembled) => {
-                    self.begin_assembly(ctx, job);
-                }
-            TIMER_PROC_DONE => {
-                if self.integrated_db {
-                    // DB cost already charged on the CPU queue.
-                    self.finish_job(ctx, job);
-                } else if let Some(db) = self.db {
-                    if let Some(state) = self.jobs.get(&job) {
-                        let check = PriceCheck {
-                            job_id: job.0,
-                            domain: state.domain.clone(),
-                            url: format!("{}/product/{}", state.domain, state.product.0),
-                            day: state.day,
-                            observations: state.observations.clone(),
-                        };
-                        ctx.send(
-                            db,
-                            Msg::StoreCheck {
-                                job,
-                                check: Box::new(check),
-                            },
-                        );
-                    }
-                }
-            }
-            TIMER_DB_DONE => self.finish_job(ctx, job),
-            _ => {}
-        }
+        let now = ctx.now.as_millis();
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        self.proto.on_timer(now, kind, &mut out, &mut events);
+        self.telemetry.apply(self.index, now, events);
+        dispatch(&self.map, ctx, out, None);
     }
 }
 
@@ -882,40 +481,47 @@ impl DbTelemetry {
             max_active: registry.gauge("db.active_queries_max"),
         }
     }
+
+    fn apply(&self, events: Vec<DbEvent>) {
+        for e in events {
+            match e {
+                DbEvent::QueryScheduled { cost_ms, active } => {
+                    self.queries.inc();
+                    self.query_cost.observe(cost_ms as f64);
+                    self.active.set(active as i64);
+                    if (active as i64) > self.max_active.get() {
+                        self.max_active.set(active as i64);
+                    }
+                }
+                DbEvent::QueryDone { active } => self.active.set(active as i64),
+            }
+        }
+    }
 }
 
 struct DbNode {
-    database: Database,
-    cost: DbCostModel,
-    active: u32,
-    pending: HashMap<JobId, NodeId>,
+    proto: DbProto,
+    map: Arc<AddrMap>,
     telemetry: DbTelemetry,
 }
 
-impl Node<Msg> for DbNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        if let Msg::StoreCheck { job, check } = msg {
-            self.active += 1;
-            let cost = self.cost.store_cost_ms(check.observations.len(), self.active);
-            self.database.store(*check);
-            self.pending.insert(job, from);
-            self.telemetry.queries.inc();
-            self.telemetry.query_cost.observe(cost as f64);
-            self.telemetry.active.set(self.active as i64);
-            if (self.active as i64) > self.telemetry.max_active.get() {
-                self.telemetry.max_active.set(self.active as i64);
-            }
-            ctx.set_timer(SimTime::from_millis(cost), job.0);
-        }
+impl Node<ProtoMsg> for DbNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        self.proto.on_message(from, msg, &mut out, &mut events);
+        self.telemetry.apply(events);
+        dispatch(&self.map, ctx, out, None);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
-        let job = JobId(token);
-        self.active = self.active.saturating_sub(1);
-        self.telemetry.active.set(self.active as i64);
-        if let Some(requester) = self.pending.remove(&job) {
-            ctx.send(requester, Msg::DbAck { job });
-        }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
+        let Some(kind) = TimerKind::from_token(token) else {
+            return;
+        };
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        self.proto.on_timer(kind, &mut out, &mut events);
+        self.telemetry.apply(events);
+        dispatch(&self.map, ctx, out, None);
     }
 }
 
@@ -924,67 +530,22 @@ impl Node<Msg> for DbNode {
 // ---------------------------------------------------------------------
 
 struct IpcNode {
-    engine: IpcEngine,
+    proto: IpcProto,
     world: Arc<Mutex<World>>,
-    fetch_median_ms: u64,
-    fetch_sigma: f64,
-    overload_prob: f64,
-    overload_ms: u64,
-    kill_ms: u64,
-    city: Option<String>,
+    map: Arc<AddrMap>,
+    timing: FetchTiming,
 }
 
-impl Node<Msg> for IpcNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        if let Msg::FetchOrder {
-            job,
-            domain,
-            product,
-            seq,
-        } = msg
+impl Node<ProtoMsg> for IpcNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let mut out = Vec::new();
         {
-            let day = day_of(ctx.now);
-            let quarter = quarter_of(ctx.now);
-            let fetched = {
-                let mut world = self.world.lock();
-                self.engine.fetch(
-                    &mut world,
-                    &domain,
-                    product,
-                    day,
-                    quarter,
-                    ctx.now.as_millis(),
-                    seq,
-                )
-            };
-            let Some(fetch) = fetched else {
-                return;
-            };
-            let meta = VantageMeta {
-                kind: VantageKind::Ipc,
-                id: self.engine.id,
-                country: self.engine.country,
-                city: self.city.clone(),
-                ip: self.engine.ip,
-            };
-            let delay = fetch_delay(
-                ctx.rng(),
-                self.fetch_median_ms,
-                self.fetch_sigma,
-                self.overload_prob,
-                self.overload_ms,
-                self.kill_ms,
-            );
-            ctx.send_after(
-                delay,
-                from,
-                Msg::FetchReply {
-                    job,
-                    meta,
-                    html: fetch.html,
-                },
-            );
+            let mut world = self.world.lock();
+            self.proto
+                .on_message(ctx.now.as_millis(), from, msg, &mut world, &mut out);
         }
+        dispatch(&self.map, ctx, out, Some(self.timing));
     }
 }
 
@@ -1003,267 +564,23 @@ pub struct CompletedCheck {
     pub completed: SimTime,
 }
 
-struct PendingFetch {
-    reply_to: NodeId,
-    domain: String,
-    product: ProductId,
-    seq: u64,
-}
-
 struct AddonNode {
-    engine: PpcEngine,
+    proto: PeerProto,
     world: Arc<Mutex<World>>,
-    coordinator: NodeId,
-    aggregator: NodeId,
-    city: Option<String>,
-    target_currency: String,
-    fetch_median_ms: u64,
-    fetch_sigma: f64,
-    kill_ms: u64,
-    doppelgangers_enabled: bool,
-    /// Own requests in flight: local_tag → (domain, product, submitted).
-    own_pending: HashMap<u64, (String, ProductId, SimTime)>,
-    /// Jobs assigned: job → local_tag (to find submit data).
-    job_tags: HashMap<JobId, u64>,
-    /// Remote fetches waiting on doppelganger state.
-    dopp_pending: HashMap<JobId, PendingFetch>,
-    /// Completed own checks.
-    completed: Vec<CompletedCheck>,
-    /// Sandbox failures observed while serving (must stay 0).
-    sandbox_violations: usize,
+    map: Arc<AddrMap>,
+    timing: FetchTiming,
 }
 
-impl AddonNode {
-    #[allow(clippy::too_many_arguments)] // mirrors the FetchOrder message
-    fn serve_fetch(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        job: JobId,
-        reply_to: NodeId,
-        domain: &str,
-        product: ProductId,
-        seq: u64,
-        dopp_state: Option<&CookieJar>,
-    ) {
-        let day = day_of(ctx.now);
-        let quarter = quarter_of(ctx.now);
-        let fetched = {
+impl Node<ProtoMsg> for AddonNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
+        let from = self.map.addr(from);
+        let mut out = Vec::new();
+        {
             let mut world = self.world.lock();
-            self.engine.remote_fetch(
-                &mut world,
-                domain,
-                product,
-                day,
-                quarter,
-                ctx.now.as_millis(),
-                seq,
-                dopp_state,
-            )
-        };
-        let Some(fetch) = fetched else {
-            return;
-        };
-        if fetch.sandbox.is_some_and(|r| !r.is_clean()) {
-            self.sandbox_violations += 1;
+            self.proto
+                .on_message(ctx.now.as_millis(), from, msg, &mut world, &mut out);
         }
-        let meta = VantageMeta {
-            kind: VantageKind::Ppc,
-            id: self.engine.peer_id,
-            country: self.engine.country,
-            city: self.city.clone(),
-            ip: self.engine.ip,
-        };
-        let delay = fetch_delay(
-            ctx.rng(),
-            self.fetch_median_ms,
-            self.fetch_sigma,
-            0.0,
-            0,
-            self.kill_ms,
-        );
-        ctx.send_after(
-            delay,
-            reply_to,
-            Msg::FetchReply {
-                job,
-                meta,
-                html: fetch.html,
-            },
-        );
-    }
-}
-
-impl Node<Msg> for AddonNode {
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::StartCheck {
-                domain,
-                product,
-                local_tag,
-            } => {
-                self.own_pending
-                    .insert(local_tag, (domain.clone(), product, ctx.now));
-                let url = format!("{domain}/product/{}", product.0);
-                ctx.send(
-                    self.coordinator,
-                    Msg::CoordRequest {
-                        url,
-                        peer: PeerId(self.engine.peer_id),
-                        local_tag,
-                    },
-                );
-            }
-            Msg::CoordAssign {
-                job,
-                server,
-                local_tag,
-            } => {
-                // Any failure to produce a selection (CAPTCHA on the
-                // initiator's own fetch, vanished product page) must
-                // release the job at the Coordinator, or its pending
-                // counter would leak (§10.3's corrective concern).
-                let abort = |ctx: &mut Ctx<'_, Msg>, me: &mut Self| {
-                    me.own_pending.remove(&local_tag);
-                    me.job_tags.remove(&job);
-                    ctx.send(me.coordinator, Msg::JobComplete { job });
-                };
-                let Some((domain, product, _)) = self.own_pending.get(&local_tag).cloned() else {
-                    ctx.send(self.coordinator, Msg::JobComplete { job });
-                    return;
-                };
-                self.job_tags.insert(job, local_tag);
-                // The user is on the page: fetch it as a real visit, select
-                // the price, build the Tags Path (Fig. 4).
-                let day = day_of(ctx.now);
-                let quarter = quarter_of(ctx.now);
-                let (html, selection_el) = {
-                    let mut world = self.world.lock();
-                    let Some(html) = self.engine.initiator_fetch(
-                        &mut world,
-                        &domain,
-                        product,
-                        day,
-                        quarter,
-                        ctx.now.as_millis(),
-                        job.0 * 100,
-                    ) else {
-                        drop(world);
-                        abort(ctx, self);
-                        return;
-                    };
-                    let template = world
-                        .retailer(&domain)
-                        .map(|r| r.template)
-                        .unwrap_or(0);
-                    (html, sheriff_market::page::price_markup(template))
-                };
-                let doc = sheriff_html::Document::parse(&html);
-                let Some(el) = doc.find_by_class(selection_el.0, selection_el.1) else {
-                    abort(ctx, self);
-                    return;
-                };
-                let Some(tags_path) = TagsPath::from_node(&doc, el) else {
-                    abort(ctx, self);
-                    return;
-                };
-                let meta = VantageMeta {
-                    kind: VantageKind::Initiator,
-                    id: self.engine.peer_id,
-                    country: self.engine.country,
-                    city: self.city.clone(),
-                    ip: self.engine.ip,
-                };
-                let rates = self.world.lock().rates.clone();
-                let obs =
-                    process_response(&html, &tags_path, &meta, &self.target_currency, &rates);
-                ctx.send(
-                    server,
-                    Msg::JobSubmit {
-                        job,
-                        domain,
-                        product,
-                        tags_path,
-                        initiator_html: html,
-                        initiator_obs: Box::new(obs),
-                    },
-                );
-            }
-            Msg::CoordReject { local_tag } => {
-                self.own_pending.remove(&local_tag);
-            }
-            Msg::FetchOrder {
-                job,
-                domain,
-                product,
-                seq,
-            } => {
-                let needs_dopp = self.doppelgangers_enabled
-                    && self.engine.peek_mode(&domain) == FetchMode::Doppelganger;
-                if needs_dopp {
-                    self.dopp_pending.insert(
-                        job,
-                        PendingFetch {
-                            reply_to: from,
-                            domain: domain.clone(),
-                            product,
-                            seq,
-                        },
-                    );
-                    ctx.send(
-                        self.aggregator,
-                        Msg::DoppIdRequest {
-                            job,
-                            peer: self.engine.peer_id,
-                        },
-                    );
-                } else {
-                    self.serve_fetch(ctx, job, from, &domain, product, seq, None);
-                }
-            }
-            Msg::DoppIdReply { job, token } => match (token, self.dopp_pending.get(&job)) {
-                (Some(token), Some(p)) => {
-                    let domain = p.domain.clone();
-                    ctx.send(
-                        self.coordinator,
-                        Msg::DoppStateRequest { job, token, domain },
-                    );
-                }
-                (None, Some(_)) => {
-                    // Unclustered peer: fall back to a clean sandboxed fetch.
-                    if let Some(p) = self.dopp_pending.remove(&job) {
-                        self.serve_fetch(
-                            ctx, job, p.reply_to, &p.domain.clone(), p.product, p.seq, None,
-                        );
-                    }
-                }
-                _ => {}
-            },
-            Msg::DoppStateReply { job, state } => {
-                if let Some(p) = self.dopp_pending.remove(&job) {
-                    self.serve_fetch(
-                        ctx,
-                        job,
-                        p.reply_to,
-                        &p.domain.clone(),
-                        p.product,
-                        p.seq,
-                        state.as_ref(),
-                    );
-                }
-            }
-            Msg::Results { job, check } => {
-                if let Some(tag) = self.job_tags.remove(&job) {
-                    if let Some((_, _, submitted)) = self.own_pending.remove(&tag) {
-                        self.completed.push(CompletedCheck {
-                            check: *check,
-                            submitted,
-                            completed: ctx.now,
-                        });
-                    }
-                }
-            }
-            _ => {}
-        }
+        dispatch(&self.map, ctx, out, Some(self.timing));
     }
 }
 
@@ -1318,7 +635,7 @@ pub struct PpcSpec {
 /// ```
 pub struct PriceSheriff {
     /// The underlying simulator (exposed for custom drivers).
-    pub sim: Simulator<Msg>,
+    pub sim: Simulator<ProtoMsg>,
     coordinator: NodeId,
     aggregator: NodeId,
     ppc_nodes: HashMap<u64, NodeId>,
@@ -1338,11 +655,8 @@ impl PriceSheriff {
         let mut alloc = IpAllocator::new();
         let locator = GeoLocator::new(Granularity::City);
 
-        // Reserve node 0 and 1 for coordinator and aggregator by adding
-        // them first with placeholder wiring filled in afterwards — instead
-        // we add them after computing all IDs. NodeIds are sequential, so
-        // precompute the layout: [coordinator, aggregator, db?, servers…,
-        // ipcs…, ppcs…].
+        // NodeIds are sequential, so precompute the layout:
+        // [coordinator, aggregator, db?, servers…, ipcs…, ppcs…].
         let n_servers = if cfg.version == SystemVersion::V1 {
             1
         } else {
@@ -1355,9 +669,6 @@ impl PriceSheriff {
         let first_server = 2 + usize::from(has_db);
         let server_ids: Vec<NodeId> = (0..n_servers).map(|i| NodeId(first_server + i)).collect();
         let first_ipc = first_server + n_servers;
-        let ipc_ids: Vec<NodeId> = (0..cfg.ipc_locations.len())
-            .map(|i| NodeId(first_ipc + i))
-            .collect();
         let first_ppc = first_ipc + cfg.ipc_locations.len();
 
         // Geography-aware message latency: infrastructure (coordinator,
@@ -1367,7 +678,7 @@ impl PriceSheriff {
         node_countries.extend(cfg.ipc_locations.iter().map(|&(c, _)| Some(c)));
         node_countries.extend(ppcs.iter().map(|s| Some(s.country)));
         let latency = GeoLatency::new(GeoLatencyConfig::default(), node_countries);
-        let mut sim: Simulator<Msg> = Simulator::new(Box::new(latency), cfg.seed);
+        let mut sim: Simulator<ProtoMsg> = Simulator::new(Box::new(latency), cfg.seed);
 
         // One shared registry for the whole system: coordinator, servers,
         // DB, and the simulation engine all publish into it, and the run
@@ -1377,8 +688,8 @@ impl PriceSheriff {
 
         // Coordinator state.
         let mut coordinator = Coordinator::with_telemetry(whitelist, Arc::clone(&telemetry));
-        for (i, &sid) in server_ids.iter().enumerate() {
-            let _ = sid;
+        coordinator.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
+        for i in 0..n_servers {
             coordinator.register_server(&format!("ms-{i}"), 80, 0);
         }
         let mut peer_nodes = HashMap::new();
@@ -1387,116 +698,130 @@ impl PriceSheriff {
             let ip = alloc.allocate(spec.country, spec.city_idx);
             let node = NodeId(first_ppc + i);
             peer_nodes.insert(spec.peer_id, node);
-            let location = locator
-                .locate(ip)
-                .expect("allocated IPs always geolocate");
+            let location = locator.locate(ip).expect("allocated IPs always geolocate");
             coordinator.peer_online(PeerId(spec.peer_id), ip, location.clone());
             ppc_specs_with_ip.push((spec.clone(), ip, location));
         }
 
-        let coord_node = CoordinatorNode {
-            coordinator,
-            dopp_store: DoppelgangerStore::new(),
-            universe: Vec::new(),
-            server_nodes: server_ids.clone(),
+        // The shared Address ↔ NodeId directory.
+        let mut addr_of: Vec<Address> = vec![Address::Coordinator, Address::Aggregator];
+        if has_db {
+            addr_of.push(Address::Database);
+        }
+        addr_of.extend((0..n_servers).map(|index| Address::Server { index }));
+        addr_of.extend((0..cfg.ipc_locations.len()).map(|index| Address::Ipc { index }));
+        addr_of.extend(ppcs.iter().map(|s| Address::Peer { id: s.peer_id }));
+        let map = Arc::new(AddrMap {
+            db: db_id,
+            first_server,
+            first_ipc,
             peer_nodes: peer_nodes.clone(),
-            aggregator: aggregator_id,
-            ppc_per_request: cfg.ppc_per_request,
+            addr_of,
+        });
+
+        let coord_node = CoordinatorNode {
+            proto: CoordinatorProto::new(coordinator, cfg.ppc_per_request),
+            map: Arc::clone(&map),
         };
         assert_eq!(sim.add_node(Box::new(coord_node)), coordinator_id);
 
         let agg_node = AggregatorNode {
-            directory: AggregatorDirectory::new(&[], Vec::new()),
-            tokens: Vec::new(),
+            proto: AggregatorProto::new(),
+            map: Arc::clone(&map),
         };
         assert_eq!(sim.add_node(Box::new(agg_node)), aggregator_id);
 
         if has_db {
             let db_node = DbNode {
-                database: Database::new(),
-                cost: cfg.db_cost,
-                active: 0,
-                pending: HashMap::new(),
+                proto: DbProto::new(cfg.db_cost),
+                map: Arc::clone(&map),
                 telemetry: DbTelemetry::new(&telemetry),
             };
             assert_eq!(sim.add_node(Box::new(db_node)), db_id.expect("has_db"));
         }
 
+        let ipc_addrs: Vec<Address> = (0..cfg.ipc_locations.len())
+            .map(|index| Address::Ipc { index })
+            .collect();
         for (i, &sid) in server_ids.iter().enumerate() {
             let node = MeasurementNode {
                 index: i,
-                coordinator: coordinator_id,
-                db: db_id,
-                ipcs: ipc_ids.clone(),
-                jobs: HashMap::new(),
-                rates: rates.clone(),
-                target_currency: cfg.target_currency.clone(),
-                proc_per_reply_ms: cfg.proc_per_reply_ms,
-                context_switch_alpha: cfg.context_switch_alpha,
-                job_deadline_ms: cfg.job_deadline_ms,
-                db_cost: cfg.db_cost,
-                integrated_db: cfg.version == SystemVersion::V1,
-                database: Database::new(),
-                cpu_free_at: SimTime::ZERO,
-                heartbeat_every: SimTime::from_secs(10),
+                proto: MeasurementProto::new(MeasurementParams {
+                    index: i,
+                    ipcs: ipc_addrs.clone(),
+                    rates: rates.clone(),
+                    target_currency: cfg.target_currency.clone(),
+                    proc_per_reply_ms: cfg.proc_per_reply_ms,
+                    context_switch_alpha: cfg.context_switch_alpha,
+                    job_deadline_ms: cfg.job_deadline_ms,
+                    db_cost: cfg.db_cost,
+                    integrated_db: cfg.version == SystemVersion::V1,
+                    heartbeat_every_ms: cfg.heartbeat_every_ms,
+                }),
+                map: Arc::clone(&map),
                 telemetry: MeasurementTelemetry::new(&telemetry, i),
             };
             assert_eq!(sim.add_node(Box::new(node)), sid);
-            sim.inject_timer(SimTime::from_millis(100), sid, TIMER_HEARTBEAT);
+            sim.inject_timer(SimTime::from_millis(100), sid, TimerKind::Heartbeat.token());
         }
 
         for (i, &(country, city_idx)) in cfg.ipc_locations.iter().enumerate() {
             let ip = alloc.allocate(country, city_idx);
             let city = locator.locate(ip).and_then(|l| l.city);
             let node = IpcNode {
-                engine: IpcEngine {
-                    id: i as u64,
-                    country,
-                    city_idx,
-                    ip,
-                    user_agent: UserAgent {
-                        os: sheriff_market::pricing::Os::Linux,
-                        browser: sheriff_market::pricing::Browser::Firefox,
+                proto: IpcProto {
+                    engine: IpcEngine {
+                        id: i as u64,
+                        country,
+                        city_idx,
+                        ip,
+                        user_agent: UserAgent {
+                            os: sheriff_market::pricing::Os::Linux,
+                            browser: sheriff_market::pricing::Browser::Firefox,
+                        },
                     },
+                    city,
                 },
                 world: Arc::clone(&world),
-                fetch_median_ms: cfg.ipc_fetch_median_ms,
-                fetch_sigma: cfg.fetch_sigma,
-                overload_prob: cfg.ipc_overload_prob,
-                overload_ms: cfg.ipc_overload_ms,
-                kill_ms: cfg.fetch_kill_ms,
-                city,
+                map: Arc::clone(&map),
+                timing: FetchTiming {
+                    median_ms: cfg.ipc_fetch_median_ms,
+                    sigma: cfg.fetch_sigma,
+                    overload_prob: cfg.ipc_overload_prob,
+                    overload_ms: cfg.ipc_overload_ms,
+                    kill_ms: cfg.fetch_kill_ms,
+                },
             };
-            assert_eq!(sim.add_node(Box::new(node)), ipc_ids[i]);
+            assert_eq!(sim.add_node(Box::new(node)), NodeId(first_ipc + i));
         }
 
         for (i, (spec, ip, location)) in ppc_specs_with_ip.into_iter().enumerate() {
             let node = AddonNode {
-                engine: PpcEngine {
-                    peer_id: spec.peer_id,
-                    browser: BrowserProfile::new(),
-                    ledger: PollutionLedger::new(),
-                    ip,
-                    country: spec.country,
-                    city_idx: spec.city_idx,
-                    user_agent: spec.user_agent,
-                    affluence: spec.affluence,
-                    logged_in_domains: spec.logged_in_domains.clone(),
-                },
+                proto: PeerProto::new(
+                    PpcEngine {
+                        peer_id: spec.peer_id,
+                        browser: BrowserProfile::new(),
+                        ledger: PollutionLedger::new(),
+                        ip,
+                        country: spec.country,
+                        city_idx: spec.city_idx,
+                        user_agent: spec.user_agent,
+                        affluence: spec.affluence,
+                        logged_in_domains: spec.logged_in_domains.clone(),
+                    },
+                    location.city,
+                    cfg.target_currency.clone(),
+                    cfg.enable_doppelgangers,
+                ),
                 world: Arc::clone(&world),
-                coordinator: coordinator_id,
-                aggregator: aggregator_id,
-                city: location.city,
-                target_currency: cfg.target_currency.clone(),
-                fetch_median_ms: cfg.ppc_fetch_median_ms,
-                fetch_sigma: cfg.fetch_sigma,
-                kill_ms: cfg.fetch_kill_ms,
-                doppelgangers_enabled: cfg.enable_doppelgangers,
-                own_pending: HashMap::new(),
-                job_tags: HashMap::new(),
-                dopp_pending: HashMap::new(),
-                completed: Vec::new(),
-                sandbox_violations: 0,
+                map: Arc::clone(&map),
+                timing: FetchTiming {
+                    median_ms: cfg.ppc_fetch_median_ms,
+                    sigma: cfg.fetch_sigma,
+                    overload_prob: 0.0,
+                    overload_ms: 0,
+                    kill_ms: cfg.fetch_kill_ms,
+                },
             };
             assert_eq!(sim.add_node(Box::new(node)), NodeId(first_ppc + i));
         }
@@ -1540,7 +865,7 @@ impl PriceSheriff {
             at,
             node,
             node,
-            Msg::StartCheck {
+            ProtoMsg::StartCheck {
                 domain: domain.to_string(),
                 product,
                 local_tag: tag,
@@ -1548,18 +873,28 @@ impl PriceSheriff {
         );
     }
 
+    /// Asks the Coordinator (through the protocol, from `peer`'s add-on)
+    /// to decommission Measurement server `index`; the outcome lands in
+    /// [`PriceSheriff::server_removals`].
+    pub fn request_remove_server(&mut self, at: SimTime, peer: u64, index: usize) {
+        let node = *self
+            .ppc_nodes
+            .get(&peer)
+            .unwrap_or_else(|| panic!("unknown peer {peer}"));
+        self.sim
+            .inject(at, self.coordinator, node, ProtoMsg::RemoveServer { index });
+    }
+
     /// Lets a peer browse a product page for themselves (builds pollution
     /// budget and realistic state).
     pub fn prime_visit(&mut self, peer: u64, domain: &str, product: ProductId, n: u64) {
         let node = *self.ppc_nodes.get(&peer).expect("unknown peer");
         let world = Arc::clone(&self.world);
-        let addon = self
-            .sim
-            .node_mut::<AddonNode>(node)
-            .expect("ppc node type");
+        let addon = self.sim.node_mut::<AddonNode>(node).expect("ppc node type");
         let mut w = world.lock();
         for i in 0..n {
             addon
+                .proto
                 .engine
                 .user_visit(&mut w, domain, product, 0, i * 1000, i);
         }
@@ -1567,7 +902,6 @@ impl PriceSheriff {
 
     /// Installs doppelgangers: trains one per centroid at the Coordinator
     /// and hands the Aggregator the peer→cluster mapping.
-    #[allow(clippy::too_many_arguments)]
     pub fn install_doppelgangers(
         &mut self,
         centroids: &[Vec<u64>],
@@ -1575,22 +909,23 @@ impl PriceSheriff {
         assignments: &[(u64, usize)],
         seed: u64,
     ) {
-        use rand::SeedableRng as _;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let tokens = {
             let coord = self
                 .sim
                 .node_mut::<CoordinatorNode>(self.coordinator)
                 .expect("coordinator node");
-            coord.universe = universe.to_vec();
-            coord.dopp_store.train_all(centroids, universe, &mut rng)
+            coord.proto.universe = universe.to_vec();
+            coord
+                .proto
+                .dopp_store
+                .train_all(centroids, universe, &mut rng)
         };
         let agg = self
             .sim
             .node_mut::<AggregatorNode>(self.aggregator)
             .expect("aggregator node");
-        agg.directory = AggregatorDirectory::new(assignments, tokens.clone());
-        agg.tokens = tokens;
+        agg.proto.install(assignments, tokens);
     }
 
     /// Runs the simulation until idle (bounded by `max_events`). Note the
@@ -1611,10 +946,60 @@ impl PriceSheriff {
         let mut out = Vec::new();
         for &node in self.ppc_nodes.values() {
             if let Some(addon) = self.sim.node_ref::<AddonNode>(node) {
-                out.extend(addon.completed.iter().cloned());
+                out.extend(addon.proto.completed.iter().map(|c| CompletedCheck {
+                    check: c.check.clone(),
+                    submitted: SimTime::from_millis(c.submitted_ms),
+                    completed: SimTime::from_millis(c.completed_ms),
+                }));
             }
         }
         out.sort_by_key(|c| c.check.job_id);
+        out
+    }
+
+    /// Harvests every Coordinator rejection observed by the add-ons, as
+    /// `(peer, local_tag, reason)`.
+    pub fn rejections(&self) -> Vec<(u64, u64, String)> {
+        let mut out = Vec::new();
+        for (&peer, &node) in &self.ppc_nodes {
+            if let Some(addon) = self.sim.node_ref::<AddonNode>(node) {
+                out.extend(
+                    addon
+                        .proto
+                        .rejected
+                        .iter()
+                        .map(|(tag, reason)| (peer, *tag, reason.clone())),
+                );
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Harvests every `ServerRemoved` ack observed by the add-ons, as
+    /// `(server_index, removed)`.
+    pub fn server_removals(&self) -> Vec<(usize, bool)> {
+        let mut out = Vec::new();
+        for &node in self.ppc_nodes.values() {
+            if let Some(addon) = self.sim.node_ref::<AddonNode>(node) {
+                out.extend(addon.proto.server_removals.iter().copied());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Remote fetches served per mode across all peers:
+    /// `[clean, real-state, doppelganger]`.
+    pub fn fetch_mode_counts(&self) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        for &node in self.ppc_nodes.values() {
+            if let Some(addon) = self.sim.node_ref::<AddonNode>(node) {
+                for (acc, n) in out.iter_mut().zip(addon.proto.fetches_by_mode) {
+                    *acc += n;
+                }
+            }
+        }
         out
     }
 
@@ -1624,7 +1009,7 @@ impl PriceSheriff {
         self.ppc_nodes
             .values()
             .filter_map(|&n| self.sim.node_ref::<AddonNode>(n))
-            .map(|a| a.sandbox_violations)
+            .map(|a| a.proto.sandbox_violations)
             .sum()
     }
 
@@ -1632,7 +1017,7 @@ impl PriceSheriff {
     pub fn monitoring_panel(&self) -> String {
         self.sim
             .node_ref::<CoordinatorNode>(self.coordinator)
-            .map(|c| c.coordinator.monitoring_panel())
+            .map(|c| c.proto.coordinator.monitoring_panel())
             .unwrap_or_default()
     }
 }
@@ -1669,12 +1054,20 @@ mod tests {
         assert_eq!(done.len(), 1, "check must complete");
         let check = &done[0].check;
         // Initiator + 30 IPCs + up to 3 PPCs.
-        assert!(check.observations.len() >= 31, "got {}", check.observations.len());
+        assert!(
+            check.observations.len() >= 31,
+            "got {}",
+            check.observations.len()
+        );
         assert!(check.observations.len() <= 34);
         let valid = check.valid().count();
         assert!(valid >= 31, "valid={valid}");
         // Steam discriminates by country: differences must be visible.
-        assert!(check.has_difference(0.01), "spread={:?}", check.relative_spread());
+        assert!(
+            check.has_difference(0.01),
+            "spread={:?}",
+            check.relative_spread()
+        );
         assert_eq!(sheriff.sandbox_violations(), 0);
     }
 
@@ -1718,6 +1111,10 @@ mod tests {
         sheriff.submit_check(SimTime::ZERO, 100, "not-in-world.example", ProductId(0));
         sheriff.run(100_000);
         assert!(sheriff.completed().is_empty());
+        let rejections = sheriff.rejections();
+        assert_eq!(rejections.len(), 1);
+        assert_eq!(rejections[0].0, 100, "rejection lands at the initiator");
+        assert!(rejections[0].2.contains("Rejected"), "{:?}", rejections[0]);
     }
 
     #[test]
@@ -1756,5 +1153,53 @@ mod tests {
         let panel = sheriff.monitoring_panel();
         assert!(panel.contains("ms-0"));
         assert!(panel.contains("ms-1"));
+    }
+
+    #[test]
+    fn heartbeat_expiry_takes_servers_offline_mid_job() {
+        let world = World::build(&WorldConfig::small(), 37);
+        let mut cfg = SheriffConfig::fast(37);
+        // Beacons never fire; the Coordinator's patience runs out while
+        // the first job is still in flight.
+        cfg.heartbeat_every_ms = 3_600_000;
+        cfg.heartbeat_timeout_ms = 500;
+        let mut sheriff = PriceSheriff::new(cfg, world, &specs(Country::ES, 3));
+        sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(0));
+        // By now every server's last heartbeat (t=0) is stale.
+        sheriff.submit_check(SimTime::from_secs(5), 101, "steampowered.com", ProductId(1));
+        sheriff.run_until(SimTime::from_mins(2));
+        // The in-flight job still completes; the late one is refused.
+        assert_eq!(sheriff.completed().len(), 1);
+        let rejections = sheriff.rejections();
+        assert_eq!(rejections.len(), 1);
+        assert_eq!(rejections[0].0, 101);
+        assert!(
+            rejections[0].2.contains("NoServerAvailable"),
+            "{:?}",
+            rejections[0]
+        );
+        let snap = sheriff.telemetry().snapshot();
+        assert!(snap.counters["coordinator.heartbeats_expired"] >= 1);
+    }
+
+    #[test]
+    fn remove_server_refused_while_queue_non_drained() {
+        let world = World::build(&WorldConfig::small(), 41);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(41), world, &specs(Country::ES, 3));
+        sheriff.submit_check(SimTime::ZERO, 100, "amazon.com", ProductId(0));
+        // The check is mid-flight at t=200ms: its server has pending work.
+        sheriff.request_remove_server(SimTime::from_millis(200), 101, 0);
+        sheriff.request_remove_server(SimTime::from_millis(200), 101, 1);
+        // Well after completion both queues are drained.
+        sheriff.request_remove_server(SimTime::from_secs(60), 102, 0);
+        sheriff.run_until(SimTime::from_mins(2));
+        assert_eq!(sheriff.completed().len(), 1);
+        let removals = sheriff.server_removals();
+        // One of the two t=200ms requests hits the busy server.
+        assert!(removals.contains(&(0, true)) || removals.contains(&(1, true)));
+        assert!(
+            removals.iter().any(|&(_, removed)| !removed),
+            "the busy server must refuse decommissioning: {removals:?}"
+        );
     }
 }

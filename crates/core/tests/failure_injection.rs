@@ -31,10 +31,8 @@ fn captcha_blocked_ipcs_yield_failed_observations_not_hangs() {
     // Arm an aggressive bot detector on the target: the 30 IPC fetches of
     // each check hammer it from fixed IPs, so repeat checks trip CAPTCHAs.
     let mut world = World::build(&WorldConfig::small(), 61);
-    world
-        .retailer_mut("steampowered.com")
-        .expect("domain")
-        .bot = Some(BotDetector::new(600_000, 2));
+    world.retailer_mut("steampowered.com").expect("domain").bot =
+        Some(BotDetector::new(600_000, 2));
 
     // Six distinct initiators and no PPC fan-out: every residential IP is
     // hit once, while the 30 fixed-IP IPCs are hit once per check and blow
@@ -112,7 +110,11 @@ fn unknown_product_checks_do_not_wedge_the_system() {
     sheriff.submit_check(SimTime::from_secs(1), 101, "amazon.com", ProductId(1));
     sheriff.run_until(SimTime::from_mins(5));
     let done = sheriff.completed();
-    assert_eq!(done.len(), 1, "valid check must complete despite the poison one");
+    assert_eq!(
+        done.len(),
+        1,
+        "valid check must complete despite the poison one"
+    );
     assert!(done[0].check.url.ends_with("/1"));
 }
 
@@ -163,5 +165,8 @@ fn zero_peer_system_still_answers_with_ipcs_only() {
         .filter(|o| o.vantage == sheriff_core::records::VantageKind::Ppc)
         .count();
     assert_eq!(ppc_obs, 0, "no peers exist to ask");
-    assert!(done[0].check.observations.len() >= 31, "initiator + 30 IPCs");
+    assert!(
+        done[0].check.observations.len() >= 31,
+        "initiator + 30 IPCs"
+    );
 }

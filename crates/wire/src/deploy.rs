@@ -1,103 +1,508 @@
-//! A real localhost deployment: Coordinator, Measurement server, and peer
-//! listeners on ephemeral TCP ports, speaking the [`crate::proto`] protocol
-//! over [`crate::frame`] frames.
+//! A real localhost deployment of the Price $heriff over TCP.
 //!
-//! This is the "does it actually run on sockets" proof. The synthetic web
-//! sits behind a shared mutex (each peer fetches pages locally, as the real
-//! add-on's browser would); everything else — job assignment, fan-out,
-//! Tags-Path extraction, currency conversion, result streaming — happens
-//! over real connections between real threads.
+//! This is the "does it actually run on sockets" proof — and since the
+//! protocol refactor it is a *thin transport adapter*: every role
+//! (Coordinator, Aggregator, Measurement servers, Database server, IPCs,
+//! PPC add-ons) is one of the sans-IO state machines from
+//! [`sheriff_core::protocol`], exactly the ones the discrete-event
+//! simulation drives. Each node owns a TCP listener on an ephemeral
+//! localhost port plus two threads:
+//!
+//! * an **acceptor** that reads one [`Envelope`] per connection
+//!   (connect–write–close transport) and queues it for the worker;
+//! * a **worker** that feeds the machine (`on_message`, and `on_timer`
+//!   from a local timer heap) and dispatches the emitted
+//!   [`Output`](sheriff_core::protocol::Output) commands: sends become
+//!   fresh connections to the destination's listener, timers land on the
+//!   heap. Time is real elapsed milliseconds since deployment start.
+//!
+//! Because the state machines are shared with the simulator, the TCP path
+//! gets the full §3.2 semantics — least-pending job assignment, IPC + PPC
+//! fan-out, pollution budgets, doppelganger redemption — rather than a
+//! hand-rolled approximation, and the `backend_parity` integration test
+//! pins both backends to identical observation sets.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sheriff_core::coordinator::{Coordinator, PeerId};
+use sheriff_core::pollution::PollutionLedger;
+use sheriff_core::protocol::{
+    Address, AggregatorProto, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
+    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, TimerKind,
+};
+use sheriff_core::proxy::{IpcEngine, PpcEngine};
+use sheriff_core::records::PriceCheck;
+use sheriff_core::system::{PpcSpec, SheriffConfig, SystemVersion};
+use sheriff_core::{BrowserProfile, Whitelist};
+use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_telemetry::Registry;
 
-use sheriff_core::measurement::{process_response, VantageMeta};
-use sheriff_core::records::VantageKind;
-use sheriff_core::whitelist::split_url;
-use sheriff_currency::FixedRates;
-use sheriff_geo::{Country, IpAllocator, IpV4};
-use sheriff_html::tagspath::TagsPath;
-use sheriff_html::Document;
-use sheriff_market::pricing::{Browser, Os};
-use sheriff_market::{CookieJar, FetchContext, FetchResult, ProductId, UserAgent, World};
-
-use crate::proto::{ResultRow, WireMsg};
+use crate::proto::{rows_from_check, Envelope, ResultRow};
 use crate::telemetry::WireTelemetry;
+
+/// How long [`MiniDeployment::run_check`] waits before declaring a check
+/// lost.
+const CHECK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything the initiating add-ons surface to the outside world.
+#[derive(Default)]
+struct SinkState {
+    completed: Vec<CompletedProtoCheck>,
+    /// `(local_tag, reason)`.
+    rejected: Vec<(u64, String)>,
+    /// `(server_index, removed)` acks.
+    removals: Vec<(usize, bool)>,
+}
+
+/// The sink uses `std::sync` primitives (the vendored `parking_lot` has
+/// no condvar); the world stays behind `parking_lot::Mutex` to match the
+/// core crate's types.
+struct Sink {
+    state: std::sync::Mutex<SinkState>,
+    cv: std::sync::Condvar,
+}
+
+impl Sink {
+    /// Blocks on the sink until `pick` yields, or `deadline` passes.
+    fn wait_for<T>(
+        &self,
+        deadline: Instant,
+        mut pick: impl FnMut(&mut SinkState) -> Option<T>,
+    ) -> Option<T> {
+        let mut st = self.state.lock().expect("sink poisoned");
+        loop {
+            if let Some(v) = pick(&mut st) {
+                return Some(v);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(st, remaining).expect("sink poisoned");
+            st = guard;
+        }
+    }
+}
+
+/// One role machine plus whatever driver-side state it needs.
+enum Role {
+    Coordinator {
+        proto: Box<CoordinatorProto>,
+        rng: StdRng,
+    },
+    Aggregator {
+        proto: AggregatorProto,
+    },
+    Measurement {
+        proto: Box<MeasurementProto>,
+        /// Liveness beacon period; also when the first beacon fires (a
+        /// fixed phase keeps deployment frame counts deterministic).
+        beacon_every_ms: u64,
+    },
+    Database {
+        proto: Box<DbProto>,
+    },
+    Ipc {
+        proto: Box<IpcProto>,
+    },
+    Peer {
+        proto: Box<PeerProto>,
+    },
+}
+
+/// Shared per-node driver context.
+struct NodeCtx {
+    me: Address,
+    dir: Arc<HashMap<Address, SocketAddr>>,
+    wire: Arc<WireTelemetry>,
+    world: Arc<Mutex<World>>,
+    epoch: Instant,
+    sink: Arc<Sink>,
+}
+
+impl NodeCtx {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn send(&self, to: Address, msg: ProtoMsg) {
+        let Some(addr) = self.dir.get(&to) else {
+            return;
+        };
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = Envelope { from: self.me, msg }.send_counted(&mut s, &self.wire);
+        }
+    }
+
+    /// Applies outputs: sends go out immediately (over loopback the real
+    /// fetch already *happened* — there is no latency to model), timers
+    /// land on the worker's heap as real deadlines.
+    fn dispatch(&self, out: Vec<Output>, timers: &mut BinaryHeap<Reverse<(Instant, u64)>>) {
+        for o in out {
+            match o {
+                Output::Send { to, msg } | Output::SendFetched { to, msg } => self.send(to, msg),
+                Output::Timer { delay_ms, kind } => {
+                    timers.push(Reverse((
+                        Instant::now() + Duration::from_millis(delay_ms),
+                        kind.token(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, tx: mpsc::Sender<Envelope>, wire: Arc<WireTelemetry>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // A connected-but-silent client must not wedge the node.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        // Rude clients (instant hang-up) and garbage frames are the
+        // transport's problem, not the protocol's: drop and continue.
+        if let Ok(Some(env)) = Envelope::recv_counted(&mut stream, &wire) {
+            let stop = env.msg == ProtoMsg::Shutdown;
+            if tx.send(env).is_err() || stop {
+                break;
+            }
+        }
+    }
+}
+
+fn worker_loop(mut role: Role, rx: mpsc::Receiver<Envelope>, ctx: NodeCtx) {
+    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    if let Role::Measurement {
+        beacon_every_ms, ..
+    } = &role
+    {
+        timers.push(Reverse((
+            ctx.epoch + Duration::from_millis(*beacon_every_ms),
+            TimerKind::Heartbeat.token(),
+        )));
+    }
+    loop {
+        // Fire every due timer.
+        let now = Instant::now();
+        while timers.peek().is_some_and(|Reverse((t, _))| *t <= now) {
+            let Some(Reverse((_, token))) = timers.pop() else {
+                break;
+            };
+            let Some(kind) = TimerKind::from_token(token) else {
+                continue;
+            };
+            let mut out = Vec::new();
+            match &mut role {
+                Role::Measurement { proto, .. } => {
+                    let mut events = Vec::new();
+                    proto.on_timer(ctx.now_ms(), kind, &mut out, &mut events);
+                }
+                Role::Database { proto } => {
+                    let mut events = Vec::new();
+                    proto.on_timer(kind, &mut out, &mut events);
+                }
+                _ => {}
+            }
+            ctx.dispatch(out, &mut timers);
+        }
+
+        let wait = timers
+            .peek()
+            .map(|Reverse((t, _))| t.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(500))
+            .min(Duration::from_millis(500));
+        let env = match rx.recv_timeout(wait) {
+            Ok(env) => env,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        if env.msg == ProtoMsg::Shutdown {
+            break;
+        }
+        let now_ms = ctx.now_ms();
+        let mut out = Vec::new();
+        match &mut role {
+            Role::Coordinator { proto, rng } => {
+                proto.on_message(now_ms, env.from, env.msg, rng, &mut out);
+            }
+            Role::Aggregator { proto } => proto.on_message(env.from, env.msg, &mut out),
+            Role::Measurement { proto, .. } => {
+                let mut events = Vec::new();
+                proto.on_message(now_ms, env.from, env.msg, &mut out, &mut events);
+            }
+            Role::Database { proto } => {
+                let mut events = Vec::new();
+                proto.on_message(env.from, env.msg, &mut out, &mut events);
+            }
+            Role::Ipc { proto } => {
+                let mut world = ctx.world.lock();
+                proto.on_message(now_ms, env.from, env.msg, &mut world, &mut out);
+            }
+            Role::Peer { proto } => {
+                {
+                    let mut world = ctx.world.lock();
+                    proto.on_message(now_ms, env.from, env.msg, &mut world, &mut out);
+                }
+                drain_peer(proto, &ctx.sink);
+            }
+        }
+        ctx.dispatch(out, &mut timers);
+    }
+}
+
+/// Moves the add-on's freshly observable outcomes into the shared sink.
+fn drain_peer(proto: &mut PeerProto, sink: &Sink) {
+    if proto.completed.is_empty() && proto.rejected.is_empty() && proto.server_removals.is_empty() {
+        return;
+    }
+    let mut st = sink.state.lock().expect("sink poisoned");
+    st.completed.append(&mut proto.completed);
+    st.rejected.append(&mut proto.rejected);
+    st.removals.append(&mut proto.server_removals);
+    sink.cv.notify_all();
+}
 
 /// The running deployment.
 pub struct MiniDeployment {
-    coordinator_addr: SocketAddr,
-    server_addr: SocketAddr,
-    peer_addrs: Vec<SocketAddr>,
+    dir: Arc<HashMap<Address, SocketAddr>>,
     handles: Vec<JoinHandle<()>>,
     world: Arc<Mutex<World>>,
     telemetry: Arc<Registry>,
     wire: Arc<WireTelemetry>,
+    sink: Arc<Sink>,
+    next_tag: AtomicU64,
 }
 
 impl MiniDeployment {
-    /// Starts coordinator + one Measurement server + one listener per peer
-    /// on ephemeral localhost ports.
+    /// Starts a minimal deployment: v1 ($heriff) configuration, one
+    /// Measurement server, no IPCs — peer fan-out only, with timings
+    /// shrunk to wall-clock test scale. The full configuration surface is
+    /// [`MiniDeployment::start_with`].
     pub fn start(world: World, peers: &[(u64, Country)]) -> io::Result<MiniDeployment> {
+        let mut cfg = SheriffConfig::v1(7);
+        cfg.ipc_locations.clear();
+        cfg.proc_per_reply_ms = 2.0;
+        cfg.context_switch_alpha = 0.0;
+        cfg.job_deadline_ms = 8_000;
+        cfg.heartbeat_every_ms = 3_600_000;
+        let specs: Vec<PpcSpec> = peers
+            .iter()
+            .map(|&(peer_id, country)| PpcSpec {
+                peer_id,
+                country,
+                city_idx: 0,
+                user_agent: UserAgent {
+                    os: Os::Linux,
+                    browser: Browser::Firefox,
+                },
+                affluence: 0.3,
+                logged_in_domains: vec![],
+            })
+            .collect();
+        Self::start_with(world, cfg, &specs)
+    }
+
+    /// Starts the full system over TCP with the *same* configuration type
+    /// the discrete-event backend takes. Fetch-latency knobs are ignored
+    /// (loopback fetches are real); everything protocol-visible —
+    /// version, server count, IPC roster, PPCs per request, currency,
+    /// doppelganger switch, heartbeat policy — behaves identically.
+    pub fn start_with(
+        world: World,
+        cfg: SheriffConfig,
+        peers: &[PpcSpec],
+    ) -> io::Result<MiniDeployment> {
+        let whitelist = Whitelist::with_domains(world.domains().map(str::to_string));
         let world = Arc::new(Mutex::new(world));
         let rates = world.lock().rates.clone();
-        let mut handles = Vec::new();
         let mut alloc = IpAllocator::new();
+        let locator = GeoLocator::new(Granularity::City);
         let telemetry = Arc::new(Registry::new());
         let wire = Arc::new(WireTelemetry::new(&telemetry));
+        let sink = Arc::new(Sink {
+            state: std::sync::Mutex::new(SinkState::default()),
+            cv: std::sync::Condvar::new(),
+        });
 
-        // Peers.
-        let mut peer_addrs = Vec::new();
-        for &(peer_id, country) in peers {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            peer_addrs.push(listener.local_addr()?);
-            let ip = alloc.allocate(country, 0);
-            let world = Arc::clone(&world);
-            let rates = rates.clone();
-            let wire = Arc::clone(&wire);
-            handles.push(std::thread::spawn(move || {
-                peer_loop(listener, peer_id, country, ip, world, rates, wire);
-            }));
+        let n_servers = if cfg.version == SystemVersion::V1 {
+            1
+        } else {
+            cfg.n_measurement_servers
+        };
+        let has_db = cfg.version == SystemVersion::V2;
+
+        // Coordinator state. IP allocation order matches the DES backend
+        // exactly (peers first, then IPCs) so both produce identical
+        // observation sets under the same world seed.
+        let mut coordinator = Coordinator::with_telemetry(whitelist, Arc::clone(&telemetry));
+        coordinator.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
+        for i in 0..n_servers {
+            coordinator.register_server(&format!("ms-{i}"), 80, 0);
+        }
+        let mut peer_setups = Vec::new();
+        for spec in peers {
+            let ip = alloc.allocate(spec.country, spec.city_idx);
+            let location = locator.locate(ip).expect("allocated IPs always geolocate");
+            coordinator.peer_online(PeerId(spec.peer_id), ip, location.clone());
+            peer_setups.push((spec.clone(), ip, location));
         }
 
-        // Measurement server.
-        let server_listener = TcpListener::bind("127.0.0.1:0")?;
-        let server_addr = server_listener.local_addr()?;
-        {
-            let world = Arc::clone(&world);
-            let rates = rates.clone();
-            let peer_addrs = peer_addrs.clone();
-            let wire = Arc::clone(&wire);
-            handles.push(std::thread::spawn(move || {
-                measurement_loop(server_listener, world, rates, peer_addrs, wire);
-            }));
+        // Bind every listener up front so the address directory is
+        // complete before any thread runs.
+        let mut listeners: Vec<(Address, TcpListener)> = Vec::new();
+        let mut dir = HashMap::new();
+        let bind = |addr: Address,
+                    listeners: &mut Vec<(Address, TcpListener)>,
+                    dir: &mut HashMap<Address, SocketAddr>|
+         -> io::Result<()> {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            dir.insert(addr, l.local_addr()?);
+            listeners.push((addr, l));
+            Ok(())
+        };
+        bind(Address::Coordinator, &mut listeners, &mut dir)?;
+        bind(Address::Aggregator, &mut listeners, &mut dir)?;
+        if has_db {
+            bind(Address::Database, &mut listeners, &mut dir)?;
         }
+        for index in 0..n_servers {
+            bind(Address::Server { index }, &mut listeners, &mut dir)?;
+        }
+        for index in 0..cfg.ipc_locations.len() {
+            bind(Address::Ipc { index }, &mut listeners, &mut dir)?;
+        }
+        for spec in peers {
+            bind(Address::Peer { id: spec.peer_id }, &mut listeners, &mut dir)?;
+        }
+        let dir = Arc::new(dir);
+        let epoch = Instant::now();
 
-        // Coordinator.
-        let coord_listener = TcpListener::bind("127.0.0.1:0")?;
-        let coordinator_addr = coord_listener.local_addr()?;
-        {
-            let world = Arc::clone(&world);
-            let wire = Arc::clone(&wire);
+        let ipc_addrs: Vec<Address> = (0..cfg.ipc_locations.len())
+            .map(|index| Address::Ipc { index })
+            .collect();
+        let mut handles = Vec::new();
+        let mut ipc_engines: HashMap<usize, (IpcEngine, Option<String>)> = HashMap::new();
+        for (i, &(country, city_idx)) in cfg.ipc_locations.iter().enumerate() {
+            let ip = alloc.allocate(country, city_idx);
+            let city = locator.locate(ip).and_then(|l| l.city);
+            ipc_engines.insert(
+                i,
+                (
+                    IpcEngine {
+                        id: i as u64,
+                        country,
+                        city_idx,
+                        ip,
+                        user_agent: UserAgent {
+                            os: Os::Linux,
+                            browser: Browser::Firefox,
+                        },
+                    },
+                    city,
+                ),
+            );
+        }
+        let mut peer_setups: HashMap<u64, _> = peer_setups
+            .into_iter()
+            .map(|(spec, ip, loc)| (spec.peer_id, (spec, ip, loc)))
+            .collect();
+        let mut coordinator = Some(coordinator);
+
+        for (addr, listener) in listeners {
+            let role = match addr {
+                Address::Coordinator => Role::Coordinator {
+                    proto: Box::new(CoordinatorProto::new(
+                        coordinator.take().expect("one coordinator"),
+                        cfg.ppc_per_request,
+                    )),
+                    rng: StdRng::seed_from_u64(cfg.seed),
+                },
+                Address::Aggregator => Role::Aggregator {
+                    proto: AggregatorProto::new(),
+                },
+                Address::Database => Role::Database {
+                    proto: Box::new(DbProto::new(cfg.db_cost)),
+                },
+                Address::Server { index } => Role::Measurement {
+                    proto: Box::new(MeasurementProto::new(MeasurementParams {
+                        index,
+                        ipcs: ipc_addrs.clone(),
+                        rates: rates.clone(),
+                        target_currency: cfg.target_currency.clone(),
+                        proc_per_reply_ms: cfg.proc_per_reply_ms,
+                        context_switch_alpha: cfg.context_switch_alpha,
+                        job_deadline_ms: cfg.job_deadline_ms,
+                        db_cost: cfg.db_cost,
+                        integrated_db: cfg.version == SystemVersion::V1,
+                        heartbeat_every_ms: cfg.heartbeat_every_ms,
+                    })),
+                    beacon_every_ms: cfg.heartbeat_every_ms,
+                },
+                Address::Ipc { index } => {
+                    let (engine, city) = ipc_engines.remove(&index).expect("ipc engine");
+                    Role::Ipc {
+                        proto: Box::new(IpcProto { engine, city }),
+                    }
+                }
+                Address::Peer { id } => {
+                    let (spec, ip, location) = peer_setups.remove(&id).expect("peer spec");
+                    Role::Peer {
+                        proto: Box::new(PeerProto::new(
+                            PpcEngine {
+                                peer_id: spec.peer_id,
+                                browser: BrowserProfile::new(),
+                                ledger: PollutionLedger::new(),
+                                ip,
+                                country: spec.country,
+                                city_idx: spec.city_idx,
+                                user_agent: spec.user_agent,
+                                affluence: spec.affluence,
+                                logged_in_domains: spec.logged_in_domains.clone(),
+                            },
+                            location.city,
+                            cfg.target_currency.clone(),
+                            cfg.enable_doppelgangers,
+                        )),
+                    }
+                }
+            };
+            let (tx, rx) = mpsc::channel();
+            let ctx = NodeCtx {
+                me: addr,
+                dir: Arc::clone(&dir),
+                wire: Arc::clone(&wire),
+                world: Arc::clone(&world),
+                epoch,
+                sink: Arc::clone(&sink),
+            };
+            let wire_for_acceptor = Arc::clone(&wire);
             handles.push(std::thread::spawn(move || {
-                coordinator_loop(coord_listener, world, server_addr, wire);
+                acceptor_loop(listener, tx, wire_for_acceptor);
+            }));
+            handles.push(std::thread::spawn(move || {
+                worker_loop(role, rx, ctx);
             }));
         }
 
         Ok(MiniDeployment {
-            coordinator_addr,
-            server_addr,
-            peer_addrs,
+            dir,
             handles,
             world,
             telemetry,
             wire,
+            sink,
+            next_tag: AtomicU64::new(1),
         })
     }
 
@@ -107,9 +512,10 @@ impl MiniDeployment {
         &self.telemetry
     }
 
-    /// Coordinator address for add-on clients.
+    /// Coordinator address (exposed so tests can poke the socket
+    /// directly, e.g. with rude or malformed clients).
     pub fn coordinator_addr(&self) -> SocketAddr {
-        self.coordinator_addr
+        self.dir[&Address::Coordinator]
     }
 
     /// The shared world (tests inspect ground truth through it).
@@ -117,272 +523,113 @@ impl MiniDeployment {
         Arc::clone(&self.world)
     }
 
-    /// Acts as the browser add-on: runs the full §3.2 protocol for one
-    /// price check and returns the Fig. 2 result rows.
+    /// Runs one full §3.2 price check initiated by `peer`'s add-on and
+    /// returns the completed check.
+    pub fn run_check(
+        &self,
+        peer: u64,
+        domain: &str,
+        product: ProductId,
+    ) -> Result<PriceCheck, String> {
+        let me = Address::Peer { id: peer };
+        if !self.dir.contains_key(&me) {
+            return Err(format!("unknown peer {peer}"));
+        }
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        self.inject(
+            me,
+            me,
+            ProtoMsg::StartCheck {
+                domain: domain.to_string(),
+                product,
+                local_tag: tag,
+            },
+        )?;
+
+        let deadline = Instant::now() + CHECK_TIMEOUT;
+        self.sink
+            .wait_for(deadline, |st| {
+                if let Some(pos) = st.completed.iter().position(|c| c.local_tag == tag) {
+                    return Some(Ok(st.completed.swap_remove(pos).check));
+                }
+                if let Some(pos) = st.rejected.iter().position(|(t, _)| *t == tag) {
+                    let (_, reason) = st.rejected.swap_remove(pos);
+                    return Some(Err(format!("rejected: {reason}")));
+                }
+                None
+            })
+            .unwrap_or_else(|| Err("price check timed out".into()))
+    }
+
+    /// Like [`MiniDeployment::run_check`] but rendered as Fig. 2 result
+    /// rows.
     pub fn run_price_check(
         &self,
+        peer: u64,
         domain: &str,
         product: ProductId,
     ) -> Result<Vec<ResultRow>, String> {
-        // Step 1: ask the Coordinator.
-        let mut coord = TcpStream::connect(self.coordinator_addr).map_err(|e| e.to_string())?;
-        WireMsg::CoordRequest {
-            url: format!("{domain}/product/{}", product.0),
-            peer: 1,
-        }
-        .send_counted(&mut coord, &self.wire)
-        .map_err(|e| e.to_string())?;
-        let assign = WireMsg::recv_counted(&mut coord, &self.wire)
-            .map_err(|e| e.to_string())?
-            .ok_or("coordinator hung up")?;
-        let server_addr = match assign {
-            WireMsg::CoordAssign { server_addr, .. } => server_addr,
-            WireMsg::CoordReject { reason } => return Err(format!("rejected: {reason}")),
-            other => return Err(format!("unexpected reply: {other:?}")),
-        };
-
-        // The "user" fetches their own page and selects the price.
-        let (html, tags_path) = {
-            let mut world = self.world.lock();
-            let rates = world.rates.clone();
-            let jar = CookieJar::new();
-            let ctx = clean_ctx(IpV4(0x0a00_0001), Country::ES, &jar, 1);
-            let template = world
-                .retailer(domain)
-                .map(|r| r.template)
-                .ok_or("unknown domain")?;
-            let retailer = world.retailer_mut(domain).ok_or("unknown domain")?;
-            let result = retailer
-                .fetch(product, &ctx, 0, &rates, 0.0, 1)
-                .ok_or("unknown product")?;
-            let FetchResult::Page { html, .. } = result else {
-                return Err("captcha on initiator fetch".into());
-            };
-            let doc = Document::parse(&html);
-            let (tag, class) = sheriff_market::page::price_markup(template);
-            let el = doc
-                .find_by_class(tag, class)
-                .ok_or("price element missing")?;
-            let path = TagsPath::from_node(&doc, el).ok_or("no tags path")?;
-            (html, path)
-        };
-
-        // Step 3: submit to the Measurement server.
-        let mut server = TcpStream::connect(&server_addr).map_err(|e| e.to_string())?;
-        WireMsg::JobSubmit {
-            job: 1,
-            domain: domain.to_string(),
-            product: product.0,
-            tags_path_json: serde_json::to_string(&tags_path).map_err(|e| e.to_string())?,
-            initiator_html: html,
-        }
-        .send_counted(&mut server, &self.wire)
-        .map_err(|e| e.to_string())?;
-
-        // Step 5: results.
-        match WireMsg::recv_counted(&mut server, &self.wire).map_err(|e| e.to_string())? {
-            Some(WireMsg::Results { rows, .. }) => Ok(rows),
-            other => Err(format!("unexpected reply: {other:?}")),
-        }
+        Ok(rows_from_check(&self.run_check(peer, domain, product)?))
     }
 
-    /// Orderly shutdown: every component receives a Shutdown frame.
-    pub fn shutdown(self) {
-        for addr in std::iter::once(self.coordinator_addr)
-            .chain(std::iter::once(self.server_addr))
-            .chain(self.peer_addrs.iter().copied())
-        {
-            if let Ok(mut s) = TcpStream::connect(addr) {
-                let _ = WireMsg::Shutdown.send_counted(&mut s, &self.wire);
-            }
+    /// Asks the Coordinator (as `via_peer`) to decommission Measurement
+    /// server `index`; returns whether it was removed. The Coordinator
+    /// refuses while the server still has pending jobs.
+    pub fn remove_server(&self, via_peer: u64, index: usize) -> Result<bool, String> {
+        let from = Address::Peer { id: via_peer };
+        let before = self
+            .sink
+            .state
+            .lock()
+            .expect("sink poisoned")
+            .removals
+            .len();
+        self.inject(from, Address::Coordinator, ProtoMsg::RemoveServer { index })?;
+        let deadline = Instant::now() + CHECK_TIMEOUT;
+        self.sink
+            .wait_for(deadline, |st| {
+                st.removals[before.min(st.removals.len())..]
+                    .iter()
+                    .find(|&&(i, _)| i == index)
+                    .map(|&(_, removed)| removed)
+            })
+            .ok_or_else(|| "remove_server timed out".into())
+    }
+
+    /// Sends one envelope into the deployment from the outside.
+    fn inject(&self, from: Address, to: Address, msg: ProtoMsg) -> Result<(), String> {
+        let addr = self.dir.get(&to).ok_or_else(|| format!("unknown {to:?}"))?;
+        let mut s = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        Envelope { from, msg }
+            .send_counted(&mut s, &self.wire)
+            .map_err(|e| e.to_string())
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.handles.is_empty() {
+            return;
         }
-        for h in self.handles {
+        // One Shutdown frame per node: the acceptor forwards it to the
+        // worker and stops accepting; the worker drains and exits.
+        for to in self.dir.keys() {
+            let _ = self.inject(Address::Coordinator, *to, ProtoMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
-}
 
-fn clean_ctx<'a>(
-    ip: IpV4,
-    country: Country,
-    jar: &'a CookieJar,
-    seq: u64,
-) -> FetchContext<'a> {
-    FetchContext {
-        ip,
-        country,
-        cookies: jar,
-        user_agent: UserAgent {
-            os: Os::Linux,
-            browser: Browser::Firefox,
-        },
-        logged_in: false,
-        day: 0,
-        time_quarter: 0,
-        request_seq: seq,
-        client_id: seq,
+    /// Orderly shutdown: every node receives a Shutdown frame, every
+    /// acceptor and worker thread is joined. Also runs on [`Drop`], so a
+    /// deployment can never leak its threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
     }
 }
 
-fn coordinator_loop(
-    listener: TcpListener,
-    world: Arc<Mutex<World>>,
-    server_addr: SocketAddr,
-    wire: Arc<WireTelemetry>,
-) {
-    let jobs = AtomicU64::new(1);
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv_counted(&mut stream, &wire) {
-            Ok(Some(WireMsg::CoordRequest { url, .. })) => {
-                let (domain, _path) = split_url(&url);
-                let known = world.lock().retailer(domain).is_some();
-                let reply = if known {
-                    WireMsg::CoordAssign {
-                        job: jobs.fetch_add(1, Ordering::Relaxed),
-                        server_addr: server_addr.to_string(),
-                    }
-                } else {
-                    WireMsg::CoordReject {
-                        reason: format!("{domain} is not whitelisted"),
-                    }
-                };
-                let _ = reply.send_counted(&mut stream, &wire);
-            }
-            Ok(Some(WireMsg::Shutdown)) => break,
-            _ => {}
-        }
-    }
-}
-
-fn measurement_loop(
-    listener: TcpListener,
-    world: Arc<Mutex<World>>,
-    rates: FixedRates,
-    peer_addrs: Vec<SocketAddr>,
-    wire: Arc<WireTelemetry>,
-) {
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv_counted(&mut stream, &wire) {
-            Ok(Some(WireMsg::JobSubmit {
-                job,
-                domain,
-                product,
-                tags_path_json,
-                initiator_html,
-            })) => {
-                let Ok(path) = serde_json::from_str::<TagsPath>(&tags_path_json) else {
-                    continue;
-                };
-                let mut rows = Vec::new();
-
-                // The initiator's own page.
-                let meta = VantageMeta {
-                    kind: VantageKind::Initiator,
-                    id: 0,
-                    country: Country::ES,
-                    city: None,
-                    ip: IpV4(0),
-                };
-                let obs = process_response(&initiator_html, &path, &meta, "EUR", &rates);
-                rows.push(ResultRow {
-                    label: "You".to_string(),
-                    original: obs.raw_text.clone(),
-                    converted: obs.amount_eur,
-                    low_confidence: obs.low_confidence,
-                });
-
-                // Fan out to every peer over TCP.
-                for (i, addr) in peer_addrs.iter().enumerate() {
-                    let Ok(mut peer) = TcpStream::connect(addr) else {
-                        continue;
-                    };
-                    let order = WireMsg::FetchOrder {
-                        job,
-                        domain: domain.clone(),
-                        product,
-                        seq: job * 100 + i as u64,
-                    };
-                    if order.send_counted(&mut peer, &wire).is_err() {
-                        continue;
-                    }
-                    let Ok(Some(WireMsg::FetchReply {
-                        peer: peer_id,
-                        country,
-                        html,
-                        ..
-                    })) = WireMsg::recv_counted(&mut peer, &wire)
-                    else {
-                        continue;
-                    };
-                    let c = Country::from_code(&country).unwrap_or(Country::ES);
-                    let meta = VantageMeta {
-                        kind: VantageKind::Ppc,
-                        id: peer_id,
-                        country: c,
-                        city: None,
-                        ip: IpV4(0),
-                    };
-                    let obs = process_response(&html, &path, &meta, "EUR", &rates);
-                    rows.push(ResultRow {
-                        label: format!("peer {} ({})", peer_id, c.name()),
-                        original: obs.raw_text.clone(),
-                        converted: obs.amount_eur,
-                        low_confidence: obs.low_confidence,
-                    });
-                }
-                let _ = WireMsg::Results { job, rows }.send_counted(&mut stream, &wire);
-                let _ = &world; // world is only touched by peers in this deployment
-            }
-            Ok(Some(WireMsg::Shutdown)) => break,
-            _ => {}
-        }
-    }
-}
-
-fn peer_loop(
-    listener: TcpListener,
-    peer_id: u64,
-    country: Country,
-    ip: IpV4,
-    world: Arc<Mutex<World>>,
-    rates: FixedRates,
-    wire: Arc<WireTelemetry>,
-) {
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        match WireMsg::recv_counted(&mut stream, &wire) {
-            Ok(Some(WireMsg::FetchOrder {
-                job,
-                domain,
-                product,
-                seq,
-            })) => {
-                let html = {
-                    let mut w = world.lock();
-                    let jar = CookieJar::new();
-                    let ctx = clean_ctx(ip, country, &jar, seq);
-                    w.retailer_mut(&domain)
-                        .and_then(|r| r.fetch(ProductId(product), &ctx, 0, &rates, 0.0, peer_id))
-                        .map(|res| match res {
-                            FetchResult::Page { html, .. } => html,
-                            FetchResult::Captcha { html } => html,
-                        })
-                };
-                if let Some(html) = html {
-                    let _ = WireMsg::FetchReply {
-                        job,
-                        peer: peer_id,
-                        country: country.code().to_string(),
-                        html,
-                    }
-                    .send_counted(&mut stream, &wire);
-                }
-            }
-            Ok(Some(WireMsg::Shutdown)) => break,
-            _ => {}
-        }
+impl Drop for MiniDeployment {
+    fn drop(&mut self) {
+        self.shutdown_impl();
     }
 }
 
@@ -391,30 +638,50 @@ mod tests {
     use super::*;
     use sheriff_market::world::WorldConfig;
 
+    /// Four same-country peers (PPC fan-out is location-local, §6.1) and
+    /// two far-away IPC vantages for cross-country rows.
     fn deployment() -> MiniDeployment {
         let world = World::build(&WorldConfig::small(), 77);
-        MiniDeployment::start(
-            world,
-            &[
-                (10, Country::ES),
-                (11, Country::US),
-                (12, Country::JP),
-            ],
-        )
-        .expect("deployment starts")
+        let mut cfg = SheriffConfig::v1(7);
+        cfg.ipc_locations = vec![(Country::US, 0), (Country::JP, 0)];
+        cfg.proc_per_reply_ms = 2.0;
+        cfg.context_switch_alpha = 0.0;
+        cfg.job_deadline_ms = 8_000;
+        cfg.heartbeat_every_ms = 3_600_000;
+        let specs: Vec<PpcSpec> = [10u64, 11, 12, 13]
+            .iter()
+            .map(|&peer_id| PpcSpec {
+                peer_id,
+                country: Country::ES,
+                city_idx: 0,
+                user_agent: UserAgent {
+                    os: Os::Linux,
+                    browser: Browser::Firefox,
+                },
+                affluence: 0.3,
+                logged_in_domains: vec![],
+            })
+            .collect();
+        MiniDeployment::start_with(world, cfg, &specs).expect("deployment starts")
     }
 
     #[test]
     fn end_to_end_over_tcp() {
         let d = deployment();
         let rows = d
-            .run_price_check("steampowered.com", ProductId(0))
+            .run_price_check(10, "steampowered.com", ProductId(0))
             .expect("check succeeds");
-        // Initiator + 3 peers.
-        assert_eq!(rows.len(), 4);
+        // Initiator + 2 IPCs + 3 same-country PPCs.
+        assert_eq!(rows.len(), 6, "{rows:?}");
         assert!(rows.iter().all(|r| r.converted > 0.0));
-        // Steam discriminates by country: some row differs from the rest.
-        let min = rows.iter().map(|r| r.converted).fold(f64::INFINITY, f64::min);
+        assert!(rows.iter().any(|r| r.label == "You"));
+        assert!(rows.iter().any(|r| r.label.starts_with("IPC ")));
+        assert!(rows.iter().any(|r| r.label.starts_with("peer ")));
+        // Steam discriminates by country: the IPC vantages differ from ES.
+        let min = rows
+            .iter()
+            .map(|r| r.converted)
+            .fold(f64::INFINITY, f64::min);
         let max = rows
             .iter()
             .map(|r| r.converted)
@@ -427,7 +694,7 @@ mod tests {
     fn unknown_domain_rejected_over_tcp() {
         let d = deployment();
         let err = d
-            .run_price_check("evil.example", ProductId(0))
+            .run_price_check(10, "evil.example", ProductId(0))
             .unwrap_err();
         assert!(err.contains("rejected"), "{err}");
         d.shutdown();
@@ -443,7 +710,7 @@ mod tests {
             .find(|x| x.starts_with("store-"))
             .unwrap()
             .to_string();
-        let rows = d.run_price_check(&domain, ProductId(0)).expect("check");
+        let rows = d.run_price_check(11, &domain, ProductId(0)).expect("check");
         let confident: Vec<f64> = rows
             .iter()
             .filter(|r| !r.low_confidence)
@@ -461,9 +728,21 @@ mod tests {
     fn sequential_checks_reuse_deployment() {
         let d = deployment();
         for p in 0..3 {
-            let rows = d.run_price_check("amazon.com", ProductId(p)).expect("check");
-            assert!(rows.len() >= 3);
+            let rows = d
+                .run_price_check(12, "amazon.com", ProductId(p))
+                .expect("check");
+            assert!(rows.len() >= 4, "{rows:?}");
         }
         d.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_all_threads() {
+        let d = deployment();
+        let rows = d
+            .run_price_check(10, "amazon.com", ProductId(0))
+            .expect("check");
+        assert!(!rows.is_empty());
+        drop(d); // Drop must shut the node threads down, not leak them.
     }
 }

@@ -65,7 +65,9 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     let mut len_buf = [0u8; 4];
     // Distinguish clean EOF (no bytes) from mid-frame EOF.
-    if r.read(&mut len_buf[..1])? == 0 { return Ok(None) }
+    if r.read(&mut len_buf[..1])? == 0 {
+        return Ok(None);
+    }
     r.read_exact(&mut len_buf[1..])?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
@@ -129,10 +131,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut cur = Cursor::new(buf);
-        assert!(matches!(
-            read_frame(&mut cur),
-            Err(FrameError::TooLarge(_))
-        ));
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::TooLarge(_))));
     }
 
     #[test]

@@ -3,20 +3,27 @@
 //!
 //! The discrete-event simulation in `sheriff-core` answers the paper's
 //! performance questions; this crate answers "does the protocol actually
-//! run over sockets?". It implements:
+//! run over sockets?". Since the protocol refactor both backends execute
+//! the *same* sans-IO state machines from `sheriff_core::protocol` — this
+//! crate only supplies the transport:
 //!
 //! * [`frame`] — a 4-byte big-endian length prefix followed by a JSON
 //!   payload (the classic framing exercise; JSON because the deployed
 //!   back-end spoke PHP/JS, §10.5);
-//! * [`proto`] — the wire messages of the §3.2 protocol;
-//! * [`deploy`] — a Coordinator + Measurement-server + peers deployment on
-//!   ephemeral localhost ports, driven by real threads and real sockets;
+//! * [`proto`] — the [`Envelope`] wrapper that carries
+//!   `sheriff_core::protocol::ProtoMsg` (the one unified message enum)
+//!   over frames, plus the Fig. 2 [`ResultRow`] view;
+//! * [`deploy`] — the full node roster (Coordinator, Aggregator,
+//!   Measurement/Database servers, IPCs, PPC add-ons) on ephemeral
+//!   localhost ports, one acceptor + worker thread pair per node, with
+//!   graceful shutdown that joins every thread;
 //! * [`telemetry`] — frame/byte counters shared by every framed send and
 //!   receive in the deployment, so loopback traffic balances exactly.
 //!
 //! Everything is blocking `std::net` with bounded reads: no async runtime
 //! is needed for a handful of connections, and determinism of the *content*
-//! is preserved because the synthetic web behind it is deterministic.
+//! is preserved because the synthetic web behind it is deterministic — the
+//! `backend_parity` test pins DES and TCP runs to identical observations.
 
 #![warn(missing_docs)]
 
@@ -27,5 +34,5 @@ pub mod telemetry;
 
 pub use deploy::MiniDeployment;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
-pub use proto::WireMsg;
+pub use proto::{rows_from_check, Envelope, ResultRow};
 pub use telemetry::WireTelemetry;

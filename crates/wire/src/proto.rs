@@ -1,96 +1,37 @@
-//! Wire messages for the TCP mini-deployment — the §3.2 protocol in JSON.
+//! The §3.2 protocol on the wire: the *same* [`ProtoMsg`] enum the
+//! discrete-event simulation delivers, JSON-encoded inside a
+//! length-prefixed frame and wrapped in an [`Envelope`] that carries the
+//! sender's logical [`Address`].
+//!
+//! There is deliberately no wire-only message set any more: both backends
+//! speak `sheriff_core::protocol::ProtoMsg`, so the TCP deployment cannot
+//! drift from the simulated protocol.
 
 use serde::{Deserialize, Serialize};
 
+use sheriff_core::protocol::{Address, ProtoMsg};
+use sheriff_core::records::{PriceCheck, VantageKind};
+
 use crate::frame::{read_frame, write_frame, FrameError};
+use crate::telemetry::WireTelemetry;
 
-/// One protocol message. JSON-encoded inside a length-prefixed frame.
+/// One framed protocol message plus its sender. The TCP transport is
+/// connect–write–close per message, so the source socket address is
+/// meaningless; the logical sender rides inside the frame instead (the
+/// discrete-event backend gets the same information from the simulator's
+/// delivery metadata).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
-pub enum WireMsg {
-    /// Add-on → Coordinator: request a price check (step 1).
-    CoordRequest {
-        /// Product URL.
-        url: String,
-        /// Requesting peer id.
-        peer: u64,
-    },
-    /// Coordinator → add-on: job minted, server chosen (step 2).
-    CoordAssign {
-        /// Job id.
-        job: u64,
-        /// Measurement-server address, e.g. `127.0.0.1:45123`.
-        server_addr: String,
-    },
-    /// Coordinator → add-on: request refused.
-    CoordReject {
-        /// Human-readable reason.
-        reason: String,
-    },
-    /// Add-on → Measurement server: submit the job (step 3).
-    JobSubmit {
-        /// Job id.
-        job: u64,
-        /// Retailer domain.
-        domain: String,
-        /// Product id within the retailer.
-        product: u32,
-        /// Serialized Tags Path (paper Fig. 4 notation).
-        tags_path_json: String,
-        /// The initiator's own page HTML.
-        initiator_html: String,
-    },
-    /// Measurement server → peer: fetch the page (step 3.2).
-    FetchOrder {
-        /// Job id.
-        job: u64,
-        /// Retailer domain.
-        domain: String,
-        /// Product id.
-        product: u32,
-        /// Per-vantage request sequence.
-        seq: u64,
-    },
-    /// Peer → Measurement server: the fetched page.
-    FetchReply {
-        /// Job id.
-        job: u64,
-        /// Peer id.
-        peer: u64,
-        /// Country code of the peer.
-        country: String,
-        /// Fetched HTML.
-        html: String,
-    },
-    /// Measurement server → add-on: the result rows (step 5, the Fig. 2
-    /// page's data).
-    Results {
-        /// Job id.
-        job: u64,
-        /// One row per vantage: (label, raw text, converted EUR, low-conf).
-        rows: Vec<ResultRow>,
-    },
-    /// Orderly shutdown for a component.
-    Shutdown,
+pub struct Envelope {
+    /// Logical sender.
+    pub from: Address,
+    /// The protocol message.
+    pub msg: ProtoMsg,
 }
 
-/// One Fig. 2 result row.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ResultRow {
-    /// Vantage label, e.g. `"IPC US/Tennessee"` or `"peer 12"`.
-    pub label: String,
-    /// The raw extracted price text.
-    pub original: String,
-    /// Converted value in the requested currency.
-    pub converted: f64,
-    /// Currency-detection confidence was low (red asterisk).
-    pub low_confidence: bool,
-}
-
-impl WireMsg {
+impl Envelope {
     /// Writes self as one frame.
     pub fn send<W: std::io::Write>(&self, w: &mut W) -> Result<(), FrameError> {
-        let payload = serde_json::to_vec(self).expect("WireMsg serializes");
+        let payload = serde_json::to_vec(self).expect("Envelope serializes");
         write_frame(w, &payload)
     }
 
@@ -98,29 +39,29 @@ impl WireMsg {
     pub fn send_counted<W: std::io::Write>(
         &self,
         w: &mut W,
-        telemetry: &crate::telemetry::WireTelemetry,
+        telemetry: &WireTelemetry,
     ) -> Result<(), FrameError> {
-        let payload = serde_json::to_vec(self).expect("WireMsg serializes");
+        let payload = serde_json::to_vec(self).expect("Envelope serializes");
         write_frame(w, &payload)?;
         telemetry.sent(payload.len());
         Ok(())
     }
 
-    /// Reads one message; `Ok(None)` on clean EOF.
-    pub fn recv<R: std::io::Read>(r: &mut R) -> Result<Option<WireMsg>, FrameError> {
+    /// Reads one envelope; `Ok(None)` on clean EOF.
+    pub fn recv<R: std::io::Read>(r: &mut R) -> Result<Option<Envelope>, FrameError> {
         let Some(payload) = read_frame(r)? else {
             return Ok(None);
         };
         Self::parse(&payload).map(Some)
     }
 
-    /// Reads one message, recording any received frame in the wire
+    /// Reads one envelope, recording any received frame in the wire
     /// counters (even frames whose payload then fails to parse — the
     /// bytes did arrive).
     pub fn recv_counted<R: std::io::Read>(
         r: &mut R,
-        telemetry: &crate::telemetry::WireTelemetry,
-    ) -> Result<Option<WireMsg>, FrameError> {
+        telemetry: &WireTelemetry,
+    ) -> Result<Option<Envelope>, FrameError> {
         let Some(payload) = read_frame(r)? else {
             return Ok(None);
         };
@@ -128,7 +69,7 @@ impl WireMsg {
         Self::parse(&payload).map(Some)
     }
 
-    fn parse(payload: &[u8]) -> Result<WireMsg, FrameError> {
+    fn parse(payload: &[u8]) -> Result<Envelope, FrameError> {
         serde_json::from_slice(payload).map_err(|e| {
             FrameError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -138,54 +79,80 @@ impl WireMsg {
     }
 }
 
+/// One Fig. 2 result row — the wire deployment's user-facing view of a
+/// [`PriceObservation`](sheriff_core::records::PriceObservation).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Vantage label, e.g. `"IPC US/Tennessee"` or `"peer 12 (Spain)"`.
+    pub label: String,
+    /// The raw extracted price text.
+    pub original: String,
+    /// Converted value in the requested currency.
+    pub converted: f64,
+    /// Currency-detection confidence was low (red asterisk).
+    pub low_confidence: bool,
+}
+
+/// Renders a completed check as Fig. 2 result rows (failed observations
+/// are dropped, as the result page only lists fetched prices).
+pub fn rows_from_check(check: &PriceCheck) -> Vec<ResultRow> {
+    check
+        .valid()
+        .map(|o| ResultRow {
+            label: match o.vantage {
+                VantageKind::Initiator => "You".to_string(),
+                VantageKind::Ipc => match &o.city {
+                    Some(city) => format!("IPC {}/{city}", o.country.code()),
+                    None => format!("IPC {}", o.country.code()),
+                },
+                VantageKind::Ppc => format!("peer {} ({})", o.vantage_id, o.country.name()),
+            },
+            original: o.raw_text.clone(),
+            converted: o.amount_eur,
+            low_confidence: o.low_confidence,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sheriff_core::coordinator::{JobId, PeerId};
+    use sheriff_market::ProductId;
     use std::io::Cursor;
 
     #[test]
-    fn json_roundtrip_all_variants() {
+    fn json_roundtrip_through_frames() {
         let msgs = vec![
-            WireMsg::CoordRequest {
-                url: "shop.com/p/1".into(),
-                peer: 7,
+            Envelope {
+                from: Address::Peer { id: 7 },
+                msg: ProtoMsg::CoordRequest {
+                    url: "shop.com/product/1".into(),
+                    peer: PeerId(7),
+                    local_tag: 3,
+                },
             },
-            WireMsg::CoordAssign {
-                job: 1,
-                server_addr: "127.0.0.1:9".into(),
+            Envelope {
+                from: Address::Coordinator,
+                msg: ProtoMsg::CoordAssign {
+                    job: JobId(1),
+                    server: Address::Server { index: 0 },
+                    local_tag: 3,
+                },
             },
-            WireMsg::CoordReject {
-                reason: "not whitelisted".into(),
+            Envelope {
+                from: Address::Server { index: 0 },
+                msg: ProtoMsg::FetchOrder {
+                    job: JobId(1),
+                    domain: "shop.com".into(),
+                    product: ProductId(3),
+                    seq: 142,
+                },
             },
-            WireMsg::JobSubmit {
-                job: 1,
-                domain: "shop.com".into(),
-                product: 3,
-                tags_path_json: "{}".into(),
-                initiator_html: "<html></html>".into(),
+            Envelope {
+                from: Address::Coordinator,
+                msg: ProtoMsg::Shutdown,
             },
-            WireMsg::FetchOrder {
-                job: 1,
-                domain: "shop.com".into(),
-                product: 3,
-                seq: 42,
-            },
-            WireMsg::FetchReply {
-                job: 1,
-                peer: 7,
-                country: "ES".into(),
-                html: "<html></html>".into(),
-            },
-            WireMsg::Results {
-                job: 1,
-                rows: vec![ResultRow {
-                    label: "IPC US".into(),
-                    original: "$699".into(),
-                    converted: 617.65,
-                    low_confidence: true,
-                }],
-            },
-            WireMsg::Shutdown,
         ];
         let mut buf = Vec::new();
         for m in &msgs {
@@ -193,10 +160,10 @@ mod tests {
         }
         let mut cur = Cursor::new(buf);
         for expect in &msgs {
-            let got = WireMsg::recv(&mut cur).unwrap().unwrap();
+            let got = Envelope::recv(&mut cur).unwrap().unwrap();
             assert_eq!(&got, expect);
         }
-        assert!(WireMsg::recv(&mut cur).unwrap().is_none());
+        assert!(Envelope::recv(&mut cur).unwrap().is_none());
     }
 
     #[test]
@@ -204,16 +171,21 @@ mod tests {
         let mut buf = Vec::new();
         crate::frame::write_frame(&mut buf, b"not json").unwrap();
         let mut cur = Cursor::new(buf);
-        assert!(WireMsg::recv(&mut cur).is_err());
+        assert!(Envelope::recv(&mut cur).is_err());
     }
 
     #[test]
     fn json_is_tagged_snake_case() {
-        let m = WireMsg::CoordRequest {
-            url: "a".into(),
-            peer: 1,
+        let m = Envelope {
+            from: Address::Peer { id: 1 },
+            msg: ProtoMsg::StartCheck {
+                domain: "a.example".into(),
+                product: ProductId(0),
+                local_tag: 1,
+            },
         };
         let json = serde_json::to_string(&m).unwrap();
-        assert!(json.contains("\"type\":\"coord_request\""), "{json}");
+        assert!(json.contains("\"type\":\"start_check\""), "{json}");
+        assert!(json.contains("\"role\":\"peer\""), "{json}");
     }
 }

@@ -1,14 +1,14 @@
 //! Frame and byte accounting for the TCP deployment.
 //!
 //! Every framed send/receive in the mini-deployment (and its add-on
-//! client) goes through [`WireMsg::send_counted`] /
-//! [`WireMsg::recv_counted`](crate::proto::WireMsg::recv_counted) with a
+//! client) goes through [`Envelope::send_counted`] /
+//! [`Envelope::recv_counted`](crate::proto::Envelope::recv_counted) with a
 //! shared [`WireTelemetry`], so over loopback the invariant *frames out ==
 //! frames in* (and likewise for bytes) holds once the deployment drains —
 //! the concurrency tests assert no increments are lost under parallel
 //! clients.
 //!
-//! [`WireMsg::send_counted`]: crate::proto::WireMsg::send_counted
+//! [`Envelope::send_counted`]: crate::proto::Envelope::send_counted
 
 use std::sync::Arc;
 

@@ -1,6 +1,10 @@
 //! Concurrency tests for the TCP deployment: simultaneous add-on clients
 //! must all be served correctly (each on its own connection), and the
 //! deployment must survive rude or malformed clients.
+//!
+//! PPC selection is location-local (§6.1: peers fan out to peers in the
+//! *same* country), so these tests use four Spanish peers — every
+//! initiator then has exactly three candidate PPCs.
 
 use std::sync::Arc;
 
@@ -9,16 +13,17 @@ use sheriff_market::world::WorldConfig;
 use sheriff_market::{ProductId, World};
 use sheriff_wire::MiniDeployment;
 
+const PEERS: [(u64, Country); 4] = [
+    (20, Country::ES),
+    (21, Country::ES),
+    (22, Country::ES),
+    (23, Country::ES),
+];
+
 #[test]
 fn concurrent_price_checks_from_many_clients() {
     let world = World::build(&WorldConfig::small(), 91);
-    let deployment = Arc::new(
-        MiniDeployment::start(
-            world,
-            &[(20, Country::ES), (21, Country::US), (22, Country::JP)],
-        )
-        .expect("deployment starts"),
-    );
+    let deployment = Arc::new(MiniDeployment::start(world, &PEERS).expect("deployment starts"));
 
     let mut handles = Vec::new();
     for t in 0..6u32 {
@@ -29,10 +34,11 @@ fn concurrent_price_checks_from_many_clients() {
             } else {
                 "amazon.com"
             };
+            let initiator = 20 + u64::from(t % 4);
             let rows = d
-                .run_price_check(domain, ProductId(t % 5))
+                .run_price_check(initiator, domain, ProductId(t % 5))
                 .unwrap_or_else(|e| panic!("client {t}: {e}"));
-            assert_eq!(rows.len(), 4, "client {t}: initiator + 3 peers");
+            assert_eq!(rows.len(), 4, "client {t}: initiator + 3 local peers");
             assert!(rows.iter().all(|r| r.converted > 0.0), "client {t}");
             rows
         }));
@@ -56,20 +62,14 @@ fn concurrent_price_checks_from_many_clients() {
 fn frame_counters_balance_under_concurrent_clients() {
     const CLIENTS: u64 = 6;
     let world = World::build(&WorldConfig::small(), 95);
-    let deployment = Arc::new(
-        MiniDeployment::start(
-            world,
-            &[(40, Country::ES), (41, Country::US), (42, Country::JP)],
-        )
-        .expect("deployment starts"),
-    );
+    let deployment = Arc::new(MiniDeployment::start(world, &PEERS).expect("deployment starts"));
     let telemetry = Arc::clone(deployment.telemetry());
 
     let mut handles = Vec::new();
     for t in 0..CLIENTS as u32 {
         let d = Arc::clone(&deployment);
         handles.push(std::thread::spawn(move || {
-            d.run_price_check("amazon.com", ProductId(t % 5))
+            d.run_price_check(20 + u64::from(t % 4), "amazon.com", ProductId(t % 5))
                 .unwrap_or_else(|e| panic!("client {t}: {e}"))
         }));
     }
@@ -92,10 +92,11 @@ fn frame_counters_balance_under_concurrent_clients() {
     assert_eq!(frames_out, frames_in);
     assert_eq!(bytes_out, bytes_in);
 
-    // One successful check is exactly 10 frames (request/assign, submit,
-    // 3 fetch orders + 3 replies, results); shutdown adds one frame each
-    // for the coordinator, the server, and the 3 peers.
-    assert_eq!(frames_out, 10 * CLIENTS + 5);
+    // One successful check is exactly 13 frames: the injected StartCheck,
+    // CoordRequest, PpcList, CoordAssign, JobSubmit, 3 fetch orders,
+    // 3 fetch replies, JobComplete, Results. Shutdown adds one frame for
+    // each of the 7 nodes (coordinator, aggregator, server, 4 peers).
+    assert_eq!(frames_out, 13 * CLIENTS + 7);
 
     // Each frame carries a 4-byte length prefix plus a nonempty payload.
     assert!(bytes_out > frames_out * 4, "{bytes_out} vs {frames_out}");
@@ -114,14 +115,13 @@ fn deployment_survives_client_that_disconnects_mid_protocol() {
     // A malformed client: send garbage bytes.
     {
         use std::io::Write as _;
-        let mut s =
-            std::net::TcpStream::connect(deployment.coordinator_addr()).expect("connect");
+        let mut s = std::net::TcpStream::connect(deployment.coordinator_addr()).expect("connect");
         let _ = s.write_all(&[0, 0, 0, 4, b'j', b'u', b'n', b'k']);
     }
 
     // The deployment still serves a well-behaved client afterwards.
     let rows = deployment
-        .run_price_check("amazon.com", ProductId(0))
+        .run_price_check(30, "amazon.com", ProductId(0))
         .expect("served after rude clients");
     assert!(!rows.is_empty());
     deployment.shutdown();

@@ -1,41 +1,56 @@
-//! The real-sockets deployment (sheriff-wire): Coordinator, Measurement
-//! server, and peers on localhost TCP ports, running the §3.2 protocol in
-//! length-prefixed JSON frames.
+//! The real-sockets deployment (sheriff-wire): the full node roster —
+//! Coordinator, Aggregator, Measurement server, IPCs, and PPC add-ons —
+//! on localhost TCP ports, running the same `sheriff_core::protocol`
+//! state machines as the simulation in length-prefixed JSON frames.
 //!
 //! ```text
 //! cargo run --release -p sheriff-experiments --example tcp_mini_deployment
 //! ```
 
+use sheriff_core::system::{PpcSpec, SheriffConfig};
 use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::world::WorldConfig;
-use sheriff_market::{ProductId, World};
+use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_wire::MiniDeployment;
 
 fn main() {
     let world = World::build(&WorldConfig::small(), 1742);
-    let deployment = MiniDeployment::start(
-        world,
-        &[
-            (10, Country::ES),
-            (11, Country::US),
-            (12, Country::JP),
-            (13, Country::GB),
-        ],
-    )
-    .expect("deployment starts");
+
+    // PPC selection is location-local (§6.1), so the peers share a
+    // country; cross-country vantage points come from the IPC roster.
+    let mut cfg = SheriffConfig::v1(1742);
+    cfg.ipc_locations = vec![(Country::US, 0), (Country::JP, 0), (Country::GB, 0)];
+    cfg.proc_per_reply_ms = 2.0;
+    cfg.context_switch_alpha = 0.0;
+    let peers: Vec<PpcSpec> = (10u64..14)
+        .map(|peer_id| PpcSpec {
+            peer_id,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Linux,
+                browser: Browser::Firefox,
+            },
+            affluence: 0.3,
+            logged_in_domains: vec![],
+        })
+        .collect();
+
+    let deployment = MiniDeployment::start_with(world, cfg, &peers).expect("deployment starts");
     println!(
         "mini-deployment up — coordinator at {}\n",
         deployment.coordinator_addr()
     );
 
-    for (domain, product) in [
-        ("steampowered.com", ProductId(0)),
-        ("abercrombie.com", ProductId(2)),
-        ("amazon.com", ProductId(1)),
+    for (initiator, domain, product) in [
+        (10, "steampowered.com", ProductId(0)),
+        (11, "abercrombie.com", ProductId(2)),
+        (12, "amazon.com", ProductId(1)),
     ] {
-        match deployment.run_price_check(domain, product) {
+        match deployment.run_price_check(initiator, domain, product) {
             Ok(rows) => {
-                println!("{domain} product {}:", product.0);
+                println!("{domain} product {} (peer {initiator}):", product.0);
                 for r in &rows {
                     let mark = if r.low_confidence { "*" } else { " " };
                     println!(
@@ -50,7 +65,7 @@ fn main() {
     }
 
     // The whitelist works over TCP too.
-    match deployment.run_price_check("not-a-shop.example", ProductId(0)) {
+    match deployment.run_price_check(10, "not-a-shop.example", ProductId(0)) {
         Err(e) => println!("non-whitelisted domain correctly refused: {e}"),
         Ok(_) => println!("unexpected: non-whitelisted domain served"),
     }

@@ -44,7 +44,11 @@ fn burst_of_checks_completes_with_load_balancing() {
     assert_eq!(sheriff.sandbox_violations(), 0);
     // Every check carries the full vantage set.
     for c in &done {
-        assert!(c.check.observations.len() >= 31, "short check: {}", c.check.observations.len());
+        assert!(
+            c.check.observations.len() >= 31,
+            "short check: {}",
+            c.check.observations.len()
+        );
     }
 }
 

@@ -13,7 +13,13 @@ use sheriff_market::world::WorldConfig;
 use sheriff_market::{CookieJar, FetchResult, ProductId, World};
 
 /// Fetches one product page as seen from `country` and returns its HTML.
-fn fetch_from(world: &mut World, domain: &str, product: ProductId, country: Country, seq: u64) -> String {
+fn fetch_from(
+    world: &mut World,
+    domain: &str,
+    product: ProductId,
+    country: Country,
+    seq: u64,
+) -> String {
     let rates = world.rates.clone();
     let jar = CookieJar::new();
     let mut alloc = IpAllocator::new();
@@ -32,7 +38,10 @@ fn fetch_from(world: &mut World, domain: &str, product: ProductId, country: Coun
         client_id: seq,
     };
     let retailer = world.retailer_mut(domain).expect("domain exists");
-    match retailer.fetch(product, &ctx, 0, &rates, 0.0, seq).expect("product exists") {
+    match retailer
+        .fetch(product, &ctx, 0, &rates, 0.0, seq)
+        .expect("product exists")
+    {
         FetchResult::Page { html, .. } => html,
         FetchResult::Captcha { html } => html,
     }
@@ -46,7 +55,12 @@ fn path_for(world: &World, domain: &str, html: &str) -> TagsPath {
     TagsPath::from_node(&doc, el).expect("path")
 }
 
-fn check_for(world: &mut World, domain: &str, product: ProductId, countries: &[Country]) -> PriceCheck {
+fn check_for(
+    world: &mut World,
+    domain: &str,
+    product: ProductId,
+    countries: &[Country],
+) -> PriceCheck {
     let base_html = fetch_from(world, domain, product, countries[0], 1);
     let path = path_for(world, domain, &base_html);
     let rates = world.rates.clone();
@@ -55,7 +69,11 @@ fn check_for(world: &mut World, domain: &str, product: ProductId, countries: &[C
     for (i, &country) in countries.iter().enumerate() {
         let html = fetch_from(world, domain, product, country, 100 + i as u64);
         let meta = VantageMeta {
-            kind: if i == 0 { VantageKind::Initiator } else { VantageKind::Ipc },
+            kind: if i == 0 {
+                VantageKind::Initiator
+            } else {
+                VantageKind::Ipc
+            },
             id: i as u64,
             country,
             city: None,
@@ -119,7 +137,12 @@ fn classification_separates_the_two() {
         .to_string();
     let mut checks = Vec::new();
     for p in 0..4u32 {
-        checks.push(check_for(&mut world, "abercrombie.com", ProductId(p), &COUNTRIES));
+        checks.push(check_for(
+            &mut world,
+            "abercrombie.com",
+            ProductId(p),
+            &COUNTRIES,
+        ));
         checks.push(check_for(&mut world, &plain, ProductId(p), &COUNTRIES));
     }
     let analyses = analyze_domains(&checks, 0.005);
@@ -139,7 +162,13 @@ fn extraction_survives_page_noise_across_countries() {
     // Every country sees different ad noise; extraction must still land on
     // the product price in every template.
     let mut world = World::build(&WorldConfig::small(), 99);
-    for domain in ["steampowered.com", "jcpenney.com", "chegg.com", "amazon.com", "luisaviaroma.com"] {
+    for domain in [
+        "steampowered.com",
+        "jcpenney.com",
+        "chegg.com",
+        "amazon.com",
+        "luisaviaroma.com",
+    ] {
         let check = check_for(&mut world, domain, ProductId(1), &COUNTRIES);
         let ok = check.valid().count();
         assert!(ok >= 5, "{domain}: only {ok}/6 extracted");

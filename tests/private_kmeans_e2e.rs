@@ -55,7 +55,10 @@ fn encrypted_protocol_matches_cleartext_reference_over_multiple_iterations() {
     let private = run_private_with_init(&params, &points, &cfg, Some(init.clone()), &mut rng);
     let reference = reference_integer_kmeans(&points, init, 12, 0.0);
     assert_eq!(private.centroids, reference.centroids, "centroids diverged");
-    assert_eq!(private.assignments, reference.assignments, "mapping diverged");
+    assert_eq!(
+        private.assignments, reference.assignments,
+        "mapping diverged"
+    );
 
     // Planted clusters recovered: each block of 8 points lands together.
     for block in 0..3 {
@@ -76,7 +79,11 @@ fn protocol_works_in_demo_strength_group_too() {
     let params = GroupParams::bits_256();
     let mut rng = StdRng::seed_from_u64(2025);
     let points = clustered_points(3, &mut rng);
-    let init = vec![vec![14u64, 14, 1, 1, 1, 1], vec![1, 1, 14, 14, 1, 1], vec![1, 1, 1, 1, 14, 14]];
+    let init = vec![
+        vec![14u64, 14, 1, 1, 1, 1],
+        vec![1, 1, 14, 14, 1, 1],
+        vec![1, 1, 1, 1, 14, 14],
+    ];
     let cfg = PrivateConfig {
         k: 3,
         max_iters: 4,
@@ -108,7 +115,11 @@ fn coordinator_view_is_undecryptable_blinded_junk() {
     for (dim, &plain) in c.iter().enumerate() {
         let gamma = sk.decrypt_component(&query.blinded, dim);
         if plain == 0 {
-            assert_eq!(table.solve(&gamma), Some(0), "zero dim {dim} must stay zero");
+            assert_eq!(
+                table.solve(&gamma),
+                Some(0),
+                "zero dim {dim} must stay zero"
+            );
         } else {
             assert_eq!(
                 table.solve(&gamma),

@@ -4,8 +4,8 @@
 
 use sheriff_core::browser::BrowserProfile;
 use sheriff_core::pollution::FetchMode;
-use sheriff_core::proxy::PpcEngine;
 use sheriff_core::pollution::PollutionLedger;
+use sheriff_core::proxy::PpcEngine;
 use sheriff_geo::{Country, IpAllocator};
 use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::world::WorldConfig;
@@ -50,13 +50,24 @@ fn clean_vm_stays_clean_after_serving_many_requests() {
                 None,
             )
             .expect("fetch succeeds");
-        assert!(fetch.sandbox.expect("ppc fetches are sandboxed").is_clean(), "request {i}");
-        assert_eq!(fetch.mode, FetchMode::CleanOwnState, "fresh VM never has budget");
+        assert!(
+            fetch.sandbox.expect("ppc fetches are sandboxed").is_clean(),
+            "request {i}"
+        );
+        assert_eq!(
+            fetch.mode,
+            FetchMode::CleanOwnState,
+            "fresh VM never has budget"
+        );
     }
 
     // No cookies, no history, no URL traces — the VM is indistinguishable
     // from freshly installed.
-    assert!(vm.browser.cookies.is_empty(), "cookies leaked: {:?}", vm.browser.cookies);
+    assert!(
+        vm.browser.cookies.is_empty(),
+        "cookies leaked: {:?}",
+        vm.browser.cookies
+    );
     assert_eq!(vm.browser.history.total_visits(), 0, "history polluted");
     assert!(vm.browser.url_trace().is_empty(), "cache traces left");
 }
@@ -68,7 +79,14 @@ fn real_user_state_preserved_exactly_while_serving() {
 
     // The user shops for themselves first.
     for p in 0..6u32 {
-        user.user_visit(&mut world, "jcpenney.com", ProductId(p), 0, (p as u64) * 100, p as u64);
+        user.user_visit(
+            &mut world,
+            "jcpenney.com",
+            ProductId(p),
+            0,
+            (p as u64) * 100,
+            p as u64,
+        );
     }
     let cookies_before = user.browser.cookies.snapshot();
     let history_before = user.browser.history.total_visits();
@@ -94,7 +112,10 @@ fn real_user_state_preserved_exactly_while_serving() {
         modes.push(fetch.mode);
     }
     assert!(modes.contains(&FetchMode::RealOwnState), "budget unused");
-    assert!(modes.contains(&FetchMode::Doppelganger), "budget never exhausted");
+    assert!(
+        modes.contains(&FetchMode::Doppelganger),
+        "budget never exhausted"
+    );
 
     // Local state identical to before serving.
     assert_eq!(user.browser.cookies, cookies_before);
@@ -113,7 +134,16 @@ fn pollution_budget_respects_one_per_four_rule() {
     let mut real = 0;
     for i in 0..10u64 {
         let fetch = user
-            .remote_fetch(&mut world, "chegg.com", ProductId(0), 0, 0, 1000 + i, 50 + i, None)
+            .remote_fetch(
+                &mut world,
+                "chegg.com",
+                ProductId(0),
+                0,
+                0,
+                1000 + i,
+                50 + i,
+                None,
+            )
             .expect("fetch");
         if fetch.mode == FetchMode::RealOwnState {
             real += 1;
