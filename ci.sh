@@ -10,7 +10,7 @@ stage() { printf '\n==> %s\n' "$*"; }
 
 # The seed tree (and the vendored stubs) predate rustfmt enforcement, so
 # the gate covers the crates brought clean so far; widen as more follow.
-CLEAN_CRATES=(sheriff-telemetry sheriff-core sheriff-wire)
+CLEAN_CRATES=(sheriff-telemetry sheriff-netsim sheriff-core sheriff-wire)
 
 stage "cargo fmt --check (${CLEAN_CRATES[*]})"
 if cargo fmt --version >/dev/null 2>&1; then
@@ -41,5 +41,15 @@ cargo test --workspace --quiet
 # observations. Kept as a named stage so a parity break is unmissable.
 stage "cross-backend parity"
 cargo test -p sheriff-wire --test backend_parity --quiet
+
+# Chaos gate: seed-deterministic fault schedules (drops, dups, delays, a
+# server crash, a partition) must leave no leaked jobs and no duplicate
+# observations, and the same schedule must produce identical observation
+# sets on the DES and TCP backends. Seeds are pinned so the CI schedule
+# is reproducible; explore locally with CHAOS_SEEDS=....
+stage "chaos"
+CHAOS_SEEDS="11,23,37,41,53,67,79,97" \
+    cargo test -p sheriff-core --test chaos_soak --quiet
+cargo test -p sheriff-wire --test chaos_parity --quiet
 
 stage "CI green"

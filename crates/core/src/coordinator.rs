@@ -82,6 +82,7 @@ pub struct Coordinator {
     requests_rejected: Arc<Counter>,
     jobs_completed: Arc<Counter>,
     heartbeats_expired: Arc<Counter>,
+    jobs_requeued: Arc<Counter>,
     peers_online: Arc<Gauge>,
 }
 
@@ -104,6 +105,7 @@ impl Coordinator {
             requests_rejected: telemetry.counter("coordinator.requests_rejected"),
             jobs_completed: telemetry.counter("coordinator.jobs_completed"),
             heartbeats_expired: telemetry.counter("coordinator.heartbeats_expired"),
+            jobs_requeued: telemetry.counter("coordinator.jobs_requeued"),
             peers_online: telemetry.gauge("coordinator.peers_online"),
             server_gauges: Vec::new(),
             telemetry,
@@ -265,6 +267,47 @@ impl Coordinator {
     /// Pending jobs on a server.
     pub fn pending_jobs(&self, index: usize) -> u32 {
         self.servers.get(index).map_or(0, |s| s.pending_jobs)
+    }
+
+    /// Pending-job counts for every registered server, in registration
+    /// order (structured Fig. 7 data; the text panel renders the same).
+    pub fn pending_jobs_per_server(&self) -> Vec<u32> {
+        self.servers.iter().map(|s| s.pending_jobs).collect()
+    }
+
+    /// §10.3 recovery: takes back every job charged to an offline server
+    /// so the caller can re-admit it elsewhere. Only acts when at least
+    /// one *online* server exists — a job on the sole (offline) server is
+    /// left in place, since it may still complete once the server
+    /// recovers and there is nowhere better to move it.
+    pub fn take_orphaned_jobs(&mut self, now: u64) -> Vec<JobId> {
+        if !self.servers.iter().any(|s| s.online) {
+            return Vec::new();
+        }
+        let mut orphaned: Vec<JobId> = self
+            .job_server
+            .iter()
+            .filter(|(_, &idx)| self.servers.get(idx).is_none_or(|s| !s.online))
+            .map(|(&job, _)| job)
+            .collect();
+        orphaned.sort_unstable(); // determinism across HashMap orders
+        for &job in &orphaned {
+            let idx = self.job_server.remove(&job).expect("listed above");
+            if let Some(s) = self.servers.get_mut(idx) {
+                s.pending_jobs = s.pending_jobs.saturating_sub(1);
+                self.server_gauges[idx].pending.set(s.pending_jobs as i64);
+            }
+            self.jobs_requeued.inc();
+            self.telemetry.event(
+                now,
+                "coordinator.job_requeued",
+                vec![
+                    ("job", FieldValue::U64(job.0)),
+                    ("server", FieldValue::U64(idx as u64)),
+                ],
+            );
+        }
+        orphaned
     }
 
     // ----- Peer registry (§3.2) -----
@@ -492,7 +535,8 @@ mod tests {
             "Worker            Port  Status   Jobs\n\
              192.168.1.11      80    online   1\n\
              ms.example.org    9000  online   0\n\
-             \nRequests: 3 total, 1 rejected   Jobs completed: 1   Peers online: 1\n"
+             \nRequests: 3 total, 1 rejected   Jobs completed: 1   Peers online: 1\n\
+             Recovery: 0 retransmits, 0 dups absorbed, 0 jobs requeued, 0 restarts\n"
         );
     }
 
@@ -517,6 +561,42 @@ mod tests {
             assigned[0].field("job"),
             Some(&sheriff_telemetry::FieldValue::U64(job.0))
         );
+    }
+
+    #[test]
+    fn orphaned_jobs_are_taken_back_only_when_somewhere_else_exists() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        c.register_server("s1", 80, 0);
+        let (job, s) = c.new_request("shop.com/p", 0).unwrap();
+        assert_eq!(s, 0);
+        // Nothing is orphaned while everyone is online.
+        assert!(c.take_orphaned_jobs(1).is_empty());
+        // s0 goes stale; its job comes back for reassignment.
+        c.heartbeat(1, 50_000);
+        c.expire_heartbeats(50_000);
+        assert_eq!(c.take_orphaned_jobs(50_000), vec![job]);
+        assert_eq!(c.pending_jobs_per_server(), vec![0, 0]);
+        assert_eq!(
+            c.telemetry().snapshot().counters["coordinator.jobs_requeued"],
+            1
+        );
+        // Idempotent: the job is no longer charged anywhere.
+        assert!(c.take_orphaned_jobs(50_001).is_empty());
+    }
+
+    #[test]
+    fn orphaned_jobs_stay_put_when_no_server_is_online() {
+        let mut c = coordinator();
+        c.register_server("s0", 80, 0);
+        let (_job, _) = c.new_request("shop.com/p", 0).unwrap();
+        c.expire_heartbeats(50_000);
+        assert!(!c.servers()[0].online);
+        assert!(
+            c.take_orphaned_jobs(50_000).is_empty(),
+            "nowhere to move it; the server may still recover"
+        );
+        assert_eq!(c.pending_jobs(0), 1);
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Coordinator role: request admission, server choice, PPC lists,
-//! doppelganger redemption, heartbeats, administration.
+//! doppelganger redemption, heartbeats, administration, and §10.3
+//! recovery (requeueing jobs stuck on servers whose heartbeat lapsed).
+
+use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::coordinator::{Coordinator, PeerId};
+use crate::coordinator::{Coordinator, JobId, PeerId};
 use crate::doppelganger::DoppelgangerStore;
-use crate::protocol::{Address, Output, ProtoMsg};
+use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
+
+/// Where a job came from — kept so a requeued job can be re-admitted
+/// through the normal path and the initiator re-notified.
+struct JobOrigin {
+    url: String,
+    peer: PeerId,
+    local_tag: u64,
+    initiator: Address,
+}
 
 /// The Coordinator as a sans-IO state machine over the pure
 /// [`Coordinator`] bookkeeping core.
@@ -19,6 +31,9 @@ pub struct CoordinatorProto {
     pub universe: Vec<String>,
     /// PPCs asked per request (§6.1: "approximately 3").
     pub ppc_per_request: usize,
+    /// Period of the [`TimerKind::CoordSweep`] recovery timer.
+    pub sweep_every_ms: u64,
+    origins: HashMap<JobId, JobOrigin>,
 }
 
 impl CoordinatorProto {
@@ -29,7 +44,106 @@ impl CoordinatorProto {
             dopp_store: DoppelgangerStore::new(),
             universe: Vec::new(),
             ppc_per_request,
+            sweep_every_ms: 5_000,
+            origins: HashMap::new(),
         }
+    }
+
+    /// Admits one request (fresh or requeued): mints a job, charges the
+    /// least-loaded online server, and emits the PPC list + assignment.
+    fn admit(&mut self, now_ms: u64, origin: JobOrigin, rng: &mut StdRng, out: &mut Vec<Output>) {
+        let JobOrigin {
+            url,
+            peer,
+            local_tag,
+            initiator,
+        } = origin;
+        match self.coordinator.new_request(&url, now_ms) {
+            Ok((job, server_idx)) => {
+                let server = Address::Server { index: server_idx };
+                // Step 1.1: PPC list for the initiator's location. The
+                // deployment got whichever same-location peers happened
+                // to be online — sample when there is actual choice.
+                // With at most `ppc_per_request` candidates the sorted
+                // registry order is used as-is, which keeps the list
+                // (and hence per-PPC request sequencing) identical
+                // across backends.
+                let ppcs: Vec<Address> = match self.coordinator.peer(peer) {
+                    Some(entry) => {
+                        let loc = entry.location.clone();
+                        let mut candidates: Vec<PeerId> =
+                            self.coordinator.peers_near(&loc, peer, usize::MAX);
+                        let k = self.ppc_per_request.min(candidates.len());
+                        if candidates.len() > k {
+                            // Partial Fisher-Yates for the first k slots.
+                            for i in 0..k {
+                                let j = rng.gen_range(i..candidates.len());
+                                candidates.swap(i, j);
+                            }
+                        }
+                        candidates.truncate(k);
+                        candidates
+                            .into_iter()
+                            .map(|p| Address::Peer { id: p.0 })
+                            .collect()
+                    }
+                    None => Vec::new(),
+                };
+                self.origins.insert(
+                    job,
+                    JobOrigin {
+                        url,
+                        peer,
+                        local_tag,
+                        initiator,
+                    },
+                );
+                out.push(Output::send(server, ProtoMsg::PpcList { job, ppcs }));
+                out.push(Output::send(
+                    initiator,
+                    ProtoMsg::CoordAssign {
+                        job,
+                        server,
+                        local_tag,
+                    },
+                ));
+            }
+            Err(e) => out.push(Output::send(
+                initiator,
+                ProtoMsg::CoordReject {
+                    local_tag,
+                    reason: format!("{e:?}"),
+                },
+            )),
+        }
+    }
+
+    /// A timer armed by this machine fired. Only [`TimerKind::CoordSweep`]
+    /// is coordinator-owned: expire lapsed heartbeats, take back jobs
+    /// charged to offline servers, and re-admit each through the normal
+    /// assignment path (new job id, same initiator tag — the peer's own
+    /// tag bookkeeping makes whichever assignment finishes first win).
+    pub fn on_timer(
+        &mut self,
+        now_ms: u64,
+        kind: TimerKind,
+        rng: &mut StdRng,
+        out: &mut Vec<Output>,
+    ) {
+        if kind != TimerKind::CoordSweep {
+            return;
+        }
+        self.coordinator.expire_heartbeats(now_ms);
+        for job in self.coordinator.take_orphaned_jobs(now_ms) {
+            let Some(origin) = self.origins.remove(&job) else {
+                continue;
+            };
+            self.admit(now_ms, origin, rng, out);
+        }
+        out.push(Output::Timer {
+            delay_ms: self.sweep_every_ms,
+            kind: TimerKind::CoordSweep,
+        });
     }
 
     /// Feeds one delivered message; commands come back through `out`.
@@ -46,56 +160,21 @@ impl CoordinatorProto {
                 url,
                 peer,
                 local_tag,
-            } => match self.coordinator.new_request(&url, now_ms) {
-                Ok((job, server_idx)) => {
-                    let server = Address::Server { index: server_idx };
-                    // Step 1.1: PPC list for the initiator's location. The
-                    // deployment got whichever same-location peers happened
-                    // to be online — sample when there is actual choice.
-                    // With at most `ppc_per_request` candidates the sorted
-                    // registry order is used as-is, which keeps the list
-                    // (and hence per-PPC request sequencing) identical
-                    // across backends.
-                    let ppcs: Vec<Address> = match self.coordinator.peer(peer) {
-                        Some(entry) => {
-                            let loc = entry.location.clone();
-                            let mut candidates: Vec<PeerId> =
-                                self.coordinator.peers_near(&loc, peer, usize::MAX);
-                            let k = self.ppc_per_request.min(candidates.len());
-                            if candidates.len() > k {
-                                // Partial Fisher-Yates for the first k slots.
-                                for i in 0..k {
-                                    let j = rng.gen_range(i..candidates.len());
-                                    candidates.swap(i, j);
-                                }
-                            }
-                            candidates.truncate(k);
-                            candidates
-                                .into_iter()
-                                .map(|p| Address::Peer { id: p.0 })
-                                .collect()
-                        }
-                        None => Vec::new(),
-                    };
-                    out.push(Output::send(server, ProtoMsg::PpcList { job, ppcs }));
-                    out.push(Output::send(
-                        from,
-                        ProtoMsg::CoordAssign {
-                            job,
-                            server,
-                            local_tag,
-                        },
-                    ));
-                }
-                Err(e) => out.push(Output::send(
-                    from,
-                    ProtoMsg::CoordReject {
-                        local_tag,
-                        reason: format!("{e:?}"),
-                    },
-                )),
-            },
-            ProtoMsg::JobComplete { job } => self.coordinator.job_complete(job),
+            } => self.admit(
+                now_ms,
+                JobOrigin {
+                    url,
+                    peer,
+                    local_tag,
+                    initiator: from,
+                },
+                rng,
+                out,
+            ),
+            ProtoMsg::JobComplete { job } => {
+                self.coordinator.job_complete(job);
+                self.origins.remove(&job);
+            }
             ProtoMsg::Heartbeat { server_index } => {
                 self.coordinator.heartbeat(server_index, now_ms);
             }

@@ -1,7 +1,7 @@
 //! Measurement-server role: fan-out, reply collection, extraction and
 //! assembly on a modeled shared CPU, persistence, result streaming.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sheriff_currency::FixedRates;
 use sheriff_html::tagspath::TagsPath;
@@ -11,7 +11,7 @@ use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
 use crate::measurement::{process_response, JobPageStore};
 use crate::protocol::{day_of_ms, Address, Output, ProtoMsg, TimerKind};
-use crate::records::{PriceCheck, PriceObservation};
+use crate::records::{PriceCheck, PriceObservation, VantageKind};
 
 /// Observable outcomes the driver may turn into telemetry. The state
 /// machine stays instrumentation-free; the DES adapter maps these onto
@@ -25,6 +25,15 @@ pub enum MeasEvent {
     },
     /// A reply arrived after assembly (or for an unknown job).
     ReplyLate,
+    /// A second reply from a vantage the job already heard (a
+    /// transport-duplicated `FetchReply`); folded into dedup counters.
+    ReplyDuplicate,
+    /// A half-opened job (its `PpcList`/`JobSubmit` partner never
+    /// arrived) was reaped at the deadline and released upstream.
+    OrphanReaped {
+        /// The reaped job.
+        job: JobId,
+    },
     /// Extraction/assembly was scheduled on the shared CPU.
     AssemblyScheduled {
         /// Total modeled CPU charge, ms (includes `db_ms` when integrated).
@@ -67,6 +76,10 @@ struct JobState {
     ppcs: Option<Vec<Address>>,
     submit: Option<Box<SubmitData>>,
     assembled: bool,
+    /// Vantages already folded in — fetches are not retransmission-
+    /// protected, so a fault-duplicated `FetchReply` must be absorbed
+    /// here to keep observation sets duplicate-free.
+    seen_vantages: HashSet<(VantageKind, u64)>,
 }
 
 struct SubmitData {
@@ -160,7 +173,23 @@ impl MeasurementProto {
             ppcs: None,
             submit: None,
             assembled: false,
+            seen_vantages: HashSet::new(),
         }
+    }
+
+    /// Creates the job entry on first contact and arms an orphan-reap
+    /// deadline: if the partner half (`PpcList` vs `JobSubmit`) never
+    /// arrives — the initiator aborted its own fetch, or the submit was
+    /// lost for good — the half-open entry is reaped instead of leaking.
+    fn open_job(&mut self, job: JobId, from: Address, now_ms: u64, out: &mut Vec<Output>) {
+        if self.jobs.contains_key(&job) {
+            return;
+        }
+        self.jobs.insert(job, Self::blank_job(from, now_ms));
+        out.push(Output::Timer {
+            delay_ms: self.job_deadline_ms,
+            kind: TimerKind::JobDeadline(job),
+        });
     }
 
     fn try_fan_out(&mut self, now_ms: u64, job: JobId, out: &mut Vec<Output>) {
@@ -311,10 +340,8 @@ impl MeasurementProto {
     ) {
         match msg {
             ProtoMsg::PpcList { job, ppcs } => {
-                let state = self
-                    .jobs
-                    .entry(job)
-                    .or_insert_with(|| Self::blank_job(from, now_ms));
+                self.open_job(job, from, now_ms, out);
+                let state = self.jobs.get_mut(&job).expect("just opened");
                 state.ppcs = Some(ppcs);
                 self.try_fan_out(now_ms, job, out);
             }
@@ -326,10 +353,8 @@ impl MeasurementProto {
                 initiator_html,
                 initiator_obs,
             } => {
-                let state = self
-                    .jobs
-                    .entry(job)
-                    .or_insert_with(|| Self::blank_job(from, now_ms));
+                self.open_job(job, from, now_ms, out);
+                let state = self.jobs.get_mut(&job).expect("just opened");
                 state.submit = Some(Box::new(SubmitData {
                     tags_path,
                     initiator_html,
@@ -347,6 +372,10 @@ impl MeasurementProto {
                 };
                 if state.assembled {
                     events.push(MeasEvent::ReplyLate);
+                    return;
+                }
+                if !state.seen_vantages.insert((meta.kind, meta.id)) {
+                    events.push(MeasEvent::ReplyDuplicate);
                     return;
                 }
                 events.push(MeasEvent::ReplyAccepted {
@@ -392,11 +421,27 @@ impl MeasurementProto {
                     kind: TimerKind::Heartbeat,
                 });
             }
-            // Assemble with whatever arrived (§10.3's corrective path).
-            TimerKind::JobDeadline(job) if self.jobs.get(&job).is_some_and(|s| !s.assembled) => {
-                self.begin_assembly(now_ms, job, out, events);
-            }
-            TimerKind::JobDeadline(_) => {}
+            TimerKind::JobDeadline(job) => match self.jobs.get(&job) {
+                // Half-open at the deadline: the partner message never
+                // arrived. Reap the entry and release the job upstream
+                // (the initiator's own abort may have released it
+                // already; `job_complete` is idempotent).
+                Some(s) if !s.fanned_out => {
+                    self.jobs.remove(&job);
+                    out.push(Output::send(
+                        Address::Coordinator,
+                        ProtoMsg::JobComplete { job },
+                    ));
+                    events.push(MeasEvent::OrphanReaped { job });
+                }
+                // Assemble with whatever arrived (§10.3's corrective
+                // path) — but only on the timer armed at fan-out; the
+                // earlier creation-time reap timer is not a deadline.
+                Some(s) if !s.assembled && now_ms >= s.fanout_at_ms + self.job_deadline_ms => {
+                    self.begin_assembly(now_ms, job, out, events);
+                }
+                _ => {}
+            },
             TimerKind::ProcDone(job) => {
                 if self.integrated_db {
                     // DB cost already charged on the CPU queue.
@@ -419,6 +464,22 @@ impl MeasurementProto {
                 }
             }
             TimerKind::DbDone(job) => self.finish_job(now_ms, job, out, events),
+            // Retransmit timers belong to the driver's reliable channel;
+            // the sweep belongs to the Coordinator.
+            TimerKind::Retransmit(_) | TimerKind::CoordSweep => {}
         }
+    }
+
+    /// The server came back from a crash with its state intact but its
+    /// timers deferred and the Coordinator possibly counting it dead:
+    /// beacon immediately so it is marked online again without waiting
+    /// out the (deferred) periodic heartbeat.
+    pub fn on_restart(&mut self, _now_ms: u64, out: &mut Vec<Output>) {
+        out.push(Output::send(
+            Address::Coordinator,
+            ProtoMsg::Heartbeat {
+                server_index: self.index,
+            },
+        ));
     }
 }

@@ -178,6 +178,20 @@ pub enum ProtoMsg {
         /// Whether the server was actually taken offline.
         removed: bool,
     },
+    /// At-least-once envelope: `inner` rides under a per-sender sequence
+    /// number so the receiver can acknowledge and deduplicate retransmits
+    /// (see [`crate::protocol::reliable`]).
+    Reliable {
+        /// Per-sender sequence number.
+        seq: u64,
+        /// The wrapped control message.
+        inner: Box<ProtoMsg>,
+    },
+    /// Receiver → sender: a [`ProtoMsg::Reliable`] envelope arrived.
+    Ack {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
     /// Deployment control: stop the receiving node's event loop.
     Shutdown,
 }

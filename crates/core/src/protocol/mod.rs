@@ -32,6 +32,7 @@ mod ipc;
 mod measurement;
 pub mod messages;
 mod peer;
+pub mod reliable;
 
 pub use aggregator::AggregatorProto;
 pub use coordinator::CoordinatorProto;
@@ -40,6 +41,7 @@ pub use ipc::IpcProto;
 pub use measurement::{MeasEvent, MeasurementParams, MeasurementProto};
 pub use messages::ProtoMsg;
 pub use peer::{CompletedProtoCheck, PeerProto};
+pub use reliable::{Channel, ReliableConfig};
 
 /// Logical destination of a protocol message, independent of transport.
 ///
@@ -82,35 +84,54 @@ pub enum TimerKind {
     DbDone(JobId),
     /// Periodic Measurement-server liveness beacon.
     Heartbeat,
+    /// Retransmission check for an unacknowledged reliable sequence
+    /// number (see [`reliable::Channel`]).
+    Retransmit(u64),
+    /// Periodic Coordinator sweep: expire lapsed heartbeats and requeue
+    /// jobs stuck on offline servers.
+    CoordSweep,
 }
 
 const TIMER_DEADLINE: u64 = 0;
 const TIMER_PROC_DONE: u64 = 1;
 const TIMER_DB_DONE: u64 = 2;
 const TIMER_HEARTBEAT: u64 = 3;
+const TIMER_RETRANSMIT: u64 = 4;
+const TIMER_COORD_SWEEP: u64 = 5;
 
 impl TimerKind {
     /// Packs the timer into the u64 token space drivers carry
-    /// (`job * 8 + kind`; the bare token 3 is the heartbeat).
+    /// (`scope * 8 + kind`, where scope is the job id or reliable seq;
+    /// bare tokens 3 and 5 are the scope-free heartbeat and sweep —
+    /// collision-free because `JobId`s start at 1 and no job-scoped
+    /// kind shares their residues).
     pub fn token(self) -> u64 {
         match self {
             TimerKind::JobDeadline(job) => job.0 * 8 + TIMER_DEADLINE,
             TimerKind::ProcDone(job) => job.0 * 8 + TIMER_PROC_DONE,
             TimerKind::DbDone(job) => job.0 * 8 + TIMER_DB_DONE,
             TimerKind::Heartbeat => TIMER_HEARTBEAT,
+            TimerKind::Retransmit(seq) => seq * 8 + TIMER_RETRANSMIT,
+            TimerKind::CoordSweep => TIMER_COORD_SWEEP,
         }
     }
 
-    /// Inverse of [`TimerKind::token`]. Unknown kinds map to `None`.
+    /// Inverse of [`TimerKind::token`]. Unknown kinds map to `None`;
+    /// drivers must count those (`protocol.unknown_timers`) rather than
+    /// drop them silently.
     pub fn from_token(token: u64) -> Option<TimerKind> {
         if token == TIMER_HEARTBEAT {
             return Some(TimerKind::Heartbeat);
         }
-        let job = JobId(token / 8);
+        if token == TIMER_COORD_SWEEP {
+            return Some(TimerKind::CoordSweep);
+        }
+        let scope = token / 8;
         match token % 8 {
-            TIMER_DEADLINE => Some(TimerKind::JobDeadline(job)),
-            TIMER_PROC_DONE => Some(TimerKind::ProcDone(job)),
-            TIMER_DB_DONE => Some(TimerKind::DbDone(job)),
+            TIMER_DEADLINE => Some(TimerKind::JobDeadline(JobId(scope))),
+            TIMER_PROC_DONE => Some(TimerKind::ProcDone(JobId(scope))),
+            TIMER_DB_DONE => Some(TimerKind::DbDone(JobId(scope))),
+            TIMER_RETRANSMIT => Some(TimerKind::Retransmit(scope)),
             _ => None,
         }
     }
@@ -171,11 +192,36 @@ mod tests {
             TimerKind::ProcDone(JobId(7)),
             TimerKind::DbDone(JobId(123)),
             TimerKind::Heartbeat,
+            TimerKind::Retransmit(0),
+            TimerKind::Retransmit(9_999),
+            TimerKind::CoordSweep,
         ];
         for k in kinds {
             assert_eq!(TimerKind::from_token(k.token()), Some(k));
         }
-        assert_eq!(TimerKind::from_token(5), None);
+        // Residues 6 and 7 are unassigned kinds; drivers count these.
+        assert_eq!(TimerKind::from_token(14), None);
+        assert_eq!(TimerKind::from_token(15), None);
+    }
+
+    #[test]
+    fn scoped_tokens_never_collide_with_bare_tokens() {
+        // Bare tokens 3 (heartbeat) and 5 (sweep) sit below every scoped
+        // token: jobs start at 1 and retransmit seqs use residue 4.
+        for job in 1..100 {
+            for k in [
+                TimerKind::JobDeadline(JobId(job)),
+                TimerKind::ProcDone(JobId(job)),
+                TimerKind::DbDone(JobId(job)),
+            ] {
+                assert!(k.token() > TIMER_COORD_SWEEP);
+            }
+        }
+        for seq in 0..100 {
+            let t = TimerKind::Retransmit(seq).token();
+            assert_ne!(t, TIMER_HEARTBEAT);
+            assert_ne!(t, TIMER_COORD_SWEEP);
+        }
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! At-least-once delivery for control messages, sans-IO.
+//!
+//! The §3.2 protocol machines assume their transport never loses a
+//! message; the paper's deployment learned otherwise (flaky volunteer
+//! browsers, §10.3). [`Channel`] restores that assumption *under* the
+//! machines: each node owns one, the driver routes every outbound
+//! [`Output::Send`] through [`Channel::harden`] (which wraps eligible
+//! messages in a [`ProtoMsg::Reliable`] envelope and arms a retransmit
+//! timer) and every inbound message through [`Channel::accept`] (which
+//! acknowledges, deduplicates, and unwraps). Because the channel is as
+//! sans-IO as the machines it protects, the DES and TCP backends share
+//! it verbatim.
+//!
+//! Invariants:
+//!
+//! * **At-least-once**: a wrapped message is retransmitted on an
+//!   exponential backoff schedule until acknowledged or the attempt
+//!   budget is spent (`protocol.retransmit_gave_up` counts the latter).
+//! * **Idempotent receive**: retransmits and transport-duplicated
+//!   copies carry the same `(sender, seq)` pair; the per-sender dedup
+//!   window absorbs both (`protocol.dedup_hits`).
+//! * **Deterministic**: backoff jitter is hashed from `(seq, attempt)`,
+//!   never drawn from an RNG, so both backends arm identical timers.
+//!
+//! Exempt from wrapping (see [`needs_reliability`]): page fetches
+//! (`FetchOrder`/`FetchReply`), whose loss is governed by the job
+//! deadline; periodic `Heartbeat`s, which are their own retry loop;
+//! and the control plane (`StartCheck`, `RemoveServer`, `Shutdown`),
+//! which is injected from outside the protocol.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use sheriff_telemetry::{Counter, Registry};
+
+use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
+
+/// Tuning knobs for a [`Channel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReliableConfig {
+    /// Delay before the first retransmission (ms).
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff interval (ms).
+    pub max_backoff_ms: u64,
+    /// Retransmission attempts before giving up.
+    pub max_attempts: u32,
+    /// How far behind the highest seen sequence number a late arrival
+    /// may trail before it is assumed to be a duplicate.
+    pub dedup_window: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            base_backoff_ms: 400,
+            max_backoff_ms: 10_000,
+            max_attempts: 16,
+            dedup_window: 1024,
+        }
+    }
+}
+
+struct PendingSend {
+    to: Address,
+    /// The full `Reliable` envelope, ready to re-send verbatim.
+    envelope: ProtoMsg,
+    attempts: u32,
+}
+
+#[derive(Default)]
+struct DedupWindow {
+    max_seen: u64,
+    seen: BTreeSet<u64>,
+}
+
+struct ChannelTelemetry {
+    retransmits: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
+    acks: Arc<Counter>,
+    gave_up: Arc<Counter>,
+}
+
+/// One node's end of the at-least-once layer. See the module docs.
+pub struct Channel {
+    cfg: ReliableConfig,
+    next_seq: u64,
+    unacked: HashMap<u64, PendingSend>,
+    windows: HashMap<Address, DedupWindow>,
+    telemetry: Option<ChannelTelemetry>,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether the channel wraps this message in a reliable envelope.
+pub fn needs_reliability(msg: &ProtoMsg) -> bool {
+    !matches!(
+        msg,
+        ProtoMsg::StartCheck { .. }
+            | ProtoMsg::FetchOrder { .. }
+            | ProtoMsg::FetchReply { .. }
+            | ProtoMsg::Heartbeat { .. }
+            | ProtoMsg::RemoveServer { .. }
+            | ProtoMsg::Reliable { .. }
+            | ProtoMsg::Ack { .. }
+            | ProtoMsg::Shutdown
+    )
+}
+
+impl Channel {
+    /// A channel with the given tuning.
+    pub fn new(cfg: ReliableConfig) -> Channel {
+        Channel {
+            cfg,
+            next_seq: 0,
+            unacked: HashMap::new(),
+            windows: HashMap::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Registers the channel's counters (`protocol.*`) in `registry`.
+    /// All channels of one deployment share the same counter names, so
+    /// the registry aggregates across nodes.
+    pub fn with_telemetry(mut self, registry: &Arc<Registry>) -> Channel {
+        self.telemetry = Some(ChannelTelemetry {
+            retransmits: registry.counter("protocol.retransmits"),
+            dedup_hits: registry.counter("protocol.dedup_hits"),
+            acks: registry.counter("protocol.acks"),
+            gave_up: registry.counter("protocol.retransmit_gave_up"),
+        });
+        self
+    }
+
+    /// Sequence numbers still awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Post-processes a machine's outputs: eligible sends are wrapped in
+    /// a [`ProtoMsg::Reliable`] envelope and a retransmit timer is armed
+    /// for each. Call after every `on_message`/`on_timer` invocation,
+    /// before dispatching the outputs to the transport.
+    pub fn harden(&mut self, out: &mut Vec<Output>) {
+        let mut timers = Vec::new();
+        for o in out.iter_mut() {
+            let Output::Send { to, msg } = o else {
+                continue;
+            };
+            if !needs_reliability(msg) {
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let inner = std::mem::replace(msg, ProtoMsg::Shutdown);
+            *msg = ProtoMsg::Reliable {
+                seq,
+                inner: Box::new(inner),
+            };
+            self.unacked.insert(
+                seq,
+                PendingSend {
+                    to: *to,
+                    envelope: msg.clone(),
+                    attempts: 0,
+                },
+            );
+            timers.push(Output::Timer {
+                delay_ms: self.backoff(seq, 0),
+                kind: TimerKind::Retransmit(seq),
+            });
+        }
+        out.extend(timers);
+    }
+
+    /// Pre-processes an inbound message. Returns the payload to hand to
+    /// the machine, or `None` when the channel consumed it (an ack, or a
+    /// duplicate). Acks and dedup acknowledgements are pushed onto `out`
+    /// (and are themselves exempt from wrapping).
+    pub fn accept(
+        &mut self,
+        from: Address,
+        msg: ProtoMsg,
+        out: &mut Vec<Output>,
+    ) -> Option<ProtoMsg> {
+        match msg {
+            ProtoMsg::Ack { seq } => {
+                if self.unacked.remove(&seq).is_some() {
+                    if let Some(t) = &self.telemetry {
+                        t.acks.inc();
+                    }
+                }
+                None
+            }
+            ProtoMsg::Reliable { seq, inner } => {
+                // Always re-ack: the sender may have missed the first one.
+                out.push(Output::send(from, ProtoMsg::Ack { seq }));
+                if self.record(from, seq) {
+                    Some(*inner)
+                } else {
+                    if let Some(t) = &self.telemetry {
+                        t.dedup_hits.inc();
+                    }
+                    None
+                }
+            }
+            other => Some(other),
+        }
+    }
+
+    /// A [`TimerKind::Retransmit`] fired: re-send if still unacked and
+    /// within budget, re-arming the next backoff.
+    pub fn on_retransmit(&mut self, seq: u64, out: &mut Vec<Output>) {
+        let Some(pending) = self.unacked.get_mut(&seq) else {
+            return; // acknowledged in the meantime — timer is moot
+        };
+        pending.attempts += 1;
+        if pending.attempts > self.cfg.max_attempts {
+            self.unacked.remove(&seq);
+            if let Some(t) = &self.telemetry {
+                t.gave_up.inc();
+            }
+            return;
+        }
+        let attempts = pending.attempts;
+        out.push(Output::Send {
+            to: pending.to,
+            msg: pending.envelope.clone(),
+        });
+        out.push(Output::Timer {
+            delay_ms: self.backoff(seq, attempts),
+            kind: TimerKind::Retransmit(seq),
+        });
+        if let Some(t) = &self.telemetry {
+            t.retransmits.inc();
+        }
+    }
+
+    /// True when `(from, seq)` is fresh; false for duplicates.
+    fn record(&mut self, from: Address, seq: u64) -> bool {
+        let w = self.windows.entry(from).or_default();
+        let floor = w.max_seen.saturating_sub(self.cfg.dedup_window);
+        if (seq < floor && w.max_seen > 0) || w.seen.contains(&seq) {
+            return false;
+        }
+        w.seen.insert(seq);
+        w.max_seen = w.max_seen.max(seq);
+        let new_floor = w.max_seen.saturating_sub(self.cfg.dedup_window);
+        while let Some(&lo) = w.seen.iter().next() {
+            if lo >= new_floor {
+                break;
+            }
+            w.seen.remove(&lo);
+        }
+        true
+    }
+
+    /// Exponential backoff with deterministic jitter: doubling from the
+    /// base, capped, plus a hash-of-`(seq, attempt)` spread of up to a
+    /// quarter interval so synchronized losses don't retransmit in
+    /// lockstep. No RNG — both backends arm identical delays.
+    fn backoff(&self, seq: u64, attempt: u32) -> u64 {
+        let doubled = self
+            .cfg
+            .base_backoff_ms
+            .saturating_mul(1 << attempt.min(16))
+            .min(self.cfg.max_backoff_ms);
+        let spread = (doubled / 4).max(1);
+        let jitter = splitmix64(seq.wrapping_mul(0x9E37_79B9) ^ u64::from(attempt)) % spread;
+        doubled.saturating_add(jitter).min(self.cfg.max_backoff_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::JobId;
+
+    fn chan() -> Channel {
+        Channel::new(ReliableConfig {
+            base_backoff_ms: 100,
+            max_backoff_ms: 1000,
+            max_attempts: 3,
+            dedup_window: 8,
+        })
+    }
+
+    fn job_complete(job: u64) -> ProtoMsg {
+        ProtoMsg::JobComplete { job: JobId(job) }
+    }
+
+    fn sent_to_coordinator(msg: ProtoMsg) -> Vec<Output> {
+        vec![Output::send(Address::Coordinator, msg)]
+    }
+
+    #[test]
+    fn harden_wraps_eligible_sends_and_arms_a_timer() {
+        let mut c = chan();
+        let mut out = sent_to_coordinator(job_complete(1));
+        c.harden(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            &out[0],
+            Output::Send {
+                msg: ProtoMsg::Reliable { seq: 0, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &out[1],
+            Output::Timer {
+                kind: TimerKind::Retransmit(0),
+                ..
+            }
+        ));
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn exempt_messages_pass_through_unwrapped() {
+        let mut c = chan();
+        let mut out = vec![Output::send(
+            Address::Server { index: 0 },
+            ProtoMsg::Heartbeat { server_index: 0 },
+        )];
+        c.harden(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0],
+            Output::Send {
+                msg: ProtoMsg::Heartbeat { .. },
+                ..
+            }
+        ));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn accept_acks_unwraps_and_dedups() {
+        let mut sender = chan();
+        let mut receiver = chan();
+        let mut out = sent_to_coordinator(job_complete(7));
+        sender.harden(&mut out);
+        let Output::Send { msg, .. } = &out[0] else {
+            panic!("send first");
+        };
+
+        // First copy: unwrapped and acked.
+        let mut rx_out = Vec::new();
+        let got = receiver.accept(Address::Server { index: 0 }, msg.clone(), &mut rx_out);
+        assert_eq!(got, Some(job_complete(7)));
+        assert!(matches!(
+            &rx_out[0],
+            Output::Send {
+                msg: ProtoMsg::Ack { seq: 0 },
+                ..
+            }
+        ));
+
+        // Duplicate copy: swallowed, but re-acked.
+        let mut rx_out2 = Vec::new();
+        let dup = receiver.accept(Address::Server { index: 0 }, msg.clone(), &mut rx_out2);
+        assert_eq!(dup, None);
+        assert_eq!(rx_out2.len(), 1, "duplicate still acknowledged");
+
+        // The ack clears the sender's pending entry.
+        let Output::Send { msg: ack, .. } = rx_out.remove(0) else {
+            panic!("ack is a send");
+        };
+        let mut tx_out = Vec::new();
+        assert_eq!(sender.accept(Address::Coordinator, ack, &mut tx_out), None);
+        assert_eq!(sender.in_flight(), 0);
+    }
+
+    #[test]
+    fn same_seq_from_different_senders_is_not_a_duplicate() {
+        let mut receiver = chan();
+        let envelope = ProtoMsg::Reliable {
+            seq: 0,
+            inner: Box::new(job_complete(1)),
+        };
+        let mut out = Vec::new();
+        assert!(receiver
+            .accept(Address::Server { index: 0 }, envelope.clone(), &mut out)
+            .is_some());
+        assert!(receiver
+            .accept(Address::Server { index: 1 }, envelope, &mut out)
+            .is_some());
+    }
+
+    #[test]
+    fn retransmits_back_off_then_give_up() {
+        let mut c = chan();
+        let mut out = sent_to_coordinator(job_complete(1));
+        c.harden(&mut out);
+        let mut delays = Vec::new();
+        for _ in 0..3 {
+            let mut rt = Vec::new();
+            c.on_retransmit(0, &mut rt);
+            assert_eq!(rt.len(), 2, "resend + next timer");
+            let Output::Timer { delay_ms, .. } = rt[1] else {
+                panic!("timer second");
+            };
+            delays.push(delay_ms);
+        }
+        assert!(delays[0] < delays[1] && delays[1] < delays[2], "{delays:?}");
+        // Fourth firing exceeds max_attempts: drop the pending entry.
+        let mut rt = Vec::new();
+        c.on_retransmit(0, &mut rt);
+        assert!(rt.is_empty());
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn retransmit_after_ack_is_a_noop() {
+        let mut c = chan();
+        let mut out = sent_to_coordinator(job_complete(1));
+        c.harden(&mut out);
+        let mut tx = Vec::new();
+        c.accept(Address::Coordinator, ProtoMsg::Ack { seq: 0 }, &mut tx);
+        let mut rt = Vec::new();
+        c.on_retransmit(0, &mut rt);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn dedup_window_prunes_but_still_rejects_far_stragglers() {
+        let mut c = chan();
+        let from = Address::Peer { id: 1 };
+        let mut out = Vec::new();
+        for seq in 0..32 {
+            let env = ProtoMsg::Reliable {
+                seq,
+                inner: Box::new(job_complete(seq)),
+            };
+            assert!(c.accept(from, env, &mut out).is_some());
+        }
+        // Window is 8: seq 2 fell off the window but is still stale.
+        let stale = ProtoMsg::Reliable {
+            seq: 2,
+            inner: Box::new(job_complete(2)),
+        };
+        assert!(c.accept(from, stale, &mut out).is_none());
+        // In-window duplicate too.
+        let dup = ProtoMsg::Reliable {
+            seq: 30,
+            inner: Box::new(job_complete(30)),
+        };
+        assert!(c.accept(from, dup, &mut out).is_none());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let c = chan();
+        for attempt in 0..10 {
+            let a = c.backoff(5, attempt);
+            let b = c.backoff(5, attempt);
+            assert_eq!(a, b);
+            assert!(a <= 1000);
+        }
+        assert_ne!(c.backoff(5, 0), c.backoff(6, 0), "jitter spreads seqs");
+    }
+}

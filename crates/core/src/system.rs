@@ -26,7 +26,9 @@ use rand::SeedableRng;
 
 use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_market::{ProductId, UserAgent, World};
-use sheriff_netsim::{latency::sample_standard_normal, Ctx, Node, NodeId, SimTime, Simulator};
+use sheriff_netsim::{
+    latency::sample_standard_normal, Ctx, FaultPlan, FaultStats, Node, NodeId, SimTime, Simulator,
+};
 use sheriff_telemetry::{Counter, FieldValue, Gauge, Histogram, Registry};
 
 use crate::latency::{GeoLatency, GeoLatencyConfig};
@@ -36,8 +38,8 @@ use crate::coordinator::{Coordinator, PeerId};
 use crate::db::DbCostModel;
 use crate::pollution::PollutionLedger;
 use crate::protocol::{
-    Address, AggregatorProto, CoordinatorProto, DbEvent, DbProto, IpcProto, MeasEvent,
-    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, TimerKind,
+    Address, AggregatorProto, Channel, CoordinatorProto, DbEvent, DbProto, IpcProto, MeasEvent,
+    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, ReliableConfig, TimerKind,
 };
 use crate::proxy::{IpcEngine, PpcEngine};
 use crate::records::PriceCheck;
@@ -95,6 +97,10 @@ pub struct SheriffConfig {
     pub heartbeat_every_ms: u64,
     /// Coordinator: take a server offline after this long without a beacon.
     pub heartbeat_timeout_ms: u64,
+    /// First retransmission delay for at-least-once control messages, ms.
+    pub retransmit_base_ms: u64,
+    /// Coordinator recovery-sweep period (heartbeat expiry + job requeue).
+    pub coord_sweep_every_ms: u64,
 }
 
 impl SheriffConfig {
@@ -120,6 +126,8 @@ impl SheriffConfig {
             enable_doppelgangers: false,
             heartbeat_every_ms: 10_000,
             heartbeat_timeout_ms: 30_000,
+            retransmit_base_ms: 2_000,
+            coord_sweep_every_ms: 5_000,
         }
     }
 
@@ -145,6 +153,8 @@ impl SheriffConfig {
             enable_doppelgangers: true,
             heartbeat_every_ms: 10_000,
             heartbeat_timeout_ms: 30_000,
+            retransmit_base_ms: 2_000,
+            coord_sweep_every_ms: 5_000,
         }
     }
 
@@ -156,6 +166,8 @@ impl SheriffConfig {
         cfg.fetch_kill_ms = 1_200;
         cfg.ppc_fetch_median_ms = 25;
         cfg.job_deadline_ms = 2_000;
+        cfg.retransmit_base_ms = 250;
+        cfg.coord_sweep_every_ms = 500;
         cfg
     }
 }
@@ -304,14 +316,35 @@ fn dispatch(
 struct CoordinatorNode {
     proto: CoordinatorProto,
     map: Arc<AddrMap>,
+    chan: Channel,
+    unknown_timers: Arc<Counter>,
 }
 
 impl Node<ProtoMsg> for CoordinatorNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         let from = self.map.addr(from);
         let mut out = Vec::new();
-        self.proto
-            .on_message(ctx.now.as_millis(), from, msg, ctx.rng(), &mut out);
+        if let Some(msg) = self.chan.accept(from, msg, &mut out) {
+            self.proto
+                .on_message(ctx.now.as_millis(), from, msg, ctx.rng(), &mut out);
+        }
+        self.chan.harden(&mut out);
+        dispatch(&self.map, ctx, out, None);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
+        let mut out = Vec::new();
+        match TimerKind::from_token(token) {
+            None => {
+                self.unknown_timers.inc();
+                return;
+            }
+            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(kind) => self
+                .proto
+                .on_timer(ctx.now.as_millis(), kind, ctx.rng(), &mut out),
+        }
+        self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
     }
 }
@@ -319,13 +352,31 @@ impl Node<ProtoMsg> for CoordinatorNode {
 struct AggregatorNode {
     proto: AggregatorProto,
     map: Arc<AddrMap>,
+    chan: Channel,
+    unknown_timers: Arc<Counter>,
 }
 
 impl Node<ProtoMsg> for AggregatorNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         let from = self.map.addr(from);
         let mut out = Vec::new();
-        self.proto.on_message(from, msg, &mut out);
+        if let Some(msg) = self.chan.accept(from, msg, &mut out) {
+            self.proto.on_message(from, msg, &mut out);
+        }
+        self.chan.harden(&mut out);
+        dispatch(&self.map, ctx, out, None);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
+        let mut out = Vec::new();
+        match TimerKind::from_token(token) {
+            None => {
+                self.unknown_timers.inc();
+                return;
+            }
+            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(_) => {}
+        }
         dispatch(&self.map, ctx, out, None);
     }
 }
@@ -362,6 +413,12 @@ struct MeasurementTelemetry {
     /// dedicated Database server so v1/v2 run reports line up.
     db_query_cost: Arc<Histogram>,
     db_queries: Arc<Counter>,
+    /// Duplicate `FetchReply` deliveries suppressed by the per-job
+    /// vantage dedup (same counter as the reliable channel's dedup — both
+    /// mean "a transport duplicate was absorbed").
+    dedup_hits: Arc<Counter>,
+    /// Half-open jobs reaped at the deadline (partner message lost).
+    orphans_reaped: Arc<Counter>,
 }
 
 impl MeasurementTelemetry {
@@ -369,6 +426,8 @@ impl MeasurementTelemetry {
         MeasurementTelemetry {
             db_query_cost: registry.histogram("db.query_cost_ms", CPU_COST_EDGES),
             db_queries: registry.counter("db.queries_total"),
+            dedup_hits: registry.counter("protocol.dedup_hits"),
+            orphans_reaped: registry.counter("measurement.orphans_reaped"),
             fanout_latency: registry
                 .histogram("measurement.fanout_latency_ms", FANOUT_LATENCY_EDGES),
             assembly_cpu: registry.histogram("measurement.assembly_cpu_ms", CPU_COST_EDGES),
@@ -391,6 +450,18 @@ impl MeasurementTelemetry {
                     self.fanout_latency.observe(since_fanout_ms as f64);
                 }
                 MeasEvent::ReplyLate => self.late_replies.inc(),
+                MeasEvent::ReplyDuplicate => self.dedup_hits.inc(),
+                MeasEvent::OrphanReaped { job } => {
+                    self.orphans_reaped.inc();
+                    self.registry.event(
+                        now_ms,
+                        "measurement.orphan_reaped",
+                        vec![
+                            ("job", FieldValue::U64(job.0)),
+                            ("server", FieldValue::U64(index as u64)),
+                        ],
+                    );
+                }
                 MeasEvent::AssemblyScheduled {
                     proc_ms,
                     db_ms,
@@ -436,6 +507,8 @@ struct MeasurementNode {
     proto: MeasurementProto,
     map: Arc<AddrMap>,
     telemetry: MeasurementTelemetry,
+    chan: Channel,
+    unknown_timers: Arc<Counter>,
 }
 
 impl Node<ProtoMsg> for MeasurementNode {
@@ -443,19 +516,38 @@ impl Node<ProtoMsg> for MeasurementNode {
         let from = self.map.addr(from);
         let now = ctx.now.as_millis();
         let (mut out, mut events) = (Vec::new(), Vec::new());
-        self.proto.on_message(now, from, msg, &mut out, &mut events);
+        if let Some(msg) = self.chan.accept(from, msg, &mut out) {
+            self.proto.on_message(now, from, msg, &mut out, &mut events);
+        }
         self.telemetry.apply(self.index, now, events);
+        self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
-        let Some(kind) = TimerKind::from_token(token) else {
-            return;
-        };
         let now = ctx.now.as_millis();
         let (mut out, mut events) = (Vec::new(), Vec::new());
-        self.proto.on_timer(now, kind, &mut out, &mut events);
+        match TimerKind::from_token(token) {
+            None => {
+                self.unknown_timers.inc();
+                return;
+            }
+            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(kind) => self.proto.on_timer(now, kind, &mut out, &mut events),
+        }
         self.telemetry.apply(self.index, now, events);
+        self.chan.harden(&mut out);
+        dispatch(&self.map, ctx, out, None);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, ProtoMsg>) {
+        // Crash recovery (§10.3): re-announce liveness immediately so the
+        // Coordinator puts the server back in rotation without waiting a
+        // full beacon period.
+        let now = ctx.now.as_millis();
+        let mut out = Vec::new();
+        self.proto.on_restart(now, &mut out);
+        self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
     }
 }
@@ -503,24 +595,34 @@ struct DbNode {
     proto: DbProto,
     map: Arc<AddrMap>,
     telemetry: DbTelemetry,
+    chan: Channel,
+    unknown_timers: Arc<Counter>,
 }
 
 impl Node<ProtoMsg> for DbNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         let from = self.map.addr(from);
         let (mut out, mut events) = (Vec::new(), Vec::new());
-        self.proto.on_message(from, msg, &mut out, &mut events);
+        if let Some(msg) = self.chan.accept(from, msg, &mut out) {
+            self.proto.on_message(from, msg, &mut out, &mut events);
+        }
         self.telemetry.apply(events);
+        self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
-        let Some(kind) = TimerKind::from_token(token) else {
-            return;
-        };
         let (mut out, mut events) = (Vec::new(), Vec::new());
-        self.proto.on_timer(kind, &mut out, &mut events);
+        match TimerKind::from_token(token) {
+            None => {
+                self.unknown_timers.inc();
+                return;
+            }
+            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(kind) => self.proto.on_timer(kind, &mut out, &mut events),
+        }
         self.telemetry.apply(events);
+        self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
     }
 }
@@ -569,16 +671,32 @@ struct AddonNode {
     world: Arc<Mutex<World>>,
     map: Arc<AddrMap>,
     timing: FetchTiming,
+    chan: Channel,
+    unknown_timers: Arc<Counter>,
 }
 
 impl Node<ProtoMsg> for AddonNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         let from = self.map.addr(from);
         let mut out = Vec::new();
-        {
+        if let Some(msg) = self.chan.accept(from, msg, &mut out) {
             let mut world = self.world.lock();
             self.proto
                 .on_message(ctx.now.as_millis(), from, msg, &mut world, &mut out);
+        }
+        self.chan.harden(&mut out);
+        dispatch(&self.map, ctx, out, Some(self.timing));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, token: u64) {
+        let mut out = Vec::new();
+        match TimerKind::from_token(token) {
+            None => {
+                self.unknown_timers.inc();
+                return;
+            }
+            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(_) => {}
         }
         dispatch(&self.map, ctx, out, Some(self.timing));
     }
@@ -686,6 +804,16 @@ impl PriceSheriff {
         let telemetry = Arc::new(Registry::new());
         sim.set_telemetry(Arc::clone(&telemetry));
 
+        // One at-least-once channel per node (shared counter names, so
+        // the registry aggregates across the deployment), plus the
+        // "unknown timer token" counter every driver must maintain.
+        let reliable_cfg = ReliableConfig {
+            base_backoff_ms: cfg.retransmit_base_ms,
+            ..ReliableConfig::default()
+        };
+        let mk_chan = || Channel::new(reliable_cfg).with_telemetry(&telemetry);
+        let unknown_timers = telemetry.counter("protocol.unknown_timers");
+
         // Coordinator state.
         let mut coordinator = Coordinator::with_telemetry(whitelist, Arc::clone(&telemetry));
         coordinator.heartbeat_timeout_ms = cfg.heartbeat_timeout_ms;
@@ -719,15 +847,27 @@ impl PriceSheriff {
             addr_of,
         });
 
+        let mut coord_proto = CoordinatorProto::new(coordinator, cfg.ppc_per_request);
+        coord_proto.sweep_every_ms = cfg.coord_sweep_every_ms;
         let coord_node = CoordinatorNode {
-            proto: CoordinatorProto::new(coordinator, cfg.ppc_per_request),
+            proto: coord_proto,
             map: Arc::clone(&map),
+            chan: mk_chan(),
+            unknown_timers: Arc::clone(&unknown_timers),
         };
         assert_eq!(sim.add_node(Box::new(coord_node)), coordinator_id);
+        // The §10.3 recovery sweep: expire heartbeats, requeue orphans.
+        sim.inject_timer(
+            SimTime::from_millis(cfg.coord_sweep_every_ms),
+            coordinator_id,
+            TimerKind::CoordSweep.token(),
+        );
 
         let agg_node = AggregatorNode {
             proto: AggregatorProto::new(),
             map: Arc::clone(&map),
+            chan: mk_chan(),
+            unknown_timers: Arc::clone(&unknown_timers),
         };
         assert_eq!(sim.add_node(Box::new(agg_node)), aggregator_id);
 
@@ -736,6 +876,8 @@ impl PriceSheriff {
                 proto: DbProto::new(cfg.db_cost),
                 map: Arc::clone(&map),
                 telemetry: DbTelemetry::new(&telemetry),
+                chan: mk_chan(),
+                unknown_timers: Arc::clone(&unknown_timers),
             };
             assert_eq!(sim.add_node(Box::new(db_node)), db_id.expect("has_db"));
         }
@@ -760,6 +902,8 @@ impl PriceSheriff {
                 }),
                 map: Arc::clone(&map),
                 telemetry: MeasurementTelemetry::new(&telemetry, i),
+                chan: mk_chan(),
+                unknown_timers: Arc::clone(&unknown_timers),
             };
             assert_eq!(sim.add_node(Box::new(node)), sid);
             sim.inject_timer(SimTime::from_millis(100), sid, TimerKind::Heartbeat.token());
@@ -822,6 +966,8 @@ impl PriceSheriff {
                     overload_ms: 0,
                     kill_ms: cfg.fetch_kill_ms,
                 },
+                chan: mk_chan(),
+                unknown_timers: Arc::clone(&unknown_timers),
             };
             assert_eq!(sim.add_node(Box::new(node)), NodeId(first_ppc + i));
         }
@@ -1011,6 +1157,29 @@ impl PriceSheriff {
             .filter_map(|&n| self.sim.node_ref::<AddonNode>(n))
             .map(|a| a.proto.sandbox_violations)
             .sum()
+    }
+
+    /// Installs a deterministic fault schedule on the underlying
+    /// simulator (drops, duplicates, delays, crashes, partitions). An
+    /// all-zero plan is a strict no-op: the run is byte-identical to one
+    /// without a plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Fault-injection tallies, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.sim.fault_stats()
+    }
+
+    /// Jobs currently charged to each Measurement server, in server
+    /// order — the Coordinator's ledger, not the panel text. All zeros
+    /// once the system has drained (no leaked jobs).
+    pub fn pending_jobs_per_server(&self) -> Vec<u32> {
+        self.sim
+            .node_ref::<CoordinatorNode>(self.coordinator)
+            .map(|c| c.proto.coordinator.pending_jobs_per_server())
+            .unwrap_or_default()
     }
 
     /// The Coordinator's Fig. 7 monitoring panel.

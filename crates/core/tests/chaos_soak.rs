@@ -1,0 +1,168 @@
+//! Chaos soak: seed-deterministic fault schedules (drops, duplicates,
+//! delays, a Measurement-server crash, an IPC partition) over the full
+//! DES deployment. Under every schedule the self-healing layer must
+//! deliver eventual completion with zero leaked Coordinator jobs and no
+//! duplicate observations — and an all-zero plan must be a strict no-op.
+//!
+//! Seeds come from `CHAOS_SEEDS` (comma-separated) when set, so CI can
+//! pin its recorded schedule and local runs can explore.
+
+use sheriff_core::records::VantageKind;
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::{FaultPlan, LinkFaults, SimTime};
+use std::collections::HashSet;
+
+const DEFAULT_SEEDS: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("CHAOS_SEEDS: u64 list"))
+            .collect(),
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn specs(n: u64) -> Vec<PpcSpec> {
+    (0..n)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: sheriff_market::pricing::Os::Linux,
+                browser: sheriff_market::pricing::Browser::Firefox,
+            },
+            affluence: 0.2,
+            logged_in_domains: vec![],
+        })
+        .collect()
+}
+
+/// Fast config tuned so the crash window actually exercises §10.3
+/// recovery: heartbeats are frequent, the Coordinator's patience is
+/// shorter than the crash, and the sweep requeues the stranded jobs.
+fn chaos_cfg(seed: u64) -> SheriffConfig {
+    let mut cfg = SheriffConfig::fast(seed);
+    cfg.heartbeat_every_ms = 600;
+    cfg.heartbeat_timeout_ms = 2_000;
+    cfg
+}
+
+/// The chaos schedule for one seed, phrased against the DES node layout
+/// `[coordinator=0, aggregator=1, db=2, servers 3..5, ipcs 5..35, ppcs…]`
+/// of the fast (v2, two-server) configuration.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_default_link(LinkFaults {
+            drop: 0.03,
+            duplicate: 0.05,
+            delay: 0.08,
+            delay_ms: (50, 400),
+            ..LinkFaults::NONE
+        })
+        // Measurement server 0 is dead from 400ms to 3s: longer than the
+        // Coordinator's 2s heartbeat patience, so its jobs get requeued.
+        .with_crash(3, 400, 3_000)
+        // Three IPC vantages drop off the network for 700ms.
+        .with_partition(vec![5, 6, 7], 200, 900)
+}
+
+#[test]
+fn chaos_soak_completes_without_leaks_or_duplicates() {
+    let mut total_requeued = 0u64;
+    for seed in seeds() {
+        let world = World::build(&WorldConfig::small(), seed);
+        let mut sheriff = PriceSheriff::new(chaos_cfg(seed), world, &specs(4));
+        sheriff.install_fault_plan(chaos_plan(seed));
+        let domains = ["amazon.com", "steampowered.com", "chegg.com", "amazon.com"];
+        for (i, domain) in domains.iter().enumerate() {
+            sheriff.submit_check(
+                SimTime::from_millis(i as u64 * 150),
+                100 + i as u64,
+                domain,
+                ProductId(i as u32 % 4),
+            );
+        }
+        sheriff.run_until(SimTime::from_mins(5));
+
+        // Eventual completion: every submitted check finishes.
+        let done = sheriff.completed();
+        assert_eq!(done.len(), domains.len(), "seed {seed}: lost checks");
+
+        // No duplicate observations inside any check: transport
+        // duplicates must be absorbed by the dedup layers.
+        for c in &done {
+            let mut seen: HashSet<(VantageKind, u64)> = HashSet::new();
+            for o in &c.check.observations {
+                assert!(
+                    seen.insert((o.vantage, o.vantage_id)),
+                    "seed {seed}: duplicate observation {:?}/{} in job {}",
+                    o.vantage,
+                    o.vantage_id,
+                    c.check.job_id
+                );
+            }
+        }
+
+        // Zero leaked jobs in the Coordinator's ledger.
+        assert_eq!(
+            sheriff.pending_jobs_per_server(),
+            vec![0, 0],
+            "seed {seed}: leaked jobs"
+        );
+
+        // The schedule really did bite.
+        let stats = sheriff.fault_stats().expect("plan installed");
+        assert!(
+            stats.dropped + stats.duplicated + stats.partition_drops > 0,
+            "seed {seed}: fault plan never fired: {stats:?}"
+        );
+        let snap = sheriff.telemetry().snapshot();
+        assert_eq!(snap.counters["faults.node_restarts"], 1, "seed {seed}");
+        total_requeued += snap
+            .counters
+            .get("coordinator.jobs_requeued")
+            .copied()
+            .unwrap_or(0);
+    }
+    // Across the soak the crash-recovery path must actually trigger.
+    assert!(
+        total_requeued >= 1,
+        "no seed ever exercised the requeue path"
+    );
+}
+
+#[test]
+fn all_zero_fault_plan_is_a_strict_noop() {
+    let run = |plan: Option<FaultPlan>| {
+        let world = World::build(&WorldConfig::small(), 101);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(101), world, &specs(3));
+        if let Some(plan) = plan {
+            sheriff.install_fault_plan(plan);
+        }
+        for i in 0..3u64 {
+            sheriff.submit_check(
+                SimTime::from_millis(i * 200),
+                100 + i,
+                "amazon.com",
+                ProductId(i as u32),
+            );
+        }
+        sheriff.run_until(SimTime::from_mins(2));
+        (
+            format!("{:?}", sheriff.completed()),
+            format!("{:?}", sheriff.telemetry().snapshot().counters),
+            sheriff.monitoring_panel(),
+        )
+    };
+    let baseline = run(None);
+    let with_plan = run(Some(FaultPlan::new(999)));
+    assert_eq!(baseline.0, with_plan.0, "completed checks diverged");
+    assert_eq!(baseline.1, with_plan.1, "telemetry counters diverged");
+    assert_eq!(baseline.2, with_plan.2, "monitoring panel diverged");
+}

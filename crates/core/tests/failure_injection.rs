@@ -65,16 +65,11 @@ fn captcha_blocked_ipcs_yield_failed_observations_not_hangs() {
     }
     // And — crucially — aborted checks release their jobs: nothing leaks
     // in the Coordinator's pending counters.
-    let panel = sheriff.monitoring_panel();
-    // Server rows end at the blank line before the totals footer.
-    for line in panel.lines().skip(1).take_while(|l| !l.is_empty()) {
-        let pending: u32 = line
-            .split_whitespace()
-            .last()
-            .and_then(|w| w.parse().ok())
-            .unwrap_or(0);
-        assert_eq!(pending, 0, "leaked job: {line}");
-    }
+    assert_eq!(
+        sheriff.pending_jobs_per_server(),
+        vec![0; sheriff.pending_jobs_per_server().len()],
+        "leaked jobs"
+    );
 }
 
 #[test]
@@ -116,6 +111,19 @@ fn unknown_product_checks_do_not_wedge_the_system() {
         "valid check must complete despite the poison one"
     );
     assert!(done[0].check.url.ends_with("/1"));
+    // The poisoned job must be *reaped*, not merely tolerated: the
+    // initiator's abort releases it at the Coordinator, and the
+    // Measurement server reaps its half-open entry at the deadline.
+    assert_eq!(
+        sheriff.pending_jobs_per_server(),
+        vec![0, 0],
+        "poisoned job leaked in the Coordinator ledger"
+    );
+    let snap = sheriff.telemetry().snapshot();
+    assert!(
+        snap.counters["measurement.orphans_reaped"] >= 1,
+        "half-open job entry never reaped on the Measurement server"
+    );
 }
 
 #[test]
@@ -135,17 +143,12 @@ fn rejected_domains_under_load_never_leak_jobs() {
     let done = sheriff.completed();
     assert_eq!(done.len(), 1);
     assert_eq!(done[0].check.domain, "chegg.com");
-    // The monitoring panel shows no stuck jobs.
-    let panel = sheriff.monitoring_panel();
-    // Server rows end at the blank line before the totals footer.
-    for line in panel.lines().skip(1).take_while(|l| !l.is_empty()) {
-        let pending: u32 = line
-            .split_whitespace()
-            .last()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        assert_eq!(pending, 0, "stuck job in panel: {line}");
-    }
+    // The Coordinator's ledger shows no stuck jobs.
+    assert_eq!(
+        sheriff.pending_jobs_per_server(),
+        vec![0, 0],
+        "stuck jobs in the Coordinator ledger"
+    );
 }
 
 #[test]

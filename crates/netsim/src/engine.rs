@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sheriff_telemetry::{Counter, Gauge, Registry};
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::latency::LatencyModel;
 
 /// Virtual time in milliseconds since simulation start.
@@ -69,6 +70,11 @@ pub trait Node<M: 'static>: Any {
 
     /// A timer set via [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+
+    /// The node just came back from a scheduled crash window (see
+    /// [`FaultPlan::with_crash`]): state is intact, in-flight deliveries
+    /// were lost, pending timers were deferred to this instant.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
 /// What a node may do during a callback.
@@ -128,6 +134,7 @@ impl<'a, M> Ctx<'a, M> {
 enum Event<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, token: u64 },
+    Restart { node: NodeId },
 }
 
 struct Scheduled<M> {
@@ -185,6 +192,10 @@ pub struct Simulator<M: 'static> {
     rng: StdRng,
     delivered: u64,
     telemetry: Option<SimTelemetry>,
+    fault: Option<FaultPlan>,
+    // Set alongside `fault` (which requires `M: Clone`); lets `step` clone
+    // messages for duplication without bounding the whole impl.
+    cloner: Option<fn(&M) -> M>,
 }
 
 /// Cached metric handles: the per-event hot path touches only atomics,
@@ -196,6 +207,13 @@ struct SimTelemetry {
     queue_depth: Arc<Gauge>,
     queue_depth_max: Arc<Gauge>,
     node_backlog: Vec<Arc<Gauge>>,
+    faults_dropped: Arc<Counter>,
+    faults_duplicated: Arc<Counter>,
+    faults_delayed: Arc<Counter>,
+    faults_partition_drops: Arc<Counter>,
+    faults_crash_dropped: Arc<Counter>,
+    faults_node_restarts: Arc<Counter>,
+    faults_timers_deferred: Arc<Counter>,
 }
 
 impl SimTelemetry {
@@ -206,15 +224,35 @@ impl SimTelemetry {
             queue_depth: registry.gauge("netsim.queue_depth"),
             queue_depth_max: registry.gauge("netsim.queue_depth_max"),
             node_backlog: Vec::new(),
+            faults_dropped: registry.counter("faults.dropped"),
+            faults_duplicated: registry.counter("faults.duplicated"),
+            faults_delayed: registry.counter("faults.delayed"),
+            faults_partition_drops: registry.counter("faults.partition_drops"),
+            faults_crash_dropped: registry.counter("faults.crash_dropped"),
+            faults_node_restarts: registry.counter("faults.node_restarts"),
+            faults_timers_deferred: registry.counter("faults.timers_deferred"),
             registry,
         }
+    }
+
+    /// Folds the plan's running totals into the registry as deltas (the
+    /// plan is consulted per send; counters must only ever increase).
+    fn fault_deltas(&self, before: FaultStats, after: FaultStats) {
+        self.faults_dropped.add(after.dropped - before.dropped);
+        self.faults_duplicated
+            .add(after.duplicated - before.duplicated);
+        self.faults_delayed.add(after.delayed - before.delayed);
+        self.faults_partition_drops
+            .add(after.partition_drops - before.partition_drops);
     }
 
     fn backlog(&mut self, node: NodeId) -> &Arc<Gauge> {
         while self.node_backlog.len() <= node.0 {
             let idx = self.node_backlog.len();
-            self.node_backlog
-                .push(self.registry.gauge(&format!("netsim.node.{idx:03}.backlog")));
+            self.node_backlog.push(
+                self.registry
+                    .gauge(&format!("netsim.node.{idx:03}.backlog")),
+            );
         }
         &self.node_backlog[node.0]
     }
@@ -256,6 +294,8 @@ impl<M: 'static> Simulator<M> {
             rng: StdRng::seed_from_u64(seed),
             delivered: 0,
             telemetry: None,
+            fault: None,
+            cloner: None,
         }
     }
 
@@ -269,7 +309,7 @@ impl<M: 'static> Simulator<M> {
         for Reverse(sched) in self.queue.iter() {
             match sched.event {
                 Event::Deliver { to, .. } => tel.pushed(Some(to)),
-                Event::Timer { .. } => tel.pushed(None),
+                Event::Timer { .. } | Event::Restart { .. } => tel.pushed(None),
             }
         }
         self.telemetry = Some(tel);
@@ -377,31 +417,83 @@ impl<M: 'static> Simulator<M> {
             return false;
         };
         self.now = self.now.max(sched.at);
+        let now_ms = self.now.as_millis();
         let mut actions: Vec<Action<M>> = Vec::new();
 
         type Invoke<'a, M> = Box<dyn FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>) + 'a>;
-        let (node_id, invoke): (NodeId, Invoke<'_, M>) =
-            match sched.event {
-                Event::Deliver { to, from, msg } => {
-                    self.delivered += 1;
+        let (node_id, invoke): (NodeId, Invoke<'_, M>) = match sched.event {
+            Event::Deliver { to, from, msg } => {
+                // A crashed receiver loses in-flight deliveries outright.
+                if self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|f| f.is_crashed(to.0, now_ms))
+                {
                     if let Some(t) = &mut self.telemetry {
-                        t.popped(Some(to));
+                        t.queue_depth.add(-1);
+                        t.backlog(to).add(-1);
+                        t.faults_crash_dropped.inc();
                     }
-                    (
-                        to,
-                        Box::new(move |node, ctx| node.on_message(ctx, from, msg)),
-                    )
+                    return true;
                 }
-                Event::Timer { node, token } => {
+                self.delivered += 1;
+                if let Some(t) = &mut self.telemetry {
+                    t.popped(Some(to));
+                }
+                (
+                    to,
+                    Box::new(move |node, ctx| node.on_message(ctx, from, msg)),
+                )
+            }
+            Event::Timer { node, token } => {
+                // Timers owed to a crashed node fire at its restart
+                // instant instead (deferred, never lost).
+                if let Some(restart) = self
+                    .fault
+                    .as_ref()
+                    .and_then(|f| f.restart_at(node.0, now_ms))
+                {
+                    let seq = self.bump_seq();
+                    self.queue.push(Reverse(Scheduled {
+                        at: SimTime::from_millis(restart),
+                        seq,
+                        event: Event::Timer { node, token },
+                    }));
                     if let Some(t) = &mut self.telemetry {
-                        t.popped(None);
+                        t.faults_timers_deferred.inc();
                     }
-                    (
-                        node,
-                        Box::new(move |node_ref, ctx| node_ref.on_timer(ctx, token)),
-                    )
+                    return true;
                 }
-            };
+                if let Some(t) = &mut self.telemetry {
+                    t.popped(None);
+                }
+                (
+                    node,
+                    Box::new(move |node_ref, ctx| node_ref.on_timer(ctx, token)),
+                )
+            }
+            Event::Restart { node } => {
+                if let Some(t) = &mut self.telemetry {
+                    t.queue_depth.add(-1);
+                }
+                // With overlapping crash windows only the last restart
+                // actually brings the node back.
+                if self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|f| f.is_crashed(node.0, now_ms))
+                {
+                    return true;
+                }
+                if let Some(t) = &mut self.telemetry {
+                    t.faults_node_restarts.inc();
+                }
+                (
+                    node,
+                    Box::new(move |node_ref, ctx| node_ref.on_restart(ctx)),
+                )
+            }
+        };
 
         if let Some(node) = self.nodes.get_mut(node_id.0) {
             let mut ctx = Ctx {
@@ -420,8 +512,28 @@ impl<M: 'static> Simulator<M> {
                     msg,
                     extra_delay,
                 } => {
+                    // Latency is drawn from the shared RNG *before* the plan
+                    // is consulted, so a plan — active or not — never shifts
+                    // the RNG stream a plan-free run would draw.
                     let lat = self.latency.latency(node_id, to, &mut self.rng);
-                    let at = self.now.plus(extra_delay).plus(lat);
+                    let mut at = self.now.plus(extra_delay).plus(lat);
+                    let mut dup_msg: Option<M> = None;
+                    if let Some(plan) = self.fault.as_mut().filter(|p| p.is_active()) {
+                        let before = plan.stats;
+                        let decision = plan.decide(now_ms, node_id.0, to.0);
+                        let after = plan.stats;
+                        if let Some(t) = &self.telemetry {
+                            t.fault_deltas(before, after);
+                        }
+                        if decision.drop {
+                            continue;
+                        }
+                        at = at.plus(SimTime::from_millis(decision.extra_delay_ms));
+                        if decision.duplicate {
+                            let clone = self.cloner.expect("cloner is set with the plan");
+                            dup_msg = Some(clone(&msg));
+                        }
+                    }
                     let seq = self.bump_seq();
                     self.queue.push(Reverse(Scheduled {
                         at,
@@ -434,6 +546,21 @@ impl<M: 'static> Simulator<M> {
                     }));
                     if let Some(t) = &mut self.telemetry {
                         t.pushed(Some(to));
+                    }
+                    if let Some(copy) = dup_msg {
+                        let seq = self.bump_seq();
+                        self.queue.push(Reverse(Scheduled {
+                            at,
+                            seq,
+                            event: Event::Deliver {
+                                to,
+                                from: node_id,
+                                msg: copy,
+                            },
+                        }));
+                        if let Some(t) = &mut self.telemetry {
+                            t.pushed(Some(to));
+                        }
                     }
                 }
                 Action::Timer { delay, token } => {
@@ -454,6 +581,35 @@ impl<M: 'static> Simulator<M> {
             }
         }
         true
+    }
+}
+
+impl<M: Clone + 'static> Simulator<M> {
+    /// Installs a fault schedule. A restart event is queued for every crash
+    /// window so nodes get their [`Node::on_restart`] callback the instant
+    /// they come back. Requires `M: Clone` so duplicated deliveries can
+    /// carry a second copy of the message.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for window in plan.crash_windows() {
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(Scheduled {
+                at: SimTime::from_millis(window.until_ms),
+                seq,
+                event: Event::Restart {
+                    node: NodeId(window.node),
+                },
+            }));
+            if let Some(t) = &mut self.telemetry {
+                t.pushed(None);
+            }
+        }
+        self.cloner = Some(|m: &M| m.clone());
+        self.fault = Some(plan);
+    }
+
+    /// Running decision totals of the installed plan, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|p| p.stats)
     }
 }
 
@@ -592,14 +748,16 @@ mod tests {
                 self.seen.push(msg);
             }
         }
-        let mut s: Simulator<u32> =
-            Simulator::new(Box::new(ConstantLatency(SimTime::ZERO)), 3);
+        let mut s: Simulator<u32> = Simulator::new(Box::new(ConstantLatency(SimTime::ZERO)), 3);
         let r = s.add_node(Box::<Recorder>::default());
         for v in 0..10 {
             s.inject(SimTime::from_millis(5), r, r, v);
         }
         s.run_until_idle(100);
-        assert_eq!(s.node_ref::<Recorder>(r).unwrap().seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            s.node_ref::<Recorder>(r).unwrap().seen,
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -608,6 +766,115 @@ mod tests {
         let a = s.add_node(Box::<Echo>::default());
         assert!(s.node_ref::<TimerNode>(a).is_none());
         assert!(s.node_ref::<Echo>(NodeId(99)).is_none());
+    }
+
+    use crate::fault::{FaultPlan, LinkFaults};
+
+    #[test]
+    fn zero_probability_plan_is_a_strict_noop() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut s = sim();
+            let a = s.add_node(Box::<Echo>::default());
+            let b = s.add_node(Box::<Echo>::default());
+            if let Some(p) = plan {
+                s.set_fault_plan(p);
+            }
+            s.inject(SimTime::ZERO, a, b, 20);
+            s.run_until_idle(10_000);
+            let seen = s.node_ref::<Echo>(a).unwrap().received.clone();
+            (s.now(), s.delivered(), seen)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::new(42))));
+    }
+
+    #[test]
+    fn drop_all_links_silence_replies_but_not_injections() {
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.set_fault_plan(FaultPlan::new(1).with_default_link(LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::NONE
+        }));
+        // The injected message is external (exempt); a's reply is eaten.
+        s.inject(SimTime::ZERO, a, b, 5);
+        s.run_until_idle(1000);
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.fault_stats().unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_links_deliver_twice() {
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.set_fault_plan(FaultPlan::new(1).with_link(
+            a.0,
+            b.0,
+            LinkFaults {
+                duplicate: 1.0,
+                ..LinkFaults::NONE
+            },
+        ));
+        // b receives the injected 5 and replies 4 to a (clean link); a's
+        // reply of 3 crosses the duplicated a→b link, so b sees 3 twice.
+        s.inject(SimTime::ZERO, b, a, 5);
+        s.run_until_idle(1000);
+        let b_seen = &s.node_ref::<Echo>(b).unwrap().received;
+        assert_eq!(b_seen.iter().filter(|(_, v)| *v == 3).count(), 2);
+        assert!(s.fault_stats().unwrap().duplicated >= 1);
+    }
+
+    #[derive(Default)]
+    struct CrashProbe {
+        fired_at: Vec<SimTime>,
+        restarts: Vec<SimTime>,
+    }
+    impl Node<u32> for CrashProbe {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, _msg: u32) {
+            ctx.set_timer(SimTime::from_millis(100), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _token: u64) {
+            self.fired_at.push(ctx.now);
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<'_, u32>) {
+            self.restarts.push(ctx.now);
+        }
+    }
+
+    #[test]
+    fn crash_defers_timers_and_invokes_on_restart() {
+        let registry = Arc::new(Registry::new());
+        let mut s = sim();
+        let n = s.add_node(Box::<CrashProbe>::default());
+        s.set_telemetry(Arc::clone(&registry));
+        // Timer armed at t=10 (message arrives then) fires at t=110 — but
+        // the node is dead on [50, 400), so it fires at t=400 instead.
+        s.set_fault_plan(FaultPlan::new(9).with_crash(n.0, 50, 400));
+        s.inject(SimTime::ZERO, n, n, 0);
+        s.run_until_idle(1000);
+        let probe = s.node_ref::<CrashProbe>(n).unwrap();
+        assert_eq!(probe.restarts, vec![SimTime::from_millis(400)]);
+        assert_eq!(probe.fired_at, vec![SimTime::from_millis(400)]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["faults.timers_deferred"], 1);
+        assert_eq!(snap.counters["faults.node_restarts"], 1);
+    }
+
+    #[test]
+    fn deliveries_to_a_crashed_node_are_lost() {
+        let registry = Arc::new(Registry::new());
+        let mut s = sim();
+        let a = s.add_node(Box::<Echo>::default());
+        let b = s.add_node(Box::<Echo>::default());
+        s.set_telemetry(Arc::clone(&registry));
+        s.set_fault_plan(FaultPlan::new(9).with_crash(b.0, 0, 1000));
+        s.inject(SimTime::ZERO, b, a, 5);
+        s.run_until_idle(1000);
+        assert_eq!(s.delivered(), 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["faults.crash_dropped"], 1);
+        assert_eq!(snap.gauges["netsim.queue_depth"], 0);
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
         let mut m = ConstantLatency(SimTime::from_millis(25));
         let mut r = rng();
         for _ in 0..10 {
-            assert_eq!(m.latency(NodeId(0), NodeId(1), &mut r), SimTime::from_millis(25));
+            assert_eq!(
+                m.latency(NodeId(0), NodeId(1), &mut r),
+                SimTime::from_millis(25)
+            );
         }
     }
 
@@ -134,9 +137,7 @@ mod tests {
         };
         let mut r = rng();
         let overloads = (0..2000)
-            .filter(|_| {
-                m.latency(NodeId(0), NodeId(1), &mut r) == SimTime::from_secs(300)
-            })
+            .filter(|_| m.latency(NodeId(0), NodeId(1), &mut r) == SimTime::from_secs(300))
             .count();
         let frac = overloads as f64 / 2000.0;
         assert!((frac - 0.1).abs() < 0.03, "frac={frac}");

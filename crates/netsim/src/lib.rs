@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 
 pub use engine::{Ctx, Node, NodeId, SimTime, Simulator};
+pub use fault::{CrashWindow, FaultDecision, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use latency::{ConstantLatency, HeavyTailLatency, LatencyModel, LognormalLatency};

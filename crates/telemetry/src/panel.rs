@@ -88,6 +88,13 @@ pub fn coordinator_panel(snap: &Snapshot) -> String {
         counter("coordinator.jobs_completed"),
         peers,
     ));
+    out.push_str(&format!(
+        "Recovery: {} retransmits, {} dups absorbed, {} jobs requeued, {} restarts\n",
+        counter("protocol.retransmits"),
+        counter("protocol.dedup_hits"),
+        counter("coordinator.jobs_requeued"),
+        counter("faults.node_restarts"),
+    ));
     out
 }
 
@@ -112,13 +119,18 @@ mod tests {
         r.counter("coordinator.requests_rejected").add(2);
         r.counter("coordinator.jobs_completed").add(9);
         r.gauge("coordinator.peers_online").set(4);
+        r.counter("protocol.retransmits").add(5);
+        r.counter("protocol.dedup_hits").add(2);
+        r.counter("coordinator.jobs_requeued").add(1);
+        r.counter("faults.node_restarts").add(1);
         let panel = coordinator_panel(&r.snapshot());
         assert_eq!(
             panel,
             "Worker            Port  Status   Jobs\n\
              192.168.1.11      8080  online   3\n\
              ms.example.org    80    offline  0\n\
-             \nRequests: 12 total, 2 rejected   Jobs completed: 9   Peers online: 4\n"
+             \nRequests: 12 total, 2 rejected   Jobs completed: 9   Peers online: 4\n\
+             Recovery: 5 retransmits, 2 dups absorbed, 1 jobs requeued, 1 restarts\n"
         );
     }
 

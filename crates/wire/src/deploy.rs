@@ -38,8 +38,8 @@ use rand::SeedableRng;
 use sheriff_core::coordinator::{Coordinator, PeerId};
 use sheriff_core::pollution::PollutionLedger;
 use sheriff_core::protocol::{
-    Address, AggregatorProto, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
-    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, TimerKind,
+    Address, AggregatorProto, Channel, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
+    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, ReliableConfig, TimerKind,
 };
 use sheriff_core::proxy::{IpcEngine, PpcEngine};
 use sheriff_core::records::PriceCheck;
@@ -48,7 +48,8 @@ use sheriff_core::{BrowserProfile, Whitelist};
 use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::{ProductId, UserAgent, World};
-use sheriff_telemetry::Registry;
+use sheriff_netsim::{FaultPlan, FaultStats};
+use sheriff_telemetry::{Counter, Registry};
 
 use crate::proto::{rows_from_check, Envelope, ResultRow};
 use crate::telemetry::WireTelemetry;
@@ -97,11 +98,76 @@ impl Sink {
     }
 }
 
+/// Applies a [`FaultPlan`] — the very schedule the DES engine consumes —
+/// at the TCP socket boundary. Nodes are numbered exactly like the DES
+/// deployment (`coordinator, aggregator, db?, servers…, ipcs…, ppcs…`),
+/// and the plan keys its decisions on per-link occurrence counters rather
+/// than wall-clock, so one schedule means the same drops, duplicates and
+/// crash windows on either backend.
+struct FaultShim {
+    plan: Mutex<FaultPlan>,
+    index: HashMap<Address, usize>,
+    dropped: Arc<Counter>,
+    duplicated: Arc<Counter>,
+    delayed: Arc<Counter>,
+    partition_drops: Arc<Counter>,
+    crash_dropped: Arc<Counter>,
+    node_restarts: Arc<Counter>,
+    timers_deferred: Arc<Counter>,
+}
+
+impl FaultShim {
+    fn new(plan: FaultPlan, index: HashMap<Address, usize>, registry: &Arc<Registry>) -> FaultShim {
+        FaultShim {
+            plan: Mutex::new(plan),
+            index,
+            dropped: registry.counter("faults.dropped"),
+            duplicated: registry.counter("faults.duplicated"),
+            delayed: registry.counter("faults.delayed"),
+            partition_drops: registry.counter("faults.partition_drops"),
+            crash_dropped: registry.counter("faults.crash_dropped"),
+            node_restarts: registry.counter("faults.node_restarts"),
+            timers_deferred: registry.counter("faults.timers_deferred"),
+        }
+    }
+
+    /// Send-time verdict for one envelope, mirroring the DES engine
+    /// (which consults the plan when the send output is dispatched):
+    /// `None` eats it, otherwise `(copies, extra_delay_ms)`.
+    fn outbound(&self, now_ms: u64, from: Address, to: Address) -> Option<(usize, u64)> {
+        let (Some(&f), Some(&t)) = (self.index.get(&from), self.index.get(&to)) else {
+            return Some((1, 0));
+        };
+        let mut plan = self.plan.lock();
+        let before = plan.stats;
+        let d = plan.decide(now_ms, f, t);
+        let after = plan.stats;
+        self.dropped.add(after.dropped - before.dropped);
+        self.duplicated.add(after.duplicated - before.duplicated);
+        self.delayed.add(after.delayed - before.delayed);
+        self.partition_drops
+            .add(after.partition_drops - before.partition_drops);
+        if d.drop {
+            None
+        } else {
+            Some((1 + d.duplicate as usize, d.extra_delay_ms))
+        }
+    }
+
+    /// The restart millisecond when `node` sits inside a crash window.
+    fn crashed_until(&self, node: Address, now_ms: u64) -> Option<u64> {
+        let &idx = self.index.get(&node)?;
+        self.plan.lock().restart_at(idx, now_ms)
+    }
+}
+
 /// One role machine plus whatever driver-side state it needs.
 enum Role {
     Coordinator {
         proto: Box<CoordinatorProto>,
         rng: StdRng,
+        /// Period (and first-fire phase) of the §10.3 recovery sweep.
+        sweep_every_ms: u64,
     },
     Aggregator {
         proto: AggregatorProto,
@@ -131,6 +197,10 @@ struct NodeCtx {
     world: Arc<Mutex<World>>,
     epoch: Instant,
     sink: Arc<Sink>,
+    /// Installed only when the deployment was started with an *active*
+    /// fault plan, so the fault-free path is byte-identical to before.
+    shim: Option<Arc<FaultShim>>,
+    unknown_timers: Arc<Counter>,
 }
 
 impl NodeCtx {
@@ -138,12 +208,52 @@ impl NodeCtx {
         self.epoch.elapsed().as_millis() as u64
     }
 
+    /// The restart instant when the fault plan has this node crashed now.
+    fn crash_restart_at(&self) -> Option<Instant> {
+        let shim = self.shim.as_ref()?;
+        let ms = shim.crashed_until(self.me, self.now_ms())?;
+        Some(self.epoch + Duration::from_millis(ms))
+    }
+
     fn send(&self, to: Address, msg: ProtoMsg) {
-        let Some(addr) = self.dir.get(&to) else {
+        let Some(&addr) = self.dir.get(&to) else {
             return;
         };
-        if let Ok(mut s) = TcpStream::connect(addr) {
-            let _ = Envelope { from: self.me, msg }.send_counted(&mut s, &self.wire);
+        let (copies, delay_ms) = match &self.shim {
+            Some(shim) => match shim.outbound(self.now_ms(), self.me, to) {
+                Some(verdict) => verdict,
+                None => return, // dropped by the schedule
+            },
+            None => (1, 0),
+        };
+        if delay_ms == 0 {
+            for _ in 0..copies {
+                if let Ok(mut s) = TcpStream::connect(addr) {
+                    let env = Envelope {
+                        from: self.me,
+                        msg: msg.clone(),
+                    };
+                    let _ = env.send_counted(&mut s, &self.wire);
+                }
+            }
+        } else {
+            // Extra latency rides on a detached sleeper so the worker
+            // never blocks; a send that outlives the deployment just
+            // fails to connect.
+            let wire = Arc::clone(&self.wire);
+            let me = self.me;
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                for _ in 0..copies {
+                    if let Ok(mut s) = TcpStream::connect(addr) {
+                        let env = Envelope {
+                            from: me,
+                            msg: msg.clone(),
+                        };
+                        let _ = env.send_counted(&mut s, &wire);
+                    }
+                }
+            });
         }
     }
 
@@ -181,39 +291,104 @@ fn acceptor_loop(listener: TcpListener, tx: mpsc::Sender<Envelope>, wire: Arc<Wi
     }
 }
 
-fn worker_loop(mut role: Role, rx: mpsc::Receiver<Envelope>, ctx: NodeCtx) {
+fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, ctx: NodeCtx) {
     let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    if let Role::Measurement {
-        beacon_every_ms, ..
-    } = &role
-    {
-        timers.push(Reverse((
+    match &role {
+        Role::Measurement {
+            beacon_every_ms, ..
+        } => timers.push(Reverse((
             ctx.epoch + Duration::from_millis(*beacon_every_ms),
             TimerKind::Heartbeat.token(),
-        )));
+        ))),
+        Role::Coordinator { sweep_every_ms, .. } => timers.push(Reverse((
+            ctx.epoch + Duration::from_millis(*sweep_every_ms),
+            TimerKind::CoordSweep.token(),
+        ))),
+        _ => {}
     }
+    let mut was_crashed = false;
     loop {
+        // A scheduled crash window: the node is dead. Inbound frames are
+        // eaten (Shutdown is still honoured so the deployment can always
+        // join its threads) and due timers are deferred to the restart
+        // instant — exactly the DES engine's crash semantics.
+        if let Some(restart) = ctx.crash_restart_at() {
+            was_crashed = true;
+            let now = Instant::now();
+            let mut deferred = 0u64;
+            while timers.peek().is_some_and(|Reverse((t, _))| *t <= now) {
+                let Some(Reverse((_, token))) = timers.pop() else {
+                    break;
+                };
+                timers.push(Reverse((restart, token)));
+                deferred += 1;
+            }
+            if deferred > 0 {
+                if let Some(shim) = &ctx.shim {
+                    shim.timers_deferred.add(deferred);
+                }
+            }
+            let wait = restart
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(100));
+            match rx.recv_timeout(wait) {
+                Ok(env) if env.msg == ProtoMsg::Shutdown => break,
+                Ok(_) => {
+                    if let Some(shim) = &ctx.shim {
+                        shim.crash_dropped.inc();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            continue;
+        }
+        if was_crashed {
+            // Back from the dead with state intact. A Measurement server
+            // announces liveness immediately: the Coordinator may have
+            // written it off and requeued its jobs, and the fresh
+            // heartbeat reopens the assignment path.
+            was_crashed = false;
+            if let Some(shim) = &ctx.shim {
+                shim.node_restarts.inc();
+            }
+            let mut out = Vec::new();
+            if let Role::Measurement { proto, .. } = &mut role {
+                proto.on_restart(ctx.now_ms(), &mut out);
+            }
+            chan.harden(&mut out);
+            ctx.dispatch(out, &mut timers);
+        }
+
         // Fire every due timer.
         let now = Instant::now();
         while timers.peek().is_some_and(|Reverse((t, _))| *t <= now) {
             let Some(Reverse((_, token))) = timers.pop() else {
                 break;
             };
-            let Some(kind) = TimerKind::from_token(token) else {
-                continue;
-            };
             let mut out = Vec::new();
-            match &mut role {
-                Role::Measurement { proto, .. } => {
-                    let mut events = Vec::new();
-                    proto.on_timer(ctx.now_ms(), kind, &mut out, &mut events);
+            match TimerKind::from_token(token) {
+                None => {
+                    ctx.unknown_timers.inc();
+                    continue;
                 }
-                Role::Database { proto } => {
-                    let mut events = Vec::new();
-                    proto.on_timer(kind, &mut out, &mut events);
-                }
-                _ => {}
+                Some(TimerKind::Retransmit(seq)) => chan.on_retransmit(seq, &mut out),
+                Some(kind) => match &mut role {
+                    Role::Coordinator { proto, rng, .. } => {
+                        proto.on_timer(ctx.now_ms(), kind, rng, &mut out);
+                    }
+                    Role::Measurement { proto, .. } => {
+                        let mut events = Vec::new();
+                        proto.on_timer(ctx.now_ms(), kind, &mut out, &mut events);
+                    }
+                    Role::Database { proto } => {
+                        let mut events = Vec::new();
+                        proto.on_timer(kind, &mut out, &mut events);
+                    }
+                    _ => {}
+                },
             }
+            chan.harden(&mut out);
             ctx.dispatch(out, &mut timers);
         }
 
@@ -232,31 +407,36 @@ fn worker_loop(mut role: Role, rx: mpsc::Receiver<Envelope>, ctx: NodeCtx) {
         }
         let now_ms = ctx.now_ms();
         let mut out = Vec::new();
-        match &mut role {
-            Role::Coordinator { proto, rng } => {
-                proto.on_message(now_ms, env.from, env.msg, rng, &mut out);
-            }
-            Role::Aggregator { proto } => proto.on_message(env.from, env.msg, &mut out),
-            Role::Measurement { proto, .. } => {
-                let mut events = Vec::new();
-                proto.on_message(now_ms, env.from, env.msg, &mut out, &mut events);
-            }
-            Role::Database { proto } => {
-                let mut events = Vec::new();
-                proto.on_message(env.from, env.msg, &mut out, &mut events);
-            }
-            Role::Ipc { proto } => {
-                let mut world = ctx.world.lock();
-                proto.on_message(now_ms, env.from, env.msg, &mut world, &mut out);
-            }
-            Role::Peer { proto } => {
-                {
-                    let mut world = ctx.world.lock();
-                    proto.on_message(now_ms, env.from, env.msg, &mut world, &mut out);
+        // The reliable layer acks, dedups and unwraps first; only
+        // genuinely new payloads reach the machine.
+        if let Some(msg) = chan.accept(env.from, env.msg, &mut out) {
+            match &mut role {
+                Role::Coordinator { proto, rng, .. } => {
+                    proto.on_message(now_ms, env.from, msg, rng, &mut out);
                 }
-                drain_peer(proto, &ctx.sink);
+                Role::Aggregator { proto } => proto.on_message(env.from, msg, &mut out),
+                Role::Measurement { proto, .. } => {
+                    let mut events = Vec::new();
+                    proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
+                }
+                Role::Database { proto } => {
+                    let mut events = Vec::new();
+                    proto.on_message(env.from, msg, &mut out, &mut events);
+                }
+                Role::Ipc { proto } => {
+                    let mut world = ctx.world.lock();
+                    proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
+                }
+                Role::Peer { proto } => {
+                    {
+                        let mut world = ctx.world.lock();
+                        proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
+                    }
+                    drain_peer(proto, &ctx.sink);
+                }
             }
         }
+        chan.harden(&mut out);
         ctx.dispatch(out, &mut timers);
     }
 }
@@ -282,6 +462,9 @@ pub struct MiniDeployment {
     wire: Arc<WireTelemetry>,
     sink: Arc<Sink>,
     next_tag: AtomicU64,
+    shim: Option<Arc<FaultShim>>,
+    /// Local tags of checks begun but not yet completed or rejected.
+    in_flight: Mutex<Vec<u64>>,
 }
 
 impl MiniDeployment {
@@ -322,6 +505,20 @@ impl MiniDeployment {
         world: World,
         cfg: SheriffConfig,
         peers: &[PpcSpec],
+    ) -> io::Result<MiniDeployment> {
+        Self::start_with_faults(world, cfg, peers, FaultPlan::new(0))
+    }
+
+    /// Like [`MiniDeployment::start_with`], with a deterministic fault
+    /// schedule applied at the socket boundary — the very [`FaultPlan`]
+    /// type the DES engine consumes, against the same node numbering, so
+    /// one schedule exercises both backends identically. An inactive
+    /// (all-zero) plan is bypassed entirely: a strict no-op.
+    pub fn start_with_faults(
+        world: World,
+        cfg: SheriffConfig,
+        peers: &[PpcSpec],
+        plan: FaultPlan,
     ) -> io::Result<MiniDeployment> {
         let whitelist = Whitelist::with_domains(world.domains().map(str::to_string));
         let world = Arc::new(Mutex::new(world));
@@ -388,6 +585,22 @@ impl MiniDeployment {
         let dir = Arc::new(dir);
         let epoch = Instant::now();
 
+        // Bind order above is exactly the DES node layout, so enumerating
+        // it yields the index the fault plan is phrased against.
+        let shim = plan.is_active().then(|| {
+            let index = listeners
+                .iter()
+                .enumerate()
+                .map(|(i, (addr, _))| (*addr, i))
+                .collect();
+            Arc::new(FaultShim::new(plan, index, &telemetry))
+        });
+        let reliable_cfg = ReliableConfig {
+            base_backoff_ms: cfg.retransmit_base_ms,
+            ..ReliableConfig::default()
+        };
+        let unknown_timers = telemetry.counter("protocol.unknown_timers");
+
         let ipc_addrs: Vec<Address> = (0..cfg.ipc_locations.len())
             .map(|index| Address::Ipc { index })
             .collect();
@@ -421,13 +634,18 @@ impl MiniDeployment {
 
         for (addr, listener) in listeners {
             let role = match addr {
-                Address::Coordinator => Role::Coordinator {
-                    proto: Box::new(CoordinatorProto::new(
+                Address::Coordinator => {
+                    let mut proto = CoordinatorProto::new(
                         coordinator.take().expect("one coordinator"),
                         cfg.ppc_per_request,
-                    )),
-                    rng: StdRng::seed_from_u64(cfg.seed),
-                },
+                    );
+                    proto.sweep_every_ms = cfg.coord_sweep_every_ms;
+                    Role::Coordinator {
+                        proto: Box::new(proto),
+                        rng: StdRng::seed_from_u64(cfg.seed),
+                        sweep_every_ms: cfg.coord_sweep_every_ms,
+                    }
+                }
                 Address::Aggregator => Role::Aggregator {
                     proto: AggregatorProto::new(),
                 },
@@ -485,13 +703,16 @@ impl MiniDeployment {
                 world: Arc::clone(&world),
                 epoch,
                 sink: Arc::clone(&sink),
+                shim: shim.clone(),
+                unknown_timers: Arc::clone(&unknown_timers),
             };
+            let chan = Channel::new(reliable_cfg).with_telemetry(&telemetry);
             let wire_for_acceptor = Arc::clone(&wire);
             handles.push(std::thread::spawn(move || {
                 acceptor_loop(listener, tx, wire_for_acceptor);
             }));
             handles.push(std::thread::spawn(move || {
-                worker_loop(role, rx, ctx);
+                worker_loop(role, chan, rx, ctx);
             }));
         }
 
@@ -503,6 +724,8 @@ impl MiniDeployment {
             wire,
             sink,
             next_tag: AtomicU64::new(1),
+            shim,
+            in_flight: Mutex::new(Vec::new()),
         })
     }
 
@@ -531,11 +754,20 @@ impl MiniDeployment {
         domain: &str,
         product: ProductId,
     ) -> Result<PriceCheck, String> {
+        let tag = self.begin_check(peer, domain, product)?;
+        self.await_check(tag)
+    }
+
+    /// Injects a §3.2 check and returns its local tag without waiting.
+    /// Pair with [`MiniDeployment::await_check`], or let
+    /// [`MiniDeployment::shutdown_with_report`] tell you it was aborted.
+    pub fn begin_check(&self, peer: u64, domain: &str, product: ProductId) -> Result<u64, String> {
         let me = Address::Peer { id: peer };
         if !self.dir.contains_key(&me) {
             return Err(format!("unknown peer {peer}"));
         }
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.lock().push(tag);
         self.inject(
             me,
             me,
@@ -545,20 +777,33 @@ impl MiniDeployment {
                 local_tag: tag,
             },
         )?;
+        Ok(tag)
+    }
 
+    /// Blocks until the check behind `tag` completes or is rejected.
+    pub fn await_check(&self, tag: u64) -> Result<PriceCheck, String> {
         let deadline = Instant::now() + CHECK_TIMEOUT;
-        self.sink
-            .wait_for(deadline, |st| {
-                if let Some(pos) = st.completed.iter().position(|c| c.local_tag == tag) {
-                    return Some(Ok(st.completed.swap_remove(pos).check));
-                }
-                if let Some(pos) = st.rejected.iter().position(|(t, _)| *t == tag) {
-                    let (_, reason) = st.rejected.swap_remove(pos);
-                    return Some(Err(format!("rejected: {reason}")));
-                }
-                None
-            })
-            .unwrap_or_else(|| Err("price check timed out".into()))
+        match self.sink.wait_for(deadline, |st| {
+            if let Some(pos) = st.completed.iter().position(|c| c.local_tag == tag) {
+                return Some(Ok(st.completed.swap_remove(pos).check));
+            }
+            if let Some(pos) = st.rejected.iter().position(|(t, _)| *t == tag) {
+                let (_, reason) = st.rejected.swap_remove(pos);
+                return Some(Err(format!("rejected: {reason}")));
+            }
+            None
+        }) {
+            Some(res) => {
+                self.in_flight.lock().retain(|t| *t != tag);
+                res
+            }
+            None => Err("price check timed out".into()),
+        }
+    }
+
+    /// Running totals of the installed fault plan (`None` without one).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.shim.as_ref().map(|s| s.plan.lock().stats)
     }
 
     /// Like [`MiniDeployment::run_check`] but rendered as Fig. 2 result
@@ -625,6 +870,24 @@ impl MiniDeployment {
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
+
+    /// Shuts down like [`MiniDeployment::shutdown`], then reports the
+    /// local tags of checks that were begun but never completed nor
+    /// rejected — work aborted mid-flight. Every thread is joined either
+    /// way; an in-flight check must never wedge the teardown.
+    pub fn shutdown_with_report(mut self) -> Vec<u64> {
+        self.shutdown_impl();
+        let st = self.sink.state.lock().expect("sink poisoned");
+        self.in_flight
+            .lock()
+            .iter()
+            .copied()
+            .filter(|&t| {
+                !st.completed.iter().any(|c| c.local_tag == t)
+                    && !st.rejected.iter().any(|&(r, _)| r == t)
+            })
+            .collect()
+    }
 }
 
 impl Drop for MiniDeployment {
@@ -637,10 +900,11 @@ impl Drop for MiniDeployment {
 mod tests {
     use super::*;
     use sheriff_market::world::WorldConfig;
+    use sheriff_netsim::LinkFaults;
 
     /// Four same-country peers (PPC fan-out is location-local, §6.1) and
     /// two far-away IPC vantages for cross-country rows.
-    fn deployment() -> MiniDeployment {
+    fn deployment_with(plan: FaultPlan) -> MiniDeployment {
         let world = World::build(&WorldConfig::small(), 77);
         let mut cfg = SheriffConfig::v1(7);
         cfg.ipc_locations = vec![(Country::US, 0), (Country::JP, 0)];
@@ -662,7 +926,11 @@ mod tests {
                 logged_in_domains: vec![],
             })
             .collect();
-        MiniDeployment::start_with(world, cfg, &specs).expect("deployment starts")
+        MiniDeployment::start_with_faults(world, cfg, &specs, plan).expect("deployment starts")
+    }
+
+    fn deployment() -> MiniDeployment {
+        deployment_with(FaultPlan::new(0))
     }
 
     #[test]
@@ -734,6 +1002,34 @@ mod tests {
             assert!(rows.len() >= 4, "{rows:?}");
         }
         d.shutdown();
+    }
+
+    #[test]
+    fn shutdown_mid_flight_reports_aborted_check_and_joins() {
+        // Node layout of this deployment: coordinator 0, aggregator 1
+        // (v1 → no db), measurement server 2, IPCs 3–4, peers 5–8.
+        // Every IPC FetchReply is eaten, so the job stays open until its
+        // 8s deadline — far beyond the shutdown below.
+        let dead = LinkFaults {
+            drop: 1.0,
+            ..LinkFaults::NONE
+        };
+        let d = deployment_with(
+            FaultPlan::new(5)
+                .with_link(3, 2, dead)
+                .with_link(4, 2, dead),
+        );
+        let tag = d
+            .begin_check(10, "amazon.com", ProductId(0))
+            .expect("begins");
+        // Let the fan-out happen, then pull the plug mid-flight.
+        std::thread::sleep(Duration::from_millis(400));
+        let aborted = d.shutdown_with_report();
+        assert_eq!(
+            aborted,
+            vec![tag],
+            "mid-flight check must report as aborted"
+        );
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Cross-backend parity *under faults*: one [`FaultPlan`] — keyed on
+//! per-link occurrence counters, not clocks — is installed in both the
+//! discrete-event engine and the TCP deployment's socket shim. The same
+//! world seed then must yield identical price-observation sets on both
+//! backends: the same fetch orders are eaten, the same replies are
+//! duplicated (and absorbed), on either side of the transport divide.
+//!
+//! Faults ride only on the fetch links, whose per-link message counts are
+//! structurally identical across backends: exactly one FetchOrder per job
+//! per IPC, and one FetchReply per delivered order. Links carrying
+//! reliable (retransmittable) control traffic are left clean, since
+//! retransmit counts legitimately differ between a virtual clock and a
+//! wall clock.
+
+use sheriff_core::records::PriceObservation;
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::pricing::{Browser, Os};
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::{FaultPlan, LinkFaults, SimTime};
+use sheriff_wire::MiniDeployment;
+
+const SEED: u64 = 4242;
+
+fn peers() -> Vec<PpcSpec> {
+    (0..3)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Windows,
+                browser: Browser::Chrome,
+            },
+            affluence: 0.3 + 0.1 * (i as f64),
+            logged_in_domains: vec![],
+        })
+        .collect()
+}
+
+/// The checks both backends run, in order.
+const CHECKS: [(u64, &str, u32); 2] = [(100, "steampowered.com", 0), (101, "jcpenney.com", 2)];
+
+/// One Measurement server keeps the assignment trivially identical; the
+/// node layout is then `[coordinator 0, aggregator 1, db 2, server 3,
+/// ipcs 4–33, ppcs 34–36]`.
+fn config() -> SheriffConfig {
+    let mut cfg = SheriffConfig::fast(SEED);
+    cfg.n_measurement_servers = 1;
+    cfg
+}
+
+/// Half the orders to IPCs 0–5 are eaten; replies from IPCs 6–11 are
+/// duplicated and must be absorbed by the server's vantage dedup.
+fn shared_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(777);
+    let lossy = LinkFaults {
+        drop: 0.5,
+        ..LinkFaults::NONE
+    };
+    let chatty = LinkFaults {
+        duplicate: 0.6,
+        ..LinkFaults::NONE
+    };
+    for ipc in 4..10 {
+        plan = plan.with_link(3, ipc, lossy);
+    }
+    for ipc in 10..16 {
+        plan = plan.with_link(ipc, 3, chatty);
+    }
+    plan
+}
+
+fn sorted(mut obs: Vec<PriceObservation>) -> Vec<PriceObservation> {
+    obs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    obs
+}
+
+#[test]
+fn identical_fault_schedule_means_identical_observations_on_both_backends() {
+    // --- Discrete-event run under the schedule.
+    let world = World::build(&WorldConfig::small(), SEED);
+    let mut sheriff = PriceSheriff::new(config(), world, &peers());
+    sheriff.install_fault_plan(shared_plan());
+    for (i, (peer, domain, product)) in CHECKS.iter().enumerate() {
+        sheriff.submit_check(
+            SimTime::from_secs(10 * i as u64),
+            *peer,
+            domain,
+            ProductId(*product),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let des: Vec<_> = sheriff.completed();
+    assert_eq!(des.len(), CHECKS.len(), "DES completed all checks");
+    let des_stats = sheriff.fault_stats().expect("plan installed");
+
+    // --- TCP run over the same world, config and schedule.
+    let world = World::build(&WorldConfig::small(), SEED);
+    let deployment = MiniDeployment::start_with_faults(world, config(), &peers(), shared_plan())
+        .expect("deployment starts");
+    let mut tcp = Vec::new();
+    for (peer, domain, product) in CHECKS {
+        tcp.push(
+            deployment
+                .run_check(peer, domain, ProductId(product))
+                .unwrap_or_else(|e| panic!("tcp check on {domain}: {e}")),
+        );
+    }
+    let tcp_stats = deployment.fault_stats().expect("plan installed");
+    deployment.shutdown();
+
+    // The schedule really bit, and bit *identically*: decision totals on
+    // the fetch links match count for count.
+    assert!(
+        des_stats.dropped > 0,
+        "no order was ever eaten: {des_stats:?}"
+    );
+    assert!(
+        des_stats.duplicated > 0,
+        "no reply was ever duplicated: {des_stats:?}"
+    );
+    assert_eq!(
+        format!("{des_stats:?}"),
+        format!("{tcp_stats:?}"),
+        "fault decisions diverged between backends"
+    );
+
+    // Same jobs, same (degraded) result sets.
+    for (d, t) in des.iter().zip(&tcp) {
+        assert_eq!(d.check.job_id, t.job_id);
+        assert_eq!(d.check.domain, t.domain);
+        assert_eq!(d.check.url, t.url);
+        let des_obs = sorted(d.check.observations.clone());
+        let tcp_obs = sorted(t.observations.clone());
+        assert!(
+            des_obs.len() < 33,
+            "{}: dropped orders must shrink the set (got {})",
+            t.domain,
+            des_obs.len()
+        );
+        assert_eq!(
+            des_obs, tcp_obs,
+            "observation sets diverge for {} under the shared schedule",
+            t.domain
+        );
+    }
+}
