@@ -1,6 +1,9 @@
 //! Crypto building blocks of §3.8: encryption, blinded distance rounds,
 //! centroid aggregation, and discrete logs, across group sizes.
 
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +26,7 @@ fn bench_encrypt(c: &mut Criterion) {
         let point: Vec<u64> = synthetic_points(1, 50, 8, 2)[0].clone();
         let cvec = client_vector(&point);
         group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
-            b.iter(|| pk.encrypt(std::hint::black_box(&cvec), &mut rng))
+            b.iter(|| pk.encrypt(std::hint::black_box(&cvec), &mut rng));
         });
     }
     group.finish();
@@ -46,7 +49,7 @@ fn bench_blinded_distance(c: &mut Criterion) {
                 let q = BlindedQuery::blind(&params, &ct, &mut rng);
                 let resp = coordinator_evaluate(&sk, &q.blinded, &s);
                 q.unblind(&params, &resp, &table)
-            })
+            });
         });
     }
     group.finish();
@@ -63,7 +66,7 @@ fn bench_centroid_aggregation(c: &mut Criterion) {
         .collect();
     let refs: Vec<_> = cts.iter().collect();
     c.bench_function("aggregate_cluster_20x50", |b| {
-        b.iter(|| aggregate_cluster(&params, std::hint::black_box(&refs)))
+        b.iter(|| aggregate_cluster(&params, std::hint::black_box(&refs)));
     });
 }
 
@@ -74,7 +77,7 @@ fn bench_dlog(c: &mut Criterion) {
         let table = DlogTable::build(&params, bound);
         let target = params.g_pow(&sheriff_bigint::Big::from_u64(bound - 7));
         group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, _| {
-            b.iter(|| table.solve(std::hint::black_box(&target)))
+            b.iter(|| table.solve(std::hint::black_box(&target)));
         });
     }
     group.finish();

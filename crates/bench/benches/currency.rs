@@ -1,6 +1,9 @@
 //! The §3.5 currency detection and conversion algorithm across the
 //! notation styles of Fig. 2.
 
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sheriff_currency::{detect_and_convert, detect_price, FixedRates};
@@ -16,7 +19,7 @@ fn bench_detect(c: &mut Criterion) {
         ("zero_decimals", "JPY88,204"),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &text, |b, &t| {
-            b.iter(|| detect_price(std::hint::black_box(t)))
+            b.iter(|| detect_price(std::hint::black_box(t)));
         });
     }
     group.finish();
@@ -25,19 +28,24 @@ fn bench_detect(c: &mut Criterion) {
 fn bench_detect_and_convert(c: &mut Criterion) {
     let rates = FixedRates::paper_era();
     c.bench_function("detect_and_convert_fig2_row", |b| {
-        b.iter(|| detect_and_convert(std::hint::black_box("KRW829,075"), "EUR", &rates))
+        b.iter(|| detect_and_convert(std::hint::black_box("KRW829,075"), "EUR", &rates));
     });
 }
 
 fn bench_rejections(c: &mut Criterion) {
     // Failure paths must be cheap: the add-on validates every selection.
     c.bench_function("detect_reject_no_currency", |b| {
-        b.iter(|| detect_price(std::hint::black_box("999 credits")))
+        b.iter(|| detect_price(std::hint::black_box("999 credits")));
     });
     c.bench_function("detect_reject_too_long", |b| {
-        b.iter(|| detect_price(std::hint::black_box("this selection is way too long 123")))
+        b.iter(|| detect_price(std::hint::black_box("this selection is way too long 123")));
     });
 }
 
-criterion_group!(benches, bench_detect, bench_detect_and_convert, bench_rejections);
+criterion_group!(
+    benches,
+    bench_detect,
+    bench_detect_and_convert,
+    bench_rejections
+);
 criterion_main!(benches);

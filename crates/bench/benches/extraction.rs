@@ -1,6 +1,9 @@
 //! The Measurement-server hot path (§3.3/§10.5): HTML parsing, Tags-Path
 //! extraction, and DiffStorage on realistic product pages.
 
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sheriff_bench::synthetic_page;
@@ -11,11 +14,9 @@ fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("html_parse");
     for blocks in [10usize, 50, 200] {
         let page = synthetic_page("EUR654.00", blocks);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(blocks),
-            &blocks,
-            |b, _| b.iter(|| Document::parse(std::hint::black_box(&page))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| Document::parse(std::hint::black_box(&page)));
+        });
     }
     group.finish();
 }
@@ -27,14 +28,14 @@ fn bench_tags_path_roundtrip(c: &mut Criterion) {
     let path = TagsPath::from_node(&doc, el).expect("path");
 
     c.bench_function("tags_path_construct", |b| {
-        b.iter(|| TagsPath::from_node(std::hint::black_box(&doc), el))
+        b.iter(|| TagsPath::from_node(std::hint::black_box(&doc), el));
     });
 
     // Extraction on a *different* page (remote proxy response).
     let remote = synthetic_page("CAD912.00", 60);
     let remote_doc = Document::parse(&remote);
     c.bench_function("tags_path_extract_remote", |b| {
-        b.iter(|| extract_text_by_path(std::hint::black_box(&remote_doc), &path))
+        b.iter(|| extract_text_by_path(std::hint::black_box(&remote_doc), &path));
     });
 }
 
@@ -51,11 +52,16 @@ fn bench_diff_storage(c: &mut Criterion) {
             b.iter(|| {
                 let mut store = DiffStorage::new(std::hint::black_box(&base));
                 store.store(&variant)
-            })
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_tags_path_roundtrip, bench_diff_storage);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_tags_path_roundtrip,
+    bench_diff_storage
+);
 criterion_main!(benches);

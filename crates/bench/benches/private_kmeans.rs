@@ -2,6 +2,9 @@
 //! (k, m) and thread counts. Small sizes keep the bench runnable in CI;
 //! the `fig8c_private_kmeans_timing` binary sweeps paper sizes.
 
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +39,7 @@ fn bench_private_iteration(c: &mut Criterion) {
                         Some(init.clone()),
                         &mut rng,
                     )
-                })
+                });
             });
         }
     }
@@ -62,9 +65,13 @@ fn bench_plain_kmeans_baseline(c: &mut Criterion) {
                 },
                 &mut rng,
             )
-        })
+        });
     });
 }
 
-criterion_group!(benches, bench_private_iteration, bench_plain_kmeans_baseline);
+criterion_group!(
+    benches,
+    bench_private_iteration,
+    bench_plain_kmeans_baseline
+);
 criterion_main!(benches);

@@ -2,6 +2,9 @@
 //! the Table 1 contrast expressed as wall-clock cost of simulating one
 //! complete check (plus the DES engine's raw event throughput).
 
+// The criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
@@ -50,7 +53,7 @@ fn bench_price_check(c: &mut Criterion) {
                 sheriff.submit_check(SimTime::ZERO, 100, "steampowered.com", ProductId(0));
                 sheriff.run_until(SimTime::from_mins(1));
                 assert_eq!(sheriff.completed().len(), 1);
-            })
+            });
         });
     }
     group.finish();
@@ -77,7 +80,7 @@ fn bench_des_engine(c: &mut Criterion) {
             let bnode = sim.add_node(Box::new(Echo));
             sim.inject(SimTime::ZERO, a, bnode, 10_000);
             sim.run_until_idle(20_000)
-        })
+        });
     });
 }
 

@@ -15,6 +15,8 @@
 //! Shared helpers live here so every bench builds its fixtures the same
 //! way.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

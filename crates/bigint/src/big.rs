@@ -294,9 +294,7 @@ impl Big {
             let mut qhat = top2 / v_top;
             let mut rhat = top2 % v_top;
             // Correct qhat down to at most 1 too large.
-            while qhat >= 1 << 32
-                || qhat * v_next > (rhat << 32) + u64::from(un[j + n - 2])
-            {
+            while qhat >= 1 << 32 || qhat * v_next > (rhat << 32) + u64::from(un[j + n - 2]) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >= 1 << 32 {
@@ -313,7 +311,8 @@ impl Big {
                 un[i + j] = t as u32;
                 borrow = if t < 0 { 1 } else { 0 };
             }
-            let t = i64::from(un[j + n]) - borrow - i64::from(carry as u32) - ((carry >> 32) as i64);
+            let t =
+                i64::from(un[j + n]) - borrow - i64::from(carry as u32) - ((carry >> 32) as i64);
             un[j + n] = t as u32;
             if t < 0 {
                 // qhat was one too large: add v back.
@@ -381,7 +380,11 @@ impl Big {
         let mut ls: Vec<u32> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bit = (bits - 1) % 32;
         let last = ls.last_mut().unwrap();
-        *last &= if top_bit == 31 { u32::MAX } else { (1u32 << (top_bit + 1)) - 1 };
+        *last &= if top_bit == 31 {
+            u32::MAX
+        } else {
+            (1u32 << (top_bit + 1)) - 1
+        };
         *last |= 1 << top_bit;
         Big::from_limbs(ls)
     }
@@ -471,7 +474,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        let cases = ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        let cases = [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ];
         for c in cases {
             let b = Big::from_hex(c).unwrap();
             assert_eq!(b.to_hex(), c, "case {c}");
@@ -518,10 +527,9 @@ mod tests {
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
         let a = Big::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
         let sq = a.mul(&a);
-        let expect = Big::from_hex(
-            "fffffffffffffffffffffffffffffffe00000000000000000000000000000001",
-        )
-        .unwrap();
+        let expect =
+            Big::from_hex("fffffffffffffffffffffffffffffffe00000000000000000000000000000001")
+                .unwrap();
         assert_eq!(sq, expect);
     }
 

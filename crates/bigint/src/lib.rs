@@ -14,6 +14,7 @@
 //! little-endian `u32` limbs. Modular helpers live in [`modular`], primality
 //! testing and prime generation in [`prime`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod big;

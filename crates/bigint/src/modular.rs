@@ -201,10 +201,8 @@ mod tests {
 
     #[test]
     fn inverse_large() {
-        let p = Big::from_hex(
-            "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74",
-        )
-        .unwrap();
+        let p = Big::from_hex("ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74")
+            .unwrap();
         // p odd (not necessarily prime, but coprime with small a is likely);
         // verify the defining property when Some.
         let a = Big::from_hex("123456789abcdef").unwrap();

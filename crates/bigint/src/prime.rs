@@ -6,15 +6,16 @@
 //! at most 4⁻³² for random candidates, far below any concern for this
 //! system's threat model (honest-but-curious Coordinator/Aggregator, §3.8).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::big::Big;
 use crate::modular::mod_pow;
 
 /// Small primes used for quick trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Miller–Rabin primality test.
@@ -42,8 +43,11 @@ pub fn is_prime_with<R: Rng + ?Sized>(n: &Big, rng: &mut R, extra_rounds: usize)
         d = d.shr(1);
         s += 1;
     }
-    let fixed: Vec<Big> = SMALL_PRIMES[..13].iter().map(|&w| Big::from_u64(w)).collect();
-    for w in fixed.iter() {
+    let fixed: Vec<Big> = SMALL_PRIMES[..13]
+        .iter()
+        .map(|&w| Big::from_u64(w))
+        .collect();
+    for w in &fixed {
         if !miller_rabin_round(n, &n_minus_1, &d, s, w) {
             return false;
         }
@@ -59,10 +63,20 @@ pub fn is_prime_with<R: Rng + ?Sized>(n: &Big, rng: &mut R, extra_rounds: usize)
     true
 }
 
-/// Convenience wrapper over [`is_prime_with`] using a thread-local RNG and
-/// 16 random rounds.
+/// Convenience wrapper over [`is_prime_with`] using 16 extra witness
+/// rounds drawn from an RNG seeded by the candidate itself.
+///
+/// The witnesses are a pure function of `n`, so the verdict is stable
+/// across runs and machines — calling this from either backend cannot
+/// perturb any other random stream (determinism contract). Callers who
+/// want independent witness draws pass their own RNG to
+/// [`is_prime_with`].
 pub fn is_prime(n: &Big) -> bool {
-    is_prime_with(n, &mut rand::thread_rng(), 16)
+    let mut mix = 0xA5A5_5A5A_D00D_F00Du64 ^ (n.bit_len() as u64);
+    if let Some(low) = n.rem(&Big::from_u64(0xFFFF_FFFF_FFFF_FFC5)).to_u64() {
+        mix ^= low.rotate_left(17);
+    }
+    is_prime_with(n, &mut StdRng::seed_from_u64(mix), 16)
 }
 
 fn miller_rabin_round(n: &Big, n_minus_1: &Big, d: &Big, s: usize, witness: &Big) -> bool {

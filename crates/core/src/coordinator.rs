@@ -7,7 +7,7 @@
 //! grouped by geolocation. The `system` module drives this over the
 //! discrete-event network; unit tests drive it directly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -71,8 +71,10 @@ struct ServerGauges {
 pub struct Coordinator {
     whitelist: Whitelist,
     servers: Vec<ServerEntry>,
-    peers: HashMap<PeerId, PeerEntry>,
-    job_server: HashMap<JobId, usize>,
+    // `BTreeMap` so every iteration below (orphan sweep, peers_near) is
+    // key-ordered by construction — no sort step can be forgotten.
+    peers: BTreeMap<PeerId, PeerEntry>,
+    job_server: BTreeMap<JobId, usize>,
     next_job: u64,
     /// Heartbeat staleness threshold (ms) before a server goes offline.
     pub heartbeat_timeout_ms: u64,
@@ -97,8 +99,8 @@ impl Coordinator {
         Coordinator {
             whitelist,
             servers: Vec::new(),
-            peers: HashMap::new(),
-            job_server: HashMap::new(),
+            peers: BTreeMap::new(),
+            job_server: BTreeMap::new(),
             next_job: 1,
             heartbeat_timeout_ms: 30_000,
             requests_total: telemetry.counter("coordinator.requests_total"),
@@ -284,13 +286,14 @@ impl Coordinator {
         if !self.servers.iter().any(|s| s.online) {
             return Vec::new();
         }
-        let mut orphaned: Vec<JobId> = self
+        // BTreeMap iteration is already job-id order, so the requeue
+        // order needs no explicit sort.
+        let orphaned: Vec<JobId> = self
             .job_server
             .iter()
             .filter(|(_, &idx)| self.servers.get(idx).is_none_or(|s| !s.online))
             .map(|(&job, _)| job)
             .collect();
-        orphaned.sort_unstable(); // determinism across HashMap orders
         for &job in &orphaned {
             let idx = self.job_server.remove(&job).expect("listed above");
             if let Some(s) = self.servers.get_mut(idx) {
@@ -336,13 +339,14 @@ impl Coordinator {
     /// Online peers in the same area as `location`, excluding the
     /// initiator, capped at `max` (the ~3 PPCs per request of §6.1).
     pub fn peers_near(&self, location: &Location, exclude: PeerId, max: usize) -> Vec<PeerId> {
+        // BTreeMap iteration is peer-id order, so the list is already
+        // deterministic without a sort.
         let mut out: Vec<PeerId> = self
             .peers
             .iter()
             .filter(|(&id, p)| id != exclude && p.online && p.location.same_area(location))
             .map(|(&id, _)| id)
             .collect();
-        out.sort_unstable(); // determinism
         out.truncate(max);
         out
     }

@@ -32,6 +32,7 @@
 //!   location-based / within-country / PDI-PD / A-B classification used by
 //!   §6–§7.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -35,8 +35,10 @@ impl AggregatorProto {
                 out.push(Output::send(from, ProtoMsg::DoppIdReply { job, token }));
             }
             ProtoMsg::TokenRotated { old, new } => {
-                if let Some(pos) = self.tokens.iter().position(|t| *t == old) {
-                    self.tokens[pos] = new;
+                if let Some((pos, slot)) =
+                    self.tokens.iter_mut().enumerate().find(|(_, t)| **t == old)
+                {
+                    *slot = new;
                     self.directory.update_token(pos, new);
                 }
             }

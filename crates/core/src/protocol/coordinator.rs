@@ -2,7 +2,7 @@
 //! doppelganger redemption, heartbeats, administration, and §10.3
 //! recovery (requeueing jobs stuck on servers whose heartbeat lapsed).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -33,7 +33,9 @@ pub struct CoordinatorProto {
     pub ppc_per_request: usize,
     /// Period of the [`TimerKind::CoordSweep`] recovery timer.
     pub sweep_every_ms: u64,
-    origins: HashMap<JobId, JobOrigin>,
+    /// Keyed by `BTreeMap` so any future iteration (and the sweep's
+    /// requeue order) is job-id order by construction, not hash order.
+    origins: BTreeMap<JobId, JobOrigin>,
 }
 
 impl CoordinatorProto {
@@ -45,7 +47,7 @@ impl CoordinatorProto {
             universe: Vec::new(),
             ppc_per_request,
             sweep_every_ms: 5_000,
-            origins: HashMap::new(),
+            origins: BTreeMap::new(),
         }
     }
 

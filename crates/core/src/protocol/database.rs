@@ -1,7 +1,7 @@
 //! Database-server role (v2): store assembled checks under a modeled
 //! concurrency-sensitive cost, then ack.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
@@ -30,7 +30,7 @@ pub struct DbProto {
     pub database: Database,
     cost: DbCostModel,
     active: u32,
-    pending: HashMap<JobId, Address>,
+    pending: BTreeMap<JobId, Address>,
 }
 
 impl DbProto {
@@ -40,7 +40,7 @@ impl DbProto {
             database: Database::new(),
             cost,
             active: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Measurement-server role: fan-out, reply collection, extraction and
 //! assembly on a modeled shared CPU, persistence, result streaming.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{btree_map::Entry, BTreeMap, BTreeSet};
 
 use sheriff_currency::FixedRates;
 use sheriff_html::tagspath::TagsPath;
@@ -79,7 +79,7 @@ struct JobState {
     /// Vantages already folded in — fetches are not retransmission-
     /// protected, so a fault-duplicated `FetchReply` must be absorbed
     /// here to keep observation sets duplicate-free.
-    seen_vantages: HashSet<(VantageKind, u64)>,
+    seen_vantages: BTreeSet<(VantageKind, u64)>,
 }
 
 struct SubmitData {
@@ -119,7 +119,9 @@ pub struct MeasurementParams {
 pub struct MeasurementProto {
     index: usize,
     ipcs: Vec<Address>,
-    jobs: HashMap<JobId, JobState>,
+    /// `BTreeMap` so `active_jobs()` and any sweep over the table see
+    /// job-id order, never hash order.
+    jobs: BTreeMap<JobId, JobState>,
     rates: FixedRates,
     target_currency: String,
     proc_per_reply_ms: f64,
@@ -139,7 +141,7 @@ impl MeasurementProto {
         MeasurementProto {
             index: params.index,
             ipcs: params.ipcs,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             rates: params.rates,
             target_currency: params.target_currency,
             proc_per_reply_ms: params.proc_per_reply_ms,
@@ -173,7 +175,7 @@ impl MeasurementProto {
             ppcs: None,
             submit: None,
             assembled: false,
-            seen_vantages: HashSet::new(),
+            seen_vantages: BTreeSet::new(),
         }
     }
 
@@ -181,26 +183,41 @@ impl MeasurementProto {
     /// deadline: if the partner half (`PpcList` vs `JobSubmit`) never
     /// arrives — the initiator aborted its own fetch, or the submit was
     /// lost for good — the half-open entry is reaped instead of leaking.
-    fn open_job(&mut self, job: JobId, from: Address, now_ms: u64, out: &mut Vec<Output>) {
-        if self.jobs.contains_key(&job) {
-            return;
+    /// Returns the (new or existing) entry so callers never re-look-up.
+    fn open_job(
+        &mut self,
+        job: JobId,
+        from: Address,
+        now_ms: u64,
+        out: &mut Vec<Output>,
+    ) -> &mut JobState {
+        match self.jobs.entry(job) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(entry) => {
+                out.push(Output::Timer {
+                    delay_ms: self.job_deadline_ms,
+                    kind: TimerKind::JobDeadline(job),
+                });
+                entry.insert(Self::blank_job(from, now_ms))
+            }
         }
-        self.jobs.insert(job, Self::blank_job(from, now_ms));
-        out.push(Output::Timer {
-            delay_ms: self.job_deadline_ms,
-            kind: TimerKind::JobDeadline(job),
-        });
     }
 
     fn try_fan_out(&mut self, now_ms: u64, job: JobId, out: &mut Vec<Output>) {
         let Some(state) = self.jobs.get_mut(&job) else {
             return;
         };
-        if state.fanned_out || state.submit.is_none() || state.ppcs.is_none() {
+        if state.fanned_out {
             return;
         }
-        let submit = state.submit.take().expect("checked");
-        let ppcs = state.ppcs.clone().expect("checked");
+        // Both halves must be present; `take` only after both are known,
+        // or a lone submit would be lost.
+        let Some(ppcs) = state.ppcs.clone() else {
+            return;
+        };
+        let Some(submit) = state.submit.take() else {
+            return;
+        };
 
         state.domain = submit.domain.clone();
         state.product = submit.product;
@@ -340,8 +357,7 @@ impl MeasurementProto {
     ) {
         match msg {
             ProtoMsg::PpcList { job, ppcs } => {
-                self.open_job(job, from, now_ms, out);
-                let state = self.jobs.get_mut(&job).expect("just opened");
+                let state = self.open_job(job, from, now_ms, out);
                 state.ppcs = Some(ppcs);
                 self.try_fan_out(now_ms, job, out);
             }
@@ -353,8 +369,7 @@ impl MeasurementProto {
                 initiator_html,
                 initiator_obs,
             } => {
-                self.open_job(job, from, now_ms, out);
-                let state = self.jobs.get_mut(&job).expect("just opened");
+                let state = self.open_job(job, from, now_ms, out);
                 state.submit = Some(Box::new(SubmitData {
                     tags_path,
                     initiator_html,

@@ -1,7 +1,7 @@
 //! PPC / browser-add-on role: initiating price checks, serving remote
 //! fetches under the pollution budget, doppelganger redemption.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sheriff_html::tagspath::TagsPath;
 use sheriff_html::Document;
@@ -45,11 +45,13 @@ pub struct PeerProto {
     /// Ask for doppelganger state when over budget.
     pub doppelgangers_enabled: bool,
     /// Own requests in flight: local_tag → (domain, product, submitted_ms).
-    own_pending: HashMap<u64, (String, ProductId, u64)>,
+    /// `BTreeMap` throughout this struct: command emission order must be
+    /// seed-pure, so no hash-ordered container may feed it.
+    own_pending: BTreeMap<u64, (String, ProductId, u64)>,
     /// Jobs assigned: job → local_tag (to find submit data).
-    job_tags: HashMap<JobId, u64>,
+    job_tags: BTreeMap<JobId, u64>,
     /// Remote fetches waiting on doppelganger state.
-    dopp_pending: HashMap<JobId, PendingFetch>,
+    dopp_pending: BTreeMap<JobId, PendingFetch>,
     /// Completed own checks, in completion order.
     pub completed: Vec<CompletedProtoCheck>,
     /// Rejected own checks: (local_tag, reason).
@@ -75,9 +77,9 @@ impl PeerProto {
             city,
             target_currency,
             doppelgangers_enabled,
-            own_pending: HashMap::new(),
-            job_tags: HashMap::new(),
-            dopp_pending: HashMap::new(),
+            own_pending: BTreeMap::new(),
+            job_tags: BTreeMap::new(),
+            dopp_pending: BTreeMap::new(),
             completed: Vec::new(),
             rejected: Vec::new(),
             server_removals: Vec::new(),
@@ -109,11 +111,14 @@ impl PeerProto {
         if fetch.sandbox.is_some_and(|r| !r.is_clean()) {
             self.sandbox_violations += 1;
         }
-        self.fetches_by_mode[match fetch.mode {
+        let slot = match fetch.mode {
             FetchMode::CleanOwnState => 0,
             FetchMode::RealOwnState => 1,
             FetchMode::Doppelganger => 2,
-        }] += 1;
+        };
+        if let Some(count) = self.fetches_by_mode.get_mut(slot) {
+            *count += 1;
+        }
         let meta = VantageMeta {
             kind: VantageKind::Ppc,
             id: self.engine.peer_id,
@@ -200,7 +205,7 @@ impl PeerProto {
                     abort(self, out);
                     return;
                 };
-                let template = world.retailer(&domain).map(|r| r.template).unwrap_or(0);
+                let template = world.retailer(&domain).map_or(0, |r| r.template);
                 let selection_el = sheriff_market::page::price_markup(template);
                 let doc = Document::parse(&html);
                 let Some(el) = doc.find_by_class(selection_el.0, selection_el.1) else {

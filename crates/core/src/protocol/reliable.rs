@@ -28,7 +28,7 @@
 //! and the control plane (`StartCheck`, `RemoveServer`, `Shutdown`),
 //! which is injected from outside the protocol.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use sheriff_telemetry::{Counter, Registry};
@@ -84,8 +84,8 @@ struct ChannelTelemetry {
 pub struct Channel {
     cfg: ReliableConfig,
     next_seq: u64,
-    unacked: HashMap<u64, PendingSend>,
-    windows: HashMap<Address, DedupWindow>,
+    unacked: BTreeMap<u64, PendingSend>,
+    windows: BTreeMap<Address, DedupWindow>,
     telemetry: Option<ChannelTelemetry>,
 }
 
@@ -117,8 +117,8 @@ impl Channel {
         Channel {
             cfg,
             next_seq: 0,
-            unacked: HashMap::new(),
-            windows: HashMap::new(),
+            unacked: BTreeMap::new(),
+            windows: BTreeMap::new(),
             telemetry: None,
         }
     }

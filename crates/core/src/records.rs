@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use sheriff_geo::{Country, IpV4};
 
 /// Which kind of vantage point produced an observation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum VantageKind {
     /// The user who initiated the price check.
     Initiator,

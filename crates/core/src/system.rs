@@ -17,7 +17,7 @@
 //! `sheriff-wire` drives the *same* machines, so both backends execute
 //! one protocol implementation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -241,7 +241,7 @@ struct AddrMap {
     db: Option<NodeId>,
     first_server: usize,
     first_ipc: usize,
-    peer_nodes: HashMap<u64, NodeId>,
+    peer_nodes: BTreeMap<u64, NodeId>,
     addr_of: Vec<Address>,
 }
 
@@ -756,7 +756,7 @@ pub struct PriceSheriff {
     pub sim: Simulator<ProtoMsg>,
     coordinator: NodeId,
     aggregator: NodeId,
-    ppc_nodes: HashMap<u64, NodeId>,
+    ppc_nodes: BTreeMap<u64, NodeId>,
     world: Arc<Mutex<World>>,
     next_tag: u64,
     cfg: SheriffConfig,
@@ -820,7 +820,7 @@ impl PriceSheriff {
         for i in 0..n_servers {
             coordinator.register_server(&format!("ms-{i}"), 80, 0);
         }
-        let mut peer_nodes = HashMap::new();
+        let mut peer_nodes = BTreeMap::new();
         let mut ppc_specs_with_ip = Vec::new();
         for (i, spec) in ppcs.iter().enumerate() {
             let ip = alloc.allocate(spec.country, spec.city_idx);

@@ -36,7 +36,7 @@ impl Whitelist {
                 "/address",
             ]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect(),
             rejected_log: Vec::new(),
         }

@@ -84,7 +84,9 @@ impl DlogTable {
             return i64::try_from(m).ok();
         }
         let neg = self.params.inv(target);
-        self.solve(&neg).and_then(|m| i64::try_from(m).ok()).map(|m| -m)
+        self.solve(&neg)
+            .and_then(|m| i64::try_from(m).ok())
+            .map(|m| -m)
     }
 }
 

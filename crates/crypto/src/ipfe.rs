@@ -26,12 +26,10 @@ use crate::group::GroupParams;
 pub fn derive_function_key(sk: &SecretKey, s: &[i64]) -> Big {
     assert_eq!(s.len(), sk.x.len(), "function vector dimension mismatch");
     let q = &sk.params.q;
-    s.iter()
-        .zip(&sk.x)
-        .fold(Big::zero(), |acc, (&si, xi)| {
-            let si = sk.params.exponent_from_i64(si);
-            mod_add(&acc, &mod_mul(&si, xi, q), q)
-        })
+    s.iter().zip(&sk.x).fold(Big::zero(), |acc, (&si, xi)| {
+        let si = sk.params.exponent_from_i64(si);
+        mod_add(&acc, &mod_mul(&si, xi, q), q)
+    })
 }
 
 /// Evaluates `g^{c·s}` from a ciphertext of `c`, the function vector `s`,
@@ -39,13 +37,12 @@ pub fn derive_function_key(sk: &SecretKey, s: &[i64]) -> Big {
 ///
 /// # Panics
 /// If dimensions disagree.
-pub fn eval_inner_product(
-    params: &GroupParams,
-    ct: &Ciphertext,
-    s: &[i64],
-    f: &Big,
-) -> Big {
-    assert_eq!(s.len(), ct.betas.len(), "function vector dimension mismatch");
+pub fn eval_inner_product(params: &GroupParams, ct: &Ciphertext, s: &[i64], f: &Big) -> Big {
+    assert_eq!(
+        s.len(),
+        ct.betas.len(),
+        "function vector dimension mismatch"
+    );
     let mut num = Big::one();
     for (si, beta) in s.iter().zip(&ct.betas) {
         let e = params.exponent_from_i64(*si);

@@ -26,6 +26,7 @@
 //! is our own — the paper defers the mechanism to its citation — and is
 //! discussed in `DESIGN.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dlog;

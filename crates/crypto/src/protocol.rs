@@ -86,11 +86,7 @@ pub struct BlindedQuery {
 
 impl BlindedQuery {
     /// Step 1 (Aggregator): blind a stored client ciphertext.
-    pub fn blind<R: Rng + ?Sized>(
-        params: &GroupParams,
-        ct: &Ciphertext,
-        rng: &mut R,
-    ) -> Self {
+    pub fn blind<R: Rng + ?Sized>(params: &GroupParams, ct: &Ciphertext, rng: &mut R) -> Self {
         let rho = params.random_exponent(rng);
         let rho_inv = mod_inv(&rho, &params.q).expect("q prime, rho nonzero");
         BlindedQuery {
@@ -109,11 +105,7 @@ impl BlindedQuery {
 
 /// Step 2 (Coordinator): evaluate `g^{ρ·(c·s)}` on a blinded ciphertext for
 /// centroid function vector `s` (already in `(1, Σb², -2b..)` form).
-pub fn coordinator_evaluate(
-    sk: &SecretKey,
-    blinded: &Ciphertext,
-    s: &[i64],
-) -> Big {
+pub fn coordinator_evaluate(sk: &SecretKey, blinded: &Ciphertext, s: &[i64]) -> Big {
     let f = derive_function_key(sk, s);
     eval_inner_product(&sk.params, blinded, s, &f)
 }
@@ -122,10 +114,7 @@ pub fn coordinator_evaluate(
 /// of all member ciphertexts, restricted to the profile dimensions `[2, t)`.
 ///
 /// Returns `None` for an empty cluster.
-pub fn aggregate_cluster(
-    params: &GroupParams,
-    members: &[&Ciphertext],
-) -> Option<Ciphertext> {
+pub fn aggregate_cluster(params: &GroupParams, members: &[&Ciphertext]) -> Option<Ciphertext> {
     let mut iter = members.iter();
     let first = iter.next()?;
     let t = first.dims();

@@ -26,44 +26,272 @@ pub struct Currency {
 pub struct CurrencyCatalog;
 
 const CURRENCIES: &[Currency] = &[
-    Currency { iso: "EUR", name: "Euro", symbol: "€", custom_notations: &["EURO"], decimals: 2 },
-    Currency { iso: "USD", name: "US Dollar", symbol: "$", custom_notations: &["US$", "U$S"], decimals: 2 },
-    Currency { iso: "GBP", name: "Pound Sterling", symbol: "£", custom_notations: &["UK£"], decimals: 2 },
-    Currency { iso: "CAD", name: "Canadian Dollar", symbol: "$", custom_notations: &["C$", "CA$", "CDN$"], decimals: 2 },
-    Currency { iso: "AUD", name: "Australian Dollar", symbol: "$", custom_notations: &["A$", "AU$"], decimals: 2 },
-    Currency { iso: "NZD", name: "New Zealand Dollar", symbol: "$", custom_notations: &["NZ$"], decimals: 2 },
-    Currency { iso: "SGD", name: "Singapore Dollar", symbol: "$", custom_notations: &["S$"], decimals: 2 },
-    Currency { iso: "HKD", name: "Hong Kong Dollar", symbol: "$", custom_notations: &["HK$"], decimals: 2 },
-    Currency { iso: "MXN", name: "Mexican Peso", symbol: "$", custom_notations: &["MEX$", "MX$"], decimals: 2 },
-    Currency { iso: "BRL", name: "Brazilian Real", symbol: "R$", custom_notations: &["R$"], decimals: 2 },
-    Currency { iso: "JPY", name: "Japanese Yen", symbol: "¥", custom_notations: &["JP¥"], decimals: 0 },
-    Currency { iso: "CNY", name: "Chinese Yuan", symbol: "¥", custom_notations: &["RMB", "CN¥"], decimals: 2 },
-    Currency { iso: "KRW", name: "South Korean Won", symbol: "₩", custom_notations: &[], decimals: 0 },
-    Currency { iso: "ILS", name: "Israeli New Shekel", symbol: "₪", custom_notations: &["NIS"], decimals: 2 },
-    Currency { iso: "CHF", name: "Swiss Franc", symbol: "Fr.", custom_notations: &["SFr.", "SFR"], decimals: 2 },
-    Currency { iso: "SEK", name: "Swedish Krona", symbol: "kr", custom_notations: &[], decimals: 2 },
-    Currency { iso: "NOK", name: "Norwegian Krone", symbol: "kr", custom_notations: &[], decimals: 2 },
-    Currency { iso: "DKK", name: "Danish Krone", symbol: "kr", custom_notations: &[], decimals: 2 },
-    Currency { iso: "CZK", name: "Czech Koruna", symbol: "Kč", custom_notations: &["Kc"], decimals: 2 },
-    Currency { iso: "PLN", name: "Polish Zloty", symbol: "zł", custom_notations: &["zl"], decimals: 2 },
-    Currency { iso: "HUF", name: "Hungarian Forint", symbol: "Ft", custom_notations: &[], decimals: 0 },
-    Currency { iso: "RON", name: "Romanian Leu", symbol: "lei", custom_notations: &[], decimals: 2 },
-    Currency { iso: "BGN", name: "Bulgarian Lev", symbol: "лв", custom_notations: &["lv"], decimals: 2 },
-    Currency { iso: "RUB", name: "Russian Ruble", symbol: "₽", custom_notations: &["руб"], decimals: 2 },
-    Currency { iso: "TRY", name: "Turkish Lira", symbol: "₺", custom_notations: &["TL"], decimals: 2 },
-    Currency { iso: "INR", name: "Indian Rupee", symbol: "₹", custom_notations: &["Rs", "Rs."], decimals: 2 },
-    Currency { iso: "THB", name: "Thai Baht", symbol: "฿", custom_notations: &[], decimals: 2 },
-    Currency { iso: "MYR", name: "Malaysian Ringgit", symbol: "RM", custom_notations: &["RM"], decimals: 2 },
-    Currency { iso: "IDR", name: "Indonesian Rupiah", symbol: "Rp", custom_notations: &["Rp"], decimals: 0 },
-    Currency { iso: "PHP", name: "Philippine Peso", symbol: "₱", custom_notations: &[], decimals: 2 },
-    Currency { iso: "VND", name: "Vietnamese Dong", symbol: "₫", custom_notations: &[], decimals: 0 },
-    Currency { iso: "TWD", name: "New Taiwan Dollar", symbol: "$", custom_notations: &["NT$"], decimals: 2 },
-    Currency { iso: "ZAR", name: "South African Rand", symbol: "R", custom_notations: &[], decimals: 2 },
-    Currency { iso: "EGP", name: "Egyptian Pound", symbol: "E£", custom_notations: &["LE"], decimals: 2 },
-    Currency { iso: "AED", name: "UAE Dirham", symbol: "AED", custom_notations: &["Dhs", "DH"], decimals: 2 },
-    Currency { iso: "ARS", name: "Argentine Peso", symbol: "$", custom_notations: &["AR$"], decimals: 2 },
-    Currency { iso: "CLP", name: "Chilean Peso", symbol: "$", custom_notations: &["CLP$"], decimals: 0 },
-    Currency { iso: "COP", name: "Colombian Peso", symbol: "$", custom_notations: &["COL$"], decimals: 0 },
+    Currency {
+        iso: "EUR",
+        name: "Euro",
+        symbol: "€",
+        custom_notations: &["EURO"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "USD",
+        name: "US Dollar",
+        symbol: "$",
+        custom_notations: &["US$", "U$S"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "GBP",
+        name: "Pound Sterling",
+        symbol: "£",
+        custom_notations: &["UK£"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "CAD",
+        name: "Canadian Dollar",
+        symbol: "$",
+        custom_notations: &["C$", "CA$", "CDN$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "AUD",
+        name: "Australian Dollar",
+        symbol: "$",
+        custom_notations: &["A$", "AU$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "NZD",
+        name: "New Zealand Dollar",
+        symbol: "$",
+        custom_notations: &["NZ$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "SGD",
+        name: "Singapore Dollar",
+        symbol: "$",
+        custom_notations: &["S$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "HKD",
+        name: "Hong Kong Dollar",
+        symbol: "$",
+        custom_notations: &["HK$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "MXN",
+        name: "Mexican Peso",
+        symbol: "$",
+        custom_notations: &["MEX$", "MX$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "BRL",
+        name: "Brazilian Real",
+        symbol: "R$",
+        custom_notations: &["R$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "JPY",
+        name: "Japanese Yen",
+        symbol: "¥",
+        custom_notations: &["JP¥"],
+        decimals: 0,
+    },
+    Currency {
+        iso: "CNY",
+        name: "Chinese Yuan",
+        symbol: "¥",
+        custom_notations: &["RMB", "CN¥"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "KRW",
+        name: "South Korean Won",
+        symbol: "₩",
+        custom_notations: &[],
+        decimals: 0,
+    },
+    Currency {
+        iso: "ILS",
+        name: "Israeli New Shekel",
+        symbol: "₪",
+        custom_notations: &["NIS"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "CHF",
+        name: "Swiss Franc",
+        symbol: "Fr.",
+        custom_notations: &["SFr.", "SFR"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "SEK",
+        name: "Swedish Krona",
+        symbol: "kr",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "NOK",
+        name: "Norwegian Krone",
+        symbol: "kr",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "DKK",
+        name: "Danish Krone",
+        symbol: "kr",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "CZK",
+        name: "Czech Koruna",
+        symbol: "Kč",
+        custom_notations: &["Kc"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "PLN",
+        name: "Polish Zloty",
+        symbol: "zł",
+        custom_notations: &["zl"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "HUF",
+        name: "Hungarian Forint",
+        symbol: "Ft",
+        custom_notations: &[],
+        decimals: 0,
+    },
+    Currency {
+        iso: "RON",
+        name: "Romanian Leu",
+        symbol: "lei",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "BGN",
+        name: "Bulgarian Lev",
+        symbol: "лв",
+        custom_notations: &["lv"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "RUB",
+        name: "Russian Ruble",
+        symbol: "₽",
+        custom_notations: &["руб"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "TRY",
+        name: "Turkish Lira",
+        symbol: "₺",
+        custom_notations: &["TL"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "INR",
+        name: "Indian Rupee",
+        symbol: "₹",
+        custom_notations: &["Rs", "Rs."],
+        decimals: 2,
+    },
+    Currency {
+        iso: "THB",
+        name: "Thai Baht",
+        symbol: "฿",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "MYR",
+        name: "Malaysian Ringgit",
+        symbol: "RM",
+        custom_notations: &["RM"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "IDR",
+        name: "Indonesian Rupiah",
+        symbol: "Rp",
+        custom_notations: &["Rp"],
+        decimals: 0,
+    },
+    Currency {
+        iso: "PHP",
+        name: "Philippine Peso",
+        symbol: "₱",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "VND",
+        name: "Vietnamese Dong",
+        symbol: "₫",
+        custom_notations: &[],
+        decimals: 0,
+    },
+    Currency {
+        iso: "TWD",
+        name: "New Taiwan Dollar",
+        symbol: "$",
+        custom_notations: &["NT$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "ZAR",
+        name: "South African Rand",
+        symbol: "R",
+        custom_notations: &[],
+        decimals: 2,
+    },
+    Currency {
+        iso: "EGP",
+        name: "Egyptian Pound",
+        symbol: "E£",
+        custom_notations: &["LE"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "AED",
+        name: "UAE Dirham",
+        symbol: "AED",
+        custom_notations: &["Dhs", "DH"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "ARS",
+        name: "Argentine Peso",
+        symbol: "$",
+        custom_notations: &["AR$"],
+        decimals: 2,
+    },
+    Currency {
+        iso: "CLP",
+        name: "Chilean Peso",
+        symbol: "$",
+        custom_notations: &["CLP$"],
+        decimals: 0,
+    },
+    Currency {
+        iso: "COP",
+        name: "Colombian Peso",
+        symbol: "$",
+        custom_notations: &["COL$"],
+        decimals: 0,
+    },
 ];
 
 impl CurrencyCatalog {
@@ -130,9 +358,18 @@ mod tests {
 
     #[test]
     fn custom_notation_resolves() {
-        assert_eq!(CurrencyCatalog::by_custom_notation("US$").unwrap().iso, "USD");
-        assert_eq!(CurrencyCatalog::by_custom_notation("NT$").unwrap().iso, "TWD");
-        assert_eq!(CurrencyCatalog::by_custom_notation("Kc").unwrap().iso, "CZK");
+        assert_eq!(
+            CurrencyCatalog::by_custom_notation("US$").unwrap().iso,
+            "USD"
+        );
+        assert_eq!(
+            CurrencyCatalog::by_custom_notation("NT$").unwrap().iso,
+            "TWD"
+        );
+        assert_eq!(
+            CurrencyCatalog::by_custom_notation("Kc").unwrap().iso,
+            "CZK"
+        );
         assert!(CurrencyCatalog::by_custom_notation("???").is_none());
     }
 

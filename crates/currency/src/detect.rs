@@ -156,7 +156,11 @@ fn tokenize(s: &str) -> Vec<Token> {
             return;
         }
         let t = std::mem::take(cur);
-        tokens.push(if is_num { Token::Number(t) } else { Token::Word(t) });
+        tokens.push(if is_num {
+            Token::Number(t)
+        } else {
+            Token::Word(t)
+        });
     };
 
     let chars: Vec<char> = s.chars().collect();
@@ -164,7 +168,7 @@ fn tokenize(s: &str) -> Vec<Token> {
         let is_num_char = ch.is_ascii_digit()
             || (matches!(ch, '.' | ',' | '\u{a0}' | '\'')
                 && cur_is_num
-                && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()));
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit));
         if ch == ' ' {
             flush(&mut tokens, &mut cur, cur_is_num);
             continue;
@@ -230,7 +234,9 @@ fn detect_currency(
             if hit {
                 let hits = CurrencyCatalog::by_symbol(sym);
                 let hinted = hint_iso.and_then(|iso| {
-                    hits.iter().find(|c| c.iso.eq_ignore_ascii_case(iso)).copied()
+                    hits.iter()
+                        .find(|c| c.iso.eq_ignore_ascii_case(iso))
+                        .copied()
                 });
                 if let Some(chosen) = hinted.or_else(|| hits.first().copied()) {
                     let conf = if hits.len() == 1 {

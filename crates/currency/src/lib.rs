@@ -17,6 +17,7 @@
 //! Selections are sanitized and validated first: fewer than 25 characters
 //! and at least one digit, the paper's anti-injection sanity check.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
@@ -24,7 +25,10 @@ pub mod detect;
 pub mod rates;
 
 pub use catalog::{Currency, CurrencyCatalog};
-pub use detect::{detect_price, detect_price_with_hint, validate_selection, Confidence, DetectError, DetectedPrice};
+pub use detect::{
+    detect_price, detect_price_with_hint, validate_selection, Confidence, DetectError,
+    DetectedPrice,
+};
 pub use rates::{FixedRates, RateProvider};
 
 /// A detected-and-converted price ready for the Fig. 2 result page.

@@ -30,10 +30,7 @@ impl FixedRates {
     /// Builds from `(code, units-per-EUR)` pairs.
     pub fn from_pairs(pairs: &[(&str, f64)]) -> Self {
         FixedRates {
-            per_eur: pairs
-                .iter()
-                .map(|(c, r)| (c.to_string(), *r))
-                .collect(),
+            per_eur: pairs.iter().map(|(c, r)| (c.to_string(), *r)).collect(),
         }
     }
 

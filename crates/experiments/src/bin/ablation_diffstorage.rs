@@ -22,7 +22,12 @@ fn main() {
     println!("Ablation — DiffStorage vs full copies (§10.5)\n");
     let mut table = Table::new(["Domain", "fan-out", "full copies", "diff-stored", "saving"]);
     let mut totals = (0usize, 0usize);
-    for domain in ["steampowered.com", "jcpenney.com", "amazon.com", "luisaviaroma.com"] {
+    for domain in [
+        "steampowered.com",
+        "jcpenney.com",
+        "amazon.com",
+        "luisaviaroma.com",
+    ] {
         // The initiator's page is the base…
         let jar = CookieJar::new();
         let fetch = |world: &mut World, country: Country, seq: u64| -> String {
@@ -77,7 +82,10 @@ fn main() {
     );
     println!("(the deployed system stored 160248 responses for 5700 requests, §6.1 —");
     println!(" without DiffStorage that is a ~28x write amplification on page bodies)");
-    assert!(totals.1 as f64 / totals.0 as f64 > 3.0, "diff storage ineffective");
+    assert!(
+        totals.1 as f64 / totals.0 as f64 > 3.0,
+        "diff storage ineffective"
+    );
     write_json("ablation_diffstorage", &totals);
 }
 

@@ -55,7 +55,14 @@ fn run(protected: bool, seed: u64) -> Outcome {
 
     // The user's own shopping.
     for i in 0..REAL_VISITS {
-        peer.user_visit(&mut world, DOMAIN, ProductId((i % 8) as u32), 0, i * 60_000, i);
+        peer.user_visit(
+            &mut world,
+            DOMAIN,
+            ProductId((i % 8) as u32),
+            0,
+            i * 60_000,
+            i,
+        );
     }
 
     // A trained doppelganger for the protected arm.
@@ -108,7 +115,14 @@ fn run(protected: bool, seed: u64) -> Outcome {
                 client_id: peer.peer_id,
             };
             let r = world.retailer_mut(DOMAIN).expect("domain");
-            let _ = r.fetch(ProductId((i % 8) as u32), &ctx, 1_000_000 + i * 30_000, &rates, 0.5, 500);
+            let _ = r.fetch(
+                ProductId((i % 8) as u32),
+                &ctx,
+                1_000_000 + i * 30_000,
+                &rates,
+                0.5,
+                500,
+            );
             real_identity_fetches += 1;
         }
         vantage_alive = true;
@@ -157,8 +171,10 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!("paper bound: ≤25% extra product views on the real profile (1 per 4 visits).");
-    println!("Without doppelgangers the same request stream pollutes the profile {}x more,",
-        (without.pollution_pct / with.pollution_pct).round());
+    println!(
+        "Without doppelgangers the same request stream pollutes the profile {}x more,",
+        (without.pollution_pct / with.pollution_pct).round()
+    );
     println!("'making all peers' browsing behavior appear uniform' — the failure §3.6.2 prevents.");
 
     assert!(with.pollution_pct <= 25.0 + 1e-9, "budget violated");

@@ -28,7 +28,14 @@ fn main() {
         .collect();
     ranked.sort_by_key(|a| std::cmp::Reverse(a.requests_with_difference));
 
-    let mut table = Table::new(["Domain", "#req", "#diff", "median", "max", "box [0 .. 400%+]"]);
+    let mut table = Table::new([
+        "Domain",
+        "#req",
+        "#diff",
+        "median",
+        "max",
+        "box [0 .. 400%+]",
+    ]);
     for a in &ranked {
         let stats = BoxStats::compute(&a.spreads).expect("has spreads");
         table.row([

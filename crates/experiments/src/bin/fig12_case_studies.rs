@@ -56,13 +56,7 @@ fn main() {
                 println!("{}", table.render());
             }
             for (url, (min, diff)) in &per_product {
-                json.push((
-                    study.country.code(),
-                    domain,
-                    url.to_string(),
-                    *min,
-                    *diff,
-                ));
+                json.push((study.country.code(), domain, url.to_string(), *min, *diff));
             }
         }
         println!();
@@ -72,7 +66,12 @@ fn main() {
     println!("  chegg.com:    3–7% spreads on €10–€100 textbooks (ES/UK/DE; none in FR)");
     println!("  jcpenney.com: <2% on the continent, exactly 7% in the UK");
     println!("  amazon.com:   diffs concentrate on VAT-discrete values per country, e.g.");
-    for c in [sheriff_geo::Country::ES, sheriff_geo::Country::FR, sheriff_geo::Country::GB, sheriff_geo::Country::DE] {
+    for c in [
+        sheriff_geo::Country::ES,
+        sheriff_geo::Country::FR,
+        sheriff_geo::Country::GB,
+        sheriff_geo::Country::DE,
+    ] {
         println!(
             "     {}: standard {:.0}%, books {:.0}%",
             c.code(),

@@ -53,9 +53,9 @@ fn main() {
             }
         );
         match country {
-            Country::FR => println!(
-                "paper: France <2%, 'low and high prices in an almost uniform fashion'\n"
-            ),
+            Country::FR => {
+                println!("paper: France <2%, 'low and high prices in an almost uniform fashion'\n");
+            }
             _ => println!(
                 "paper: UK ~7%, 'certain peers tend to receive consistently low … or high prices'\n"
             ),

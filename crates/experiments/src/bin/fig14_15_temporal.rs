@@ -23,7 +23,10 @@ fn main() {
     );
 
     let mut json = Vec::new();
-    for (fig, domain) in [("Fig. 14", TEMPORAL_DOMAINS[0]), ("Fig. 15", TEMPORAL_DOMAINS[1])] {
+    for (fig, domain) in [
+        ("Fig. 14", TEMPORAL_DOMAINS[0]),
+        ("Fig. 15", TEMPORAL_DOMAINS[1]),
+    ] {
         println!("{fig} — {domain}\n");
         let mut fluctuations = Vec::new();
         let mut revenue_delta = 0.0;
@@ -43,8 +46,7 @@ fn main() {
             if fit.slope < 0.0 {
                 slopes_down += 1;
             }
-            revenue_delta += fit.predict(*xs.last().expect("non-empty"))
-                - fit.predict(xs[0]);
+            revenue_delta += fit.predict(*xs.last().expect("non-empty")) - fit.predict(xs[0]);
             fluctuations.push(mean_daily_fluctuation(&series));
 
             // Print the five representative products like the figures.
@@ -75,8 +77,12 @@ fn main() {
         println!("  mean daily fluctuation: {:.1}%", fluct * 100.0);
         println!("  revenue delta over the window (all products sold once): €{revenue_delta:+.0}");
         match domain {
-            "jcpenney.com" => println!("  paper: fluctuation ≈3.7%, drops + rare large jumps, ≈€452 increase\n"),
-            _ => println!("  paper: fluctuation ≈8.3% (4.6% above jcpenney), slow drift, ≈€225 increase\n"),
+            "jcpenney.com" => {
+                println!("  paper: fluctuation ≈3.7%, drops + rare large jumps, ≈€452 increase\n");
+            }
+            _ => println!(
+                "  paper: fluctuation ≈8.3% (4.6% above jcpenney), slow drift, ≈€225 increase\n"
+            ),
         }
     }
     write_json("fig14_15_temporal", &json);

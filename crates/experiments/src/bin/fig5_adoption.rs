@@ -14,9 +14,11 @@ fn main() {
     let mut table = Table::new(["Day", "Downloads/day", "Active users", "Spike"]);
     let events = paper_press_events();
     for d in series.iter().step_by(7) {
-        let spike = if events
-            .iter()
-            .any(|e| d.day >= e.day && d.day < e.day + 7) { "*press*" } else { "" };
+        let spike = if events.iter().any(|e| d.day >= e.day && d.day < e.day + 7) {
+            "*press*"
+        } else {
+            ""
+        };
         table.row([
             d.day.to_string(),
             format!("{:.1}", d.downloads),
@@ -26,14 +28,14 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let peak = series
-        .iter()
-        .map(|d| d.downloads)
-        .fold(0.0f64, f64::max);
+    let peak = series.iter().map(|d| d.downloads).fold(0.0f64, f64::max);
     println!("total downloads : {:.0}", total_downloads(&series));
     println!("peak downloads  : {peak:.0}/day");
-    println!("press events    : {} (days {:?})", events.len(),
-        events.iter().map(|e| e.day).collect::<Vec<_>>());
+    println!(
+        "press events    : {} (days {:?})",
+        events.len(),
+        events.iter().map(|e| e.day).collect::<Vec<_>>()
+    );
     println!("\npaper: three major spikes after press coverage; >1000 users recruited.");
 
     let rows: Vec<(u32, f64, f64)> = series

@@ -63,7 +63,10 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("Monitoring panel (Fig. 7):\n{}", coordinator.monitoring_panel());
+    println!(
+        "Monitoring panel (Fig. 7):\n{}",
+        coordinator.monitoring_panel()
+    );
     println!("paper: 'the response time of the system improves as slower servers are assigned fewer requests.'");
 
     let json_rows: Vec<(String, u64, usize, u32)> = service_ms
@@ -81,7 +84,10 @@ fn main() {
     write_json("fig6_distribution", &json_rows);
     // The panel above is rendered from this same registry; the snapshot is
     // the machine-readable twin of the Fig. 7 panel.
-    write_json("fig6_distribution_telemetry", &coordinator.telemetry().snapshot());
+    write_json(
+        "fig6_distribution_telemetry",
+        &coordinator.telemetry().snapshot(),
+    );
 
     assert!(
         assigned[0] > assigned[3],

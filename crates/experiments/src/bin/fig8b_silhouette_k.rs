@@ -27,7 +27,12 @@ fn main() {
         .collect();
     let histories: Vec<sheriff_kmeans::RawHistory> =
         donors.iter().map(|u| u.history.clone()).collect();
-    let universe = build_universe(&histories, &pop.alexa_ranking, UniverseStrategy::AlexaTop, 100);
+    let universe = build_universe(
+        &histories,
+        &pop.alexa_ranking,
+        UniverseStrategy::AlexaTop,
+        100,
+    );
     let points: Vec<Vec<f64>> = histories
         .iter()
         .map(|h| to_unit_f64(&profile_vector(h, &universe, 16), 16))

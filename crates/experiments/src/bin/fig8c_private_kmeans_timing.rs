@@ -37,7 +37,7 @@ fn main() {
         Scale::Demo => vec![10, 20, 30, 40],
     };
     let params = GroupParams::baked(bits);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("Fig. 8c — private k-means single-iteration time ({n} clients, {bits}-bit group)");
     println!("available parallelism on this host: {cores} core(s)\n");
 

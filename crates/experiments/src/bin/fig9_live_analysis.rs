@@ -73,7 +73,9 @@ fn main() {
         detected_within, ds.truth_within_country
     );
     println!("\npaper: medians mostly 20–30% (digitalrev, luisaviaroma, overstock, steampowered,");
-    println!("       suitsupply) with abercrombie/jcpenney near 40%; 7 domains varied within-country.");
+    println!(
+        "       suitsupply) with abercrombie/jcpenney near 40%; 7 domains varied within-country."
+    );
 
     let json: Vec<(String, usize, f64)> = ranked
         .iter()

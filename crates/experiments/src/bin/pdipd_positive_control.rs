@@ -23,13 +23,8 @@ fn main() {
             .affluence
             .iter()
             .find(|(p, _)| p == peer)
-            .map(|(_, a)| format!("{a:.2}"))
-            .unwrap_or_else(|| "-".into());
-        table.row([
-            format!("peer-{peer}"),
-            aff,
-            format!("{:.1}%", med * 100.0),
-        ]);
+            .map_or_else(|| "-".into(), |(_, a)| format!("{a:.2}"));
+        table.row([format!("peer-{peer}"), aff, format!("{:.1}%", med * 100.0)]);
     }
     println!("{}", table.render());
 
@@ -63,6 +58,10 @@ fn main() {
     println!("paper's §9 'watchdog value' claim made executable.");
     write_json(
         "pdipd_positive_control",
-        &(study.peer_medians, study.bias_vs_affluence.slope, study.bias_vs_affluence.r2),
+        &(
+            study.peer_medians,
+            study.bias_vs_affluence.slope,
+            study.bias_vs_affluence.r2,
+        ),
     );
 }

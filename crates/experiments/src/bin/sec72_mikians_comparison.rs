@@ -45,13 +45,18 @@ fn main() {
     println!("{}", t.render());
 
     println!("Median cross-country variation, then vs now:\n");
-    let mut table = Table::new(["Domain", "[24] median", "our median", "paper's 2017 reading"]);
+    let mut table = Table::new([
+        "Domain",
+        "[24] median",
+        "our median",
+        "paper's 2017 reading",
+    ]);
     let mut json = Vec::new();
     for (domain, was) in MIKIANS_MEDIANS {
         let now = analyses
             .iter()
             .find(|a| a.domain == domain)
-            .and_then(|a| a.median_spread())
+            .and_then(sheriff_core::analysis::DomainAnalysis::median_spread)
             .map(|m| 1.0 + m);
         let now_str = now.map_or("n/a".to_string(), |n| format!("{n:.2}"));
         let note = match domain {

@@ -42,7 +42,10 @@ fn main() {
 
         // 2. Higher-price probability ≈ 50%.
         let prob = higher_price_probability(&ds.checks, domain);
-        println!("  P(measurement point sees a higher-than-min price) = {:.0}% (paper ≈ 50%)", prob * 100.0);
+        println!(
+            "  P(measurement point sees a higher-than-min price) = {:.0}% (paper ≈ 50%)",
+            prob * 100.0
+        );
 
         // 3. Multi-linear regression: price diff ~ os + browser + quarter
         //    + day-of-week.

@@ -35,7 +35,11 @@ fn main() {
         },
         seed,
     );
-    let alexa: Vec<String> = world.alexa_domains().iter().map(|s| s.to_string()).collect();
+    let alexa: Vec<String> = world
+        .alexa_domains()
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
 
     let specs: Vec<PpcSpec> = (0..5u64)
         .map(|i| PpcSpec {
@@ -89,14 +93,14 @@ fn main() {
     ]);
     println!("{}", table.render());
     for a in &within {
-        println!("  unexpected: {} ({} events)", a.domain, a.within_country_events);
+        println!(
+            "  unexpected: {} ({} events)",
+            a.domain, a.within_country_events
+        );
     }
     println!(
         "paper: 'we did not find any additional domains having price differences within\n       the same country' → expected 0; this run found {}.",
         within.len()
     );
-    write_json(
-        "sec76_alexa400",
-        &(issued, checks.len(), within.len()),
-    );
+    write_json("sec76_alexa400", &(issued, checks.len(), within.len()));
 }

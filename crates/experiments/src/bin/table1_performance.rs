@@ -43,16 +43,51 @@ fn main() {
     };
 
     let scenarios = [
-        Scenario { label: "Old", cfg_of: v1, clients: 1, servers: 1, parallel_tasks: 5 },
-        Scenario { label: "Old", cfg_of: v1, clients: 2, servers: 1, parallel_tasks: 10 },
-        Scenario { label: "New", cfg_of: v2, clients: 1, servers: 1, parallel_tasks: 5 },
-        Scenario { label: "New", cfg_of: v2, clients: 2, servers: 1, parallel_tasks: 10 },
-        Scenario { label: "New", cfg_of: v2, clients: 3, servers: 4, parallel_tasks: 10 },
+        Scenario {
+            label: "Old",
+            cfg_of: v1,
+            clients: 1,
+            servers: 1,
+            parallel_tasks: 5,
+        },
+        Scenario {
+            label: "Old",
+            cfg_of: v1,
+            clients: 2,
+            servers: 1,
+            parallel_tasks: 10,
+        },
+        Scenario {
+            label: "New",
+            cfg_of: v2,
+            clients: 1,
+            servers: 1,
+            parallel_tasks: 5,
+        },
+        Scenario {
+            label: "New",
+            cfg_of: v2,
+            clients: 2,
+            servers: 1,
+            parallel_tasks: 10,
+        },
+        Scenario {
+            label: "New",
+            cfg_of: v2,
+            clients: 3,
+            servers: 4,
+            parallel_tasks: 10,
+        },
     ];
 
     println!("Table 1 — system performance analysis ({tasks_per_row} tasks per row)\n");
     let mut table = Table::new([
-        "Version", "# Clients", "# Servers", "# Tasks", "Resp/task (min)", "Max daily requests",
+        "Version",
+        "# Clients",
+        "# Servers",
+        "# Tasks",
+        "Resp/task (min)",
+        "Max daily requests",
     ]);
     let mut json_rows = Vec::new();
     let mut telemetry_runs = Vec::new();
@@ -72,7 +107,14 @@ fn main() {
             format!("{rt_min:.1}"),
             format!("{max_daily:.0}"),
         ]);
-        json_rows.push((sc.label, sc.clients, sc.servers, sc.parallel_tasks, rt_min, max_daily));
+        json_rows.push((
+            sc.label,
+            sc.clients,
+            sc.servers,
+            sc.parallel_tasks,
+            rt_min,
+            max_daily,
+        ));
         telemetry_runs.push((
             format!("{} {}c/{}s", sc.label, sc.clients, sc.servers),
             telemetry,

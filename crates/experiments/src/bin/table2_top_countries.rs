@@ -59,12 +59,20 @@ fn main() {
     let mut summary = Table::new(["Metric", "This run", "Paper (§6.1)"]);
     summary.row(["users", &ds.population.users.len().to_string(), "1265"]);
     summary.row(["countries", &count_countries(&ds).to_string(), "55"]);
-    summary.row(["price check requests", &ds.checks.len().to_string(), ">5700"]);
+    summary.row([
+        "price check requests",
+        &ds.checks.len().to_string(),
+        ">5700",
+    ]);
     summary.row(["checked domains", &domains.len().to_string(), "1994"]);
     summary.row(["checked products", &products.len().to_string(), "4856"]);
     summary.row(["responses", &responses.to_string(), "160248"]);
     summary.row(["history donors", &donors.to_string(), "459"]);
-    summary.row(["sandbox violations", &ds.sandbox_violations.to_string(), "0"]);
+    summary.row([
+        "sandbox violations",
+        &ds.sandbox_violations.to_string(),
+        "0",
+    ]);
     println!("{}", summary.render());
     if scale == Scale::Demo {
         println!("(demo scale — run with --full for paper-sized counts)");

@@ -146,11 +146,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<CountryStudy> {
 /// Table 5's cell: percentage of requests with a within-country price
 /// difference for `domain` in this study.
 pub fn percent_with_within_country_diff(study: &CountryStudy, domain: &str, epsilon: f64) -> f64 {
-    let relevant: Vec<&PriceCheck> = study
-        .checks
-        .iter()
-        .filter(|c| c.domain == domain)
-        .collect();
+    let relevant: Vec<&PriceCheck> = study.checks.iter().filter(|c| c.domain == domain).collect();
     if relevant.is_empty() {
         return 0.0;
     }

@@ -74,7 +74,7 @@ pub fn crawl_domains(world: &World, n: usize) -> Vec<String> {
         "tuscanyleather.it",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(std::string::ToString::to_string)
     .filter(|d| world.retailer(d).is_some())
     .collect();
     let mut i = 0;

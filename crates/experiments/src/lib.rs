@@ -18,6 +18,8 @@
 //! Every builder takes a [`Scale`]: `Demo` sizes finish in seconds for CI;
 //! `Paper` sizes match the publication (minutes).
 
+#![forbid(unsafe_code)]
+
 pub mod adoption;
 pub mod casestudy;
 pub mod crawl;

@@ -78,12 +78,12 @@ pub fn run_live_study(scale: Scale, seed: u64) -> LiveDataset {
     let truth_discriminating: Vec<String> = world
         .discriminating_domains()
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let truth_within_country: Vec<String> = world
         .within_country_domains()
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
 
     // Checkable domains: everything except the Alexa sweep set (§7.6 is a
@@ -95,12 +95,7 @@ pub fn run_live_study(scale: Scale, seed: u64) -> LiveDataset {
         .collect();
     let products_of: Vec<(String, usize)> = checkable
         .iter()
-        .map(|d| {
-            (
-                d.clone(),
-                world.retailer(d).map_or(1, |r| r.products.len()),
-            )
-        })
+        .map(|d| (d.clone(), world.retailer(d).map_or(1, |r| r.products.len())))
         .collect();
 
     let specs: Vec<PpcSpec> = population.users.iter().map(spec_of).collect();
@@ -227,11 +222,7 @@ pub fn run_live_study(scale: Scale, seed: u64) -> LiveDataset {
     }
 
     sheriff.run_until(t.plus(SimTime::from_mins(10)));
-    let checks: Vec<PriceCheck> = sheriff
-        .completed()
-        .into_iter()
-        .map(|c| c.check)
-        .collect();
+    let checks: Vec<PriceCheck> = sheriff.completed().into_iter().map(|c| c.check).collect();
     let sandbox_violations = sheriff.sandbox_violations();
 
     LiveDataset {
@@ -274,7 +265,9 @@ mod tests {
         assert_eq!(ds.sandbox_violations, 0);
         // Ground truth present.
         assert!(ds.truth_discriminating.len() >= 70);
-        assert!(ds.truth_within_country.contains(&"jcpenney.com".to_string()));
+        assert!(ds
+            .truth_within_country
+            .contains(&"jcpenney.com".to_string()));
         // Location PD must be visible in the harvested data.
         let steam: Vec<_> = ds
             .checks

@@ -189,7 +189,11 @@ mod tests {
                     .is_some_and(|s| s > 0.01)
             })
             .count();
-        assert!(with_diff * 2 > study.checks.len(), "{with_diff}/{}", study.checks.len());
+        assert!(
+            with_diff * 2 > study.checks.len(),
+            "{with_diff}/{}",
+            study.checks.len()
+        );
         // …and they are NOT A/B noise: bias correlates with affluence.
         assert!(
             study.bias_vs_affluence.slope > 0.05,

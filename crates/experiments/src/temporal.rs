@@ -168,7 +168,12 @@ mod tests {
     #[test]
     fn temporal_study_shows_drift_and_fluctuation() {
         let ds = run_temporal_study(Scale::Demo, 13);
-        assert!(ds.checks.len() * 10 >= ds.requests_issued * 8, "{} of {}", ds.checks.len(), ds.requests_issued);
+        assert!(
+            ds.checks.len() * 10 >= ds.requests_issued * 8,
+            "{} of {}",
+            ds.checks.len(),
+            ds.requests_issued
+        );
 
         // jcpenney: overall downward drift for most products, with
         // fluctuation smaller than chegg's (3.7% vs 8.3%).
@@ -193,7 +198,10 @@ mod tests {
         }
         assert!(products_seen >= 4, "series too sparse");
         // Drift is -0.4%/day with rare upward jumps: most slopes negative.
-        assert!(downward * 2 >= products_seen, "only {downward}/{products_seen} downward");
+        assert!(
+            downward * 2 >= products_seen,
+            "only {downward}/{products_seen} downward"
+        );
         let jcp = sheriff_stats::mean(&jcp_fluct);
         let chegg = sheriff_stats::mean(&chegg_fluct);
         assert!(chegg > jcp, "chegg fluct {chegg} ≤ jcpenney {jcp}");

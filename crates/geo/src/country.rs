@@ -65,62 +65,582 @@ macro_rules! country_table {
 pub struct Country(u8);
 
 country_table![
-    (0, ES, "ES", "Spain", Europe, "EUR", 0.21, 0.10, ["Madrid", "Barcelona", "Valencia"]),
-    (1, FR, "FR", "France", Europe, "EUR", 0.20, 0.055, ["Paris", "Lyon", "Marseille"]),
-    (2, US, "US", "United States", NorthAmerica, "USD", 0.0, 0.0, ["Tennessee", "Massachusetts", "Washington", "New York"]),
-    (3, CH, "CH", "Switzerland", Europe, "CHF", 0.077, 0.025, ["Zurich", "Geneva", "Bern"]),
-    (4, DE, "DE", "Germany", Europe, "EUR", 0.19, 0.07, ["Berlin", "Munich", "Hamburg"]),
-    (5, BE, "BE", "Belgium", Europe, "EUR", 0.21, 0.06, ["Brussels", "Antwerp"]),
-    (6, GB, "GB", "United Kingdom", Europe, "GBP", 0.20, 0.0, ["London", "Manchester", "Edinburgh"]),
-    (7, NL, "NL", "Netherlands", Europe, "EUR", 0.21, 0.09, ["Amsterdam", "Rotterdam"]),
-    (8, CY, "CY", "Cyprus", Europe, "EUR", 0.19, 0.05, ["Nicosia", "Limassol"]),
-    (9, CA, "CA", "Canada", NorthAmerica, "CAD", 0.05, 0.0, ["British Columbia", "Ontario", "Quebec"]),
-    (10, JP, "JP", "Japan", Asia, "JPY", 0.08, 0.08, ["Tokyo", "Hiroshima", "Osaka"]),
-    (11, CZ, "CZ", "Czech Republic", Europe, "CZK", 0.21, 0.15, ["Praha", "Brno"]),
-    (12, KR, "KR", "Korea", Asia, "KRW", 0.10, 0.10, ["Seoul", "Busan"]),
-    (13, NZ, "NZ", "New Zealand", Oceania, "NZD", 0.15, 0.15, ["Dunedin", "Auckland"]),
-    (14, SE, "SE", "Sweden", Europe, "SEK", 0.25, 0.06, ["Scandinavia", "Stockholm"]),
-    (15, IL, "IL", "Israel", MiddleEast, "ILS", 0.17, 0.0, ["Beer-Sheva", "Tel Aviv"]),
-    (16, PT, "PT", "Portugal", Europe, "EUR", 0.23, 0.06, ["Lisbon", "Porto"]),
-    (17, IE, "IE", "Ireland", Europe, "EUR", 0.23, 0.09, ["Dublin", "Cork"]),
-    (18, HK, "HK", "Hong Kong", Asia, "HKD", 0.0, 0.0, ["Hong Kong"]),
-    (19, BR, "BR", "Brazil", SouthAmerica, "BRL", 0.17, 0.07, ["Sao Paulo", "Rio de Janeiro"]),
-    (20, AU, "AU", "Australia", Oceania, "AUD", 0.10, 0.0, ["Sydney", "Melbourne"]),
-    (21, SG, "SG", "Singapore", Asia, "SGD", 0.07, 0.07, ["Singapore"]),
-    (22, TH, "TH", "Thailand", Asia, "THB", 0.07, 0.07, ["Bangkok", "Chiang Mai"]),
-    (23, IT, "IT", "Italy", Europe, "EUR", 0.22, 0.10, ["Rome", "Milan"]),
-    (24, AT, "AT", "Austria", Europe, "EUR", 0.20, 0.10, ["Vienna", "Graz"]),
-    (25, DK, "DK", "Denmark", Europe, "DKK", 0.25, 0.25, ["Copenhagen"]),
-    (26, NO, "NO", "Norway", Europe, "NOK", 0.25, 0.15, ["Oslo", "Bergen"]),
-    (27, FI, "FI", "Finland", Europe, "EUR", 0.24, 0.10, ["Helsinki"]),
-    (28, PL, "PL", "Poland", Europe, "PLN", 0.23, 0.08, ["Warsaw", "Krakow"]),
-    (29, GR, "GR", "Greece", Europe, "EUR", 0.24, 0.13, ["Athens", "Thessaloniki"]),
-    (30, HU, "HU", "Hungary", Europe, "HUF", 0.27, 0.18, ["Budapest"]),
-    (31, RO, "RO", "Romania", Europe, "RON", 0.19, 0.09, ["Bucharest"]),
-    (32, BG, "BG", "Bulgaria", Europe, "BGN", 0.20, 0.09, ["Sofia"]),
-    (33, HR, "HR", "Croatia", Europe, "EUR", 0.25, 0.13, ["Zagreb"]),
-    (34, SK, "SK", "Slovakia", Europe, "EUR", 0.20, 0.10, ["Bratislava"]),
-    (35, SI, "SI", "Slovenia", Europe, "EUR", 0.22, 0.095, ["Ljubljana"]),
-    (36, EE, "EE", "Estonia", Europe, "EUR", 0.20, 0.09, ["Tallinn"]),
+    (
+        0,
+        ES,
+        "ES",
+        "Spain",
+        Europe,
+        "EUR",
+        0.21,
+        0.10,
+        ["Madrid", "Barcelona", "Valencia"]
+    ),
+    (
+        1,
+        FR,
+        "FR",
+        "France",
+        Europe,
+        "EUR",
+        0.20,
+        0.055,
+        ["Paris", "Lyon", "Marseille"]
+    ),
+    (
+        2,
+        US,
+        "US",
+        "United States",
+        NorthAmerica,
+        "USD",
+        0.0,
+        0.0,
+        ["Tennessee", "Massachusetts", "Washington", "New York"]
+    ),
+    (
+        3,
+        CH,
+        "CH",
+        "Switzerland",
+        Europe,
+        "CHF",
+        0.077,
+        0.025,
+        ["Zurich", "Geneva", "Bern"]
+    ),
+    (
+        4,
+        DE,
+        "DE",
+        "Germany",
+        Europe,
+        "EUR",
+        0.19,
+        0.07,
+        ["Berlin", "Munich", "Hamburg"]
+    ),
+    (
+        5,
+        BE,
+        "BE",
+        "Belgium",
+        Europe,
+        "EUR",
+        0.21,
+        0.06,
+        ["Brussels", "Antwerp"]
+    ),
+    (
+        6,
+        GB,
+        "GB",
+        "United Kingdom",
+        Europe,
+        "GBP",
+        0.20,
+        0.0,
+        ["London", "Manchester", "Edinburgh"]
+    ),
+    (
+        7,
+        NL,
+        "NL",
+        "Netherlands",
+        Europe,
+        "EUR",
+        0.21,
+        0.09,
+        ["Amsterdam", "Rotterdam"]
+    ),
+    (
+        8,
+        CY,
+        "CY",
+        "Cyprus",
+        Europe,
+        "EUR",
+        0.19,
+        0.05,
+        ["Nicosia", "Limassol"]
+    ),
+    (
+        9,
+        CA,
+        "CA",
+        "Canada",
+        NorthAmerica,
+        "CAD",
+        0.05,
+        0.0,
+        ["British Columbia", "Ontario", "Quebec"]
+    ),
+    (
+        10,
+        JP,
+        "JP",
+        "Japan",
+        Asia,
+        "JPY",
+        0.08,
+        0.08,
+        ["Tokyo", "Hiroshima", "Osaka"]
+    ),
+    (
+        11,
+        CZ,
+        "CZ",
+        "Czech Republic",
+        Europe,
+        "CZK",
+        0.21,
+        0.15,
+        ["Praha", "Brno"]
+    ),
+    (
+        12,
+        KR,
+        "KR",
+        "Korea",
+        Asia,
+        "KRW",
+        0.10,
+        0.10,
+        ["Seoul", "Busan"]
+    ),
+    (
+        13,
+        NZ,
+        "NZ",
+        "New Zealand",
+        Oceania,
+        "NZD",
+        0.15,
+        0.15,
+        ["Dunedin", "Auckland"]
+    ),
+    (
+        14,
+        SE,
+        "SE",
+        "Sweden",
+        Europe,
+        "SEK",
+        0.25,
+        0.06,
+        ["Scandinavia", "Stockholm"]
+    ),
+    (
+        15,
+        IL,
+        "IL",
+        "Israel",
+        MiddleEast,
+        "ILS",
+        0.17,
+        0.0,
+        ["Beer-Sheva", "Tel Aviv"]
+    ),
+    (
+        16,
+        PT,
+        "PT",
+        "Portugal",
+        Europe,
+        "EUR",
+        0.23,
+        0.06,
+        ["Lisbon", "Porto"]
+    ),
+    (
+        17,
+        IE,
+        "IE",
+        "Ireland",
+        Europe,
+        "EUR",
+        0.23,
+        0.09,
+        ["Dublin", "Cork"]
+    ),
+    (
+        18,
+        HK,
+        "HK",
+        "Hong Kong",
+        Asia,
+        "HKD",
+        0.0,
+        0.0,
+        ["Hong Kong"]
+    ),
+    (
+        19,
+        BR,
+        "BR",
+        "Brazil",
+        SouthAmerica,
+        "BRL",
+        0.17,
+        0.07,
+        ["Sao Paulo", "Rio de Janeiro"]
+    ),
+    (
+        20,
+        AU,
+        "AU",
+        "Australia",
+        Oceania,
+        "AUD",
+        0.10,
+        0.0,
+        ["Sydney", "Melbourne"]
+    ),
+    (
+        21,
+        SG,
+        "SG",
+        "Singapore",
+        Asia,
+        "SGD",
+        0.07,
+        0.07,
+        ["Singapore"]
+    ),
+    (
+        22,
+        TH,
+        "TH",
+        "Thailand",
+        Asia,
+        "THB",
+        0.07,
+        0.07,
+        ["Bangkok", "Chiang Mai"]
+    ),
+    (
+        23,
+        IT,
+        "IT",
+        "Italy",
+        Europe,
+        "EUR",
+        0.22,
+        0.10,
+        ["Rome", "Milan"]
+    ),
+    (
+        24,
+        AT,
+        "AT",
+        "Austria",
+        Europe,
+        "EUR",
+        0.20,
+        0.10,
+        ["Vienna", "Graz"]
+    ),
+    (
+        25,
+        DK,
+        "DK",
+        "Denmark",
+        Europe,
+        "DKK",
+        0.25,
+        0.25,
+        ["Copenhagen"]
+    ),
+    (
+        26,
+        NO,
+        "NO",
+        "Norway",
+        Europe,
+        "NOK",
+        0.25,
+        0.15,
+        ["Oslo", "Bergen"]
+    ),
+    (
+        27,
+        FI,
+        "FI",
+        "Finland",
+        Europe,
+        "EUR",
+        0.24,
+        0.10,
+        ["Helsinki"]
+    ),
+    (
+        28,
+        PL,
+        "PL",
+        "Poland",
+        Europe,
+        "PLN",
+        0.23,
+        0.08,
+        ["Warsaw", "Krakow"]
+    ),
+    (
+        29,
+        GR,
+        "GR",
+        "Greece",
+        Europe,
+        "EUR",
+        0.24,
+        0.13,
+        ["Athens", "Thessaloniki"]
+    ),
+    (
+        30,
+        HU,
+        "HU",
+        "Hungary",
+        Europe,
+        "HUF",
+        0.27,
+        0.18,
+        ["Budapest"]
+    ),
+    (
+        31,
+        RO,
+        "RO",
+        "Romania",
+        Europe,
+        "RON",
+        0.19,
+        0.09,
+        ["Bucharest"]
+    ),
+    (
+        32,
+        BG,
+        "BG",
+        "Bulgaria",
+        Europe,
+        "BGN",
+        0.20,
+        0.09,
+        ["Sofia"]
+    ),
+    (
+        33,
+        HR,
+        "HR",
+        "Croatia",
+        Europe,
+        "EUR",
+        0.25,
+        0.13,
+        ["Zagreb"]
+    ),
+    (
+        34,
+        SK,
+        "SK",
+        "Slovakia",
+        Europe,
+        "EUR",
+        0.20,
+        0.10,
+        ["Bratislava"]
+    ),
+    (
+        35,
+        SI,
+        "SI",
+        "Slovenia",
+        Europe,
+        "EUR",
+        0.22,
+        0.095,
+        ["Ljubljana"]
+    ),
+    (
+        36,
+        EE,
+        "EE",
+        "Estonia",
+        Europe,
+        "EUR",
+        0.20,
+        0.09,
+        ["Tallinn"]
+    ),
     (37, LV, "LV", "Latvia", Europe, "EUR", 0.21, 0.12, ["Riga"]),
-    (38, LT, "LT", "Lithuania", Europe, "EUR", 0.21, 0.09, ["Vilnius"]),
-    (39, LU, "LU", "Luxembourg", Europe, "EUR", 0.17, 0.08, ["Luxembourg"]),
-    (40, MT, "MT", "Malta", Europe, "EUR", 0.18, 0.05, ["Valletta"]),
-    (41, MX, "MX", "Mexico", NorthAmerica, "MXN", 0.16, 0.0, ["Mexico City", "Guadalajara"]),
-    (42, AR, "AR", "Argentina", SouthAmerica, "ARS", 0.21, 0.105, ["Buenos Aires"]),
-    (43, CL, "CL", "Chile", SouthAmerica, "CLP", 0.19, 0.19, ["Santiago"]),
-    (44, CO, "CO", "Colombia", SouthAmerica, "COP", 0.19, 0.05, ["Bogota"]),
-    (45, IN, "IN", "India", Asia, "INR", 0.18, 0.05, ["Mumbai", "Bangalore"]),
-    (46, CN, "CN", "China", Asia, "CNY", 0.13, 0.09, ["Beijing", "Shanghai"]),
+    (
+        38,
+        LT,
+        "LT",
+        "Lithuania",
+        Europe,
+        "EUR",
+        0.21,
+        0.09,
+        ["Vilnius"]
+    ),
+    (
+        39,
+        LU,
+        "LU",
+        "Luxembourg",
+        Europe,
+        "EUR",
+        0.17,
+        0.08,
+        ["Luxembourg"]
+    ),
+    (
+        40,
+        MT,
+        "MT",
+        "Malta",
+        Europe,
+        "EUR",
+        0.18,
+        0.05,
+        ["Valletta"]
+    ),
+    (
+        41,
+        MX,
+        "MX",
+        "Mexico",
+        NorthAmerica,
+        "MXN",
+        0.16,
+        0.0,
+        ["Mexico City", "Guadalajara"]
+    ),
+    (
+        42,
+        AR,
+        "AR",
+        "Argentina",
+        SouthAmerica,
+        "ARS",
+        0.21,
+        0.105,
+        ["Buenos Aires"]
+    ),
+    (
+        43,
+        CL,
+        "CL",
+        "Chile",
+        SouthAmerica,
+        "CLP",
+        0.19,
+        0.19,
+        ["Santiago"]
+    ),
+    (
+        44,
+        CO,
+        "CO",
+        "Colombia",
+        SouthAmerica,
+        "COP",
+        0.19,
+        0.05,
+        ["Bogota"]
+    ),
+    (
+        45,
+        IN,
+        "IN",
+        "India",
+        Asia,
+        "INR",
+        0.18,
+        0.05,
+        ["Mumbai", "Bangalore"]
+    ),
+    (
+        46,
+        CN,
+        "CN",
+        "China",
+        Asia,
+        "CNY",
+        0.13,
+        0.09,
+        ["Beijing", "Shanghai"]
+    ),
     (47, TW, "TW", "Taiwan", Asia, "TWD", 0.05, 0.05, ["Taipei"]),
-    (48, MY, "MY", "Malaysia", Asia, "MYR", 0.06, 0.06, ["Kuala Lumpur"]),
-    (49, ID, "ID", "Indonesia", Asia, "IDR", 0.11, 0.11, ["Jakarta"]),
-    (50, PH, "PH", "Philippines", Asia, "PHP", 0.12, 0.12, ["Manila"]),
+    (
+        48,
+        MY,
+        "MY",
+        "Malaysia",
+        Asia,
+        "MYR",
+        0.06,
+        0.06,
+        ["Kuala Lumpur"]
+    ),
+    (
+        49,
+        ID,
+        "ID",
+        "Indonesia",
+        Asia,
+        "IDR",
+        0.11,
+        0.11,
+        ["Jakarta"]
+    ),
+    (
+        50,
+        PH,
+        "PH",
+        "Philippines",
+        Asia,
+        "PHP",
+        0.12,
+        0.12,
+        ["Manila"]
+    ),
     (51, VN, "VN", "Vietnam", Asia, "VND", 0.10, 0.05, ["Hanoi"]),
-    (52, ZA, "ZA", "South Africa", Africa, "ZAR", 0.15, 0.0, ["Johannesburg", "Cape Town"]),
+    (
+        52,
+        ZA,
+        "ZA",
+        "South Africa",
+        Africa,
+        "ZAR",
+        0.15,
+        0.0,
+        ["Johannesburg", "Cape Town"]
+    ),
     (53, EG, "EG", "Egypt", Africa, "EGP", 0.14, 0.05, ["Cairo"]),
-    (54, TR, "TR", "Turkey", MiddleEast, "TRY", 0.20, 0.10, ["Istanbul", "Ankara"]),
-    (55, AE, "AE", "United Arab Emirates", MiddleEast, "AED", 0.05, 0.0, ["Dubai"]),
+    (
+        54,
+        TR,
+        "TR",
+        "Turkey",
+        MiddleEast,
+        "TRY",
+        0.20,
+        0.10,
+        ["Istanbul", "Ankara"]
+    ),
+    (
+        55,
+        AE,
+        "AE",
+        "United Arab Emirates",
+        MiddleEast,
+        "AED",
+        0.05,
+        0.0,
+        ["Dubai"]
+    ),
 ];
 
 impl Country {
@@ -206,7 +726,11 @@ mod tests {
     #[test]
     fn catalogue_is_large_enough_for_live_study() {
         // §6.1: users from 55 countries.
-        assert!(Country::count() >= 55, "only {} countries", Country::count());
+        assert!(
+            Country::count() >= 55,
+            "only {} countries",
+            Country::count()
+        );
     }
 
     #[test]
@@ -233,7 +757,9 @@ mod tests {
 
     #[test]
     fn fig2_currencies_present() {
-        let want = ["EUR", "USD", "CAD", "ILS", "SEK", "JPY", "CZK", "KRW", "NZD"];
+        let want = [
+            "EUR", "USD", "CAD", "ILS", "SEK", "JPY", "CZK", "KRW", "NZD",
+        ];
         let have: Vec<&str> = Country::all().map(Country::currency).collect();
         for w in want {
             assert!(have.contains(&w), "currency {w} missing");

@@ -13,6 +13,7 @@
 //!   ISP churn model that makes PPCs hard for retailers to block (§3.2);
 //! * [`locate`] — the geolocation service with granularity fallback.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod country;

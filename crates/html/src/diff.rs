@@ -64,15 +64,13 @@ impl LineDiff {
         // Coalesce adjacent ops.
         for op in rev {
             match (ops.last_mut(), op) {
-                (
-                    Some(DiffOp::Copy { start, len }),
-                    DiffOp::Copy {
-                        start: s2,
-                        len: l2,
-                    },
-                ) if *start + *len == s2 => *len += l2,
+                (Some(DiffOp::Copy { start, len }), DiffOp::Copy { start: s2, len: l2 })
+                    if *start + *len == s2 =>
+                {
+                    *len += l2;
+                }
                 (Some(DiffOp::Insert(lines)), DiffOp::Insert(new_lines)) => {
-                    lines.extend(new_lines)
+                    lines.extend(new_lines);
                 }
                 (_, op) => ops.push(op),
             }
@@ -108,9 +106,7 @@ impl LineDiff {
             .iter()
             .map(|op| match op {
                 DiffOp::Copy { .. } => 16,
-                DiffOp::Insert(lines) => {
-                    16 + lines.iter().map(|l| l.len() + 1).sum::<usize>()
-                }
+                DiffOp::Insert(lines) => 16 + lines.iter().map(|l| l.len() + 1).sum::<usize>(),
             })
             .sum()
     }

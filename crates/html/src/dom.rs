@@ -41,8 +41,19 @@ pub struct Document {
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "img" | "br" | "hr" | "input" | "meta" | "link" | "area" | "base" | "col" | "embed"
-            | "source" | "track" | "wbr"
+        "img"
+            | "br"
+            | "hr"
+            | "input"
+            | "meta"
+            | "link"
+            | "area"
+            | "base"
+            | "col"
+            | "embed"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 

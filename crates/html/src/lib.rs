@@ -16,6 +16,7 @@
 //! * [`diff`] — the `DiffStorage` module of §10.5: store the initiator's
 //!   page in full and only line-level deltas for the other proxy responses.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;

@@ -259,7 +259,10 @@ mod tests {
         let doc = Document::parse(PAGE);
         let path = price_path(&doc);
         let notation = path.to_paper_notation();
-        assert!(notation.starts_with("Bottom, </html>, </body>"), "{notation}");
+        assert!(
+            notation.starts_with("Bottom, </html>, </body>"),
+            "{notation}"
+        );
         assert!(notation.ends_with(r#"<span class="price">"#), "{notation}");
     }
 

@@ -61,7 +61,9 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                     }
                     // Consume until `>` of the end tag.
                     let after = i + p;
-                    let gt = input[after..].find('>').map(|g| after + g + 1).unwrap_or(bytes.len());
+                    let gt = input[after..]
+                        .find('>')
+                        .map_or(bytes.len(), |g| after + g + 1);
                     tokens.push(Token::EndTag { name: raw_name });
                     i = gt;
                     raw_until = None;
@@ -76,24 +78,23 @@ pub fn tokenize(input: &str) -> Vec<Token> {
 
         if bytes[i] == b'<' {
             if input[i..].starts_with("<!--") {
-                let end = input[i + 4..].find("-->").map(|p| i + 4 + p + 3).unwrap_or(bytes.len());
+                let end = input[i + 4..]
+                    .find("-->")
+                    .map_or(bytes.len(), |p| i + 4 + p + 3);
                 tokens.push(Token::Comment);
                 i = end;
             } else if input[i..].len() >= 2 && (bytes[i + 1] == b'!' || bytes[i + 1] == b'?') {
-                let end = input[i..].find('>').map(|p| i + p + 1).unwrap_or(bytes.len());
+                let end = input[i..].find('>').map_or(bytes.len(), |p| i + p + 1);
                 tokens.push(Token::Doctype);
                 i = end;
             } else if bytes.get(i + 1) == Some(&b'/') {
-                let end = input[i..].find('>').map(|p| i + p).unwrap_or(bytes.len());
+                let end = input[i..].find('>').map_or(bytes.len(), |p| i + p);
                 let name = input[i + 2..end].trim().to_ascii_lowercase();
                 if !name.is_empty() {
                     tokens.push(Token::EndTag { name });
                 }
                 i = (end + 1).min(bytes.len());
-            } else if bytes
-                .get(i + 1)
-                .is_some_and(|b| b.is_ascii_alphabetic())
-            {
+            } else if bytes.get(i + 1).is_some_and(u8::is_ascii_alphabetic) {
                 let (tok, next) = lex_start_tag(input, i);
                 if let Token::StartTag {
                     ref name,
@@ -113,7 +114,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 i += 1;
             }
         } else {
-            let end = input[i..].find('<').map(|p| i + p).unwrap_or(bytes.len());
+            let end = input[i..].find('<').map_or(bytes.len(), |p| i + p);
             let text = decode_entities(&input[i..end]);
             if !text.trim().is_empty() {
                 tokens.push(Token::Text(text));
@@ -199,9 +200,7 @@ fn lex_start_tag(input: &str, start: usize) -> (Token, usize) {
                         i = (i + 1).min(bytes.len());
                     } else {
                         let v_start = i;
-                        while i < bytes.len()
-                            && !bytes[i].is_ascii_whitespace()
-                            && bytes[i] != b'>'
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
                         {
                             i += 1;
                         }
@@ -249,7 +248,8 @@ pub fn decode_entities(s: &str) -> String {
                     "pound" => Some('£'),
                     "yen" => Some('¥'),
                     _ => {
-                        if let Some(num) = ent.strip_prefix("#x").or_else(|| ent.strip_prefix("#X")) {
+                        if let Some(num) = ent.strip_prefix("#x").or_else(|| ent.strip_prefix("#X"))
+                        {
                             u32::from_str_radix(num, 16).ok().and_then(char::from_u32)
                         } else if let Some(num) = ent.strip_prefix('#') {
                             num.parse::<u32>().ok().and_then(char::from_u32)
@@ -300,8 +300,12 @@ mod tests {
                 start("html"),
                 start("body"),
                 Token::Text("hi".into()),
-                Token::EndTag { name: "body".into() },
-                Token::EndTag { name: "html".into() },
+                Token::EndTag {
+                    name: "body".into()
+                },
+                Token::EndTag {
+                    name: "html".into()
+                },
             ]
         );
     }
@@ -325,7 +329,10 @@ mod tests {
         let toks = tokenize(r#"<img src="p.jpg"/><br>"#);
         assert!(matches!(
             &toks[0],
-            Token::StartTag { self_closing: true, .. }
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
         ));
         assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "br"));
     }
@@ -343,7 +350,12 @@ mod tests {
         let toks = tokenize(r#"<script>if (a < b) { price = "<span>"; }</script><p>x</p>"#);
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "script"));
         assert!(matches!(&toks[1], Token::Text(t) if t.contains("a < b")));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
     }
 
     #[test]
@@ -353,13 +365,18 @@ mod tests {
         assert_eq!(decode_entities("&#36;10"), "$10");
         assert_eq!(decode_entities("&#x24;10"), "$10");
         assert_eq!(decode_entities("1&nbsp;234"), "1\u{a0}234");
-        assert_eq!(decode_entities("broken &unknown; stays"), "broken &unknown; stays");
+        assert_eq!(
+            decode_entities("broken &unknown; stays"),
+            "broken &unknown; stays"
+        );
     }
 
     #[test]
     fn stray_angle_brackets_survive() {
         let toks = tokenize("a < b");
-        assert!(toks.iter().any(|t| matches!(t, Token::Text(x) if x.contains('a'))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Text(x) if x.contains('a'))));
         // Must not panic, must terminate.
         let _ = tokenize("<<<>>><");
         let _ = tokenize("<span");

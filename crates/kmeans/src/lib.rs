@@ -15,6 +15,7 @@
 //!   Aggregator roles over the encrypted protocol in `sheriff-crypto`, with
 //!   optional multi-threaded distance evaluation (Fig. 8c).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod plain;
@@ -24,5 +25,7 @@ pub mod silhouette;
 
 pub use plain::{kmeans, KmeansConfig, KmeansResult};
 pub use private::{run_private, run_private_with_init, PrivateConfig, PrivateResult};
-pub use profile::{build_universe, density, profile_vector, to_unit_f64, RawHistory, UniverseStrategy};
+pub use profile::{
+    build_universe, density, profile_vector, to_unit_f64, RawHistory, UniverseStrategy,
+};
 pub use silhouette::{mean_silhouette, silhouette_samples};

@@ -97,8 +97,7 @@ pub fn kmeans<R: Rng + ?Sized>(
                         let db = sq_dist(b, &centroids[assignments[*j]]);
                         da.partial_cmp(&db).unwrap()
                     })
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
+                    .map_or(0, |(i, _)| i);
                 movement += sq_dist(&centroids[c], &points[far]);
                 centroids[c] = points[far].clone();
                 continue;
@@ -143,10 +142,7 @@ pub fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 fn kmeanspp_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let idx = if total <= f64::EPSILON {
@@ -220,7 +216,11 @@ mod tests {
                 .collect();
             assert_eq!(cluster_ids.len(), 1, "blob {blob} split across clusters");
         }
-        assert!(res.inertia < 90.0 * 1.0, "inertia too high: {}", res.inertia);
+        assert!(
+            res.inertia < 90.0 * 1.0,
+            "inertia too high: {}",
+            res.inertia
+        );
     }
 
     #[test]

@@ -289,9 +289,7 @@ pub fn run_private_with_init<R: Rng + ?Sized>(
     let m = points[0].len();
     assert!(points.iter().all(|p| p.len() == m), "inconsistent dims");
     assert!(
-        points
-            .iter()
-            .all(|p| p.iter().all(|&x| x <= cfg.scale)),
+        points.iter().all(|p| p.iter().all(|&x| x <= cfg.scale)),
         "point off the quantized grid"
     );
 
@@ -349,10 +347,7 @@ pub fn reference_integer_kmeans(
     let mut iterations = 0;
     for it in 0..max_iters {
         iterations = it + 1;
-        let new_asg: Vec<usize> = points
-            .iter()
-            .map(|p| nearest_int(p, &centroids))
-            .collect();
+        let new_asg: Vec<usize> = points.iter().map(|p| nearest_int(p, &centroids)).collect();
         let changed = new_asg
             .iter()
             .zip(&assignments)
@@ -456,7 +451,8 @@ mod tests {
             threads,
         };
         let mut rng1 = StdRng::seed_from_u64(72);
-        let seq = run_private_with_init(&params, &points, &mk_cfg(1), Some(init.clone()), &mut rng1);
+        let seq =
+            run_private_with_init(&params, &points, &mk_cfg(1), Some(init.clone()), &mut rng1);
         let mut rng2 = StdRng::seed_from_u64(73);
         let par = run_private_with_init(&params, &points, &mk_cfg(3), Some(init), &mut rng2);
         // Blinding randomness differs but results are deterministic given
@@ -494,7 +490,10 @@ mod tests {
                 separated += 1;
             }
         }
-        assert!(separated >= 7, "only {separated}/10 restarts separated the groups");
+        assert!(
+            separated >= 7,
+            "only {separated}/10 restarts separated the groups"
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ pub fn build_universe(
             let mut ranked: Vec<(&str, u64)> = totals.into_iter().collect();
             // Sort by count desc, then name for determinism.
             ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
-            ranked.into_iter().take(m).map(|(d, _)| d.to_string()).collect()
+            ranked
+                .into_iter()
+                .take(m)
+                .map(|(d, _)| d.to_string())
+                .collect()
         }
     }
 }
@@ -93,11 +97,7 @@ pub fn build_universe(
 /// Returns the all-zero vector for a user with no visits inside the
 /// universe.
 pub fn profile_vector(history: &RawHistory, universe: &[String], scale: u64) -> Vec<u64> {
-    let max = universe
-        .iter()
-        .map(|d| history.count(d))
-        .max()
-        .unwrap_or(0);
+    let max = universe.iter().map(|d| history.count(d)).max().unwrap_or(0);
     if max == 0 {
         return vec![0; universe.len()];
     }
@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn alexa_universe_is_ranking_prefix() {
-        let ranking: Vec<String> = ["g.com", "y.com", "f.com"].iter().map(|s| s.to_string()).collect();
+        let ranking: Vec<String> = ["g.com", "y.com", "f.com"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let u = build_universe(&[], &ranking, UniverseStrategy::AlexaTop, 2);
         assert_eq!(u, vec!["g.com".to_string(), "y.com".to_string()]);
     }
@@ -181,7 +184,10 @@ mod tests {
 
     #[test]
     fn profile_vector_normalizes_to_scale() {
-        let universe: Vec<String> = ["a.com", "b.com", "c.com"].iter().map(|s| s.to_string()).collect();
+        let universe: Vec<String> = ["a.com", "b.com", "c.com"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let hist = h(&[("a.com", 8), ("b.com", 4), ("x.com", 100)]);
         // x.com is outside the universe, so a.com (8) is the max.
         let v = profile_vector(&hist, &universe, 16);

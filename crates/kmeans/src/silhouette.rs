@@ -93,12 +93,7 @@ mod tests {
     #[test]
     fn bad_clustering_scores_negative() {
         // Swap labels so each point sits in the wrong cluster.
-        let pts = vec![
-            vec![0.0],
-            vec![0.1],
-            vec![100.0],
-            vec![100.1],
-        ];
+        let pts = vec![vec![0.0], vec![0.1], vec![100.0], vec![100.1]];
         let asg = vec![0, 1, 1, 0];
         let s = mean_silhouette(&pts, &asg, 2);
         assert!(s < 0.0, "got {s}");
@@ -122,7 +117,9 @@ mod tests {
 
     #[test]
     fn scores_bounded() {
-        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let asg: Vec<usize> = (0..20).map(|i| i % 4).collect();
         for s in silhouette_samples(&pts, &asg, 4) {
             assert!((-1.0..=1.0).contains(&s), "out of bounds: {s}");

@@ -13,10 +13,7 @@ use sheriff_kmeans::{
 };
 
 fn arb_points(max_n: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.0f64..10.0, dims),
-        1..max_n,
-    )
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, dims), 1..max_n)
 }
 
 proptest! {

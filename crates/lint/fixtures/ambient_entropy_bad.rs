@@ -1,0 +1,14 @@
+//! Fixture: ambient entropy. Must trip `ambient-entropy` exactly three
+//! times (thread_rng, from_entropy, OsRng) and nothing else.
+
+use rand::rngs::OsRng;
+use rand::Rng;
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn seeded_from_nowhere() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

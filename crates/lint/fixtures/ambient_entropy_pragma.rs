@@ -1,0 +1,15 @@
+//! Fixture: ambient entropy, suppressed per line. Must produce zero
+//! findings.
+
+use rand::rngs::OsRng; // sheriff-lint: allow(ambient-entropy) — key generation demo only
+use rand::Rng;
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // sheriff-lint: allow(ambient-entropy) — throwaway example
+    rng.gen()
+}
+
+fn seeded_from_nowhere() -> rand::rngs::StdRng {
+    // sheriff-lint: allow(ambient-entropy) — documented escape hatch
+    rand::rngs::StdRng::from_entropy()
+}

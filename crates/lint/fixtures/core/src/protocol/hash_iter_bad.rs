@@ -1,0 +1,19 @@
+//! Fixture: hash containers in order-sensitive code (the path places
+//! this under `core/src/protocol/`). Must trip `hash-iter` exactly
+//! twice and nothing else — note: no unwrap/expect/indexing, since the
+//! `no-panic-protocol` rule also applies on this path.
+
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    jobs: HashMap<u64, String>,
+    seen: HashSet<u64>,
+}
+
+impl Table {
+    fn emit(&self, out: &mut Vec<String>) {
+        for (_, v) in &self.jobs {
+            out.push(v.clone());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: hash containers, suppressed per line. Must produce zero
+//! findings.
+
+// sheriff-lint: allow(hash-iter) — never iterated, keys drained in sorted order below
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    jobs: HashMap<u64, String>, // sheriff-lint: allow(hash-iter) — drained via sorted key list
+    seen: HashSet<u64>,         // sheriff-lint: allow(hash-iter) — membership checks only
+}
+
+impl Table {
+    fn emit(&self, out: &mut Vec<String>) {
+        let mut keys: Vec<u64> = self.jobs.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            if let Some(v) = self.jobs.get(&k) {
+                out.push(v.clone());
+            }
+        }
+    }
+}

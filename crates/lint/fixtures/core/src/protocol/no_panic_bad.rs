@@ -1,0 +1,22 @@
+//! Fixture: panics in protocol code (the path places this under
+//! `core/src/protocol/`). Must trip `no-panic-protocol` exactly five
+//! times — unwrap, expect, panic!, unreachable!, and one index
+//! expression — and nothing else.
+
+struct Machine {
+    slots: Vec<u64>,
+}
+
+impl Machine {
+    fn step(&mut self, input: Option<u64>, selector: usize) -> u64 {
+        let value = input.unwrap();
+        let first = self.slots.first().expect("at least one slot");
+        if selector > self.slots.len() {
+            panic!("selector out of range");
+        }
+        if *first == u64::MAX {
+            unreachable!();
+        }
+        self.slots[selector] + value
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: malformed metric names. Must trip `telemetry-naming`
+//! exactly three times and nothing else.
+
+use std::sync::Arc;
+
+fn register(registry: &Arc<Registry>) {
+    let jobs = registry.counter("jobs");
+    let depth = registry.gauge("Coordinator.Depth");
+    let lat = registry.histogram("fanout latency", &[1.0, 10.0]);
+    let fine = registry.counter("coordinator.requests_total");
+}

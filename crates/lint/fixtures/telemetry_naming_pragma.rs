@@ -1,0 +1,12 @@
+//! Fixture: malformed metric names, suppressed per line. Must produce
+//! zero findings.
+
+use std::sync::Arc;
+
+fn register(registry: &Arc<Registry>) {
+    let jobs = registry.counter("jobs"); // sheriff-lint: allow(telemetry-naming) — legacy dashboard key
+    // sheriff-lint: allow(telemetry-naming) — mirrors an external exporter's casing
+    let depth = registry.gauge("Coordinator.Depth");
+    let lat = registry.histogram("fanout latency", &[1.0, 10.0]); // sheriff-lint: allow(telemetry-naming) — grandfathered
+    let fine = registry.counter("coordinator.requests_total");
+}

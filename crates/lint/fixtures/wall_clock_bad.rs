@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads outside a sanctioned adapter. Must trip
+//! `wall-clock` exactly four times (the `SystemTime` in the import, the
+//! `Instant::now()` call, and two more `SystemTime` mentions) and
+//! nothing else.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed_wall() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::UNIX_EPOCH
+}

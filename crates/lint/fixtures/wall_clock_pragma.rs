@@ -1,0 +1,15 @@
+//! Fixture: the same wall-clock reads, each suppressed with a pragma
+//! and a justification. Must produce zero findings.
+
+use std::time::{Instant, SystemTime}; // sheriff-lint: allow(wall-clock) — import for the adapter below
+
+fn elapsed_wall() -> u128 {
+    let start = Instant::now(); // sheriff-lint: allow(wall-clock) — adapter boundary, maps real time to virtual ms
+    start.elapsed().as_millis()
+}
+
+// sheriff-lint: allow(wall-clock) — constant epoch, not a clock read
+fn epoch() -> SystemTime {
+    // sheriff-lint: allow(wall-clock) — constant, not a clock read
+    SystemTime::UNIX_EPOCH
+}

@@ -1,0 +1,69 @@
+//! The allowlist: where each rule does *not* apply, and why.
+//!
+//! Matching is by normalized-path substring (`/` separators), so the
+//! tables work whether the analyzer is handed `crates`, an absolute
+//! path, or a single file. Additions here are policy changes — every
+//! entry needs a justification in DESIGN.md "Static analysis &
+//! invariants", and shrinking a scope should be treated like deleting
+//! a test.
+
+/// Directory names never descended into during a walk. `fixtures` keeps
+/// the linter's own known-bad corpus out of the clean-tree gate; the
+/// self-tests point at those files explicitly, which bypasses the walk.
+pub const SKIP_DIR_NAMES: &[&str] = &["vendor", "target", "fixtures", ".git"];
+
+/// Files sanctioned to read the wall clock. `wire/src/deploy.rs` is the
+/// TCP adapter — the one place virtual milliseconds are *produced* from
+/// real elapsed time. Bench and experiment binaries measure their own
+/// runtime by design.
+pub const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/wire/src/deploy.rs",
+    "crates/bench/",
+    "crates/experiments/src/bin/",
+    "examples/",
+];
+
+/// Order-sensitive subsystems: anything that emits protocol commands or
+/// schedules deliveries, where container iteration order can leak into
+/// the observable event sequence.
+pub const HASH_ITER_SCOPE: &[&str] = &[
+    "core/src/protocol/",
+    "core/src/system.rs",
+    "core/src/coordinator.rs",
+    "netsim/src/",
+];
+
+/// The sans-IO protocol machines: under chaos schedules they must
+/// degrade (drop, requeue, re-admit), never crash the driver.
+pub const NO_PANIC_SCOPE: &[&str] = &["core/src/protocol/"];
+
+/// Path fragments marking whole files as test/bench code.
+pub const TEST_TREE_MARKERS: &[&str] = &["/tests/", "/benches/", "examples/"];
+
+/// True when `path` contains any of the fragments.
+pub fn matches_any(path: &str, fragments: &[&str]) -> bool {
+    fragments.iter().any(|f| path.contains(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_matching_is_root_agnostic() {
+        assert!(matches_any("crates/wire/src/deploy.rs", WALL_CLOCK_ALLOWED));
+        assert!(matches_any(
+            "/abs/repo/crates/wire/src/deploy.rs",
+            WALL_CLOCK_ALLOWED
+        ));
+        assert!(!matches_any("crates/wire/src/frame.rs", WALL_CLOCK_ALLOWED));
+        assert!(matches_any(
+            "crates/core/src/protocol/peer.rs",
+            NO_PANIC_SCOPE
+        ));
+        assert!(matches_any(
+            "crates/core/tests/chaos_soak.rs",
+            TEST_TREE_MARKERS
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! A minimal Rust lexer — just enough structure for token-level lints.
+//!
+//! The goal is *not* to parse Rust. The rules in [`crate::rules`] only
+//! need to know, for every position in a source file: is this an
+//! identifier (and which), a string literal (and its text), a comment
+//! (pragmas live there), or punctuation — plus the line it sits on.
+//! Everything subtle that a real lexer must get right to avoid
+//! misclassifying those four categories *is* handled: nested block
+//! comments, raw strings with arbitrary `#` fences, byte/char literals,
+//! and the lifetime-vs-char-literal ambiguity.
+
+/// What a token is, at the resolution the lints need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`text` holds it).
+    Ident,
+    /// String literal of any flavor (`text` holds the unquoted body,
+    /// escapes left as written).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `// ...` comment (`text` holds everything after the slashes).
+    LineComment,
+    /// `/* ... */` comment (possibly nested).
+    BlockComment,
+    /// Any single punctuation character (`text` holds it).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Payload for `Ident`/`Str`/`LineComment`/`Punct`; empty otherwise.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token spelling exactly `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True for a punctuation token spelling exactly `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src` into a flat token stream. Whitespace is dropped; comments
+/// are kept (pragma parsing reads them). Invalid input never panics —
+/// unknown bytes come out as `Punct` and scanning continues, which is
+/// the right degradation for a linter.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        let at_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[start..j].iter().collect(),
+                    line: at_line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: String::new(),
+                    line: at_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (text, j, nl) = cooked_string(&b, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: at_line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_string(&b, i) => {
+                let (kind, text, j, nl) = prefixed_string(&b, i);
+                toks.push(Tok {
+                    kind,
+                    text,
+                    line: at_line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime when an ident follows and no closing quote
+                // does (`'a`, `'static`); char literal otherwise.
+                if i + 1 < n && ident_start(b[i + 1]) && !(i + 2 < n && b[i + 2] == '\'') {
+                    let mut j = i + 1;
+                    while j < n && ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line: at_line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < n && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: at_line,
+                    });
+                    i = (j + 1).min(n);
+                }
+            }
+            c if ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line: at_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n
+                    && (ident_cont(b[j])
+                        || (b[j] == '.'
+                            && j + 1 < n
+                            && b[j + 1].is_ascii_digit()
+                            && b[j - 1] != '.'))
+                {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line: at_line,
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: at_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// True at `i` when `r"`, `r#"`, `b"`, `br"`, `br#"` … starts here —
+/// i.e. the `r`/`b` is a string prefix, not an identifier.
+fn starts_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == 'r' {
+            j += 1;
+        }
+    } else {
+        // 'r'
+        j += 1;
+    }
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    j < n && b[j] == '"' && !(i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_'))
+}
+
+/// Lexes a cooked (escaped) string body starting just after the opening
+/// quote. Returns `(body, next_index, newlines_consumed)`.
+fn cooked_string(b: &[char], start: usize) -> (String, usize, u32) {
+    let n = b.len();
+    let mut j = start;
+    let mut nl = 0u32;
+    while j < n && b[j] != '"' {
+        if b[j] == '\\' {
+            j += 1;
+        }
+        if j < n && b[j] == '\n' {
+            nl += 1;
+        }
+        j += 1;
+    }
+    (b[start..j.min(n)].iter().collect(), (j + 1).min(n), nl)
+}
+
+/// Lexes a raw/byte string starting at its `r`/`b` prefix. Returns
+/// `(kind, body, next_index, newlines_consumed)`.
+fn prefixed_string(b: &[char], i: usize) -> (TokKind, String, usize, u32) {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < n && b[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut fence = 0usize;
+    while j < n && b[j] == '#' {
+        fence += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    let mut nl = 0u32;
+    if raw {
+        'scan: while j < n {
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            if b[j] == '"' {
+                let mut k = 0usize;
+                while k < fence && j + 1 + k < n && b[j + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == fence {
+                    break 'scan;
+                }
+            }
+            j += 1;
+        }
+        let body: String = b[start..j.min(n)].iter().collect();
+        (TokKind::Str, body, (j + 1 + fence).min(n), nl)
+    } else {
+        let (body, next, nl) = cooked_string(b, start);
+        (TokKind::Str, body, next, nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_puncts() {
+        let toks = kinds(r#"let x = registry.counter("a.b");"#);
+        assert!(toks.contains(&(TokKind::Ident, "counter".into())));
+        assert!(toks.contains(&(TokKind::Str, "a.b".into())));
+        assert!(toks.contains(&(TokKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn comments_do_not_hide_following_code() {
+        let toks = lex("// HashMap in a comment\nlet m = HashMap::new();");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("HashMap"));
+        let ident = toks.iter().find(|t| t.is_ident("HashMap")).unwrap();
+        assert_eq!(ident.line, 2);
+    }
+
+    #[test]
+    fn strings_are_not_idents() {
+        let toks = kinds(r#"let s = "thread_rng unwrap HashMap";"#);
+        assert!(!toks.contains(&(TokKind::Ident, "thread_rng".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_fences() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let t = x;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, v)| *k == TokKind::Str && v.contains("quote")));
+        assert!(toks.contains(&(TokKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ after");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let src = "/* a\nb */\nfn f() {}\n\"x\ny\"\nlast";
+        let toks = lex(src);
+        let last = toks.iter().find(|t| t.is_ident("last")).unwrap();
+        assert_eq!(last.line, 6);
+    }
+}

@@ -1,0 +1,100 @@
+#![forbid(unsafe_code)]
+//! `sheriff-lint` — a workspace invariant checker that statically
+//! enforces the determinism contract.
+//!
+//! The reproduction's central promise — same seed + same world ⇒
+//! identical observations on the DES and TCP backends — rests on
+//! invariants the Rust compiler cannot see: no wall-clock reads outside
+//! the TCP adapter, no ambient entropy anywhere, no hash-order
+//! iteration where order leaks into command emission, no panics in the
+//! protocol machines, and metric names that the panel/exporter joins
+//! can rely on. The parity and chaos tests enforce all of this
+//! *dynamically*, but only for the seeds they run; a latent
+//! `Instant::now()` can hide until a rare schedule exposes it. This
+//! crate enforces the same contract *statically*, over every line, on
+//! every CI run.
+//!
+//! Deliberately dependency-free and token-level: see [`rules`] for the
+//! five rules, [`config`] for the sanctioned-boundary allowlist, and
+//! the fixture corpus under `fixtures/` for one known-bad and one
+//! pragma-suppressed specimen per rule. Suppression is per-line:
+//!
+//! ```text
+//! let t = Instant::now(); // sheriff-lint: allow(wall-clock) — adapter boundary
+//! ```
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use rules::{check_file, Finding, Rule, ALL_RULES};
+
+/// Analyzes a file or directory tree. Directories are walked in sorted
+/// order, descending into everything except [`config::SKIP_DIR_NAMES`];
+/// only `.rs` files are read. A path given explicitly is always
+/// scanned, even when a walk would have skipped it — that is how the
+/// self-tests reach the `fixtures/` corpus.
+pub fn analyze_path(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    if root.is_dir() {
+        walk(root, &mut findings)?;
+    } else {
+        scan(root, &mut findings)?;
+    }
+    Ok(findings)
+}
+
+fn walk(dir: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if config::SKIP_DIR_NAMES.contains(&name) {
+                continue;
+            }
+            walk(&path, findings)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            scan(&path, findings)?;
+        }
+    }
+    Ok(())
+}
+
+fn scan(path: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let src = fs::read_to_string(path)?;
+    findings.extend(check_file(&path.to_string_lossy(), &src));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_skips_vendor_and_fixture_dirs() {
+        // The crate's own fixtures directory is full of violations by
+        // construction; a walk over the crate must not see them.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let findings = analyze_path(here).unwrap();
+        assert!(
+            findings.is_empty(),
+            "linter source tree should be clean: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_fixture_path_is_scanned() {
+        let bad = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/wall_clock_bad.rs");
+        let findings = analyze_path(&bad).unwrap();
+        assert!(!findings.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+#![forbid(unsafe_code)]
+//! CLI: `sheriff-lint [--list-rules] <path>...`
+//!
+//! Exits 0 when every given tree is clean, 1 when any finding is
+//! reported, 2 on usage or I/O errors. `ci.sh` runs it over `crates`
+//! as a named stage.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use sheriff_lint::{analyze_path, ALL_RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in ALL_RULES {
+            println!("{:<18} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    let mut findings = Vec::new();
+    for arg in &args {
+        match analyze_path(Path::new(arg)) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("sheriff-lint: {arg}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!(
+            "sheriff-lint: clean ({} rules over {})",
+            ALL_RULES.len(),
+            args.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sheriff-lint: {} finding(s)", findings.len());
+        ExitCode::from(1)
+    }
+}
+
+fn usage() {
+    eprintln!("usage: sheriff-lint [--list-rules] <path>...");
+    eprintln!("       checks .rs files for determinism-contract violations");
+}

@@ -1,0 +1,72 @@
+//! The linter's self-test corpus: each known-bad fixture must trip
+//! exactly its own rule (right count, no bleed into other rules), and
+//! each pragma-suppressed twin must pass clean.
+
+use std::path::PathBuf;
+
+use sheriff_lint::{analyze_path, Rule};
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rel)
+}
+
+fn check_bad(rel: &str, rule: Rule, expected: usize) {
+    let findings = analyze_path(&fixture(rel)).expect("fixture readable");
+    assert_eq!(
+        findings.len(),
+        expected,
+        "{rel}: wrong finding count: {findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(f.rule, rule, "{rel}: bled into another rule: {f}");
+        assert!(f.line > 0);
+    }
+}
+
+fn check_clean(rel: &str) {
+    let findings = analyze_path(&fixture(rel)).expect("fixture readable");
+    assert!(
+        findings.is_empty(),
+        "{rel}: should be suppressed: {findings:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_trips_only_wall_clock() {
+    check_bad("wall_clock_bad.rs", Rule::WallClock, 4);
+}
+
+#[test]
+fn ambient_entropy_fixture_trips_only_ambient_entropy() {
+    check_bad("ambient_entropy_bad.rs", Rule::AmbientEntropy, 3);
+}
+
+#[test]
+fn hash_iter_fixture_trips_only_hash_iter() {
+    check_bad("core/src/protocol/hash_iter_bad.rs", Rule::HashIter, 4);
+}
+
+#[test]
+fn no_panic_fixture_trips_only_no_panic() {
+    check_bad(
+        "core/src/protocol/no_panic_bad.rs",
+        Rule::NoPanicProtocol,
+        5,
+    );
+}
+
+#[test]
+fn telemetry_naming_fixture_trips_only_telemetry_naming() {
+    check_bad("telemetry_naming_bad.rs", Rule::TelemetryNaming, 3);
+}
+
+#[test]
+fn pragma_suppressed_twins_all_pass() {
+    check_clean("wall_clock_pragma.rs");
+    check_clean("ambient_entropy_pragma.rs");
+    check_clean("core/src/protocol/hash_iter_pragma.rs");
+    check_clean("core/src/protocol/no_panic_pragma.rs");
+    check_clean("telemetry_naming_pragma.rs");
+}

@@ -175,7 +175,9 @@ mod tests {
         jar.set("tracker.example", c("uid", "9"));
         let added = jar.added_since(&before);
         assert_eq!(added.len(), 2);
-        assert!(added.iter().any(|(d, ck)| d == "shop.com" && ck.name == "viewed"));
+        assert!(added
+            .iter()
+            .any(|(d, ck)| d == "shop.com" && ck.name == "viewed"));
         // Value change counts as added (must be cleaned too).
         jar.set("shop.com", c("session", "polluted"));
         assert!(jar

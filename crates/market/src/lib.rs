@@ -25,6 +25,7 @@
 //! ad blocks) are driven by split-mix hashes of stable identifiers, never by
 //! shared mutable RNG state.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bot;

@@ -29,10 +29,8 @@ pub enum PriceFormat {
 /// Formats `amount` of `currency` per `format`, respecting the currency's
 /// customary decimal count (JPY/KRW print none).
 pub fn format_price(amount: f64, currency: &str, format: PriceFormat) -> String {
-    let decimals = sheriff_currency::CurrencyCatalog::by_iso(currency)
-        .map_or(2, |c| c.decimals);
-    let symbol = sheriff_currency::CurrencyCatalog::by_iso(currency)
-        .map_or("", |c| c.symbol);
+    let decimals = sheriff_currency::CurrencyCatalog::by_iso(currency).map_or(2, |c| c.decimals);
+    let symbol = sheriff_currency::CurrencyCatalog::by_iso(currency).map_or("", |c| c.symbol);
     match format {
         PriceFormat::CodeConcat => {
             format!("{currency}{}", group_us(amount, decimals))
@@ -69,7 +67,12 @@ fn group_us(amount: f64, decimals: u8) -> String {
     if decimals == 0 {
         group_digits(int, ',')
     } else {
-        format!("{}.{:0width$}", group_digits(int, ','), frac, width = decimals as usize)
+        format!(
+            "{}.{:0width$}",
+            group_digits(int, ','),
+            frac,
+            width = decimals as usize
+        )
     }
 }
 
@@ -81,7 +84,12 @@ fn group_eu(amount: f64, decimals: u8) -> String {
     if decimals == 0 {
         group_digits(int, '.')
     } else {
-        format!("{},{:0width$}", group_digits(int, '.'), frac, width = decimals as usize)
+        format!(
+            "{},{:0width$}",
+            group_digits(int, '.'),
+            frac,
+            width = decimals as usize
+        )
     }
 }
 
@@ -145,9 +153,21 @@ pub fn render(spec: &PageSpec<'_>) -> String {
     html.push_str("</head>\n<body>\n");
     html.push_str("<nav class=\"site-nav\">\n");
     for section in [
-        "home", "new-arrivals", "clothing", "electronics", "books", "games",
-        "cosmetics", "jewelry", "household", "furniture", "sale", "gift-cards",
-        "stores", "help", "account",
+        "home",
+        "new-arrivals",
+        "clothing",
+        "electronics",
+        "books",
+        "games",
+        "cosmetics",
+        "jewelry",
+        "household",
+        "furniture",
+        "sale",
+        "gift-cards",
+        "stores",
+        "help",
+        "account",
     ] {
         html.push_str(&format!(
             "<a class=\"nav-item nav-{section}\" href=\"/{section}\">{section}</a>\n"
@@ -216,10 +236,21 @@ pub fn render(spec: &PageSpec<'_>) -> String {
 
     html.push_str("<footer class=\"site-footer\">\n");
     for line in [
-        "About us", "Careers", "Press", "Investors", "Sustainability",
-        "Shipping &amp; returns", "Size guides", "Contact", "Privacy policy",
-        "Terms of service", "Cookie settings", "Accessibility statement",
-        "Store locator", "Gift registry", "Affiliate program",
+        "About us",
+        "Careers",
+        "Press",
+        "Investors",
+        "Sustainability",
+        "Shipping &amp; returns",
+        "Size guides",
+        "Contact",
+        "Privacy policy",
+        "Terms of service",
+        "Cookie settings",
+        "Accessibility statement",
+        "Store locator",
+        "Gift registry",
+        "Affiliate program",
     ] {
         html.push_str(&format!("<div class=\"footer-line\">{line}</div>\n"));
     }
@@ -241,7 +272,9 @@ pub fn render_captcha(domain: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -362,9 +395,7 @@ mod tests {
         let count = doc
             .descendants(doc.root())
             .into_iter()
-            .filter(|&id| {
-                doc.name(id) == Some(tag) && doc.attr(id, "class") == Some(class)
-            })
+            .filter(|&id| doc.name(id) == Some(tag) && doc.attr(id, "class") == Some(class))
             .count();
         assert_eq!(count, 2);
     }

@@ -363,7 +363,10 @@ mod tests {
         let mut c = ctx(&jar, Country::ES, 0, 0);
         assert_eq!(s.apply(100.0, &p, &c, 7), 100.0);
         c.logged_in = true;
-        assert!((s.apply(100.0, &p, &c, 7) - 121.0).abs() < 1e-9, "ES standard VAT 21%");
+        assert!(
+            (s.apply(100.0, &p, &c, 7) - 121.0).abs() < 1e-9,
+            "ES standard VAT 21%"
+        );
     }
 
     #[test]
@@ -425,7 +428,10 @@ mod tests {
         assert!((priced - 108.0).abs() < 1e-9);
         // Clean profile: no markup.
         let clean = CookieJar::new();
-        assert_eq!(s.apply(100.0, &p, &ctx(&clean, Country::ES, 0, 0), 7), 100.0);
+        assert_eq!(
+            s.apply(100.0, &p, &ctx(&clean, Country::ES, 0, 0), 7),
+            100.0
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ mod tests {
         let cat = generate_catalog(100, ProductCategory::Clothing, &mut rng);
         assert_eq!(cat.len(), 100);
         for p in &cat {
-            assert!(p.base_price_eur >= 3.0 && p.base_price_eur <= 50_000.0, "{p:?}");
+            assert!(
+                p.base_price_eur >= 3.0 && p.base_price_eur <= 50_000.0,
+                "{p:?}"
+            );
             assert!((0.0..=1.0).contains(&p.popularity));
         }
     }
@@ -150,7 +153,9 @@ mod tests {
         };
         let path = p.url_path();
         assert!(path.starts_with("/product/7-"));
-        assert!(path.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '/'));
+        assert!(path
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '/'));
     }
 
     #[test]

@@ -152,8 +152,8 @@ impl Retailer {
             .unwrap_or(price_eur);
         // Re-round in the quoted currency (what the site actually prints),
         // then recompute the EUR ground truth from the printed amount.
-        let decimals = sheriff_currency::CurrencyCatalog::by_iso(currency)
-            .map_or(2, |c| c.decimals);
+        let decimals =
+            sheriff_currency::CurrencyCatalog::by_iso(currency).map_or(2, |c| c.decimals);
         let scale = 10f64.powi(i32::from(decimals));
         let price_quoted = (price_quoted * scale).round() / scale;
         let shown_eur = rates
@@ -168,8 +168,8 @@ impl Retailer {
                 if self.products.len() < 2 {
                     return None;
                 }
-                let pick = hash_mix(&[self.salt, u64::from(id.0), k, 0x5c])
-                    % self.products.len() as u64;
+                let pick =
+                    hash_mix(&[self.salt, u64::from(id.0), k, 0x5c]) % self.products.len() as u64;
                 let other = &self.products[pick as usize];
                 if other.id == id {
                     return None;
@@ -359,7 +359,10 @@ mod tests {
     fn country_multiplier_shows_in_fetch() {
         let mut factors = BTreeMap::new();
         factors.insert("JP".to_string(), 2.0);
-        let r = retailer(vec![PricingStrategy::CountryMultiplier { factors, dampen_expensive: false }]);
+        let r = retailer(vec![PricingStrategy::CountryMultiplier {
+            factors,
+            dampen_expensive: false,
+        }]);
         let jar = CookieJar::new();
         let es = r.price_eur(ProductId(1), &ctx(&jar, Country::ES)).unwrap();
         let jp = r.price_eur(ProductId(1), &ctx(&jar, Country::JP)).unwrap();

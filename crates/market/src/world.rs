@@ -107,7 +107,11 @@ impl World {
                 rng.gen::<f64>() < 0.5,
                 random_format(&mut rng),
                 rng.gen_range(0..5),
-                generate_catalog(cfg.products_per_retailer, random_category(&mut rng), &mut rng),
+                generate_catalog(
+                    cfg.products_per_retailer,
+                    random_category(&mut rng),
+                    &mut rng,
+                ),
                 vec![PricingStrategy::CountryMultiplier {
                     factors,
                     dampen_expensive: true,
@@ -125,7 +129,11 @@ impl World {
                 rng.gen::<f64>() < 0.5,
                 random_format(&mut rng),
                 rng.gen_range(0..5),
-                generate_catalog(cfg.products_per_retailer, random_category(&mut rng), &mut rng),
+                generate_catalog(
+                    cfg.products_per_retailer,
+                    random_category(&mut rng),
+                    &mut rng,
+                ),
                 vec![],
                 vec![Tracker::by_index(rng.gen_range(0..8))],
                 None,
@@ -136,12 +144,16 @@ impl World {
         // variation among them), but busy sites with bot defenses.
         for i in 0..cfg.n_alexa {
             retailers.push(Retailer::new(
-                &format!("alexa-{:03}.example", i),
+                &format!("alexa-{i:03}.example"),
                 random_country(&mut rng),
                 true,
                 random_format(&mut rng),
                 rng.gen_range(0..5),
-                generate_catalog(cfg.products_per_retailer, random_category(&mut rng), &mut rng),
+                generate_catalog(
+                    cfg.products_per_retailer,
+                    random_category(&mut rng),
+                    &mut rng,
+                ),
                 vec![],
                 vec![Tracker::by_index(rng.gen_range(0..8))],
                 Some(BotDetector::new(60_000, 120)),
@@ -199,7 +211,11 @@ impl World {
     pub fn within_country_domains(&self) -> Vec<&str> {
         self.retailers
             .iter()
-            .filter(|r| r.strategies.iter().any(|s| s.within_country_varying()))
+            .filter(|r| {
+                r.strategies
+                    .iter()
+                    .any(super::pricing::PricingStrategy::within_country_varying)
+            })
             .map(|r| r.domain.as_str())
             .collect()
     }
@@ -208,7 +224,11 @@ impl World {
     pub fn pdipd_domains(&self) -> Vec<&str> {
         self.retailers
             .iter()
-            .filter(|r| r.strategies.iter().any(|s| s.personal_data_driven()))
+            .filter(|r| {
+                r.strategies
+                    .iter()
+                    .any(super::pricing::PricingStrategy::personal_data_driven)
+            })
             .map(|r| r.domain.as_str())
             .collect()
     }
@@ -251,10 +271,7 @@ fn random_format(rng: &mut StdRng) -> PriceFormat {
 /// Multiplicative factor maps for the named domains, shaped to the paper's
 /// Table 3 / Fig. 9 observations.
 fn factor_map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
-    pairs
-        .iter()
-        .map(|(c, f)| (c.to_string(), *f))
-        .collect()
+    pairs.iter().map(|(c, f)| (c.to_string(), *f)).collect()
 }
 
 fn named_case_studies(rng: &mut StdRng, out: &mut Vec<Retailer>) {
@@ -372,13 +389,43 @@ fn named_case_studies(rng: &mut StdRng, out: &mut Vec<Retailer>) {
 
     // Other Table 3 / Fig. 9 domains with moderate spreads.
     for (domain, home, cat, top_factor) in [
-        ("overstock.com", Country::US, ProductCategory::Household, 1.48),
-        ("suitsupply.com", Country::NL, ProductCategory::Clothing, 2.08),
-        ("aeropostale.com", Country::US, ProductCategory::Clothing, 2.16),
-        ("raffaello-network.com", Country::IT, ProductCategory::Accessories, 2.03),
-        ("bookdepository.com", Country::GB, ProductCategory::Books, 2.03),
+        (
+            "overstock.com",
+            Country::US,
+            ProductCategory::Household,
+            1.48,
+        ),
+        (
+            "suitsupply.com",
+            Country::NL,
+            ProductCategory::Clothing,
+            2.08,
+        ),
+        (
+            "aeropostale.com",
+            Country::US,
+            ProductCategory::Clothing,
+            2.16,
+        ),
+        (
+            "raffaello-network.com",
+            Country::IT,
+            ProductCategory::Accessories,
+            2.03,
+        ),
+        (
+            "bookdepository.com",
+            Country::GB,
+            ProductCategory::Books,
+            2.03,
+        ),
         ("anntaylor.com", Country::US, ProductCategory::Clothing, 4.2),
-        ("tuscanyleather.it", Country::IT, ProductCategory::Accessories, 1.9),
+        (
+            "tuscanyleather.it",
+            Country::IT,
+            ProductCategory::Accessories,
+            1.9,
+        ),
     ] {
         let mut factors = BTreeMap::new();
         for c in Country::all() {
@@ -484,17 +531,9 @@ fn named_case_studies(rng: &mut StdRng, out: &mut Vec<Retailer>) {
                 amplitude: 0.0,
                 arms: 5,
                 sticky: false,
-                country_amplitude: factor_map(&[
-                    ("ES", 0.025),
-                    ("GB", 0.025),
-                    ("DE", 0.02),
-                ]),
+                country_amplitude: factor_map(&[("ES", 0.025), ("GB", 0.025), ("DE", 0.02)]),
                 product_fraction: 0.0,
-                country_fraction: factor_map(&[
-                    ("ES", 0.39),
-                    ("GB", 0.16),
-                    ("DE", 0.025),
-                ]),
+                country_fraction: factor_map(&[("ES", 0.39), ("GB", 0.16), ("DE", 0.025)]),
             },
             PricingStrategy::TemporalDrift {
                 daily_drift: -0.001,
@@ -579,8 +618,12 @@ mod tests {
         let w = World::build(&WorldConfig::small(), 1);
         let r = w.retailer("steampowered.com").unwrap();
         let jar = CookieJar::new();
-        let us = r.price_eur(ProductId(0), &ctx(&jar, Country::US, 1)).unwrap();
-        let nz = r.price_eur(ProductId(0), &ctx(&jar, Country::NZ, 1)).unwrap();
+        let us = r
+            .price_eur(ProductId(0), &ctx(&jar, Country::US, 1))
+            .unwrap();
+        let nz = r
+            .price_eur(ProductId(0), &ctx(&jar, Country::NZ, 1))
+            .unwrap();
         assert!((nz / us - 2.55).abs() < 0.02, "nz/us = {}", nz / us);
     }
 
@@ -589,10 +632,18 @@ mod tests {
         let w = World::build(&WorldConfig::small(), 1);
         let r = w.retailer("digitalrev.com").unwrap();
         let jar = CookieJar::new();
-        let eu = r.price_eur(ProductId(29), &ctx(&jar, Country::ES, 1)).unwrap();
-        let ca = r.price_eur(ProductId(29), &ctx(&jar, Country::CA, 1)).unwrap();
-        let us = r.price_eur(ProductId(29), &ctx(&jar, Country::US, 1)).unwrap();
-        let br = r.price_eur(ProductId(29), &ctx(&jar, Country::BR, 1)).unwrap();
+        let eu = r
+            .price_eur(ProductId(29), &ctx(&jar, Country::ES, 1))
+            .unwrap();
+        let ca = r
+            .price_eur(ProductId(29), &ctx(&jar, Country::CA, 1))
+            .unwrap();
+        let us = r
+            .price_eur(ProductId(29), &ctx(&jar, Country::US, 1))
+            .unwrap();
+        let br = r
+            .price_eur(ProductId(29), &ctx(&jar, Country::BR, 1))
+            .unwrap();
         assert!((eu - 34_500.0).abs() < 1.0);
         assert!((44_000.0..46_500.0).contains(&ca), "ca={ca}");
         assert!((40_000.0..42_000.0).contains(&us), "us={us}");
@@ -606,7 +657,9 @@ mod tests {
         let w = World::build(&WorldConfig::small(), 1);
         let r = w.retailer("amazon.com").unwrap();
         let jar = CookieJar::new();
-        let guest = r.price_eur(ProductId(5), &ctx(&jar, Country::ES, 1)).unwrap();
+        let guest = r
+            .price_eur(ProductId(5), &ctx(&jar, Country::ES, 1))
+            .unwrap();
         let mut logged = ctx(&jar, Country::ES, 2);
         logged.logged_in = true;
         let member = r.price_eur(ProductId(5), &logged).unwrap();
@@ -637,8 +690,14 @@ mod tests {
         assert_eq!(w1.len(), w2.len());
         let jar = CookieJar::new();
         for d in ["steampowered.com", "jcpenney.com"] {
-            let p1 = w1.retailer(d).unwrap().price_eur(ProductId(3), &ctx(&jar, Country::FR, 9));
-            let p2 = w2.retailer(d).unwrap().price_eur(ProductId(3), &ctx(&jar, Country::FR, 9));
+            let p1 = w1
+                .retailer(d)
+                .unwrap()
+                .price_eur(ProductId(3), &ctx(&jar, Country::FR, 9));
+            let p2 = w2
+                .retailer(d)
+                .unwrap()
+                .price_eur(ProductId(3), &ctx(&jar, Country::FR, 9));
             assert_eq!(p1, p2);
         }
     }

@@ -8,7 +8,9 @@ use sheriff_geo::{Country, IpAllocator};
 use sheriff_html::Document;
 use sheriff_market::pricing::{Browser, FetchContext, Os};
 use sheriff_market::world::WorldConfig;
-use sheriff_market::{format_price, CookieJar, FetchResult, PriceFormat, ProductId, UserAgent, World};
+use sheriff_market::{
+    format_price, CookieJar, FetchResult, PriceFormat, ProductId, UserAgent, World,
+};
 
 fn arb_country() -> impl Strategy<Value = Country> {
     (0..Country::count()).prop_map(|i| Country::all().nth(i).expect("in range"))

@@ -306,7 +306,7 @@ impl<M: 'static> Simulator<M> {
     /// engine's behaviour (and cost) is unchanged.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
         let mut tel = SimTelemetry::new(registry);
-        for Reverse(sched) in self.queue.iter() {
+        for Reverse(sched) in &self.queue {
             match sched.event {
                 Event::Deliver { to, .. } => tel.pushed(Some(to)),
                 Event::Timer { .. } | Event::Restart { .. } => tel.pushed(None),
@@ -488,10 +488,7 @@ impl<M: 'static> Simulator<M> {
                 if let Some(t) = &mut self.telemetry {
                     t.faults_node_restarts.inc();
                 }
-                (
-                    node,
-                    Box::new(move |node_ref, ctx| node_ref.on_restart(ctx)),
-                )
+                (node, Box::new(Node::on_restart))
             }
         };
 

@@ -14,7 +14,7 @@
 //! all-zero probabilities and no crash windows perturbs nothing: the engine
 //! draws exactly the same shared-RNG sequence as with no plan at all.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,10 +131,10 @@ pub struct FaultStats {
 pub struct FaultPlan {
     seed: u64,
     default_link: LinkFaults,
-    links: HashMap<(usize, usize), LinkFaults>,
+    links: BTreeMap<(usize, usize), LinkFaults>,
     crashes: Vec<CrashWindow>,
     partitions: Vec<Partition>,
-    counts: HashMap<(usize, usize), u64>,
+    counts: BTreeMap<(usize, usize), u64>,
     /// Running decision totals.
     pub stats: FaultStats,
 }
@@ -153,10 +153,10 @@ impl FaultPlan {
         FaultPlan {
             seed,
             default_link: LinkFaults::NONE,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             crashes: Vec::new(),
             partitions: Vec::new(),
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             stats: FaultStats::default(),
         }
     }

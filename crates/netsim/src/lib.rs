@@ -16,6 +16,7 @@
 //!   "overloaded PlanetLab node" model (§5 observes exactly that tail and
 //!   the production system's 2-minute kill bound for it).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -76,18 +76,10 @@ impl RandomForest {
         let trees = (0..cfg.n_trees)
             .map(|_| {
                 // Bootstrap sample.
-                let idx: Vec<usize> =
-                    (0..rows.len()).map(|_| rng.gen_range(0..rows.len())).collect();
-                build_tree(
-                    rows,
-                    ys,
-                    &idx,
-                    cfg,
-                    max_features,
-                    0,
-                    &mut importance,
-                    rng,
-                )
+                let idx: Vec<usize> = (0..rows.len())
+                    .map(|_| rng.gen_range(0..rows.len()))
+                    .collect();
+                build_tree(rows, ys, &idx, cfg, max_features, 0, &mut importance, rng)
             })
             .collect();
         // Normalize importance to sum 1 (when any split happened).
@@ -159,8 +151,8 @@ fn build_tree<R: Rng + ?Sized>(
             if left.is_empty() || right.is_empty() {
                 continue;
             }
-            let sse = sse_of(ys, &left, mean_of(ys, &left))
-                + sse_of(ys, &right, mean_of(ys, &right));
+            let sse =
+                sse_of(ys, &left, mean_of(ys, &left)) + sse_of(ys, &right, mean_of(ys, &right));
             if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((f, thr, sse));
             }
@@ -173,10 +165,24 @@ fn build_tree<R: Rng + ?Sized>(
             let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
                 idx.iter().partition(|&&i| rows[i][feature] <= threshold);
             let left = build_tree(
-                rows, ys, &left_idx, cfg, max_features, depth + 1, importance, rng,
+                rows,
+                ys,
+                &left_idx,
+                cfg,
+                max_features,
+                depth + 1,
+                importance,
+                rng,
             );
             let right = build_tree(
-                rows, ys, &right_idx, cfg, max_features, depth + 1, importance, rng,
+                rows,
+                ys,
+                &right_idx,
+                cfg,
+                max_features,
+                depth + 1,
+                importance,
+                rng,
             );
             TreeNode::Split {
                 feature,
@@ -228,7 +234,10 @@ mod tests {
     fn learns_step_function() {
         let mut rng = StdRng::seed_from_u64(20);
         let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
-        let ys: Vec<f64> = rows.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
         let f = RandomForest::train(&rows, &ys, &RandomForestConfig::default(), &mut rng);
         assert!((f.predict(&[0.2]) - 1.0).abs() < 0.5);
         assert!((f.predict(&[0.8]) - 5.0).abs() < 0.5);

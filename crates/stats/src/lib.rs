@@ -16,6 +16,7 @@
 //!   importance, the paper's confirmation step;
 //! * [`roc`] — ROC/AUC for the classification view of the same check.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod describe;

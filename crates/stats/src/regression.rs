@@ -192,7 +192,7 @@ fn invert(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
         }
         aug.swap(col, pivot);
         let pv = aug[col][col];
-        for v in aug[col].iter_mut() {
+        for v in &mut aug[col] {
             *v /= pv;
         }
         for row in 0..n {
@@ -229,8 +229,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * betacf(a, b, x) / a
@@ -392,9 +391,7 @@ mod tests {
     #[test]
     fn singular_design_is_none() {
         // Duplicated feature column: X'X singular.
-        let rows: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![i as f64, i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
         assert!(multi_linear_fit(&rows, &ys).is_none());
     }

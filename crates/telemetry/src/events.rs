@@ -6,10 +6,15 @@ use serde::{DeError, Deserialize, Number, Serialize, Value};
 /// value (no enum tagging) so event logs stay human-readable.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FieldValue {
+    /// Unsigned integer.
     U64(u64),
+    /// Signed integer.
     I64(i64),
+    /// Floating-point number.
     F64(f64),
+    /// Text.
     Str(String),
+    /// Boolean flag.
     Bool(bool),
 }
 

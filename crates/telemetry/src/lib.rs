@@ -23,6 +23,8 @@
 //!   ([`panel::coordinator_panel`]): the panel no longer maintains any
 //!   counters of its own.
 
+#![forbid(unsafe_code)]
+
 mod events;
 mod metrics;
 pub mod panel;

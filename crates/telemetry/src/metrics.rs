@@ -11,18 +11,22 @@ use serde::{Deserialize, Serialize};
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    /// A counter at zero.
     pub fn new() -> Self {
         Counter(AtomicU64::new(0))
     }
 
+    /// Adds one.
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Adds `n`.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current count.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -33,18 +37,22 @@ impl Counter {
 pub struct Gauge(AtomicI64);
 
 impl Gauge {
+    /// A gauge at zero.
     pub fn new() -> Self {
         Gauge(AtomicI64::new(0))
     }
 
+    /// Sets the level to `v`.
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Moves the level by `d`.
     pub fn add(&self, d: i64) {
         self.0.fetch_add(d, Ordering::Relaxed);
     }
 
+    /// Current level.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -87,6 +95,7 @@ impl Histogram {
         }
     }
 
+    /// The configured bucket edges.
     pub fn edges(&self) -> &[f64] {
         &self.edges
     }

@@ -13,9 +13,13 @@ use crate::metrics::{HistogramSnapshot, MergeError};
 /// that.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
+    /// Counter values by metric name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by metric name.
     pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by metric name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained structured events, oldest first.
     pub events: Vec<Event>,
     /// Events discarded once the retention cap was hit.
     pub events_dropped: u64,

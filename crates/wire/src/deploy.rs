@@ -394,8 +394,9 @@ fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, 
 
         let wait = timers
             .peek()
-            .map(|Reverse((t, _))| t.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(500))
+            .map_or(Duration::from_millis(500), |Reverse((t, _))| {
+                t.saturating_duration_since(Instant::now())
+            })
             .min(Duration::from_millis(500));
         let env = match rx.recv_timeout(wait) {
             Ok(env) => env,
@@ -853,6 +854,27 @@ impl MiniDeployment {
     fn shutdown_impl(&mut self) {
         if self.handles.is_empty() {
             return;
+        }
+        // Let in-flight frames drain first: a client unblocks when the
+        // completion sink is updated, which can happen *before* the
+        // worker's trailing Ack hits the wire — so a worker that reads
+        // its Shutdown frame ahead of that Ack would exit without ever
+        // counting it. Momentary balance is not enough (the Ack may not
+        // have been written yet); require the books to balance and stay
+        // still across several polls. Bounded wait, since a frame to a
+        // node that already vanished (crash tests) never arrives.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut last = (u64::MAX, u64::MAX);
+        let mut stable = 0u32;
+        while stable < 10 && Instant::now() < deadline {
+            let now = (self.wire.frames_out.get(), self.wire.frames_in.get());
+            if now.0 == now.1 && now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+            std::thread::sleep(Duration::from_millis(2));
         }
         // One Shutdown frame per node: the acceptor forwards it to the
         // worker and stops accepting; the worker drains and exits.

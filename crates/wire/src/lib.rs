@@ -25,6 +25,7 @@
 //! is preserved because the synthetic web behind it is deterministic — the
 //! `backend_parity` test pins DES and TCP runs to identical observations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deploy;

@@ -14,7 +14,9 @@ use sheriff_core::doppelganger::{AggregatorDirectory, DoppelgangerStore};
 use sheriff_core::pollution::FetchMode;
 use sheriff_crypto::GroupParams;
 use sheriff_experiments::population;
-use sheriff_kmeans::{build_universe, profile_vector, run_private, PrivateConfig, UniverseStrategy};
+use sheriff_kmeans::{
+    build_universe, profile_vector, run_private, PrivateConfig, UniverseStrategy,
+};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1742);
@@ -22,12 +24,21 @@ fn main() {
     // 1. Donated (cleartext-on-the-client) browsing histories.
     let pop = population::generate(60, 1742);
     let donors: Vec<_> = pop.users.iter().filter(|u| u.donates_history).collect();
-    println!("{} users, {} donate their history", pop.users.len(), donors.len());
+    println!(
+        "{} users, {} donate their history",
+        pop.users.len(),
+        donors.len()
+    );
 
     // 2. Profile vectors over the Alexa-top universe (Fig. 8a's choice),
     //    quantized for encryption at the exponent.
     let histories: Vec<_> = donors.iter().map(|u| u.history.clone()).collect();
-    let universe = build_universe(&histories, &pop.alexa_ranking, UniverseStrategy::AlexaTop, 30);
+    let universe = build_universe(
+        &histories,
+        &pop.alexa_ranking,
+        UniverseStrategy::AlexaTop,
+        30,
+    );
     let scale = 8u64;
     let points: Vec<Vec<u64>> = histories
         .iter()
@@ -37,7 +48,10 @@ fn main() {
     // 3. Privacy-preserving k-means: the Coordinator holds the keys and
     //    centroids, the Aggregator holds ciphertexts and the mapping;
     //    neither sees a profile (§3.8). 64-bit toy group for demo speed.
-    println!("\nrunning the encrypted k-means protocol (k = 5, m = {})…", universe.len());
+    println!(
+        "\nrunning the encrypted k-means protocol (k = 5, m = {})…",
+        universe.len()
+    );
     let params = GroupParams::test_64();
     let cfg = PrivateConfig {
         k: 5,
@@ -68,7 +82,10 @@ fn main() {
     println!("\ntrained {} doppelgangers:", store.len());
     for (i, t) in tokens.iter().enumerate() {
         let members = result.assignments.iter().filter(|&&a| a == i).count();
-        println!("  cluster {i}: token {}…  ({members} peers)", &t.to_hex()[..12]);
+        println!(
+            "  cluster {i}: token {}…  ({members} peers)",
+            &t.to_hex()[..12]
+        );
     }
 
     // 5. A peer past its pollution budget serves a fetch with doppelganger
@@ -81,7 +98,10 @@ fn main() {
         .serve(&token, domain, &universe, &mut rng)
         .expect("valid bearer token");
     println!("\npeer {peer} needs doppelganger state for {domain}:");
-    println!("  Aggregator answered with token {}…", &token.to_hex()[..12]);
+    println!(
+        "  Aggregator answered with token {}…",
+        &token.to_hex()[..12]
+    );
     println!("  Coordinator served fetch mode {mode:?}");
     if new_token != token {
         println!("  doppelganger saturated → regenerated with a fresh token");

@@ -37,7 +37,10 @@ fn main() {
         .map(|a| a.domain.as_str())
         .collect();
     println!("domains varying *within* a country: {within:?}");
-    println!("ground truth (world construction):  {:?}", ds.truth_within_country);
+    println!(
+        "ground truth (world construction):  {:?}",
+        ds.truth_within_country
+    );
 
     // Detection quality against ground truth.
     let detected: Vec<&str> = analyses

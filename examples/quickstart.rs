@@ -45,14 +45,14 @@ fn main() {
     let completed = sheriff.completed();
     let check = &completed.first().expect("check completed").check;
     println!("Price check #{} — {}", check.job_id, check.url);
-    println!("(elapsed: {:.1}s of virtual time)\n", completed[0]
-        .completed
-        .since(completed[0].submitted)
-        .as_secs_f64());
     println!(
-        "{:<34} {:>12}  Original Text",
-        "Variant", "EUR"
+        "(elapsed: {:.1}s of virtual time)\n",
+        completed[0]
+            .completed
+            .since(completed[0].submitted)
+            .as_secs_f64()
     );
+    println!("{:<34} {:>12}  Original Text", "Variant", "EUR");
     println!("{}", "-".repeat(62));
     for obs in &check.observations {
         let label = match obs.vantage {

@@ -128,7 +128,7 @@ fn peers_in_other_countries_are_not_asked() {
     sheriff.run_until(SimTime::from_mins(3));
     let done = sheriff.completed();
     assert_eq!(done.len(), 1);
-    for obs in done[0].check.observations.iter() {
+    for obs in &done[0].check.observations {
         if obs.vantage == sheriff_core::records::VantageKind::Ppc {
             assert_eq!(obs.country, Country::ES, "foreign PPC was used");
         }
