@@ -34,10 +34,25 @@ fi
 
 # The invariant checker: no wall-clock or ambient entropy outside the
 # sanctioned boundary files, no hash-ordered iteration or panics in the
-# protocol core, telemetry names on the subsystem.snake_case scheme.
+# protocol core, telemetry names on the subsystem.snake_case scheme —
+# plus the flow-aware passes (privacy taint, the protocol routing
+# matrix, transitive panic-freedom) over the workspace call graph.
 # See DESIGN.md "Static analysis & invariants" and crates/lint.
 stage "sheriff-lint"
-cargo run --release -q -p sheriff-lint -- crates
+mkdir -p target
+cargo run --release -q -p sheriff-lint -- --json crates > target/lint-report.json
+echo "lint report archived at target/lint-report.json"
+
+# Negative control: the checker must still be able to fail. A known-bad
+# fixture tree that exits zero means the analyzer itself is broken (a
+# walk bug, a pass short-circuiting), which a green main-tree run would
+# silently hide.
+stage "sheriff-lint negative control"
+if cargo run --release -q -p sheriff-lint -- crates/lint/fixtures/taint_bad >/dev/null 2>&1; then
+    echo "known-bad fixture passed the linter — analyzer is broken" >&2
+    exit 1
+fi
+echo "known-bad fixture correctly rejected"
 
 stage "tier-1 build"
 cargo build --workspace --all-targets

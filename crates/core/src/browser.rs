@@ -72,8 +72,10 @@ impl BrowserProfile {
         // …then clean it all (cookie interception + history/cache service).
         let added = self.cookies.added_since(&jar_before);
         self.cookies = jar_before.clone();
-        let trace_added = self.url_trace.len() > trace_before
-            && self.url_trace[trace_before..].contains(&fetched_url);
+        let trace_added = self
+            .url_trace
+            .get(trace_before..)
+            .is_some_and(|tail| !tail.is_empty() && tail.contains(&fetched_url));
         self.url_trace.truncate(trace_before);
 
         SandboxReport {

@@ -163,7 +163,9 @@ impl Coordinator {
         match self.servers.get_mut(index) {
             Some(s) if s.pending_jobs == 0 => {
                 s.online = false;
-                self.server_gauges[index].online.set(0);
+                if let Some(g) = self.server_gauges.get(index) {
+                    g.online.set(0);
+                }
                 true
             }
             _ => false,
@@ -175,7 +177,9 @@ impl Coordinator {
         if let Some(s) = self.servers.get_mut(index) {
             s.last_heartbeat = now;
             s.online = true;
-            self.server_gauges[index].online.set(1);
+            if let Some(g) = self.server_gauges.get(index) {
+                g.online.set(1);
+            }
         }
     }
 
@@ -184,7 +188,9 @@ impl Coordinator {
         for (index, s) in self.servers.iter_mut().enumerate() {
             if s.online && now.saturating_sub(s.last_heartbeat) > self.heartbeat_timeout_ms {
                 s.online = false;
-                self.server_gauges[index].online.set(0);
+                if let Some(g) = self.server_gauges.get(index) {
+                    g.online.set(0);
+                }
                 self.heartbeats_expired.inc();
                 self.telemetry.event(
                     now,
@@ -231,21 +237,24 @@ impl Coordinator {
         };
         let job = JobId(self.next_job);
         self.next_job += 1;
-        self.servers[chosen].pending_jobs += 1;
+        let pending = match self.servers.get_mut(chosen) {
+            Some(s) => {
+                s.pending_jobs += 1;
+                s.pending_jobs
+            }
+            None => 0,
+        };
         self.job_server.insert(job, chosen);
-        self.server_gauges[chosen]
-            .pending
-            .set(self.servers[chosen].pending_jobs as i64);
+        if let Some(g) = self.server_gauges.get(chosen) {
+            g.pending.set(pending as i64);
+        }
         self.telemetry.event(
             now,
             "coordinator.job_assigned",
             vec![
                 ("job", FieldValue::U64(job.0)),
                 ("server", FieldValue::U64(chosen as u64)),
-                (
-                    "pending",
-                    FieldValue::U64(self.servers[chosen].pending_jobs as u64),
-                ),
+                ("pending", FieldValue::U64(pending as u64)),
             ],
         );
         Ok((job, chosen))
@@ -259,9 +268,10 @@ impl Coordinator {
             if let Some(s) = self.servers.get_mut(server) {
                 s.pending_jobs = s.pending_jobs.saturating_sub(1);
                 self.jobs_completed.inc();
-                self.server_gauges[server]
-                    .pending
-                    .set(s.pending_jobs as i64);
+                let pending = s.pending_jobs;
+                if let Some(g) = self.server_gauges.get(server) {
+                    g.pending.set(pending as i64);
+                }
             }
         }
     }
@@ -295,10 +305,15 @@ impl Coordinator {
             .map(|(&job, _)| job)
             .collect();
         for &job in &orphaned {
-            let idx = self.job_server.remove(&job).expect("listed above");
+            let Some(idx) = self.job_server.remove(&job) else {
+                continue;
+            };
             if let Some(s) = self.servers.get_mut(idx) {
                 s.pending_jobs = s.pending_jobs.saturating_sub(1);
-                self.server_gauges[idx].pending.set(s.pending_jobs as i64);
+                let pending = s.pending_jobs;
+                if let Some(g) = self.server_gauges.get(idx) {
+                    g.pending.set(pending as i64);
+                }
             }
             self.jobs_requeued.inc();
             self.telemetry.event(

@@ -136,6 +136,53 @@ impl PeerProto {
         });
     }
 
+    /// The reliable channel exhausted its retransmit budget for `msg`
+    /// and will never deliver it. Release whatever bookkeeping was
+    /// pinned on that send — otherwise a sustained partition leaves
+    /// `own_pending`/`job_tags`/`dopp_pending` entries behind forever
+    /// (the leak the routing-matrix audit surfaced).
+    pub fn on_send_abandoned(&mut self, msg: &ProtoMsg) {
+        match msg {
+            // The initial request never reached the coordinator: the
+            // check is over before it began.
+            ProtoMsg::CoordRequest { local_tag, .. } => {
+                let Some(_slot) = self.own_pending.remove(local_tag) else {
+                    return;
+                };
+                self.rejected
+                    .push((*local_tag, "coordinator unreachable".to_string()));
+            }
+            // The submission never reached the measurement server: the
+            // coordinator will expire the job on its own deadline, but
+            // the local slot must not wait for that.
+            ProtoMsg::JobSubmit { job, .. } => {
+                if let Some(tag) = self.job_tags.remove(job) {
+                    if self.own_pending.remove(&tag).is_some() {
+                        self.rejected
+                            .push((tag, "measurement server unreachable".to_string()));
+                    }
+                }
+            }
+            // A doppelganger lookup died in flight: the fetch it was
+            // blocking can never be served, so drop the slot.
+            ProtoMsg::DoppIdRequest { job, .. } | ProtoMsg::DoppStateRequest { job, .. } => {
+                self.dopp_pending.remove(job);
+            }
+            _ => {}
+        }
+    }
+
+    /// In-flight bookkeeping sizes:
+    /// `(own_pending, job_tags, dopp_pending)`. Leak regression tests
+    /// assert these drain back to zero.
+    pub fn pending_counts(&self) -> (usize, usize, usize) {
+        (
+            self.own_pending.len(),
+            self.job_tags.len(),
+            self.dopp_pending.len(),
+        )
+    }
+
     /// Feeds one delivered message.
     #[allow(clippy::too_many_lines)] // one arm per protocol step
     pub fn on_message(
@@ -333,5 +380,98 @@ impl PeerProto {
             }
             _ => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sheriff_geo::{Country, IpAllocator};
+    use sheriff_market::pricing::{Browser, Os};
+    use sheriff_market::world::WorldConfig;
+    use sheriff_market::UserAgent;
+
+    use super::*;
+    use crate::browser::BrowserProfile;
+    use crate::pollution::PollutionLedger;
+
+    fn peer() -> PeerProto {
+        let mut alloc = IpAllocator::new();
+        let engine = PpcEngine {
+            peer_id: 7,
+            browser: BrowserProfile::new(),
+            ledger: PollutionLedger::new(),
+            ip: alloc.allocate(Country::ES, 0),
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: Os::Windows,
+                browser: Browser::Chrome,
+            },
+            affluence: 0.5,
+            logged_in_domains: vec![],
+        };
+        PeerProto::new(engine, None, "EUR".to_string(), true)
+    }
+
+    #[test]
+    fn abandoned_coord_request_releases_the_pending_check() {
+        // Regression for the retransmit give-up leak: before the channel
+        // reported abandoned sends, a peer whose CoordRequest died under a
+        // partition kept the own_pending slot forever.
+        let mut world = World::build(&WorldConfig::small(), 11);
+        let mut p = peer();
+        let mut out = Vec::new();
+        p.on_message(
+            0,
+            Address::Peer { id: 7 },
+            ProtoMsg::StartCheck {
+                domain: "jcpenney.com".to_string(),
+                product: ProductId(1),
+                local_tag: 42,
+            },
+            &mut world,
+            &mut out,
+        );
+        assert_eq!(p.pending_counts(), (1, 0, 0));
+        let sent = out
+            .iter()
+            .find_map(|o| match o {
+                Output::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("StartCheck emits a CoordRequest");
+        assert!(matches!(sent, ProtoMsg::CoordRequest { .. }));
+
+        p.on_send_abandoned(&sent);
+        assert_eq!(p.pending_counts(), (0, 0, 0));
+        assert_eq!(p.rejected.len(), 1);
+        assert!(p.rejected[0].1.contains("unreachable"), "{:?}", p.rejected);
+    }
+
+    #[test]
+    fn abandoned_dopp_lookup_drops_the_blocked_fetch_slot() {
+        let mut p = peer();
+        p.dopp_pending.insert(
+            JobId(3),
+            PendingFetch {
+                reply_to: Address::Server { index: 0 },
+                domain: "jcpenney.com".to_string(),
+                product: ProductId(1),
+                seq: 0,
+            },
+        );
+        p.on_send_abandoned(&ProtoMsg::DoppIdRequest {
+            job: JobId(3),
+            peer: 7,
+        });
+        assert_eq!(p.pending_counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn abandoned_unrelated_message_is_a_noop() {
+        let mut p = peer();
+        p.on_send_abandoned(&ProtoMsg::Shutdown);
+        assert_eq!(p.pending_counts(), (0, 0, 0));
+        assert!(p.rejected.is_empty());
     }
 }

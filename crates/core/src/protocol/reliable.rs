@@ -214,17 +214,32 @@ impl Channel {
 
     /// A [`TimerKind::Retransmit`] fired: re-send if still unacked and
     /// within budget, re-arming the next backoff.
-    pub fn on_retransmit(&mut self, seq: u64, out: &mut Vec<Output>) {
+    ///
+    /// When the budget is exhausted the channel stops trying and
+    /// returns the abandoned `(destination, payload)` — unwrapped from
+    /// its envelope — so the owning machine can release any bookkeeping
+    /// pinned on that send. Silently dropping it here is how a peer's
+    /// `own_pending`/`dopp_pending` entries used to leak forever under
+    /// sustained partitions.
+    pub fn on_retransmit(
+        &mut self,
+        seq: u64,
+        out: &mut Vec<Output>,
+    ) -> Option<(Address, ProtoMsg)> {
         let Some(pending) = self.unacked.get_mut(&seq) else {
-            return; // acknowledged in the meantime — timer is moot
+            return None; // acknowledged in the meantime — timer is moot
         };
         pending.attempts += 1;
         if pending.attempts > self.cfg.max_attempts {
-            self.unacked.remove(&seq);
+            let abandoned = self.unacked.remove(&seq)?;
             if let Some(t) = &self.telemetry {
                 t.gave_up.inc();
             }
-            return;
+            let inner = match abandoned.envelope {
+                ProtoMsg::Reliable { inner, .. } => *inner,
+                other => other,
+            };
+            return Some((abandoned.to, inner));
         }
         let attempts = pending.attempts;
         out.push(Output::Send {
@@ -238,6 +253,7 @@ impl Channel {
         if let Some(t) = &self.telemetry {
             t.retransmits.inc();
         }
+        None
     }
 
     /// True when `(from, seq)` is fresh; false for duplicates.
@@ -408,11 +424,15 @@ mod tests {
             delays.push(delay_ms);
         }
         assert!(delays[0] < delays[1] && delays[1] < delays[2], "{delays:?}");
-        // Fourth firing exceeds max_attempts: drop the pending entry.
+        // Fourth firing exceeds max_attempts: drop the pending entry and
+        // hand the abandoned payload (unwrapped) back to the machine.
         let mut rt = Vec::new();
-        c.on_retransmit(0, &mut rt);
+        let abandoned = c.on_retransmit(0, &mut rt);
         assert!(rt.is_empty());
         assert_eq!(c.in_flight(), 0);
+        let (to, inner) = abandoned.expect("give-up reports the dropped send");
+        assert_eq!(to, Address::Coordinator);
+        assert_eq!(inner, job_complete(1));
     }
 
     #[test]

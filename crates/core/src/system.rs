@@ -339,7 +339,11 @@ impl Node<ProtoMsg> for CoordinatorNode {
                 self.unknown_timers.inc();
                 return;
             }
-            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(TimerKind::Retransmit(seq)) => {
+                // This machine keeps no per-send bookkeeping; the channel
+                // already counted the give-up.
+                let _ = self.chan.on_retransmit(seq, &mut out);
+            }
             Some(kind) => self
                 .proto
                 .on_timer(ctx.now.as_millis(), kind, ctx.rng(), &mut out),
@@ -374,7 +378,11 @@ impl Node<ProtoMsg> for AggregatorNode {
                 self.unknown_timers.inc();
                 return;
             }
-            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(TimerKind::Retransmit(seq)) => {
+                // This machine keeps no per-send bookkeeping; the channel
+                // already counted the give-up.
+                let _ = self.chan.on_retransmit(seq, &mut out);
+            }
             Some(_) => {}
         }
         dispatch(&self.map, ctx, out, None);
@@ -532,7 +540,11 @@ impl Node<ProtoMsg> for MeasurementNode {
                 self.unknown_timers.inc();
                 return;
             }
-            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(TimerKind::Retransmit(seq)) => {
+                // This machine keeps no per-send bookkeeping; the channel
+                // already counted the give-up.
+                let _ = self.chan.on_retransmit(seq, &mut out);
+            }
             Some(kind) => self.proto.on_timer(now, kind, &mut out, &mut events),
         }
         self.telemetry.apply(self.index, now, events);
@@ -618,7 +630,11 @@ impl Node<ProtoMsg> for DbNode {
                 self.unknown_timers.inc();
                 return;
             }
-            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(TimerKind::Retransmit(seq)) => {
+                // This machine keeps no per-send bookkeeping; the channel
+                // already counted the give-up.
+                let _ = self.chan.on_retransmit(seq, &mut out);
+            }
             Some(kind) => self.proto.on_timer(kind, &mut out, &mut events),
         }
         self.telemetry.apply(events);
@@ -695,7 +711,11 @@ impl Node<ProtoMsg> for AddonNode {
                 self.unknown_timers.inc();
                 return;
             }
-            Some(TimerKind::Retransmit(seq)) => self.chan.on_retransmit(seq, &mut out),
+            Some(TimerKind::Retransmit(seq)) => {
+                if let Some((_, abandoned)) = self.chan.on_retransmit(seq, &mut out) {
+                    self.proto.on_send_abandoned(&abandoned);
+                }
+            }
             Some(_) => {}
         }
         dispatch(&self.map, ctx, out, Some(self.timing));

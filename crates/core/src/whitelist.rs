@@ -117,7 +117,7 @@ pub fn split_url(url: &str) -> (&str, &str) {
         .or_else(|| url.strip_prefix("http://"))
         .unwrap_or(url);
     match rest.find('/') {
-        Some(i) => (&rest[..i], &rest[i..]),
+        Some(i) => rest.split_at(i),
         None => (rest, "/"),
     }
 }

@@ -276,12 +276,10 @@ pub fn parse_locale_number(s: &str, currency_decimals: u8) -> Option<f64> {
         .collect();
     let digits_only = |t: &str| -> String { t.chars().filter(char::is_ascii_digit).collect() };
 
-    if seps.is_empty() {
+    let Some(&(last_idx, last_sep)) = seps.last() else {
         return s.parse::<f64>().ok();
-    }
-
-    let (last_idx, last_sep) = *seps.last().unwrap();
-    let tail = &s[last_idx + last_sep.len_utf8()..];
+    };
+    let tail = s.get(last_idx + last_sep.len_utf8()..).unwrap_or("");
     let distinct: std::collections::HashSet<char> = seps.iter().map(|&(_, c)| c).collect();
 
     let last_is_decimal = if distinct.len() > 1 {
@@ -301,7 +299,7 @@ pub fn parse_locale_number(s: &str, currency_decimals: u8) -> Option<f64> {
     };
 
     let value = if last_is_decimal {
-        let head = digits_only(&s[..last_idx]);
+        let head = digits_only(s.get(..last_idx).unwrap_or(""));
         let frac = digits_only(tail);
         format!("{head}.{frac}").parse::<f64>().ok()?
     } else {

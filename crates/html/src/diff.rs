@@ -34,6 +34,10 @@ pub struct LineDiff {
 
 impl LineDiff {
     /// Computes the diff turning `base` into `variant`.
+    // Textbook LCS backtrack: `i`/`j` only decrease from `b.len()`/`v.len()`
+    // and every index is guarded by `i > 0`/`j > 0`; rewriting with `.get`
+    // would bury the algorithm under plumbing.
+    // sheriff-lint: allow-item(transitive-panic)
     pub fn compute(base: &str, variant: &str) -> LineDiff {
         let b: Vec<&str> = base.split('\n').collect();
         let v: Vec<&str> = variant.split('\n').collect();
@@ -117,6 +121,9 @@ impl LineDiff {
     }
 }
 
+// The table is allocated (a.len()+1) × (b.len()+1) on the first line;
+// every index below stays inside those bounds by loop construction.
+// sheriff-lint: allow-item(transitive-panic)
 fn lcs_table(a: &[&str], b: &[&str]) -> Vec<Vec<u32>> {
     let mut t = vec![vec![0u32; b.len() + 1]; a.len() + 1];
     for i in 1..=a.len() {

@@ -79,10 +79,8 @@ impl Document {
                     self_closing,
                 } => {
                     let leaf = self_closing || is_void(&name);
-                    let id = doc.push(
-                        NodeKind::Element { name, attrs },
-                        *stack.last().expect("stack never empty"),
-                    );
+                    let parent = stack.last().copied().unwrap_or(root);
+                    let id = doc.push(NodeKind::Element { name, attrs }, parent);
                     if !leaf {
                         stack.push(id);
                     }
@@ -90,7 +88,7 @@ impl Document {
                 Token::EndTag { name } => {
                     // Pop to the nearest matching open element, if any.
                     if let Some(pos) = stack.iter().rposition(|&id| {
-                        matches!(&doc.nodes[id.0].kind, NodeKind::Element { name: n, .. } if *n == name)
+                        matches!(&doc.node(id).kind, NodeKind::Element { name: n, .. } if *n == name)
                     }) {
                         if pos > 0 {
                             stack.truncate(pos);
@@ -98,7 +96,8 @@ impl Document {
                     }
                 }
                 Token::Text(t) => {
-                    doc.push(NodeKind::Text(t), *stack.last().expect("stack never empty"));
+                    let parent = stack.last().copied().unwrap_or(root);
+                    doc.push(NodeKind::Text(t), parent);
                 }
                 Token::Comment | Token::Doctype => {}
             }
@@ -113,8 +112,19 @@ impl Document {
             parent: Some(parent),
             children: Vec::new(),
         });
-        self.nodes[parent.0].children.push(id);
+        if let Some(p) = self.nodes.get_mut(parent.0) {
+            p.children.push(id);
+        }
         id
+    }
+
+    // NodeId is an arena handle minted only by `push`/`root` on this same
+    // Document, so the index is in range by construction; a handle from
+    // another document is a caller bug that should fail loudly rather
+    // than silently resolve to an arbitrary node.
+    // sheriff-lint: allow-item(transitive-panic)
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
     }
 
     /// The document root.
@@ -124,17 +134,17 @@ impl Document {
 
     /// Node payload.
     pub fn kind(&self, id: NodeId) -> &NodeKind {
-        &self.nodes[id.0].kind
+        &self.node(id).kind
     }
 
     /// Parent, `None` for the root.
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.nodes[id.0].parent
+        self.node(id).parent
     }
 
     /// Children in document order.
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.nodes[id.0].children
+        &self.node(id).children
     }
 
     /// Total node count (including root).
@@ -149,7 +159,7 @@ impl Document {
 
     /// Element name, if `id` is an element.
     pub fn name(&self, id: NodeId) -> Option<&str> {
-        match &self.nodes[id.0].kind {
+        match &self.node(id).kind {
             NodeKind::Element { name, .. } => Some(name),
             _ => None,
         }
@@ -157,7 +167,7 @@ impl Document {
 
     /// Attribute value, if `id` is an element carrying it.
     pub fn attr(&self, id: NodeId, key: &str) -> Option<&str> {
-        match &self.nodes[id.0].kind {
+        match &self.node(id).kind {
             NodeKind::Element { attrs, .. } => attrs.get(key).map(String::as_str),
             _ => None,
         }
@@ -171,10 +181,10 @@ impl Document {
     }
 
     fn collect_text(&self, id: NodeId, out: &mut String) {
-        match &self.nodes[id.0].kind {
+        match &self.node(id).kind {
             NodeKind::Text(t) => out.push_str(t),
             _ => {
-                for &c in &self.nodes[id.0].children {
+                for &c in &self.node(id).children {
                     self.collect_text(c, out);
                 }
             }
@@ -187,7 +197,7 @@ impl Document {
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
             out.push(n);
-            for &c in self.nodes[n.0].children.iter().rev() {
+            for &c in self.node(n).children.iter().rev() {
                 stack.push(c);
             }
         }
@@ -220,9 +230,9 @@ impl Document {
     }
 
     fn serialize_into(&self, id: NodeId, out: &mut String) {
-        match &self.nodes[id.0].kind {
+        match &self.node(id).kind {
             NodeKind::Document => {
-                for &c in &self.nodes[id.0].children {
+                for &c in &self.node(id).children {
                     self.serialize_into(c, out);
                 }
             }
@@ -255,7 +265,7 @@ impl Document {
                 }
                 out.push('>');
                 if !is_void(name) {
-                    for &c in &self.nodes[id.0].children {
+                    for &c in &self.node(id).children {
                         self.serialize_into(c, out);
                     }
                     out.push_str("</");

@@ -183,12 +183,12 @@ fn walk_exact(doc: &Document, path: &TagsPath) -> Option<NodeId> {
 
 fn walk_relaxed(doc: &Document, path: &TagsPath) -> Option<NodeId> {
     fn rec(doc: &Document, cur: NodeId, steps: &[PathStep]) -> Option<NodeId> {
-        let Some(step) = steps.first() else {
+        let Some((step, rest)) = steps.split_first() else {
             return Some(cur);
         };
         for &c in doc.children(cur) {
             if step_matches(doc, c, step, true) {
-                if let Some(hit) = rec(doc, c, &steps[1..]) {
+                if let Some(hit) = rec(doc, c, rest) {
                     return Some(hit);
                 }
             }

@@ -1,0 +1,11 @@
+//! Known-bad reachability fixture entry point: the handler itself is
+//! panic-free (the per-file rule sees nothing), but it calls into a
+//! helper crate that is not.
+
+pub struct Machine;
+
+impl Machine {
+    pub fn on_message(&mut self, frames: &[Vec<u8>]) -> u8 {
+        decode(frames)
+    }
+}

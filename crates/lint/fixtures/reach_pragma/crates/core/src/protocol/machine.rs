@@ -1,0 +1,10 @@
+//! Pragma twin entry point — identical to the bad twin; the pragmas
+//! live on the helpers where the findings land.
+
+pub struct Machine;
+
+impl Machine {
+    pub fn on_message(&mut self, frames: &[Vec<u8>]) -> u8 {
+        decode(frames)
+    }
+}

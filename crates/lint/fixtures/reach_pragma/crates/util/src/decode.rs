@@ -1,0 +1,13 @@
+//! Pragma twin of `reach_bad`'s helpers: both panic sites suppressed
+//! per-item. Must pass clean.
+
+// sheriff-lint: allow-item(transitive-panic) — fixture: documents the suppression form
+pub fn decode(frames: &[Vec<u8>]) -> u8 {
+    let first = frames.first().cloned().expect("at least one frame");
+    checksum(&first)
+}
+
+// sheriff-lint: allow-item(transitive-panic) — fixture: documents the suppression form
+pub fn checksum(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

@@ -1,0 +1,15 @@
+//! Handles `Heartbeat` (declared — fine) but has lost its
+//! `JobComplete` arm: the routing gap half of the fixture.
+
+pub struct Coordinator;
+
+impl Coordinator {
+    pub fn on_message(&mut self, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Heartbeat { i } => {
+                let _ = i;
+            }
+            _ => {}
+        }
+    }
+}

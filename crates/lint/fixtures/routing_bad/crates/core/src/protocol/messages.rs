@@ -1,0 +1,11 @@
+//! Known-bad routing fixture: a variant the table has never heard of
+//! (`Bogus`) plus a declared handler (`coordinator` for `JobComplete`)
+//! with no matching arm anywhere in this tree. Together with the
+//! unclaimed handler in `peer.rs`, must trip proto-routing exactly
+//! three times.
+
+pub enum ProtoMsg {
+    Heartbeat { i: usize },
+    JobComplete { job: u64 },
+    Bogus,
+}

@@ -1,0 +1,15 @@
+//! Matches `Heartbeat`, which the routing table claims only for the
+//! coordinator: the unclaimed-handler half of the fixture.
+
+pub struct Peer;
+
+impl Peer {
+    pub fn on_message(&mut self, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Heartbeat { i } => {
+                let _ = i;
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Pragma twin of the unclaimed handler: the finding reports at the
+//! pattern occurrence, so a per-line pragma right above it suppresses.
+
+pub struct Peer;
+
+impl Peer {
+    pub fn on_message(&mut self, msg: ProtoMsg) {
+        match msg {
+            // sheriff-lint: allow(proto-routing) — fixture: documents the suppression form
+            ProtoMsg::Heartbeat { i } => {
+                let _ = i;
+            }
+            _ => {}
+        }
+    }
+}

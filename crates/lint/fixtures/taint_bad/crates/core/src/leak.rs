@@ -1,0 +1,7 @@
+//! Known-bad taint fixture: peer plaintext flows straight into a wire
+//! sink, in-function. Must trip privacy-taint exactly once.
+
+pub fn leak(e: &Engine, w: &mut Writer) {
+    let a = e.affluence;
+    write_frame(w, &[a as u8]);
+}

@@ -1,0 +1,8 @@
+//! Known-bad taint fixture, cross-file half: this function reads a
+//! source field and hands it to a helper one crate away; the finding
+//! must land in the helper, with this function as the recorded origin.
+
+pub fn relay(e: &Engine, w: &mut Writer) {
+    let b = &e.browser;
+    emit_frame(w, b);
+}

@@ -1,0 +1,7 @@
+//! Cross-file taint fixture sink: innocent in isolation, tainted by its
+//! caller in `core`. Must trip privacy-taint exactly once, with a
+//! "tainted via" witness naming `relay`.
+
+pub fn emit_frame(w: &mut Writer, b: &Browser) {
+    write_frame(w, b.as_bytes());
+}

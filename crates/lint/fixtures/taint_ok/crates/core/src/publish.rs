@@ -1,0 +1,11 @@
+//! The sanctioned shape of the same flow (the acceptance pair to
+//! `taint_bad`): the profile vector leaves the node, but only after the
+//! IPFE client-side encryption — the sanitizer call cleanses the
+//! function, so the wire sink is deemed to carry ciphertext. Must pass
+//! with zero findings.
+
+pub fn publish(e: &Engine, w: &mut Writer) {
+    let v = e.profile_vector();
+    let ct = client_vector(&v);
+    write_frame(w, &ct);
+}

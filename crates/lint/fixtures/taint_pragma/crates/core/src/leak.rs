@@ -1,0 +1,8 @@
+//! Pragma twin of `taint_bad/crates/core/src/leak.rs`: same flow,
+//! suppressed per-item. Must pass clean.
+
+// sheriff-lint: allow-item(privacy-taint) — fixture: documents the suppression form
+pub fn leak(e: &Engine, w: &mut Writer) {
+    let a = e.affluence;
+    write_frame(w, &[a as u8]);
+}

@@ -1,4 +1,6 @@
-//! The allowlist: where each rule does *not* apply, and why.
+//! The policy tables: where each rule does (and does not) apply, the
+//! privacy-taint source/sink/sanitizer declarations, the protocol
+//! routing matrix, and the call-graph resolution stoplist.
 //!
 //! Matching is by normalized-path substring (`/` separators), so the
 //! tables work whether the analyzer is handed `crates`, an absolute
@@ -15,22 +17,27 @@ pub const SKIP_DIR_NAMES: &[&str] = &["vendor", "target", "fixtures", ".git"];
 /// Files sanctioned to read the wall clock. `wire/src/deploy.rs` is the
 /// TCP adapter — the one place virtual milliseconds are *produced* from
 /// real elapsed time. Bench and experiment binaries measure their own
-/// runtime by design.
+/// runtime by design, and `lint/src/main.rs` times its own passes for
+/// the CI regression line (the timing never feeds a finding).
 pub const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/wire/src/deploy.rs",
     "crates/bench/",
     "crates/experiments/src/bin/",
+    "crates/lint/src/main.rs",
     "examples/",
 ];
 
 /// Order-sensitive subsystems: anything that emits protocol commands or
 /// schedules deliveries, where container iteration order can leak into
-/// the observable event sequence.
+/// the observable event sequence. The linter's own sources are in scope
+/// too: finding order is part of its output contract (reports are
+/// diffed in CI), so no hash-ordered container may feed it.
 pub const HASH_ITER_SCOPE: &[&str] = &[
     "core/src/protocol/",
     "core/src/system.rs",
     "core/src/coordinator.rs",
     "netsim/src/",
+    "lint/src/",
 ];
 
 /// The sans-IO protocol machines: under chaos schedules they must
@@ -44,6 +51,242 @@ pub const TEST_TREE_MARKERS: &[&str] = &["/tests/", "/benches/", "examples/"];
 pub fn matches_any(path: &str, fragments: &[&str]) -> bool {
     fragments.iter().any(|f| path.contains(f))
 }
+
+// ---------------------------------------------------------------------
+// Call-graph resolution (crate::graph)
+// ---------------------------------------------------------------------
+
+/// Method names never resolved by bare name. Each collides with a
+/// ubiquitous `std` (or vendored-dep) method, so a `.get(...)` call in
+/// one crate would otherwise grow an edge to every first-party `get`
+/// in the workspace and wire unrelated subsystems together. Calls to
+/// these still resolve when written with an explicit qualifier
+/// (`Type::get(...)`).
+/// Topological layering of the workspace crates, mirroring the Cargo
+/// dependency DAG: a call site in crate X can only dispatch to a
+/// function defined in the same crate or in a crate of *strictly
+/// lower* layer (something X can depend on). This kills whole families
+/// of false call-graph edges — e.g. the coordinator state machine
+/// "calling" `MiniDeployment::remove_server` in the TCP harness via a
+/// shared method name, which would wire the protocol to the harness's
+/// panics and sinks. Keep in sync with the `[dependencies]` sections;
+/// crates absent from the table (fixture trees, new crates) resolve
+/// unconstrained.
+pub const CRATE_LAYERS: &[(&str, u32)] = &[
+    ("bigint", 0),
+    ("currency", 0),
+    ("geo", 0),
+    ("html", 0),
+    ("lint", 0),
+    ("stats", 0),
+    ("telemetry", 0),
+    ("crypto", 1),
+    ("market", 1),
+    ("netsim", 1),
+    ("kmeans", 2),
+    ("core", 3),
+    ("wire", 4),
+    ("experiments", 5),
+    ("bench", 6),
+];
+
+/// The crate layer for a file path of the form `…crates/<name>/…`.
+pub fn crate_layer(path: &str) -> Option<u32> {
+    let name = crate_name(path)?;
+    CRATE_LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, l)| *l)
+}
+
+/// The crate name for a file path of the form `…crates/<name>/…`. The
+/// *last* `crates/` segment wins so relative prefixes like
+/// `crates/lint/../../crates/wire/…` resolve to the real crate.
+pub fn crate_name(path: &str) -> Option<&str> {
+    let (_, rest) = path.rsplit_once("crates/")?;
+    rest.split('/').next()
+}
+
+/// Method names too generic to resolve by name alone: a bare `.get(` or
+/// `.insert(` call would edge into every impl in the workspace, so the
+/// graph drops these rather than fabricate edges.
+pub const METHOD_STOPLIST: &[&str] = &[
+    "add", "apply", "clear", "clone", "cmp", "contains", "count", "default", "describe", "drain",
+    "eq", "extend", "find", "fmt", "from", "get", "hash", "insert", "into", "is_empty", "iter",
+    "join", "len", "lock", "merge", "min", "max", "name", "new", "next", "parse", "pop", "push",
+    "read", "record", "recv", "remove", "render", "reset", "run", "send", "set", "sort", "tick",
+    "value", "write",
+];
+
+// ---------------------------------------------------------------------
+// Privacy-taint pass (crate::taint)
+// ---------------------------------------------------------------------
+
+/// Field names whose *read* marks a function as handling peer plaintext
+/// or doppelganger profile data (§4's "never leaves as plaintext"
+/// contract). Names are chosen to be distinctive workspace-wide:
+///
+/// * `affluence`, `logged_in_domains`, `browser` — the PPC's personal
+///   browsing identity (`core/src/proxy.rs::PpcEngine`).
+/// * `profile_vector`, `client_state` — doppelganger profile data
+///   (`core/src/doppelganger.rs`); the profile vector *is* a cluster of
+///   peers' browsing histories.
+/// * `history` is deliberately absent: the name is too generic for
+///   token-level matching — its accessors are covered by
+///   [`TAINT_SOURCE_FNS`] instead.
+///
+/// Observation price fields (`core/src/records.rs`) are *not* sources:
+/// prices travel to Measurement servers in `ProtoMsg` by §3.2 design,
+/// and that flow is governed by the routing matrix, not by taint.
+pub const TAINT_SOURCE_FIELDS: &[&str] = &[
+    "affluence",
+    "logged_in_domains",
+    "browser",
+    "profile_vector",
+    "client_state",
+];
+
+/// Function names whose *call* taints the caller: accessors that hand
+/// out *individual* peer profile data. `profile_vector` turns one
+/// peer's raw browsing history into a cluster-input vector; `train_all`
+/// consumes those vectors. `DoppStore::client_state` is deliberately
+/// absent: it returns the *trained cluster's* cookie jar — the
+/// k-anonymized output the coordinator hands to peers by design (§4),
+/// not an individual's plaintext.
+pub const TAINT_SOURCE_FNS: &[&str] = &["profile_vector", "train_all"];
+
+/// Sanctioning entry points: a function that routes its data through
+/// one of these is considered to emit ciphertext, not plaintext. These
+/// are the `crypto::elgamal` / `crypto::ipfe` encryption APIs.
+pub const TAINT_SANITIZERS: &[&str] = &[
+    "encrypt",
+    "client_vector",
+    "server_vector",
+    "derive_function_key",
+];
+
+/// Sink call names: wire frame serialization, telemetry label
+/// registration, and experiment report writers. A tainted function
+/// calling any of these (without sanitizing) is a hard CI failure.
+pub const TAINT_SINKS: &[&str] = &[
+    "write_frame",
+    "send_counted",
+    "counter",
+    "gauge",
+    "histogram",
+    "write_json",
+];
+
+/// Paths exempt from the taint pass: test trees and the offline study
+/// pipeline, which processes synthetic profiles by design. Per-item
+/// pragmas (not this table) sanction individual experiment binaries.
+pub const TAINT_EXEMPT: &[&str] = &["/tests/", "/benches/"];
+
+/// Paths whose *own* source-field reads do not seed taint. These are
+/// the backend drivers and the offline study pipeline: they read
+/// `PpcSpec`/population fields to *construct* the simulated peers
+/// (synthetic spec plumbing), which is not a peer divulging data.
+/// Functions here still become tainted transitively — a protocol
+/// function handing them real peer plaintext flags their sinks as
+/// usual — they just are not origins.
+pub const TAINT_SEED_EXEMPT: &[&str] = &[
+    "wire/src/deploy.rs",
+    "core/src/system.rs",
+    "experiments/src/",
+];
+
+/// True when reading field `name` counts as touching a taint source.
+pub fn taint_source_field(_path: &str, name: &str) -> bool {
+    TAINT_SOURCE_FIELDS.contains(&name)
+}
+
+/// True when calling function `name` counts as touching a taint source.
+pub fn taint_source_fn(name: &str) -> bool {
+    TAINT_SOURCE_FNS.contains(&name)
+}
+
+/// True when `name` is a sanctioning (encryption) entry point.
+pub fn taint_sanitizer(name: &str) -> bool {
+    TAINT_SANITIZERS.contains(&name)
+}
+
+/// True when `name` is a declared sink.
+pub fn taint_sink(name: &str) -> bool {
+    TAINT_SINKS.contains(&name)
+}
+
+/// Sinks that only leak through *label construction*. A call like
+/// `registry.counter("coordinator.requests_total")` with a literal
+/// name carries no peer data no matter how tainted the caller is; the
+/// §4 exposure is a label *built from* peer fields. The graph scanner
+/// drops these sink hits when the name argument is a string literal.
+pub const TAINT_LABEL_SINKS: &[&str] = &["counter", "gauge", "histogram"];
+
+// ---------------------------------------------------------------------
+// Protocol routing matrix (crate::routing)
+// ---------------------------------------------------------------------
+
+/// Directory holding the sans-IO state machines; one machine per file.
+pub const PROTOCOL_DIR: &str = "core/src/protocol/";
+
+/// Functions inside a machine file that count as message handlers —
+/// a `ProtoMsg::Variant` *pattern* inside one of these claims the
+/// variant for that machine. (`needs_reliability`'s exemption list in
+/// `reliable.rs` is deliberately not a handler.)
+pub const PROTOCOL_HANDLER_FNS: &[&str] = &["on_message", "on_timer", "on_restart", "accept"];
+
+/// The declared routing matrix: which machine(s) handle each `ProtoMsg`
+/// variant. Machines are named by file stem under [`PROTOCOL_DIR`]. An
+/// empty list declares a variant as driver-handled (the backends' event
+/// loops consume it before any machine sees it). The routing pass fails
+/// when the matrix extracted from the source diverges in either
+/// direction — a variant handled by an undeclared machine is as much a
+/// bug as a declared handler that no longer matches it.
+pub const ROUTING_TABLE: &[(&str, &[&str])] = &[
+    ("StartCheck", &["peer"]),
+    ("CoordRequest", &["coordinator"]),
+    ("CoordAssign", &["peer"]),
+    ("CoordReject", &["peer"]),
+    ("PpcList", &["measurement"]),
+    ("JobSubmit", &["measurement"]),
+    ("FetchOrder", &["ipc", "peer"]),
+    ("FetchReply", &["measurement"]),
+    ("DoppIdRequest", &["aggregator"]),
+    ("DoppIdReply", &["peer"]),
+    ("DoppStateRequest", &["coordinator"]),
+    ("DoppStateReply", &["peer"]),
+    ("TokenRotated", &["aggregator"]),
+    ("StoreCheck", &["database"]),
+    ("DbAck", &["measurement"]),
+    ("JobComplete", &["coordinator"]),
+    ("Results", &["peer"]),
+    ("Heartbeat", &["coordinator"]),
+    ("RemoveServer", &["coordinator"]),
+    ("ServerRemoved", &["peer"]),
+    // The at-least-once envelope and its ack terminate in the shared
+    // reliable channel on every node; machines never see them.
+    ("Reliable", &["reliable"]),
+    ("Ack", &["reliable"]),
+    // Driver control plane: both backends' event loops exit on it.
+    ("Shutdown", &[]),
+];
+
+// ---------------------------------------------------------------------
+// Transitive panic-freedom pass (crate::reach)
+// ---------------------------------------------------------------------
+
+/// Entry points of the reachability walk: the protocol surface the
+/// drivers invoke. Everything these can reach — in any crate — must be
+/// panic-free, because a panic there takes down the driver thread under
+/// exactly the chaos schedules the protocol is supposed to absorb.
+pub const REACH_ENTRY_FNS: &[&str] = &[
+    "on_message",
+    "on_timer",
+    "on_restart",
+    "accept",
+    "harden",
+    "on_retransmit",
+];
 
 #[cfg(test)]
 mod tests {
@@ -65,5 +308,29 @@ mod tests {
             "crates/core/tests/chaos_soak.rs",
             TEST_TREE_MARKERS
         ));
+    }
+
+    #[test]
+    fn linter_is_inside_its_own_hash_iter_scope() {
+        assert!(matches_any("crates/lint/src/graph.rs", HASH_ITER_SCOPE));
+    }
+
+    #[test]
+    fn routing_table_has_no_duplicate_variants() {
+        for (i, (v, _)) in ROUTING_TABLE.iter().enumerate() {
+            assert!(
+                !ROUTING_TABLE[i + 1..].iter().any(|(w, _)| w == v),
+                "duplicate routing entry for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn taint_tables_answer_by_name() {
+        assert!(taint_source_field("any/path.rs", "affluence"));
+        assert!(!taint_source_field("any/path.rs", "amount_eur"));
+        assert!(taint_sanitizer("client_vector"));
+        assert!(taint_sink("write_frame"));
+        assert!(!taint_sink("push"));
     }
 }

@@ -1,6 +1,6 @@
 #![forbid(unsafe_code)]
 //! `sheriff-lint` — a workspace invariant checker that statically
-//! enforces the determinism contract.
+//! enforces the determinism and privacy contracts.
 //!
 //! The reproduction's central promise — same seed + same world ⇒
 //! identical observations on the DES and TCP backends — rests on
@@ -14,41 +14,122 @@
 //! crate enforces the same contract *statically*, over every line, on
 //! every CI run.
 //!
-//! Deliberately dependency-free and token-level: see [`rules`] for the
-//! five rules, [`config`] for the sanctioned-boundary allowlist, and
-//! the fixture corpus under `fixtures/` for one known-bad and one
-//! pragma-suppressed specimen per rule. Suppression is per-line:
+//! Two layers:
+//!
+//! * **Per-file token rules** ([`rules`]) — the original five, run over
+//!   each file's token stream in isolation.
+//! * **Flow-aware passes** — an item parser ([`parser`]) and a
+//!   workspace call graph ([`graph`]) feed three cross-file rules:
+//!   privacy taint ([`taint`]), the protocol routing matrix
+//!   ([`routing`]), and transitive panic-freedom ([`reach`]).
+//!
+//! Every file is lexed exactly once; the same token stream feeds the
+//! per-file rules, the `#[cfg(test)]` region marks, and the parser.
+//!
+//! Deliberately dependency-free: see [`config`] for the policy tables
+//! and the fixture corpus under `fixtures/` for known-bad and
+//! pragma-suppressed specimens per rule. Suppression is per-line:
 //!
 //! ```text
 //! let t = Instant::now(); // sheriff-lint: allow(wall-clock) — adapter boundary
 //! ```
+//!
+//! or per-item for the cross-file rules, whose findings span whole
+//! functions:
+//!
+//! ```text
+//! // sheriff-lint: allow-item(privacy-taint) — offline study, synthetic profiles
+//! fn export_profiles(...) { ... }
+//! ```
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
+pub mod routing;
 pub mod rules;
+pub mod taint;
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
+pub use graph::{CallGraph, SourceFile};
 pub use rules::{check_file, Finding, Rule, ALL_RULES};
 
-/// Analyzes a file or directory tree. Directories are walked in sorted
-/// order, descending into everything except [`config::SKIP_DIR_NAMES`];
-/// only `.rs` files are read. A path given explicitly is always
-/// scanned, even when a walk would have skipped it — that is how the
-/// self-tests reach the `fixtures/` corpus.
-pub fn analyze_path(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    if root.is_dir() {
-        walk(root, &mut findings)?;
-    } else {
-        scan(root, &mut findings)?;
-    }
-    Ok(findings)
+/// The result of analyzing a tree: what was scanned and what was found.
+pub struct Report {
+    /// Number of `.rs` files lexed and analyzed.
+    pub files: usize,
+    /// All findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
 }
 
-fn walk(dir: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+/// Analyzes a file or directory tree with every pass — per-file rules
+/// plus the cross-file flow passes — and reports what it scanned.
+/// Directories are walked in sorted order, descending into everything
+/// except [`config::SKIP_DIR_NAMES`]; only `.rs` files are read. A path
+/// given explicitly is always scanned, even when a walk would have
+/// skipped it — that is how the self-tests reach the `fixtures/`
+/// corpus.
+pub fn analyze(root: &Path) -> io::Result<Report> {
+    let files = collect_sources(root)?;
+
+    // Layer 1: per-file token rules, over the already-lexed streams.
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(rules::check_tokens(&f.path, &f.toks, &f.test_marks));
+    }
+
+    // Layer 2: flow-aware passes over the workspace call graph.
+    let call_graph = CallGraph::build(&files);
+    let mut cross = Vec::new();
+    cross.extend(taint::check(&call_graph));
+    cross.extend(routing::check(&files));
+    cross.extend(reach::check(&files, &call_graph));
+    suppress_cross(&files, &mut cross);
+    findings.extend(cross);
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(Report {
+        files: files.len(),
+        findings,
+    })
+}
+
+/// Backwards-compatible entry point: [`analyze`], findings only.
+pub fn analyze_path(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze(root)?.findings)
+}
+
+/// Reads, lexes, and parses every `.rs` file under `root` (or `root`
+/// itself when it is a file). One lex per file, shared by every pass.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    if root.is_dir() {
+        walk(root, &mut paths)?;
+    } else {
+        paths.push(root.to_path_buf());
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        let src = fs::read_to_string(&path)?;
+        let norm = path.to_string_lossy().replace('\\', "/");
+        let toks = lexer::lex(&src);
+        let test_marks = rules::test_regions(&toks);
+        let items = parser::parse_items(&toks, &test_marks);
+        files.push(SourceFile {
+            path: norm,
+            toks,
+            test_marks,
+            items,
+        });
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, paths: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -61,18 +142,125 @@ fn walk(dir: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
             if config::SKIP_DIR_NAMES.contains(&name) {
                 continue;
             }
-            walk(&path, findings)?;
+            walk(&path, paths)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
-            scan(&path, findings)?;
+            paths.push(path);
         }
     }
     Ok(())
 }
 
-fn scan(path: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
-    let src = fs::read_to_string(path)?;
-    findings.extend(check_file(&path.to_string_lossy(), &src));
-    Ok(())
+/// Applies pragma suppression to cross-file findings. Per-line
+/// `allow(...)` pragmas work exactly as for the token rules; per-item
+/// `allow-item(...)` pragmas on (or one line above) an item's first
+/// line suppress across the item's whole line span — cross-file
+/// findings are attributed to functions, not tokens, so the function is
+/// the natural suppression unit.
+fn suppress_cross(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    use std::collections::BTreeMap;
+
+    struct FileSuppression {
+        lines: Vec<(u32, Vec<Rule>)>,
+        spans: Vec<(u32, u32, Vec<Rule>)>,
+    }
+
+    let mut by_path: BTreeMap<&str, FileSuppression> = BTreeMap::new();
+    for f in files {
+        let lines = rules::pragma_lines(&f.toks);
+        let item_pragmas = rules::item_pragma_lines(&f.toks);
+        let mut spans = Vec::new();
+        for item in &f.items {
+            let end_line = f
+                .toks
+                .get(
+                    item.end
+                        .saturating_sub(1)
+                        .min(f.toks.len().saturating_sub(1)),
+                )
+                .map_or(item.line, |t| t.line);
+            for (pline, prules) in &item_pragmas {
+                if *pline == item.line || pline + 1 == item.line {
+                    spans.push((item.line, end_line, prules.clone()));
+                }
+            }
+        }
+        if !lines.is_empty() || !spans.is_empty() {
+            by_path.insert(&f.path, FileSuppression { lines, spans });
+        }
+    }
+
+    findings.retain(|f| {
+        let Some(s) = by_path.get(f.path.as_str()) else {
+            return true;
+        };
+        if rules::suppressed(&s.lines, f.rule, f.line) {
+            return false;
+        }
+        !s.spans
+            .iter()
+            .any(|(lo, hi, rules)| f.line >= *lo && f.line <= *hi && rules.contains(&f.rule))
+    });
+}
+
+/// Renders a report as deterministic machine-readable JSON: stable key
+/// order, findings pre-sorted, one object per finding with the stable
+/// rule `id`. Hand-rolled (the crate is dependency-free); strings are
+/// escaped per RFC 8259. Timing never appears here — the report is
+/// byte-for-byte reproducible for a given tree, so CI can diff it.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"sheriff-lint\",\n");
+    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"id\": \"{}\", ", f.rule.id()));
+        out.push_str(&format!("\"rule\": \"{}\", ", f.rule.name()));
+        out.push_str(&format!("\"severity\": \"{}\", ", f.rule.severity()));
+        out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str("  \"counts_by_rule\": {");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let n = report.findings.iter().filter(|f| f.rule == *rule).count();
+        out.push_str(&format!("\"{}\": {}", rule.name(), n));
+    }
+    out.push_str("}\n");
+    out.push_str("}\n");
+    out
+}
+
+/// JSON string literal with RFC 8259 escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -82,7 +270,9 @@ mod tests {
     #[test]
     fn walk_skips_vendor_and_fixture_dirs() {
         // The crate's own fixtures directory is full of violations by
-        // construction; a walk over the crate must not see them.
+        // construction; a walk over the crate must not see them. The
+        // linter lints its own sources with every pass (satellite
+        // contract: the tree below is in HASH_ITER_SCOPE).
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let findings = analyze_path(here).unwrap();
         assert!(
@@ -96,5 +286,24 @@ mod tests {
         let bad = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/wall_clock_bad.rs");
         let findings = analyze_path(&bad).unwrap();
         assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let report = Report {
+            files: 2,
+            findings: vec![Finding {
+                path: "crates/a\\b.rs".into(),
+                line: 7,
+                rule: Rule::PrivacyTaint,
+                message: "say \"no\"".into(),
+            }],
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"id\": \"SL101\""));
+        assert!(json.contains("\"path\": \"crates/a\\\\b.rs\""));
+        assert!(json.contains("\"message\": \"say \\\"no\\\"\""));
+        assert!(json.contains("\"privacy-taint\": 1"));
+        assert!(json.contains("\"wall-clock\": 0"));
     }
 }

@@ -1,14 +1,22 @@
 #![forbid(unsafe_code)]
-//! CLI: `sheriff-lint [--list-rules] <path>...`
+//! CLI: `sheriff-lint [--list-rules] [--json] <path>...`
 //!
 //! Exits 0 when every given tree is clean, 1 when any finding is
 //! reported, 2 on usage or I/O errors. `ci.sh` runs it over `crates`
-//! as a named stage.
+//! as a named stage and archives the `--json` report.
+//!
+//! Human findings go to stdout (or the JSON report, with `--json`);
+//! the bench-style timing line always goes to stderr so the report
+//! stays byte-for-byte deterministic.
 
 use std::path::Path;
 use std::process::ExitCode;
+// Timing the analyzer's own run is the one sanctioned wall-clock read
+// in this crate (see config::WALL_CLOCK_ALLOWED): it feeds the CI
+// regression line, never a finding.
+use std::time::Instant;
 
-use sheriff_lint::{analyze_path, ALL_RULES};
+use sheriff_lint::{analyze, render_json, Report, ALL_RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,43 +26,61 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--list-rules") {
         for rule in ALL_RULES {
-            println!("{:<18} {}", rule.name(), rule.describe());
+            println!("{:<7} {:<18} {}", rule.id(), rule.name(), rule.describe());
         }
         return ExitCode::SUCCESS;
     }
-    if args.is_empty() {
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
         usage();
         return ExitCode::from(2);
     }
 
-    let mut findings = Vec::new();
-    for arg in &args {
-        match analyze_path(Path::new(arg)) {
-            Ok(f) => findings.extend(f),
+    let started = Instant::now();
+    let mut report = Report {
+        files: 0,
+        findings: Vec::new(),
+    };
+    for arg in &paths {
+        match analyze(Path::new(arg.as_str())) {
+            Ok(r) => {
+                report.files += r.files;
+                report.findings.extend(r.findings);
+            }
             Err(e) => {
                 eprintln!("sheriff-lint: {arg}: {e}");
                 return ExitCode::from(2);
             }
         }
     }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    for f in &findings {
-        println!("{f}");
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
     }
-    if findings.is_empty() {
-        eprintln!(
-            "sheriff-lint: clean ({} rules over {})",
-            ALL_RULES.len(),
-            args.join(", ")
-        );
+    eprintln!(
+        "sheriff-lint: {} file(s), {} rules, {} finding(s) in {:.1} ms (lexed once per file)",
+        report.files,
+        ALL_RULES.len(),
+        report.findings.len(),
+        elapsed_ms
+    );
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("sheriff-lint: {} finding(s)", findings.len());
         ExitCode::from(1)
     }
 }
 
 fn usage() {
-    eprintln!("usage: sheriff-lint [--list-rules] <path>...");
-    eprintln!("       checks .rs files for determinism-contract violations");
+    eprintln!("usage: sheriff-lint [--list-rules] [--json] <path>...");
+    eprintln!("       checks .rs files for determinism/privacy-contract violations");
 }

@@ -1,0 +1,204 @@
+//! Transitive panic-freedom: nothing the protocol machines can reach
+//! may panic.
+//!
+//! The per-file `no-panic-protocol` rule covers `core/src/protocol/`
+//! itself, but a state machine that calls into a helper crate inherits
+//! that helper's panics: an `unwrap` in `crypto` or `wire` takes down
+//! the driver thread under exactly the chaos schedules the protocol is
+//! supposed to absorb. This pass walks the workspace call graph from
+//! the protocol entry points ([`crate::config::REACH_ENTRY_FNS`] inside
+//! [`crate::config::PROTOCOL_DIR`]) and applies the same panic-token
+//! scan to every reachable function body, wherever it lives.
+//!
+//! Files already inside [`crate::config::NO_PANIC_SCOPE`] are skipped —
+//! the per-file rule owns those and reports with tighter context — as
+//! are test trees and `#[cfg(test)]` items. Each finding carries its
+//! witness: the entry point it is reachable from and the direct caller
+//! the taint arrived through.
+
+use std::collections::BTreeMap;
+
+use crate::config;
+use crate::graph::{CallGraph, FnId, SourceFile};
+use crate::rules::{no_panic, Finding, Hits, Rule};
+
+/// Runs the pass over a built call graph.
+pub fn check(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    // Entry points: handler surface of the protocol machines.
+    let mut reachable: BTreeMap<FnId, FnId> = BTreeMap::new(); // fn → caller
+    let mut queue = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.in_tests {
+            continue;
+        }
+        if f.path.contains(config::PROTOCOL_DIR)
+            && config::REACH_ENTRY_FNS.contains(&f.name.as_str())
+        {
+            reachable.insert(id, id); // entries are their own caller
+            queue.push(id);
+        }
+    }
+
+    while let Some(id) = queue.pop() {
+        if let Some(callees) = graph.edges.get(id) {
+            for &callee in callees {
+                if graph.fns[callee].in_tests || reachable.contains_key(&callee) {
+                    continue;
+                }
+                reachable.insert(callee, id);
+                queue.push(callee);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (&id, &caller) in &reachable {
+        let f = &graph.fns[id];
+        // The per-file rule owns the protocol dir; test trees may panic.
+        if config::matches_any(&f.path, config::NO_PANIC_SCOPE)
+            || config::matches_any(&f.path, config::TEST_TREE_MARKERS)
+        {
+            continue;
+        }
+        let entry = entry_of(&reachable, id);
+        let toks = &files[f.file].toks;
+        let end = f.end.min(toks.len());
+        let mut hits: Hits = Vec::new();
+        no_panic(&toks[f.start..end], &mut hits);
+        for (idx, msg) in hits {
+            let tok = &toks[f.start + idx];
+            let e = &graph.fns[entry];
+            let via = if caller == id {
+                String::new()
+            } else {
+                format!(" via `{}`", graph.fns[caller].name)
+            };
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: tok.line,
+                rule: Rule::TransitivePanic,
+                message: format!(
+                    "`{}` is reachable from protocol entry `{}::{}`{via}: {msg}",
+                    f.name, e.module, e.name
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup_by(|a, b| (&a.path, a.line, &a.message) == (&b.path, b.line, &b.message));
+    findings
+}
+
+/// Walks the caller chain back to the entry point.
+fn entry_of(reachable: &BTreeMap<FnId, FnId>, mut id: FnId) -> FnId {
+    loop {
+        let Some(&parent) = reachable.get(&id) else {
+            return id;
+        };
+        if parent == id {
+            return id;
+        }
+        id = parent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::rules::test_regions;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let test_marks = test_regions(&toks);
+        let items = parse_items(&toks, &test_marks);
+        SourceFile {
+            path: path.into(),
+            toks,
+            test_marks,
+            items,
+        }
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        check(&files, &CallGraph::build(&files))
+    }
+
+    #[test]
+    fn panic_in_reachable_helper_crate_is_flagged() {
+        let findings = run(vec![
+            file(
+                "crates/core/src/protocol/peer.rs",
+                "impl P { pub fn on_message(&mut self) { seal_payload(); } }",
+            ),
+            file(
+                "crates/crypto/src/seal.rs",
+                "pub fn seal_payload() { let x: Option<u8> = None; x.unwrap(); }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::TransitivePanic);
+        assert!(findings[0].path.contains("crypto"));
+        assert!(findings[0].message.contains("peer::on_message"));
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_flagged() {
+        let findings = run(vec![
+            file(
+                "crates/core/src/protocol/peer.rs",
+                "impl P { pub fn on_message(&mut self) {} }",
+            ),
+            file(
+                "crates/crypto/src/seal.rs",
+                "pub fn orphan() { let x: Option<u8> = None; x.unwrap(); }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn protocol_dir_itself_is_left_to_the_per_file_rule() {
+        let findings = run(vec![file(
+            "crates/core/src/protocol/peer.rs",
+            "impl P { pub fn on_message(&mut self) { self.helper(); }\n\
+             fn helper(&self) { let x: Option<u8> = None; x.unwrap(); } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn witness_names_the_direct_caller() {
+        let findings = run(vec![
+            file(
+                "crates/core/src/protocol/measurement.rs",
+                "impl M { pub fn on_timer(&mut self) { pack_rows(); } }",
+            ),
+            file(
+                "crates/html/src/pack.rs",
+                "pub fn pack_rows() { row_bytes(); }\n\
+                 pub fn row_bytes() -> u8 { let v = vec![1u8]; v[0] }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("via `pack_rows`"));
+        assert!(findings[0].message.contains("measurement::on_timer"));
+    }
+
+    #[test]
+    fn cfg_test_helpers_are_exempt() {
+        let findings = run(vec![
+            file(
+                "crates/core/src/protocol/peer.rs",
+                "impl P { pub fn on_message(&mut self) { seal_payload(); } }",
+            ),
+            file(
+                "crates/crypto/src/seal.rs",
+                "pub fn seal_payload() {}\n\
+                 #[cfg(test)]\nfn seal_helper() { x.unwrap(); }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,404 @@
+//! Protocol routing matrix: every `ProtoMsg` variant is handled by
+//! exactly its intended machines.
+//!
+//! The §3.2 protocol is a fixed conversation: each message variant has
+//! intended receivers, and a variant that silently stops being matched
+//! (or starts being matched somewhere new) is a protocol change whether
+//! or not anyone meant it. This pass extracts, from the token streams
+//! of `core/src/protocol/*.rs`, which variants appear as *patterns*
+//! inside the handler functions of each machine, and diffs that matrix
+//! against the declared [`crate::config::ROUTING_TABLE`]:
+//!
+//! * a variant absent from the table is **dead or undeclared** — fail;
+//! * a declared handler with no matching pattern is a **routing gap** —
+//!   fail (this is how a dropped `match` arm surfaces);
+//! * an extracted handler the table doesn't claim is **doubly-claimed
+//!   or misrouted** — fail.
+//!
+//! Patterns are distinguished from constructions syntactically: a
+//! variant (plus its brace/paren group) followed by `=>`, by a plain
+//! `=` (the `if let`/`let ... else` forms), by `|` (or-patterns), or
+//! sitting in the pattern operand of `matches!`, is a pattern;
+//! everything else is an expression building a message.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config;
+use crate::graph::SourceFile;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::ItemKind;
+use crate::rules::{Finding, Rule};
+
+/// One extracted pattern occurrence.
+struct Claim {
+    variant: String,
+    machine: String,
+    path: String,
+    line: u32,
+}
+
+/// Runs the pass over the analyzed files.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // The authoritative variant list comes from the ProtoMsg enum
+    // itself; without it (partial-tree invocation) the pass is silent.
+    let Some((enum_path, enum_line, variants)) = find_protomsg_enum(files) else {
+        return Vec::new();
+    };
+
+    let mut claims: Vec<Claim> = Vec::new();
+    for file in files {
+        if !file.path.contains(config::PROTOCOL_DIR) {
+            continue;
+        }
+        let machine = file
+            .path
+            .rsplit('/')
+            .next()
+            .and_then(|n| n.strip_suffix(".rs"))
+            .unwrap_or("")
+            .to_string();
+        for item in &file.items {
+            if item.kind != ItemKind::Fn
+                || item.in_tests
+                || !config::PROTOCOL_HANDLER_FNS.contains(&item.name.as_str())
+            {
+                continue;
+            }
+            let matches_ranges = matches_macro_pattern_ranges(&file.toks, item.start, item.end);
+            let mut i = item.start;
+            while i + 3 < item.end.min(file.toks.len()) {
+                if file.toks[i].is_ident("ProtoMsg")
+                    && file.toks[i + 1].is_punct(':')
+                    && file.toks[i + 2].is_punct(':')
+                    && file.toks[i + 3].kind == TokKind::Ident
+                {
+                    let variant = file.toks[i + 3].text.clone();
+                    let line = file.toks[i + 3].line;
+                    let in_matches = matches_ranges.iter().any(|r| r.contains(&(i + 3)));
+                    if in_matches || is_pattern(&file.toks, i + 4, item.end) {
+                        claims.push(Claim {
+                            variant,
+                            machine: machine.clone(),
+                            path: file.path.clone(),
+                            line,
+                        });
+                    }
+                    i += 4;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Build extracted matrix: variant → machines (with a witness line).
+    let mut extracted: BTreeMap<&str, BTreeMap<&str, (&str, u32)>> = BTreeMap::new();
+    for c in &claims {
+        extracted
+            .entry(&c.variant)
+            .or_default()
+            .entry(&c.machine)
+            .or_insert((&c.path, c.line));
+    }
+
+    let table: BTreeMap<&str, &[&str]> = config::ROUTING_TABLE.iter().copied().collect();
+    let mut findings = Vec::new();
+    for variant in &variants {
+        let Some(declared) = table.get(variant.as_str()) else {
+            findings.push(Finding {
+                path: enum_path.clone(),
+                line: enum_line,
+                rule: Rule::ProtoRouting,
+                message: format!(
+                    "`ProtoMsg::{variant}` is not in the routing table: \
+                     declare its handler machines (or `&[]` for driver-handled)"
+                ),
+            });
+            continue;
+        };
+        let declared_set: BTreeSet<&str> = declared.iter().copied().collect();
+        let empty = BTreeMap::new();
+        let got = extracted.get(variant.as_str()).unwrap_or(&empty);
+        for machine in &declared_set {
+            if !got.contains_key(machine) {
+                findings.push(Finding {
+                    path: enum_path.clone(),
+                    line: enum_line,
+                    rule: Rule::ProtoRouting,
+                    message: format!(
+                        "routing gap: `{machine}` is declared to handle \
+                         `ProtoMsg::{variant}` but no handler pattern matches it"
+                    ),
+                });
+            }
+        }
+        for (machine, (path, line)) in got {
+            if !declared_set.contains(machine) {
+                findings.push(Finding {
+                    path: (*path).to_string(),
+                    line: *line,
+                    rule: Rule::ProtoRouting,
+                    message: format!(
+                        "`{machine}` handles `ProtoMsg::{variant}` but the routing \
+                         table does not claim it for this machine"
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+/// Locates the `ProtoMsg` enum among the analyzed files (it must live
+/// under the protocol dir) and returns `(path, line, variants)`.
+fn find_protomsg_enum(files: &[SourceFile]) -> Option<(String, u32, Vec<String>)> {
+    for file in files {
+        if !file.path.contains(config::PROTOCOL_DIR) {
+            continue;
+        }
+        for item in &file.items {
+            if item.kind == ItemKind::Enum && item.name == "ProtoMsg" {
+                return Some((file.path.clone(), item.line, item.variants.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Token index ranges covering the *pattern operand* of every
+/// `matches!(scrutinee, pattern)` invocation in `[start, end)`: from
+/// just after the first depth-1 comma to the closing paren.
+fn matches_macro_pattern_ranges(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let end = end.min(toks.len());
+    let mut i = start;
+    while i + 2 < end {
+        if toks[i].is_ident("matches") && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('(') {
+            let mut depth = 0i32;
+            let mut pattern_start = None;
+            let mut j = i + 2;
+            while j < end {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some(s) = pattern_start {
+                            out.push(s..j);
+                        }
+                        break;
+                    }
+                } else if t.is_punct(',') && depth == 1 && pattern_start.is_none() {
+                    pattern_start = Some(j + 1);
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Classifies the context just after a `ProtoMsg::Variant` path (index
+/// `j` points past the variant name) as pattern or expression.
+fn is_pattern(toks: &[Tok], mut j: usize, end: usize) -> bool {
+    let end = end.min(toks.len());
+    // Skip the variant's field group, if any.
+    if toks
+        .get(j)
+        .is_some_and(|t| t.is_punct('{') || t.is_punct('('))
+    {
+        let open = if toks[j].is_punct('{') { '{' } else { '(' };
+        let close = if open == '{' { '}' } else { ')' };
+        let mut depth = 0i32;
+        while j < end {
+            if toks[j].is_punct(open) {
+                depth += 1;
+            } else if toks[j].is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Scan the trailing context: `=>` / `=` / `|` mean pattern, a
+    // terminator at depth 0 means expression. Guards (`if ...`) are
+    // scanned through; `==`/`||` inside them are skipped in pairs.
+    let mut depth = 0i32;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return false; // closed an enclosing group: expression
+            }
+        } else if depth == 0 {
+            if t.is_punct('=') {
+                if toks.get(j + 1).is_some_and(|n| n.is_punct('>')) {
+                    return true; // match arm
+                }
+                if toks.get(j + 1).is_some_and(|n| n.is_punct('=')) {
+                    j += 2; // `==` comparison inside a guard
+                    continue;
+                }
+                return true; // `if let`/`let ... else` binding
+            }
+            if t.is_punct('|') {
+                if toks.get(j + 1).is_some_and(|n| n.is_punct('|')) {
+                    j += 2; // logical-or inside a guard
+                    continue;
+                }
+                return true; // or-pattern
+            }
+            if t.is_punct(',')
+                || t.is_punct(';')
+                || t.is_punct('}')
+                || t.is_punct('{')
+                || t.is_punct('.')
+            {
+                return false;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::rules::test_regions;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let test_marks = test_regions(&toks);
+        let items = parse_items(&toks, &test_marks);
+        SourceFile {
+            path: path.into(),
+            toks,
+            test_marks,
+            items,
+        }
+    }
+
+    fn mini_enum(variants: &str) -> SourceFile {
+        file(
+            "crates/core/src/protocol/messages.rs",
+            &format!("pub enum ProtoMsg {{ {variants} }}"),
+        )
+    }
+
+    #[test]
+    fn match_arm_patterns_are_claims_constructions_are_not() {
+        let files = vec![
+            mini_enum("JobComplete { job: u64 }, Heartbeat { i: usize }"),
+            file(
+                "crates/core/src/protocol/coordinator.rs",
+                "impl C { pub fn on_message(&mut self, msg: ProtoMsg) { match msg {\n\
+                 ProtoMsg::JobComplete { job } => { self.done(job); }\n\
+                 ProtoMsg::Heartbeat { i } => { let _ = ProtoMsg::JobComplete { job: 0 }; }\n\
+                 _ => {} } } }",
+            ),
+        ];
+        let findings = check(&files);
+        // Heartbeat is declared for coordinator, JobComplete too: clean.
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn dropped_arm_is_a_routing_gap() {
+        let files = vec![
+            mini_enum("JobComplete { job: u64 }"),
+            file(
+                "crates/core/src/protocol/coordinator.rs",
+                "impl C { pub fn on_message(&mut self, msg: ProtoMsg) { match msg { _ => {} } } }",
+            ),
+        ];
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("routing gap"));
+    }
+
+    #[test]
+    fn unclaimed_handler_is_flagged() {
+        let files = vec![
+            mini_enum("Heartbeat { i: usize }"),
+            file(
+                "crates/core/src/protocol/coordinator.rs",
+                "impl C { pub fn on_message(&mut self, msg: ProtoMsg) { match msg {\n\
+                 ProtoMsg::Heartbeat { i } => {} _ => {} } } }",
+            ),
+            file(
+                "crates/core/src/protocol/peer.rs",
+                "impl P { pub fn on_message(&mut self, msg: ProtoMsg) { match msg {\n\
+                 ProtoMsg::Heartbeat { i } => {} _ => {} } } }",
+            ),
+        ];
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].path.contains("peer.rs"));
+        assert!(findings[0].message.contains("does not claim"));
+    }
+
+    #[test]
+    fn undeclared_variant_is_flagged() {
+        let files = vec![mini_enum("Bogus { x: u64 }")];
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("not in the routing table"));
+    }
+
+    #[test]
+    fn if_let_and_matches_forms_are_patterns() {
+        let files = vec![
+            mini_enum("StoreCheck { job: u64 }, Ack { seq: u64 }, Shutdown"),
+            file(
+                "crates/core/src/protocol/database.rs",
+                "impl D { pub fn on_message(&mut self, msg: ProtoMsg) {\n\
+                 if let ProtoMsg::StoreCheck { job } = msg { self.store(job); } } }",
+            ),
+            file(
+                "crates/core/src/protocol/reliable.rs",
+                "impl R { pub fn accept(&mut self, msg: &ProtoMsg) -> bool {\n\
+                 matches!(msg, ProtoMsg::Ack { .. }) } }",
+            ),
+        ];
+        let findings = check(&files);
+        // Shutdown is declared driver-handled (empty list): no finding.
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn construction_sent_as_argument_is_not_a_claim() {
+        let files = vec![
+            mini_enum("DbAck { job: u64 }, StoreCheck { job: u64 }"),
+            file(
+                "crates/core/src/protocol/database.rs",
+                "impl D { pub fn on_message(&mut self, msg: ProtoMsg, out: &mut Vec<Output>) {\n\
+                 if let ProtoMsg::StoreCheck { job } = msg {\n\
+                 out.push(Output::send(r, ProtoMsg::DbAck { job })); } } }",
+            ),
+            file(
+                "crates/core/src/protocol/measurement.rs",
+                "impl M { pub fn on_message(&mut self, msg: ProtoMsg) { match msg {\n\
+                 ProtoMsg::DbAck { job } => {} _ => {} } } }",
+            ),
+        ];
+        let findings = check(&files);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

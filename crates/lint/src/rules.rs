@@ -1,13 +1,17 @@
-//! The five determinism-contract rules and the machinery they share:
-//! path scoping, `#[cfg(test)]`-region detection, and pragma
-//! suppression.
+//! The determinism-contract rules and the machinery they share: path
+//! scoping, `#[cfg(test)]`-region detection, and pragma suppression.
 //!
-//! Every rule is deliberately token-level — no type information, no
-//! name resolution. That buys zero dependencies and sub-second runs at
-//! the cost of precision, which the scoping rules and the per-line
-//! `// sheriff-lint: allow(<rule>)` pragma buy back. The allowlist
-//! lives in [`crate::config`]; policy questions (why is a file
-//! sanctioned?) belong in DESIGN.md "Static analysis & invariants".
+//! The five original rules are per-file and deliberately token-level —
+//! no type information, no name resolution. That buys zero dependencies
+//! and sub-second runs at the cost of precision, which the scoping
+//! rules and the per-line `// sheriff-lint: allow(<rule>)` pragma buy
+//! back. The three flow-aware rules ([`Rule::PrivacyTaint`],
+//! [`Rule::ProtoRouting`], [`Rule::TransitivePanic`]) are cross-file:
+//! they run over the workspace call graph in [`crate::taint`],
+//! [`crate::routing`], and [`crate::reach`], and only their identity
+//! (name, id, severity) lives here. The allowlist lives in
+//! [`crate::config`]; policy questions (why is a file sanctioned?)
+//! belong in DESIGN.md "Static analysis & invariants".
 
 use crate::config;
 use crate::lexer::{Tok, TokKind};
@@ -30,15 +34,28 @@ pub enum Rule {
     /// Counter/gauge/histogram names must follow `subsystem.snake_case`
     /// so panel and exporter joins never drift.
     TelemetryNaming,
+    /// Cross-file: peer plaintext / doppelganger profile data reaching
+    /// a wire, telemetry, or report sink without passing through a
+    /// `crypto::elgamal`/`crypto::ipfe` encryption entry point.
+    PrivacyTaint,
+    /// Cross-file: the `ProtoMsg` handling matrix extracted from the
+    /// protocol machines diverges from the declared routing table.
+    ProtoRouting,
+    /// Cross-file: a panic site in any crate reachable from the
+    /// protocol entry points via the workspace call graph.
+    TransitivePanic,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::WallClock,
     Rule::AmbientEntropy,
     Rule::HashIter,
     Rule::NoPanicProtocol,
     Rule::TelemetryNaming,
+    Rule::PrivacyTaint,
+    Rule::ProtoRouting,
+    Rule::TransitivePanic,
 ];
 
 impl Rule {
@@ -50,7 +67,33 @@ impl Rule {
             Rule::HashIter => "hash-iter",
             Rule::NoPanicProtocol => "no-panic-protocol",
             Rule::TelemetryNaming => "telemetry-naming",
+            Rule::PrivacyTaint => "privacy-taint",
+            Rule::ProtoRouting => "proto-routing",
+            Rule::TransitivePanic => "transitive-panic",
         }
+    }
+
+    /// The stable rule id used in machine-readable reports. Per-file
+    /// token rules are `SL0xx`; flow-aware cross-file rules are
+    /// `SL1xx`. Ids never change meaning; retired ids are not reused.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "SL001",
+            Rule::AmbientEntropy => "SL002",
+            Rule::HashIter => "SL003",
+            Rule::NoPanicProtocol => "SL004",
+            Rule::TelemetryNaming => "SL005",
+            Rule::PrivacyTaint => "SL101",
+            Rule::ProtoRouting => "SL102",
+            Rule::TransitivePanic => "SL103",
+        }
+    }
+
+    /// Severity in machine-readable reports. Every current rule is a
+    /// CI gate (`error`); the field exists so a future advisory rule
+    /// can report `warning` without changing the report schema.
+    pub fn severity(self) -> &'static str {
+        "error"
     }
 
     /// Parses a pragma/CLI rule name.
@@ -76,17 +119,26 @@ impl Rule {
             Rule::TelemetryNaming => {
                 "metric names must be subsystem.snake_case (dotted, lowercase)"
             }
+            Rule::PrivacyTaint => {
+                "peer plaintext reaching a wire/telemetry/report sink without encryption"
+            }
+            Rule::ProtoRouting => "ProtoMsg handling diverges from the declared routing matrix",
+            Rule::TransitivePanic => {
+                "panic site reachable from a protocol entry point, in any crate"
+            }
         }
     }
 
     /// Whether the rule fires inside this file at all, per the
     /// [`crate::config`] scoping tables. `path` uses `/` separators.
+    /// Cross-file rules never fire from the per-file loop.
     fn applies_to(self, path: &str) -> bool {
         match self {
             Rule::WallClock => !config::matches_any(path, config::WALL_CLOCK_ALLOWED),
             Rule::AmbientEntropy | Rule::TelemetryNaming => true,
             Rule::HashIter => config::matches_any(path, config::HASH_ITER_SCOPE),
             Rule::NoPanicProtocol => config::matches_any(path, config::NO_PANIC_SCOPE),
+            Rule::PrivacyTaint | Rule::ProtoRouting | Rule::TransitivePanic => false,
         }
     }
 
@@ -128,17 +180,27 @@ impl std::fmt::Display for Finding {
 }
 
 /// Analyzes one file's source. `path` is used for scoping and reporting
-/// and should be workspace-relative where possible.
+/// and should be workspace-relative where possible. Convenience wrapper
+/// around [`check_tokens`] for callers that hold raw source; the tree
+/// analyzer lexes once per file and calls [`check_tokens`] directly so
+/// the same token stream feeds every per-file rule *and* the parser.
 pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
     let norm = path.replace('\\', "/");
     let toks = crate::lexer::lex(src);
     let test_tok = test_regions(&toks);
-    let whole_file_test = config::matches_any(&norm, config::TEST_TREE_MARKERS);
-    let allowed = pragma_lines(&toks);
+    check_tokens(&norm, &toks, &test_tok)
+}
+
+/// Runs every per-file rule over an already-lexed token stream. `norm`
+/// must be `/`-separated; `test_tok` marks `#[cfg(test)]` regions (from
+/// [`test_regions`] over the same stream).
+pub fn check_tokens(norm: &str, toks: &[Tok], test_tok: &[bool]) -> Vec<Finding> {
+    let whole_file_test = config::matches_any(norm, config::TEST_TREE_MARKERS);
+    let allowed = pragma_lines(toks);
 
     let mut findings = Vec::new();
     for rule in ALL_RULES {
-        if !rule.applies_to(&norm) {
+        if !rule.applies_to(norm) {
             continue;
         }
         if whole_file_test && !rule.applies_in_tests() {
@@ -146,11 +208,14 @@ pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
         }
         let mut hits = Vec::new();
         match rule {
-            Rule::WallClock => wall_clock(&toks, &mut hits),
-            Rule::AmbientEntropy => ambient_entropy(&toks, &mut hits),
-            Rule::HashIter => hash_iter(&toks, &mut hits),
-            Rule::NoPanicProtocol => no_panic(&toks, &mut hits),
-            Rule::TelemetryNaming => telemetry_naming(&toks, &mut hits),
+            Rule::WallClock => wall_clock(toks, &mut hits),
+            Rule::AmbientEntropy => ambient_entropy(toks, &mut hits),
+            Rule::HashIter => hash_iter(toks, &mut hits),
+            Rule::NoPanicProtocol => no_panic(toks, &mut hits),
+            Rule::TelemetryNaming => telemetry_naming(toks, &mut hits),
+            // Cross-file rules run from crate::taint / crate::routing /
+            // crate::reach; applies_to already filtered them out.
+            Rule::PrivacyTaint | Rule::ProtoRouting | Rule::TransitivePanic => {}
         }
         for (idx, msg) in hits {
             if test_tok[idx] && !rule.applies_in_tests() {
@@ -161,7 +226,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
                 continue;
             }
             findings.push(Finding {
-                path: norm.clone(),
+                path: norm.to_string(),
                 line,
                 rule,
                 message: msg,
@@ -178,7 +243,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
 /// rules they allow. A pragma suppresses findings on its own line (the
 /// trailing-comment form) and on the following line (the
 /// comment-above form).
-fn pragma_lines(toks: &[Tok]) -> Vec<(u32, Vec<Rule>)> {
+pub(crate) fn pragma_lines(toks: &[Tok]) -> Vec<(u32, Vec<Rule>)> {
     let mut out = Vec::new();
     for t in toks {
         if t.kind != TokKind::LineComment {
@@ -191,13 +256,41 @@ fn pragma_lines(toks: &[Tok]) -> Vec<(u32, Vec<Rule>)> {
     out
 }
 
+/// Lines carrying `// sheriff-lint: allow-item(rule, ...)`. An item
+/// pragma on (or one line above) an item's first line suppresses the
+/// listed rules across the item's whole span — the unit the flow-aware
+/// passes report at. Per-line `allow(...)` stays the right tool for the
+/// token rules; `allow-item` exists because a cross-file finding often
+/// has no single line the author controls.
+pub(crate) fn item_pragma_lines(toks: &[Tok]) -> Vec<(u32, Vec<Rule>)> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        if let Some(rules) = parse_item_pragma(&t.text) {
+            out.push((t.line, rules));
+        }
+    }
+    out
+}
+
 /// Parses the body of a line comment (text after `//`). Returns the
 /// allowed rules, or `None` when the comment is not a pragma. Unknown
 /// rule names are ignored rather than honored, so a typo'd pragma
 /// still fails the build — loudly, next to the pragma.
 pub fn parse_pragma(comment: &str) -> Option<Vec<Rule>> {
+    parse_pragma_with(comment, "allow")
+}
+
+/// Parses the item-scoped pragma form `sheriff-lint: allow-item(...)`.
+pub fn parse_item_pragma(comment: &str) -> Option<Vec<Rule>> {
+    parse_pragma_with(comment, "allow-item")
+}
+
+fn parse_pragma_with(comment: &str, verb: &str) -> Option<Vec<Rule>> {
     let rest = comment.trim_start().strip_prefix("sheriff-lint:")?;
-    let rest = rest.trim_start().strip_prefix("allow")?;
+    let rest = rest.trim_start().strip_prefix(verb)?;
     let rest = rest.trim_start().strip_prefix('(')?;
     let inner = rest.split(')').next()?;
     Some(
@@ -208,7 +301,7 @@ pub fn parse_pragma(comment: &str) -> Option<Vec<Rule>> {
     )
 }
 
-fn suppressed(allowed: &[(u32, Vec<Rule>)], rule: Rule, line: u32) -> bool {
+pub(crate) fn suppressed(allowed: &[(u32, Vec<Rule>)], rule: Rule, line: u32) -> bool {
     allowed
         .iter()
         .any(|(l, rules)| (*l == line || l + 1 == line) && rules.contains(&rule))
@@ -220,7 +313,9 @@ fn suppressed(allowed: &[(u32, Vec<Rule>)], rule: Rule, line: u32) -> bool {
 /// `#[cfg(test)]` (module, fn, impl, anything). Single forward pass:
 /// after such an attribute, the next item is skipped — to the matching
 /// `}` of its first `{`, or to a top-relative `;` for braceless items.
-fn test_regions(toks: &[Tok]) -> Vec<bool> {
+/// Public because the tree analyzer computes this once per file and
+/// shares it between the per-file rules and the item parser.
+pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
     let mut marks = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -313,7 +408,7 @@ fn cfg_test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
 
 // ----- the rules themselves -----
 
-type Hits = Vec<(usize, String)>;
+pub(crate) type Hits = Vec<(usize, String)>;
 
 fn wall_clock(toks: &[Tok], hits: &mut Hits) {
     for (i, t) in toks.iter().enumerate() {
@@ -363,7 +458,9 @@ const NON_INDEX_KEYWORDS: [&str; 14] = [
     "dyn", "where",
 ];
 
-fn no_panic(toks: &[Tok], hits: &mut Hits) {
+/// Shared with [`crate::reach`], which applies the same scan to
+/// function-body token slices reachable from the protocol entry points.
+pub(crate) fn no_panic(toks: &[Tok], hits: &mut Hits) {
     for (i, t) in toks.iter().enumerate() {
         // .unwrap( / .expect( and their _err twins.
         for name in ["unwrap", "expect", "unwrap_err", "expect_err"] {

@@ -104,7 +104,11 @@ const PRICE_MARKUP: &[(&str, &str)] = &[
 
 /// The price element markup for a template index.
 pub fn price_markup(template: u8) -> (&'static str, &'static str) {
-    PRICE_MARKUP[template as usize % PRICE_MARKUP.len()]
+    let i = template as usize % PRICE_MARKUP.len();
+    PRICE_MARKUP
+        .get(i)
+        .copied()
+        .unwrap_or(("span", "price-value"))
 }
 
 /// Everything needed to render one product page.

@@ -170,7 +170,7 @@ impl Retailer {
                 }
                 let pick =
                     hash_mix(&[self.salt, u64::from(id.0), k, 0x5c]) % self.products.len() as u64;
-                let other = &self.products[pick as usize];
+                let other = self.products.get(pick as usize)?;
                 if other.id == id {
                     return None;
                 }

@@ -174,13 +174,13 @@ impl World {
 
     /// Retailer by domain.
     pub fn retailer(&self, domain: &str) -> Option<&Retailer> {
-        self.index.get(domain).map(|&i| &self.retailers[i])
+        self.index.get(domain).and_then(|&i| self.retailers.get(i))
     }
 
     /// Mutable retailer by domain.
     pub fn retailer_mut(&mut self, domain: &str) -> Option<&mut Retailer> {
         let i = *self.index.get(domain)?;
-        Some(&mut self.retailers[i])
+        self.retailers.get_mut(i)
     }
 
     /// All domains, in construction order (named case studies first).

@@ -372,7 +372,13 @@ fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, 
                     ctx.unknown_timers.inc();
                     continue;
                 }
-                Some(TimerKind::Retransmit(seq)) => chan.on_retransmit(seq, &mut out),
+                Some(TimerKind::Retransmit(seq)) => {
+                    if let Some((_, abandoned)) = chan.on_retransmit(seq, &mut out) {
+                        if let Role::Peer { proto } = &mut role {
+                            proto.on_send_abandoned(&abandoned);
+                        }
+                    }
+                }
                 Some(kind) => match &mut role {
                     Role::Coordinator { proto, rng, .. } => {
                         proto.on_timer(ctx.now_ms(), kind, rng, &mut out);
