@@ -76,4 +76,28 @@ CHAOS_SEEDS="11,23,37,41,53,67,79,97" \
     cargo test -p sheriff-core --test chaos_soak --quiet
 cargo test -p sheriff-wire --test chaos_parity --quiet
 
+# Durability gate: the crash-point matrix re-runs recovery from every WAL
+# record boundary (and every mid-record byte) and must reconstruct exactly
+# the durable prefix; the TCP soak then kills the Database under a pinned
+# seed bank and re-opens its on-disk files cold, proving zero observation
+# loss on the real-file Storage backend too. See DESIGN.md, "Durability &
+# recovery".
+stage "durability"
+cargo test -p sheriff-core --test durability --quiet
+CHAOS_SEEDS="11,23,37,41,53,67,79,97" \
+    cargo test -p sheriff-wire --test durability_soak --quiet
+
+# Benchmark summaries: the criterion stand-in prints one median line per
+# benchmark; archive them as machine-readable BENCH_*.json next to the
+# lint report so perf regressions are diffable across CI runs.
+stage "bench summary archive"
+cargo bench -p sheriff-bench --bench system_throughput \
+    | tee target/bench-system_throughput.txt
+awk 'BEGIN { printf "[" }
+     /^bench / { if (n++) printf ","
+                 printf "\n  {\"bench\": \"%s\", \"median\": \"%s %s\"}", $2, $4, $5 }
+     END { print "\n]" }' target/bench-system_throughput.txt \
+    > target/BENCH_system_throughput.json
+echo "bench summary archived at target/BENCH_system_throughput.json"
+
 stage "CI green"

@@ -24,6 +24,8 @@
 //!   extraction, currency conversion, DiffStorage (§3.3, §3.5, §10.5);
 //! * [`db`] — the Database server with the integrated-vs-dedicated cost
 //!   model behind Table 1;
+//! * [`durability`] — the Database server's WAL + snapshot persistence
+//!   and deterministic crash recovery;
 //! * [`proxy`] — IPC and PPC fetch engines against the synthetic web;
 //! * [`system`] — the whole distributed system wired over the
 //!   discrete-event simulator, in both the v1 ($heriff, single server,
@@ -40,6 +42,7 @@ pub mod browser;
 pub mod coordinator;
 pub mod db;
 pub mod doppelganger;
+pub mod durability;
 pub mod latency;
 pub mod measurement;
 pub mod pollution;

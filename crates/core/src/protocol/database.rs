@@ -1,11 +1,36 @@
-//! Database-server role (v2): store assembled checks under a modeled
-//! concurrency-sensitive cost, then ack.
+//! Database-server role (v2): store assembled checks *durably* under a
+//! modeled concurrency-sensitive cost, then ack.
+//!
+//! Write discipline (see `durability` module docs and DESIGN.md):
+//! **WAL-then-store, flush-before-ack.** A `StoreCheck` appends one
+//! [`crate::durability::WalRecord`] (volatile until a barrier) and
+//! enters the in-memory table; the `DbDone` timer that models the
+//! query's I/O cost runs a durability barrier *before* the `DbAck`
+//! leaves, so an acknowledged store is always on disk. Every
+//! `snapshot_every` records the table is folded into a snapshot and the
+//! log truncated, with the compaction I/O charged to the triggering
+//! query.
+//!
+//! Crash recovery ([`DbProto::on_restart`]): volatile state — the
+//! memory table, in-flight queries, the reliable channel's windows — is
+//! gone; the un-barriered WAL tail is discarded deterministically; the
+//! snapshot plus the surviving log tail are replayed. The rebuilt
+//! stored-job set makes at-least-once redelivery idempotent: a
+//! retransmitted `StoreCheck` for a job that survived is re-acked
+//! without a second store (the per-job analogue of the measurement
+//! tier's per-`(kind, id)` vantage dedup), while one whose record was
+//! torn off with the tail is simply stored again.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
+use crate::durability::{self, MemStorage, Storage, WalRecord};
 use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
+
+/// Snapshot cadence when none is configured: fold the log every this
+/// many records.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 64;
 
 /// Observable outcomes for the driver's telemetry.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,6 +47,29 @@ pub enum DbEvent {
         /// Queries still in flight.
         active: u32,
     },
+    /// One record was appended to the write-ahead log.
+    WalAppended {
+        /// Encoded record size.
+        bytes: u64,
+    },
+    /// The table was folded into a snapshot and the log truncated.
+    SnapshotInstalled {
+        /// Records in the snapshot image.
+        records: u64,
+    },
+    /// A redelivered `StoreCheck` for an already-durable job was
+    /// re-acked without a second store.
+    DuplicateStoreAbsorbed {
+        /// The redelivered job.
+        job: JobId,
+    },
+    /// Crash recovery replayed the durable prefix.
+    Recovered {
+        /// Records reconstructed (snapshot + log tail).
+        records: u64,
+        /// Un-barriered WAL bytes the crash destroyed.
+        lost_wal_bytes: u64,
+    },
 }
 
 /// The dedicated Database server as a sans-IO state machine.
@@ -31,43 +79,114 @@ pub struct DbProto {
     cost: DbCostModel,
     active: u32,
     pending: BTreeMap<JobId, Address>,
+    storage: Box<dyn Storage>,
+    snapshot_every: usize,
+    /// WAL records appended since the last snapshot install.
+    since_snapshot: usize,
+    /// Jobs with a record in the WAL or snapshot — the at-least-once
+    /// dedup set, rebuilt on recovery.
+    stored_jobs: BTreeSet<JobId>,
+    /// `(vt_ms, job)` per stored check, aligned with the table's store
+    /// order, so a snapshot re-encodes the original records.
+    meta: Vec<(u64, JobId)>,
 }
 
 impl DbProto {
-    /// A fresh empty database under `cost`.
+    /// A fresh database under `cost`, backed by in-memory storage (the
+    /// DES default) at the default snapshot cadence.
     pub fn new(cost: DbCostModel) -> Self {
-        DbProto {
+        Self::with_storage(cost, Box::new(MemStorage::new()), DEFAULT_SNAPSHOT_EVERY)
+    }
+
+    /// A database over an explicit [`Storage`] backend. Any durable
+    /// contents are recovered immediately, so constructing over a
+    /// previous incarnation's files resumes its store.
+    pub fn with_storage(
+        cost: DbCostModel,
+        storage: Box<dyn Storage>,
+        snapshot_every: usize,
+    ) -> Self {
+        let mut proto = DbProto {
             database: Database::new(),
             cost,
             active: 0,
             pending: BTreeMap::new(),
-        }
+            storage,
+            snapshot_every: snapshot_every.max(1),
+            since_snapshot: 0,
+            stored_jobs: BTreeSet::new(),
+            meta: Vec::new(),
+        };
+        proto.replay();
+        proto
     }
 
-    /// Feeds one delivered message.
+    /// Rebuilds volatile state from the durable prefix. Returns the
+    /// number of records replayed.
+    fn replay(&mut self) -> u64 {
+        let recovered = durability::recover(self.storage.as_ref());
+        self.since_snapshot = recovered.wal_records;
+        for rec in recovered.records {
+            let job = JobId(rec.job);
+            if self.stored_jobs.insert(job) {
+                self.meta.push((rec.vt_ms, job));
+                self.database.store(rec.check);
+            }
+        }
+        self.database.len() as u64
+    }
+
+    /// Feeds one delivered message. `now_ms` stamps the WAL record
+    /// (virtual time under DES, wall time since the epoch over TCP).
     pub fn on_message(
         &mut self,
+        now_ms: u64,
         from: Address,
         msg: ProtoMsg,
         out: &mut Vec<Output>,
         events: &mut Vec<DbEvent>,
     ) {
-        if let ProtoMsg::StoreCheck { job, check } = msg {
-            self.active += 1;
-            let cost = self
-                .cost
-                .store_cost_ms(check.observations.len(), self.active);
-            self.database.store(*check);
-            self.pending.insert(job, from);
-            events.push(DbEvent::QueryScheduled {
-                cost_ms: cost,
-                active: self.active,
-            });
-            out.push(Output::Timer {
-                delay_ms: cost,
-                kind: TimerKind::DbDone(job),
-            });
+        let ProtoMsg::StoreCheck { job, check } = msg else {
+            return;
+        };
+        if self.stored_jobs.contains(&job) {
+            // At-least-once redelivery of a durable store: the ack was
+            // lost (or the sender crashed past our first one) — re-ack,
+            // never store twice.
+            events.push(DbEvent::DuplicateStoreAbsorbed { job });
+            out.push(Output::send(from, ProtoMsg::DbAck { job }));
+            return;
         }
+        self.active += 1;
+        let rows = check.observations.len();
+        let record = durability::encode_record(now_ms, job.0, &check);
+        self.storage.append_wal(&record);
+        self.since_snapshot += 1;
+        // The whole durable write is charged to this query: table write
+        // under pool queueing, sequential log append, the pre-ack
+        // barrier, and — when this record trips the cadence — folding
+        // the table into a snapshot.
+        let mut cost = self.cost.store_cost_ms(rows, self.active)
+            + self.cost.wal_cost_ms(rows)
+            + self.cost.barrier_cost_ms();
+        if self.since_snapshot >= self.snapshot_every {
+            cost += self.cost.compaction_cost_ms(self.database.len() + 1);
+        }
+        self.meta.push((now_ms, job));
+        self.database.store(*check);
+        self.stored_jobs.insert(job);
+        self.pending.insert(job, from);
+        events.push(DbEvent::WalAppended {
+            bytes: record.len() as u64,
+        });
+        events.push(DbEvent::QueryScheduled {
+            cost_ms: cost,
+            active: self.active,
+        });
+        out.push(Output::Timer {
+            delay_ms: cost,
+            kind: TimerKind::DbDone(job),
+        });
     }
 
     /// Feeds one fired timer.
@@ -79,8 +198,208 @@ impl DbProto {
         events.push(DbEvent::QueryDone {
             active: self.active,
         });
-        if let Some(requester) = self.pending.remove(&job) {
-            out.push(Output::send(requester, ProtoMsg::DbAck { job }));
+        let Some(requester) = self.pending.remove(&job) else {
+            // A timer deferred across a crash for a store whose record
+            // was torn off with the unflushed tail: nothing to ack —
+            // the sender's retransmit will store it again.
+            return;
+        };
+        // Flush-before-ack: group-commit everything appended so far,
+        // then (at the cadence) fold the table into a snapshot — both
+        // already charged into this query's cost at schedule time.
+        self.storage.barrier();
+        if self.since_snapshot >= self.snapshot_every {
+            let records: Vec<WalRecord> = self
+                .meta
+                .iter()
+                .zip(self.database.checks())
+                .map(|(&(vt_ms, job), check)| WalRecord {
+                    vt_ms,
+                    job: job.0,
+                    check: check.clone(),
+                })
+                .collect();
+            self.storage
+                .install_snapshot(&durability::encode_snapshot(&records));
+            self.since_snapshot = 0;
+            events.push(DbEvent::SnapshotInstalled {
+                records: records.len() as u64,
+            });
         }
+        out.push(Output::send(requester, ProtoMsg::DbAck { job }));
+    }
+
+    /// Crash recovery: the process restarted. Volatile state (memory
+    /// table, in-flight queries) is gone, the un-barriered WAL tail is
+    /// discarded deterministically, and the durable prefix is replayed.
+    pub fn on_restart(&mut self, events: &mut Vec<DbEvent>) {
+        let lost = self.storage.lose_unflushed();
+        self.active = 0;
+        self.pending.clear();
+        self.database = Database::new();
+        self.stored_jobs.clear();
+        self.meta.clear();
+        self.since_snapshot = 0;
+        let records = self.replay();
+        events.push(DbEvent::Recovered {
+            records,
+            lost_wal_bytes: lost as u64,
+        });
+    }
+
+    /// The durable (barrier-flushed) WAL bytes — what a crash right now
+    /// would preserve. Deterministic per seed under DES.
+    pub fn wal_bytes(&self) -> Vec<u8> {
+        self.storage.read_wal()
+    }
+
+    /// The durable snapshot image (empty before the first compaction).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.storage.read_snapshot()
+    }
+
+    /// Jobs with a durable (or at least appended) record.
+    pub fn stored_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.stored_jobs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{PriceCheck, PriceObservation, VantageKind};
+    use sheriff_geo::{Country, IpV4};
+
+    fn check(job: u64, n: usize) -> PriceCheck {
+        PriceCheck {
+            job_id: job,
+            domain: "amazon.com".into(),
+            url: format!("/p/{job}"),
+            day: 0,
+            observations: (0..n as u64)
+                .map(|i| PriceObservation {
+                    vantage: VantageKind::Ipc,
+                    vantage_id: i,
+                    country: Country::ES,
+                    city: None,
+                    ip: IpV4(i as u32),
+                    raw_text: "EUR 1.00".into(),
+                    currency: "EUR".into(),
+                    amount: 1.0,
+                    amount_eur: 1.0,
+                    low_confidence: false,
+                    failed: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn server() -> Address {
+        Address::Server { index: 0 }
+    }
+
+    fn store(proto: &mut DbProto, now: u64, job: u64, rows: usize) -> Vec<Output> {
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        proto.on_message(
+            now,
+            server(),
+            ProtoMsg::StoreCheck {
+                job: JobId(job),
+                check: Box::new(check(job, rows)),
+            },
+            &mut out,
+            &mut events,
+        );
+        out
+    }
+
+    fn finish(proto: &mut DbProto, job: u64) -> Vec<Output> {
+        let (mut out, mut events) = (Vec::new(), Vec::new());
+        proto.on_timer(TimerKind::DbDone(JobId(job)), &mut out, &mut events);
+        out
+    }
+
+    #[test]
+    fn ack_only_after_barrier_makes_the_record_durable() {
+        let mut proto = DbProto::new(DbCostModel::dedicated());
+        store(&mut proto, 100, 1, 3);
+        // Appended but not yet barriered: a crash now loses it.
+        assert!(proto.wal_bytes().is_empty(), "unflushed tail is volatile");
+        let out = finish(&mut proto, 1);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Send { msg: ProtoMsg::DbAck { job }, .. } if job.0 == 1)));
+        assert!(!proto.wal_bytes().is_empty(), "ack implies durable");
+    }
+
+    #[test]
+    fn duplicate_store_is_reacked_not_restored() {
+        let mut proto = DbProto::new(DbCostModel::dedicated());
+        store(&mut proto, 100, 1, 3);
+        finish(&mut proto, 1);
+        let out = store(&mut proto, 200, 1, 3);
+        assert_eq!(proto.database.len(), 1, "no double store");
+        assert!(
+            out.iter().any(
+                |o| matches!(o, Output::Send { msg: ProtoMsg::DbAck { job }, .. } if job.0 == 1)
+            ),
+            "redelivery is re-acked immediately"
+        );
+        assert!(
+            !out.iter().any(|o| matches!(o, Output::Timer { .. })),
+            "no query is scheduled for a duplicate"
+        );
+    }
+
+    #[test]
+    fn restart_recovers_exactly_the_durable_prefix() {
+        let mut proto = DbProto::new(DbCostModel::dedicated());
+        store(&mut proto, 100, 1, 3);
+        finish(&mut proto, 1); // durable
+        store(&mut proto, 200, 2, 4); // appended, never barriered
+        let mut events = Vec::new();
+        proto.on_restart(&mut events);
+        assert_eq!(proto.database.len(), 1, "torn tail is discarded");
+        assert_eq!(proto.database.checks()[0].job_id, 1);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            DbEvent::Recovered {
+                records: 1,
+                lost_wal_bytes
+            } if *lost_wal_bytes > 0
+        )));
+        // The lost job can be redelivered and stored normally.
+        store(&mut proto, 300, 2, 4);
+        finish(&mut proto, 2);
+        assert_eq!(proto.database.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_cadence_folds_the_log() {
+        let mut proto =
+            DbProto::with_storage(DbCostModel::dedicated(), Box::new(MemStorage::new()), 2);
+        for job in 1..=4 {
+            store(&mut proto, job * 100, job, 2);
+            finish(&mut proto, job);
+        }
+        assert!(!proto.snapshot_bytes().is_empty(), "cadence installed one");
+        assert!(
+            proto.wal_bytes().is_empty(),
+            "log truncated at the last fold"
+        );
+        let mut events = Vec::new();
+        proto.on_restart(&mut events);
+        assert_eq!(proto.database.len(), 4, "snapshot + tail replay");
+    }
+
+    #[test]
+    fn deferred_done_timer_for_a_torn_record_acks_nobody() {
+        let mut proto = DbProto::new(DbCostModel::dedicated());
+        store(&mut proto, 100, 1, 3);
+        let mut events = Vec::new();
+        proto.on_restart(&mut events); // crash before the DbDone fired
+        let out = finish(&mut proto, 1); // the deferred timer arrives late
+        assert!(out.is_empty(), "no ack for a store the crash destroyed");
+        assert!(proto.database.is_empty());
     }
 }

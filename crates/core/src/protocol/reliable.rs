@@ -256,6 +256,21 @@ impl Channel {
         None
     }
 
+    /// Models a process restart (§10.3 crash recovery): in-flight sends
+    /// and receive-side dedup windows are volatile and cleared, so a
+    /// peer's retransmit of a pre-crash message is accepted again (the
+    /// machine's own idempotency layer absorbs true duplicates). The
+    /// outbound sequence counter is *retained* — conceptually persisted
+    /// alongside the node's durable state — so post-restart sends never
+    /// collide with pre-crash sequence numbers still sitting in peers'
+    /// dedup windows. Returns the number of in-flight sends abandoned.
+    pub fn on_restart(&mut self) -> usize {
+        let dropped = self.unacked.len();
+        self.unacked.clear();
+        self.windows.clear();
+        dropped
+    }
+
     /// True when `(from, seq)` is fresh; false for duplicates.
     fn record(&mut self, from: Address, seq: u64) -> bool {
         let w = self.windows.entry(from).or_default();
@@ -471,6 +486,42 @@ mod tests {
             inner: Box::new(job_complete(30)),
         };
         assert!(c.accept(from, dup, &mut out).is_none());
+    }
+
+    #[test]
+    fn restart_clears_windows_but_keeps_the_seq_counter() {
+        let mut sender = chan();
+        let mut receiver = chan();
+        let mut out = sent_to_coordinator(job_complete(1));
+        sender.harden(&mut out);
+        let Output::Send { msg, .. } = out.remove(0) else {
+            panic!("send first");
+        };
+        let from = Address::Server { index: 0 };
+        let mut rx = Vec::new();
+        assert!(receiver.accept(from, msg.clone(), &mut rx).is_some());
+        assert!(receiver.accept(from, msg.clone(), &mut rx).is_none());
+
+        // The receiver restarts: its dedup window is volatile, so the
+        // sender's retransmit is delivered again (the machine dedups).
+        receiver.on_restart();
+        assert!(receiver.accept(from, msg, &mut rx).is_some());
+
+        // The sender restarts: in-flight sends are abandoned but the
+        // sequence counter survives, so the next send cannot collide
+        // with seq 0 still in the receiver's window.
+        let mut out2 = sent_to_coordinator(job_complete(2));
+        sender.harden(&mut out2);
+        assert_eq!(sender.on_restart(), 2);
+        let mut out3 = sent_to_coordinator(job_complete(3));
+        sender.harden(&mut out3);
+        assert!(matches!(
+            &out3[0],
+            Output::Send {
+                msg: ProtoMsg::Reliable { seq: 2, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::latency::{GeoLatency, GeoLatencyConfig};
 use crate::browser::BrowserProfile;
 use crate::coordinator::{Coordinator, PeerId};
 use crate::db::DbCostModel;
+use crate::durability::MemStorage;
 use crate::pollution::PollutionLedger;
 use crate::protocol::{
     Address, AggregatorProto, Channel, CoordinatorProto, DbEvent, DbProto, IpcProto, MeasEvent,
@@ -91,6 +92,9 @@ pub struct SheriffConfig {
     pub job_deadline_ms: u64,
     /// Database cost model.
     pub db_cost: DbCostModel,
+    /// Database snapshot cadence: fold the WAL into a snapshot every
+    /// this many stored records.
+    pub db_snapshot_every: usize,
     /// Serve doppelganger state to over-budget PPCs.
     pub enable_doppelgangers: bool,
     /// Measurement-server liveness beacon period, ms.
@@ -123,6 +127,7 @@ impl SheriffConfig {
             context_switch_alpha: 0.15,
             job_deadline_ms: 130_000,
             db_cost: DbCostModel::integrated(),
+            db_snapshot_every: 64,
             enable_doppelgangers: false,
             heartbeat_every_ms: 10_000,
             heartbeat_timeout_ms: 30_000,
@@ -150,6 +155,7 @@ impl SheriffConfig {
             context_switch_alpha: 0.05,
             job_deadline_ms: 130_000,
             db_cost: DbCostModel::dedicated(),
+            db_snapshot_every: 64,
             enable_doppelgangers: true,
             heartbeat_every_ms: 10_000,
             heartbeat_timeout_ms: 30_000,
@@ -168,6 +174,9 @@ impl SheriffConfig {
         cfg.job_deadline_ms = 2_000;
         cfg.retransmit_base_ms = 250;
         cfg.coord_sweep_every_ms = 500;
+        // Snapshots fire within functional-test workloads (a handful of
+        // checks), so the fold/truncate path is routinely exercised.
+        cfg.db_snapshot_every = 2;
         cfg
     }
 }
@@ -574,6 +583,11 @@ struct DbTelemetry {
     queries: Arc<Counter>,
     active: Arc<Gauge>,
     max_active: Arc<Gauge>,
+    wal_appends: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    snapshots: Arc<Counter>,
+    recovered: Arc<Counter>,
+    dup_stores: Arc<Counter>,
 }
 
 impl DbTelemetry {
@@ -583,6 +597,11 @@ impl DbTelemetry {
             queries: registry.counter("db.queries_total"),
             active: registry.gauge("db.active_queries"),
             max_active: registry.gauge("db.active_queries_max"),
+            wal_appends: registry.counter("db.wal_appends"),
+            wal_bytes: registry.counter("db.wal_bytes"),
+            snapshots: registry.counter("db.snapshots"),
+            recovered: registry.counter("db.recovered_records"),
+            dup_stores: registry.counter("db.duplicate_stores"),
         }
     }
 
@@ -598,6 +617,13 @@ impl DbTelemetry {
                     }
                 }
                 DbEvent::QueryDone { active } => self.active.set(active as i64),
+                DbEvent::WalAppended { bytes } => {
+                    self.wal_appends.inc();
+                    self.wal_bytes.add(bytes);
+                }
+                DbEvent::SnapshotInstalled { .. } => self.snapshots.inc(),
+                DbEvent::Recovered { records, .. } => self.recovered.add(records),
+                DbEvent::DuplicateStoreAbsorbed { .. } => self.dup_stores.inc(),
             }
         }
     }
@@ -614,9 +640,10 @@ struct DbNode {
 impl Node<ProtoMsg> for DbNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, ProtoMsg>, from: NodeId, msg: ProtoMsg) {
         let from = self.map.addr(from);
+        let now = ctx.now.as_millis();
         let (mut out, mut events) = (Vec::new(), Vec::new());
         if let Some(msg) = self.chan.accept(from, msg, &mut out) {
-            self.proto.on_message(from, msg, &mut out, &mut events);
+            self.proto.on_message(now, from, msg, &mut out, &mut events);
         }
         self.telemetry.apply(events);
         self.chan.harden(&mut out);
@@ -640,6 +667,19 @@ impl Node<ProtoMsg> for DbNode {
         self.telemetry.apply(events);
         self.chan.harden(&mut out);
         dispatch(&self.map, ctx, out, None);
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, ProtoMsg>) {
+        // Process restart: everything volatile — the memory table,
+        // in-flight queries, the reliable channel's dedup windows — is
+        // gone; the durable prefix comes back from snapshot + WAL
+        // replay, and the un-barriered log tail is truncated
+        // deterministically. Senders whose stores were torn off simply
+        // retransmit into the fresh windows.
+        self.chan.on_restart();
+        let mut events = Vec::new();
+        self.proto.on_restart(&mut events);
+        self.telemetry.apply(events);
     }
 }
 
@@ -776,6 +816,7 @@ pub struct PriceSheriff {
     pub sim: Simulator<ProtoMsg>,
     coordinator: NodeId,
     aggregator: NodeId,
+    db: Option<NodeId>,
     ppc_nodes: BTreeMap<u64, NodeId>,
     world: Arc<Mutex<World>>,
     next_tag: u64,
@@ -893,7 +934,11 @@ impl PriceSheriff {
 
         if has_db {
             let db_node = DbNode {
-                proto: DbProto::new(cfg.db_cost),
+                proto: DbProto::with_storage(
+                    cfg.db_cost,
+                    Box::new(MemStorage::new()),
+                    cfg.db_snapshot_every,
+                ),
                 map: Arc::clone(&map),
                 telemetry: DbTelemetry::new(&telemetry),
                 chan: mk_chan(),
@@ -996,6 +1041,7 @@ impl PriceSheriff {
             sim,
             coordinator: coordinator_id,
             aggregator: aggregator_id,
+            db: db_id,
             ppc_nodes: peer_nodes,
             world,
             next_tag: 1,
@@ -1200,6 +1246,33 @@ impl PriceSheriff {
             .node_ref::<CoordinatorNode>(self.coordinator)
             .map(|c| c.proto.coordinator.pending_jobs_per_server())
             .unwrap_or_default()
+    }
+
+    /// Every check the Database server holds, in store order (v2 only;
+    /// empty under v1's integrated model). After a crash window this is
+    /// the recovered durable prefix plus everything re-stored since.
+    pub fn database_checks(&self) -> Vec<PriceCheck> {
+        self.db
+            .and_then(|id| self.sim.node_ref::<DbNode>(id))
+            .map(|n| n.proto.database.checks().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The Database server's durable (barrier-flushed) WAL bytes — a
+    /// pure function of the seed under DES, so two replays must agree
+    /// byte for byte. `None` without a Database node.
+    pub fn db_wal_bytes(&self) -> Option<Vec<u8>> {
+        self.db
+            .and_then(|id| self.sim.node_ref::<DbNode>(id))
+            .map(|n| n.proto.wal_bytes())
+    }
+
+    /// The Database server's durable snapshot image (empty before the
+    /// first compaction). `None` without a Database node.
+    pub fn db_snapshot_bytes(&self) -> Option<Vec<u8>> {
+        self.db
+            .and_then(|id| self.sim.node_ref::<DbNode>(id))
+            .map(|n| n.proto.snapshot_bytes())
     }
 
     /// The Coordinator's Fig. 7 monitoring panel.

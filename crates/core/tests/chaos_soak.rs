@@ -1,8 +1,10 @@
 //! Chaos soak: seed-deterministic fault schedules (drops, duplicates,
-//! delays, a Measurement-server crash, an IPC partition) over the full
-//! DES deployment. Under every schedule the self-healing layer must
-//! deliver eventual completion with zero leaked Coordinator jobs and no
-//! duplicate observations — and an all-zero plan must be a strict no-op.
+//! delays, a Measurement-server crash, a Database crash, an IPC
+//! partition) over the full DES deployment. Under every schedule the
+//! self-healing layer must deliver eventual completion with zero leaked
+//! Coordinator jobs, no duplicate observations, and zero observation
+//! loss across the Database crash/restart — and an all-zero plan must
+//! be a strict no-op.
 //!
 //! Seeds come from `CHAOS_SEEDS` (comma-separated) when set, so CI can
 //! pin its recorded schedule and local runs can explore.
@@ -68,6 +70,10 @@ fn chaos_plan(seed: u64) -> FaultPlan {
         // Measurement server 0 is dead from 400ms to 3s: longer than the
         // Coordinator's 2s heartbeat patience, so its jobs get requeued.
         .with_crash(3, 400, 3_000)
+        // The Database dies across the window where the first StoreChecks
+        // land: un-barriered WAL bytes are torn off, acked stores must
+        // survive, and the reliable channel re-stores the rest.
+        .with_crash(2, 900, 2_600)
         // Three IPC vantages drop off the network for 700ms.
         .with_partition(vec![5, 6, 7], 200, 900)
 }
@@ -123,7 +129,33 @@ fn chaos_soak_completes_without_leaks_or_duplicates() {
             "seed {seed}: fault plan never fired: {stats:?}"
         );
         let snap = sheriff.telemetry().snapshot();
-        assert_eq!(snap.counters["faults.node_restarts"], 1, "seed {seed}");
+        assert_eq!(snap.counters["faults.node_restarts"], 2, "seed {seed}");
+
+        // Zero observation loss across the Database crash/restart: every
+        // completed job's check sits in the (recovered) store, exactly
+        // once per job. Superset — not equality — is the invariant: the
+        // §10.3 requeue path mints a fresh job id for a written-off
+        // server's work, so the store may also hold the abandoned
+        // original alongside the requeued job that completed.
+        let stored = sheriff.database_checks();
+        let stored_jobs: std::collections::BTreeSet<u64> =
+            stored.iter().map(|c| c.job_id).collect();
+        let done_jobs: std::collections::BTreeSet<u64> =
+            done.iter().map(|c| c.check.job_id).collect();
+        assert!(
+            done_jobs.is_subset(&stored_jobs),
+            "seed {seed}: observation loss: completed {done_jobs:?} vs stored {stored_jobs:?}"
+        );
+        assert_eq!(
+            stored.len(),
+            stored_jobs.len(),
+            "seed {seed}: a job was stored twice"
+        );
+        assert!(
+            snap.counters["db.wal_appends"] >= done.len() as u64,
+            "seed {seed}: every stored job appends at least one WAL record"
+        );
+
         total_requeued += snap
             .counters
             .get("coordinator.jobs_requeued")

@@ -72,8 +72,13 @@ pub trait Node<M: 'static>: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
 
     /// The node just came back from a scheduled crash window (see
-    /// [`FaultPlan::with_crash`]): state is intact, in-flight deliveries
-    /// were lost, pending timers were deferred to this instant.
+    /// [`FaultPlan::with_crash`]): in-flight deliveries were lost and
+    /// pending timers were deferred to this instant. The engine keeps
+    /// the node's struct intact — a node that models a process with
+    /// volatile state (e.g. a database with a durable log) must itself
+    /// discard that state here and rebuild from whatever it considers
+    /// persistent, so the same crash schedule yields the same recovery
+    /// on every replay.
     fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 

@@ -95,6 +95,12 @@ pub fn coordinator_panel(snap: &Snapshot) -> String {
         counter("coordinator.jobs_requeued"),
         counter("faults.node_restarts"),
     ));
+    out.push_str(&format!(
+        "Durability: {} wal appends, {} snapshots, {} records recovered\n",
+        counter("db.wal_appends"),
+        counter("db.snapshots"),
+        counter("db.recovered_records"),
+    ));
     out
 }
 
@@ -123,6 +129,9 @@ mod tests {
         r.counter("protocol.dedup_hits").add(2);
         r.counter("coordinator.jobs_requeued").add(1);
         r.counter("faults.node_restarts").add(1);
+        r.counter("db.wal_appends").add(9);
+        r.counter("db.snapshots").add(2);
+        r.counter("db.recovered_records").add(4);
         let panel = coordinator_panel(&r.snapshot());
         assert_eq!(
             panel,
@@ -130,7 +139,8 @@ mod tests {
              192.168.1.11      8080  online   3\n\
              ms.example.org    80    offline  0\n\
              \nRequests: 12 total, 2 rejected   Jobs completed: 9   Peers online: 4\n\
-             Recovery: 5 retransmits, 2 dups absorbed, 1 jobs requeued, 1 restarts\n"
+             Recovery: 5 retransmits, 2 dups absorbed, 1 jobs requeued, 1 restarts\n\
+             Durability: 9 wal appends, 2 snapshots, 4 records recovered\n"
         );
     }
 

@@ -26,6 +26,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -36,6 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sheriff_core::coordinator::{Coordinator, PeerId};
+use sheriff_core::durability::recover;
 use sheriff_core::pollution::PollutionLedger;
 use sheriff_core::protocol::{
     Address, AggregatorProto, Channel, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
@@ -52,6 +54,7 @@ use sheriff_netsim::{FaultPlan, FaultStats};
 use sheriff_telemetry::{Counter, Registry};
 
 use crate::proto::{rows_from_check, Envelope, ResultRow};
+use crate::storage::FileStorage;
 use crate::telemetry::WireTelemetry;
 
 /// How long [`MiniDeployment::run_check`] waits before declaring a check
@@ -353,8 +356,19 @@ fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, 
                 shim.node_restarts.inc();
             }
             let mut out = Vec::new();
-            if let Role::Measurement { proto, .. } = &mut role {
-                proto.on_restart(ctx.now_ms(), &mut out);
+            match &mut role {
+                Role::Measurement { proto, .. } => proto.on_restart(ctx.now_ms(), &mut out),
+                Role::Database { proto } => {
+                    // The Database models genuine volatile-state loss: the
+                    // un-barriered WAL tail vanishes and the store is
+                    // rebuilt from the durable snapshot + log prefix. The
+                    // reliable channel forgets its windows too (they lived
+                    // in memory); peers retransmit anything unacked.
+                    chan.on_restart();
+                    let mut events = Vec::new();
+                    proto.on_restart(&mut events);
+                }
+                _ => {}
             }
             chan.harden(&mut out);
             ctx.dispatch(out, &mut timers);
@@ -412,6 +426,15 @@ fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, 
         if env.msg == ProtoMsg::Shutdown {
             break;
         }
+        // A crash window can open between the loop-top check and this
+        // recv; a dead node must not process the frame (the next loop
+        // iteration enters the crash branch and handles the window).
+        if ctx.crash_restart_at().is_some() {
+            if let Some(shim) = &ctx.shim {
+                shim.crash_dropped.inc();
+            }
+            continue;
+        }
         let now_ms = ctx.now_ms();
         let mut out = Vec::new();
         // The reliable layer acks, dedups and unwraps first; only
@@ -428,7 +451,7 @@ fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, 
                 }
                 Role::Database { proto } => {
                     let mut events = Vec::new();
-                    proto.on_message(env.from, msg, &mut out, &mut events);
+                    proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
                 }
                 Role::Ipc { proto } => {
                     let mut world = ctx.world.lock();
@@ -472,6 +495,9 @@ pub struct MiniDeployment {
     shim: Option<Arc<FaultShim>>,
     /// Local tags of checks begun but not yet completed or rejected.
     in_flight: Mutex<Vec<u64>>,
+    /// On-disk home of the Database server's WAL + snapshot (v2 only);
+    /// removed on shutdown unless recovered first.
+    db_dir: Option<PathBuf>,
 }
 
 impl MiniDeployment {
@@ -545,6 +571,17 @@ impl MiniDeployment {
             cfg.n_measurement_servers
         };
         let has_db = cfg.version == SystemVersion::V2;
+        // Per-deployment on-disk home for the Database server's WAL +
+        // snapshot; the pid/sequence pair keeps concurrent test binaries
+        // and repeated deployments in one process apart.
+        let db_dir = has_db.then(|| {
+            static DB_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+            std::env::temp_dir().join(format!(
+                "sheriff-db-{}-{}",
+                std::process::id(),
+                DB_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
 
         // Coordinator state. IP allocation order matches the DES backend
         // exactly (peers first, then IPCs) so both produce identical
@@ -656,9 +693,16 @@ impl MiniDeployment {
                 Address::Aggregator => Role::Aggregator {
                     proto: AggregatorProto::new(),
                 },
-                Address::Database => Role::Database {
-                    proto: Box::new(DbProto::new(cfg.db_cost)),
-                },
+                Address::Database => {
+                    let dir = db_dir.as_ref().expect("database role implies a db dir");
+                    Role::Database {
+                        proto: Box::new(DbProto::with_storage(
+                            cfg.db_cost,
+                            Box::new(FileStorage::open(dir)),
+                            cfg.db_snapshot_every,
+                        )),
+                    }
+                }
                 Address::Server { index } => Role::Measurement {
                     proto: Box::new(MeasurementProto::new(MeasurementParams {
                         index,
@@ -733,6 +777,7 @@ impl MiniDeployment {
             next_tag: AtomicU64::new(1),
             shim,
             in_flight: Mutex::new(Vec::new()),
+            db_dir,
         })
     }
 
@@ -890,6 +935,26 @@ impl MiniDeployment {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        if let Some(dir) = self.db_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    /// Shuts down like [`MiniDeployment::shutdown`], then re-opens the
+    /// Database server's on-disk storage and replays snapshot + WAL —
+    /// exactly what a freshly restarted Database process would recover.
+    /// Returns the recovered checks (empty for v1 deployments, which run
+    /// no Database node). The storage directory is removed afterwards.
+    pub fn shutdown_and_recover_db(mut self) -> Vec<PriceCheck> {
+        let dir = self.db_dir.take();
+        self.shutdown_impl();
+        let Some(dir) = dir else {
+            return Vec::new();
+        };
+        let storage = FileStorage::open(&dir);
+        let recovered = recover(&storage);
+        let _ = std::fs::remove_dir_all(&dir);
+        recovered.records.into_iter().map(|r| r.check).collect()
     }
 
     /// Orderly shutdown: every node receives a Shutdown frame, every

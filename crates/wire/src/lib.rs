@@ -17,6 +17,9 @@
 //!   Measurement/Database servers, IPCs, PPC add-ons) on ephemeral
 //!   localhost ports, one acceptor + worker thread pair per node, with
 //!   graceful shutdown that joins every thread;
+//! * [`storage`] — a file-backed implementation of the core
+//!   `durability::Storage` trait, so the Database worker's WAL and
+//!   snapshots live on disk and a restart recovers by reading them back;
 //! * [`telemetry`] — frame/byte counters shared by every framed send and
 //!   receive in the deployment, so loopback traffic balances exactly.
 //!
@@ -31,9 +34,11 @@
 pub mod deploy;
 pub mod frame;
 pub mod proto;
+pub mod storage;
 pub mod telemetry;
 
 pub use deploy::MiniDeployment;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use proto::{rows_from_check, Envelope, ResultRow};
+pub use storage::FileStorage;
 pub use telemetry::WireTelemetry;

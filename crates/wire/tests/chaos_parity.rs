@@ -77,6 +77,15 @@ fn sorted(mut obs: Vec<PriceObservation>) -> Vec<PriceObservation> {
     obs
 }
 
+/// The shared schedule plus a Database crash window astride the first
+/// check's StoreCheck (assembly waits out the 2s job deadline under the
+/// dropped orders, so the store lands just after 2.05s). Crash drops are
+/// parity-safe: they never advance the occurrence-keyed link-fault
+/// counters, and the reliable channel re-stores through the restart.
+fn crashy_plan() -> FaultPlan {
+    shared_plan().with_crash(2, 2_050, 3_400)
+}
+
 #[test]
 fn identical_fault_schedule_means_identical_observations_on_both_backends() {
     // --- Discrete-event run under the schedule.
@@ -143,6 +152,82 @@ fn identical_fault_schedule_means_identical_observations_on_both_backends() {
         assert_eq!(
             des_obs, tcp_obs,
             "observation sets diverge for {} under the shared schedule",
+            t.domain
+        );
+    }
+}
+
+/// One DES run under the crashy schedule; returns the sorted per-check
+/// observation sets, the fault-stat totals, the restart count, and the
+/// Database's durable WAL + snapshot bytes.
+#[allow(clippy::type_complexity)]
+fn des_crashy_run() -> (Vec<Vec<PriceObservation>>, String, u64, Vec<u8>, Vec<u8>) {
+    let world = World::build(&WorldConfig::small(), SEED);
+    let mut sheriff = PriceSheriff::new(config(), world, &peers());
+    sheriff.install_fault_plan(crashy_plan());
+    for (i, (peer, domain, product)) in CHECKS.iter().enumerate() {
+        sheriff.submit_check(
+            SimTime::from_secs(10 * i as u64),
+            *peer,
+            domain,
+            ProductId(*product),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let done = sheriff.completed();
+    assert_eq!(done.len(), CHECKS.len(), "DES completed all checks");
+    let obs: Vec<Vec<PriceObservation>> = done
+        .iter()
+        .map(|c| sorted(c.check.observations.clone()))
+        .collect();
+    let stats = format!("{:?}", sheriff.fault_stats().expect("plan installed"));
+    let restarts = sheriff.telemetry().snapshot().counters["faults.node_restarts"];
+    (
+        obs,
+        stats,
+        restarts,
+        sheriff.db_wal_bytes().expect("v2 has a database"),
+        sheriff.db_snapshot_bytes().expect("v2 has a database"),
+    )
+}
+
+#[test]
+fn database_crash_window_preserves_parity_and_determinism() {
+    // --- Two DES replays: a crash window must not cost determinism.
+    // Identical observation sets AND byte-identical durable images.
+    let des_a = des_crashy_run();
+    let des_b = des_crashy_run();
+    assert_eq!(des_a.0, des_b.0, "DES observations diverged across replays");
+    assert_eq!(des_a.1, des_b.1, "DES fault stats diverged across replays");
+    assert_eq!(des_a.3, des_b.3, "WAL bytes diverged across replays");
+    assert_eq!(des_a.4, des_b.4, "snapshot bytes diverged across replays");
+    assert!(des_a.2 >= 1, "DES database never restarted");
+
+    // --- TCP run over the same world, config and schedule.
+    let world = World::build(&WorldConfig::small(), SEED);
+    let deployment = MiniDeployment::start_with_faults(world, config(), &peers(), crashy_plan())
+        .expect("deployment starts");
+    let mut tcp = Vec::new();
+    for (peer, domain, product) in CHECKS {
+        tcp.push(
+            deployment
+                .run_check(peer, domain, ProductId(product))
+                .unwrap_or_else(|e| panic!("tcp check on {domain}: {e}")),
+        );
+    }
+    let tcp_stats = format!("{:?}", deployment.fault_stats().expect("plan installed"));
+    let tcp_restarts = deployment.telemetry().snapshot().counters["faults.node_restarts"];
+    deployment.shutdown();
+
+    // Crash drops never touch the occurrence-keyed fault counters, so
+    // the totals still match count for count across backends.
+    assert_eq!(des_a.1, tcp_stats, "fault decisions diverged");
+    assert!(tcp_restarts >= 1, "TCP database never restarted");
+    for (d, t) in des_a.0.iter().zip(&tcp) {
+        assert_eq!(
+            d,
+            &sorted(t.observations.clone()),
+            "observation sets diverge for {} under the crashy schedule",
             t.domain
         );
     }
