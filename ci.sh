@@ -87,10 +87,27 @@ cargo test -p sheriff-core --test durability --quiet
 CHAOS_SEEDS="11,23,37,41,53,67,79,97" \
     cargo test -p sheriff-wire --test durability_soak --quiet
 
+# Reactor soak gate: the sharded event-loop backend must hold a
+# 1000-peer roster (second layer of the paper's 1265 installed add-ons,
+# §8, without 1005 OS threads) across waves of concurrent checks, and
+# must survive an entire reactor shard — every node one event-loop
+# thread owns — crashing and restarting as a unit with zero acked
+# observations lost. Seeds pinned for a reproducible CI schedule;
+# explore locally with REACTOR_SOAK_SEEDS=... / REACTOR_SOAK_PEERS=....
+stage "reactor-soak"
+REACTOR_SOAK_PEERS=1000 REACTOR_SOAK_SEEDS="11,23" \
+    cargo test -p sheriff-wire --test reactor_soak --quiet
+
 # Benchmark summaries: the criterion stand-in prints one median line per
 # benchmark; archive them as machine-readable BENCH_*.json next to the
-# lint report so perf regressions are diffable across CI runs.
+# lint report so perf regressions are diffable across CI runs. The
+# previous run's summary (when one exists) is kept as *.before.json so
+# a reactor regression shows up as a same-machine before/after diff.
 stage "bench summary archive"
+if [ -f target/BENCH_system_throughput.json ]; then
+    cp target/BENCH_system_throughput.json target/BENCH_system_throughput.before.json
+    echo "previous summary kept at target/BENCH_system_throughput.before.json"
+fi
 cargo bench -p sheriff-bench --bench system_throughput \
     | tee target/bench-system_throughput.txt
 awk 'BEGIN { printf "[" }

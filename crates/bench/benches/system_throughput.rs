@@ -1,6 +1,8 @@
 //! End-to-end simulated price checks through the v1 and v2 architectures —
 //! the Table 1 contrast expressed as wall-clock cost of simulating one
-//! complete check (plus the DES engine's raw event throughput).
+//! complete check (plus the DES engine's raw event throughput, and the
+//! TCP reactor backend's real-socket check latency — the number the
+//! `reactor-soak` CI stage archives before/after to gate regressions).
 
 // The criterion macros expand to undocumented items.
 #![allow(missing_docs)]
@@ -84,5 +86,53 @@ fn bench_des_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_price_check, bench_des_engine);
+fn bench_tcp_reactor(c: &mut Criterion) {
+    // Real sockets through the sharded reactor backend: one deployment,
+    // reused across samples (starting it is the expensive part and not
+    // what this gates). 64 peers is big enough that several reactor
+    // shards are in play. v2 configuration: on this backend virtual
+    // milliseconds are real, so v1's integrated-RDBMS store cost
+    // (~660 ms/check, the Table 1 bottleneck) would swamp the transport
+    // signal this bench exists to gate.
+    use sheriff_wire::MiniDeployment;
+
+    let world = World::build(&WorldConfig::small(), 31);
+    let mut cfg = SheriffConfig::v2(31, 2);
+    cfg.ipc_locations.clear();
+    cfg.proc_per_reply_ms = 2.0;
+    cfg.context_switch_alpha = 0.0;
+    cfg.job_deadline_ms = 8_000;
+    cfg.heartbeat_every_ms = 3_600_000;
+    let d = MiniDeployment::start_with(world, cfg, &peers(64)).expect("deployment starts");
+    let d = &d;
+
+    let mut group = c.benchmark_group("tcp_reactor");
+    group.sample_size(10);
+    group.bench_function("price_check_64_peers", |b| {
+        b.iter(|| {
+            d.run_check(100, "steampowered.com", ProductId(0))
+                .expect("check completes")
+        });
+    });
+    group.bench_function("concurrent_checks_x16", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for i in 0..16u64 {
+                    s.spawn(move || {
+                        d.run_check(100 + (i % 64), "steampowered.com", ProductId(0))
+                            .expect("check completes")
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_price_check,
+    bench_des_engine,
+    bench_tcp_reactor
+);
 criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fixture: panics in reactor code (the path places this under
+//! `wire/src/reactor/`, which joined the panic-freedom scope when the
+//! wire backend moved onto sharded event loops). Must trip
+//! `no-panic-protocol` exactly five times — unwrap, expect, panic!,
+//! unreachable!, and one index expression — and nothing else.
+
+struct Shard {
+    queues: Vec<usize>,
+}
+
+impl Shard {
+    fn drive(&mut self, frame: Option<usize>, slot: usize) -> usize {
+        let len = frame.unwrap();
+        let head = self.queues.first().expect("shard owns a node");
+        if slot > self.queues.len() {
+            panic!("slot out of range");
+        }
+        if *head == usize::MAX {
+            unreachable!();
+        }
+        self.queues[slot] + len
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the same reactor panic sites, each suppressed with a pragma
+//! and a justification. Must produce zero findings.
+
+struct Shard {
+    queues: Vec<usize>,
+}
+
+impl Shard {
+    fn drive(&mut self, frame: Option<usize>, slot: usize) -> usize {
+        let len = frame.unwrap(); // sheriff-lint: allow(no-panic-protocol) — caller checked readiness
+        let head = self
+            .queues
+            .first()
+            .expect("shard owns a node"); // sheriff-lint: allow(no-panic-protocol) — non-empty by construction
+        if slot > self.queues.len() {
+            // sheriff-lint: allow(no-panic-protocol) — config error, not a protocol state
+            panic!("slot out of range");
+        }
+        if *head == usize::MAX {
+            unreachable!(); // sheriff-lint: allow(no-panic-protocol) — excluded by admission check
+        }
+        self.queues[slot] + len // sheriff-lint: allow(no-panic-protocol) — slot bounds-checked above
+    }
+}

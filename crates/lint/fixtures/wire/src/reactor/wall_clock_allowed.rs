@@ -1,0 +1,18 @@
+//! Fixture: wall-clock reads *inside* the sanctioned reactor adapter
+//! path. The same tokens that trip `wall-clock` four times in
+//! `fixtures/wall_clock_bad.rs` must produce zero findings here,
+//! because `wire/src/reactor/` is where virtual milliseconds are
+//! produced from real elapsed time — proof the allowlist followed the
+//! deploy.rs split. (Kept panic-free: this path is also inside the
+//! `no-panic-protocol` scope.)
+
+use std::time::{Instant, SystemTime};
+
+fn virtual_ms_since(epoch: Instant) -> u128 {
+    let probe = Instant::now();
+    probe.duration_since(epoch).as_millis()
+}
+
+fn boot_stamp() -> SystemTime {
+    SystemTime::UNIX_EPOCH
+}

@@ -14,13 +14,18 @@
 /// self-tests point at those files explicitly, which bypasses the walk.
 pub const SKIP_DIR_NAMES: &[&str] = &["vendor", "target", "fixtures", ".git"];
 
-/// Files sanctioned to read the wall clock. `wire/src/deploy.rs` is the
-/// TCP adapter — the one place virtual milliseconds are *produced* from
-/// real elapsed time. Bench and experiment binaries measure their own
-/// runtime by design, and `lint/src/main.rs` times its own passes for
-/// the CI regression line (the timing never feeds a finding).
+/// Files sanctioned to read the wall clock. The TCP adapter is split
+/// between `wire/src/deploy.rs` (deployment setup, shutdown deadlines)
+/// and the `wire/src/reactor/` event loops — together the one place
+/// virtual milliseconds are *produced* from real elapsed time. The
+/// reactor entry is prefix-free so the fixture twin under
+/// `fixtures/wire/src/reactor/` exercises the same match. Bench and
+/// experiment binaries measure their own runtime by design, and
+/// `lint/src/main.rs` times its own passes for the CI regression line
+/// (the timing never feeds a finding).
 pub const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/wire/src/deploy.rs",
+    "wire/src/reactor/",
     "crates/bench/",
     "crates/experiments/src/bin/",
     "crates/lint/src/main.rs",
@@ -41,8 +46,12 @@ pub const HASH_ITER_SCOPE: &[&str] = &[
 ];
 
 /// The sans-IO protocol machines: under chaos schedules they must
-/// degrade (drop, requeue, re-admit), never crash the driver.
-pub const NO_PANIC_SCOPE: &[&str] = &["core/src/protocol/"];
+/// degrade (drop, requeue, re-admit), never crash the driver. The wire
+/// reactor joins them: a panic in a shard's event loop takes down
+/// *every* node that shard owns, so its connection pumps and timer
+/// queue hold the same bar (and the fixture twin under
+/// `fixtures/wire/src/reactor/` pins the rule there).
+pub const NO_PANIC_SCOPE: &[&str] = &["core/src/protocol/", "wire/src/reactor/"];
 
 /// Path fragments marking whole files as test/bench code.
 pub const TEST_TREE_MARKERS: &[&str] = &["/tests/", "/benches/", "examples/"];
@@ -301,7 +310,20 @@ mod tests {
         ));
         assert!(!matches_any("crates/wire/src/frame.rs", WALL_CLOCK_ALLOWED));
         assert!(matches_any(
+            "crates/wire/src/reactor/conn.rs",
+            WALL_CLOCK_ALLOWED
+        ));
+        assert!(matches_any(
             "crates/core/src/protocol/peer.rs",
+            NO_PANIC_SCOPE
+        ));
+        assert!(matches_any(
+            "crates/wire/src/reactor/reactor.rs",
+            NO_PANIC_SCOPE
+        ));
+        // Prefix-free entries deliberately reach the fixture corpus too.
+        assert!(matches_any(
+            "crates/lint/fixtures/wire/src/reactor/no_panic_bad.rs",
             NO_PANIC_SCOPE
         ));
         assert!(matches_any(

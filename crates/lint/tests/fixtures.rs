@@ -63,11 +63,28 @@ fn telemetry_naming_fixture_trips_only_telemetry_naming() {
 }
 
 #[test]
+fn reactor_tree_is_inside_the_no_panic_scope() {
+    // Twin of the protocol fixture, homed under `wire/src/reactor/`:
+    // the scope entry added with the reactor backend must hit the same
+    // five sites there.
+    check_bad("wire/src/reactor/no_panic_bad.rs", Rule::NoPanicProtocol, 5);
+}
+
+#[test]
+fn reactor_tree_is_inside_the_wall_clock_allowlist() {
+    // Same tokens as `wall_clock_bad.rs` (four findings there), zero
+    // findings here: `wire/src/reactor/` is a sanctioned wall-clock
+    // adapter, so the allowlist followed the deploy.rs split.
+    check_clean("wire/src/reactor/wall_clock_allowed.rs");
+}
+
+#[test]
 fn pragma_suppressed_twins_all_pass() {
     check_clean("wall_clock_pragma.rs");
     check_clean("ambient_entropy_pragma.rs");
     check_clean("core/src/protocol/hash_iter_pragma.rs");
     check_clean("core/src/protocol/no_panic_pragma.rs");
+    check_clean("wire/src/reactor/no_panic_pragma.rs");
     check_clean("telemetry_naming_pragma.rs");
 }
 

@@ -184,6 +184,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the same crash window over a whole node set — the
+    /// correlated-failure shape a dead reactor shard produces: every
+    /// node a thread owns goes dark together and returns together.
+    pub fn with_crash_all(mut self, nodes: &[usize], from_ms: u64, until_ms: u64) -> Self {
+        for &node in nodes {
+            self = self.with_crash(node, from_ms, until_ms);
+        }
+        self
+    }
+
     /// Schedules a partition isolating `island` during the window.
     pub fn with_partition(mut self, island: Vec<usize>, from_ms: u64, until_ms: u64) -> Self {
         assert!(from_ms < until_ms, "partition window must be non-empty");
@@ -344,6 +354,17 @@ mod tests {
         let b10: Vec<_> = (0..50).map(|i| b.decide(i * 5, 1, 0)).collect();
         assert_eq!(a01, b01);
         assert_eq!(a10, b10);
+    }
+
+    #[test]
+    fn crash_all_is_one_shared_window_per_node() {
+        let plan = FaultPlan::new(3).with_crash_all(&[2, 6, 10], 50, 5_000);
+        for node in [2, 6, 10] {
+            assert!(plan.is_crashed(node, 60));
+            assert_eq!(plan.restart_at(node, 60), Some(5_000));
+            assert!(!plan.is_crashed(node, 5_000), "restart is at until_ms");
+        }
+        assert!(!plan.is_crashed(4, 60), "nodes outside the set are spared");
     }
 
     #[test]

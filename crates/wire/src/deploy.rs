@@ -5,30 +5,25 @@
 //! (Coordinator, Aggregator, Measurement servers, Database server, IPCs,
 //! PPC add-ons) is one of the sans-IO state machines from
 //! [`sheriff_core::protocol`], exactly the ones the discrete-event
-//! simulation drives. Each node owns a TCP listener on an ephemeral
-//! localhost port plus two threads:
+//! simulation drives.
 //!
-//! * an **acceptor** that reads one [`Envelope`] per connection
-//!   (connect–write–close transport) and queues it for the worker;
-//! * a **worker** that feeds the machine (`on_message`, and `on_timer`
-//!   from a local timer heap) and dispatches the emitted
-//!   [`Output`](sheriff_core::protocol::Output) commands: sends become
-//!   fresh connections to the destination's listener, timers land on the
-//!   heap. Time is real elapsed milliseconds since deployment start.
-//!
-//! Because the state machines are shared with the simulator, the TCP path
-//! gets the full §3.2 semantics — least-pending job assignment, IPC + PPC
-//! fan-out, pollution budgets, doppelganger redemption — rather than a
-//! hand-rolled approximation, and the `backend_parity` integration test
-//! pins both backends to identical observation sets.
+//! Since the reactor refactor the transport tier is *sharded*: the node
+//! roster is hashed over a small set of single-threaded event loops
+//! (see [`crate::reactor`]), each owning its nodes' nonblocking
+//! listeners, live connections and a virtual-time timer queue. Thread
+//! count is `O(shards)` instead of `O(nodes)`, which is what lets the
+//! TCP backend host rosters past the paper's 1265-peer deployment.
+//! Sends are still one [`Envelope`] per connection (connect–write–close)
+//! and time is still real elapsed milliseconds since deployment start —
+//! the protocol machines cannot tell the backends apart, and the
+//! `backend_parity` test pins both to identical observation sets.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,7 +36,7 @@ use sheriff_core::durability::recover;
 use sheriff_core::pollution::PollutionLedger;
 use sheriff_core::protocol::{
     Address, AggregatorProto, Channel, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
-    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, ReliableConfig, TimerKind,
+    MeasurementParams, MeasurementProto, PeerProto, ProtoMsg, ReliableConfig,
 };
 use sheriff_core::proxy::{IpcEngine, PpcEngine};
 use sheriff_core::records::PriceCheck;
@@ -51,9 +46,12 @@ use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_netsim::{FaultPlan, FaultStats};
-use sheriff_telemetry::{Counter, Registry};
+use sheriff_telemetry::Registry;
 
 use crate::proto::{rows_from_check, Envelope, ResultRow};
+use crate::reactor::reactor::Reactor;
+use crate::reactor::shard::{default_shard_count, shard_of, FaultShim, NodeSlot, Role, ShardCtx};
+use crate::reactor::DeployOptions;
 use crate::storage::FileStorage;
 use crate::telemetry::WireTelemetry;
 
@@ -63,20 +61,20 @@ const CHECK_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Everything the initiating add-ons surface to the outside world.
 #[derive(Default)]
-struct SinkState {
-    completed: Vec<CompletedProtoCheck>,
+pub(crate) struct SinkState {
+    pub(crate) completed: Vec<CompletedProtoCheck>,
     /// `(local_tag, reason)`.
-    rejected: Vec<(u64, String)>,
+    pub(crate) rejected: Vec<(u64, String)>,
     /// `(server_index, removed)` acks.
-    removals: Vec<(usize, bool)>,
+    pub(crate) removals: Vec<(usize, bool)>,
 }
 
 /// The sink uses `std::sync` primitives (the vendored `parking_lot` has
 /// no condvar); the world stays behind `parking_lot::Mutex` to match the
 /// core crate's types.
-struct Sink {
-    state: std::sync::Mutex<SinkState>,
-    cv: std::sync::Condvar,
+pub(crate) struct Sink {
+    pub(crate) state: std::sync::Mutex<SinkState>,
+    pub(crate) cv: std::sync::Condvar,
 }
 
 impl Sink {
@@ -101,391 +99,10 @@ impl Sink {
     }
 }
 
-/// Applies a [`FaultPlan`] — the very schedule the DES engine consumes —
-/// at the TCP socket boundary. Nodes are numbered exactly like the DES
-/// deployment (`coordinator, aggregator, db?, servers…, ipcs…, ppcs…`),
-/// and the plan keys its decisions on per-link occurrence counters rather
-/// than wall-clock, so one schedule means the same drops, duplicates and
-/// crash windows on either backend.
-struct FaultShim {
-    plan: Mutex<FaultPlan>,
-    index: HashMap<Address, usize>,
-    dropped: Arc<Counter>,
-    duplicated: Arc<Counter>,
-    delayed: Arc<Counter>,
-    partition_drops: Arc<Counter>,
-    crash_dropped: Arc<Counter>,
-    node_restarts: Arc<Counter>,
-    timers_deferred: Arc<Counter>,
-}
-
-impl FaultShim {
-    fn new(plan: FaultPlan, index: HashMap<Address, usize>, registry: &Arc<Registry>) -> FaultShim {
-        FaultShim {
-            plan: Mutex::new(plan),
-            index,
-            dropped: registry.counter("faults.dropped"),
-            duplicated: registry.counter("faults.duplicated"),
-            delayed: registry.counter("faults.delayed"),
-            partition_drops: registry.counter("faults.partition_drops"),
-            crash_dropped: registry.counter("faults.crash_dropped"),
-            node_restarts: registry.counter("faults.node_restarts"),
-            timers_deferred: registry.counter("faults.timers_deferred"),
-        }
-    }
-
-    /// Send-time verdict for one envelope, mirroring the DES engine
-    /// (which consults the plan when the send output is dispatched):
-    /// `None` eats it, otherwise `(copies, extra_delay_ms)`.
-    fn outbound(&self, now_ms: u64, from: Address, to: Address) -> Option<(usize, u64)> {
-        let (Some(&f), Some(&t)) = (self.index.get(&from), self.index.get(&to)) else {
-            return Some((1, 0));
-        };
-        let mut plan = self.plan.lock();
-        let before = plan.stats;
-        let d = plan.decide(now_ms, f, t);
-        let after = plan.stats;
-        self.dropped.add(after.dropped - before.dropped);
-        self.duplicated.add(after.duplicated - before.duplicated);
-        self.delayed.add(after.delayed - before.delayed);
-        self.partition_drops
-            .add(after.partition_drops - before.partition_drops);
-        if d.drop {
-            None
-        } else {
-            Some((1 + d.duplicate as usize, d.extra_delay_ms))
-        }
-    }
-
-    /// The restart millisecond when `node` sits inside a crash window.
-    fn crashed_until(&self, node: Address, now_ms: u64) -> Option<u64> {
-        let &idx = self.index.get(&node)?;
-        self.plan.lock().restart_at(idx, now_ms)
-    }
-}
-
-/// One role machine plus whatever driver-side state it needs.
-enum Role {
-    Coordinator {
-        proto: Box<CoordinatorProto>,
-        rng: StdRng,
-        /// Period (and first-fire phase) of the §10.3 recovery sweep.
-        sweep_every_ms: u64,
-    },
-    Aggregator {
-        proto: AggregatorProto,
-    },
-    Measurement {
-        proto: Box<MeasurementProto>,
-        /// Liveness beacon period; also when the first beacon fires (a
-        /// fixed phase keeps deployment frame counts deterministic).
-        beacon_every_ms: u64,
-    },
-    Database {
-        proto: Box<DbProto>,
-    },
-    Ipc {
-        proto: Box<IpcProto>,
-    },
-    Peer {
-        proto: Box<PeerProto>,
-    },
-}
-
-/// Shared per-node driver context.
-struct NodeCtx {
-    me: Address,
-    dir: Arc<HashMap<Address, SocketAddr>>,
-    wire: Arc<WireTelemetry>,
-    world: Arc<Mutex<World>>,
-    epoch: Instant,
-    sink: Arc<Sink>,
-    /// Installed only when the deployment was started with an *active*
-    /// fault plan, so the fault-free path is byte-identical to before.
-    shim: Option<Arc<FaultShim>>,
-    unknown_timers: Arc<Counter>,
-}
-
-impl NodeCtx {
-    fn now_ms(&self) -> u64 {
-        self.epoch.elapsed().as_millis() as u64
-    }
-
-    /// The restart instant when the fault plan has this node crashed now.
-    fn crash_restart_at(&self) -> Option<Instant> {
-        let shim = self.shim.as_ref()?;
-        let ms = shim.crashed_until(self.me, self.now_ms())?;
-        Some(self.epoch + Duration::from_millis(ms))
-    }
-
-    fn send(&self, to: Address, msg: ProtoMsg) {
-        let Some(&addr) = self.dir.get(&to) else {
-            return;
-        };
-        let (copies, delay_ms) = match &self.shim {
-            Some(shim) => match shim.outbound(self.now_ms(), self.me, to) {
-                Some(verdict) => verdict,
-                None => return, // dropped by the schedule
-            },
-            None => (1, 0),
-        };
-        if delay_ms == 0 {
-            for _ in 0..copies {
-                if let Ok(mut s) = TcpStream::connect(addr) {
-                    let env = Envelope {
-                        from: self.me,
-                        msg: msg.clone(),
-                    };
-                    let _ = env.send_counted(&mut s, &self.wire);
-                }
-            }
-        } else {
-            // Extra latency rides on a detached sleeper so the worker
-            // never blocks; a send that outlives the deployment just
-            // fails to connect.
-            let wire = Arc::clone(&self.wire);
-            let me = self.me;
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(delay_ms));
-                for _ in 0..copies {
-                    if let Ok(mut s) = TcpStream::connect(addr) {
-                        let env = Envelope {
-                            from: me,
-                            msg: msg.clone(),
-                        };
-                        let _ = env.send_counted(&mut s, &wire);
-                    }
-                }
-            });
-        }
-    }
-
-    /// Applies outputs: sends go out immediately (over loopback the real
-    /// fetch already *happened* — there is no latency to model), timers
-    /// land on the worker's heap as real deadlines.
-    fn dispatch(&self, out: Vec<Output>, timers: &mut BinaryHeap<Reverse<(Instant, u64)>>) {
-        for o in out {
-            match o {
-                Output::Send { to, msg } | Output::SendFetched { to, msg } => self.send(to, msg),
-                Output::Timer { delay_ms, kind } => {
-                    timers.push(Reverse((
-                        Instant::now() + Duration::from_millis(delay_ms),
-                        kind.token(),
-                    )));
-                }
-            }
-        }
-    }
-}
-
-fn acceptor_loop(listener: TcpListener, tx: mpsc::Sender<Envelope>, wire: Arc<WireTelemetry>) {
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        // A connected-but-silent client must not wedge the node.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        // Rude clients (instant hang-up) and garbage frames are the
-        // transport's problem, not the protocol's: drop and continue.
-        if let Ok(Some(env)) = Envelope::recv_counted(&mut stream, &wire) {
-            let stop = env.msg == ProtoMsg::Shutdown;
-            if tx.send(env).is_err() || stop {
-                break;
-            }
-        }
-    }
-}
-
-fn worker_loop(mut role: Role, mut chan: Channel, rx: mpsc::Receiver<Envelope>, ctx: NodeCtx) {
-    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    match &role {
-        Role::Measurement {
-            beacon_every_ms, ..
-        } => timers.push(Reverse((
-            ctx.epoch + Duration::from_millis(*beacon_every_ms),
-            TimerKind::Heartbeat.token(),
-        ))),
-        Role::Coordinator { sweep_every_ms, .. } => timers.push(Reverse((
-            ctx.epoch + Duration::from_millis(*sweep_every_ms),
-            TimerKind::CoordSweep.token(),
-        ))),
-        _ => {}
-    }
-    let mut was_crashed = false;
-    loop {
-        // A scheduled crash window: the node is dead. Inbound frames are
-        // eaten (Shutdown is still honoured so the deployment can always
-        // join its threads) and due timers are deferred to the restart
-        // instant — exactly the DES engine's crash semantics.
-        if let Some(restart) = ctx.crash_restart_at() {
-            was_crashed = true;
-            let now = Instant::now();
-            let mut deferred = 0u64;
-            while timers.peek().is_some_and(|Reverse((t, _))| *t <= now) {
-                let Some(Reverse((_, token))) = timers.pop() else {
-                    break;
-                };
-                timers.push(Reverse((restart, token)));
-                deferred += 1;
-            }
-            if deferred > 0 {
-                if let Some(shim) = &ctx.shim {
-                    shim.timers_deferred.add(deferred);
-                }
-            }
-            let wait = restart
-                .saturating_duration_since(Instant::now())
-                .min(Duration::from_millis(100));
-            match rx.recv_timeout(wait) {
-                Ok(env) if env.msg == ProtoMsg::Shutdown => break,
-                Ok(_) => {
-                    if let Some(shim) = &ctx.shim {
-                        shim.crash_dropped.inc();
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {}
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
-            }
-            continue;
-        }
-        if was_crashed {
-            // Back from the dead with state intact. A Measurement server
-            // announces liveness immediately: the Coordinator may have
-            // written it off and requeued its jobs, and the fresh
-            // heartbeat reopens the assignment path.
-            was_crashed = false;
-            if let Some(shim) = &ctx.shim {
-                shim.node_restarts.inc();
-            }
-            let mut out = Vec::new();
-            match &mut role {
-                Role::Measurement { proto, .. } => proto.on_restart(ctx.now_ms(), &mut out),
-                Role::Database { proto } => {
-                    // The Database models genuine volatile-state loss: the
-                    // un-barriered WAL tail vanishes and the store is
-                    // rebuilt from the durable snapshot + log prefix. The
-                    // reliable channel forgets its windows too (they lived
-                    // in memory); peers retransmit anything unacked.
-                    chan.on_restart();
-                    let mut events = Vec::new();
-                    proto.on_restart(&mut events);
-                }
-                _ => {}
-            }
-            chan.harden(&mut out);
-            ctx.dispatch(out, &mut timers);
-        }
-
-        // Fire every due timer.
-        let now = Instant::now();
-        while timers.peek().is_some_and(|Reverse((t, _))| *t <= now) {
-            let Some(Reverse((_, token))) = timers.pop() else {
-                break;
-            };
-            let mut out = Vec::new();
-            match TimerKind::from_token(token) {
-                None => {
-                    ctx.unknown_timers.inc();
-                    continue;
-                }
-                Some(TimerKind::Retransmit(seq)) => {
-                    if let Some((_, abandoned)) = chan.on_retransmit(seq, &mut out) {
-                        if let Role::Peer { proto } = &mut role {
-                            proto.on_send_abandoned(&abandoned);
-                        }
-                    }
-                }
-                Some(kind) => match &mut role {
-                    Role::Coordinator { proto, rng, .. } => {
-                        proto.on_timer(ctx.now_ms(), kind, rng, &mut out);
-                    }
-                    Role::Measurement { proto, .. } => {
-                        let mut events = Vec::new();
-                        proto.on_timer(ctx.now_ms(), kind, &mut out, &mut events);
-                    }
-                    Role::Database { proto } => {
-                        let mut events = Vec::new();
-                        proto.on_timer(kind, &mut out, &mut events);
-                    }
-                    _ => {}
-                },
-            }
-            chan.harden(&mut out);
-            ctx.dispatch(out, &mut timers);
-        }
-
-        let wait = timers
-            .peek()
-            .map_or(Duration::from_millis(500), |Reverse((t, _))| {
-                t.saturating_duration_since(Instant::now())
-            })
-            .min(Duration::from_millis(500));
-        let env = match rx.recv_timeout(wait) {
-            Ok(env) => env,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-        if env.msg == ProtoMsg::Shutdown {
-            break;
-        }
-        // A crash window can open between the loop-top check and this
-        // recv; a dead node must not process the frame (the next loop
-        // iteration enters the crash branch and handles the window).
-        if ctx.crash_restart_at().is_some() {
-            if let Some(shim) = &ctx.shim {
-                shim.crash_dropped.inc();
-            }
-            continue;
-        }
-        let now_ms = ctx.now_ms();
-        let mut out = Vec::new();
-        // The reliable layer acks, dedups and unwraps first; only
-        // genuinely new payloads reach the machine.
-        if let Some(msg) = chan.accept(env.from, env.msg, &mut out) {
-            match &mut role {
-                Role::Coordinator { proto, rng, .. } => {
-                    proto.on_message(now_ms, env.from, msg, rng, &mut out);
-                }
-                Role::Aggregator { proto } => proto.on_message(env.from, msg, &mut out),
-                Role::Measurement { proto, .. } => {
-                    let mut events = Vec::new();
-                    proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
-                }
-                Role::Database { proto } => {
-                    let mut events = Vec::new();
-                    proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
-                }
-                Role::Ipc { proto } => {
-                    let mut world = ctx.world.lock();
-                    proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
-                }
-                Role::Peer { proto } => {
-                    {
-                        let mut world = ctx.world.lock();
-                        proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
-                    }
-                    drain_peer(proto, &ctx.sink);
-                }
-            }
-        }
-        chan.harden(&mut out);
-        ctx.dispatch(out, &mut timers);
-    }
-}
-
-/// Moves the add-on's freshly observable outcomes into the shared sink.
-fn drain_peer(proto: &mut PeerProto, sink: &Sink) {
-    if proto.completed.is_empty() && proto.rejected.is_empty() && proto.server_removals.is_empty() {
-        return;
-    }
-    let mut st = sink.state.lock().expect("sink poisoned");
-    st.completed.append(&mut proto.completed);
-    st.rejected.append(&mut proto.rejected);
-    st.removals.append(&mut proto.server_removals);
-    sink.cv.notify_all();
-}
-
 /// The running deployment.
 pub struct MiniDeployment {
     dir: Arc<HashMap<Address, SocketAddr>>,
+    /// One join handle per reactor shard (not per node).
     handles: Vec<JoinHandle<()>>,
     world: Arc<Mutex<World>>,
     telemetry: Arc<Registry>,
@@ -493,6 +110,9 @@ pub struct MiniDeployment {
     sink: Arc<Sink>,
     next_tag: AtomicU64,
     shim: Option<Arc<FaultShim>>,
+    /// Fault-plan node indices (bind order — the DES numbering) grouped
+    /// by owning reactor shard.
+    shards: Vec<Vec<usize>>,
     /// Local tags of checks begun but not yet completed or rejected.
     in_flight: Mutex<Vec<u64>>,
     /// On-disk home of the Database server's WAL + snapshot (v2 only);
@@ -543,15 +163,27 @@ impl MiniDeployment {
     }
 
     /// Like [`MiniDeployment::start_with`], with a deterministic fault
-    /// schedule applied at the socket boundary — the very [`FaultPlan`]
-    /// type the DES engine consumes, against the same node numbering, so
-    /// one schedule exercises both backends identically. An inactive
-    /// (all-zero) plan is bypassed entirely: a strict no-op.
+    /// schedule applied at the reactor's socket edges — the very
+    /// [`FaultPlan`] type the DES engine consumes, against the same node
+    /// numbering, so one schedule exercises both backends identically. An
+    /// inactive (all-zero) plan is bypassed entirely: a strict no-op.
     pub fn start_with_faults(
         world: World,
         cfg: SheriffConfig,
         peers: &[PpcSpec],
         plan: FaultPlan,
+    ) -> io::Result<MiniDeployment> {
+        Self::start_with_options(world, cfg, peers, plan, DeployOptions::default())
+    }
+
+    /// The full-surface constructor: fault schedule plus reactor tuning.
+    /// `opts.shards == 0` sizes the shard set from the roster.
+    pub fn start_with_options(
+        world: World,
+        cfg: SheriffConfig,
+        peers: &[PpcSpec],
+        plan: FaultPlan,
+        opts: DeployOptions,
     ) -> io::Result<MiniDeployment> {
         let whitelist = Whitelist::with_domains(world.domains().map(str::to_string));
         let world = Arc::new(Mutex::new(world));
@@ -600,7 +232,7 @@ impl MiniDeployment {
         }
 
         // Bind every listener up front so the address directory is
-        // complete before any thread runs.
+        // complete before any shard runs.
         let mut listeners: Vec<(Address, TcpListener)> = Vec::new();
         let mut dir = HashMap::new();
         let bind = |addr: Address,
@@ -643,12 +275,10 @@ impl MiniDeployment {
             base_backoff_ms: cfg.retransmit_base_ms,
             ..ReliableConfig::default()
         };
-        let unknown_timers = telemetry.counter("protocol.unknown_timers");
 
         let ipc_addrs: Vec<Address> = (0..cfg.ipc_locations.len())
             .map(|index| Address::Ipc { index })
             .collect();
-        let mut handles = Vec::new();
         let mut ipc_engines: HashMap<usize, (IpcEngine, Option<String>)> = HashMap::new();
         for (i, &(country, city_idx)) in cfg.ipc_locations.iter().enumerate() {
             let ip = alloc.allocate(country, city_idx);
@@ -676,6 +306,8 @@ impl MiniDeployment {
             .collect();
         let mut coordinator = Some(coordinator);
 
+        // Instantiate every role machine in bind order.
+        let mut roster: Vec<(Address, TcpListener, Role)> = Vec::new();
         for (addr, listener) in listeners {
             let role = match addr {
                 Address::Coordinator => {
@@ -746,26 +378,44 @@ impl MiniDeployment {
                     }
                 }
             };
-            let (tx, rx) = mpsc::channel();
-            let ctx = NodeCtx {
-                me: addr,
-                dir: Arc::clone(&dir),
-                wire: Arc::clone(&wire),
-                world: Arc::clone(&world),
-                epoch,
-                sink: Arc::clone(&sink),
-                shim: shim.clone(),
-                unknown_timers: Arc::clone(&unknown_timers),
-            };
-            let chan = Channel::new(reliable_cfg).with_telemetry(&telemetry);
-            let wire_for_acceptor = Arc::clone(&wire);
-            handles.push(std::thread::spawn(move || {
-                acceptor_loop(listener, tx, wire_for_acceptor);
-            }));
-            handles.push(std::thread::spawn(move || {
-                worker_loop(role, chan, rx, ctx);
-            }));
+            roster.push((addr, listener, role));
         }
+
+        // Partition the roster over the reactor shards and spawn one
+        // event-loop thread per shard.
+        let n_nodes = roster.len();
+        let n_shards = if opts.shards == 0 {
+            default_shard_count(n_nodes)
+        } else {
+            opts.shards.clamp(1, n_nodes.max(1))
+        };
+        let ctx = ShardCtx {
+            dir: Arc::clone(&dir),
+            wire: Arc::clone(&wire),
+            world: Arc::clone(&world),
+            epoch,
+            sink: Arc::clone(&sink),
+            shim: shim.clone(),
+            unknown_timers: telemetry.counter("protocol.unknown_timers"),
+            wakeups: telemetry.counter("wire.reactor_wakeups"),
+            queue_depth: telemetry.gauge("wire.shard_queue_depth"),
+        };
+        let mut groups: Vec<Vec<(NodeSlot, TcpListener)>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (fault_idx, (addr, listener, role)) in roster.into_iter().enumerate() {
+            let chan = Channel::new(reliable_cfg).with_telemetry(&telemetry);
+            let s = shard_of(addr, n_shards);
+            groups[s].push((NodeSlot::new(addr, role, chan), listener));
+            shards[s].push(fault_idx);
+        }
+        let handles = groups
+            .into_iter()
+            .map(|nodes| {
+                let ctx = ctx.clone();
+                std::thread::spawn(move || Reactor::new(ctx, nodes).run())
+            })
+            .collect();
 
         Ok(MiniDeployment {
             dir,
@@ -776,6 +426,7 @@ impl MiniDeployment {
             sink,
             next_tag: AtomicU64::new(1),
             shim,
+            shards,
             in_flight: Mutex::new(Vec::new()),
             db_dir,
         })
@@ -796,6 +447,20 @@ impl MiniDeployment {
     /// The shared world (tests inspect ground truth through it).
     pub fn world(&self) -> Arc<Mutex<World>> {
         Arc::clone(&self.world)
+    }
+
+    /// Number of reactor shards (event-loop threads) this deployment
+    /// runs on.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fault-plan node indices (bind order — the DES numbering)
+    /// owned by reactor shard `shard`. Tests use this to phrase crash
+    /// schedules against a *whole shard*: every node here shares one
+    /// event-loop thread.
+    pub fn shard_members(&self, shard: usize) -> &[usize] {
+        self.shards.get(shard).map_or(&[], Vec::as_slice)
     }
 
     /// Runs one full §3.2 price check initiated by `peer`'s add-on and
@@ -855,7 +520,7 @@ impl MiniDeployment {
 
     /// Running totals of the installed fault plan (`None` without one).
     pub fn fault_stats(&self) -> Option<FaultStats> {
-        self.shim.as_ref().map(|s| s.plan.lock().stats)
+        self.shim.as_ref().map(|s| s.stats())
     }
 
     /// Like [`MiniDeployment::run_check`] but rendered as Fig. 2 result
@@ -908,8 +573,8 @@ impl MiniDeployment {
         }
         // Let in-flight frames drain first: a client unblocks when the
         // completion sink is updated, which can happen *before* the
-        // worker's trailing Ack hits the wire — so a worker that reads
-        // its Shutdown frame ahead of that Ack would exit without ever
+        // reactor's trailing Ack hits the wire — so a shard that reads
+        // its Shutdown frames ahead of that Ack would exit without ever
         // counting it. Momentary balance is not enough (the Ack may not
         // have been written yet); require the books to balance and stay
         // still across several polls. Bounded wait, since a frame to a
@@ -927,8 +592,9 @@ impl MiniDeployment {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        // One Shutdown frame per node: the acceptor forwards it to the
-        // worker and stops accepting; the worker drains and exits.
+        // One Shutdown frame per node: its shard stops accepting on that
+        // listener and discards the node; a shard exits once every node
+        // it owns is down and its write queues drained.
         for to in self.dir.keys() {
             let _ = self.inject(Address::Coordinator, *to, ProtoMsg::Shutdown);
         }
@@ -958,7 +624,7 @@ impl MiniDeployment {
     }
 
     /// Orderly shutdown: every node receives a Shutdown frame, every
-    /// acceptor and worker thread is joined. Also runs on [`Drop`], so a
+    /// reactor shard thread is joined. Also runs on [`Drop`], so a
     /// deployment can never leak its threads.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
@@ -1132,6 +798,41 @@ mod tests {
             .run_price_check(10, "amazon.com", ProductId(0))
             .expect("check");
         assert!(!rows.is_empty());
-        drop(d); // Drop must shut the node threads down, not leak them.
+        drop(d); // Drop must shut the shard threads down, not leak them.
+    }
+
+    #[test]
+    fn shard_layout_is_deterministic_and_total() {
+        // Same roster → same placement, every node owned exactly once,
+        // and explicit shard counts are honored.
+        let d1 = deployment();
+        let d2 = deployment();
+        assert_eq!(d1.shard_count(), d2.shard_count());
+        let mut owned: Vec<usize> = (0..d1.shard_count())
+            .flat_map(|s| d1.shard_members(s).to_vec())
+            .collect();
+        owned.sort_unstable();
+        assert_eq!(
+            owned,
+            (0..9).collect::<Vec<_>>(),
+            "9 nodes, each owned once"
+        );
+        for s in 0..d1.shard_count() {
+            assert_eq!(d1.shard_members(s), d2.shard_members(s));
+        }
+        d1.shutdown();
+        d2.shutdown();
+
+        let world = World::build(&WorldConfig::small(), 77);
+        let d3 = MiniDeployment::start_with_options(
+            world,
+            SheriffConfig::v1(7),
+            &[],
+            FaultPlan::new(0),
+            DeployOptions { shards: 2 },
+        )
+        .expect("deployment starts");
+        assert_eq!(d3.shard_count(), 2);
+        d3.shutdown();
     }
 }

@@ -15,17 +15,21 @@
 //!   over frames, plus the Fig. 2 [`ResultRow`] view;
 //! * [`deploy`] — the full node roster (Coordinator, Aggregator,
 //!   Measurement/Database servers, IPCs, PPC add-ons) on ephemeral
-//!   localhost ports, one acceptor + worker thread pair per node, with
-//!   graceful shutdown that joins every thread;
+//!   localhost ports, partitioned over a small set of reactor shards,
+//!   with graceful shutdown that joins every shard thread;
+//! * [`reactor`] — the nonblocking, readiness-driven event loop behind
+//!   [`deploy`]: per-shard reactors own their nodes' listeners, live
+//!   connections and a virtual-time timer queue, so thread count is
+//!   `O(shards)` rather than `O(nodes)` and thousand-peer rosters fit;
 //! * [`storage`] — a file-backed implementation of the core
 //!   `durability::Storage` trait, so the Database worker's WAL and
 //!   snapshots live on disk and a restart recovers by reading them back;
 //! * [`telemetry`] — frame/byte counters shared by every framed send and
 //!   receive in the deployment, so loopback traffic balances exactly.
 //!
-//! Everything is blocking `std::net` with bounded reads: no async runtime
-//! is needed for a handful of connections, and determinism of the *content*
-//! is preserved because the synthetic web behind it is deterministic — the
+//! Everything is plain `std::net` driven nonblocking by the reactors: no
+//! async runtime and no unsafe, and determinism of the *content* is
+//! preserved because the synthetic web behind it is deterministic — the
 //! `backend_parity` test pins DES and TCP runs to identical observations.
 
 #![forbid(unsafe_code)]
@@ -34,11 +38,13 @@
 pub mod deploy;
 pub mod frame;
 pub mod proto;
+pub mod reactor;
 pub mod storage;
 pub mod telemetry;
 
 pub use deploy::MiniDeployment;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use proto::{rows_from_check, Envelope, ResultRow};
+pub use reactor::DeployOptions;
 pub use storage::FileStorage;
 pub use telemetry::WireTelemetry;

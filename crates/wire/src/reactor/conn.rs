@@ -1,0 +1,171 @@
+//! Per-connection state machines for the reactor.
+//!
+//! The transport contract is unchanged from the blocking backend: one
+//! [`Envelope`] per connection, connect–write–close. What changes is
+//! *how* the bytes move — both directions are nonblocking and
+//! incremental, so a shard's event loop is never parked on a socket:
+//!
+//! * [`Inbound`] assembles one length-prefixed frame a readiness burst
+//!   at a time and surfaces it as an [`InboundEvent`];
+//! * [`Outbound`] holds one already-encoded frame and flushes it as the
+//!   socket accepts bytes, counting it in the wire telemetry only once
+//!   the final byte is written (the same point the blocking
+//!   `send_counted` path counted at).
+//!
+//! This file is inside the `sheriff-lint` panic-freedom scope: every
+//! slice access goes through `get`, every fallible call is handled.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::frame::MAX_FRAME_LEN;
+use crate::proto::Envelope;
+use crate::telemetry::WireTelemetry;
+
+/// How long a silent inbound connection may sit before the reactor reaps
+/// it — the same guard the blocking acceptor expressed as a read timeout.
+pub(crate) const IDLE_CONN_MS: u64 = 5_000;
+
+/// Read-buffer granularity. Frames are typically well under this; large
+/// fetch replies just take a few extra passes.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What one pump pass over an [`Inbound`] connection produced.
+pub(crate) enum InboundEvent {
+    /// Nothing new yet; keep the connection registered.
+    Pending,
+    /// One full envelope arrived. The connection is finished with it
+    /// (the transport is one frame per connection).
+    Frame(Box<Envelope>),
+    /// The connection is over: EOF, an oversized length prefix, a
+    /// payload that failed to parse, or a transport error. The blocking
+    /// acceptor treated all of these as "the transport's problem, not
+    /// the protocol's" and so does the reactor.
+    Closed,
+}
+
+/// Incremental reader for one length-prefixed frame on a nonblocking
+/// stream.
+pub(crate) struct Inbound {
+    stream: TcpStream,
+    /// Local slot of the node whose listener accepted the stream.
+    pub(crate) slot: usize,
+    /// Virtual-ms timestamp of the accept, for idle reaping.
+    pub(crate) opened_ms: u64,
+    buf: Vec<u8>,
+}
+
+impl Inbound {
+    pub(crate) fn new(stream: TcpStream, slot: usize, opened_ms: u64) -> Inbound {
+        Inbound {
+            stream,
+            slot,
+            opened_ms,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Announced payload length once the 4-byte prefix is buffered.
+    fn announced_len(&self) -> Option<usize> {
+        let prefix = self.buf.get(..4)?;
+        Some(
+            prefix
+                .iter()
+                .fold(0usize, |acc, &b| (acc << 8) | usize::from(b)),
+        )
+    }
+
+    /// Drains whatever the socket has ready right now and returns the
+    /// connection's new state.
+    pub(crate) fn pump(&mut self, wire: &WireTelemetry) -> InboundEvent {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if let Some(len) = self.announced_len() {
+                if len > MAX_FRAME_LEN {
+                    return InboundEvent::Closed;
+                }
+                if self.buf.len() >= 4 + len {
+                    // Count the frame exactly like `recv_counted`: the
+                    // bytes arrived even if the payload fails to parse.
+                    wire.received(len);
+                    let payload = self.buf.get(4..4 + len).unwrap_or(&[]);
+                    return match serde_json::from_slice::<Envelope>(payload) {
+                        Ok(env) => InboundEvent::Frame(Box::new(env)),
+                        Err(_) => InboundEvent::Closed,
+                    };
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return InboundEvent::Closed,
+                Ok(n) => self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return InboundEvent::Pending,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return InboundEvent::Closed,
+            }
+        }
+    }
+}
+
+/// What one pump pass over an [`Outbound`] connection produced.
+pub(crate) enum OutboundEvent {
+    /// The socket is full; try again next iteration.
+    Pending,
+    /// The whole frame is on the wire (and counted); close the stream.
+    Done,
+    /// The destination vanished mid-write (a post-shutdown send). The
+    /// frame is dropped silently and *uncounted*, matching the blocking
+    /// path's `let _ = env.send_counted(..)` on a failed connect.
+    Failed,
+}
+
+/// Incremental writer for one already-encoded frame on a nonblocking
+/// stream.
+pub(crate) struct Outbound {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    written: usize,
+    payload_len: usize,
+}
+
+impl Outbound {
+    /// Encodes `env` and opens a connection toward `addr`. The connect
+    /// itself is the kernel's three-way handshake against a loopback
+    /// listener's accept queue — it completes immediately whether or not
+    /// the destination shard has accepted yet, so the event loop is not
+    /// stalled. `None` means the destination is gone (or the envelope is
+    /// oversized); the caller drops the frame, as the blocking path did.
+    pub(crate) fn open(addr: SocketAddr, env: &Envelope) -> Option<Outbound> {
+        let payload = serde_json::to_vec(env).ok()?;
+        if payload.len() > MAX_FRAME_LEN {
+            return None;
+        }
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        let payload_len = payload.len();
+        let mut frame = Vec::with_capacity(4 + payload_len);
+        frame.extend_from_slice(&(payload_len as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        Some(Outbound {
+            stream,
+            frame,
+            written: 0,
+            payload_len,
+        })
+    }
+
+    /// Pushes as many bytes as the socket will take.
+    pub(crate) fn pump(&mut self, wire: &WireTelemetry) -> OutboundEvent {
+        while self.written < self.frame.len() {
+            let rest = self.frame.get(self.written..).unwrap_or(&[]);
+            match self.stream.write(rest) {
+                Ok(0) => return OutboundEvent::Failed,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return OutboundEvent::Pending,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return OutboundEvent::Failed,
+            }
+        }
+        wire.sent(self.payload_len);
+        OutboundEvent::Done
+    }
+}

@@ -1,0 +1,43 @@
+//! The nonblocking, readiness-driven wire backend.
+//!
+//! The first TCP deployment spawned one acceptor + worker thread pair
+//! per node — fine for a localhost roster, hopeless for the paper's
+//! deployed population (1265 installed add-ons, §8) or the heavier
+//! crowds the ROADMAP aims at. This module replaces that architecture
+//! with **sharded reactors**:
+//!
+//! * the roster is partitioned over a small set of *shards* by a
+//!   deterministic hash of each node's logical address
+//!   ([`shard::shard_of`]);
+//! * each shard is one thread running an event loop
+//!   ([`reactor::Reactor`]) that owns its nodes' listeners, live
+//!   connections ([`conn`]), and a virtual-time timer queue — no
+//!   per-node threads, no blocking reads, no per-thread sleeps;
+//! * the sans-IO protocol machines from `sheriff_core::protocol` are
+//!   driven byte-for-byte as before: the reliable channel wraps
+//!   inbound frames, outputs become per-link FIFO writes, timer
+//!   requests land on the shard's queue, and the fault shim
+//!   ([`shard::FaultShim`]) applies the *same* deterministic schedule
+//!   the DES engine consumes at the read/write edges.
+//!
+//! The parity, chaos-parity and durability-soak suites run unchanged on
+//! this backend — that invariance is the proof the refactor is a pure
+//! driver swap. What changed is capacity: a deployment's thread count
+//! is now `O(shards)`, not `O(nodes)`, so thousand-peer rosters run on
+//! eight threads.
+
+pub(crate) mod conn;
+#[allow(clippy::module_inception)]
+pub(crate) mod reactor;
+pub(crate) mod shard;
+
+/// Tuning knobs for [`MiniDeployment::start_with_options`].
+///
+/// [`MiniDeployment::start_with_options`]: crate::deploy::MiniDeployment::start_with_options
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeployOptions {
+    /// Reactor shard count. `0` (the default) picks one shard per
+    /// eight nodes, capped at eight — small test rosters stay compact,
+    /// thousand-peer soaks spread across eight threads.
+    pub shards: usize,
+}

@@ -1,0 +1,577 @@
+//! The per-shard event loop: one thread, all the sockets and timers of
+//! its nodes, zero blocking calls.
+//!
+//! Each iteration of [`Reactor::run`] is one readiness sweep:
+//!
+//! 1. **crash sync** — enter/leave scheduled crash windows and run the
+//!    restart edge (the DES engine's `Event::Restart` semantics);
+//! 2. **timers** — pop every entry of the virtual-time queue whose
+//!    deadline passed; crashed nodes get theirs deferred to the restart
+//!    instant instead of fired;
+//! 3. **accept** — drain every listener's accept queue;
+//! 4. **inbound** — pump live connections; completed frames are
+//!    delivered through the reliable channel into the role machine
+//!    exactly as the worker threads did;
+//! 5. **delayed sends** — release fault-injected extra latency whose
+//!    due time arrived (this replaces the old detached sleeper threads);
+//! 6. **outbound** — flush per-link write queues, one frame in flight
+//!    per `(node, destination)` pair so the blocking backend's per-link
+//!    FIFO order is preserved.
+//!
+//! An iteration that did any work counts one `wire.reactor_wakeups`;
+//! an idle iteration sleeps ~1 ms (bounded by the next timer deadline),
+//! which is far inside every protocol timeout — the retransmit backoff
+//! floor is 250 ms even in test configurations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sheriff_core::protocol::{Address, Output, ProtoMsg, TimerKind};
+
+use super::conn::{Inbound, InboundEvent, Outbound, OutboundEvent, IDLE_CONN_MS};
+use super::shard::{drain_peer, NodeSlot, Role, ShardCtx};
+use crate::proto::Envelope;
+
+/// Idle nap between readiness sweeps when nothing at all happened.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// How long a finished shard keeps flushing its outbound queues before
+/// giving up on destinations that already exited.
+const DRAIN_GRACE_MS: u64 = 250;
+
+/// One node's socket-facing state inside the shard.
+struct OwnedNode {
+    slot: NodeSlot,
+    /// `None` once the node received Shutdown (stop accepting, exactly
+    /// like the blocking acceptor breaking out of its loop).
+    listener: Option<TcpListener>,
+}
+
+/// A per-link outbound FIFO: only the head frame is in flight, so two
+/// frames from one node to one destination can never overtake each
+/// other — the property the blocking connect–write–close path provided
+/// implicitly.
+struct OutLink {
+    local: usize,
+    to: Address,
+    inflight: Option<Outbound>,
+    queue: Vec<Envelope>,
+}
+
+/// A send carrying fault-injected extra latency, parked until its due
+/// time. The old backend parked these on detached sleeper threads; the
+/// reactor parks them on plain data.
+struct DelayedSend {
+    due_ms: u64,
+    seq: u64,
+    local: usize,
+    to: Address,
+    env: Envelope,
+    copies: usize,
+}
+
+/// The single-threaded event loop driving one shard's nodes.
+pub(crate) struct Reactor {
+    ctx: ShardCtx,
+    nodes: Vec<OwnedNode>,
+    /// Virtual-time timer queue: `(due_ms, seq, local_node, token)`.
+    /// The monotone `seq` makes same-millisecond firing order exactly
+    /// the insertion order — deterministic, like the DES event queue.
+    timers: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    seq: u64,
+    inbound: Vec<Inbound>,
+    links: Vec<OutLink>,
+    delayed: Vec<DelayedSend>,
+    /// Local high-water of pending work, mirrored into the shared
+    /// `wire.shard_queue_depth` gauge when it grows.
+    depth_hiwater: usize,
+}
+
+impl Reactor {
+    /// Builds a shard over `nodes` and seeds the phase-fixed initial
+    /// timers (measurement liveness beacon, coordinator recovery sweep)
+    /// exactly where the worker threads used to.
+    pub(crate) fn new(ctx: ShardCtx, nodes: Vec<(NodeSlot, TcpListener)>) -> Reactor {
+        let mut reactor = Reactor {
+            ctx,
+            nodes: Vec::new(),
+            timers: BinaryHeap::new(),
+            seq: 0,
+            inbound: Vec::new(),
+            links: Vec::new(),
+            delayed: Vec::new(),
+            depth_hiwater: 0,
+        };
+        for (slot, listener) in nodes {
+            let _ = listener.set_nonblocking(true);
+            let local = reactor.nodes.len();
+            match &slot.role {
+                Role::Measurement {
+                    beacon_every_ms, ..
+                } => reactor.push_timer(*beacon_every_ms, local, TimerKind::Heartbeat.token()),
+                Role::Coordinator { sweep_every_ms, .. } => {
+                    reactor.push_timer(*sweep_every_ms, local, TimerKind::CoordSweep.token());
+                }
+                _ => {}
+            }
+            reactor.nodes.push(OwnedNode {
+                slot,
+                listener: Some(listener),
+            });
+        }
+        reactor
+    }
+
+    fn push_timer(&mut self, due_ms: u64, local: usize, token: u64) {
+        self.seq += 1;
+        self.timers.push(Reverse((due_ms, self.seq, local, token)));
+    }
+
+    /// Runs until every node in the shard has been shut down and the
+    /// outbound queues drained (or the drain grace expired).
+    pub(crate) fn run(mut self) {
+        let mut stop_deadline: Option<u64> = None;
+        loop {
+            let now_ms = self.ctx.now_ms();
+            let mut work = 0usize;
+            work += self.sync_crash_states(now_ms);
+            work += self.fire_timers(now_ms);
+            work += self.poll_accept(now_ms);
+            work += self.pump_inbound(now_ms);
+            work += self.release_delayed(now_ms);
+            work += self.pump_outbound();
+            self.note_depth();
+
+            if self.nodes.iter().all(|n| n.slot.stopped) {
+                let deadline = *stop_deadline.get_or_insert(now_ms + DRAIN_GRACE_MS);
+                let drained = self.links.is_empty() && self.delayed.is_empty();
+                if drained || now_ms >= deadline {
+                    break;
+                }
+            }
+            if work > 0 {
+                self.ctx.wakeups.inc();
+            } else {
+                std::thread::sleep(self.idle_nap(now_ms));
+            }
+        }
+    }
+
+    /// Idle sleep bounded by the next timer deadline.
+    fn idle_nap(&self, now_ms: u64) -> Duration {
+        let until_timer = self
+            .timers
+            .peek()
+            .map_or(u64::MAX, |Reverse((due, ..))| due.saturating_sub(now_ms));
+        Duration::from_millis(until_timer.max(1)).min(IDLE_SLEEP)
+    }
+
+    /// Publishes the queue-depth high-water mark.
+    fn note_depth(&mut self) {
+        let depth = self.inbound.len()
+            + self.delayed.len()
+            + self
+                .links
+                .iter()
+                .map(|l| l.queue.len() + usize::from(l.inflight.is_some()))
+                .sum::<usize>();
+        if depth > self.depth_hiwater {
+            self.depth_hiwater = depth;
+            let shared = self.ctx.queue_depth.get();
+            if depth as i64 > shared {
+                self.ctx.queue_depth.set(depth as i64);
+            }
+        }
+    }
+
+    /// Enters/leaves crash windows. Leaving one is the restart edge:
+    /// state-intact restart for most roles, volatile-state loss for the
+    /// Database — byte-for-byte the worker-thread semantics.
+    fn sync_crash_states(&mut self, now_ms: u64) -> usize {
+        let Some(shim) = self.ctx.shim.clone() else {
+            return 0;
+        };
+        let mut work = 0;
+        for local in 0..self.nodes.len() {
+            let mut out = Vec::new();
+            {
+                let Some(node) = self.nodes.get_mut(local) else {
+                    continue;
+                };
+                if node.slot.stopped {
+                    continue;
+                }
+                if shim.crashed_until(node.slot.me, now_ms).is_some() {
+                    if !node.slot.crashed {
+                        node.slot.crashed = true;
+                        work += 1;
+                    }
+                    continue;
+                }
+                if !node.slot.crashed {
+                    continue;
+                }
+                // Back from the dead with state intact. A Measurement
+                // server announces liveness immediately: the Coordinator
+                // may have written it off and requeued its jobs, and the
+                // fresh heartbeat reopens the assignment path.
+                node.slot.crashed = false;
+                shim.node_restarts.inc();
+                match &mut node.slot.role {
+                    Role::Measurement { proto, .. } => proto.on_restart(now_ms, &mut out),
+                    Role::Database { proto } => {
+                        // The Database models genuine volatile-state
+                        // loss: the un-barriered WAL tail vanishes and
+                        // the store is rebuilt from the durable snapshot
+                        // + log prefix. The reliable channel forgets its
+                        // windows too (they lived in memory); peers
+                        // retransmit anything unacked.
+                        node.slot.chan.on_restart();
+                        let mut events = Vec::new();
+                        proto.on_restart(&mut events);
+                    }
+                    _ => {}
+                }
+                node.slot.chan.harden(&mut out);
+            }
+            self.dispatch(local, out, now_ms);
+            work += 1;
+        }
+        work
+    }
+
+    /// Fires every due timer; a crashed node's due timers are deferred
+    /// to its restart instant instead (counted, like the DES engine).
+    fn fire_timers(&mut self, now_ms: u64) -> usize {
+        let mut work = 0;
+        while self
+            .timers
+            .peek()
+            .is_some_and(|Reverse((due, ..))| *due <= now_ms)
+        {
+            let Some(Reverse((_, _, local, token))) = self.timers.pop() else {
+                break;
+            };
+            let mut out = Vec::new();
+            let mut defer_to = None;
+            {
+                let sink = Arc::clone(&self.ctx.sink);
+                let Some(node) = self.nodes.get_mut(local) else {
+                    continue;
+                };
+                if node.slot.stopped {
+                    continue;
+                }
+                if node.slot.crashed {
+                    if let Some(shim) = &self.ctx.shim {
+                        defer_to = shim.crashed_until(node.slot.me, now_ms);
+                    }
+                }
+                if defer_to.is_none() {
+                    match TimerKind::from_token(token) {
+                        None => {
+                            self.ctx.unknown_timers.inc();
+                            continue;
+                        }
+                        Some(TimerKind::Retransmit(seq)) => {
+                            if let Some((_, abandoned)) =
+                                node.slot.chan.on_retransmit(seq, &mut out)
+                            {
+                                if let Role::Peer { proto } = &mut node.slot.role {
+                                    proto.on_send_abandoned(&abandoned);
+                                    drain_peer(proto, &sink);
+                                }
+                            }
+                        }
+                        Some(kind) => match &mut node.slot.role {
+                            Role::Coordinator { proto, rng, .. } => {
+                                proto.on_timer(now_ms, kind, rng, &mut out);
+                            }
+                            Role::Measurement { proto, .. } => {
+                                let mut events = Vec::new();
+                                proto.on_timer(now_ms, kind, &mut out, &mut events);
+                            }
+                            Role::Database { proto } => {
+                                let mut events = Vec::new();
+                                proto.on_timer(kind, &mut out, &mut events);
+                            }
+                            _ => {}
+                        },
+                    }
+                    node.slot.chan.harden(&mut out);
+                }
+            }
+            if let Some(restart) = defer_to {
+                // Defer to the restart instant — the DES engine's crash
+                // semantics for a dead node's due timers.
+                if let Some(shim) = &self.ctx.shim {
+                    shim.timers_deferred.inc();
+                }
+                self.push_timer(restart, local, token);
+                work += 1;
+                continue;
+            }
+            self.dispatch(local, out, now_ms);
+            work += 1;
+        }
+        work
+    }
+
+    /// Drains every live listener's accept queue.
+    fn poll_accept(&mut self, now_ms: u64) -> usize {
+        let mut accepted: Vec<(TcpStream, usize)> = Vec::new();
+        for (local, node) in self.nodes.iter().enumerate() {
+            let Some(listener) = &node.listener else {
+                continue;
+            };
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_ok() {
+                            accepted.push((stream, local));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        let n = accepted.len();
+        for (stream, local) in accepted {
+            self.inbound.push(Inbound::new(stream, local, now_ms));
+        }
+        n
+    }
+
+    /// Pumps every live inbound connection; completed frames are
+    /// delivered in accept order.
+    fn pump_inbound(&mut self, now_ms: u64) -> usize {
+        let mut work = 0;
+        let mut i = 0;
+        while i < self.inbound.len() {
+            let Some(conn) = self.inbound.get_mut(i) else {
+                break;
+            };
+            match conn.pump(&self.ctx.wire) {
+                InboundEvent::Pending => {
+                    if now_ms.saturating_sub(conn.opened_ms) > IDLE_CONN_MS {
+                        // A connected-but-silent client must not wedge
+                        // the node (the old acceptor's read timeout).
+                        self.inbound.remove(i);
+                        work += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                InboundEvent::Closed => {
+                    self.inbound.remove(i);
+                    work += 1;
+                }
+                InboundEvent::Frame(env) => {
+                    let local = conn.slot;
+                    self.inbound.remove(i);
+                    work += 1;
+                    self.deliver(local, *env, now_ms);
+                }
+            }
+        }
+        work
+    }
+
+    /// Feeds one arrived envelope into its node, mirroring the worker
+    /// loop's message path (including the live crash re-check: a window
+    /// that opened since the iteration began must still eat the frame).
+    fn deliver(&mut self, local: usize, env: Envelope, now_ms: u64) {
+        let ctx = self.ctx.clone();
+        let mut out = Vec::new();
+        {
+            let Some(node) = self.nodes.get_mut(local) else {
+                return;
+            };
+            if node.slot.stopped {
+                return;
+            }
+            if env.msg == ProtoMsg::Shutdown {
+                // Stop accepting and discard the node — but keep the
+                // loop running until every sibling is down too.
+                node.slot.stopped = true;
+                node.listener = None;
+                return;
+            }
+            let crashed_live = node.slot.crashed
+                || ctx
+                    .shim
+                    .as_ref()
+                    .is_some_and(|s| s.crashed_until(node.slot.me, ctx.now_ms()).is_some());
+            if crashed_live {
+                if let Some(shim) = &ctx.shim {
+                    shim.crash_dropped.inc();
+                }
+                return;
+            }
+            // The reliable layer acks, dedups and unwraps first; only
+            // genuinely new payloads reach the machine.
+            if let Some(msg) = node.slot.chan.accept(env.from, env.msg, &mut out) {
+                match &mut node.slot.role {
+                    Role::Coordinator { proto, rng, .. } => {
+                        proto.on_message(now_ms, env.from, msg, rng, &mut out);
+                    }
+                    Role::Aggregator { proto } => proto.on_message(env.from, msg, &mut out),
+                    Role::Measurement { proto, .. } => {
+                        let mut events = Vec::new();
+                        proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
+                    }
+                    Role::Database { proto } => {
+                        let mut events = Vec::new();
+                        proto.on_message(now_ms, env.from, msg, &mut out, &mut events);
+                    }
+                    Role::Ipc { proto } => {
+                        let mut world = ctx.world.lock();
+                        proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
+                    }
+                    Role::Peer { proto } => {
+                        {
+                            let mut world = ctx.world.lock();
+                            proto.on_message(now_ms, env.from, msg, &mut world, &mut out);
+                        }
+                        drain_peer(proto, &ctx.sink);
+                    }
+                }
+            }
+            node.slot.chan.harden(&mut out);
+        }
+        self.dispatch(local, out, now_ms);
+    }
+
+    /// Applies a machine's outputs: sends join the per-link write
+    /// queues (or the delay park), timers join the virtual-time queue.
+    fn dispatch(&mut self, local: usize, out: Vec<Output>, now_ms: u64) {
+        for o in out {
+            match o {
+                Output::Send { to, msg } | Output::SendFetched { to, msg } => {
+                    self.send_from(local, to, msg, now_ms);
+                }
+                Output::Timer { delay_ms, kind } => {
+                    self.push_timer(now_ms + delay_ms, local, kind.token());
+                }
+            }
+        }
+    }
+
+    /// The reactor's write edge: the fault shim rules first (drop /
+    /// duplicate / delay), then the frame joins its link FIFO.
+    fn send_from(&mut self, local: usize, to: Address, msg: ProtoMsg, now_ms: u64) {
+        let Some(me) = self.nodes.get(local).map(|n| n.slot.me) else {
+            return;
+        };
+        if !self.ctx.dir.contains_key(&to) {
+            return;
+        }
+        let (copies, delay_ms) = match &self.ctx.shim {
+            Some(shim) => match shim.outbound(now_ms, me, to) {
+                Some(verdict) => verdict,
+                None => return, // dropped by the schedule
+            },
+            None => (1, 0),
+        };
+        let env = Envelope { from: me, msg };
+        if delay_ms == 0 {
+            self.enqueue_out(local, to, env, copies);
+        } else {
+            self.seq += 1;
+            self.delayed.push(DelayedSend {
+                due_ms: now_ms + delay_ms,
+                seq: self.seq,
+                local,
+                to,
+                env,
+                copies,
+            });
+        }
+    }
+
+    fn enqueue_out(&mut self, local: usize, to: Address, env: Envelope, copies: usize) {
+        let idx = match self
+            .links
+            .iter()
+            .position(|l| l.local == local && l.to == to)
+        {
+            Some(i) => i,
+            None => {
+                self.links.push(OutLink {
+                    local,
+                    to,
+                    inflight: None,
+                    queue: Vec::new(),
+                });
+                self.links.len() - 1
+            }
+        };
+        if let Some(link) = self.links.get_mut(idx) {
+            for _ in 0..copies {
+                link.queue.push(env.clone());
+            }
+        }
+    }
+
+    /// Releases fault-delayed sends whose due time arrived, oldest
+    /// first (ties broken by issue order).
+    fn release_delayed(&mut self, now_ms: u64) -> usize {
+        if self.delayed.is_empty() {
+            return 0;
+        }
+        let (mut due, rest): (Vec<DelayedSend>, Vec<DelayedSend>) =
+            std::mem::take(&mut self.delayed)
+                .into_iter()
+                .partition(|d| d.due_ms <= now_ms);
+        self.delayed = rest;
+        due.sort_by_key(|d| (d.due_ms, d.seq));
+        let n = due.len();
+        for d in due {
+            self.enqueue_out(d.local, d.to, d.env, d.copies);
+        }
+        n
+    }
+
+    /// Flushes the per-link queues; when a frame finishes, the next one
+    /// on that link opens immediately.
+    fn pump_outbound(&mut self) -> usize {
+        let mut work = 0;
+        for link in &mut self.links {
+            loop {
+                if link.inflight.is_none() {
+                    if link.queue.is_empty() {
+                        break;
+                    }
+                    let env = link.queue.remove(0);
+                    let Some(&addr) = self.ctx.dir.get(&link.to) else {
+                        work += 1;
+                        continue;
+                    };
+                    // A `None` here is a destination gone post-shutdown:
+                    // the frame is dropped, like the blocking path's
+                    // failed connect.
+                    if let Some(o) = Outbound::open(addr, &env) {
+                        link.inflight = Some(o);
+                    }
+                    work += 1;
+                }
+                match link.inflight.as_mut().map(|o| o.pump(&self.ctx.wire)) {
+                    Some(OutboundEvent::Done | OutboundEvent::Failed) => {
+                        link.inflight = None;
+                        work += 1;
+                    }
+                    Some(OutboundEvent::Pending) => break,
+                    None => {}
+                }
+            }
+        }
+        self.links
+            .retain(|l| l.inflight.is_some() || !l.queue.is_empty());
+        work
+    }
+}
