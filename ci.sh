@@ -99,22 +99,32 @@ REACTOR_SOAK_PEERS=1000 REACTOR_SOAK_SEEDS="11,23" \
     cargo test -p sheriff-wire --test reactor_soak --quiet
 
 # Benchmark summaries: the criterion stand-in prints one median line per
-# benchmark; archive them as machine-readable BENCH_*.json next to the
-# lint report so perf regressions are diffable across CI runs. The
-# previous run's summary (when one exists) is kept as *.before.json so
-# a reactor regression shows up as a same-machine before/after diff.
+# benchmark; archive them as machine-readable BENCH_<group>.json next to
+# the lint report so perf regressions are diffable across CI runs. Every
+# bench target is archived — a group whose run emits no parseable bench
+# line fails the stage (a silently-empty summary would read as "no
+# regression" forever). The previous run's summary (when one exists) is
+# kept as *.before.json so a regression shows up as a same-machine
+# before/after diff.
 stage "bench summary archive"
-if [ -f target/BENCH_system_throughput.json ]; then
-    cp target/BENCH_system_throughput.json target/BENCH_system_throughput.before.json
-    echo "previous summary kept at target/BENCH_system_throughput.before.json"
-fi
-cargo bench -p sheriff-bench --bench system_throughput \
-    | tee target/bench-system_throughput.txt
-awk 'BEGIN { printf "[" }
-     /^bench / { if (n++) printf ","
-                 printf "\n  {\"bench\": \"%s\", \"median\": \"%s %s\"}", $2, $4, $5 }
-     END { print "\n]" }' target/bench-system_throughput.txt \
-    > target/BENCH_system_throughput.json
-echo "bench summary archived at target/BENCH_system_throughput.json"
+BENCH_GROUPS=(crypto_primitives private_kmeans extraction currency system_throughput)
+for group in "${BENCH_GROUPS[@]}"; do
+    if [ -f "target/BENCH_${group}.json" ]; then
+        cp "target/BENCH_${group}.json" "target/BENCH_${group}.before.json"
+        echo "previous summary kept at target/BENCH_${group}.before.json"
+    fi
+    cargo bench -p sheriff-bench --bench "$group" \
+        | tee "target/bench-${group}.txt"
+    awk 'BEGIN { printf "[" }
+         /^bench / { if (n++) printf ","
+                     printf "\n  {\"bench\": \"%s\", \"median\": \"%s %s\"}", $2, $4, $5 }
+         END { print "\n]" }' "target/bench-${group}.txt" \
+        > "target/BENCH_${group}.json"
+    if ! grep -q '"bench"' "target/BENCH_${group}.json"; then
+        echo "bench group ${group} emitted no summary lines — archive would be empty" >&2
+        exit 1
+    fi
+    echo "bench summary archived at target/BENCH_${group}.json"
+done
 
 stage "CI green"

@@ -1,0 +1,319 @@
+//! Typed Byzantine message mutation.
+//!
+//! [`sheriff_netsim::ByzantinePlan`] only *decides* — it knows nothing
+//! about [`ProtoMsg`]. This module turns a [`ByzDecision`] into concrete
+//! protocol-level misbehavior: price equivocation (recipient-dependent
+//! digit skew), fabricated vantage identities, stale replays, and
+//! request/ack flood junk. Both backends call [`apply`] at the sender's
+//! delivery edge — the DES in `system::dispatch`, the TCP reactor in
+//! `send_from` — so a given `(seed, edge, occurrence)` yields the same
+//! adversarial traffic on either transport and chaos parity stays
+//! pinned.
+//!
+//! Codec-boundary attacks (garbage, oversized length fields,
+//! slow-loris) are *not* handled here: they are byte-level, so the TCP
+//! backend emits raw attack frames and the DES — whose messages never
+//! pass through the codec — drops the message at dispatch. [`apply`]
+//! treats a codec decision as "primary consumed" for both.
+
+use sheriff_netsim::ByzDecision;
+
+use crate::protocol::ProtoMsg;
+
+/// Offset a fabricating peer adds to its vantage id: the forged
+/// identity no longer matches the sending address, which is exactly
+/// what the measurement server's envelope check rejects.
+pub const FABRICATED_ID_OFFSET: u64 = 1000;
+
+/// Tag bit marking flood-generated junk request tags so legitimate
+/// initiator tags (small integers) can never collide with them.
+pub const JUNK_TAG_BIT: u64 = 1 << 63;
+
+/// Whether a message carries price evidence worth corrupting — the
+/// content arms (equivocate / fabricate / stale-replay) only fire on
+/// these; floods and codec attacks apply to any traffic.
+pub fn price_bearing(msg: &ProtoMsg) -> bool {
+    matches!(
+        msg,
+        ProtoMsg::FetchReply { .. } | ProtoMsg::DoppStateRequest { .. }
+    )
+}
+
+/// Inserts `zeros` zeros after the first digit of every digit run in
+/// `html`. The DOM structure (tags, attributes) is untouched, so the
+/// initiator's Tags Path still extracts a price — just one skewed by
+/// 10^zeros — which is what the defense layer's plausibility band is
+/// built to catch.
+pub fn skew_html_prices(html: &str, zeros: usize) -> String {
+    let mut out = String::with_capacity(html.len() + 16);
+    let mut in_run = false;
+    for ch in html.chars() {
+        out.push(ch);
+        if ch.is_ascii_digit() {
+            if !in_run {
+                for _ in 0..zeros {
+                    out.push('0');
+                }
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    out
+}
+
+/// Result of applying a Byzantine decision to an outbound message.
+#[derive(Debug)]
+pub struct ByzApplied {
+    /// The (possibly mutated) original message; `None` when the
+    /// decision consumed it (codec attack — bytes on TCP, a drop on
+    /// the DES).
+    pub primary: Option<ProtoMsg>,
+    /// Flood junk emitted alongside the primary, in deterministic
+    /// order.
+    pub junk: Vec<ProtoMsg>,
+}
+
+/// Applies `decision` to `msg`. Pure: the same `(decision, msg)` pair
+/// yields the same traffic on every backend.
+pub fn apply(decision: &ByzDecision, msg: ProtoMsg) -> ByzApplied {
+    if decision.codec.is_some() {
+        // Byte-level attack replaces the message entirely; the
+        // transport edge owns what (if anything) goes on the wire.
+        return ByzApplied {
+            primary: None,
+            junk: Vec::new(),
+        };
+    }
+
+    let mutated = mutate(decision, msg);
+    let junk = flood_junk(decision, &mutated);
+    ByzApplied {
+        primary: Some(mutated),
+        junk,
+    }
+}
+
+/// Content arms: equivocation, fabrication, stale replay.
+fn mutate(decision: &ByzDecision, msg: ProtoMsg) -> ProtoMsg {
+    match msg {
+        ProtoMsg::FetchReply {
+            job,
+            mut meta,
+            html,
+        } => {
+            let mut html = html;
+            if let Some(salt) = decision.equivocate_salt {
+                // Recipient-dependent salt → different zeros for
+                // different recipients: classic equivocation.
+                html = skew_html_prices(&html, 2 + (salt % 3) as usize);
+            }
+            if decision.stale_replay {
+                // A replayed old page: fixed three-zero skew, as if an
+                // ancient (pre-redenomination) capture were re-served.
+                html = skew_html_prices(&html, 3);
+            }
+            if decision.fabricate {
+                // Forge the vantage identity outside the sender's
+                // envelope; the country/id no longer match the
+                // transport-level source address.
+                meta.id = meta.id.wrapping_add(FABRICATED_ID_OFFSET);
+            }
+            ProtoMsg::FetchReply { job, meta, html }
+        }
+        ProtoMsg::DoppStateRequest {
+            job,
+            mut token,
+            domain,
+        } => {
+            if decision.stale_replay {
+                // Replay with a stale/corrupted bearer token: the
+                // coordinator no longer knows it and scores the
+                // doppelganger mismatch.
+                for b in token.0.iter_mut().take(8) {
+                    *b ^= 0xA5;
+                }
+            }
+            ProtoMsg::DoppStateRequest { job, token, domain }
+        }
+        other => other,
+    }
+}
+
+/// Flood arm: junk shaped like the primary so it lands on the same
+/// server-side quota.
+fn flood_junk(decision: &ByzDecision, primary: &ProtoMsg) -> Vec<ProtoMsg> {
+    let copies = decision.flood_copies as u64;
+    if copies == 0 {
+        return Vec::new();
+    }
+    let mut junk = Vec::with_capacity(copies as usize);
+    for i in 0..copies {
+        let nonce = mix(decision.occurrence * 64 + i);
+        junk.push(match primary {
+            ProtoMsg::CoordRequest { url, peer, .. } => ProtoMsg::CoordRequest {
+                url: url.clone(),
+                peer: *peer,
+                local_tag: JUNK_TAG_BIT | nonce,
+            },
+            reply @ ProtoMsg::FetchReply { .. } => reply.clone(),
+            // Anything else: spurious-ack flood, absorbed (and
+            // counted) by the receiver's reliable channel.
+            _ => ProtoMsg::Ack {
+                seq: JUNK_TAG_BIT | nonce,
+            },
+        });
+    }
+    junk
+}
+
+/// splitmix64 finalizer — local copy (netsim keeps its own private);
+/// only used to derive collision-free junk nonces.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) & !JUNK_TAG_BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use sheriff_netsim::{ByzDecision, CodecAttack};
+
+    use super::*;
+    use crate::coordinator::PeerId;
+    use crate::doppelganger::DoppelgangerId;
+    use crate::measurement::VantageMeta;
+    use crate::records::VantageKind;
+    use sheriff_geo::{Country, IpV4};
+
+    fn reply() -> ProtoMsg {
+        ProtoMsg::FetchReply {
+            job: crate::coordinator::JobId(9),
+            meta: VantageMeta {
+                kind: VantageKind::Ppc,
+                id: 104,
+                country: Country::DE,
+                city: None,
+                ip: IpV4(0x0A00_0001),
+            },
+            html: "<span class=\"price\">EUR 1299.49</span>".into(),
+        }
+    }
+
+    fn honest() -> ByzDecision {
+        ByzDecision::HONEST
+    }
+
+    #[test]
+    fn honest_decision_is_identity() {
+        let applied = apply(&honest(), reply());
+        assert_eq!(applied.primary, Some(reply()));
+        assert!(applied.junk.is_empty());
+    }
+
+    #[test]
+    fn skew_inserts_zeros_once_per_digit_run() {
+        assert_eq!(skew_html_prices("EUR 12.49", 2), "EUR 1002.4009");
+        assert_eq!(skew_html_prices("no digits", 3), "no digits");
+        // DOM structure survives: tags keep their names.
+        let skewed = skew_html_prices("<span>9</span>", 1);
+        assert_eq!(skewed, "<span>90</span>");
+    }
+
+    #[test]
+    fn equivocation_salt_varies_the_skew() {
+        let mut d0 = honest();
+        d0.equivocate_salt = Some(0); // 2 zeros
+        let mut d2 = honest();
+        d2.equivocate_salt = Some(2); // 4 zeros
+        let a = apply(&d0, reply()).primary.unwrap();
+        let b = apply(&d2, reply()).primary.unwrap();
+        assert_ne!(a, b, "different recipients see different prices");
+    }
+
+    #[test]
+    fn fabrication_forges_the_vantage_id() {
+        let mut d = honest();
+        d.fabricate = true;
+        let ProtoMsg::FetchReply { meta, .. } = apply(&d, reply()).primary.unwrap() else {
+            panic!("kind preserved");
+        };
+        assert_eq!(meta.id, 104 + FABRICATED_ID_OFFSET);
+    }
+
+    #[test]
+    fn stale_replay_corrupts_dopp_tokens() {
+        let mut d = honest();
+        d.stale_replay = true;
+        let msg = ProtoMsg::DoppStateRequest {
+            job: crate::coordinator::JobId(1),
+            token: DoppelgangerId([7u8; 32]),
+            domain: "shop.com".into(),
+        };
+        let ProtoMsg::DoppStateRequest { token, .. } = apply(&d, msg).primary.unwrap() else {
+            panic!("kind preserved");
+        };
+        assert_ne!(token, DoppelgangerId([7u8; 32]));
+    }
+
+    #[test]
+    fn flood_shapes_junk_like_the_primary() {
+        let mut d = honest();
+        d.flood_copies = 3;
+        let req = ProtoMsg::CoordRequest {
+            url: "https://shop.com/p/1".into(),
+            peer: PeerId(104),
+            local_tag: 5,
+        };
+        let applied = apply(&d, req);
+        assert_eq!(applied.junk.len(), 3);
+        for j in &applied.junk {
+            let ProtoMsg::CoordRequest { local_tag, .. } = j else {
+                panic!("junk mirrors the request kind");
+            };
+            assert!(local_tag & JUNK_TAG_BIT != 0, "junk tags are marked");
+        }
+        // Non-request, non-reply primaries flood as spurious acks.
+        let mut d2 = honest();
+        d2.flood_copies = 2;
+        let applied = apply(&d2, ProtoMsg::Heartbeat { server_index: 0 });
+        assert!(applied
+            .junk
+            .iter()
+            .all(|j| matches!(j, ProtoMsg::Ack { .. })));
+    }
+
+    #[test]
+    fn codec_attack_consumes_the_primary() {
+        let mut d = honest();
+        d.codec = Some(CodecAttack::Garbage);
+        d.flood_copies = 4; // decide() suppresses this; apply must too
+        let applied = apply(&d, reply());
+        assert!(applied.primary.is_none());
+        assert!(applied.junk.is_empty());
+    }
+
+    #[test]
+    fn junk_nonces_are_distinct_and_deterministic() {
+        let mut d = honest();
+        d.flood_copies = 4;
+        d.occurrence = 11;
+        let a = apply(&d, ProtoMsg::Shutdown);
+        let b = apply(&d, ProtoMsg::Shutdown);
+        let seqs: Vec<u64> = a
+            .junk
+            .iter()
+            .map(|j| match j {
+                ProtoMsg::Ack { seq } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut uniq = seqs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "nonces distinct");
+        assert_eq!(format!("{:?}", a.junk), format!("{:?}", b.junk));
+    }
+}

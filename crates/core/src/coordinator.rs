@@ -792,7 +792,8 @@ mod tests {
              ms.example.org    9000  online   0\n\
              \nRequests: 3 total, 1 rejected   Jobs completed: 1   Peers online: 1\n\
              Recovery: 0 retransmits, 0 dups absorbed, 0 jobs requeued, 0 restarts\n\
-             Durability: 0 wal appends, 0 snapshots, 0 records recovered\n"
+             Durability: 0 wal appends, 0 snapshots, 0 records recovered\n\
+             Defense: 0 rejects, 0 quota trips, 0 quarantines, 0 paroles, 0 dropped\n"
         );
     }
 

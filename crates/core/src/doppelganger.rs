@@ -13,7 +13,7 @@
 //! doppelganger client-side state only to those who submit the correct
 //! token" (§3.7).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
@@ -160,6 +160,10 @@ impl Doppelganger {
 #[derive(Debug, Default)]
 pub struct DoppelgangerStore {
     by_token: HashMap<DoppelgangerId, Doppelganger>,
+    /// Tokens rotated out by regeneration. An honest peer can race a
+    /// rotation and present one of these; that must *not* score as a
+    /// mismatch (only never-issued tokens are forgeries).
+    retired: HashSet<DoppelgangerId>,
 }
 
 impl DoppelgangerStore {
@@ -192,6 +196,14 @@ impl DoppelgangerStore {
         self.by_token.get(token).map(|d| &d.client_state)
     }
 
+    /// Whether `token` names a live doppelganger. A request bearing an
+    /// unknown token is a *doppelganger mismatch* — either a stale replay
+    /// of a rotated token or an outright forgery — and the defense layer
+    /// scores it (see `protocol::defense`).
+    pub fn is_known(&self, token: &DoppelgangerId) -> bool {
+        self.by_token.contains_key(token)
+    }
+
     /// Charges a serve and regenerates on saturation. Returns the (possibly
     /// new) token and the fetch mode — callers must switch to the returned
     /// token, mirroring how a regenerated doppelganger gets a new identity.
@@ -208,8 +220,17 @@ impl DoppelgangerStore {
             d.regenerate(universe, rng);
         }
         let new_token = d.id;
+        if new_token != *token {
+            self.retired.insert(*token);
+        }
         self.by_token.insert(new_token, d);
         Some((new_token, mode))
+    }
+
+    /// Whether `token` once named a doppelganger that has since been
+    /// regenerated under a new identity.
+    pub fn is_retired(&self, token: &DoppelgangerId) -> bool {
+        self.retired.contains(token)
     }
 
     /// Number of live doppelgangers.

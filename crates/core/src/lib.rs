@@ -39,6 +39,7 @@
 
 pub mod analysis;
 pub mod browser;
+pub mod byzantine;
 pub mod coordinator;
 pub mod db;
 pub mod doppelganger;

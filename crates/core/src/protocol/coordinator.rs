@@ -9,7 +9,10 @@ use rand::Rng;
 
 use crate::coordinator::{Coordinator, JobId, PeerId};
 use crate::doppelganger::DoppelgangerStore;
-use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
+use crate::protocol::{
+    defense_key, Address, DefenseAction, DefenseBook, DefenseParams, Output, ProtoMsg, TimerKind,
+    IPC_KEY_BASE,
+};
 
 /// Where a job came from — kept so a requeued job can be re-admitted
 /// through the normal path and the initiator re-notified.
@@ -36,6 +39,10 @@ pub struct CoordinatorProto {
     /// Keyed by `BTreeMap` so any future iteration (and the sweep's
     /// requeue order) is job-id order by construction, not hash order.
     origins: BTreeMap<JobId, JobOrigin>,
+    /// Deployment-wide misbehavior bookkeeping: local violations plus
+    /// Measurement-server escalations ([`ProtoMsg::MisbehaviorReport`]).
+    /// Public so drivers can swap in a telemetry-backed book.
+    pub defense: DefenseBook,
 }
 
 impl CoordinatorProto {
@@ -48,6 +55,25 @@ impl CoordinatorProto {
             ppc_per_request,
             sweep_every_ms: 5_000,
             origins: BTreeMap::new(),
+            defense: DefenseBook::new(DefenseParams::default()),
+        }
+    }
+
+    /// A defense escalation crossed into quarantine: arm the quarantine
+    /// timer, and — for real peers (never synthetic IPC keys) — notify
+    /// the add-on so the user sees why requests are refused.
+    fn escalate(&mut self, action: DefenseAction, out: &mut Vec<Output>) {
+        if let DefenseAction::Quarantine { peer } = action {
+            out.push(Output::Timer {
+                delay_ms: self.defense.params().quarantine_ms,
+                kind: TimerKind::Quarantine(peer),
+            });
+            if peer < IPC_KEY_BASE {
+                out.push(Output::send(
+                    Address::Peer { id: peer },
+                    ProtoMsg::QuarantineNotice { peer },
+                ));
+            }
         }
     }
 
@@ -75,6 +101,8 @@ impl CoordinatorProto {
                         let loc = entry.location.clone();
                         let mut candidates: Vec<PeerId> =
                             self.coordinator.peers_near(&loc, peer, usize::MAX);
+                        // Quarantined peers never serve as vantages.
+                        candidates.retain(|p| !self.defense.is_quarantined(p.0));
                         let k = self.ppc_per_request.min(candidates.len());
                         if candidates.len() > k {
                             // Partial Fisher-Yates for the first k slots.
@@ -132,8 +160,22 @@ impl CoordinatorProto {
         rng: &mut StdRng,
         out: &mut Vec<Output>,
     ) {
-        if kind != TimerKind::CoordSweep {
-            return;
+        match kind {
+            TimerKind::Quarantine(peer) => {
+                if self.defense.on_quarantine_elapsed(peer) {
+                    out.push(Output::Timer {
+                        delay_ms: self.defense.params().parole_ms,
+                        kind: TimerKind::Parole(peer),
+                    });
+                }
+                return;
+            }
+            TimerKind::Parole(peer) => {
+                self.defense.on_parole_elapsed(peer);
+                return;
+            }
+            TimerKind::CoordSweep => {}
+            _ => return,
         }
         self.coordinator.expire_heartbeats(now_ms);
         for job in self.coordinator.take_orphaned_jobs(now_ms) {
@@ -162,17 +204,63 @@ impl CoordinatorProto {
                 url,
                 peer,
                 local_tag,
-            } => self.admit(
-                now_ms,
-                JobOrigin {
-                    url,
-                    peer,
-                    local_tag,
-                    initiator: from,
-                },
-                rng,
-                out,
-            ),
+            } => {
+                // Envelope: a peer may only request as itself.
+                if let Address::Peer { id } = from {
+                    if peer.0 != id {
+                        let action = self.defense.note_validation_reject(id);
+                        self.escalate(action, out);
+                        out.push(Output::send(
+                            from,
+                            ProtoMsg::CoordReject {
+                                local_tag,
+                                reason: "request envelope mismatch".into(),
+                            },
+                        ));
+                        return;
+                    }
+                }
+                if let Some(key) = defense_key(from) {
+                    if self.defense.is_quarantined(key) {
+                        self.defense.note_quarantine_drop();
+                        out.push(Output::send(
+                            from,
+                            ProtoMsg::CoordReject {
+                                local_tag,
+                                reason: "quarantined".into(),
+                            },
+                        ));
+                        return;
+                    }
+                    // Outstanding-request quota, derived from the live
+                    // origin table so it stays consistent through
+                    // requeues and completions with zero extra state.
+                    let outstanding = self.origins.values().filter(|o| o.peer == peer).count();
+                    if outstanding >= self.defense.params().max_outstanding_requests {
+                        let action = self.defense.note_quota_trip(key);
+                        self.escalate(action, out);
+                        out.push(Output::send(
+                            from,
+                            ProtoMsg::CoordReject {
+                                local_tag,
+                                reason: "request quota exceeded".into(),
+                            },
+                        ));
+                        return;
+                    }
+                }
+                self.admit(
+                    now_ms,
+                    JobOrigin {
+                        url,
+                        peer,
+                        local_tag,
+                        initiator: from,
+                    },
+                    rng,
+                    out,
+                );
+            }
             ProtoMsg::JobComplete { job } => {
                 self.coordinator.job_complete(job);
                 self.origins.remove(&job);
@@ -181,6 +269,28 @@ impl CoordinatorProto {
                 self.coordinator.heartbeat(server_index, now_ms);
             }
             ProtoMsg::DoppStateRequest { job, token, domain } => {
+                if let Some(key) = defense_key(from) {
+                    if self.defense.is_quarantined(key) {
+                        self.defense.note_quarantine_drop();
+                        out.push(Output::send(
+                            from,
+                            ProtoMsg::DoppStateReply { job, state: None },
+                        ));
+                        return;
+                    }
+                    // A token the store never issued is a forgery or a
+                    // corrupted replay; an honest post-rotation race
+                    // presents a *retired* token and must not score.
+                    if !self.dopp_store.is_known(&token) && !self.dopp_store.is_retired(&token) {
+                        let action = self.defense.note_dopp_mismatch(key);
+                        self.escalate(action, out);
+                        out.push(Output::send(
+                            from,
+                            ProtoMsg::DoppStateReply { job, state: None },
+                        ));
+                        return;
+                    }
+                }
                 let state = self
                     .dopp_store
                     .serve(&token, &domain, &self.universe, rng)
@@ -197,6 +307,15 @@ impl CoordinatorProto {
                         self.dopp_store.client_state(&new_token).cloned()
                     });
                 out.push(Output::send(from, ProtoMsg::DoppStateReply { job, state }));
+            }
+            ProtoMsg::MisbehaviorReport { peer, score } => {
+                // Only Measurement servers may escalate scores; the
+                // report rides the reliable channel so lossy links
+                // cannot lose it.
+                if matches!(from, Address::Server { .. }) {
+                    let action = self.defense.note_remote_report(peer, score);
+                    self.escalate(action, out);
+                }
             }
             ProtoMsg::RemoveServer { index } => {
                 self.coordinator.expire_heartbeats(now_ms);

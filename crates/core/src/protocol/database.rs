@@ -63,6 +63,14 @@ pub enum DbEvent {
         /// The redelivered job.
         job: JobId,
     },
+    /// A deferred `DbDone` timer fired for a job no longer pending —
+    /// the record was torn off with the unflushed tail by a crash, so
+    /// the requester is never acked (the PR 7 "accepted loss window",
+    /// now observable as `db.ack_loss_window`).
+    AckLossWindow {
+        /// The torn job whose ack never leaves.
+        job: JobId,
+    },
     /// Crash recovery replayed the durable prefix.
     Recovered {
         /// Records reconstructed (snapshot + log tail).
@@ -202,6 +210,7 @@ impl DbProto {
             // A timer deferred across a crash for a store whose record
             // was torn off with the unflushed tail: nothing to ack —
             // the sender's retransmit will store it again.
+            events.push(DbEvent::AckLossWindow { job });
             return;
         };
         // Flush-before-ack: group-commit everything appended so far,
@@ -313,10 +322,10 @@ mod tests {
         out
     }
 
-    fn finish(proto: &mut DbProto, job: u64) -> Vec<Output> {
+    fn finish(proto: &mut DbProto, job: u64) -> (Vec<Output>, Vec<DbEvent>) {
         let (mut out, mut events) = (Vec::new(), Vec::new());
         proto.on_timer(TimerKind::DbDone(JobId(job)), &mut out, &mut events);
-        out
+        (out, events)
     }
 
     #[test]
@@ -325,7 +334,7 @@ mod tests {
         store(&mut proto, 100, 1, 3);
         // Appended but not yet barriered: a crash now loses it.
         assert!(proto.wal_bytes().is_empty(), "unflushed tail is volatile");
-        let out = finish(&mut proto, 1);
+        let (out, _) = finish(&mut proto, 1);
         assert!(out
             .iter()
             .any(|o| matches!(o, Output::Send { msg: ProtoMsg::DbAck { job }, .. } if job.0 == 1)));
@@ -398,8 +407,14 @@ mod tests {
         store(&mut proto, 100, 1, 3);
         let mut events = Vec::new();
         proto.on_restart(&mut events); // crash before the DbDone fired
-        let out = finish(&mut proto, 1); // the deferred timer arrives late
+        let (out, events) = finish(&mut proto, 1); // the deferred timer arrives late
         assert!(out.is_empty(), "no ack for a store the crash destroyed");
         assert!(proto.database.is_empty());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, DbEvent::AckLossWindow { job } if job.0 == 1)),
+            "the loss window is observable, not silent"
+        );
     }
 }

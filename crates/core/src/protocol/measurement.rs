@@ -4,13 +4,17 @@
 use std::collections::{btree_map::Entry, BTreeMap, BTreeSet};
 
 use sheriff_currency::FixedRates;
+use sheriff_geo::Country;
 use sheriff_html::tagspath::TagsPath;
 use sheriff_market::ProductId;
 
 use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
-use crate::measurement::{process_response, JobPageStore};
-use crate::protocol::{day_of_ms, Address, Output, ProtoMsg, TimerKind};
+use crate::measurement::{process_response, JobPageStore, VantageMeta};
+use crate::protocol::{
+    day_of_ms, defense_key, Address, DefenseAction, DefenseBook, DefenseParams, Output, ProtoMsg,
+    TimerKind,
+};
 use crate::records::{PriceCheck, PriceObservation, VantageKind};
 
 /// Observable outcomes the driver may turn into telemetry. The state
@@ -113,6 +117,11 @@ pub struct MeasurementParams {
     pub integrated_db: bool,
     /// Liveness beacon period, ms.
     pub heartbeat_every_ms: u64,
+    /// Expected country per global IPC index (envelope validation).
+    /// Empty disables the country check.
+    pub ipc_countries: Vec<Country>,
+    /// Misbehavior-defense tuning (see [`DefenseBook`]).
+    pub defense: DefenseParams,
 }
 
 /// The Measurement server as a sans-IO state machine.
@@ -133,6 +142,10 @@ pub struct MeasurementProto {
     pub database: Database,
     cpu_free_at_ms: u64,
     heartbeat_every_ms: u64,
+    ipc_countries: Vec<Country>,
+    /// Per-peer misbehavior bookkeeping. Public so drivers can swap in
+    /// a telemetry-backed book after construction.
+    pub defense: DefenseBook,
 }
 
 impl MeasurementProto {
@@ -152,6 +165,8 @@ impl MeasurementProto {
             database: Database::new(),
             cpu_free_at_ms: 0,
             heartbeat_every_ms: params.heartbeat_every_ms,
+            ipc_countries: params.ipc_countries,
+            defense: DefenseBook::new(params.defense),
         }
     }
 
@@ -303,6 +318,26 @@ impl MeasurementProto {
         });
     }
 
+    /// A defense escalation crossed into quarantine: arm the quarantine
+    /// timer and report the peer upstream (the Coordinator folds the
+    /// score into its own book). At most one quarantine timer is ever
+    /// armed per entry — see [`DefenseBook::on_quarantine_elapsed`].
+    fn escalate(&mut self, action: DefenseAction, out: &mut Vec<Output>) {
+        if let DefenseAction::Quarantine { peer } = action {
+            out.push(Output::Timer {
+                delay_ms: self.defense.params().quarantine_ms,
+                kind: TimerKind::Quarantine(peer),
+            });
+            out.push(Output::send(
+                Address::Coordinator,
+                ProtoMsg::MisbehaviorReport {
+                    peer,
+                    score: self.defense.score(peer),
+                },
+            ));
+        }
+    }
+
     fn finish_job(
         &mut self,
         _now_ms: u64,
@@ -313,6 +348,7 @@ impl MeasurementProto {
         let Some(state) = self.jobs.remove(&job) else {
             return;
         };
+        self.defense.forget_job(job.0);
         let (stored, full) = state.page_store.accounting();
         events.push(MeasEvent::JobFinished {
             job,
@@ -381,6 +417,14 @@ impl MeasurementProto {
                 self.try_fan_out(now_ms, job, out);
             }
             ProtoMsg::FetchReply { job, meta, html } => {
+                // Defense gate 0: quarantined vantages contribute nothing.
+                let sender = defense_key(from);
+                if let Some(peer) = sender {
+                    if self.defense.is_quarantined(peer) {
+                        self.defense.note_quarantine_drop();
+                        return;
+                    }
+                }
                 let Some(state) = self.jobs.get_mut(&job) else {
                     events.push(MeasEvent::ReplyLate); // after deadline assembly
                     return;
@@ -389,13 +433,37 @@ impl MeasurementProto {
                     events.push(MeasEvent::ReplyLate);
                     return;
                 }
+                // Defense gate 1: per-(vantage, job) reply quota — flood
+                // copies beyond the bucket trip it and are never parsed.
+                if let Some(peer) = sender {
+                    if !self.defense.spend_reply_token(peer, job.0) {
+                        let action = self.defense.note_quota_trip(peer);
+                        self.escalate(action, out);
+                        return;
+                    }
+                }
+                // Defense gate 2: envelope validation before any state
+                // mutation — the claimed vantage identity must match the
+                // transport-level source.
+                if validate_envelope(from, &meta, state.ppcs.as_deref(), &self.ipc_countries)
+                    .is_err()
+                {
+                    if let Some(peer) = sender {
+                        let action = self.defense.note_validation_reject(peer);
+                        self.escalate(action, out);
+                    }
+                    return;
+                }
                 if !state.seen_vantages.insert((meta.kind, meta.id)) {
                     events.push(MeasEvent::ReplyDuplicate);
                     return;
                 }
-                events.push(MeasEvent::ReplyAccepted {
-                    since_fanout_ms: now_ms.saturating_sub(state.fanout_at_ms),
-                });
+                // Defense gate 3: price plausibility against the
+                // initiator's own observation (equivocated or replayed
+                // pages carry wildly skewed amounts), then the per-peer
+                // influence budget. Either rejection still counts the
+                // vantage as heard so honest jobs never stall on a
+                // Byzantine peer's slot.
                 let obs = process_response(
                     &html,
                     &state.tags_path,
@@ -403,8 +471,28 @@ impl MeasurementProto {
                     &self.target_currency,
                     &self.rates,
                 );
-                state.page_store.store_response(&html);
-                state.observations.push(obs);
+                let band = self.defense.params().plausibility_band;
+                let mut admit = plausible(&obs, state.observations.first(), band);
+                if !admit {
+                    if let Some(peer) = sender {
+                        let action = self.defense.note_validation_reject(peer);
+                        self.escalate(action, out);
+                    }
+                } else if let Some(peer) = sender {
+                    let (ok, action) = self.defense.admit_observation(peer);
+                    admit = ok;
+                    self.escalate(action, out);
+                }
+                let Some(state) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if admit {
+                    events.push(MeasEvent::ReplyAccepted {
+                        since_fanout_ms: now_ms.saturating_sub(state.fanout_at_ms),
+                    });
+                    state.page_store.store_response(&html);
+                    state.observations.push(obs);
+                }
                 state.received += 1;
                 if state.received >= state.expected {
                     self.begin_assembly(now_ms, job, out, events);
@@ -443,6 +531,7 @@ impl MeasurementProto {
                 // already; `job_complete` is idempotent).
                 Some(s) if !s.fanned_out => {
                     self.jobs.remove(&job);
+                    self.defense.forget_job(job.0);
                     out.push(Output::send(
                         Address::Coordinator,
                         ProtoMsg::JobComplete { job },
@@ -479,6 +568,15 @@ impl MeasurementProto {
                 }
             }
             TimerKind::DbDone(job) => self.finish_job(now_ms, job, out, events),
+            TimerKind::Quarantine(peer) => {
+                if self.defense.on_quarantine_elapsed(peer) {
+                    out.push(Output::Timer {
+                        delay_ms: self.defense.params().parole_ms,
+                        kind: TimerKind::Parole(peer),
+                    });
+                }
+            }
+            TimerKind::Parole(peer) => self.defense.on_parole_elapsed(peer),
             // Retransmit timers belong to the driver's reliable channel;
             // the sweep belongs to the Coordinator.
             TimerKind::Retransmit(_) | TimerKind::CoordSweep => {}
@@ -497,4 +595,66 @@ impl MeasurementProto {
             },
         ));
     }
+}
+
+/// Envelope validation for a fetch reply: the claimed vantage identity
+/// (kind, id, country) must be consistent with the transport-level
+/// source address, and peers must actually be on the job's PPC list.
+/// Runs before any job-state mutation.
+fn validate_envelope(
+    from: Address,
+    meta: &VantageMeta,
+    ppcs: Option<&[Address]>,
+    ipc_countries: &[Country],
+) -> Result<(), &'static str> {
+    match from {
+        Address::Peer { id } => {
+            if meta.kind != VantageKind::Ppc {
+                return Err("peer reply claiming a non-PPC vantage");
+            }
+            if meta.id != id {
+                return Err("vantage id does not match the sending peer");
+            }
+            match ppcs {
+                Some(list) if list.contains(&from) => Ok(()),
+                _ => Err("sender is not on the job's PPC list"),
+            }
+        }
+        Address::Ipc { index } => {
+            if meta.kind != VantageKind::Ipc {
+                return Err("IPC reply claiming a non-IPC vantage");
+            }
+            if meta.id != index as u64 {
+                return Err("vantage id does not match the sending IPC");
+            }
+            if ipc_countries.is_empty() {
+                return Ok(()); // country check disabled
+            }
+            match ipc_countries.get(index) {
+                Some(c) if *c == meta.country => Ok(()),
+                Some(_) => Err("IPC reply outside its geographic envelope"),
+                None => Err("unknown IPC index"),
+            }
+        }
+        _ => Err("fetch reply from a non-vantage role"),
+    }
+}
+
+/// Price plausibility: an extracted amount more than `band`× away from
+/// the initiator's own observation (either direction) is rejected.
+/// Failed fetches (CAPTCHA pages) and missing baselines pass — honest
+/// blocking must never score.
+fn plausible(obs: &PriceObservation, initiator: Option<&PriceObservation>, band: f64) -> bool {
+    let Some(base) = initiator else {
+        return true;
+    };
+    if obs.failed || base.failed {
+        return true;
+    }
+    let (a, b) = (obs.amount_eur, base.amount_eur);
+    if a <= 0.0 || b <= 0.0 {
+        return true;
+    }
+    let ratio = if a > b { a / b } else { b / a };
+    ratio <= band
 }

@@ -178,6 +178,22 @@ pub enum ProtoMsg {
         /// Whether the server was actually taken offline.
         removed: bool,
     },
+    /// Measurement server → Coordinator: a peer crossed the local
+    /// misbehavior threshold (see [`crate::protocol::defense`]). Rides
+    /// the reliable channel so a lossy link cannot lose the escalation.
+    MisbehaviorReport {
+        /// The misbehaving peer.
+        peer: u64,
+        /// The reporting book's score at quarantine time.
+        score: u32,
+    },
+    /// Coordinator → peer: the peer has been quarantined deployment-wide
+    /// (its requests are refused and it is excluded from PPC lists until
+    /// parole).
+    QuarantineNotice {
+        /// The quarantined peer (echoed so an add-on can display it).
+        peer: u64,
+    },
     /// At-least-once envelope: `inner` rides under a per-sender sequence
     /// number so the receiver can acknowledge and deduplicate retransmits
     /// (see [`crate::protocol::reliable`]).

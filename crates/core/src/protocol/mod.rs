@@ -28,6 +28,7 @@ use crate::coordinator::JobId;
 mod aggregator;
 mod coordinator;
 mod database;
+pub mod defense;
 mod ipc;
 mod measurement;
 pub mod messages;
@@ -37,6 +38,9 @@ pub mod reliable;
 pub use aggregator::AggregatorProto;
 pub use coordinator::CoordinatorProto;
 pub use database::{DbEvent, DbProto};
+pub use defense::{
+    defense_key, DefenseAction, DefenseBook, DefenseParams, DefenseTotals, Standing, IPC_KEY_BASE,
+};
 pub use ipc::IpcProto;
 pub use measurement::{MeasEvent, MeasurementParams, MeasurementProto};
 pub use messages::ProtoMsg;
@@ -90,6 +94,12 @@ pub enum TimerKind {
     /// Periodic Coordinator sweep: expire lapsed heartbeats and requeue
     /// jobs stuck on offline servers.
     CoordSweep,
+    /// A peer's quarantine ends (moves to parole); scoped by peer id
+    /// (see [`defense::DefenseBook`]).
+    Quarantine(u64),
+    /// A peer's parole ends (full reinstatement when clean); scoped by
+    /// peer id.
+    Parole(u64),
 }
 
 const TIMER_DEADLINE: u64 = 0;
@@ -98,6 +108,8 @@ const TIMER_DB_DONE: u64 = 2;
 const TIMER_HEARTBEAT: u64 = 3;
 const TIMER_RETRANSMIT: u64 = 4;
 const TIMER_COORD_SWEEP: u64 = 5;
+const TIMER_QUARANTINE: u64 = 6;
+const TIMER_PAROLE: u64 = 7;
 
 impl TimerKind {
     /// Packs the timer into the u64 token space drivers carry
@@ -113,6 +125,8 @@ impl TimerKind {
             TimerKind::Heartbeat => TIMER_HEARTBEAT,
             TimerKind::Retransmit(seq) => seq * 8 + TIMER_RETRANSMIT,
             TimerKind::CoordSweep => TIMER_COORD_SWEEP,
+            TimerKind::Quarantine(peer) => peer * 8 + TIMER_QUARANTINE,
+            TimerKind::Parole(peer) => peer * 8 + TIMER_PAROLE,
         }
     }
 
@@ -132,6 +146,8 @@ impl TimerKind {
             TIMER_PROC_DONE => Some(TimerKind::ProcDone(JobId(scope))),
             TIMER_DB_DONE => Some(TimerKind::DbDone(JobId(scope))),
             TIMER_RETRANSMIT => Some(TimerKind::Retransmit(scope)),
+            TIMER_QUARANTINE => Some(TimerKind::Quarantine(scope)),
+            TIMER_PAROLE => Some(TimerKind::Parole(scope)),
             _ => None,
         }
     }
@@ -195,13 +211,16 @@ mod tests {
             TimerKind::Retransmit(0),
             TimerKind::Retransmit(9_999),
             TimerKind::CoordSweep,
+            TimerKind::Quarantine(100),
+            TimerKind::Parole(107),
         ];
         for k in kinds {
             assert_eq!(TimerKind::from_token(k.token()), Some(k));
         }
-        // Residues 6 and 7 are unassigned kinds; drivers count these.
-        assert_eq!(TimerKind::from_token(14), None);
-        assert_eq!(TimerKind::from_token(15), None);
+        // All eight residues are assigned now (6/7 went to the defense
+        // layer's quarantine/parole timers in peer-id scope).
+        assert_eq!(TimerKind::from_token(14), Some(TimerKind::Quarantine(1)));
+        assert_eq!(TimerKind::from_token(15), Some(TimerKind::Parole(1)));
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub struct PeerProto {
     pub sandbox_violations: usize,
     /// Remote fetches served per mode: [clean, real-state, doppelganger].
     pub fetches_by_mode: [u64; 3],
+    /// Quarantine notices received from the Coordinator (the add-on
+    /// surfaces these to the user).
+    pub quarantine_notices: Vec<u64>,
 }
 
 impl PeerProto {
@@ -85,6 +88,7 @@ impl PeerProto {
             server_removals: Vec::new(),
             sandbox_violations: 0,
             fetches_by_mode: [0; 3],
+            quarantine_notices: Vec::new(),
         }
     }
 
@@ -377,6 +381,9 @@ impl PeerProto {
             }
             ProtoMsg::ServerRemoved { index, removed } => {
                 self.server_removals.push((index, removed));
+            }
+            ProtoMsg::QuarantineNotice { peer } => {
+                self.quarantine_notices.push(peer);
             }
             _ => {}
         }

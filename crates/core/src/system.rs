@@ -27,20 +27,23 @@ use rand::SeedableRng;
 use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_market::{ProductId, UserAgent, World};
 use sheriff_netsim::{
-    latency::sample_standard_normal, Ctx, FaultPlan, FaultStats, Node, NodeId, SimTime, Simulator,
+    latency::sample_standard_normal, ByzStats, ByzantinePlan, Ctx, FaultPlan, FaultStats, Node,
+    NodeId, SimTime, Simulator,
 };
 use sheriff_telemetry::{Counter, FieldValue, Gauge, Histogram, Registry};
 
 use crate::latency::{GeoLatency, GeoLatencyConfig};
 
 use crate::browser::BrowserProfile;
+use crate::byzantine;
 use crate::coordinator::{Coordinator, PeerId};
 use crate::db::DbCostModel;
 use crate::durability::MemStorage;
 use crate::pollution::PollutionLedger;
 use crate::protocol::{
-    Address, AggregatorProto, Channel, CoordinatorProto, DbEvent, DbProto, IpcProto, MeasEvent,
-    MeasurementParams, MeasurementProto, Output, PeerProto, ProtoMsg, ReliableConfig, TimerKind,
+    Address, AggregatorProto, Channel, CoordinatorProto, DbEvent, DbProto, DefenseBook,
+    DefenseParams, DefenseTotals, IpcProto, MeasEvent, MeasurementParams, MeasurementProto, Output,
+    PeerProto, ProtoMsg, ReliableConfig, TimerKind,
 };
 use crate::proxy::{IpcEngine, PpcEngine};
 use crate::records::PriceCheck;
@@ -105,6 +108,9 @@ pub struct SheriffConfig {
     pub retransmit_base_ms: u64,
     /// Coordinator recovery-sweep period (heartbeat expiry + job requeue).
     pub coord_sweep_every_ms: u64,
+    /// Misbehavior-defense tuning shared by the Coordinator and every
+    /// Measurement server (see [`crate::protocol::DefenseBook`]).
+    pub defense: DefenseParams,
 }
 
 impl SheriffConfig {
@@ -133,6 +139,7 @@ impl SheriffConfig {
             heartbeat_timeout_ms: 30_000,
             retransmit_base_ms: 2_000,
             coord_sweep_every_ms: 5_000,
+            defense: DefenseParams::default(),
         }
     }
 
@@ -161,6 +168,7 @@ impl SheriffConfig {
             heartbeat_timeout_ms: 30_000,
             retransmit_base_ms: 2_000,
             coord_sweep_every_ms: 5_000,
+            defense: DefenseParams::default(),
         }
     }
 
@@ -252,6 +260,11 @@ struct AddrMap {
     first_ipc: usize,
     peer_nodes: BTreeMap<u64, NodeId>,
     addr_of: Vec<Address>,
+    /// Deployment-wide Byzantine plan, consulted at every node's send
+    /// edge (the DES twin of the TCP reactor's shim). `None` until a
+    /// plan is installed; the simulation is single-threaded, so the
+    /// lock is never contended.
+    byz: Mutex<Option<ByzantinePlan>>,
 }
 
 impl AddrMap {
@@ -294,11 +307,14 @@ fn dispatch(
         match o {
             Output::Send { to, msg } => {
                 if let Some(node) = map.node(to) {
-                    ctx.send(node, msg);
+                    byz_send(map, ctx, node, msg, None);
                 }
             }
             Output::SendFetched { to, msg } => {
                 let t = fetch.expect("role without fetch timing emitted SendFetched");
+                // The single proxy-fetch latency is drawn *before* the
+                // Byzantine consult and shared by every emitted copy, so
+                // an installed-but-all-zero plan perturbs no RNG draws.
                 let delay = fetch_delay(
                     ctx.rng(),
                     t.median_ms,
@@ -308,13 +324,53 @@ fn dispatch(
                     t.kill_ms,
                 );
                 if let Some(node) = map.node(to) {
-                    ctx.send_after(delay, node, msg);
+                    byz_send(map, ctx, node, msg, Some(delay));
                 }
             }
             Output::Timer { delay_ms, kind } => {
                 ctx.set_timer(SimTime::from_millis(delay_ms), kind.token());
             }
         }
+    }
+}
+
+/// One send through the Byzantine edge: consult the plan (same decision
+/// function as the TCP reactor's shim), mutate/flood/drop accordingly.
+/// Codec-boundary attacks have no DES analogue — the bytes never decode
+/// on TCP, so here the message simply vanishes; either way nothing
+/// reaches the receiving machine and `defense.*` parity is preserved.
+fn byz_send(
+    map: &AddrMap,
+    ctx: &mut Ctx<'_, ProtoMsg>,
+    to: NodeId,
+    msg: ProtoMsg,
+    fetched_delay: Option<SimTime>,
+) {
+    let send = |ctx: &mut Ctx<'_, ProtoMsg>, m: ProtoMsg| match fetched_delay {
+        Some(d) => ctx.send_after(d, to, m),
+        None => ctx.send(to, m),
+    };
+    let decision = {
+        let mut guard = map.byz.lock();
+        match guard.as_mut() {
+            Some(plan) => plan.decide(ctx.self_id.0, to.0, byzantine::price_bearing(&msg)),
+            None => {
+                drop(guard);
+                send(ctx, msg);
+                return;
+            }
+        }
+    };
+    if decision.is_honest() {
+        send(ctx, msg);
+        return;
+    }
+    let applied = byzantine::apply(&decision, msg);
+    if let Some(primary) = applied.primary {
+        send(ctx, primary);
+    }
+    for junk in applied.junk {
+        send(ctx, junk);
     }
 }
 
@@ -588,6 +644,7 @@ struct DbTelemetry {
     snapshots: Arc<Counter>,
     recovered: Arc<Counter>,
     dup_stores: Arc<Counter>,
+    ack_loss_window: Arc<Counter>,
 }
 
 impl DbTelemetry {
@@ -602,6 +659,7 @@ impl DbTelemetry {
             snapshots: registry.counter("db.snapshots"),
             recovered: registry.counter("db.recovered_records"),
             dup_stores: registry.counter("db.duplicate_stores"),
+            ack_loss_window: registry.counter("db.ack_loss_window"),
         }
     }
 
@@ -624,6 +682,7 @@ impl DbTelemetry {
                 DbEvent::SnapshotInstalled { .. } => self.snapshots.inc(),
                 DbEvent::Recovered { records, .. } => self.recovered.add(records),
                 DbEvent::DuplicateStoreAbsorbed { .. } => self.dup_stores.inc(),
+                DbEvent::AckLossWindow { .. } => self.ack_loss_window.inc(),
             }
         }
     }
@@ -822,6 +881,9 @@ pub struct PriceSheriff {
     next_tag: u64,
     cfg: SheriffConfig,
     telemetry: Arc<Registry>,
+    /// Shared address map — also carries the optional Byzantine plan
+    /// consulted at every node's send edge.
+    map: Arc<AddrMap>,
 }
 
 impl PriceSheriff {
@@ -906,10 +968,12 @@ impl PriceSheriff {
             first_ipc,
             peer_nodes: peer_nodes.clone(),
             addr_of,
+            byz: Mutex::new(None),
         });
 
         let mut coord_proto = CoordinatorProto::new(coordinator, cfg.ppc_per_request);
         coord_proto.sweep_every_ms = cfg.coord_sweep_every_ms;
+        coord_proto.defense = DefenseBook::new(cfg.defense).with_telemetry(&telemetry);
         let coord_node = CoordinatorNode {
             proto: coord_proto,
             map: Arc::clone(&map),
@@ -951,20 +1015,24 @@ impl PriceSheriff {
             .map(|index| Address::Ipc { index })
             .collect();
         for (i, &sid) in server_ids.iter().enumerate() {
+            let mut meas_proto = MeasurementProto::new(MeasurementParams {
+                index: i,
+                ipcs: ipc_addrs.clone(),
+                rates: rates.clone(),
+                target_currency: cfg.target_currency.clone(),
+                proc_per_reply_ms: cfg.proc_per_reply_ms,
+                context_switch_alpha: cfg.context_switch_alpha,
+                job_deadline_ms: cfg.job_deadline_ms,
+                db_cost: cfg.db_cost,
+                integrated_db: cfg.version == SystemVersion::V1,
+                heartbeat_every_ms: cfg.heartbeat_every_ms,
+                ipc_countries: cfg.ipc_locations.iter().map(|&(c, _)| c).collect(),
+                defense: cfg.defense,
+            });
+            meas_proto.defense = DefenseBook::new(cfg.defense).with_telemetry(&telemetry);
             let node = MeasurementNode {
                 index: i,
-                proto: MeasurementProto::new(MeasurementParams {
-                    index: i,
-                    ipcs: ipc_addrs.clone(),
-                    rates: rates.clone(),
-                    target_currency: cfg.target_currency.clone(),
-                    proc_per_reply_ms: cfg.proc_per_reply_ms,
-                    context_switch_alpha: cfg.context_switch_alpha,
-                    job_deadline_ms: cfg.job_deadline_ms,
-                    db_cost: cfg.db_cost,
-                    integrated_db: cfg.version == SystemVersion::V1,
-                    heartbeat_every_ms: cfg.heartbeat_every_ms,
-                }),
+                proto: meas_proto,
                 map: Arc::clone(&map),
                 telemetry: MeasurementTelemetry::new(&telemetry, i),
                 chan: mk_chan(),
@@ -1047,6 +1115,7 @@ impl PriceSheriff {
             next_tag: 1,
             cfg,
             telemetry,
+            map,
         }
     }
 
@@ -1236,6 +1305,65 @@ impl PriceSheriff {
     /// Fault-injection tallies, if a plan is installed.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.sim.fault_stats()
+    }
+
+    /// Installs a deterministic Byzantine misbehavior plan, consulted at
+    /// every node's send edge. An all-zero plan is a strict no-op: it
+    /// draws no RNG values and mutates no messages, so the run is
+    /// byte-identical to one without a plan.
+    pub fn install_byzantine_plan(&mut self, plan: ByzantinePlan) {
+        *self.map.byz.lock() = Some(plan);
+    }
+
+    /// Byzantine-injection tallies, if a plan is installed.
+    pub fn byz_stats(&self) -> Option<ByzStats> {
+        self.map.byz.lock().as_ref().map(|p| p.stats)
+    }
+
+    /// NodeIds of the Measurement servers, from the deterministic layout
+    /// `[coordinator, aggregator, db?, servers…, ipcs…, ppcs…]`.
+    fn server_node_ids(&self) -> Vec<NodeId> {
+        let n_servers = if self.cfg.version == SystemVersion::V1 {
+            1
+        } else {
+            self.cfg.n_measurement_servers
+        };
+        let first = 2 + usize::from(self.db.is_some());
+        (0..n_servers).map(|i| NodeId(first + i)).collect()
+    }
+
+    /// Field-by-field sum of the Coordinator's and every Measurement
+    /// server's defense ledgers — the registry-free twin of the
+    /// `defense.*` counters.
+    pub fn defense_totals(&self) -> DefenseTotals {
+        let mut sum = DefenseTotals::default();
+        let mut add = |t: DefenseTotals| {
+            sum.validation_rejects += t.validation_rejects;
+            sum.quota_trips += t.quota_trips;
+            sum.quarantines += t.quarantines;
+            sum.paroles += t.paroles;
+            sum.quarantine_drops += t.quarantine_drops;
+            sum.budget_exhaustions += t.budget_exhaustions;
+        };
+        if let Some(c) = self.sim.node_ref::<CoordinatorNode>(self.coordinator) {
+            add(c.proto.defense.totals);
+        }
+        for id in self.server_node_ids() {
+            if let Some(s) = self.sim.node_ref::<MeasurementNode>(id) {
+                add(s.proto.defense.totals);
+            }
+        }
+        sum
+    }
+
+    /// Observations admitted from `peer` across all Measurement servers'
+    /// influence ledgers — the pollution-budget readout.
+    pub fn admitted_from_peer(&self, peer: u64) -> u64 {
+        self.server_node_ids()
+            .into_iter()
+            .filter_map(|id| self.sim.node_ref::<MeasurementNode>(id))
+            .map(|s| s.proto.defense.admitted_by(peer))
+            .sum()
     }
 
     /// Jobs currently charged to each Measurement server, in server

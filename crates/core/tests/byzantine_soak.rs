@@ -1,0 +1,251 @@
+//! Byzantine soak: a seed-deterministic misbehaving peer (price
+//! equivocation on every price-bearing send plus a reply flood) runs
+//! inside the full DES deployment. Under every seed the defense layer
+//! must (a) let every honest check complete, (b) admit **zero**
+//! observations from the Byzantine peer (bounded pollution), (c) walk
+//! the quarantine → parole → reinstatement ladder, and (d) keep the
+//! registry counters and the registry-free ledgers in lockstep — and an
+//! all-zero plan must be a strict no-op.
+//!
+//! Seeds come from `CHAOS_SEEDS` (comma-separated) when set, matching
+//! the chaos soak's convention.
+
+use sheriff_core::system::{PpcSpec, PriceSheriff, SheriffConfig};
+use sheriff_geo::Country;
+use sheriff_market::world::WorldConfig;
+use sheriff_market::{ProductId, UserAgent, World};
+use sheriff_netsim::{ByzProfile, ByzantinePlan, FaultPlan, LinkFaults, SimTime};
+
+const DEFAULT_SEEDS: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+
+/// Node index of the first PPC under the fast (v2, two-server) layout
+/// `[coordinator 0, aggregator 1, db 2, servers 3..5, ipcs 5..35, ppcs…]`.
+const FIRST_PPC_NODE: usize = 35;
+
+/// The misbehaving peer (first PPC).
+const BYZ_PEER: u64 = 100;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("CHAOS_SEEDS: u64 list"))
+            .collect(),
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn specs(n: u64) -> Vec<PpcSpec> {
+    (0..n)
+        .map(|i| PpcSpec {
+            peer_id: 100 + i,
+            country: Country::ES,
+            city_idx: 0,
+            user_agent: UserAgent {
+                os: sheriff_market::pricing::Os::Linux,
+                browser: sheriff_market::pricing::Browser::Firefox,
+            },
+            affluence: 0.2,
+            logged_in_domains: vec![],
+        })
+        .collect()
+}
+
+/// Fast config with the quarantine threshold lowered so one flooded job
+/// (+2 plausibility, +1 +1 quota trips) trips it deterministically.
+fn byz_cfg(seed: u64) -> SheriffConfig {
+    let mut cfg = SheriffConfig::fast(seed);
+    cfg.defense.quarantine_threshold = 4;
+    cfg
+}
+
+/// Peer 100 equivocates every price-bearing send and floods four junk
+/// copies alongside each message.
+fn byz_plan(seed: u64) -> ByzantinePlan {
+    ByzantinePlan::new(seed).with_profile(
+        FIRST_PPC_NODE,
+        ByzProfile {
+            equivocate: 1.0,
+            flood_copies: 4,
+            ..ByzProfile::HONEST
+        },
+    )
+}
+
+/// Runs one seeded deployment: three honest checks up front, then the
+/// Byzantine peer tries a check of its own once quarantine has landed.
+fn run_seed(seed: u64, faults: Option<FaultPlan>) -> PriceSheriff {
+    let world = World::build(&WorldConfig::small(), seed);
+    let mut sheriff = PriceSheriff::new(byz_cfg(seed), world, &specs(4));
+    sheriff.install_byzantine_plan(byz_plan(seed));
+    if let Some(plan) = faults {
+        sheriff.install_fault_plan(plan);
+    }
+    let domains = ["amazon.com", "steampowered.com", "chegg.com"];
+    for (i, domain) in domains.iter().enumerate() {
+        sheriff.submit_check(
+            SimTime::from_millis(i as u64 * 150),
+            101 + i as u64,
+            domain,
+            ProductId(i as u32 % 4),
+        );
+    }
+    // By 5s the flood on the first job has tripped quarantine at a
+    // Measurement server and the MisbehaviorReport has reached the
+    // Coordinator: this request must bounce off the quarantine gate.
+    sheriff.submit_check(
+        SimTime::from_millis(5_000),
+        BYZ_PEER,
+        "amazon.com",
+        ProductId(0),
+    );
+    // Long enough for quarantine (30s) + parole (15s) to elapse.
+    sheriff.run_until(SimTime::from_mins(2));
+    sheriff
+}
+
+#[test]
+fn byzantine_soak_quarantines_the_liar_and_admits_nothing_from_it() {
+    for seed in seeds() {
+        let sheriff = run_seed(seed, None);
+
+        // (a) Every honest check completes despite the misbehaving
+        // vantage; the Byzantine peer's own request does not.
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 3, "seed {seed}: honest checks lost");
+        assert!(
+            done.iter().all(|c| c.check.observations.iter().all(|o| {
+                o.vantage != sheriff_core::records::VantageKind::Ppc || o.vantage_id != BYZ_PEER
+            })),
+            "seed {seed}: a Byzantine observation reached a completed check"
+        );
+        assert!(
+            sheriff
+                .rejections()
+                .iter()
+                .any(|(peer, _, reason)| *peer == BYZ_PEER && reason == "quarantined"),
+            "seed {seed}: the quarantined peer's own request was not bounced"
+        );
+
+        // (b) Bounded pollution — here exactly zero: every equivocated
+        // reply skews the price far beyond the plausibility band.
+        assert_eq!(
+            sheriff.admitted_from_peer(BYZ_PEER),
+            0,
+            "seed {seed}: pollution admitted from the Byzantine peer"
+        );
+
+        // (c) The defense ladder actually walked: plausibility rejects,
+        // quota trips, quarantine at a server *and* at the Coordinator,
+        // and — since the misbehavior stops once jobs drain — every
+        // quarantine ends in a clean parole.
+        let totals = sheriff.defense_totals();
+        assert!(totals.validation_rejects >= 1, "seed {seed}: {totals:?}");
+        assert!(totals.quota_trips >= 2, "seed {seed}: {totals:?}");
+        assert!(totals.quarantines >= 2, "seed {seed}: {totals:?}");
+        assert!(totals.quarantine_drops >= 1, "seed {seed}: {totals:?}");
+        assert_eq!(
+            totals.paroles, totals.quarantines,
+            "seed {seed}: a quarantine never resolved to parole"
+        );
+
+        // (d) The registry counters mirror the registry-free ledgers.
+        let snap = sheriff.telemetry().snapshot();
+        for (name, ledger) in [
+            ("defense.validation_rejects", totals.validation_rejects),
+            ("defense.quota_trips", totals.quota_trips),
+            ("defense.quarantines", totals.quarantines),
+            ("defense.paroles", totals.paroles),
+            ("defense.quarantine_drops", totals.quarantine_drops),
+            ("defense.budget_exhaustions", totals.budget_exhaustions),
+        ] {
+            assert_eq!(
+                snap.counters.get(name).copied().unwrap_or(0),
+                ledger,
+                "seed {seed}: {name} diverged from the book totals"
+            );
+        }
+
+        // The injection layer really fired, and only the arms we armed.
+        let stats = sheriff.byz_stats().expect("plan installed");
+        assert!(stats.equivocated >= 1, "seed {seed}: {stats:?}");
+        assert!(stats.flooded >= 4, "seed {seed}: {stats:?}");
+        assert_eq!(stats.fabricated, 0, "seed {seed}: {stats:?}");
+        assert_eq!(stats.codec_attacks, 0, "seed {seed}: {stats:?}");
+
+        // Nothing leaks: the Coordinator's ledger drains to zero.
+        assert_eq!(
+            sheriff.pending_jobs_per_server(),
+            vec![0, 0],
+            "seed {seed}: leaked jobs"
+        );
+
+        // The §3.4 panel surfaces the incident.
+        let panel = sheriff.monitoring_panel();
+        assert!(
+            panel.contains("Defense:") && !panel.contains(" 0 quarantines"),
+            "seed {seed}: panel missing the quarantine: {panel}"
+        );
+    }
+}
+
+/// The Byzantine plan composes with a lossy network: drops, duplicates
+/// and delays on every link change *when* the defense trips, never
+/// *whether* honest work completes or how much pollution is admitted.
+#[test]
+fn byzantine_soak_survives_a_lossy_network() {
+    for seed in seeds() {
+        let faults = FaultPlan::new(seed).with_default_link(LinkFaults {
+            drop: 0.03,
+            duplicate: 0.05,
+            delay: 0.08,
+            delay_ms: (50, 400),
+            ..LinkFaults::NONE
+        });
+        let sheriff = run_seed(seed, Some(faults));
+        let done = sheriff.completed();
+        assert_eq!(done.len(), 3, "seed {seed}: honest checks lost");
+        assert_eq!(
+            sheriff.admitted_from_peer(BYZ_PEER),
+            0,
+            "seed {seed}: pollution admitted under faults"
+        );
+        let stats = sheriff.byz_stats().expect("plan installed");
+        assert!(stats.equivocated >= 1, "seed {seed}: injection never fired");
+        assert_eq!(
+            sheriff.pending_jobs_per_server(),
+            vec![0, 0],
+            "seed {seed}: leaked jobs"
+        );
+    }
+}
+
+#[test]
+fn all_zero_byzantine_plan_is_a_strict_noop() {
+    let run = |plan: Option<ByzantinePlan>| {
+        let world = World::build(&WorldConfig::small(), 101);
+        let mut sheriff = PriceSheriff::new(SheriffConfig::fast(101), world, &specs(3));
+        if let Some(plan) = plan {
+            sheriff.install_byzantine_plan(plan);
+        }
+        for i in 0..3u64 {
+            sheriff.submit_check(
+                SimTime::from_millis(i * 200),
+                100 + i,
+                "amazon.com",
+                ProductId(i as u32),
+            );
+        }
+        sheriff.run_until(SimTime::from_mins(2));
+        (
+            format!("{:?}", sheriff.completed()),
+            format!("{:?}", sheriff.telemetry().snapshot().counters),
+            sheriff.monitoring_panel(),
+        )
+    };
+    let baseline = run(None);
+    let with_plan = run(Some(ByzantinePlan::new(999)));
+    assert_eq!(baseline.0, with_plan.0, "completed checks diverged");
+    assert_eq!(baseline.1, with_plan.1, "telemetry counters diverged");
+    assert_eq!(baseline.2, with_plan.2, "monitoring panel diverged");
+}

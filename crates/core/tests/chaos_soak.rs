@@ -85,6 +85,10 @@ fn chaos_soak_completes_without_leaks_or_duplicates() {
         let world = World::build(&WorldConfig::small(), seed);
         let mut sheriff = PriceSheriff::new(chaos_cfg(seed), world, &specs(4));
         sheriff.install_fault_plan(chaos_plan(seed));
+        // An installed all-zero Byzantine plan must not perturb the
+        // chaos schedule: the decide() hook runs on every dispatch and
+        // every assertion below must hold exactly as without it.
+        sheriff.install_byzantine_plan(sheriff_netsim::ByzantinePlan::new(seed));
         let domains = ["amazon.com", "steampowered.com", "chegg.com", "amazon.com"];
         for (i, domain) in domains.iter().enumerate() {
             sheriff.submit_check(

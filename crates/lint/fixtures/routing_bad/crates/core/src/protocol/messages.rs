@@ -1,11 +1,12 @@
 //! Known-bad routing fixture: a variant the table has never heard of
-//! (`Bogus`) plus a declared handler (`coordinator` for `JobComplete`)
-//! with no matching arm anywhere in this tree. Together with the
-//! unclaimed handler in `peer.rs`, must trip proto-routing exactly
-//! three times.
+//! (`Bogus`) plus two declared handlers (`coordinator` for both
+//! `JobComplete` and the defense-plane `MisbehaviorReport`) with no
+//! matching arm anywhere in this tree. Together with the two unclaimed
+//! handlers in `peer.rs`, must trip proto-routing exactly five times.
 
 pub enum ProtoMsg {
     Heartbeat { i: usize },
     JobComplete { job: u64 },
+    MisbehaviorReport { peer: u64 },
     Bogus,
 }

@@ -1,5 +1,6 @@
-//! Matches `Heartbeat`, which the routing table claims only for the
-//! coordinator: the unclaimed-handler half of the fixture.
+//! Matches `Heartbeat` and the defense-plane `MisbehaviorReport`, both
+//! of which the routing table claims only for the coordinator: the
+//! unclaimed-handler half of the fixture, twice over.
 
 pub struct Peer;
 
@@ -8,6 +9,9 @@ impl Peer {
         match msg {
             ProtoMsg::Heartbeat { i } => {
                 let _ = i;
+            }
+            ProtoMsg::MisbehaviorReport { peer } => {
+                let _ = peer;
             }
             _ => {}
         }

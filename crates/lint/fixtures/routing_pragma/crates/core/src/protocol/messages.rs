@@ -1,10 +1,12 @@
 //! Pragma twin of `routing_bad`'s message set: the undeclared variant
-//! and the routing gap both report against the enum, so one per-item
-//! pragma on the enum suppresses them. Must pass clean.
+//! and both routing gaps (`JobComplete`, `MisbehaviorReport`) report
+//! against the enum, so one per-item pragma on the enum suppresses
+//! them. Must pass clean.
 
 // sheriff-lint: allow-item(proto-routing) — fixture: documents the suppression form
 pub enum ProtoMsg {
     Heartbeat { i: usize },
     JobComplete { job: u64 },
+    MisbehaviorReport { peer: u64 },
     Bogus,
 }

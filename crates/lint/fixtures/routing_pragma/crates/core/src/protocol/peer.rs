@@ -1,5 +1,6 @@
-//! Pragma twin of the unclaimed handler: the finding reports at the
-//! pattern occurrence, so a per-line pragma right above it suppresses.
+//! Pragma twin of the unclaimed handlers: the findings report at the
+//! pattern occurrences, so a per-line pragma right above each one
+//! suppresses it.
 
 pub struct Peer;
 
@@ -9,6 +10,10 @@ impl Peer {
             // sheriff-lint: allow(proto-routing) — fixture: documents the suppression form
             ProtoMsg::Heartbeat { i } => {
                 let _ = i;
+            }
+            // sheriff-lint: allow(proto-routing) — fixture: defense-plane twin
+            ProtoMsg::MisbehaviorReport { peer } => {
+                let _ = peer;
             }
             _ => {}
         }

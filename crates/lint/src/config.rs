@@ -272,6 +272,12 @@ pub const ROUTING_TABLE: &[(&str, &[&str])] = &[
     ("Heartbeat", &["coordinator"]),
     ("RemoveServer", &["coordinator"]),
     ("ServerRemoved", &["peer"]),
+    // Defense escalation plane: Measurement servers report misbehavior
+    // scores upstream; the Coordinator folds them and notifies the
+    // peer of its standing. Both carry only a peer id and a score —
+    // no browsing-identity fields — so they add no taint sources.
+    ("MisbehaviorReport", &["coordinator"]),
+    ("QuarantineNotice", &["peer"]),
     // The at-least-once envelope and its ack terminate in the shared
     // reliable channel on every node; machines never see them.
     ("Reliable", &["reliable"]),
@@ -345,6 +351,18 @@ mod tests {
                 "duplicate routing entry for {v}"
             );
         }
+    }
+
+    #[test]
+    fn defense_plane_messages_are_routed() {
+        let machines = |variant: &str| {
+            ROUTING_TABLE
+                .iter()
+                .find(|(v, _)| *v == variant)
+                .map(|(_, m)| *m)
+        };
+        assert_eq!(machines("MisbehaviorReport"), Some(&["coordinator"][..]));
+        assert_eq!(machines("QuarantineNotice"), Some(&["peer"][..]));
     }
 
     #[test]

@@ -118,9 +118,10 @@ fn ipfe_routed_twin_passes_taint() {
 
 #[test]
 fn routing_fixture_trips_only_proto_routing() {
-    // Undeclared variant + routing gap (both at the enum) + unclaimed
-    // handler (at the pattern in peer.rs).
-    check_bad("routing_bad", Rule::ProtoRouting, 3);
+    // Undeclared variant + two routing gaps (`JobComplete` and the
+    // defense-plane `MisbehaviorReport`, all at the enum) + two
+    // unclaimed handlers (at the patterns in peer.rs).
+    check_bad("routing_bad", Rule::ProtoRouting, 5);
 }
 
 #[test]

@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod engine;
 pub mod fault;
 pub mod latency;
 
+pub use byzantine::{ByzDecision, ByzProfile, ByzStats, ByzantinePlan, CodecAttack};
 pub use engine::{Ctx, Node, NodeId, SimTime, Simulator};
 pub use fault::{CrashWindow, FaultDecision, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use latency::{ConstantLatency, HeavyTailLatency, LatencyModel, LognormalLatency};

@@ -101,6 +101,14 @@ pub fn coordinator_panel(snap: &Snapshot) -> String {
         counter("db.snapshots"),
         counter("db.recovered_records"),
     ));
+    out.push_str(&format!(
+        "Defense: {} rejects, {} quota trips, {} quarantines, {} paroles, {} dropped\n",
+        counter("defense.validation_rejects"),
+        counter("defense.quota_trips"),
+        counter("defense.quarantines"),
+        counter("defense.paroles"),
+        counter("defense.quarantine_drops"),
+    ));
     out
 }
 
@@ -132,6 +140,11 @@ mod tests {
         r.counter("db.wal_appends").add(9);
         r.counter("db.snapshots").add(2);
         r.counter("db.recovered_records").add(4);
+        r.counter("defense.validation_rejects").add(3);
+        r.counter("defense.quota_trips").add(2);
+        r.counter("defense.quarantines").add(1);
+        r.counter("defense.paroles").add(1);
+        r.counter("defense.quarantine_drops").add(7);
         let panel = coordinator_panel(&r.snapshot());
         assert_eq!(
             panel,
@@ -140,7 +153,8 @@ mod tests {
              ms.example.org    80    offline  0\n\
              \nRequests: 12 total, 2 rejected   Jobs completed: 9   Peers online: 4\n\
              Recovery: 5 retransmits, 2 dups absorbed, 1 jobs requeued, 1 restarts\n\
-             Durability: 9 wal appends, 2 snapshots, 4 records recovered\n"
+             Durability: 9 wal appends, 2 snapshots, 4 records recovered\n\
+             Defense: 3 rejects, 2 quota trips, 1 quarantines, 1 paroles, 7 dropped\n"
         );
     }
 

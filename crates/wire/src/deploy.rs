@@ -35,8 +35,8 @@ use sheriff_core::coordinator::{Coordinator, PeerId};
 use sheriff_core::durability::recover;
 use sheriff_core::pollution::PollutionLedger;
 use sheriff_core::protocol::{
-    Address, AggregatorProto, Channel, CompletedProtoCheck, CoordinatorProto, DbProto, IpcProto,
-    MeasurementParams, MeasurementProto, PeerProto, ProtoMsg, ReliableConfig,
+    Address, AggregatorProto, Channel, CompletedProtoCheck, CoordinatorProto, DbProto, DefenseBook,
+    IpcProto, MeasurementParams, MeasurementProto, PeerProto, ProtoMsg, ReliableConfig,
 };
 use sheriff_core::proxy::{IpcEngine, PpcEngine};
 use sheriff_core::records::PriceCheck;
@@ -45,12 +45,14 @@ use sheriff_core::{BrowserProfile, Whitelist};
 use sheriff_geo::{Country, GeoLocator, Granularity, IpAllocator};
 use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::{ProductId, UserAgent, World};
-use sheriff_netsim::{FaultPlan, FaultStats};
+use sheriff_netsim::{ByzStats, FaultPlan, FaultStats};
 use sheriff_telemetry::Registry;
 
 use crate::proto::{rows_from_check, Envelope, ResultRow};
 use crate::reactor::reactor::Reactor;
-use crate::reactor::shard::{default_shard_count, shard_of, FaultShim, NodeSlot, Role, ShardCtx};
+use crate::reactor::shard::{
+    default_shard_count, shard_of, ByzShim, FaultShim, NodeSlot, Role, ShardCtx,
+};
 use crate::reactor::DeployOptions;
 use crate::storage::FileStorage;
 use crate::telemetry::WireTelemetry;
@@ -110,6 +112,7 @@ pub struct MiniDeployment {
     sink: Arc<Sink>,
     next_tag: AtomicU64,
     shim: Option<Arc<FaultShim>>,
+    byz: Option<Arc<ByzShim>>,
     /// Fault-plan node indices (bind order — the DES numbering) grouped
     /// by owning reactor shard.
     shards: Vec<Vec<usize>>,
@@ -262,15 +265,21 @@ impl MiniDeployment {
         let epoch = Instant::now();
 
         // Bind order above is exactly the DES node layout, so enumerating
-        // it yields the index the fault plan is phrased against.
-        let shim = plan.is_active().then(|| {
-            let index = listeners
-                .iter()
-                .enumerate()
-                .map(|(i, (addr, _))| (*addr, i))
-                .collect();
-            Arc::new(FaultShim::new(plan, index, &telemetry))
-        });
+        // it yields the index the fault and Byzantine plans are phrased
+        // against.
+        let index: HashMap<Address, usize> = listeners
+            .iter()
+            .enumerate()
+            .map(|(i, (addr, _))| (*addr, i))
+            .collect();
+        let shim = plan
+            .is_active()
+            .then(|| Arc::new(FaultShim::new(plan, index.clone(), &telemetry)));
+        let byz = opts
+            .byzantine
+            .clone()
+            .filter(sheriff_netsim::ByzantinePlan::is_active)
+            .map(|p| Arc::new(ByzShim::new(p, index)));
         let reliable_cfg = ReliableConfig {
             base_backoff_ms: cfg.retransmit_base_ms,
             ..ReliableConfig::default()
@@ -316,6 +325,7 @@ impl MiniDeployment {
                         cfg.ppc_per_request,
                     );
                     proto.sweep_every_ms = cfg.coord_sweep_every_ms;
+                    proto.defense = DefenseBook::new(cfg.defense).with_telemetry(&telemetry);
                     Role::Coordinator {
                         proto: Box::new(proto),
                         rng: StdRng::seed_from_u64(cfg.seed),
@@ -335,8 +345,8 @@ impl MiniDeployment {
                         )),
                     }
                 }
-                Address::Server { index } => Role::Measurement {
-                    proto: Box::new(MeasurementProto::new(MeasurementParams {
+                Address::Server { index } => {
+                    let mut proto = MeasurementProto::new(MeasurementParams {
                         index,
                         ipcs: ipc_addrs.clone(),
                         rates: rates.clone(),
@@ -347,9 +357,15 @@ impl MiniDeployment {
                         db_cost: cfg.db_cost,
                         integrated_db: cfg.version == SystemVersion::V1,
                         heartbeat_every_ms: cfg.heartbeat_every_ms,
-                    })),
-                    beacon_every_ms: cfg.heartbeat_every_ms,
-                },
+                        ipc_countries: cfg.ipc_locations.iter().map(|&(c, _)| c).collect(),
+                        defense: cfg.defense,
+                    });
+                    proto.defense = DefenseBook::new(cfg.defense).with_telemetry(&telemetry);
+                    Role::Measurement {
+                        proto: Box::new(proto),
+                        beacon_every_ms: cfg.heartbeat_every_ms,
+                    }
+                }
                 Address::Ipc { index } => {
                     let (engine, city) = ipc_engines.remove(&index).expect("ipc engine");
                     Role::Ipc {
@@ -396,6 +412,7 @@ impl MiniDeployment {
             epoch,
             sink: Arc::clone(&sink),
             shim: shim.clone(),
+            byz: byz.clone(),
             unknown_timers: telemetry.counter("protocol.unknown_timers"),
             wakeups: telemetry.counter("wire.reactor_wakeups"),
             queue_depth: telemetry.gauge("wire.shard_queue_depth"),
@@ -426,6 +443,7 @@ impl MiniDeployment {
             sink,
             next_tag: AtomicU64::new(1),
             shim,
+            byz,
             shards,
             in_flight: Mutex::new(Vec::new()),
             db_dir,
@@ -521,6 +539,12 @@ impl MiniDeployment {
     /// Running totals of the installed fault plan (`None` without one).
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.shim.as_ref().map(|s| s.stats())
+    }
+
+    /// Running totals of the installed Byzantine plan (`None` without
+    /// an active one).
+    pub fn byz_stats(&self) -> Option<ByzStats> {
+        self.byz.as_ref().map(|s| s.stats())
     }
 
     /// Like [`MiniDeployment::run_check`] but rendered as Fig. 2 result
@@ -829,7 +853,10 @@ mod tests {
             SheriffConfig::v1(7),
             &[],
             FaultPlan::new(0),
-            DeployOptions { shards: 2 },
+            DeployOptions {
+                shards: 2,
+                ..DeployOptions::default()
+            },
         )
         .expect("deployment starts");
         assert_eq!(d3.shard_count(), 2);

@@ -61,7 +61,16 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
     Ok(())
 }
 
+/// Memory committed per read step: a lying length prefix costs at most
+/// one chunk of allocation before the stream runs dry, not the full
+/// announced length.
+const READ_CHUNK: usize = 16 * 1024;
+
 /// Reads one frame. `Ok(None)` on clean EOF at a frame boundary.
+///
+/// The payload buffer grows chunk-by-chunk as bytes actually arrive, so
+/// a peer that announces `MAX_FRAME_LEN` and hangs up holds at most
+/// [`READ_CHUNK`] of memory here — never the announced length.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     let mut len_buf = [0u8; 4];
     // Distinguish clean EOF (no bytes) from mid-frame EOF.
@@ -73,8 +82,13 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     if len > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let step = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + step, 0);
+        r.read_exact(&mut payload[start..])?;
+    }
     Ok(Some(payload))
 }
 
@@ -139,6 +153,53 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"full frame").unwrap();
         buf.truncate(buf.len() - 3);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn payload_spanning_many_chunks_roundtrips() {
+        // Crosses the incremental-read boundary twice plus a remainder.
+        let payload: Vec<u8> = (0..READ_CHUNK * 2 + 7).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    /// A reader that hands out one byte at a time: the chunk loop must
+    /// tolerate arbitrarily fragmented arrival.
+    struct Trickle(Cursor<Vec<u8>>);
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn fragmented_arrival_reassembles() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"drip by drip").unwrap();
+        let mut r = Trickle(Cursor::new(buf));
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"drip by drip");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn lying_length_prefix_is_eof_not_a_big_allocation() {
+        // Announces the maximum legal frame but delivers ten bytes. The
+        // incremental reader commits at most one chunk before the
+        // stream runs dry — observable here as a prompt `UnexpectedEof`
+        // rather than an 8 MiB zeroed buffer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN as u32).to_be_bytes());
+        buf.extend_from_slice(&[0xAB; 10]);
         let mut cur = Cursor::new(buf);
         assert!(matches!(
             read_frame(&mut cur),

@@ -18,6 +18,8 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
+use sheriff_netsim::CodecAttack;
+
 use crate::frame::MAX_FRAME_LEN;
 use crate::proto::Envelope;
 use crate::telemetry::WireTelemetry;
@@ -167,5 +169,88 @@ impl Outbound {
         }
         wire.sent(self.payload_len);
         OutboundEvent::Done
+    }
+}
+
+/// A deliberately malformed outbound connection — the byte-level half of
+/// a Byzantine codec attack. Never counted in the wire telemetry (the
+/// bytes are not protocol frames) and never part of a link FIFO (the
+/// DES twin drops the message outright, so attack traffic must not
+/// delay the attacker's own honest sends).
+pub(crate) struct RawOutbound {
+    stream: TcpStream,
+    frame: Vec<u8>,
+    written: usize,
+    /// Slow-loris: once flushed, the connection is parked open and
+    /// silent so the victim's idle reaping is what ends it.
+    hold_open: bool,
+}
+
+impl RawOutbound {
+    /// Builds the attack bytes and opens the connection. `occurrence`
+    /// (the link's message counter at decision time) varies the garbage
+    /// so repeated attacks are not byte-identical.
+    pub(crate) fn open(
+        addr: SocketAddr,
+        attack: CodecAttack,
+        occurrence: u64,
+    ) -> Option<RawOutbound> {
+        let (frame, hold_open) = match attack {
+            CodecAttack::Garbage => {
+                // An honest length prefix over bytes that can never
+                // parse as a JSON envelope (high bit set throughout).
+                let mut f = Vec::with_capacity(4 + 64);
+                f.extend_from_slice(&64u32.to_be_bytes());
+                f.extend(
+                    (0..64u8).map(|i| (occurrence as u8).wrapping_mul(31).wrapping_add(i) | 0x80),
+                );
+                (f, false)
+            }
+            CodecAttack::Oversize => {
+                // A lying length field one past the cap; the receiver
+                // must refuse before allocating anything of that size.
+                (((MAX_FRAME_LEN as u32) + 1).to_be_bytes().to_vec(), false)
+            }
+            CodecAttack::SlowLoris => {
+                // Announce a frame, deliver eight bytes of it, go quiet.
+                let mut f = Vec::with_capacity(4 + 8);
+                f.extend_from_slice(&256u32.to_be_bytes());
+                f.extend_from_slice(&occurrence.to_be_bytes());
+                (f, true)
+            }
+        };
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        Some(RawOutbound {
+            stream,
+            frame,
+            written: 0,
+            hold_open,
+        })
+    }
+
+    /// Pushes attack bytes. `Some(true)` made progress, `Some(false)`
+    /// is pending or parked, `None` retires the connection.
+    pub(crate) fn pump(&mut self) -> Option<bool> {
+        let mut progressed = false;
+        while self.written < self.frame.len() {
+            let rest = self.frame.get(self.written..).unwrap_or(&[]);
+            match self.stream.write(rest) {
+                Ok(0) => return None,
+                Ok(n) => {
+                    self.written += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Some(progressed),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+        if self.hold_open {
+            // Flushed and parked: the victim's idle reap closes it.
+            Some(progressed)
+        } else {
+            None
+        }
     }
 }

@@ -34,10 +34,14 @@ pub(crate) mod shard;
 /// Tuning knobs for [`MiniDeployment::start_with_options`].
 ///
 /// [`MiniDeployment::start_with_options`]: crate::deploy::MiniDeployment::start_with_options
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct DeployOptions {
     /// Reactor shard count. `0` (the default) picks one shard per
     /// eight nodes, capped at eight — small test rosters stay compact,
     /// thousand-peer soaks spread across eight threads.
     pub shards: usize,
+    /// Byzantine misbehavior schedule, phrased against the same node
+    /// numbering the fault plan uses. An inactive (all-honest) plan is
+    /// bypassed entirely: a strict no-op.
+    pub byzantine: Option<sheriff_netsim::ByzantinePlan>,
 }

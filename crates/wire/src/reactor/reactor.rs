@@ -30,9 +30,11 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use sheriff_core::byzantine;
 use sheriff_core::protocol::{Address, Output, ProtoMsg, TimerKind};
+use sheriff_netsim::CodecAttack;
 
-use super::conn::{Inbound, InboundEvent, Outbound, OutboundEvent, IDLE_CONN_MS};
+use super::conn::{Inbound, InboundEvent, Outbound, OutboundEvent, RawOutbound, IDLE_CONN_MS};
 use super::shard::{drain_peer, NodeSlot, Role, ShardCtx};
 use crate::proto::Envelope;
 
@@ -86,6 +88,11 @@ pub(crate) struct Reactor {
     inbound: Vec<Inbound>,
     links: Vec<OutLink>,
     delayed: Vec<DelayedSend>,
+    /// Byzantine codec-attack connections (garbage / oversize /
+    /// slow-loris raw frames). Deliberately *outside* the per-link
+    /// FIFOs: the DES twin drops the message entirely, so an attack
+    /// frame must never delay the attacker's own later honest sends.
+    raw: Vec<RawOutbound>,
     /// Local high-water of pending work, mirrored into the shared
     /// `wire.shard_queue_depth` gauge when it grows.
     depth_hiwater: usize,
@@ -104,6 +111,7 @@ impl Reactor {
             inbound: Vec::new(),
             links: Vec::new(),
             delayed: Vec::new(),
+            raw: Vec::new(),
             depth_hiwater: 0,
         };
         for (slot, listener) in nodes {
@@ -144,6 +152,7 @@ impl Reactor {
             work += self.pump_inbound(now_ms);
             work += self.release_delayed(now_ms);
             work += self.pump_outbound();
+            work += self.pump_raw();
             self.note_depth();
 
             if self.nodes.iter().all(|n| n.slot.stopped) {
@@ -462,8 +471,10 @@ impl Reactor {
         }
     }
 
-    /// The reactor's write edge: the fault shim rules first (drop /
-    /// duplicate / delay), then the frame joins its link FIFO.
+    /// The reactor's write edge: the Byzantine shim rules first (the
+    /// sender's own misbehavior — same consult point as the DES
+    /// dispatch path), then the fault shim rules each emitted copy
+    /// (drop / duplicate / delay), then the frame joins its link FIFO.
     fn send_from(&mut self, local: usize, to: Address, msg: ProtoMsg, now_ms: u64) {
         let Some(me) = self.nodes.get(local).map(|n| n.slot.me) else {
             return;
@@ -471,27 +482,89 @@ impl Reactor {
         if !self.ctx.dir.contains_key(&to) {
             return;
         }
-        let (copies, delay_ms) = match &self.ctx.shim {
-            Some(shim) => match shim.outbound(now_ms, me, to) {
-                Some(verdict) => verdict,
-                None => return, // dropped by the schedule
-            },
-            None => (1, 0),
+        let msgs: Vec<ProtoMsg> = match self.ctx.byz.clone() {
+            Some(byz) => {
+                let d = byz.decide(me, to, byzantine::price_bearing(&msg));
+                if d.is_honest() {
+                    vec![msg]
+                } else if let Some(attack) = d.codec {
+                    // Byte-level attack: the protocol message is
+                    // consumed and a raw frame goes out instead,
+                    // outside the fault schedule (which never saw this
+                    // send on the DES side either).
+                    self.launch_codec_attack(to, attack, d.occurrence);
+                    return;
+                } else {
+                    let applied = byzantine::apply(&d, msg);
+                    let mut v = Vec::new();
+                    v.extend(applied.primary);
+                    v.extend(applied.junk);
+                    v
+                }
+            }
+            None => vec![msg],
         };
-        let env = Envelope { from: me, msg };
-        if delay_ms == 0 {
-            self.enqueue_out(local, to, env, copies);
-        } else {
-            self.seq += 1;
-            self.delayed.push(DelayedSend {
-                due_ms: now_ms + delay_ms,
-                seq: self.seq,
-                local,
-                to,
-                env,
-                copies,
-            });
+        for msg in msgs {
+            let (copies, delay_ms) = match &self.ctx.shim {
+                Some(shim) => match shim.outbound(now_ms, me, to) {
+                    Some(verdict) => verdict,
+                    None => continue, // dropped by the schedule
+                },
+                None => (1, 0),
+            };
+            let env = Envelope { from: me, msg };
+            if delay_ms == 0 {
+                self.enqueue_out(local, to, env, copies);
+            } else {
+                self.seq += 1;
+                self.delayed.push(DelayedSend {
+                    due_ms: now_ms + delay_ms,
+                    seq: self.seq,
+                    local,
+                    to,
+                    env,
+                    copies,
+                });
+            }
         }
+    }
+
+    /// Opens a raw adversarial connection toward `to`: a garbage
+    /// payload, a lying oversized length prefix, or a slow-loris
+    /// half-frame. The receiver's codec hardening (length cap, parse
+    /// failure, idle reaping) is exactly what these exercise.
+    fn launch_codec_attack(&mut self, to: Address, attack: CodecAttack, occurrence: u64) {
+        let Some(&addr) = self.ctx.dir.get(&to) else {
+            return;
+        };
+        if let Some(conn) = RawOutbound::open(addr, attack, occurrence) {
+            self.raw.push(conn);
+        }
+    }
+
+    /// Pumps the raw attack connections. Finished slow-loris streams
+    /// stay parked (held open, never written again) until the victim
+    /// reaps them; everything else retires once flushed.
+    fn pump_raw(&mut self) -> usize {
+        let mut work = 0;
+        let mut i = 0;
+        while i < self.raw.len() {
+            let Some(conn) = self.raw.get_mut(i) else {
+                break;
+            };
+            match conn.pump() {
+                Some(true) => {
+                    work += 1;
+                    i += 1;
+                }
+                Some(false) => i += 1,
+                None => {
+                    self.raw.remove(i);
+                    work += 1;
+                }
+            }
+        }
+        work
     }
 
     fn enqueue_out(&mut self, local: usize, to: Address, env: Envelope, copies: usize) {

@@ -27,7 +27,7 @@ use sheriff_core::protocol::{
     PeerProto,
 };
 use sheriff_market::World;
-use sheriff_netsim::{FaultPlan, FaultStats};
+use sheriff_netsim::{ByzDecision, ByzStats, ByzantinePlan, FaultPlan, FaultStats};
 use sheriff_telemetry::{Counter, Gauge, Registry};
 
 use crate::deploy::Sink;
@@ -103,6 +103,10 @@ pub(crate) struct ShardCtx {
     /// Installed only when the deployment was started with an *active*
     /// fault plan, so the fault-free path is byte-identical to before.
     pub(crate) shim: Option<Arc<FaultShim>>,
+    /// Installed only for an *active* Byzantine plan — consulted at the
+    /// reactor's write edge exactly where the DES engine consults its
+    /// twin, so both backends corrupt the same traffic.
+    pub(crate) byz: Option<Arc<ByzShim>>,
     pub(crate) unknown_timers: Arc<Counter>,
     /// `wire.reactor_wakeups`: iterations that found work to do.
     pub(crate) wakeups: Arc<Counter>,
@@ -190,6 +194,45 @@ impl FaultShim {
     pub(crate) fn crashed_until(&self, node: Address, now_ms: u64) -> Option<u64> {
         let &idx = self.index.get(&node)?;
         self.plan.lock().restart_at(idx, now_ms)
+    }
+}
+
+/// Applies a [`ByzantinePlan`] — the very schedule the DES engine
+/// consumes — at the reactor's write edge. Nodes are numbered exactly
+/// like the DES deployment, and the plan keys its decisions on
+/// per-directed-link occurrence counters rather than wall-clock, so one
+/// schedule means the same equivocations, fabrications, replays and
+/// floods on either backend. Unlike the fault shim this one sits
+/// *before* the fault verdict: misbehavior is something the sender does,
+/// not something the network does, and every emitted copy (primary and
+/// junk alike) still faces the fault schedule individually — the same
+/// order the DES dispatch path uses.
+pub(crate) struct ByzShim {
+    plan: Mutex<ByzantinePlan>,
+    index: HashMap<Address, usize>,
+}
+
+impl ByzShim {
+    pub(crate) fn new(plan: ByzantinePlan, index: HashMap<Address, usize>) -> ByzShim {
+        ByzShim {
+            plan: Mutex::new(plan),
+            index,
+        }
+    }
+
+    /// Running totals of the schedule's decisions.
+    pub(crate) fn stats(&self) -> ByzStats {
+        self.plan.lock().stats
+    }
+
+    /// Send-time decision for one envelope. Links whose endpoints are
+    /// outside the roster (externally injected frames) are honest by
+    /// definition — the DES engine never sees those sends either.
+    pub(crate) fn decide(&self, from: Address, to: Address, price_bearing: bool) -> ByzDecision {
+        let (Some(&f), Some(&t)) = (self.index.get(&from), self.index.get(&to)) else {
+            return ByzDecision::HONEST;
+        };
+        self.plan.lock().decide(f, t, price_bearing)
     }
 }
 

@@ -18,8 +18,8 @@ use sheriff_geo::Country;
 use sheriff_market::pricing::{Browser, Os};
 use sheriff_market::world::WorldConfig;
 use sheriff_market::{ProductId, UserAgent, World};
-use sheriff_netsim::{FaultPlan, LinkFaults, SimTime};
-use sheriff_wire::MiniDeployment;
+use sheriff_netsim::{ByzProfile, ByzantinePlan, FaultPlan, LinkFaults, SimTime};
+use sheriff_wire::{DeployOptions, MiniDeployment};
 
 const SEED: u64 = 4242;
 
@@ -228,6 +228,138 @@ fn database_crash_window_preserves_parity_and_determinism() {
             d,
             &sorted(t.observations.clone()),
             "observation sets diverge for {} under the crashy schedule",
+            t.domain
+        );
+    }
+}
+
+/// Quarantine threshold pushed out of reach: escalation timing rides on
+/// `MisbehaviorReport` arrival, which legitimately differs between a
+/// virtual clock and a wall clock, so the parity claim is phrased on the
+/// layer below — identical injections, identical rejections, identical
+/// admitted sets.
+fn byz_config() -> SheriffConfig {
+    let mut cfg = config();
+    cfg.defense.quarantine_threshold = 1_000;
+    cfg
+}
+
+/// Peer 100 (node 34 under this layout) equivocates every price-bearing
+/// send. Equivocation is occurrence-keyed like the fault plan, and only
+/// the unreliable fetch links carry price-bearing traffic, so both
+/// backends consult the plan the same number of times.
+fn byz_plan() -> ByzantinePlan {
+    ByzantinePlan::new(777).with_profile(
+        34,
+        ByzProfile {
+            equivocate: 1.0,
+            ..ByzProfile::HONEST
+        },
+    )
+}
+
+const DEFENSE_COUNTERS: [&str; 6] = [
+    "defense.validation_rejects",
+    "defense.quota_trips",
+    "defense.quarantines",
+    "defense.paroles",
+    "defense.quarantine_drops",
+    "defense.budget_exhaustions",
+];
+
+#[test]
+fn identical_byzantine_schedule_means_identical_defense_on_both_backends() {
+    // --- Discrete-event run under the misbehavior schedule.
+    let world = World::build(&WorldConfig::small(), SEED);
+    let mut sheriff = PriceSheriff::new(byz_config(), world, &peers());
+    sheriff.install_byzantine_plan(byz_plan());
+    for (i, (peer, domain, product)) in CHECKS.iter().enumerate() {
+        sheriff.submit_check(
+            SimTime::from_secs(10 * i as u64),
+            *peer,
+            domain,
+            ProductId(*product),
+        );
+    }
+    sheriff.run_until(SimTime::from_mins(5));
+    let des = sheriff.completed();
+    assert_eq!(des.len(), CHECKS.len(), "DES completed all checks");
+    let des_stats = format!("{:?}", sheriff.byz_stats().expect("plan installed"));
+    let des_snap = sheriff.telemetry().snapshot();
+
+    // --- TCP run over the same world, config and schedule.
+    let world = World::build(&WorldConfig::small(), SEED);
+    let deployment = MiniDeployment::start_with_options(
+        world,
+        byz_config(),
+        &peers(),
+        FaultPlan::new(0),
+        DeployOptions {
+            byzantine: Some(byz_plan()),
+            ..DeployOptions::default()
+        },
+    )
+    .expect("deployment starts");
+    let mut tcp = Vec::new();
+    for (peer, domain, product) in CHECKS {
+        tcp.push(
+            deployment
+                .run_check(peer, domain, ProductId(product))
+                .unwrap_or_else(|e| panic!("tcp check on {domain}: {e}")),
+        );
+    }
+    let tcp_stats = format!("{:?}", deployment.byz_stats().expect("plan installed"));
+    let tcp_snap = deployment.telemetry().snapshot();
+    deployment.shutdown();
+
+    // The injections really fired, and fired *identically*.
+    assert!(
+        !des_stats.contains("equivocated: 0"),
+        "no reply was ever equivocated: {des_stats}"
+    );
+    assert_eq!(des_stats, tcp_stats, "injection decisions diverged");
+
+    // The defense judged them identically: same rejects, same (zero)
+    // quarantines, same admitted observation sets.
+    for name in DEFENSE_COUNTERS {
+        assert_eq!(
+            des_snap.counters.get(name).copied().unwrap_or(0),
+            tcp_snap.counters.get(name).copied().unwrap_or(0),
+            "{name} diverged between backends"
+        );
+    }
+    assert!(
+        des_snap
+            .counters
+            .get("defense.validation_rejects")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "the defense never rejected an equivocated reply"
+    );
+    assert_eq!(
+        des_snap
+            .counters
+            .get("defense.quarantines")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "threshold was supposed to be out of reach"
+    );
+    for (d, t) in des.iter().zip(&tcp) {
+        assert_eq!(d.check.job_id, t.job_id);
+        assert_eq!(d.check.domain, t.domain);
+        assert_eq!(
+            sorted(d.check.observations.clone()),
+            sorted(t.observations.clone()),
+            "admitted sets diverge for {} under the shared misbehavior schedule",
+            t.domain
+        );
+        assert!(
+            t.observations.iter().all(
+                |o| o.vantage_id != 100 || o.vantage != sheriff_core::records::VantageKind::Ppc
+            ),
+            "{}: an equivocated observation was admitted",
             t.domain
         );
     }

@@ -1,0 +1,130 @@
+//! Fuzz harness for the frame codec: whatever bytes arrive — garbage,
+//! lying length prefixes, truncations, pathological fragmentation — the
+//! reader must return `Ok`/`Err`, never panic, and never commit memory
+//! proportional to an *announced* (as opposed to *delivered*) length.
+
+use std::io::{self, Cursor, Read};
+
+use proptest::prelude::*;
+
+use sheriff_wire::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+
+/// Wraps a byte stream and serves it in caller-hostile fragments whose
+/// sizes cycle through `pattern` (0 entries are skipped — a `Read`
+/// returning 0 means EOF, which we only signal at true exhaustion).
+struct Fragmenter {
+    inner: Cursor<Vec<u8>>,
+    pattern: Vec<usize>,
+    at: usize,
+}
+
+impl Fragmenter {
+    fn new(bytes: Vec<u8>, pattern: Vec<usize>) -> Self {
+        Fragmenter {
+            inner: Cursor::new(bytes),
+            pattern,
+            at: 0,
+        }
+    }
+}
+
+impl Read for Fragmenter {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let step = self.pattern[self.at % self.pattern.len()].max(1);
+        self.at += 1;
+        let n = buf.len().min(step);
+        self.inner.read(&mut buf[..n])
+    }
+}
+
+/// Counts the largest single buffer `read_exact` ever asked for: an
+/// upper bound on the memory the reader commits per step.
+struct MaxAsk<R> {
+    inner: R,
+    max_ask: usize,
+}
+
+impl<R: Read> Read for MaxAsk<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.max_ask = self.max_ask.max(buf.len());
+        self.inner.read(buf)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: the reader classifies it (a frame, clean
+    /// EOF, or an error) without panicking or looping.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut cur = Cursor::new(bytes);
+        // Drain the stream: every iteration either consumes a frame,
+        // hits clean EOF, or errors out — all acceptable.
+        loop {
+            match read_frame(&mut cur) {
+                Ok(Some(payload)) => prop_assert!(payload.len() <= MAX_FRAME_LEN),
+                Ok(None) => break,
+                Err(FrameError::TooLarge(n)) => {
+                    prop_assert!(n > MAX_FRAME_LEN);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// A length prefix that promises more than the stream delivers is a
+    /// prompt `UnexpectedEof` (or `TooLarge` above the cap) — and the
+    /// reader never asks the transport for more than its chunk size, so
+    /// the lie costs bounded memory.
+    #[test]
+    fn lying_lengths_cost_bounded_memory(
+        announced in 0u32..=u32::MAX,
+        delivered in 0usize..256,
+    ) {
+        let mut bytes = announced.to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0x5A, delivered));
+        let mut r = MaxAsk { inner: Cursor::new(bytes), max_ask: 0 };
+        let res = read_frame(&mut r);
+        let announced = announced as usize;
+        if announced > MAX_FRAME_LEN {
+            prop_assert!(matches!(res, Err(FrameError::TooLarge(n)) if n == announced));
+        } else if delivered < announced {
+            prop_assert!(matches!(res, Err(FrameError::UnexpectedEof)));
+        } else {
+            let payload = res.unwrap().expect("fully delivered frame");
+            prop_assert_eq!(payload.len(), announced);
+        }
+        // 16 KiB chunk + slack: never the 4 GiB-ish announced length.
+        prop_assert!(r.max_ask <= 16 * 1024, "asked for {} bytes", r.max_ask);
+    }
+
+    /// Roundtrip under pathological fragmentation: any payload written
+    /// whole is reassembled identically from arbitrary-sized reads.
+    #[test]
+    fn fragmented_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        pattern in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Fragmenter::new(buf, pattern);
+        prop_assert_eq!(read_frame(&mut r).unwrap().expect("one frame"), payload);
+        prop_assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    /// Chopping a framed stream anywhere strictly inside the frame is
+    /// always `UnexpectedEof`, never a short payload that "parses".
+    #[test]
+    fn any_truncation_is_unexpected_eof(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut_sel in any::<usize>(),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let keep = cut_sel % (buf.len() - 1) + 1; // 1..=len-1: mid-frame
+        let mut cur = Cursor::new(&buf[..keep]);
+        prop_assert!(matches!(read_frame(&mut cur), Err(FrameError::UnexpectedEof)));
+    }
+}

@@ -107,11 +107,11 @@ fn jar(sel: u64) -> CookieJar {
     jar
 }
 
-/// Deterministically builds one of the 23 [`ProtoMsg`] variants from
+/// Deterministically builds one of the 25 [`ProtoMsg`] variants from
 /// sampled primitives (the vendored proptest has no `prop_oneof`, so
 /// variant choice rides on `sel`).
 fn build(sel: u64, n: u64, text: &str, amount: f64) -> ProtoMsg {
-    match sel % 23 {
+    match sel % 25 {
         0 => ProtoMsg::StartCheck {
             domain: format!("shop-{}.example", n % 5),
             product: ProductId(n as u32 % 40),
@@ -205,13 +205,18 @@ fn build(sel: u64, n: u64, text: &str, amount: f64) -> ProtoMsg {
             index: n as usize % 8,
             removed: n.is_multiple_of(2),
         },
+        20 => ProtoMsg::MisbehaviorReport {
+            peer: n,
+            score: sel as u32 % 64,
+        },
+        21 => ProtoMsg::QuarantineNotice { peer: n },
         // The reliable envelope nests an arbitrary inner variant — pick
         // it from the plain (non-recursive) range to bound the depth.
-        20 => ProtoMsg::Reliable {
+        22 => ProtoMsg::Reliable {
             seq: n,
-            inner: Box::new(build(n % 20, sel, text, amount)),
+            inner: Box::new(build(n % 22, sel, text, amount)),
         },
-        21 => ProtoMsg::Ack { seq: n },
+        23 => ProtoMsg::Ack { seq: n },
         _ => ProtoMsg::Shutdown,
     }
 }
