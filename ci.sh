@@ -54,6 +54,42 @@ if cargo run --release -q -p sheriff-lint -- crates/lint/fixtures/taint_bad >/de
 fi
 echo "known-bad fixture correctly rejected"
 
+# Baseline-regression gate: the per-rule finding counts are pinned in
+# ci/lint-baseline.json (committed). Any divergence — a new finding, a
+# rule silently dropped from the report, a schema drift — fails the
+# stage. Raising the baseline is a reviewed policy change, exactly like
+# widening a scope table in crates/lint/src/config.rs.
+stage "sheriff-lint baseline"
+grep '"counts_by_rule"' target/lint-report.json > target/lint-counts.json
+if ! diff -u ci/lint-baseline.json target/lint-counts.json; then
+    echo "lint finding counts diverge from ci/lint-baseline.json" >&2
+    echo "(fix the findings, or update the baseline in the same reviewed change)" >&2
+    exit 1
+fi
+echo "finding counts match the committed baseline"
+
+# Bounded model checker: exhaustively explore the sans-IO protocol
+# worlds (delivery orderings, duplications, drops, timer firings, node
+# crash/restarts) to the CI-pinned depths. Exit 1 means a non-waived
+# invariant violation with a minimized, replayable counterexample in
+# the report. See DESIGN.md "Model checking the protocol layer" and
+# crates/model.
+stage "sheriff-model"
+cargo run --release -q -p sheriff-model -- --json target/model-report.json
+echo "model report archived at target/model-report.json"
+
+# Negative control: the explorer must still be able to fail. A seeded
+# mutation that suppresses the reliable channel's Retransmit release
+# arm must be discovered; a clean run over the mutated world means the
+# checker itself is broken.
+stage "sheriff-model negative control"
+if cargo run --release -q -p sheriff-model -- \
+    --world small --depth 7 --mutate drop-retransmit-arm >/dev/null 2>&1; then
+    echo "mutated world passed the model checker — explorer is broken" >&2
+    exit 1
+fi
+echo "seeded mutation correctly rejected"
+
 stage "tier-1 build"
 cargo build --workspace --all-targets
 

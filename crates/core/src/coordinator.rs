@@ -521,6 +521,28 @@ impl Coordinator {
         self.servers.iter().map(|s| s.pending_jobs).collect()
     }
 
+    /// Folds the bookkeeping core's logical state into `d` for
+    /// model-checker state canonicalization. Heartbeat stamps are
+    /// absolute time and excluded; online/offline flags (their derived
+    /// effect) are folded instead.
+    pub fn state_digest(&self, d: &mut crate::protocol::Digest) {
+        d.write_u64(self.next_job);
+        d.write_u64(self.servers.len() as u64);
+        for s in &self.servers {
+            d.write_bool(s.online);
+            d.write_u64(u64::from(s.pending_jobs));
+        }
+        for (job, server) in self.jobs.ordered() {
+            d.write_u64(job.0);
+            d.write_u64(server as u64);
+        }
+        d.write_u64(self.peers.len() as u64);
+        for (id, p) in &self.peers {
+            d.write_u64(id.0);
+            d.write_bool(p.online);
+        }
+    }
+
     /// §10.3 recovery: takes back every job charged to an offline server
     /// so the caller can re-admit it elsewhere. Only acts when at least
     /// one *online* server exists — a job on the sole (offline) server is

@@ -9,6 +9,7 @@ use rand::Rng;
 
 use crate::coordinator::{Coordinator, JobId, PeerId};
 use crate::doppelganger::DoppelgangerStore;
+use crate::protocol::digest::Digest;
 use crate::protocol::{
     defense_key, Address, DefenseAction, DefenseBook, DefenseParams, Output, ProtoMsg, TimerKind,
     IPC_KEY_BASE,
@@ -188,6 +189,46 @@ impl CoordinatorProto {
             delay_ms: self.sweep_every_ms,
             kind: TimerKind::CoordSweep,
         });
+    }
+
+    /// The driver's reliable channel gave up retransmitting one of this
+    /// machine's sends. A `PpcList` or `CoordAssign` that can never be
+    /// delivered means the admitted job can never be worked: release
+    /// the origin and the server's pending-job charge so neither leaks
+    /// (the initiator's own deadline abandons its side independently).
+    /// Without this hook a partitioned Measurement server pinned its
+    /// origin entries forever — the coordinator-side twin of the peer
+    /// `own_pending` leak fixed in PR 5.
+    pub fn on_send_abandoned(&mut self, msg: &ProtoMsg) {
+        let job = match msg {
+            ProtoMsg::PpcList { job, .. } | ProtoMsg::CoordAssign { job, .. } => *job,
+            _ => return,
+        };
+        self.coordinator.job_complete(job);
+        self.origins.remove(&job);
+    }
+
+    /// Live (admitted, unfinished) job origins — the model checker's
+    /// quiescence invariant requires this table to drain once no events
+    /// remain.
+    pub fn open_origins(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Folds the machine's logical state into `d` for model-checker
+    /// state canonicalization (doppelganger training state is excluded
+    /// — model worlds never train doppelgangers).
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(self.origins.len() as u64);
+        for (job, origin) in &self.origins {
+            d.write_u64(job.0);
+            d.write_str(&origin.url);
+            d.write_u64(origin.peer.0);
+            d.write_u64(origin.local_tag);
+            d.write_str(&format!("{:?}", origin.initiator));
+        }
+        self.coordinator.state_digest(d);
+        self.defense.state_digest(d);
     }
 
     /// Feeds one delivered message; commands come back through `out`.

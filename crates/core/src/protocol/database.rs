@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
 use crate::durability::{self, MemStorage, Storage, WalRecord};
+use crate::protocol::digest::Digest;
 use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
 
 /// Snapshot cadence when none is configured: fold the log every this
@@ -270,6 +271,37 @@ impl DbProto {
     /// Jobs with a durable (or at least appended) record.
     pub fn stored_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
         self.stored_jobs.iter().copied()
+    }
+
+    /// Jobs accepted but not yet acked — each pins a [`TimerKind::DbDone`]
+    /// obligation. The model checker's quiescence invariant requires
+    /// this to drain once no events remain.
+    pub fn pending_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// Folds the machine's logical state into `d` for model-checker
+    /// state canonicalization. The WAL-record timestamps (`meta`, and
+    /// the stamps embedded in the durable byte images) carry absolute
+    /// time, so durable contents are folded as the *job-id set* plus
+    /// table length — behaviorally complete for the checker because
+    /// dedup and recovery consult exactly `stored_jobs` and the record
+    /// count, never the stamps.
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(u64::from(self.active));
+        d.write_u64(self.pending.len() as u64);
+        for (job, requester) in &self.pending {
+            d.write_u64(job.0);
+            d.write_str(&format!("{requester:?}"));
+        }
+        d.write_u64(self.stored_jobs.len() as u64);
+        for job in &self.stored_jobs {
+            d.write_u64(job.0);
+        }
+        d.write_u64(self.since_snapshot as u64);
+        d.write_u64(self.database.len() as u64);
+        d.write_bool(self.snapshot_bytes().is_empty());
+        d.write_u64(self.wal_bytes().len() as u64);
     }
 }
 

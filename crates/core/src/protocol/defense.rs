@@ -38,6 +38,7 @@ use std::sync::Arc;
 
 use sheriff_telemetry::{Counter, Registry};
 
+use crate::protocol::digest::Digest;
 use crate::protocol::Address;
 
 /// Defense-book keys for IPC senders live above this base so they can
@@ -335,6 +336,34 @@ impl DefenseBook {
     /// The peer's accumulated misbehavior score.
     pub fn score(&self, peer: u64) -> u32 {
         self.records.get(&peer).map_or(0, |r| r.score)
+    }
+
+    /// Every tracked peer's `(key, standing)`, in key order — the model
+    /// checker's ladder-monotonicity invariant compares these snapshots
+    /// across transitions.
+    pub fn standings(&self) -> Vec<(u64, Standing)> {
+        self.records
+            .iter()
+            .map(|(key, record)| (*key, record.standing))
+            .collect()
+    }
+
+    /// Folds the book's logical state into `d` for model-checker state
+    /// canonicalization. The book never sees a clock, so everything it
+    /// holds is already time-translation invariant.
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(self.records.len() as u64);
+        for (peer, record) in &self.records {
+            d.write_u64(*peer);
+            d.write_u64(u64::from(record.score));
+            d.write_str(&format!("{:?}", record.standing));
+            d.write_u64(record.admitted);
+            d.write_u64(record.job_replies.len() as u64);
+            for (job, replies) in &record.job_replies {
+                d.write_u64(*job);
+                d.write_u64(u64::from(*replies));
+            }
+        }
     }
 
     fn add_score(&mut self, peer: u64, points: u32) -> DefenseAction {

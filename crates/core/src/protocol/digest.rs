@@ -1,0 +1,113 @@
+//! Canonical FNV-1a state hashing for bounded model checking.
+//!
+//! `sheriff-model` explores the protocol state space by depth-first
+//! search over event interleavings, pruning any state it has already
+//! visited. "Already visited" is decided by a canonical digest: each
+//! sans-IO machine folds its *logical* state into a [`Digest`], and the
+//! checker combines those with the in-flight message set and the armed
+//! timer sequence. Two rules keep the digest canonical:
+//!
+//! - **No absolute time.** Machine behavior depends on virtual time
+//!   only through timer *order* (and day boundaries, which bounded
+//!   worlds never cross), so fields holding absolute timestamps —
+//!   fan-out instants, CPU-free marks, timer due times — are excluded.
+//!   States that differ only by a clock translation collapse into one.
+//! - **Deterministic iteration.** Every collection folded here is a
+//!   `BTreeMap`/`BTreeSet` (a repo-wide convention), so byte order is a
+//!   pure function of content, never of insertion history.
+//!
+//! The hash is FNV-1a over a length-delimited byte stream. It is a
+//! search-pruning fingerprint, not a cryptographic commitment; a
+//! collision costs completeness of the *search*, never soundness of a
+//! reported counterexample (traces are replayed before being reported).
+
+/// Streaming 64-bit FNV-1a hasher over a length-delimited encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct Digest {
+    hash: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Digest {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Digest {
+        Digest { hash: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes (caller is responsible for length-delimiting
+    /// variable-width runs; the typed writers below do it for you).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one `u64` (little-endian, fixed width).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a boolean as a full word.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Folds a string, length-delimited so `("ab","c")` and `("a","bc")`
+    /// digest differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Digest;
+
+    #[test]
+    fn digest_is_order_sensitive_and_length_delimited() {
+        let mut a = Digest::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Digest::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        let mut d = Digest::new();
+        d.write_u64(2);
+        d.write_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let run = || {
+            let mut d = Digest::new();
+            d.write_str("sheriff");
+            d.write_u64(42);
+            d.write_bool(true);
+            d.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

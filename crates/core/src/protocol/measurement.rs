@@ -11,6 +11,7 @@ use sheriff_market::ProductId;
 use crate::coordinator::JobId;
 use crate::db::{Database, DbCostModel};
 use crate::measurement::{process_response, JobPageStore, VantageMeta};
+use crate::protocol::digest::Digest;
 use crate::protocol::{
     day_of_ms, defense_key, Address, DefenseAction, DefenseBook, DefenseParams, Output, ProtoMsg,
     TimerKind,
@@ -594,6 +595,88 @@ impl MeasurementProto {
                 server_index: self.index,
             },
         ));
+    }
+
+    /// The driver's reliable channel gave up retransmitting one of this
+    /// machine's sends. Only a `StoreCheck` pins job state here: the
+    /// `DbAck` that would have finished the job can now never arrive,
+    /// so the job is finished locally (results still stream to the
+    /// initiator — the observations exist; only durable storage was
+    /// lost, which the next day's check re-measures anyway). Any other
+    /// abandoned payload pins nothing.
+    pub fn on_send_abandoned(
+        &mut self,
+        now_ms: u64,
+        msg: &ProtoMsg,
+        out: &mut Vec<Output>,
+        events: &mut Vec<MeasEvent>,
+    ) {
+        if let ProtoMsg::StoreCheck { job, .. } = msg {
+            self.finish_job(now_ms, *job, out, events);
+        }
+    }
+
+    /// Open (unfinished) jobs — the model checker's quiescence invariant
+    /// requires this table to drain once no events remain.
+    pub fn open_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when any job folded in two observations from the same
+    /// `(kind, id)` vantage — the duplicate-observation invariant the
+    /// `seen_vantages` dedup exists to uphold.
+    pub fn has_duplicate_vantage(&self) -> bool {
+        self.jobs.values().any(|s| {
+            let mut seen = BTreeSet::new();
+            s.observations
+                .iter()
+                .any(|o| !seen.insert((o.vantage, o.vantage_id)))
+        })
+    }
+
+    /// Folds the machine's logical state into `d` for model-checker
+    /// state canonicalization. Absolute-time fields (`fanout_at_ms`,
+    /// `cpu_free_at_ms`, per-record stamps) are excluded: behavior
+    /// depends on them only through timer order, which the checker
+    /// digests separately as a relative sequence.
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(self.jobs.len() as u64);
+        for (job, s) in &self.jobs {
+            d.write_u64(job.0);
+            d.write_str(&s.domain);
+            d.write_str(&format!("{:?}", s.product));
+            d.write_str(&format!("{:?}", s.initiator));
+            d.write_u64(s.received as u64);
+            d.write_u64(s.expected as u64);
+            d.write_u64(u64::from(s.day));
+            d.write_bool(s.fanned_out);
+            d.write_bool(s.assembled);
+            d.write_bool(s.submit.is_some());
+            d.write_u64(s.observations.len() as u64);
+            for o in &s.observations {
+                d.write_str(&format!(
+                    "{:?}/{}/{}",
+                    o.vantage, o.vantage_id, o.amount_eur
+                ));
+            }
+            d.write_u64(s.seen_vantages.len() as u64);
+            for (kind, id) in &s.seen_vantages {
+                d.write_str(&format!("{kind:?}"));
+                d.write_u64(*id);
+            }
+            match &s.ppcs {
+                None => d.write_bool(false),
+                Some(ppcs) => {
+                    d.write_bool(true);
+                    d.write_u64(ppcs.len() as u64);
+                    for p in ppcs {
+                        d.write_str(&format!("{p:?}"));
+                    }
+                }
+            }
+        }
+        d.write_u64(self.database.len() as u64);
+        self.defense.state_digest(d);
     }
 }
 

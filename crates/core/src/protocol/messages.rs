@@ -15,7 +15,7 @@ use sheriff_market::{CookieJar, ProductId};
 use crate::coordinator::{JobId, PeerId};
 use crate::doppelganger::DoppelgangerId;
 use crate::measurement::VantageMeta;
-use crate::protocol::Address;
+use crate::protocol::{Address, Digest};
 use crate::records::{PriceCheck, PriceObservation};
 
 /// Every message of the §3.2 price-check protocol, plus the deployment
@@ -210,4 +210,245 @@ pub enum ProtoMsg {
     },
     /// Deployment control: stop the receiving node's event loop.
     Shutdown,
+}
+
+impl ProtoMsg {
+    /// Folds the message's logical content into a model-checker state
+    /// digest: a discriminant tag followed by every field,
+    /// length-delimited (see [`crate::protocol::Digest`]).
+    ///
+    /// Structural rather than `Debug`-formatted on purpose — the model
+    /// checker fingerprints every in-flight envelope on every explored
+    /// transition, and formatting full messages dominated its profile.
+    #[allow(clippy::too_many_lines)] // one arm per variant, all trivial
+    pub fn fold_digest(&self, d: &mut Digest) {
+        match self {
+            ProtoMsg::StartCheck {
+                domain,
+                product,
+                local_tag,
+            } => {
+                d.write_u64(0);
+                d.write_str(domain);
+                d.write_u64(u64::from(product.0));
+                d.write_u64(*local_tag);
+            }
+            ProtoMsg::CoordRequest {
+                url,
+                peer,
+                local_tag,
+            } => {
+                d.write_u64(1);
+                d.write_str(url);
+                d.write_u64(peer.0);
+                d.write_u64(*local_tag);
+            }
+            ProtoMsg::CoordAssign {
+                job,
+                server,
+                local_tag,
+            } => {
+                d.write_u64(2);
+                d.write_u64(job.0);
+                server.fold_digest(d);
+                d.write_u64(*local_tag);
+            }
+            ProtoMsg::CoordReject { local_tag, reason } => {
+                d.write_u64(3);
+                d.write_u64(*local_tag);
+                d.write_str(reason);
+            }
+            ProtoMsg::PpcList { job, ppcs } => {
+                d.write_u64(4);
+                d.write_u64(job.0);
+                d.write_u64(ppcs.len() as u64);
+                for p in ppcs {
+                    p.fold_digest(d);
+                }
+            }
+            ProtoMsg::JobSubmit {
+                job,
+                domain,
+                product,
+                tags_path,
+                initiator_html,
+                initiator_obs,
+            } => {
+                d.write_u64(5);
+                d.write_u64(job.0);
+                d.write_str(domain);
+                d.write_u64(u64::from(product.0));
+                fold_tags_path(tags_path, d);
+                d.write_str(initiator_html);
+                fold_observation(initiator_obs, d);
+            }
+            ProtoMsg::FetchOrder {
+                job,
+                domain,
+                product,
+                seq,
+            } => {
+                d.write_u64(6);
+                d.write_u64(job.0);
+                d.write_str(domain);
+                d.write_u64(u64::from(product.0));
+                d.write_u64(*seq);
+            }
+            ProtoMsg::FetchReply { job, meta, html } => {
+                d.write_u64(7);
+                d.write_u64(job.0);
+                fold_vantage_meta(meta, d);
+                d.write_str(html);
+            }
+            ProtoMsg::DoppIdRequest { job, peer } => {
+                d.write_u64(8);
+                d.write_u64(job.0);
+                d.write_u64(*peer);
+            }
+            ProtoMsg::DoppIdReply { job, token } => {
+                d.write_u64(9);
+                d.write_u64(job.0);
+                d.write_bool(token.is_some());
+                if let Some(t) = token {
+                    d.write_bytes(&t.0);
+                }
+            }
+            ProtoMsg::DoppStateRequest { job, token, domain } => {
+                d.write_u64(10);
+                d.write_u64(job.0);
+                d.write_bytes(&token.0);
+                d.write_str(domain);
+            }
+            ProtoMsg::DoppStateReply { job, state } => {
+                d.write_u64(11);
+                d.write_u64(job.0);
+                d.write_bool(state.is_some());
+                if let Some(jar) = state {
+                    // CookieJar keeps its store private and iterates
+                    // deterministically (BTreeMap), so its Debug
+                    // rendering is a stable, if slower, encoding. The
+                    // variant never rides the checker's hot paths.
+                    d.write_str(&format!("{jar:?}"));
+                }
+            }
+            ProtoMsg::TokenRotated { old, new } => {
+                d.write_u64(12);
+                d.write_bytes(&old.0);
+                d.write_bytes(&new.0);
+            }
+            ProtoMsg::StoreCheck { job, check } => {
+                d.write_u64(13);
+                d.write_u64(job.0);
+                fold_check(check, d);
+            }
+            ProtoMsg::DbAck { job } => {
+                d.write_u64(14);
+                d.write_u64(job.0);
+            }
+            ProtoMsg::JobComplete { job } => {
+                d.write_u64(15);
+                d.write_u64(job.0);
+            }
+            ProtoMsg::Results { job, check } => {
+                d.write_u64(16);
+                d.write_u64(job.0);
+                fold_check(check, d);
+            }
+            ProtoMsg::Heartbeat { server_index } => {
+                d.write_u64(17);
+                d.write_u64(*server_index as u64);
+            }
+            ProtoMsg::RemoveServer { index } => {
+                d.write_u64(18);
+                d.write_u64(*index as u64);
+            }
+            ProtoMsg::ServerRemoved { index, removed } => {
+                d.write_u64(19);
+                d.write_u64(*index as u64);
+                d.write_bool(*removed);
+            }
+            ProtoMsg::MisbehaviorReport { peer, score } => {
+                d.write_u64(20);
+                d.write_u64(*peer);
+                d.write_u64(u64::from(*score));
+            }
+            ProtoMsg::QuarantineNotice { peer } => {
+                d.write_u64(21);
+                d.write_u64(*peer);
+            }
+            ProtoMsg::Reliable { seq, inner } => {
+                d.write_u64(22);
+                d.write_u64(*seq);
+                inner.fold_digest(d);
+            }
+            ProtoMsg::Ack { seq } => {
+                d.write_u64(23);
+                d.write_u64(*seq);
+            }
+            ProtoMsg::Shutdown => d.write_u64(24),
+        }
+    }
+}
+
+fn fold_tags_path(path: &TagsPath, d: &mut Digest) {
+    d.write_u64(path.steps.len() as u64);
+    for step in &path.steps {
+        d.write_str(&step.name);
+        d.write_bool(step.class.is_some());
+        if let Some(c) = &step.class {
+            d.write_str(c);
+        }
+        d.write_bool(step.id_attr.is_some());
+        if let Some(i) = &step.id_attr {
+            d.write_str(i);
+        }
+        d.write_u64(step.nth_of_name as u64);
+    }
+}
+
+fn fold_vantage_meta(meta: &VantageMeta, d: &mut Digest) {
+    d.write_u64(match meta.kind {
+        crate::records::VantageKind::Initiator => 0,
+        crate::records::VantageKind::Ipc => 1,
+        crate::records::VantageKind::Ppc => 2,
+    });
+    d.write_u64(meta.id);
+    d.write_u64(meta.country.index() as u64);
+    d.write_bool(meta.city.is_some());
+    if let Some(c) = &meta.city {
+        d.write_str(c);
+    }
+    d.write_u64(u64::from(meta.ip.0));
+}
+
+fn fold_observation(obs: &PriceObservation, d: &mut Digest) {
+    d.write_u64(match obs.vantage {
+        crate::records::VantageKind::Initiator => 0,
+        crate::records::VantageKind::Ipc => 1,
+        crate::records::VantageKind::Ppc => 2,
+    });
+    d.write_u64(obs.vantage_id);
+    d.write_u64(obs.country.index() as u64);
+    d.write_bool(obs.city.is_some());
+    if let Some(c) = &obs.city {
+        d.write_str(c);
+    }
+    d.write_u64(u64::from(obs.ip.0));
+    d.write_str(&obs.raw_text);
+    d.write_str(&obs.currency);
+    d.write_u64(obs.amount.to_bits());
+    d.write_u64(obs.amount_eur.to_bits());
+    d.write_bool(obs.low_confidence);
+    d.write_bool(obs.failed);
+}
+
+fn fold_check(check: &PriceCheck, d: &mut Digest) {
+    d.write_u64(check.job_id);
+    d.write_str(&check.domain);
+    d.write_str(&check.url);
+    d.write_u64(u64::from(check.day));
+    d.write_u64(check.observations.len() as u64);
+    for obs in &check.observations {
+        fold_observation(obs, d);
+    }
 }

@@ -29,6 +29,7 @@ mod aggregator;
 mod coordinator;
 mod database;
 pub mod defense;
+pub mod digest;
 mod ipc;
 mod measurement;
 pub mod messages;
@@ -41,6 +42,7 @@ pub use database::{DbEvent, DbProto};
 pub use defense::{
     defense_key, DefenseAction, DefenseBook, DefenseParams, DefenseTotals, Standing, IPC_KEY_BASE,
 };
+pub use digest::Digest;
 pub use ipc::IpcProto;
 pub use measurement::{MeasEvent, MeasurementParams, MeasurementProto};
 pub use messages::ProtoMsg;
@@ -75,6 +77,30 @@ pub enum Address {
         /// Stable peer id.
         id: u64,
     },
+}
+
+impl Address {
+    /// Folds the address into a model-checker state digest as a
+    /// discriminant tag plus the scoping id (see [`digest::Digest`]).
+    pub fn fold_digest(self, d: &mut Digest) {
+        match self {
+            Address::Coordinator => d.write_u64(0),
+            Address::Aggregator => d.write_u64(1),
+            Address::Database => d.write_u64(2),
+            Address::Server { index } => {
+                d.write_u64(3);
+                d.write_u64(index as u64);
+            }
+            Address::Ipc { index } => {
+                d.write_u64(4);
+                d.write_u64(index as u64);
+            }
+            Address::Peer { id } => {
+                d.write_u64(5);
+                d.write_u64(id);
+            }
+        }
+    }
 }
 
 /// A timer a state machine asked its driver to arm.

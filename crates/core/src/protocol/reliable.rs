@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use sheriff_telemetry::{Counter, Registry};
 
+use crate::protocol::digest::Digest;
 use crate::protocol::{Address, Output, ProtoMsg, TimerKind};
 
 /// Tuning knobs for a [`Channel`].
@@ -139,6 +140,14 @@ impl Channel {
     /// Sequence numbers still awaiting acknowledgement.
     pub fn in_flight(&self) -> usize {
         self.unacked.len()
+    }
+
+    /// The unacknowledged sequence numbers themselves, in order. Each
+    /// one is a live retransmit obligation: the model checker's
+    /// timer-linearity invariant requires an armed
+    /// [`TimerKind::Retransmit`] covering every entry.
+    pub fn unacked_seqs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.unacked.keys().copied()
     }
 
     /// Post-processes a machine's outputs: eligible sends are wrapped in
@@ -269,6 +278,32 @@ impl Channel {
         self.unacked.clear();
         self.windows.clear();
         dropped
+    }
+
+    /// Folds the channel's logical state into `d` for model-checker
+    /// state canonicalization. Envelope payloads are folded via their
+    /// `Debug` rendering, which is stable (derived, field order fixed)
+    /// and total. No timing state lives here — backoff schedules are
+    /// a pure function of `(seq, attempt)` — so the digest is already
+    /// time-translation invariant.
+    pub fn state_digest(&self, d: &mut Digest) {
+        d.write_u64(self.next_seq);
+        d.write_u64(self.unacked.len() as u64);
+        for (seq, p) in &self.unacked {
+            d.write_u64(*seq);
+            p.to.fold_digest(d);
+            d.write_u64(u64::from(p.attempts));
+            p.envelope.fold_digest(d);
+        }
+        d.write_u64(self.windows.len() as u64);
+        for (addr, w) in &self.windows {
+            addr.fold_digest(d);
+            d.write_u64(w.max_seen);
+            d.write_u64(w.seen.len() as u64);
+            for s in &w.seen {
+                d.write_u64(*s);
+            }
+        }
     }
 
     /// True when `(from, seq)` is fresh; false for duplicates.

@@ -405,9 +405,11 @@ impl Node<ProtoMsg> for CoordinatorNode {
                 return;
             }
             Some(TimerKind::Retransmit(seq)) => {
-                // This machine keeps no per-send bookkeeping; the channel
-                // already counted the give-up.
-                let _ = self.chan.on_retransmit(seq, &mut out);
+                // A give-up means the admitted job can never be worked:
+                // let the machine release its origin/ledger bookkeeping.
+                if let Some((_, abandoned)) = self.chan.on_retransmit(seq, &mut out) {
+                    self.proto.on_send_abandoned(&abandoned);
+                }
             }
             Some(kind) => self
                 .proto
@@ -606,9 +608,12 @@ impl Node<ProtoMsg> for MeasurementNode {
                 return;
             }
             Some(TimerKind::Retransmit(seq)) => {
-                // This machine keeps no per-send bookkeeping; the channel
-                // already counted the give-up.
-                let _ = self.chan.on_retransmit(seq, &mut out);
+                // A give-up on a StoreCheck means the DbAck can never
+                // arrive: let the machine finish the job locally.
+                if let Some((_, abandoned)) = self.chan.on_retransmit(seq, &mut out) {
+                    self.proto
+                        .on_send_abandoned(now, &abandoned, &mut out, &mut events);
+                }
             }
             Some(kind) => self.proto.on_timer(now, kind, &mut out, &mut events),
         }

@@ -1,0 +1,51 @@
+//! Known-bad fixture for `obligation-leak` (SL105): a protocol machine
+//! that arms timers it never releases.
+//!
+//! Expected findings — exactly three, one per leaked variant, each at
+//! the variant's *first* arm site: `JobDeadline`, `Retransmit` (the
+//! driver-handled sanction names `reliable.rs`, not this file), and
+//! `Quarantine`. `Heartbeat` is armed too but released below, so it is
+//! clean — as is the second `JobDeadline` arm (one finding per
+//! variant, not per site).
+
+pub struct Widget {
+    jobs: u64,
+}
+
+impl Widget {
+    pub fn on_message(&mut self, job: u64, out: &mut Vec<Output>) {
+        out.push(Output::Timer {
+            delay_ms: 5,
+            kind: TimerKind::JobDeadline(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 7,
+            kind: TimerKind::JobDeadline(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 40,
+            kind: TimerKind::Retransmit(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 9,
+            kind: TimerKind::Quarantine(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 100,
+            kind: TimerKind::Heartbeat,
+        });
+        self.jobs += 1;
+    }
+
+    pub fn on_timer(&mut self, kind: TimerKind, out: &mut Vec<Output>) {
+        match kind {
+            TimerKind::Heartbeat => {
+                out.push(Output::Timer {
+                    delay_ms: 100,
+                    kind: TimerKind::Heartbeat,
+                });
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Acceptance twin for `obligation-leak` (SL105): every armed timer is
+//! released, one per recognized release form — a `match` arm, a
+//! `let … else` binding, and a `matches!` pattern operand.
+
+pub struct Widget {
+    jobs: u64,
+}
+
+impl Widget {
+    pub fn on_message(&mut self, job: u64, out: &mut Vec<Output>) {
+        out.push(Output::Timer {
+            delay_ms: 5,
+            kind: TimerKind::JobDeadline(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 11,
+            kind: TimerKind::DbDone(job),
+        });
+        out.push(Output::Timer {
+            delay_ms: 70,
+            kind: TimerKind::Parole(job),
+        });
+        self.jobs += 1;
+    }
+
+    pub fn on_timer(&mut self, kind: TimerKind, out: &mut Vec<Output>) {
+        if matches!(kind, TimerKind::Parole(_)) {
+            return;
+        }
+        if let TimerKind::JobDeadline(job) = kind {
+            self.give_up(job, out);
+        }
+        let TimerKind::DbDone(job) = kind else {
+            return;
+        };
+        self.jobs = job;
+    }
+
+    fn give_up(&mut self, job: u64, out: &mut Vec<Output>) {
+        out.push(Output::Send { job });
+    }
+}

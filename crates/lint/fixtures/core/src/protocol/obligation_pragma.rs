@@ -1,0 +1,24 @@
+//! Pragma-suppressed twin of `obligation_bad.rs`: the same leaked
+//! arms, silenced per line at each variant's first arm site.
+
+pub struct Widget {
+    jobs: u64,
+}
+
+impl Widget {
+    pub fn on_message(&mut self, job: u64, out: &mut Vec<Output>) {
+        out.push(Output::Timer {
+            delay_ms: 5,
+            kind: TimerKind::JobDeadline(job), // sheriff-lint: allow(obligation-leak) — fixture twin
+        });
+        out.push(Output::Timer {
+            delay_ms: 40,
+            kind: TimerKind::Retransmit(job), // sheriff-lint: allow(obligation-leak) — fixture twin
+        });
+        out.push(Output::Timer {
+            delay_ms: 9,
+            kind: TimerKind::Quarantine(job), // sheriff-lint: allow(obligation-leak) — fixture twin
+        });
+        self.jobs += 1;
+    }
+}

@@ -1,0 +1,45 @@
+//! Known-bad fixture for `timer-token-injectivity` (SL006): a
+//! token/from_token packing pair whose token space collides and whose
+//! inverse disagrees with the packer.
+//!
+//! Expected findings — exactly four:
+//!  * `B` reuses residue 1, already taken by `A`;
+//!  * bare token 2 of `C` aliases the residue class of `D`;
+//!  * `from_token` maps residue 1 to `B` where `A` packed it;
+//!  * `from_token` never maps `D`'s residue 2 back.
+
+pub struct Scope(pub u64);
+
+pub enum FixtureTimer {
+    A(Scope),
+    B(u64),
+    C,
+    D(u64),
+}
+
+const T_A: u64 = 1;
+const T_B: u64 = 1;
+const T_C: u64 = 2;
+const T_D: u64 = 2;
+
+impl FixtureTimer {
+    pub fn token(self) -> u64 {
+        match self {
+            FixtureTimer::A(s) => s.0 * 8 + T_A,
+            FixtureTimer::B(s) => s * 8 + T_B,
+            FixtureTimer::C => T_C,
+            FixtureTimer::D(s) => s * 8 + T_D,
+        }
+    }
+
+    pub fn from_token(token: u64) -> Option<FixtureTimer> {
+        if token == T_C {
+            return Some(FixtureTimer::C);
+        }
+        let scope = token / 8;
+        match token % 8 {
+            T_A => Some(FixtureTimer::B(scope)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Acceptance twin for `timer-token-injectivity` (SL006): a minimal
+//! packing pair that is collision-free and self-inverse — one scaled
+//! class, one bare token in a free residue class, matching modulus,
+//! every value mapped back to the variant that packed it.
+
+pub enum OkTimer {
+    A(u64),
+    B,
+}
+
+const T_A: u64 = 0;
+const T_B: u64 = 1;
+
+impl OkTimer {
+    pub fn token(self) -> u64 {
+        match self {
+            OkTimer::A(s) => s * 4 + T_A,
+            OkTimer::B => T_B,
+        }
+    }
+
+    pub fn from_token(token: u64) -> Option<OkTimer> {
+        if token == T_B {
+            return Some(OkTimer::B);
+        }
+        let scope = token / 4;
+        match token % 4 {
+            T_A => Some(OkTimer::A(scope)),
+            _ => None,
+        }
+    }
+}

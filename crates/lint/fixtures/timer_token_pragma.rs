@@ -1,0 +1,40 @@
+//! Pragma-suppressed twin of `timer_token_bad.rs`: identical packing
+//! defects, silenced with per-item pragmas on both halves of the pair.
+
+pub struct Scope(pub u64);
+
+pub enum FixtureTimer {
+    A(Scope),
+    B(u64),
+    C,
+    D(u64),
+}
+
+const T_A: u64 = 1;
+const T_B: u64 = 1;
+const T_C: u64 = 2;
+const T_D: u64 = 2;
+
+impl FixtureTimer {
+    // sheriff-lint: allow-item(timer-token-injectivity) — fixture twin
+    pub fn token(self) -> u64 {
+        match self {
+            FixtureTimer::A(s) => s.0 * 8 + T_A,
+            FixtureTimer::B(s) => s * 8 + T_B,
+            FixtureTimer::C => T_C,
+            FixtureTimer::D(s) => s * 8 + T_D,
+        }
+    }
+
+    // sheriff-lint: allow-item(timer-token-injectivity) — fixture twin
+    pub fn from_token(token: u64) -> Option<FixtureTimer> {
+        if token == T_C {
+            return Some(FixtureTimer::C);
+        }
+        let scope = token / 8;
+        match token % 8 {
+            T_A => Some(FixtureTimer::B(scope)),
+            _ => None,
+        }
+    }
+}

@@ -94,6 +94,7 @@ pub const CRATE_LAYERS: &[(&str, u32)] = &[
     ("netsim", 1),
     ("kmeans", 2),
     ("core", 3),
+    ("model", 4),
     ("wire", 4),
     ("experiments", 5),
     ("bench", 6),
@@ -285,6 +286,36 @@ pub const ROUTING_TABLE: &[(&str, &[&str])] = &[
     // Driver control plane: both backends' event loops exit on it.
     ("Shutdown", &[]),
 ];
+
+// ---------------------------------------------------------------------
+// Timer obligation / token packing passes (crate::timers)
+// ---------------------------------------------------------------------
+
+/// Functions that count as *release* sites for an armed timer: a
+/// `TimerKind::Variant` pattern inside one of these (in the same
+/// machine file) discharges the obligation the arm created. `on_timer`
+/// is the canonical release handler; `on_retransmit` exists because the
+/// reliable channel's drivers unpack the token themselves and forward
+/// only the sequence number.
+pub const TIMER_RELEASE_FNS: &[&str] = &["on_timer", "on_retransmit"];
+
+/// Per-file sanctions for timer variants the *drivers* release. The
+/// reliable channel arms `TimerKind::Retransmit(seq)` but never matches
+/// the variant itself: both backends' node shims match the token and
+/// call `Channel::on_retransmit(seq, …)` with the unpacked sequence —
+/// the give-up policy lives in the channel, the pattern lives in the
+/// driver. Every entry here must name its driver-side match site; an
+/// unmatched arm anywhere else is an SL105 finding.
+pub const TIMER_DRIVER_HANDLED: &[(&str, &str)] =
+    &[("core/src/protocol/reliable.rs", "Retransmit")];
+
+/// True when `path`'s machine file sanctions arming `variant` without a
+/// local release pattern (the drivers release it instead).
+pub fn timer_driver_handled(path: &str, variant: &str) -> bool {
+    TIMER_DRIVER_HANDLED
+        .iter()
+        .any(|(p, v)| path.contains(p) && *v == variant)
+}
 
 // ---------------------------------------------------------------------
 // Transitive panic-freedom pass (crate::reach)

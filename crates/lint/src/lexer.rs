@@ -36,7 +36,9 @@ pub enum TokKind {
 pub struct Tok {
     /// Classification.
     pub kind: TokKind,
-    /// Payload for `Ident`/`Str`/`LineComment`/`Punct`; empty otherwise.
+    /// Payload for `Ident`/`Str`/`Num`/`LineComment`/`Punct` (numeric
+    /// literals keep their source spelling, underscores and suffixes
+    /// included); empty otherwise.
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
@@ -189,7 +191,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 }
                 toks.push(Tok {
                     kind: TokKind::Num,
-                    text: String::new(),
+                    text: b[i..j].iter().collect(),
                     line: at_line,
                 });
                 i = j;

@@ -19,9 +19,12 @@
 //! * **Per-file token rules** ([`rules`]) — the original five, run over
 //!   each file's token stream in isolation.
 //! * **Flow-aware passes** — an item parser ([`parser`]) and a
-//!   workspace call graph ([`graph`]) feed three cross-file rules:
+//!   workspace call graph ([`graph`]) feed five cross-file rules:
 //!   privacy taint ([`taint`]), the protocol routing matrix
-//!   ([`routing`]), and transitive panic-freedom ([`reach`]).
+//!   ([`routing`]), transitive panic-freedom ([`reach`]), and the
+//!   timer-obligation pair ([`timers`]): token-packing injectivity and
+//!   armed-without-release leaks — the static shadow of the model
+//!   checker's `timer.obligation_leak` invariant (`crates/model`).
 //!
 //! Every file is lexed exactly once; the same token stream feeds the
 //! per-file rules, the `#[cfg(test)]` region marks, and the parser.
@@ -50,6 +53,7 @@ pub mod reach;
 pub mod routing;
 pub mod rules;
 pub mod taint;
+pub mod timers;
 
 use std::fs;
 use std::io;
@@ -88,6 +92,7 @@ pub fn analyze(root: &Path) -> io::Result<Report> {
     cross.extend(taint::check(&call_graph));
     cross.extend(routing::check(&files));
     cross.extend(reach::check(&files, &call_graph));
+    cross.extend(timers::check(&files));
     suppress_cross(&files, &mut cross);
     findings.extend(cross);
 
@@ -211,7 +216,7 @@ pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"sheriff-lint\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files));
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {

@@ -168,8 +168,10 @@ fn find_protomsg_enum(files: &[SourceFile]) -> Option<(String, u32, Vec<String>)
 
 /// Token index ranges covering the *pattern operand* of every
 /// `matches!(scrutinee, pattern)` invocation in `[start, end)`: from
-/// just after the first depth-1 comma to the closing paren.
-fn matches_macro_pattern_ranges(
+/// just after the first depth-1 comma to the closing paren. Shared with
+/// the timer-obligation pass ([`crate::timers`]), which classifies
+/// `TimerKind` occurrences with the same machinery.
+pub(crate) fn matches_macro_pattern_ranges(
     toks: &[Tok],
     start: usize,
     end: usize,
@@ -206,9 +208,10 @@ fn matches_macro_pattern_ranges(
     out
 }
 
-/// Classifies the context just after a `ProtoMsg::Variant` path (index
-/// `j` points past the variant name) as pattern or expression.
-fn is_pattern(toks: &[Tok], mut j: usize, end: usize) -> bool {
+/// Classifies the context just after an `Enum::Variant` path (index
+/// `j` points past the variant name) as pattern or expression. Shared
+/// with the timer-obligation pass ([`crate::timers`]).
+pub(crate) fn is_pattern(toks: &[Tok], mut j: usize, end: usize) -> bool {
     let end = end.min(toks.len());
     // Skip the variant's field group, if any.
     if toks

@@ -34,6 +34,11 @@ pub enum Rule {
     /// Counter/gauge/histogram names must follow `subsystem.snake_case`
     /// so panel and exporter joins never drift.
     TelemetryNaming,
+    /// `TimerKind::token`/`from_token` packing: scaled arms must share
+    /// one multiplier with pairwise-distinct residues, bare tokens must
+    /// not alias any scaled residue class, and the inverse must map
+    /// every residue back to the variant that produced it.
+    TimerTokenInjectivity,
     /// Cross-file: peer plaintext / doppelganger profile data reaching
     /// a wire, telemetry, or report sink without passing through a
     /// `crypto::elgamal`/`crypto::ipfe` encryption entry point.
@@ -44,18 +49,26 @@ pub enum Rule {
     /// Cross-file: a panic site in any crate reachable from the
     /// protocol entry points via the workspace call graph.
     TransitivePanic,
+    /// A protocol machine arms a `TimerKind` it never releases: no
+    /// pattern for the variant in any of the file's release handlers
+    /// and no driver-handled sanction in the config table — the static
+    /// shadow of the model checker's timer-obligation-linearity
+    /// invariant.
+    ObligationLeak,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::WallClock,
     Rule::AmbientEntropy,
     Rule::HashIter,
     Rule::NoPanicProtocol,
     Rule::TelemetryNaming,
+    Rule::TimerTokenInjectivity,
     Rule::PrivacyTaint,
     Rule::ProtoRouting,
     Rule::TransitivePanic,
+    Rule::ObligationLeak,
 ];
 
 impl Rule {
@@ -67,9 +80,11 @@ impl Rule {
             Rule::HashIter => "hash-iter",
             Rule::NoPanicProtocol => "no-panic-protocol",
             Rule::TelemetryNaming => "telemetry-naming",
+            Rule::TimerTokenInjectivity => "timer-token-injectivity",
             Rule::PrivacyTaint => "privacy-taint",
             Rule::ProtoRouting => "proto-routing",
             Rule::TransitivePanic => "transitive-panic",
+            Rule::ObligationLeak => "obligation-leak",
         }
     }
 
@@ -83,9 +98,11 @@ impl Rule {
             Rule::HashIter => "SL003",
             Rule::NoPanicProtocol => "SL004",
             Rule::TelemetryNaming => "SL005",
+            Rule::TimerTokenInjectivity => "SL006",
             Rule::PrivacyTaint => "SL101",
             Rule::ProtoRouting => "SL102",
             Rule::TransitivePanic => "SL103",
+            Rule::ObligationLeak => "SL105",
         }
     }
 
@@ -126,6 +143,12 @@ impl Rule {
             Rule::TransitivePanic => {
                 "panic site reachable from a protocol entry point, in any crate"
             }
+            Rule::TimerTokenInjectivity => {
+                "TimerKind token/from_token packing must be collision-free and self-inverse"
+            }
+            Rule::ObligationLeak => {
+                "timer armed without a release handler arm or driver-handled sanction"
+            }
         }
     }
 
@@ -138,7 +161,11 @@ impl Rule {
             Rule::AmbientEntropy | Rule::TelemetryNaming => true,
             Rule::HashIter => config::matches_any(path, config::HASH_ITER_SCOPE),
             Rule::NoPanicProtocol => config::matches_any(path, config::NO_PANIC_SCOPE),
-            Rule::PrivacyTaint | Rule::ProtoRouting | Rule::TransitivePanic => false,
+            Rule::PrivacyTaint
+            | Rule::ProtoRouting
+            | Rule::TransitivePanic
+            | Rule::TimerTokenInjectivity
+            | Rule::ObligationLeak => false,
         }
     }
 
@@ -214,8 +241,13 @@ pub fn check_tokens(norm: &str, toks: &[Tok], test_tok: &[bool]) -> Vec<Finding>
             Rule::NoPanicProtocol => no_panic(toks, &mut hits),
             Rule::TelemetryNaming => telemetry_naming(toks, &mut hits),
             // Cross-file rules run from crate::taint / crate::routing /
-            // crate::reach; applies_to already filtered them out.
-            Rule::PrivacyTaint | Rule::ProtoRouting | Rule::TransitivePanic => {}
+            // crate::reach / crate::timers; applies_to already filtered
+            // them out.
+            Rule::PrivacyTaint
+            | Rule::ProtoRouting
+            | Rule::TransitivePanic
+            | Rule::TimerTokenInjectivity
+            | Rule::ObligationLeak => {}
         }
         for (idx, msg) in hits {
             if test_tok[idx] && !rule.applies_in_tests() {

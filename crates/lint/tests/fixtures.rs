@@ -149,6 +149,74 @@ fn cross_pass_pragma_twins_all_pass() {
 }
 
 // ------------------------------------------------------------------
+// Timer passes (SL006/SL105): the static shadow of the model checker's
+// timer-obligation-linearity invariant.
+// ------------------------------------------------------------------
+
+#[test]
+fn timer_token_fixture_trips_only_injectivity() {
+    // Duplicate scaled residue, a bare token aliasing a scaled class,
+    // and the two inverse divergences those collisions force.
+    check_bad("timer_token_bad.rs", Rule::TimerTokenInjectivity, 4);
+}
+
+#[test]
+fn obligation_fixture_trips_only_obligation_leak() {
+    // Three leaked variants, one finding each at the first arm site;
+    // the released `Heartbeat` and the duplicate arm stay silent.
+    check_bad(
+        "core/src/protocol/obligation_bad.rs",
+        Rule::ObligationLeak,
+        3,
+    );
+}
+
+#[test]
+fn timer_pass_twins_all_pass() {
+    check_clean("timer_token_pragma.rs");
+    check_clean("timer_token_ok.rs");
+    check_clean("core/src/protocol/obligation_pragma.rs");
+    check_clean("core/src/protocol/obligation_ok.rs");
+}
+
+#[test]
+fn deleting_the_live_db_done_release_is_caught_statically() {
+    // The same seeded mutation the model checker kills dynamically
+    // (`Mutation::DropDbDoneArm`): take the real database machine,
+    // rename its `on_timer` so the `DbDone` release pattern no longer
+    // lives in a release handler, and SL105 must flag the armed timer —
+    // no exploration required.
+    let real = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../core/src/protocol/database.rs"),
+    )
+    .expect("live database machine readable");
+    let mutated = real.replace("pub fn on_timer", "pub fn run_timer");
+    assert_ne!(real, mutated, "mutation must apply");
+    let dir = std::env::temp_dir().join("sheriff-lint-sl105-mutation/core/src/protocol");
+    std::fs::create_dir_all(&dir).expect("temp tree");
+    let path = dir.join("database.rs");
+    std::fs::write(&path, mutated).expect("temp write");
+
+    let findings = analyze_path(&path).expect("mutated machine analyzable");
+    let leak: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::ObligationLeak)
+        .collect();
+    assert_eq!(leak.len(), 1, "{findings:#?}");
+    assert!(leak[0].message.contains("TimerKind::DbDone"), "{}", leak[0]);
+
+    // And the unmutated machine is clean — the finding is the arm
+    // deletion, not the fixture plumbing.
+    let clean_path = dir.join("database_clean.rs");
+    std::fs::write(&clean_path, real).expect("temp write");
+    let findings = analyze_path(&clean_path).expect("live machine analyzable");
+    assert!(
+        findings.iter().all(|f| f.rule != Rule::ObligationLeak),
+        "{findings:#?}"
+    );
+}
+
+// ------------------------------------------------------------------
 // Golden test: the `--json` report shape is a machine interface; CI
 // archives it, so the byte layout is pinned here.
 // ------------------------------------------------------------------
@@ -177,7 +245,7 @@ fn json_report_shape_is_pinned() {
     let expected = concat!(
         "{\n",
         "  \"tool\": \"sheriff-lint\",\n",
-        "  \"schema_version\": 2,\n",
+        "  \"schema_version\": 3,\n",
         "  \"files_scanned\": 3,\n",
         "  \"findings\": [\n",
         "    {\"id\": \"SL101\", \"rule\": \"privacy-taint\", \"severity\": \"error\", ",
@@ -188,8 +256,9 @@ fn json_report_shape_is_pinned() {
         "\"message\": \"`checksum` is reachable\"}\n",
         "  ],\n",
         "  \"counts_by_rule\": {\"wall-clock\": 0, \"ambient-entropy\": 0, \"hash-iter\": 0, ",
-        "\"no-panic-protocol\": 0, \"telemetry-naming\": 0, \"privacy-taint\": 1, ",
-        "\"proto-routing\": 0, \"transitive-panic\": 1}\n",
+        "\"no-panic-protocol\": 0, \"telemetry-naming\": 0, \"timer-token-injectivity\": 0, ",
+        "\"privacy-taint\": 1, \"proto-routing\": 0, \"transitive-panic\": 1, ",
+        "\"obligation-leak\": 0}\n",
         "}\n",
     );
     assert_eq!(render_json(&report), expected);

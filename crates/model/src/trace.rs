@@ -1,0 +1,90 @@
+//! Counterexample minimization and rendering.
+//!
+//! The explorer hands over the full event prefix that produced a
+//! finding; here it is greedily shrunk — try deleting each event,
+//! keep the deletion whenever the shorter schedule still reproduces the
+//! same rule — until no single deletion survives (1-minimal). Every
+//! candidate is validated by full replay, so a minimized trace is by
+//! construction a *real, executable* schedule: deleting an event shifts
+//! the slot numbering of everything downstream, and candidates whose
+//! remaining events go stale or un-enabled are simply rejected.
+
+use crate::world::{Event, ModelWorld, WorldCfg};
+
+/// One step of a replayable counterexample schedule.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The event, replayable via [`ModelWorld::apply_event`].
+    pub event: Event,
+    /// What it did, rendered at replay time.
+    pub desc: String,
+}
+
+/// Replays `events` on a fresh `cfg` world and reports whether `rule`
+/// is (still) produced — on any transition, or by the quiescence sweep
+/// at the final state when `at_quiescence`.
+pub fn reproduces(cfg: WorldCfg, events: &[Event], rule: &str, at_quiescence: bool) -> bool {
+    let mut w = ModelWorld::new(cfg);
+    let mut hit = false;
+    for &e in events {
+        match w.apply_event(e) {
+            Ok(findings) => hit |= findings.iter().any(|f| f.rule == rule),
+            Err(_) => return false,
+        }
+    }
+    if at_quiescence {
+        w.protocol_quiescent() && w.quiescence_findings().iter().any(|f| f.rule == rule)
+    } else {
+        hit
+    }
+}
+
+/// Greedily minimizes `events` while it still reproduces `rule`, then
+/// renders the surviving schedule.
+pub fn minimize(
+    cfg: WorldCfg,
+    events: &[Event],
+    rule: &str,
+    at_quiescence: bool,
+) -> Vec<TraceStep> {
+    let mut best: Vec<Event> = events.to_vec();
+    let mut shrunk = true;
+    while shrunk {
+        shrunk = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if reproduces(cfg, &candidate, rule, at_quiescence) {
+                best = candidate;
+                shrunk = true;
+                // The event now at `i` is new here: retry the same index.
+            } else {
+                i += 1;
+            }
+        }
+    }
+    render(cfg, &best)
+}
+
+/// Renders a schedule into human-readable steps (by replaying it, so
+/// each description reflects the state the event actually acted on).
+pub fn render(cfg: WorldCfg, events: &[Event]) -> Vec<TraceStep> {
+    let mut w = ModelWorld::new(cfg);
+    let mut steps = Vec::with_capacity(events.len());
+    for &e in events {
+        steps.push(TraceStep {
+            event: e,
+            desc: w.describe(e),
+        });
+        if w.apply_event(e).is_err() {
+            steps
+                .last_mut()
+                .expect("just pushed")
+                .desc
+                .push_str(" [did not apply]");
+            break;
+        }
+    }
+    steps
+}

@@ -135,6 +135,7 @@ pub struct FaultPlan {
     crashes: Vec<CrashWindow>,
     partitions: Vec<Partition>,
     counts: BTreeMap<(usize, usize), u64>,
+    scripts: BTreeMap<(usize, usize, u64), FaultDecision>,
     /// Running decision totals.
     pub stats: FaultStats,
 }
@@ -157,6 +158,7 @@ impl FaultPlan {
             crashes: Vec::new(),
             partitions: Vec::new(),
             counts: BTreeMap::new(),
+            scripts: BTreeMap::new(),
             stats: FaultStats::default(),
         }
     }
@@ -170,6 +172,24 @@ impl FaultPlan {
     /// Overrides the profile of one directed link.
     pub fn with_link(mut self, from: usize, to: usize, faults: LinkFaults) -> Self {
         self.links.insert((from, to), faults);
+        self
+    }
+
+    /// Pins the fate of the `occurrence`-th message (0-based) on the
+    /// directed link `from → to`, bypassing that message's probability
+    /// draws. This is how `sheriff-model` counterexamples are replayed
+    /// under the DES: a model trace names exact per-link message ordinals
+    /// to drop or duplicate, and a scripted plan reproduces those exact
+    /// decisions regardless of seed. Unscripted messages on the same
+    /// link still follow the link's probabilistic profile.
+    pub fn with_scripted(
+        mut self,
+        from: usize,
+        to: usize,
+        occurrence: u64,
+        decision: FaultDecision,
+    ) -> Self {
+        self.scripts.insert((from, to, occurrence), decision);
         self
     }
 
@@ -212,6 +232,7 @@ impl FaultPlan {
             || self.links.values().any(|l| !l.is_none())
             || !self.crashes.is_empty()
             || !self.partitions.is_empty()
+            || !self.scripts.is_empty()
     }
 
     /// The crash windows (for drivers that schedule restart events).
@@ -251,6 +272,21 @@ impl FaultPlan {
         let n = self.counts.entry((from, to)).or_insert(0);
         let occurrence = *n;
         *n += 1;
+
+        // Scripted ordinals win over everything: a replayed counterexample
+        // must reproduce the model's exact decision for this message.
+        if let Some(&decision) = self.scripts.get(&(from, to, occurrence)) {
+            if decision.drop {
+                self.stats.dropped += 1;
+            }
+            if decision.duplicate {
+                self.stats.duplicated += 1;
+            }
+            if decision.extra_delay_ms > 0 {
+                self.stats.delayed += 1;
+            }
+            return decision;
+        }
 
         if self.partitioned(from, to, now_ms) {
             self.stats.partition_drops += 1;
@@ -413,6 +449,41 @@ mod tests {
             assert!(plan.decide(i, 0, 1).drop);
         }
         assert_eq!(plan.stats.dropped, 10);
+    }
+
+    #[test]
+    fn scripted_ordinals_override_only_their_own_message() {
+        // A fully reliable plan with one scripted drop: exactly the 2nd
+        // message on (0, 1) dies, everything else is untouched.
+        let mut plan = FaultPlan::new(11).with_scripted(0, 1, 1, FaultDecision::DROP);
+        assert!(plan.is_active(), "a scripted plan can alter deliveries");
+        assert_eq!(plan.decide(0, 0, 1), FaultDecision::DELIVER);
+        assert_eq!(plan.decide(5, 0, 1), FaultDecision::DROP);
+        assert_eq!(plan.decide(9, 0, 1), FaultDecision::DELIVER);
+        assert_eq!(plan.decide(9, 1, 0), FaultDecision::DELIVER, "other link");
+        assert_eq!(plan.stats.dropped, 1);
+
+        // Scripts beat the link's probability profile (drop: 1.0 would
+        // kill everything, the scripted ordinal still delivers + dups).
+        let mut lossy_plan = FaultPlan::new(12)
+            .with_default_link(LinkFaults {
+                drop: 1.0,
+                ..LinkFaults::NONE
+            })
+            .with_scripted(
+                2,
+                3,
+                0,
+                FaultDecision {
+                    drop: false,
+                    duplicate: true,
+                    extra_delay_ms: 0,
+                },
+            );
+        let d = lossy_plan.decide(0, 2, 3);
+        assert!(!d.drop);
+        assert!(d.duplicate);
+        assert!(lossy_plan.decide(1, 2, 3).drop, "ordinal 1 is unscripted");
     }
 
     #[test]
