@@ -68,6 +68,20 @@ if ! diff -u ci/lint-baseline.json target/lint-counts.json; then
 fi
 echo "finding counts match the committed baseline"
 
+# Concurrency gate: the SL2xx passes (lock-order cycles, blocking calls
+# or protocol callbacks under a live guard, hot-loop allocation) plus
+# the SL007 pragma audit, re-run with per-pass timing on stderr so a
+# pass that starts dominating the lint budget is visible in the CI log.
+# Their own negative control: the interprocedural lock-order fixture
+# must fail, or the guard-tracking layer is broken.
+stage "lint-concurrency"
+cargo run --release -q -p sheriff-lint -- --timings crates >/dev/null
+if cargo run --release -q -p sheriff-lint -- crates/lint/fixtures/locks_bad >/dev/null 2>&1; then
+    echo "lock-order cycle fixture passed the linter — SL201 is broken" >&2
+    exit 1
+fi
+echo "lock-order cycle fixture correctly rejected"
+
 # Bounded model checker: exhaustively explore the sans-IO protocol
 # worlds (delivery orderings, duplications, drops, timer firings, node
 # crash/restarts) to the CI-pinned depths. Exit 1 means a non-waived
@@ -135,19 +149,21 @@ REACTOR_SOAK_PEERS=1000 REACTOR_SOAK_SEEDS="11,23" \
     cargo test -p sheriff-wire --test reactor_soak --quiet
 
 # Benchmark summaries: the criterion stand-in prints one median line per
-# benchmark; archive them as machine-readable BENCH_<group>.json next to
-# the lint report so perf regressions are diffable across CI runs. Every
-# bench target is archived — a group whose run emits no parseable bench
-# line fails the stage (a silently-empty summary would read as "no
-# regression" forever). The previous run's summary (when one exists) is
-# kept as *.before.json so a regression shows up as a same-machine
+# benchmark; archive them as machine-readable BENCH_<group>.json at the
+# repo root (committed — `target/` is wiped by `cargo clean`, which is
+# how every previous "baseline" silently vanished) so perf regressions
+# are diffable across CI runs and across checkouts. Every bench target
+# is archived — a group whose run emits no parseable bench line fails
+# the stage (a silently-empty summary would read as "no regression"
+# forever). The previous run's summary (when one exists) is kept as
+# *.before.json so a regression shows up as a same-machine
 # before/after diff.
 stage "bench summary archive"
 BENCH_GROUPS=(crypto_primitives private_kmeans extraction currency system_throughput)
 for group in "${BENCH_GROUPS[@]}"; do
-    if [ -f "target/BENCH_${group}.json" ]; then
-        cp "target/BENCH_${group}.json" "target/BENCH_${group}.before.json"
-        echo "previous summary kept at target/BENCH_${group}.before.json"
+    if [ -f "BENCH_${group}.json" ]; then
+        cp "BENCH_${group}.json" "BENCH_${group}.before.json"
+        echo "previous summary kept at BENCH_${group}.before.json"
     fi
     cargo bench -p sheriff-bench --bench "$group" \
         | tee "target/bench-${group}.txt"
@@ -155,12 +171,12 @@ for group in "${BENCH_GROUPS[@]}"; do
          /^bench / { if (n++) printf ","
                      printf "\n  {\"bench\": \"%s\", \"median\": \"%s %s\"}", $2, $4, $5 }
          END { print "\n]" }' "target/bench-${group}.txt" \
-        > "target/BENCH_${group}.json"
-    if ! grep -q '"bench"' "target/BENCH_${group}.json"; then
+        > "BENCH_${group}.json"
+    if ! grep -q '"bench"' "BENCH_${group}.json"; then
         echo "bench group ${group} emitted no summary lines — archive would be empty" >&2
         exit 1
     fi
-    echo "bench summary archived at target/BENCH_${group}.json"
+    echo "bench summary archived at BENCH_${group}.json"
 done
 
 stage "CI green"

@@ -28,9 +28,7 @@ use sheriff_currency::FixedRates;
 use sheriff_geo::{Country, IpV4};
 
 fn coordinator_proto() -> CoordinatorProto {
-    let mut coordinator = Coordinator::new(Whitelist::with_domains(
-        ["amazon.com"].iter().map(|d| d.to_string()),
-    ));
+    let mut coordinator = Coordinator::new(Whitelist::with_domains(["amazon.com"]));
     coordinator.register_server("ms-0", 80, 0);
     CoordinatorProto::new(coordinator, 0)
 }

@@ -1,0 +1,41 @@
+//! Known-bad SL202 fixture: three blocking-under-lock shapes — a
+//! condvar wait under a *second* live guard, a channel recv under a
+//! guard, and an fsync reached through a helper call. Must trip
+//! blocking-under-lock exactly three times.
+
+pub(crate) struct Pump {
+    state: Mutex<Shared>,
+    gate: Mutex<u64>,
+    cv: Condvar,
+    rx: Receiver<u64>,
+    wal: File,
+}
+
+impl Pump {
+    /// `wait` releases `gate` (its own guard) for the sleep, but the
+    /// `state` guard stays pinned for the whole wait.
+    pub(crate) fn wait_wedged(&self) {
+        let mut st = self.state.lock();
+        st.rounds += 1;
+        let gate = self.gate.lock();
+        let _woken = self.cv.wait(gate);
+    }
+
+    /// A channel receive parks the thread while `state` is held.
+    pub(crate) fn drain_wedged(&self) {
+        let st = self.state.lock();
+        let _item = self.rx.recv();
+        drop(st);
+    }
+
+    /// The blocking call is one hop away: `persist` reaches `sync_all`.
+    pub(crate) fn commit_wedged(&self) {
+        let st = self.state.lock();
+        self.persist();
+        drop(st);
+    }
+
+    fn persist(&self) {
+        let _ = self.wal.sync_all();
+    }
+}

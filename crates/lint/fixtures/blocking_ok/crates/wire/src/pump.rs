@@ -1,0 +1,29 @@
+//! Acceptance twin of `blocking_bad`: the canonical condvar loop (the
+//! wait's own guard is the only one live) and a receive after the
+//! guard is dropped. Must be clean.
+
+pub(crate) struct Pump {
+    state: Mutex<Shared>,
+    cv: Condvar,
+    rx: Receiver<u64>,
+}
+
+impl Pump {
+    /// The canonical wait loop: `wait` consumes and re-acquires the
+    /// only guard in scope, so nothing stays pinned.
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.state.lock();
+        while st.rounds == 0 {
+            st = self.cv.wait(st);
+        }
+    }
+
+    /// Snapshot under the guard, block after it is gone.
+    pub(crate) fn drain_done(&self) -> u64 {
+        let st = self.state.lock();
+        let target = st.rounds;
+        drop(st);
+        let _item = self.rx.recv();
+        target
+    }
+}

@@ -1,0 +1,39 @@
+//! Pragma twin of `blocking_bad`: the same three sites, each
+//! sanctioned with a justification. Must produce zero findings (every
+//! pragma must fire, or SL007 flags it).
+
+pub(crate) struct Pump {
+    state: Mutex<Shared>,
+    gate: Mutex<u64>,
+    cv: Condvar,
+    rx: Receiver<u64>,
+    wal: File,
+}
+
+impl Pump {
+    pub(crate) fn wait_wedged(&self) {
+        let mut st = self.state.lock();
+        st.rounds += 1;
+        let gate = self.gate.lock();
+        // sheriff-lint: allow(blocking-under-lock) — fixture: single-threaded harness, nobody else takes `state`
+        let _woken = self.cv.wait(gate);
+    }
+
+    pub(crate) fn drain_wedged(&self) {
+        let st = self.state.lock();
+        // sheriff-lint: allow(blocking-under-lock) — fixture: the sender never touches `state`
+        let _item = self.rx.recv();
+        drop(st);
+    }
+
+    pub(crate) fn commit_wedged(&self) {
+        let st = self.state.lock();
+        // sheriff-lint: allow(blocking-under-lock) — fixture: commit is the shutdown path, not the sweep
+        self.persist();
+        drop(st);
+    }
+
+    fn persist(&self) {
+        let _ = self.wal.sync_all();
+    }
+}

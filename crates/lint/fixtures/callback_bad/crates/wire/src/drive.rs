@@ -1,0 +1,15 @@
+//! Known-bad SL203 fixture: protocol entry points invoked while the
+//! wire-layer world guard is live. Must trip callback-under-lock
+//! exactly twice.
+
+pub(crate) struct Drive {
+    world: Mutex<World>,
+}
+
+impl Drive {
+    pub(crate) fn feed(&self, proto: &mut Peer) {
+        let mut world = self.world.lock();
+        proto.on_message(7, &mut world);
+        proto.on_timer(7, &mut world);
+    }
+}

@@ -1,0 +1,17 @@
+//! Acceptance twin of `callback_bad`: the guard scope closes before
+//! any machine entry point runs. Must be clean.
+
+pub(crate) struct Drive {
+    world: Mutex<World>,
+}
+
+impl Drive {
+    pub(crate) fn feed(&self, proto: &mut Peer) {
+        let snapshot = {
+            let world = self.world.lock();
+            world.epoch
+        };
+        proto.on_message(snapshot);
+        proto.on_timer(snapshot);
+    }
+}

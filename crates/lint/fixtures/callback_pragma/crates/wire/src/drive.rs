@@ -1,0 +1,17 @@
+//! Pragma twin of `callback_bad`: both callback sites sanctioned.
+//! Must produce zero findings (each pragma must fire, or SL007 flags
+//! it).
+
+pub(crate) struct Drive {
+    world: Mutex<World>,
+}
+
+impl Drive {
+    pub(crate) fn feed(&self, proto: &mut Peer) {
+        let mut world = self.world.lock();
+        // sheriff-lint: allow(callback-under-lock) — fixture: the machine signature takes `&mut World`
+        proto.on_message(7, &mut world);
+        // sheriff-lint: allow(callback-under-lock) — fixture: same shape as the message edge
+        proto.on_timer(7, &mut world);
+    }
+}

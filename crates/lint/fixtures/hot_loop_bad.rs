@@ -1,0 +1,19 @@
+//! Known-bad SL204 fixture: the allocation forms inside anchored hot
+//! loops, plus an orphan anchor with no loop behind it. Must trip
+//! hot-loop-allocation exactly five times.
+
+pub fn sweep(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut sink = Vec::new();
+    // sheriff-lint: hot-loop
+    for x in xs {
+        let mut tmp = Vec::new();
+        tmp.push(*x);
+        let label = format!("x={x}");
+        acc += label.len() as u64;
+        sink.push(tmp);
+    }
+    // sheriff-lint: hot-loop
+    let stray = acc;
+    acc + stray + sink.len() as u64
+}

@@ -1,0 +1,14 @@
+//! Acceptance twin of `hot_loop_bad`: the buffers are hoisted out of
+//! the anchored sweep and reused. Must be clean.
+
+pub fn sweep(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut tmp = Vec::new();
+    // sheriff-lint: hot-loop
+    for x in xs {
+        tmp.clear();
+        tmp.extend_from_slice(&[*x]);
+        acc += tmp.len() as u64;
+    }
+    acc
+}

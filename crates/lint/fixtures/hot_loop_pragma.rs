@@ -1,0 +1,24 @@
+//! Pragma twin of `hot_loop_bad`: the same five sites, each
+//! sanctioned. Must produce zero findings (every pragma must fire, or
+//! SL007 flags it).
+
+pub fn sweep(xs: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut sink = Vec::new();
+    // sheriff-lint: hot-loop
+    for x in xs {
+        // sheriff-lint: allow(hot-loop-allocation) — fixture: bounded at one element
+        let mut tmp = Vec::new();
+        // sheriff-lint: allow(hot-loop-allocation) — fixture: within the reserved element
+        tmp.push(*x);
+        // sheriff-lint: allow(hot-loop-allocation) — fixture: label feeds a cold error path
+        let label = format!("x={x}");
+        acc += label.len() as u64;
+        // sheriff-lint: allow(hot-loop-allocation) — fixture: amortized by the outer harness
+        sink.push(tmp);
+    }
+    // sheriff-lint: allow(hot-loop-allocation) — fixture: anchor kept while the loop is rewritten
+    // sheriff-lint: hot-loop
+    let stray = acc;
+    acc + stray + sink.len() as u64
+}

@@ -1,0 +1,36 @@
+//! Known-bad SL201 fixture: a two-function lock-order cycle visible
+//! only through the call graph — neither body acquires both locks in a
+//! conflicting order on its own. Must trip lock-order-cycle exactly
+//! once, with one witness per edge.
+
+pub(crate) struct Books {
+    ledger: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Books {
+    /// Holds `ledger`, then reconciles — which takes `audit`.
+    pub(crate) fn post(&self) {
+        let mut led = self.ledger.lock();
+        *led += 1;
+        self.reconcile();
+    }
+
+    fn reconcile(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+    }
+
+    /// Holds `audit`, then rolls up — which takes `ledger`: the
+    /// opposite order, one call away.
+    pub(crate) fn close_period(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+        self.roll_up();
+    }
+
+    fn roll_up(&self) {
+        let mut led = self.ledger.lock();
+        *led += 1;
+    }
+}

@@ -1,0 +1,30 @@
+//! Acceptance twin of `locks_bad`: the same two locks and the same
+//! helpers, but every path agrees on `ledger` → `audit` (the second
+//! caller drops its guard before calling across). Must be clean.
+
+pub(crate) struct Books {
+    ledger: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Books {
+    pub(crate) fn post(&self) {
+        let mut led = self.ledger.lock();
+        *led += 1;
+        self.reconcile();
+    }
+
+    fn reconcile(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+    }
+
+    /// Same work as the bad twin's `close_period`, with the guard
+    /// released before the cross-lock call.
+    pub(crate) fn close_period(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+        drop(aud);
+        self.reconcile();
+    }
+}

@@ -1,0 +1,33 @@
+//! Pragma twin of `locks_bad`: the same interprocedural cycle, with
+//! the finding's anchor edge sanctioned. Must produce zero findings
+//! (and the pragma must fire, or SL007 flags it).
+
+pub(crate) struct Books {
+    ledger: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Books {
+    pub(crate) fn post(&self) {
+        let mut led = self.ledger.lock();
+        *led += 1;
+        self.reconcile();
+    }
+
+    fn reconcile(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+    }
+
+    pub(crate) fn close_period(&self) {
+        let mut aud = self.audit.lock();
+        *aud += 1;
+        // sheriff-lint: allow(lock-order-cycle) — fixture: both paths are caller-serialized in the host
+        self.roll_up();
+    }
+
+    fn roll_up(&self) {
+        let mut led = self.ledger.lock();
+        *led += 1;
+    }
+}

@@ -1,0 +1,21 @@
+//! Known-bad SL007 fixture: pragmas whose findings are gone — or
+//! never existed. Must trip unused-pragma exactly four times.
+
+// sheriff-lint: allow(wall-clock)
+pub fn quiet() -> u64 {
+    7
+}
+
+pub fn also_quiet() -> u64 {
+    9 // sheriff-lint: allow(hash-iter)
+}
+
+// sheriff-lint: allow(wall-clok)
+pub fn typo() -> u64 {
+    11
+}
+
+// sheriff-lint: allow-item(transitive-panic)
+pub fn never_panics() -> u64 {
+    13
+}

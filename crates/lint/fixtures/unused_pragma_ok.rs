@@ -1,0 +1,17 @@
+//! Acceptance twin of `unused_pragma_bad`: every pragma fires — or is
+//! explicitly waived with the one-level self-suppression. Must be
+//! clean.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    // sheriff-lint: allow(wall-clock) — fixture: the one sanctioned read
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+// sheriff-lint: allow(unused-pragma) — kept while the hash-path rewrite lands
+// sheriff-lint: allow(hash-iter)
+pub fn quiet() -> u64 {
+    7
+}

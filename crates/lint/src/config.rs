@@ -318,6 +318,102 @@ pub fn timer_driver_handled(path: &str, variant: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// Concurrency-safety passes (crate::locks): SL201–SL204
+// ---------------------------------------------------------------------
+
+/// Type names whose appearance in a struct field's (or `static`'s) type
+/// tokens registers that field as a lock. `Condvar` is registered too:
+/// it never produces a guard itself, but keeping it in the registry
+/// documents the wait/notify surface next to the locks it pairs with.
+pub const LOCK_TYPE_NAMES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// Call names that count as *blocking sinks* for SL202: a guard scope
+/// from which one of these is reachable (directly or over the call
+/// graph) stalls every peer on that reactor thread. `read`/`write` are
+/// in the list for the socket-IO case; calls whose receiver is a
+/// registered `RwLock` field are recognized as guard *acquisitions*
+/// first and never double as sinks. `wait`/`wait_timeout` get the
+/// canonical-condvar carve-out in the pass itself: waiting releases the
+/// guard passed as the first argument, so only a wait under a *second*
+/// live guard blocks.
+pub const BLOCKING_SINKS: &[&str] = &[
+    "accept",
+    "connect",
+    "sync_all",
+    "join",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "sleep",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "write",
+    "write_all",
+    "flush",
+    "send_counted",
+];
+
+/// Per-function sanctions for SL202: `(path fragment, function name)`
+/// pairs whose guard scopes may reach a blocking sink. These are the
+/// reactor's intentional short critical sections; every entry needs a
+/// justification in DESIGN.md "Concurrency invariants in the wire
+/// layer". Empty today — the repairs moved every blocking call outside
+/// its guard — but the table is the sanctioned widening point.
+pub const BLOCKING_ALLOWED_FNS: &[(&str, &str)] = &[];
+
+/// `(sink name, receiver ident)` pairs that are never blocking sinks.
+/// The reliable channel's sans-IO admission check is spelled
+/// `chan.accept(...)` on every driver — same name as the genuinely
+/// blocking `TcpListener::accept`. The receiver is the lexical token
+/// before the `.`, so the exemption stays narrow and auditable: an
+/// accept on any other receiver still counts.
+pub const BLOCKING_SINK_RECEIVER_EXEMPT: &[(&str, &str)] = &[("accept", "chan")];
+
+/// Protocol-machine entry points for SL203: invoking one of these while
+/// a wire-layer guard is live runs sans-IO code under a lock it cannot
+/// see, coupling machine execution time to the guard's critical
+/// section. (`accept` is deliberately absent: it collides with
+/// `TcpListener::accept`, which SL202 owns.)
+pub const PROTOCOL_CALLBACK_FNS: &[&str] =
+    &["on_message", "on_timer", "on_restart", "on_retransmit"];
+
+/// Where SL203 applies: the threaded wire layer. The DES backend
+/// (`core/src/system.rs`) legitimately drives machines under its world
+/// lock — it is single-threaded by construction — so the rule scopes to
+/// the reactor/deploy tree (and its fixture twins).
+pub const CALLBACK_SCOPE: &[&str] = &["wire/src/"];
+
+/// The region anchor marking a hot loop for SL204. Written as a line
+/// comment immediately before the `for`/`while`/`loop` keyword.
+pub const HOT_LOOP_ANCHOR: &str = "sheriff-lint: hot-loop";
+
+/// Method-call names that count as allocation inside an anchored hot
+/// loop. `push_back` is included: a `VecDeque` grows exactly like a
+/// `Vec` when capacity runs out.
+pub const HOT_LOOP_ALLOC_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "with_capacity",
+];
+
+/// Macros that allocate.
+pub const HOT_LOOP_ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Types whose `::new`/`::with_capacity` inside an anchored loop is an
+/// allocation (or, for `Vec::new`, a capacity-zero constructor that
+/// defers the allocation to the first push *inside the same loop
+/// body*).
+pub const HOT_LOOP_ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+
+// ---------------------------------------------------------------------
 // Transitive panic-freedom pass (crate::reach)
 // ---------------------------------------------------------------------
 

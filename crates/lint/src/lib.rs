@@ -48,6 +48,7 @@
 pub mod config;
 pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod reach;
 pub mod routing;
@@ -55,6 +56,7 @@ pub mod rules;
 pub mod taint;
 pub mod timers;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -78,23 +80,56 @@ pub struct Report {
 /// skipped it — that is how the self-tests reach the `fixtures/`
 /// corpus.
 pub fn analyze(root: &Path) -> io::Result<Report> {
+    analyze_observed(root, &mut |_| {})
+}
+
+/// [`analyze`] with a pass-boundary observer: `mark(name)` is called
+/// when the named pass completes. The library never reads a clock (the
+/// SL001 contract applies to the linter's own sources); the CLI turns
+/// the callbacks into the per-pass timing lines of the CI
+/// `lint-concurrency` stage.
+pub fn analyze_observed(root: &Path, mark: &mut dyn FnMut(&'static str)) -> io::Result<Report> {
     let files = collect_sources(root)?;
+    mark("walk+lex+parse");
 
     // Layer 1: per-file token rules, over the already-lexed streams.
+    // Every pragma that fires is credited for the SL007 audit.
+    let mut used: BTreeSet<(String, u32)> = BTreeSet::new();
     let mut findings = Vec::new();
     for f in &files {
-        findings.extend(rules::check_tokens(&f.path, &f.toks, &f.test_marks));
+        let mut fired = Vec::new();
+        findings.extend(rules::check_tokens_tracked(
+            &f.path,
+            &f.toks,
+            &f.test_marks,
+            &mut fired,
+        ));
+        for line in fired {
+            used.insert((f.path.clone(), line));
+        }
     }
+    mark("token-rules");
 
     // Layer 2: flow-aware passes over the workspace call graph.
     let call_graph = CallGraph::build(&files);
+    mark("call-graph");
     let mut cross = Vec::new();
     cross.extend(taint::check(&call_graph));
+    mark("taint");
     cross.extend(routing::check(&files));
+    mark("routing");
     cross.extend(reach::check(&files, &call_graph));
+    mark("reach");
     cross.extend(timers::check(&files));
-    suppress_cross(&files, &mut cross);
+    mark("timers");
+    cross.extend(locks::check(&files, &call_graph));
+    mark("locks");
+    suppress_cross(&files, &mut cross, &mut used);
     findings.extend(cross);
+
+    // SL007: every pragma in the tree must have suppressed something.
+    findings.extend(unused_pragmas(&files, &used));
+    mark("suppression-audit");
 
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Report {
@@ -160,13 +195,17 @@ fn walk(dir: &Path, paths: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
 /// `allow-item(...)` pragmas on (or one line above) an item's first
 /// line suppress across the item's whole line span — cross-file
 /// findings are attributed to functions, not tokens, so the function is
-/// the natural suppression unit.
-fn suppress_cross(files: &[SourceFile], findings: &mut Vec<Finding>) {
-    use std::collections::BTreeMap;
-
+/// the natural suppression unit. Every pragma that suppresses a finding
+/// is credited into `used` (by its own line) for the SL007 audit.
+fn suppress_cross(
+    files: &[SourceFile],
+    findings: &mut Vec<Finding>,
+    used: &mut BTreeSet<(String, u32)>,
+) {
     struct FileSuppression {
         lines: Vec<(u32, Vec<Rule>)>,
-        spans: Vec<(u32, u32, Vec<Rule>)>,
+        /// `(pragma line, span start, span end, rules)`.
+        spans: Vec<(u32, u32, u32, Vec<Rule>)>,
     }
 
     let mut by_path: BTreeMap<&str, FileSuppression> = BTreeMap::new();
@@ -185,7 +224,7 @@ fn suppress_cross(files: &[SourceFile], findings: &mut Vec<Finding>) {
                 .map_or(item.line, |t| t.line);
             for (pline, prules) in &item_pragmas {
                 if *pline == item.line || pline + 1 == item.line {
-                    spans.push((item.line, end_line, prules.clone()));
+                    spans.push((*pline, item.line, end_line, prules.clone()));
                 }
             }
         }
@@ -198,13 +237,54 @@ fn suppress_cross(files: &[SourceFile], findings: &mut Vec<Finding>) {
         let Some(s) = by_path.get(f.path.as_str()) else {
             return true;
         };
-        if rules::suppressed(&s.lines, f.rule, f.line) {
+        if let Some(pline) = rules::suppressing_line(&s.lines, f.rule, f.line) {
+            used.insert((f.path.clone(), pline));
             return false;
         }
-        !s.spans
-            .iter()
-            .any(|(lo, hi, rules)| f.line >= *lo && f.line <= *hi && rules.contains(&f.rule))
+        for (pline, lo, hi, rules) in &s.spans {
+            if f.line >= *lo && f.line <= *hi && rules.contains(&f.rule) {
+                used.insert((f.path.clone(), *pline));
+                return false;
+            }
+        }
+        true
     });
+}
+
+/// The SL007 audit: every `allow(...)` / `allow-item(...)` pragma in
+/// the scanned tree must have suppressed at least one finding this run.
+/// A pragma that fires for nothing is either stale (the violation it
+/// sanctioned is gone — delete it) or typo'd (it names no known rule —
+/// it never protected anything). An SL007 finding sits on the pragma's
+/// own line and can itself be suppressed by `allow(unused-pragma)` on
+/// or above that line — one level, no fixpoint.
+fn unused_pragmas(files: &[SourceFile], used: &BTreeSet<(String, u32)>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        let mut all = rules::pragma_lines(&f.toks);
+        all.extend(rules::item_pragma_lines(&f.toks));
+        all.sort_by_key(|(l, _)| *l);
+        for (line, rules_listed) in &all {
+            if used.contains(&(f.path.clone(), *line)) {
+                continue;
+            }
+            if rules::suppressed(&all, Rule::UnusedPragma, *line) {
+                continue;
+            }
+            let detail = if rules_listed.is_empty() {
+                "it names no known rule (typo?)"
+            } else {
+                "the finding it sanctioned is gone — delete it"
+            };
+            findings.push(Finding {
+                path: f.path.clone(),
+                line: *line,
+                rule: Rule::UnusedPragma,
+                message: format!("`sheriff-lint` pragma suppresses no finding: {detail}"),
+            });
+        }
+    }
+    findings
 }
 
 /// Renders a report as deterministic machine-readable JSON: stable key
@@ -216,7 +296,7 @@ pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"sheriff-lint\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files));
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {

@@ -1,5 +1,5 @@
 #![forbid(unsafe_code)]
-//! CLI: `sheriff-lint [--list-rules] [--json] <path>...`
+//! CLI: `sheriff-lint [--list-rules] [--json] [--timings] <path>...`
 //!
 //! Exits 0 when every given tree is clean, 1 when any finding is
 //! reported, 2 on usage or I/O errors. `ci.sh` runs it over `crates`
@@ -16,7 +16,7 @@ use std::process::ExitCode;
 // regression line, never a finding.
 use std::time::Instant;
 
-use sheriff_lint::{analyze, render_json, Report, ALL_RULES};
+use sheriff_lint::{analyze, analyze_observed, render_json, Report, ALL_RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let json = args.iter().any(|a| a == "--json");
+    let timings = args.iter().any(|a| a == "--timings");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         usage();
@@ -43,7 +44,24 @@ fn main() -> ExitCode {
         findings: Vec::new(),
     };
     for arg in &paths {
-        match analyze(Path::new(arg.as_str())) {
+        // With --timings, the library's pass-boundary callbacks become
+        // per-pass lines on stderr (the CI `lint-concurrency` stage);
+        // the library itself never reads the clock.
+        let result = if timings {
+            let mut last = Instant::now();
+            analyze_observed(Path::new(arg.as_str()), &mut |pass| {
+                let now = Instant::now();
+                eprintln!(
+                    "sheriff-lint: pass {:<18} {:>8.1} ms  ({arg})",
+                    pass,
+                    (now - last).as_secs_f64() * 1e3
+                );
+                last = now;
+            })
+        } else {
+            analyze(Path::new(arg.as_str()))
+        };
+        match result {
             Ok(r) => {
                 report.files += r.files;
                 report.findings.extend(r.findings);
@@ -81,6 +99,6 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: sheriff-lint [--list-rules] [--json] <path>...");
+    eprintln!("usage: sheriff-lint [--list-rules] [--json] [--timings] <path>...");
     eprintln!("       checks .rs files for determinism/privacy-contract violations");
 }

@@ -55,20 +55,49 @@ pub enum Rule {
     /// shadow of the model checker's timer-obligation-linearity
     /// invariant.
     ObligationLeak,
+    /// A `// sheriff-lint: allow(...)` / `allow-item(...)` pragma that
+    /// suppresses no finding. Stale pragmas are deleted policy: every
+    /// surviving pragma must still be load-bearing, or a repaired
+    /// violation could silently regress behind it.
+    UnusedPragma,
+    /// Concurrency: a cycle in the lock-order graph built from guard
+    /// scopes across the workspace call graph — two threads taking the
+    /// same pair of locks in opposite orders can deadlock.
+    LockOrderCycle,
+    /// Concurrency: a guard scope that reaches a declared blocking sink
+    /// (socket accept/connect, `sync_all`, thread `join`, channel
+    /// `recv`, `Condvar::wait` under a second lock, `sleep`) — blocking
+    /// under a shard lock stalls every peer on that reactor thread.
+    BlockingUnderLock,
+    /// Concurrency: a protocol-machine entry point (`on_message` /
+    /// `on_timer` / …) invoked while a wire-layer guard is live — the
+    /// invariant that keeps the sans-IO layer actually sans-IO.
+    CallbackUnderLock,
+    /// Perf: allocation-family calls (`Vec::new`, `push`, `to_vec`,
+    /// `clone`, `format!`, …) inside a loop marked with a
+    /// `// sheriff-lint: hot-loop` anchor — the reactor sweep loops run
+    /// per frame per peer, so per-iteration allocation is a throughput
+    /// regression the benches only catch after the fact.
+    HotLoopAlloc,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 15] = [
     Rule::WallClock,
     Rule::AmbientEntropy,
     Rule::HashIter,
     Rule::NoPanicProtocol,
     Rule::TelemetryNaming,
     Rule::TimerTokenInjectivity,
+    Rule::UnusedPragma,
     Rule::PrivacyTaint,
     Rule::ProtoRouting,
     Rule::TransitivePanic,
     Rule::ObligationLeak,
+    Rule::LockOrderCycle,
+    Rule::BlockingUnderLock,
+    Rule::CallbackUnderLock,
+    Rule::HotLoopAlloc,
 ];
 
 impl Rule {
@@ -85,12 +114,19 @@ impl Rule {
             Rule::ProtoRouting => "proto-routing",
             Rule::TransitivePanic => "transitive-panic",
             Rule::ObligationLeak => "obligation-leak",
+            Rule::UnusedPragma => "unused-pragma",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::BlockingUnderLock => "blocking-under-lock",
+            Rule::CallbackUnderLock => "callback-under-lock",
+            Rule::HotLoopAlloc => "hot-loop-allocation",
         }
     }
 
     /// The stable rule id used in machine-readable reports. Per-file
     /// token rules are `SL0xx`; flow-aware cross-file rules are
-    /// `SL1xx`. Ids never change meaning; retired ids are not reused.
+    /// `SL1xx`; the concurrency-safety family over the threaded wire
+    /// layer is `SL2xx`. Ids never change meaning; retired ids are not
+    /// reused.
     pub fn id(self) -> &'static str {
         match self {
             Rule::WallClock => "SL001",
@@ -99,10 +135,15 @@ impl Rule {
             Rule::NoPanicProtocol => "SL004",
             Rule::TelemetryNaming => "SL005",
             Rule::TimerTokenInjectivity => "SL006",
+            Rule::UnusedPragma => "SL007",
             Rule::PrivacyTaint => "SL101",
             Rule::ProtoRouting => "SL102",
             Rule::TransitivePanic => "SL103",
             Rule::ObligationLeak => "SL105",
+            Rule::LockOrderCycle => "SL201",
+            Rule::BlockingUnderLock => "SL202",
+            Rule::CallbackUnderLock => "SL203",
+            Rule::HotLoopAlloc => "SL204",
         }
     }
 
@@ -149,6 +190,17 @@ impl Rule {
             Rule::ObligationLeak => {
                 "timer armed without a release handler arm or driver-handled sanction"
             }
+            Rule::UnusedPragma => "allow()/allow-item() pragma that suppresses nothing; delete it",
+            Rule::LockOrderCycle => {
+                "cycle in the lock-order graph (guard scopes over the call graph)"
+            }
+            Rule::BlockingUnderLock => {
+                "blocking call (accept/sync_all/join/recv/wait/sleep) reachable under a guard"
+            }
+            Rule::CallbackUnderLock => {
+                "protocol entry point (on_message/on_timer) invoked while a wire guard is live"
+            }
+            Rule::HotLoopAlloc => "allocation inside a `sheriff-lint: hot-loop` anchored loop body",
         }
     }
 
@@ -165,7 +217,12 @@ impl Rule {
             | Rule::ProtoRouting
             | Rule::TransitivePanic
             | Rule::TimerTokenInjectivity
-            | Rule::ObligationLeak => false,
+            | Rule::ObligationLeak
+            | Rule::UnusedPragma
+            | Rule::LockOrderCycle
+            | Rule::BlockingUnderLock
+            | Rule::CallbackUnderLock
+            | Rule::HotLoopAlloc => false,
         }
     }
 
@@ -222,6 +279,18 @@ pub fn check_file(path: &str, src: &str) -> Vec<Finding> {
 /// must be `/`-separated; `test_tok` marks `#[cfg(test)]` regions (from
 /// [`test_regions`] over the same stream).
 pub fn check_tokens(norm: &str, toks: &[Tok], test_tok: &[bool]) -> Vec<Finding> {
+    check_tokens_tracked(norm, toks, test_tok, &mut Vec::new())
+}
+
+/// [`check_tokens`], additionally recording into `used` the line of
+/// every pragma that suppressed at least one finding — the raw material
+/// of the SL007 unused-pragma audit in [`crate::analyze`].
+pub(crate) fn check_tokens_tracked(
+    norm: &str,
+    toks: &[Tok],
+    test_tok: &[bool],
+    used: &mut Vec<u32>,
+) -> Vec<Finding> {
     let whole_file_test = config::matches_any(norm, config::TEST_TREE_MARKERS);
     let allowed = pragma_lines(toks);
 
@@ -241,20 +310,27 @@ pub fn check_tokens(norm: &str, toks: &[Tok], test_tok: &[bool]) -> Vec<Finding>
             Rule::NoPanicProtocol => no_panic(toks, &mut hits),
             Rule::TelemetryNaming => telemetry_naming(toks, &mut hits),
             // Cross-file rules run from crate::taint / crate::routing /
-            // crate::reach / crate::timers; applies_to already filtered
-            // them out.
+            // crate::reach / crate::timers / crate::locks, and the
+            // unused-pragma audit runs centrally in crate::analyze;
+            // applies_to already filtered them out.
             Rule::PrivacyTaint
             | Rule::ProtoRouting
             | Rule::TransitivePanic
             | Rule::TimerTokenInjectivity
-            | Rule::ObligationLeak => {}
+            | Rule::ObligationLeak
+            | Rule::UnusedPragma
+            | Rule::LockOrderCycle
+            | Rule::BlockingUnderLock
+            | Rule::CallbackUnderLock
+            | Rule::HotLoopAlloc => {}
         }
         for (idx, msg) in hits {
             if test_tok[idx] && !rule.applies_in_tests() {
                 continue;
             }
             let line = toks[idx].line;
-            if suppressed(&allowed, rule, line) {
+            if let Some(pline) = suppressing_line(&allowed, rule, line) {
+                used.push(pline);
                 continue;
             }
             findings.push(Finding {
@@ -334,9 +410,25 @@ fn parse_pragma_with(comment: &str, verb: &str) -> Option<Vec<Rule>> {
 }
 
 pub(crate) fn suppressed(allowed: &[(u32, Vec<Rule>)], rule: Rule, line: u32) -> bool {
+    suppressing_line(allowed, rule, line).is_some()
+}
+
+/// The line of the pragma suppressing `rule` at `line`, when one does.
+/// Separated from [`suppressed`] so the SL007 audit can credit the
+/// pragma that actually fired. A trailing pragma on the finding's own
+/// line wins over one on the line above: otherwise two adjacent
+/// trailing pragmas would both be credited to the first, and the
+/// audit would flag the second as stale.
+pub(crate) fn suppressing_line(allowed: &[(u32, Vec<Rule>)], rule: Rule, line: u32) -> Option<u32> {
     allowed
         .iter()
-        .any(|(l, rules)| (*l == line || l + 1 == line) && rules.contains(&rule))
+        .find(|(l, rules)| *l == line && rules.contains(&rule))
+        .or_else(|| {
+            allowed
+                .iter()
+                .find(|(l, rules)| l + 1 == line && rules.contains(&rule))
+        })
+        .map(|(l, _)| *l)
 }
 
 // ----- #[cfg(test)] regions -----

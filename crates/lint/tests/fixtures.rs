@@ -245,7 +245,7 @@ fn json_report_shape_is_pinned() {
     let expected = concat!(
         "{\n",
         "  \"tool\": \"sheriff-lint\",\n",
-        "  \"schema_version\": 3,\n",
+        "  \"schema_version\": 4,\n",
         "  \"files_scanned\": 3,\n",
         "  \"findings\": [\n",
         "    {\"id\": \"SL101\", \"rule\": \"privacy-taint\", \"severity\": \"error\", ",
@@ -257,9 +257,203 @@ fn json_report_shape_is_pinned() {
         "  ],\n",
         "  \"counts_by_rule\": {\"wall-clock\": 0, \"ambient-entropy\": 0, \"hash-iter\": 0, ",
         "\"no-panic-protocol\": 0, \"telemetry-naming\": 0, \"timer-token-injectivity\": 0, ",
+        "\"unused-pragma\": 0, ",
         "\"privacy-taint\": 1, \"proto-routing\": 0, \"transitive-panic\": 1, ",
-        "\"obligation-leak\": 0}\n",
+        "\"obligation-leak\": 0, \"lock-order-cycle\": 0, \"blocking-under-lock\": 0, ",
+        "\"callback-under-lock\": 0, \"hot-loop-allocation\": 0}\n",
         "}\n",
     );
     assert_eq!(render_json(&report), expected);
+}
+
+// ------------------------------------------------------------------
+// Concurrency passes (SL201–SL204) and the pragma audit (SL007).
+// ------------------------------------------------------------------
+
+#[test]
+fn lock_order_fixture_trips_only_lock_order_cycle() {
+    // One interprocedural two-function cycle, one finding.
+    check_bad("locks_bad", Rule::LockOrderCycle, 1);
+}
+
+#[test]
+fn lock_order_cycle_carries_one_witness_per_edge() {
+    let findings = sheriff_lint::analyze_path(&fixture("locks_bad")).expect("fixture readable");
+    let msg = &findings[0].message;
+    for needle in [
+        "wire::ledger",
+        "wire::audit",
+        "`post`",
+        "`close_period`",
+        "`reconcile`",
+        "`roll_up`",
+    ] {
+        assert!(msg.contains(needle), "missing {needle} in: {msg}");
+    }
+}
+
+#[test]
+fn blocking_fixture_trips_only_blocking_under_lock() {
+    // Condvar wait under a second guard, recv under a guard, and a
+    // transitive fsync through a helper.
+    check_bad("blocking_bad", Rule::BlockingUnderLock, 3);
+}
+
+#[test]
+fn blocking_transitive_finding_names_the_sink() {
+    let findings = sheriff_lint::analyze_path(&fixture("blocking_bad")).expect("fixture readable");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`persist`") && f.message.contains("`sync_all`")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn callback_fixture_trips_only_callback_under_lock() {
+    check_bad("callback_bad", Rule::CallbackUnderLock, 2);
+}
+
+#[test]
+fn hot_loop_fixture_trips_only_hot_loop_allocation() {
+    // Vec::new + two pushes + format! in the anchored loop, plus the
+    // orphan anchor.
+    check_bad("hot_loop_bad.rs", Rule::HotLoopAlloc, 5);
+}
+
+#[test]
+fn unused_pragma_fixture_trips_only_unused_pragma() {
+    // A stale allow, a stale trailing allow, a typo'd rule name, and a
+    // stale allow-item.
+    check_bad("unused_pragma_bad.rs", Rule::UnusedPragma, 4);
+}
+
+#[test]
+fn concurrency_pragma_and_ok_twins_all_pass() {
+    check_clean("locks_pragma");
+    check_clean("locks_ok");
+    check_clean("blocking_pragma");
+    check_clean("blocking_ok");
+    check_clean("callback_pragma");
+    check_clean("callback_ok");
+    check_clean("hot_loop_pragma.rs");
+    check_clean("hot_loop_ok.rs");
+    check_clean("unused_pragma_ok.rs");
+}
+
+/// Writes `(rel_path, contents)` pairs under a fresh temp tree rooted
+/// at `name`, preserving the `crates/...` path shape the scope tables
+/// key on, and returns the root.
+fn temp_tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("tree paths have parents"))
+            .expect("temp tree");
+        std::fs::write(&path, contents).expect("temp write");
+    }
+    root
+}
+
+#[test]
+fn reordering_the_wire_locks_is_caught_by_sl201() {
+    // Re-introduce the deadlock shape the deployment layer designed
+    // out: the fault shim takes the completion sink's lock before its
+    // plan, while `drain_peer` takes the plan before the sink — a
+    // `wire::state` ↔ `wire::plan` cycle with one witness in each
+    // function. No pragma hides it: deploy.rs and shard.rs are kept
+    // pragma-free on purpose.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let deploy = std::fs::read_to_string(manifest.join("../wire/src/deploy.rs"))
+        .expect("live deploy readable");
+    let shard = std::fs::read_to_string(manifest.join("../wire/src/reactor/shard.rs"))
+        .expect("live shard readable");
+    let mutated = shard
+        .replace(
+            "        let mut plan = self.plan.lock();",
+            "        let _held = self.state.lock();\n        let mut plan = self.plan.lock();",
+        )
+        .replace(
+            "    let Ok(mut st) = sink.state.lock() else {",
+            "    let _gate = sink.plan.lock();\n    let Ok(mut st) = sink.state.lock() else {",
+        );
+    assert_ne!(shard, mutated, "mutation must apply");
+
+    let root = temp_tree(
+        "sheriff-lint-sl201-mutation",
+        &[
+            ("crates/wire/src/deploy.rs", &deploy),
+            ("crates/wire/src/reactor/shard.rs", &mutated),
+        ],
+    );
+    let findings = analyze_path(&root).expect("mutated tree analyzable");
+    let cycles: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrderCycle)
+        .collect();
+    assert_eq!(cycles.len(), 1, "{findings:#?}");
+    for needle in ["wire::state", "wire::plan", "`outbound`", "`drain_peer`"] {
+        assert!(
+            cycles[0].message.contains(needle),
+            "missing {needle} in: {}",
+            cycles[0].message
+        );
+    }
+
+    // And the unmutated pair is clean — the finding is the reorder,
+    // not the fixture plumbing.
+    let root = temp_tree(
+        "sheriff-lint-sl201-clean",
+        &[
+            ("crates/wire/src/deploy.rs", &deploy),
+            ("crates/wire/src/reactor/shard.rs", &shard),
+        ],
+    );
+    let findings = analyze_path(&root).expect("live pair analyzable");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn cloning_in_the_outbound_sweep_is_caught_by_sl204() {
+    // The per-frame regression the scratch-buffer refactor removed:
+    // an envelope clone inside the anchored outbound sweep.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let reactor = std::fs::read_to_string(manifest.join("../wire/src/reactor/reactor.rs"))
+        .expect("live reactor readable");
+    let shard = std::fs::read_to_string(manifest.join("../wire/src/reactor/shard.rs"))
+        .expect("live shard readable");
+    let mutated = reactor.replace(
+        "Outbound::open(addr, &env)",
+        "Outbound::open(addr, &env.clone())",
+    );
+    assert_ne!(reactor, mutated, "mutation must apply");
+
+    let root = temp_tree(
+        "sheriff-lint-sl204-mutation",
+        &[
+            ("crates/wire/src/reactor/reactor.rs", &mutated),
+            ("crates/wire/src/reactor/shard.rs", &shard),
+        ],
+    );
+    let findings = analyze_path(&root).expect("mutated tree analyzable");
+    let allocs: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::HotLoopAlloc)
+        .collect();
+    assert_eq!(allocs.len(), 1, "{findings:#?}");
+    assert!(allocs[0].message.contains("clone"), "{}", allocs[0]);
+
+    // The unmutated pair is clean: every reactor pragma fires (SL007
+    // would flag a stale one) and the anchored sweeps allocate nothing.
+    let root = temp_tree(
+        "sheriff-lint-sl204-clean",
+        &[
+            ("crates/wire/src/reactor/reactor.rs", &reactor),
+            ("crates/wire/src/reactor/shard.rs", &shard),
+        ],
+    );
+    let findings = analyze_path(&root).expect("live pair analyzable");
+    assert!(findings.is_empty(), "{findings:#?}");
 }

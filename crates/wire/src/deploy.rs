@@ -660,15 +660,20 @@ impl MiniDeployment {
     /// way; an in-flight check must never wedge the teardown.
     pub fn shutdown_with_report(mut self) -> Vec<u64> {
         self.shutdown_impl();
-        let st = self.sink.state.lock().expect("sink poisoned");
-        self.in_flight
-            .lock()
-            .iter()
-            .copied()
-            .filter(|&t| {
-                !st.completed.iter().any(|c| c.local_tag == t)
-                    && !st.rejected.iter().any(|&(r, _)| r == t)
-            })
+        // Snapshot each book under its own guard, never both at once:
+        // the report path imposes no ordering between the sink and
+        // in-flight locks, so the wire lock-order graph stays
+        // edge-free (SL201).
+        let (completed, rejected): (Vec<u64>, Vec<u64>) = {
+            let st = self.sink.state.lock().expect("sink poisoned");
+            (
+                st.completed.iter().map(|c| c.local_tag).collect(),
+                st.rejected.iter().map(|&(r, _)| r).collect(),
+            )
+        };
+        let tags: Vec<u64> = self.in_flight.lock().clone();
+        tags.into_iter()
+            .filter(|t| !completed.contains(t) && !rejected.contains(t))
             .collect()
     }
 }
